@@ -1,0 +1,188 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace halk::bench {
+
+using query::StructureId;
+
+Scale Scale::FromEnv() {
+  Scale s;
+  const char* fast = std::getenv("HALK_BENCH_FAST");
+  if (fast != nullptr && fast[0] == '1') {
+    s.train_steps = 250;
+    s.pool_per_structure = 40;
+    s.eval_queries_per_structure = 10;
+  }
+  // Fine-grained budget control, e.g. HALK_BENCH_STEPS=1500 for a capture
+  // that finishes on a time budget, or 8000 for a higher-fidelity run.
+  const char* steps = std::getenv("HALK_BENCH_STEPS");
+  if (steps != nullptr && std::atoi(steps) > 0) {
+    s.train_steps = std::atoi(steps);
+  }
+  return s;
+}
+
+std::vector<BenchDataset> MakeAllDatasets(uint64_t seed) {
+  std::vector<BenchDataset> out;
+  for (const char* which : {"fb15k", "fb237", "nell"}) {
+    out.push_back(MakeOneDataset(which, seed));
+  }
+  return out;
+}
+
+BenchDataset MakeOneDataset(const std::string& which, uint64_t seed) {
+  BenchDataset ds;
+  if (which == "fb15k") {
+    ds.data = kg::MakeFb15kLike(seed);
+  } else if (which == "fb237") {
+    ds.data = kg::MakeFb237Like(seed);
+  } else if (which == "nell") {
+    ds.data = kg::MakeNellLike(seed);
+  } else {
+    HALK_CHECK(false) << "unknown dataset " << which;
+  }
+  Rng rng(seed * 31 + 7);
+  ds.grouping = std::make_unique<kg::NodeGrouping>(
+      kg::NodeGrouping::Random(ds.data.train.num_entities(), 16, &rng));
+  ds.grouping->BuildAdjacency(ds.data.train);
+  return ds;
+}
+
+Trained TrainModel(const std::string& model_name, const BenchDataset& ds,
+                   const Scale& scale) {
+  core::ModelConfig config;
+  config.num_entities = ds.data.train.num_entities();
+  config.num_relations = ds.data.train.num_relations();
+  config.dim = scale.dim;
+  config.hidden = scale.hidden;
+  config.gamma = scale.gamma;
+  config.seed = 1234;
+  auto model =
+      baselines::CreateModel(model_name, config, ds.grouping.get());
+  HALK_CHECK(model.ok()) << model.status().ToString();
+
+  core::TrainerOptions options;
+  options.steps = scale.train_steps;
+  options.batch_size = scale.batch_size;
+  options.num_negatives = scale.num_negatives;
+  options.learning_rate = scale.learning_rate;
+  options.queries_per_structure = scale.pool_per_structure;
+  options.seed = 7;
+  // Weight the mix toward one-hop queries, as in the Query2Box-family
+  // protocols where 1p training covers every KG edge. Negation structures
+  // are trained at lower frequency: their near-complement answer sets give
+  // noisy gradients that disturb the shared rotation geometry (the same
+  // phenomenon behind the paper's observation that negation accuracy is
+  // universally low).
+  {
+    using query::StructureId;
+    std::vector<StructureId> mix;
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      for (StructureId s :
+           {StructureId::k2p, StructureId::k3p, StructureId::k2i,
+            StructureId::k3i, StructureId::k2d, StructureId::k3d}) {
+        mix.push_back(StructureId::k1p);
+        mix.push_back(s);
+      }
+    }
+    for (StructureId s : query::NegationStructures()) mix.push_back(s);
+    options.structures = std::move(mix);
+  }
+  core::Trainer trainer(model->get(), &ds.data.train, ds.grouping.get(),
+                        options);
+  auto stats = trainer.Train();
+  HALK_CHECK(stats.ok()) << stats.status().ToString();
+
+  Trained out;
+  out.model = std::move(*model);
+  out.offline_seconds = stats->seconds;
+  return out;
+}
+
+std::map<StructureId, std::vector<query::GroundedQuery>> MakeEvalQueries(
+    const BenchDataset& ds, const std::vector<StructureId>& structures,
+    int per_structure, uint64_t seed) {
+  std::map<StructureId, std::vector<query::GroundedQuery>> out;
+  query::QuerySampler sampler(&ds.data.test, seed);
+  for (StructureId s : structures) {
+    auto queries = sampler.SampleMany(s, per_structure);
+    HALK_CHECK(queries.ok()) << query::StructureName(s) << ": "
+                             << queries.status().ToString();
+    for (auto& q : *queries) query::SplitEasyHard(&q, ds.data.valid);
+    out[s] = std::move(*queries);
+  }
+  return out;
+}
+
+std::map<StructureId, double> EvaluatePercent(
+    core::QueryModel* model,
+    const std::map<StructureId, std::vector<query::GroundedQuery>>& workload,
+    bool use_mrr) {
+  core::Evaluator evaluator(model);
+  std::map<StructureId, double> out;
+  for (const auto& [structure, queries] : workload) {
+    if (!core::ModelSupportsStructure(*model, structure)) continue;
+    core::Metrics m = evaluator.Evaluate(queries);
+    out[structure] = 100.0 * (use_mrr ? m.mrr : m.hits3);
+  }
+  return out;
+}
+
+void PrintHeader(const std::string& first_column,
+                 const std::vector<StructureId>& columns) {
+  std::printf("%-10s", first_column.c_str());
+  for (StructureId s : columns) {
+    std::printf(" %6s", query::StructureName(s).c_str());
+  }
+  std::printf(" %6s\n", "avg");
+}
+
+void PrintRow(const std::string& name,
+              const std::vector<StructureId>& columns,
+              const std::map<StructureId, double>& values) {
+  std::printf("%-10s", name.c_str());
+  double sum = 0.0;
+  int count = 0;
+  for (StructureId s : columns) {
+    auto it = values.find(s);
+    if (it == values.end()) {
+      std::printf(" %6s", "-");
+    } else {
+      std::printf(" %6.1f", it->second);
+      sum += it->second;
+      ++count;
+    }
+  }
+  if (count > 0) {
+    std::printf(" %6.1f\n", sum / count);
+  } else {
+    std::printf(" %6s\n", "-");
+  }
+  std::fflush(stdout);  // keep progress visible when output is redirected
+}
+
+void RunModelComparison(const std::string& title,
+                        const std::vector<std::string>& model_names,
+                        const std::vector<StructureId>& structures,
+                        bool use_mrr, const Scale& scale) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf(
+      "(synthetic stand-in KGs; absolute values are not comparable to the "
+      "paper, shapes are — see EXPERIMENTS.md)\n\n");
+  for (const BenchDataset& ds : MakeAllDatasets()) {
+    std::printf("--- dataset %s ---\n", ds.data.name.c_str());
+    auto workload = MakeEvalQueries(ds, structures,
+                                    scale.eval_queries_per_structure, 99);
+    PrintHeader("method", structures);
+    for (const std::string& name : model_names) {
+      Trained trained = TrainModel(name, ds, scale);
+      auto values = EvaluatePercent(trained.model.get(), workload, use_mrr);
+      PrintRow(trained.model->name(), structures, values);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace halk::bench

@@ -1,0 +1,88 @@
+#ifndef HALK_BENCH_BENCH_COMMON_H_
+#define HALK_BENCH_BENCH_COMMON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "halk/halk.h"
+
+namespace halk::bench {
+
+/// Experiment scale. The defaults regenerate the paper tables in minutes
+/// on one CPU core; set HALK_BENCH_FAST=1 in the environment for a quick
+/// smoke-scale run (same code paths, noisier numbers).
+struct Scale {
+  int train_steps = 4000;
+  int batch_size = 64;
+  int num_negatives = 24;
+  float learning_rate = 1e-2f;
+  int pool_per_structure = 500;
+  int eval_queries_per_structure = 25;
+  int64_t dim = 32;
+  int64_t hidden = 64;
+  float gamma = 4.0f;
+  int num_groups = 16;
+
+  static Scale FromEnv();
+};
+
+/// A benchmark dataset: synthetic stand-in KG + node grouping.
+struct BenchDataset {
+  kg::Dataset data;
+  std::unique_ptr<kg::NodeGrouping> grouping;
+};
+
+/// The three stand-ins of the paper's datasets, in table order:
+/// FB15k-like, FB237-like, NELL-like.
+std::vector<BenchDataset> MakeAllDatasets(uint64_t seed = 42);
+BenchDataset MakeOneDataset(const std::string& which, uint64_t seed = 42);
+
+/// Result of an offline training run.
+struct Trained {
+  std::unique_ptr<core::QueryModel> model;
+  double offline_seconds = 0.0;
+};
+
+/// Builds and trains a model by factory name on the dataset's training
+/// graph (structures unsupported by the model are skipped automatically).
+Trained TrainModel(const std::string& model_name, const BenchDataset& ds,
+                   const Scale& scale);
+
+/// Evaluation workload: per structure, queries sampled on the test graph
+/// with easy answers marked against the validation graph (the paper's
+/// hard-answer protocol).
+std::map<query::StructureId, std::vector<query::GroundedQuery>>
+MakeEvalQueries(const BenchDataset& ds,
+                const std::vector<query::StructureId>& structures,
+                int per_structure, uint64_t seed);
+
+/// Evaluates one model on a prepared workload; returns metric (%) per
+/// structure plus the unweighted average, where the metric is MRR when
+/// `use_mrr`, else Hits@3.
+std::map<query::StructureId, double> EvaluatePercent(
+    core::QueryModel* model,
+    const std::map<query::StructureId, std::vector<query::GroundedQuery>>&
+        workload,
+    bool use_mrr);
+
+/// Prints one table row: "| name | v1 | v2 | ... | avg |" with '-' for
+/// missing structures.
+void PrintRow(const std::string& name,
+              const std::vector<query::StructureId>& columns,
+              const std::map<query::StructureId, double>& values);
+
+void PrintHeader(const std::string& first_column,
+                 const std::vector<query::StructureId>& columns);
+
+/// Shared driver for Tables I-IV: trains each model per dataset and prints
+/// metric rows for the given structures.
+void RunModelComparison(const std::string& title,
+                        const std::vector<std::string>& model_names,
+                        const std::vector<query::StructureId>& structures,
+                        bool use_mrr, const Scale& scale);
+
+}  // namespace halk::bench
+
+#endif  // HALK_BENCH_BENCH_COMMON_H_

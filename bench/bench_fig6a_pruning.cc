@@ -1,0 +1,62 @@
+// Fig. 6a: accuracy and query time of the GFinder-style matcher before and
+// after HaLk pruning, on the six large structures (2ipp, 2ippu, 2ippd,
+// 3ipp, 3ippu, 3ippd) over the NELL stand-in. Pruning keeps the top-20
+// HaLk candidates per query variable and matches on the induced subgraph.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  halk::bench::Scale scale = halk::bench::Scale::FromEnv();
+
+  std::printf("=== Fig. 6a: GFinder accuracy & query time before/after "
+              "HaLk pruning (NELL-like, top-20) ===\n\n");
+  halk::bench::BenchDataset ds = halk::bench::MakeOneDataset("nell");
+  halk::bench::Trained trained = halk::bench::TrainModel("halk", ds, scale);
+  auto* halk_model =
+      dynamic_cast<halk::core::HalkModel*>(trained.model.get());
+  HALK_CHECK(halk_model != nullptr);
+
+  halk::matching::SubgraphMatcher full(&ds.data.test);
+  halk::matching::PrunedMatcher pruned(halk_model, &ds.data.test,
+                                       /*top_k=*/20);
+  halk::query::QuerySampler sampler(&ds.data.test, 11);
+
+  std::printf("%-7s | %9s %9s | %11s %11s\n", "query", "acc", "acc+prune",
+              "time(ms)", "time+prune");
+  for (halk::query::StructureId s : halk::query::PruningStructures()) {
+    const int n = std::max(5, scale.eval_queries_per_structure / 2);
+    double acc_full = 0.0;
+    double acc_pruned = 0.0;
+    double ms_full = 0.0;
+    double ms_pruned = 0.0;
+    for (int i = 0; i < n; ++i) {
+      auto q = sampler.Sample(s);
+      HALK_CHECK(q.ok());
+      halk::matching::MatchStats fs, ps;
+      auto fr = full.Match(q->graph, &fs);
+      auto pr = pruned.Match(q->graph, &ps);
+      HALK_CHECK(fr.ok());
+      HALK_CHECK(pr.ok());
+      ms_full += fs.millis;
+      ms_pruned += ps.millis;
+      auto recall = [&](const std::vector<int64_t>& got) {
+        int64_t hit = 0;
+        for (int64_t a : q->answers) {
+          hit += std::binary_search(got.begin(), got.end(), a);
+        }
+        return static_cast<double>(hit) /
+               static_cast<double>(q->answers.size());
+      };
+      acc_full += recall(*fr);
+      acc_pruned += recall(*pr);
+    }
+    std::printf("%-7s | %8.1f%% %8.1f%% | %11.3f %11.3f\n",
+                halk::query::StructureName(s).c_str(),
+                100.0 * acc_full / n, 100.0 * acc_pruned / n, ms_full / n,
+                ms_pruned / n);
+  }
+  return 0;
+}

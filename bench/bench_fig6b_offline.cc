@@ -1,0 +1,37 @@
+// Fig. 6b: offline (training) time of each method on the three dataset
+// stand-ins, under the same step budget. The paper's observation: the
+// non-geometric MLPMix costs the most; geometric methods are comparable,
+// with HaLk slightly above ConE/NewLook because it trains all five
+// operators.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  halk::bench::Scale scale = halk::bench::Scale::FromEnv();
+  // Relative training cost is step-count independent; a reduced budget
+  // keeps the figure cheap to regenerate.
+  scale.train_steps = std::min(scale.train_steps, 1500);
+  std::printf("=== Fig. 6b: offline training time (seconds, %d steps) ===\n\n",
+              scale.train_steps);
+  std::printf("%-10s %12s %12s %12s\n", "method", "FB15k-like", "FB237-like",
+              "NELL-like");
+
+  const std::vector<std::string> models = {"halk", "cone", "newlook",
+                                           "mlpmix"};
+  std::vector<std::vector<double>> seconds(models.size());
+  auto datasets = halk::bench::MakeAllDatasets();
+  for (const auto& ds : datasets) {
+    for (size_t m = 0; m < models.size(); ++m) {
+      halk::bench::Trained trained =
+          halk::bench::TrainModel(models[m], ds, scale);
+      seconds[m].push_back(trained.offline_seconds);
+    }
+  }
+  for (size_t m = 0; m < models.size(); ++m) {
+    std::printf("%-10s %12.1f %12.1f %12.1f\n", models[m].c_str(),
+                seconds[m][0], seconds[m][1], seconds[m][2]);
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Fig. 6c: online query time of each method on the three dataset
+// stand-ins — average milliseconds per query over the six large structures
+// (2ipp..3ippd), embedding methods vs the GFinder-style matcher (whose
+// time includes its dynamic candidate-index construction, as in the
+// paper's protocol).
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace {
+
+double AverageQueryMillis(halk::core::QueryModel* model,
+                          const halk::bench::BenchDataset& ds, int queries) {
+  halk::core::Evaluator evaluator(model);
+  halk::query::QuerySampler sampler(&ds.data.test, 21);
+  double total = 0.0;
+  int counted = 0;
+  for (halk::query::StructureId s : halk::query::PruningStructures()) {
+    if (!halk::core::ModelSupportsStructure(*model, s)) continue;
+    for (int i = 0; i < queries; ++i) {
+      auto q = sampler.Sample(s);
+      HALK_CHECK(q.ok());
+      const auto t0 = std::chrono::steady_clock::now();
+      evaluator.TopK(q->graph, 20);
+      total += std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+      ++counted;
+    }
+  }
+  return total / counted;
+}
+
+double AverageMatcherMillis(const halk::bench::BenchDataset& ds,
+                            int queries) {
+  halk::matching::SubgraphMatcher matcher(&ds.data.test);
+  halk::query::QuerySampler sampler(&ds.data.test, 21);
+  double total = 0.0;
+  int counted = 0;
+  for (halk::query::StructureId s : halk::query::PruningStructures()) {
+    for (int i = 0; i < queries; ++i) {
+      auto q = sampler.Sample(s);
+      HALK_CHECK(q.ok());
+      halk::matching::MatchStats stats;
+      HALK_CHECK(matcher.Match(q->graph, &stats).ok());
+      total += stats.millis;
+      ++counted;
+    }
+  }
+  return total / counted;
+}
+
+}  // namespace
+
+int main() {
+  halk::bench::Scale scale = halk::bench::Scale::FromEnv();
+  // Online latency does not depend on model quality; train only briefly.
+  scale.train_steps = std::min(scale.train_steps, 200);
+  const int queries = std::max(5, scale.eval_queries_per_structure / 2);
+
+  std::printf("=== Fig. 6c: online query time (ms/query, %d queries x 6 "
+              "large structures) ===\n\n",
+              queries);
+  std::printf("%-10s %12s %12s %12s\n", "method", "FB15k-like", "FB237-like",
+              "NELL-like");
+
+  auto datasets = halk::bench::MakeAllDatasets();
+  const std::vector<std::string> models = {"halk", "cone", "newlook",
+                                           "mlpmix"};
+  std::vector<std::vector<double>> ms(models.size() + 1);
+  for (const auto& ds : datasets) {
+    for (size_t m = 0; m < models.size(); ++m) {
+      halk::bench::Trained trained =
+          halk::bench::TrainModel(models[m], ds, scale);
+      ms[m].push_back(AverageQueryMillis(trained.model.get(), ds, queries));
+    }
+    ms[models.size()].push_back(AverageMatcherMillis(ds, queries));
+  }
+  for (size_t m = 0; m < models.size(); ++m) {
+    std::printf("%-10s %12.3f %12.3f %12.3f\n", models[m].c_str(),
+                ms[m][0], ms[m][1], ms[m][2]);
+  }
+  std::printf("%-10s %12.3f %12.3f %12.3f\n", "gfinder",
+              ms[models.size()][0], ms[models.size()][1],
+              ms[models.size()][2]);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Table I: MRR (%) for answering queries WITHOUT negation on the three
+// benchmark-KG stand-ins — HaLk vs ConE, NewLook, MLPMix over the 12
+// EPFO+difference structures (ip, pi, 2u, up, dp unseen in training).
+
+#include "bench_common.h"
+
+int main() {
+  halk::bench::Scale scale = halk::bench::Scale::FromEnv();
+  halk::bench::RunModelComparison(
+      "Table I: MRR (%) for queries without negation",
+      {"halk", "cone", "newlook", "mlpmix"},
+      halk::query::EpfoDifferenceStructures(), /*use_mrr=*/true, scale);
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Table II: Hits@3 (%) for answering queries WITHOUT negation — same
+// setting as Table I with the paper's second headline metric.
+
+#include "bench_common.h"
+
+int main() {
+  halk::bench::Scale scale = halk::bench::Scale::FromEnv();
+  halk::bench::RunModelComparison(
+      "Table II: Hits@3 (%) for queries without negation",
+      {"halk", "cone", "newlook", "mlpmix"},
+      halk::query::EpfoDifferenceStructures(), /*use_mrr=*/false, scale);
+  return 0;
+}

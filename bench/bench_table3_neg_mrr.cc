@@ -1,0 +1,13 @@
+// Table III: MRR (%) for answering queries WITH negation (2in, 3in, pni,
+// pin) — HaLk vs ConE and MLPMix (NewLook has no negation operator).
+
+#include "bench_common.h"
+
+int main() {
+  halk::bench::Scale scale = halk::bench::Scale::FromEnv();
+  halk::bench::RunModelComparison(
+      "Table III: MRR (%) for queries with negation",
+      {"halk", "cone", "mlpmix"}, halk::query::NegationStructures(),
+      /*use_mrr=*/true, scale);
+  return 0;
+}

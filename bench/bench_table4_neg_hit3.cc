@@ -1,0 +1,13 @@
+// Table IV: Hits@3 (%) for answering queries WITH negation — same setting
+// as Table III with the Hits@3 metric.
+
+#include "bench_common.h"
+
+int main() {
+  halk::bench::Scale scale = halk::bench::Scale::FromEnv();
+  halk::bench::RunModelComparison(
+      "Table IV: Hits@3 (%) for queries with negation",
+      {"halk", "cone", "mlpmix"}, halk::query::NegationStructures(),
+      /*use_mrr=*/false, scale);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Table V: ablation study on the NELL stand-in under MRR and Hits@3.
+//   HaLk-V1: NewLook-style difference (raw overlap, no cardinality bound)
+//            vs HaLk on 2d / 3d / dp;
+//   HaLk-V2: linear-transformation negation vs HaLk on 2in / 3in / pin;
+//   HaLk-V3: decoupled (NewLook-style) projection vs HaLk on 1p / 2p / 3p.
+
+#include "bench_common.h"
+
+namespace {
+
+using halk::bench::BenchDataset;
+using halk::bench::Scale;
+using halk::query::StructureId;
+
+void RunBlock(const char* title, const BenchDataset& ds,
+              const std::string& ablation,
+              const std::vector<StructureId>& structures,
+              const Scale& scale) {
+  std::printf("--- %s ---\n", title);
+  auto workload = halk::bench::MakeEvalQueries(
+      ds, structures, scale.eval_queries_per_structure, 99);
+  for (bool use_mrr : {false, true}) {
+    std::printf("[%s]\n", use_mrr ? "MRR" : "Hit@3");
+    halk::bench::PrintHeader("variant", structures);
+    for (const std::string& name : {ablation, std::string("halk")}) {
+      halk::bench::Trained trained =
+          halk::bench::TrainModel(name, ds, scale);
+      auto values = halk::bench::EvaluatePercent(trained.model.get(),
+                                                 workload, use_mrr);
+      halk::bench::PrintRow(trained.model->name(), structures, values);
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  Scale scale = Scale::FromEnv();
+  std::printf("=== Table V: ablation study on NELL-like ===\n\n");
+  BenchDataset ds = halk::bench::MakeOneDataset("nell");
+
+  RunBlock("Difference: HaLk-V1 vs HaLk", ds, "halk-v1",
+           {StructureId::k2d, StructureId::k3d, StructureId::kDp}, scale);
+  RunBlock("Negation: HaLk-V2 vs HaLk", ds, "halk-v2",
+           {StructureId::k2in, StructureId::k3in, StructureId::kPin}, scale);
+  RunBlock("Projection: HaLk-V3 vs HaLk", ds, "halk-v3",
+           {StructureId::k1p, StructureId::k2p, StructureId::k3p}, scale);
+  return 0;
+}

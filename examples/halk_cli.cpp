@@ -1,0 +1,243 @@
+// halk_cli — command-line front-end tying the whole library together:
+//
+//   halk_cli generate --dataset nell --out kg.tsv
+//       Generate a synthetic benchmark KG and write its triples as TSV.
+//
+//   halk_cli train --kg kg.tsv --model halk --steps 2000 --ckpt model.bin
+//       Train a model (halk / cone / newlook / mlpmix / halk-v*) on a TSV
+//       KG and write a checkpoint.
+//
+//   halk_cli query --kg kg.tsv --ckpt model.bin --sparql "SELECT ?x ..."
+//       Answer a SPARQL query: exact executor answers + neural top-k.
+//
+//   halk_cli eval --kg kg.tsv --ckpt model.bin --structure 2i --queries 50
+//       Evaluate MRR / Hits@k for one query structure.
+//
+// All subcommands accept --seed and print deterministic results.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "halk/halk.h"
+
+namespace {
+
+using namespace halk;
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) continue;
+    flags[argv[i] + 2] = argv[i + 1];
+  }
+  return flags;
+}
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: halk_cli <generate|train|query|eval> [--flag value]...\n"
+               "  generate --dataset fb15k|fb237|nell [--seed N] --out FILE\n"
+               "  train    --kg FILE [--model NAME] [--steps N] [--seed N] "
+               "--ckpt FILE\n"
+               "  query    --kg FILE --ckpt FILE --sparql TEXT [--topk N]\n"
+               "  eval     --kg FILE --ckpt FILE [--structure S] "
+               "[--queries N]\n");
+  return 2;
+}
+
+core::ModelConfig ConfigFor(const kg::KnowledgeGraph& graph, uint64_t seed) {
+  core::ModelConfig config;
+  config.num_entities = graph.num_entities();
+  config.num_relations = graph.num_relations();
+  config.dim = 32;
+  config.hidden = 64;
+  config.seed = seed;
+  return config;
+}
+
+int Generate(const std::map<std::string, std::string>& flags) {
+  const std::string which = FlagOr(flags, "dataset", "nell");
+  const uint64_t seed = std::stoull(FlagOr(flags, "seed", "42"));
+  const std::string out = FlagOr(flags, "out", "");
+  if (out.empty()) return Usage();
+  kg::Dataset ds = which == "fb15k"  ? kg::MakeFb15kLike(seed)
+                   : which == "fb237" ? kg::MakeFb237Like(seed)
+                                      : kg::MakeNellLike(seed);
+  Status s = kg::SaveTriplesTsv(ds.test, out);
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: wrote %lld triples (%lld entities, %lld relations) to %s\n",
+              ds.name.c_str(), static_cast<long long>(ds.test.num_triples()),
+              static_cast<long long>(ds.test.num_entities()),
+              static_cast<long long>(ds.test.num_relations()), out.c_str());
+  return 0;
+}
+
+Result<kg::KnowledgeGraph> LoadKg(const std::string& path) {
+  kg::KnowledgeGraph graph;
+  HALK_RETURN_NOT_OK(kg::LoadTriplesTsv(path, &graph));
+  graph.Finalize();
+  return graph;
+}
+
+int Train(const std::map<std::string, std::string>& flags) {
+  const std::string kg_path = FlagOr(flags, "kg", "");
+  const std::string ckpt = FlagOr(flags, "ckpt", "");
+  if (kg_path.empty() || ckpt.empty()) return Usage();
+  const uint64_t seed = std::stoull(FlagOr(flags, "seed", "7"));
+  auto graph = LoadKg(kg_path);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "error: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  auto model = baselines::CreateModel(FlagOr(flags, "model", "halk"),
+                                      ConfigFor(*graph, seed), nullptr);
+  if (!model.ok()) {
+    std::fprintf(stderr, "error: %s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  core::TrainerOptions opt;
+  opt.steps = std::stoi(FlagOr(flags, "steps", "2000"));
+  opt.batch_size = 64;
+  opt.num_negatives = 24;
+  opt.learning_rate = 1e-2f;
+  opt.queries_per_structure = 400;
+  opt.seed = seed;
+  opt.log_every = opt.steps / 10;
+  core::Trainer trainer(model->get(), &*graph, nullptr, opt);
+  auto stats = trainer.Train();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "error: %s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("trained %s for %lld steps in %.1fs (final loss %.3f)\n",
+              (*model)->name().c_str(), static_cast<long long>(stats->steps),
+              stats->seconds, stats->final_loss);
+  Status s = core::SaveCheckpoint(**model, ckpt);
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("checkpoint written to %s\n", ckpt.c_str());
+  return 0;
+}
+
+Result<std::unique_ptr<core::QueryModel>> LoadModel(
+    const kg::KnowledgeGraph& graph,
+    const std::map<std::string, std::string>& flags) {
+  const std::string ckpt = FlagOr(flags, "ckpt", "");
+  HALK_ASSIGN_OR_RETURN(
+      std::unique_ptr<core::QueryModel> model,
+      baselines::CreateModel(FlagOr(flags, "model", "halk"),
+                             ConfigFor(graph, 7), nullptr));
+  HALK_RETURN_NOT_OK(core::LoadCheckpoint(model.get(), ckpt));
+  return model;
+}
+
+int Query(const std::map<std::string, std::string>& flags) {
+  const std::string kg_path = FlagOr(flags, "kg", "");
+  const std::string text = FlagOr(flags, "sparql", "");
+  if (kg_path.empty() || text.empty()) return Usage();
+  auto graph = LoadKg(kg_path);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "error: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  auto compiled = sparql::CompileSparql(text, *graph);
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "error: %s\n", compiled.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("computation graph: %s\n", compiled->ToString().c_str());
+
+  auto exact = query::ExecuteQuery(*compiled, *graph);
+  if (exact.ok()) {
+    std::printf("exact answers (%zu):", exact->size());
+    size_t shown = 0;
+    for (int64_t e : *exact) {
+      if (shown++ == 20) {
+        std::printf(" ...");
+        break;
+      }
+      std::printf(" %s", graph->entities().Name(e).c_str());
+    }
+    std::printf("\n");
+  }
+
+  auto model = LoadModel(*graph, flags);
+  if (!model.ok()) {
+    std::fprintf(stderr, "note: no neural answers (%s)\n",
+                 model.status().ToString().c_str());
+    return exact.ok() ? 0 : 1;
+  }
+  core::Evaluator evaluator(model->get());
+  const int64_t k = std::stoll(FlagOr(flags, "topk", "10"));
+  std::printf("neural top-%lld:", static_cast<long long>(k));
+  for (int64_t e : evaluator.TopK(*compiled, k)) {
+    std::printf(" %s", graph->entities().Name(e).c_str());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int Eval(const std::map<std::string, std::string>& flags) {
+  const std::string kg_path = FlagOr(flags, "kg", "");
+  if (kg_path.empty()) return Usage();
+  auto graph = LoadKg(kg_path);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "error: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  auto model = LoadModel(*graph, flags);
+  if (!model.ok()) {
+    std::fprintf(stderr, "error: %s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  auto structure =
+      query::StructureFromName(FlagOr(flags, "structure", "2i"));
+  if (!structure.ok()) {
+    std::fprintf(stderr, "error: %s\n", structure.status().ToString().c_str());
+    return 1;
+  }
+  query::QuerySampler sampler(&*graph,
+                              std::stoull(FlagOr(flags, "seed", "99")));
+  auto queries =
+      sampler.SampleMany(*structure, std::stoi(FlagOr(flags, "queries", "50")));
+  if (!queries.ok()) {
+    std::fprintf(stderr, "error: %s\n", queries.status().ToString().c_str());
+    return 1;
+  }
+  core::Evaluator evaluator(model->get());
+  core::Metrics m = evaluator.Evaluate(*queries);
+  std::printf("%s on %lld %s queries: MRR %.3f  Hits@1 %.3f  Hits@3 %.3f  "
+              "Hits@10 %.3f\n",
+              (*model)->name().c_str(),
+              static_cast<long long>(m.num_queries),
+              query::StructureName(*structure).c_str(), m.mrr, m.hits1,
+              m.hits3, m.hits10);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  auto flags = ParseFlags(argc, argv, 2);
+  if (command == "generate") return Generate(flags);
+  if (command == "train") return Train(flags);
+  if (command == "query") return Query(flags);
+  if (command == "eval") return Eval(flags);
+  return Usage();
+}

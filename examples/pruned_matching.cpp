@@ -1,0 +1,84 @@
+// HaLk as a pruning front-end for subgraph matching (Sec. IV-D): a trained
+// model restricts the data graph to top-k candidates per query variable,
+// and the G-Finder-style matcher runs on the induced subgraph — much
+// faster, with a small accuracy sacrifice.
+//
+//   $ ./examples/pruned_matching
+
+#include <algorithm>
+#include <cstdio>
+
+#include "halk/halk.h"
+
+int main() {
+  using namespace halk;
+
+  kg::Dataset dataset = kg::MakeNellLike(13);
+  std::printf("%s: %lld entities, %lld relations, %lld test triples\n",
+              dataset.name.c_str(),
+              static_cast<long long>(dataset.test.num_entities()),
+              static_cast<long long>(dataset.test.num_relations()),
+              static_cast<long long>(dataset.test.num_triples()));
+
+  core::ModelConfig config;
+  config.num_entities = dataset.train.num_entities();
+  config.num_relations = dataset.train.num_relations();
+  config.dim = 16;
+  config.hidden = 32;
+  config.seed = 31;
+  core::HalkModel model(config, nullptr);
+  core::TrainerOptions topt;
+  topt.steps = 1500;
+  topt.batch_size = 32;
+  topt.num_negatives = 16;
+  topt.learning_rate = 1e-2f;
+  topt.queries_per_structure = 120;
+  topt.structures = {query::StructureId::k1p, query::StructureId::k2p,
+                     query::StructureId::k2i, query::StructureId::k3i};
+  core::Trainer trainer(&model, &dataset.train, nullptr, topt);
+  auto stats = trainer.Train();
+  HALK_CHECK(stats.ok());
+  std::printf("HaLk trained in %.1fs\n\n", stats->seconds);
+
+  matching::SubgraphMatcher full_matcher(&dataset.test);
+  matching::PrunedMatcher pruned_matcher(&model, &dataset.test,
+                                         /*top_k=*/20);
+  query::QuerySampler sampler(&dataset.test, 7);
+
+  std::printf("%-8s %12s %12s %10s %10s\n", "query", "full(ms)",
+              "pruned(ms)", "full-acc", "pruned-acc");
+  for (query::StructureId s : query::PruningStructures()) {
+    double full_ms = 0.0;
+    double pruned_ms = 0.0;
+    double full_acc = 0.0;
+    double pruned_acc = 0.0;
+    const int kQueries = 10;
+    for (int i = 0; i < kQueries; ++i) {
+      auto q = sampler.Sample(s);
+      HALK_CHECK(q.ok());
+      matching::MatchStats fs;
+      matching::MatchStats ps;
+      auto fr = full_matcher.Match(q->graph, &fs);
+      auto pr = pruned_matcher.Match(q->graph, &ps);
+      HALK_CHECK(fr.ok());
+      HALK_CHECK(pr.ok());
+      full_ms += fs.millis;
+      pruned_ms += ps.millis;
+      auto recall = [&](const std::vector<int64_t>& got) {
+        int64_t hit = 0;
+        for (int64_t a : q->answers) {
+          hit += std::binary_search(got.begin(), got.end(), a);
+        }
+        return static_cast<double>(hit) /
+               static_cast<double>(q->answers.size());
+      };
+      full_acc += recall(*fr);
+      pruned_acc += recall(*pr);
+    }
+    std::printf("%-8s %12.2f %12.2f %9.1f%% %9.1f%%\n",
+                query::StructureName(s).c_str(), full_ms / kQueries,
+                pruned_ms / kQueries, 100.0 * full_acc / kQueries,
+                100.0 * pruned_acc / kQueries);
+  }
+  return 0;
+}

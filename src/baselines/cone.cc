@@ -1,0 +1,193 @@
+#include "baselines/cone.h"
+
+#include "common/logging.h"
+#include "core/distance.h"
+#include "nn/attention.h"
+#include "nn/init.h"
+
+namespace halk::baselines {
+
+using core::ArcBatch;
+using core::EmbeddingBatch;
+using tensor::Tensor;
+
+namespace {
+constexpr float kPi = 3.14159265358979f;
+constexpr float kTwoPi = 2.0f * kPi;
+}  // namespace
+
+ConeModel::ConeModel(const core::ModelConfig& config,
+                     const kg::NodeGrouping* /*grouping*/)
+    : QueryModel(config), rng_(config.seed) {
+  const int64_t d = config.dim;
+  const int64_t h = config.hidden;
+  entity_angles_ = Tensor::Zeros({config.num_entities, d});
+  nn::UniformInit(&entity_angles_, 0.0f, kTwoPi, &rng_);
+  entity_angles_.set_requires_grad(true);
+  rel_axis_ = Tensor::Zeros({config.num_relations, d});
+  nn::UniformInit(&rel_axis_, -kPi, kPi, &rng_);
+  rel_axis_.set_requires_grad(true);
+  rel_aperture_ = Tensor::Zeros({config.num_relations, d});
+  nn::UniformInit(&rel_aperture_, 0.0f, 0.02f, &rng_);
+  rel_aperture_.set_requires_grad(true);
+
+  proj_axis_ = std::make_unique<nn::Mlp>(std::vector<int64_t>{d, h, d}, &rng_);
+  proj_aperture_ =
+      std::make_unique<nn::Mlp>(std::vector<int64_t>{d, h, d}, &rng_);
+  // Zero-initialized residual heads (see HalkModel).
+  proj_axis_->ZeroInitFinalLayer();
+  proj_aperture_->ZeroInitFinalLayer();
+  inter_att_ =
+      std::make_unique<nn::Mlp>(std::vector<int64_t>{2 * d, h, d}, &rng_);
+  inter_sets_ = std::make_unique<nn::DeepSets>(std::vector<int64_t>{2 * d, h},
+                                               std::vector<int64_t>{h, d},
+                                               &rng_);
+}
+
+ArcBatch ConeModel::EmbedAnchors(const std::vector<int64_t>& entities) {
+  Tensor center = tensor::Gather(entity_angles_, entities);
+  Tensor length =
+      Tensor::Zeros({static_cast<int64_t>(entities.size()), config_.dim});
+  return {center, length};
+}
+
+ArcBatch ConeModel::Projection(const ArcBatch& input,
+                               const std::vector<int64_t>& relations) {
+  constexpr float kPi = 3.14159265358979f;
+  Tensor axis = tensor::Add(input.center, tensor::Gather(rel_axis_, relations));
+  Tensor aperture =
+      tensor::Add(input.length, tensor::Gather(rel_aperture_, relations));
+  // Axis and aperture are refined *independently* (bounded residuals fed
+  // only their own component) — the decoupling the HaLk paper identifies
+  // as a source of cascading error.
+  Tensor new_axis = tensor::Mod2Pi(tensor::Add(
+      axis, tensor::MulScalar(
+                tensor::Tanh(tensor::MulScalar(proj_axis_->Forward(axis),
+                                               config_.lambda)),
+                kPi)));
+  Tensor new_aperture = tensor::Clamp(
+      tensor::Add(aperture,
+                  tensor::MulScalar(
+                      tensor::Tanh(proj_aperture_->Forward(aperture)),
+                      kPi / 4.0f)),
+      0.0f, 2.0f * kPi * config_.rho);
+  return {new_axis, new_aperture};
+}
+
+ArcBatch ConeModel::Intersection(const std::vector<ArcBatch>& inputs) {
+  HALK_CHECK_GE(inputs.size(), 2u);
+  std::vector<Tensor> scores;
+  for (const ArcBatch& in : inputs) {
+    scores.push_back(
+        inter_att_->Forward(tensor::Concat({in.center, in.length}, 1)));
+  }
+  std::vector<Tensor> weights = nn::SoftmaxAcross(scores);
+  // Raw-value angle averaging (periodicity-unsafe, per the paper's
+  // critique of rotation baselines).
+  Tensor axis;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    Tensor term = tensor::Mul(weights[i], inputs[i].center);
+    axis = axis.defined() ? tensor::Add(axis, term) : term;
+  }
+  Tensor min_aperture = inputs[0].length;
+  for (size_t i = 1; i < inputs.size(); ++i) {
+    min_aperture = tensor::Minimum(min_aperture, inputs[i].length);
+  }
+  std::vector<Tensor> pairs;
+  for (const ArcBatch& in : inputs) {
+    pairs.push_back(tensor::Concat({in.center, in.length}, 1));
+  }
+  Tensor aperture = tensor::Mul(
+      min_aperture, tensor::Sigmoid(inter_sets_->Forward(pairs)));
+  return {axis, aperture};
+}
+
+ArcBatch ConeModel::Negation(const ArcBatch& input) {
+  // Pure linear transformation assumption: antipodal axis, complementary
+  // aperture, no learned correction.
+  Tensor axis = tensor::Mod2Pi(tensor::AddScalar(input.center, kPi));
+  Tensor aperture = tensor::AddScalar(tensor::Neg(input.length),
+                                      kTwoPi * config_.rho);
+  return {axis, aperture};
+}
+
+EmbeddingBatch ConeModel::EmbedQueries(
+    const std::vector<const query::QueryGraph*>& queries) {
+  HALK_CHECK(!queries.empty());
+  const query::QueryGraph& proto = *queries[0];
+  std::vector<ArcBatch> node_arcs(static_cast<size_t>(proto.num_nodes()));
+  for (int id : proto.TopologicalOrder()) {
+    const query::QueryNode& n = proto.nodes()[static_cast<size_t>(id)];
+    switch (n.op) {
+      case query::OpType::kAnchor: {
+        std::vector<int64_t> entities;
+        for (const query::QueryGraph* q : queries) {
+          entities.push_back(q->nodes()[static_cast<size_t>(id)].anchor_entity);
+        }
+        node_arcs[static_cast<size_t>(id)] = EmbedAnchors(entities);
+        break;
+      }
+      case query::OpType::kProjection: {
+        std::vector<int64_t> relations;
+        for (const query::QueryGraph* q : queries) {
+          relations.push_back(q->nodes()[static_cast<size_t>(id)].relation);
+        }
+        node_arcs[static_cast<size_t>(id)] = Projection(
+            node_arcs[static_cast<size_t>(n.inputs[0])], relations);
+        break;
+      }
+      case query::OpType::kIntersection: {
+        std::vector<ArcBatch> inputs;
+        for (int in : n.inputs) inputs.push_back(node_arcs[static_cast<size_t>(in)]);
+        node_arcs[static_cast<size_t>(id)] = Intersection(inputs);
+        break;
+      }
+      case query::OpType::kNegation:
+        node_arcs[static_cast<size_t>(id)] =
+            Negation(node_arcs[static_cast<size_t>(n.inputs[0])]);
+        break;
+      case query::OpType::kDifference:
+        HALK_CHECK(false) << "ConE does not support the difference operator";
+        break;
+      case query::OpType::kUnion:
+        HALK_CHECK(false) << "union must be lifted out by ToDnf";
+        break;
+    }
+  }
+  const ArcBatch& t = node_arcs[static_cast<size_t>(proto.target())];
+  return {t.center, t.length};
+}
+
+Tensor ConeModel::Distance(const std::vector<int64_t>& entities,
+                           const EmbeddingBatch& embedding) {
+  Tensor points = tensor::Gather(entity_angles_, entities);
+  return core::ArcDistance(points, {embedding.a, embedding.b}, config_.rho,
+                           config_.eta);
+}
+
+void ConeModel::DistancesToAll(const EmbeddingBatch& embedding, int64_t row,
+                               std::vector<float>* out) const {
+  const int64_t d = config_.dim;
+  const float* center = embedding.a.data() + row * d;
+  const float* length = embedding.b.data() + row * d;
+  const float* table = entity_angles_.data();
+  out->resize(static_cast<size_t>(config_.num_entities));
+  for (int64_t e = 0; e < config_.num_entities; ++e) {
+    (*out)[static_cast<size_t>(e)] = core::ArcPointDistance(
+        table + e * d, center, length, d, config_.rho, config_.eta);
+  }
+}
+
+std::vector<Tensor> ConeModel::Parameters() const {
+  std::vector<Tensor> out = {entity_angles_, rel_axis_, rel_aperture_};
+  for (const nn::Module* m :
+       {static_cast<const nn::Module*>(proj_axis_.get()),
+        static_cast<const nn::Module*>(proj_aperture_.get()),
+        static_cast<const nn::Module*>(inter_att_.get()),
+        static_cast<const nn::Module*>(inter_sets_.get())}) {
+    for (const Tensor& p : m->Parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace halk::baselines

@@ -1,0 +1,43 @@
+#include "baselines/factory.h"
+
+#include "baselines/ablations.h"
+#include "baselines/betae.h"
+#include "baselines/cone.h"
+#include "baselines/mlpmix.h"
+#include "baselines/newlook.h"
+#include "core/halk_model.h"
+
+namespace halk::baselines {
+
+std::vector<std::string> AvailableModels() {
+  return {"halk",    "cone",    "newlook", "mlpmix",  "betae",
+          "halk-v1", "halk-v2", "halk-v3"};
+}
+
+Result<std::unique_ptr<core::QueryModel>> CreateModel(
+    const std::string& name, const core::ModelConfig& config,
+    const kg::NodeGrouping* grouping) {
+  std::unique_ptr<core::QueryModel> model;
+  if (name == "halk") {
+    model = std::make_unique<core::HalkModel>(config, grouping);
+  } else if (name == "cone") {
+    model = std::make_unique<ConeModel>(config, grouping);
+  } else if (name == "newlook") {
+    model = std::make_unique<NewLookModel>(config, grouping);
+  } else if (name == "mlpmix") {
+    model = std::make_unique<MlpMixModel>(config, grouping);
+  } else if (name == "betae") {
+    model = std::make_unique<BetaEModel>(config, grouping);
+  } else if (name == "halk-v1") {
+    model = std::make_unique<HalkV1Model>(config, grouping);
+  } else if (name == "halk-v2") {
+    model = std::make_unique<HalkV2Model>(config, grouping);
+  } else if (name == "halk-v3") {
+    model = std::make_unique<HalkV3Model>(config, grouping);
+  } else {
+    return Status::NotFound("unknown model: " + name);
+  }
+  return model;
+}
+
+}  // namespace halk::baselines

@@ -1,0 +1,25 @@
+#ifndef HALK_BASELINES_FACTORY_H_
+#define HALK_BASELINES_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/query_model.h"
+
+namespace halk::baselines {
+
+/// All model names the factory can build, in presentation order:
+/// "halk", "cone", "newlook", "mlpmix", "halk-v1", "halk-v2", "halk-v3".
+std::vector<std::string> AvailableModels();
+
+/// Builds a model by name. `grouping` may be null; only HaLk variants use
+/// it (for the intersection z factor and training group penalty).
+Result<std::unique_ptr<core::QueryModel>> CreateModel(
+    const std::string& name, const core::ModelConfig& config,
+    const kg::NodeGrouping* grouping);
+
+}  // namespace halk::baselines
+
+#endif  // HALK_BASELINES_FACTORY_H_

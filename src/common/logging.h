@@ -1,0 +1,76 @@
+#ifndef HALK_COMMON_LOGGING_H_
+#define HALK_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace halk {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level emitted by HALK_LOG; defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Aborts the process after emitting the accumulated message.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define HALK_LOG(level)                                                   \
+  ::halk::internal::LogMessage(::halk::LogLevel::k##level, __FILE__,      \
+                               __LINE__)                                  \
+      .stream()
+
+/// Invariant check: aborts (with file/line and message) when `cond` is false.
+/// Used for programmer errors; recoverable errors use Status instead.
+#define HALK_CHECK(cond)                                                \
+  if (!(cond))                                                          \
+  ::halk::internal::FatalMessage(__FILE__, __LINE__, #cond).stream()
+
+#define HALK_CHECK_EQ(a, b) HALK_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define HALK_CHECK_NE(a, b) HALK_CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
+#define HALK_CHECK_LT(a, b) HALK_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define HALK_CHECK_LE(a, b) HALK_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define HALK_CHECK_GT(a, b) HALK_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define HALK_CHECK_GE(a, b) HALK_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+#define HALK_CHECK_OK(expr)                                    \
+  do {                                                         \
+    ::halk::Status _st = (expr);                               \
+    HALK_CHECK(_st.ok()) << _st.ToString();                    \
+  } while (0)
+
+}  // namespace halk
+
+#endif  // HALK_COMMON_LOGGING_H_

@@ -1,0 +1,48 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace halk {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+namespace internal {
+void DieOnBadResult(const Status& status) {
+  std::fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+}  // namespace internal
+
+}  // namespace halk

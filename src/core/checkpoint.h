@@ -1,0 +1,31 @@
+#ifndef HALK_CORE_CHECKPOINT_H_
+#define HALK_CORE_CHECKPOINT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/query_model.h"
+
+namespace halk::core {
+
+/// Binary checkpointing for query models: all trainable parameters (in
+/// `Parameters()` order) plus the model configuration, with a magic/version
+/// header and a content checksum. A checkpoint written by one model can be
+/// restored into any freshly constructed model of the same architecture
+/// and configuration — offline training and online serving can live in
+/// different processes, as the paper's deployment sketch assumes.
+///
+/// Format (little-endian):
+///   "HALKCKPT" | u32 version | u32 name_len | name bytes
+///   | ModelConfig fields | u64 num_tensors
+///   | per tensor: u64 numel, float data[numel]
+///   | u64 fnv1a checksum of everything above
+Status SaveCheckpoint(const QueryModel& model, const std::string& path);
+
+/// Restores parameters into `model`; fails (without partial writes) on
+/// magic/version/name/shape/checksum mismatch.
+Status LoadCheckpoint(QueryModel* model, const std::string& path);
+
+}  // namespace halk::core
+
+#endif  // HALK_CORE_CHECKPOINT_H_

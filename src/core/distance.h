@@ -1,0 +1,31 @@
+#ifndef HALK_CORE_DISTANCE_H_
+#define HALK_CORE_DISTANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/arc.h"
+
+namespace halk::core {
+
+/// Point-to-arc distance d = d_o + η·d_i of Eqs. (15)-(16), batched and
+/// differentiable. `point` holds entity point angles [B, d]; the result is
+/// [B]. Distances are chord lengths, so they are periodicity-safe:
+///   d_o = 2ρ ‖ 1[outside] · min(|sin((θ−A_S)/2)|, |sin((θ−A_E)/2)|) ‖₁
+///   d_i = 2ρ ‖ min(|sin((θ−A_c)/2)|, |sin((A_l/2ρ)/2)|) ‖₁
+/// The outside indicator (chord-to-center exceeding the half-arc chord)
+/// zeroes d_o for points inside the arc; it is treated as a constant in
+/// backward (standard subgradient practice).
+tensor::Tensor ArcDistance(const tensor::Tensor& point, const ArcBatch& arc,
+                           float rho, float eta);
+
+/// Tape-free scalar twin of ArcDistance for one (entity, arc) pair of raw
+/// angle/length buffers of width `dim`; used for ranking all entities at
+/// evaluation time. Kept consistent with the tensor version by tests.
+float ArcPointDistance(const float* point_angles, const float* arc_center,
+                       const float* arc_length, int64_t dim, float rho,
+                       float eta);
+
+}  // namespace halk::core
+
+#endif  // HALK_CORE_DISTANCE_H_

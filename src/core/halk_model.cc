@@ -1,0 +1,409 @@
+#include "core/halk_model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "core/distance.h"
+#include "core/query_groups.h"
+#include "nn/attention.h"
+#include "nn/init.h"
+
+namespace halk::core {
+
+using tensor::Tensor;
+
+namespace {
+constexpr float kPi = 3.14159265358979f;
+constexpr float kTwoPi = 2.0f * kPi;
+}  // namespace
+
+HalkModel::HalkModel(const ModelConfig& config,
+                     const kg::NodeGrouping* grouping)
+    : QueryModel(config), grouping_(grouping), rng_(config.seed) {
+  HALK_CHECK_GT(config.num_entities, 0);
+  HALK_CHECK_GT(config.num_relations, 0);
+  const int64_t d = config.dim;
+  const int64_t h = config.hidden;
+
+  entity_angles_ = Tensor::Zeros({config.num_entities, d});
+  nn::UniformInit(&entity_angles_, 0.0f, kTwoPi, &rng_);
+  entity_angles_.set_requires_grad(true);
+
+  rel_center_ = Tensor::Zeros({config.num_relations, d});
+  nn::UniformInit(&rel_center_, -kPi, kPi, &rng_);
+  rel_center_.set_requires_grad(true);
+
+  // Arcs start near-degenerate (points): wide initial arcs let the loss
+  // collapse by swallowing positives without learning precise centers.
+  rel_length_ = Tensor::Zeros({config.num_relations, d});
+  nn::UniformInit(&rel_length_, 0.0f, 0.02f, &rng_);
+  rel_length_.set_requires_grad(true);
+
+  proj_center_ = std::make_unique<nn::Mlp>(std::vector<int64_t>{2 * d, h, d},
+                                           &rng_);
+  proj_length_ = std::make_unique<nn::Mlp>(std::vector<int64_t>{2 * d, h, d},
+                                           &rng_);
+  // Residual correction heads start at exactly zero so the operator is a
+  // pure relation rotation at step 0 (random ±π corrections would scramble
+  // the rotation geometry and prevent it from ever forming).
+  proj_center_->ZeroInitFinalLayer();
+  proj_length_->ZeroInitFinalLayer();
+
+  diff_att_ = std::make_unique<nn::Mlp>(std::vector<int64_t>{2 * d, h, d},
+                                        &rng_);
+  // κ privileges the minuend so the semantic center stays inside A_1.
+  kappa_first_ = Tensor::Full({d}, 1.5f).set_requires_grad(true);
+  kappa_rest_ = Tensor::Full({d}, 0.5f).set_requires_grad(true);
+  diff_sets_ = std::make_unique<nn::DeepSets>(std::vector<int64_t>{2 * d, h},
+                                              std::vector<int64_t>{h, d},
+                                              &rng_);
+
+  inter_att_ = std::make_unique<nn::Mlp>(std::vector<int64_t>{2 * d, h, d},
+                                         &rng_);
+  inter_sets_ = std::make_unique<nn::DeepSets>(std::vector<int64_t>{2 * d, h},
+                                               std::vector<int64_t>{h, d},
+                                               &rng_);
+
+  neg_t1_ = std::make_unique<nn::Mlp>(std::vector<int64_t>{d, h}, &rng_);
+  neg_t2_ = std::make_unique<nn::Mlp>(std::vector<int64_t>{d, h}, &rng_);
+  neg_center_ = std::make_unique<nn::Mlp>(std::vector<int64_t>{2 * h, d},
+                                          &rng_);
+  neg_length_ = std::make_unique<nn::Mlp>(std::vector<int64_t>{2 * h, d},
+                                          &rng_);
+  neg_center_->ZeroInitFinalLayer();
+  neg_length_->ZeroInitFinalLayer();
+}
+
+ArcBatch HalkModel::EmbedAnchors(const std::vector<int64_t>& entities) {
+  Tensor center = tensor::Gather(entity_angles_, entities);
+  Tensor length =
+      Tensor::Zeros({static_cast<int64_t>(entities.size()), config_.dim});
+  return {center, length};
+}
+
+ArcBatch HalkModel::Projection(const ArcBatch& input,
+                               const std::vector<int64_t>& relations) {
+  // Rotate by the relation arc to get the approximate result arc.
+  Tensor r_center = tensor::Gather(rel_center_, relations);
+  Tensor r_length = tensor::Gather(rel_length_, relations);
+  ArcBatch approx{tensor::Add(input.center, r_center),
+                  tensor::Add(input.length, r_length)};
+  // Adjust start and end points cooperatively (Eq. 2), parameterized as a
+  // bounded residual around the rotation: the MLP (fed the coordinated
+  // [A_S ‖ A_E] pair) rotates the center by up to ±π·tanh(λ·) and rescales
+  // the arclength by a sigmoid factor in (0, 2). At initialization this is
+  // a near-pure rotation, which keeps the operator trainable at CPU scale
+  // while preserving Eq. (2)'s joint center/cardinality adjustment.
+  Tensor pair = StartEndPair(approx, config_.rho);
+  Tensor center = tensor::Mod2Pi(tensor::Add(
+      approx.center,
+      tensor::MulScalar(
+          tensor::Tanh(tensor::MulScalar(proj_center_->Forward(pair),
+                                         config_.lambda)),
+          kPi)));
+  Tensor length = tensor::Clamp(
+      tensor::Add(approx.length,
+                  tensor::MulScalar(
+                      tensor::Tanh(proj_length_->Forward(pair)),
+                      kPi / 4.0f)),
+      0.0f, kTwoPi * config_.rho);
+  return {center, length};
+}
+
+Tensor HalkModel::SemanticAverageCenter(
+    const std::vector<ArcBatch>& inputs,
+    const std::vector<Tensor>& scores) const {
+  std::vector<Tensor> weights = nn::SoftmaxAcross(scores);
+  Tensor x_sa;
+  Tensor y_sa;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    // Rectangular coordinates avoid the periodic averaging problem (Eq. 4).
+    Tensor x = tensor::MulScalar(tensor::Cos(inputs[i].center), config_.rho);
+    Tensor y = tensor::MulScalar(tensor::Sin(inputs[i].center), config_.rho);
+    Tensor wx = tensor::Mul(weights[i], x);
+    Tensor wy = tensor::Mul(weights[i], y);
+    x_sa = x_sa.defined() ? tensor::Add(x_sa, wx) : wx;
+    y_sa = y_sa.defined() ? tensor::Add(y_sa, wy) : wy;
+  }
+  // atan2 + wrap implements arctan(y/x) with the Reg(·) quadrant fix of
+  // Eq. (6) in one differentiable step.
+  return tensor::Mod2Pi(tensor::Atan2(y_sa, x_sa));
+}
+
+ArcBatch HalkModel::Difference(const std::vector<ArcBatch>& inputs) {
+  HALK_CHECK_GE(inputs.size(), 2u);
+  // Attention scores with the hard-coded minuend asymmetry κ (Eq. 7).
+  std::vector<Tensor> scores;
+  scores.reserve(inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    Tensor base = diff_att_->Forward(StartEndPair(inputs[i], config_.rho));
+    const Tensor& kappa = (i == 0) ? kappa_first_ : kappa_rest_;
+    scores.push_back(tensor::Mul(base, kappa));
+  }
+  Tensor center = SemanticAverageCenter(inputs, scores);
+
+  // Arclength with the cardinality constraint (Eqs. 8-9): chord-length
+  // overlap features against the minuend, DeepSets, sigmoid shrink factor.
+  std::vector<Tensor> overlap_features;
+  for (size_t j = 1; j < inputs.size(); ++j) {
+    Tensor delta_c = tensor::MulScalar(
+        tensor::Sin(tensor::MulScalar(
+            tensor::Sub(inputs[0].center, inputs[j].center), 0.5f)),
+        2.0f * config_.rho);
+    Tensor delta_l = tensor::Sub(inputs[0].length, inputs[j].length);
+    overlap_features.push_back(tensor::Concat({delta_c, delta_l}, 1));
+  }
+  Tensor shrink = tensor::Sigmoid(diff_sets_->Forward(overlap_features));
+  Tensor length = tensor::Mul(inputs[0].length, shrink);
+  return {center, length};
+}
+
+ArcBatch HalkModel::Intersection(const std::vector<ArcBatch>& inputs,
+                                 const std::vector<Tensor>& z) {
+  HALK_CHECK_GE(inputs.size(), 2u);
+  HALK_CHECK(z.empty() || z.size() == inputs.size());
+  // Attention scores scaled by group similarity (Eq. 10).
+  std::vector<Tensor> scores;
+  scores.reserve(inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    Tensor base = inter_att_->Forward(StartEndPair(inputs[i], config_.rho));
+    scores.push_back(z.empty() ? base : tensor::Mul(z[i], base));
+  }
+  Tensor center = SemanticAverageCenter(inputs, scores);
+
+  // Arclength: min of input arc angles shrunk by a permutation-invariant
+  // influence factor (Eqs. 11-12).
+  Tensor min_alpha =
+      tensor::MulScalar(inputs[0].length, 1.0f / config_.rho);
+  for (size_t i = 1; i < inputs.size(); ++i) {
+    min_alpha = tensor::Minimum(
+        min_alpha, tensor::MulScalar(inputs[i].length, 1.0f / config_.rho));
+  }
+  std::vector<Tensor> pairs;
+  pairs.reserve(inputs.size());
+  for (const ArcBatch& in : inputs) {
+    pairs.push_back(StartEndPair(in, config_.rho));
+  }
+  Tensor shrink = tensor::Sigmoid(inter_sets_->Forward(pairs));
+  Tensor alpha = tensor::Mul(min_alpha, shrink);
+  return {center, tensor::MulScalar(alpha, config_.rho)};
+}
+
+ArcBatch HalkModel::Negation(const ArcBatch& input) {
+  // Linear antipodal initialization (Eq. 13): center flipped by π, length
+  // complemented to the full circle.
+  Tensor approx_center =
+      tensor::Mod2Pi(tensor::AddScalar(input.center, kPi));
+  Tensor approx_length = tensor::AddScalar(tensor::Neg(input.length),
+                                           kTwoPi * config_.rho);
+  Tensor approx_alpha =
+      tensor::MulScalar(approx_length, 1.0f / config_.rho);
+
+  // Non-linear correction (Eq. 14), as a bounded residual around the
+  // antipodal initialization (same parameterization rationale as
+  // Projection).
+  Tensor t1 = neg_t1_->Forward(approx_center);
+  Tensor t2 = neg_t2_->Forward(approx_alpha);
+  Tensor cat = tensor::Concat({t1, t2}, 1);
+  Tensor center = tensor::Mod2Pi(tensor::Add(
+      approx_center,
+      tensor::MulScalar(
+          tensor::Tanh(tensor::MulScalar(neg_center_->Forward(cat),
+                                         config_.lambda)),
+          kPi)));
+  Tensor length = tensor::Clamp(
+      tensor::Add(approx_length,
+                  tensor::MulScalar(tensor::Tanh(neg_length_->Forward(cat)),
+                                    kPi / 4.0f)),
+      0.0f, kTwoPi * config_.rho);
+  return {center, length};
+}
+
+EmbeddingBatch HalkModel::EmbedQueries(
+    const std::vector<const query::QueryGraph*>& queries) {
+  HALK_CHECK(!queries.empty());
+  const query::QueryGraph& proto = *queries[0];
+  const int64_t batch = static_cast<int64_t>(queries.size());
+  for (const query::QueryGraph* q : queries) {
+    HALK_CHECK_EQ(q->num_nodes(), proto.num_nodes())
+        << "EmbedQueries requires same-structure queries";
+  }
+
+  // Group vectors per query per node, for the intersection z factors.
+  std::vector<std::vector<std::vector<float>>> groups;
+  if (grouping_ != nullptr) {
+    groups.reserve(queries.size());
+    for (const query::QueryGraph* q : queries) {
+      groups.push_back(NodeGroupVectors(*q, *grouping_));
+    }
+  }
+
+  std::vector<ArcBatch> node_arcs(static_cast<size_t>(proto.num_nodes()));
+  for (int id : proto.TopologicalOrder()) {
+    const query::QueryNode& n = proto.nodes()[static_cast<size_t>(id)];
+    switch (n.op) {
+      case query::OpType::kAnchor: {
+        std::vector<int64_t> entities;
+        entities.reserve(queries.size());
+        for (const query::QueryGraph* q : queries) {
+          entities.push_back(
+              q->nodes()[static_cast<size_t>(id)].anchor_entity);
+        }
+        node_arcs[static_cast<size_t>(id)] = EmbedAnchors(entities);
+        break;
+      }
+      case query::OpType::kProjection: {
+        std::vector<int64_t> relations;
+        relations.reserve(queries.size());
+        for (const query::QueryGraph* q : queries) {
+          relations.push_back(q->nodes()[static_cast<size_t>(id)].relation);
+        }
+        node_arcs[static_cast<size_t>(id)] = Projection(
+            node_arcs[static_cast<size_t>(n.inputs[0])], relations);
+        break;
+      }
+      case query::OpType::kIntersection: {
+        std::vector<ArcBatch> inputs;
+        for (int in : n.inputs) {
+          inputs.push_back(node_arcs[static_cast<size_t>(in)]);
+        }
+        std::vector<Tensor> z;
+        if (grouping_ != nullptr) {
+          for (int in : n.inputs) {
+            std::vector<float> tiled(
+                static_cast<size_t>(batch * config_.dim));
+            for (int64_t b = 0; b < batch; ++b) {
+              const float zi = kg::NodeGrouping::Similarity(
+                  groups[static_cast<size_t>(b)][static_cast<size_t>(in)],
+                  groups[static_cast<size_t>(b)][static_cast<size_t>(id)]);
+              for (int64_t c = 0; c < config_.dim; ++c) {
+                tiled[static_cast<size_t>(b * config_.dim + c)] = zi;
+              }
+            }
+            z.push_back(Tensor::FromVector({batch, config_.dim},
+                                           std::move(tiled)));
+          }
+        }
+        node_arcs[static_cast<size_t>(id)] = Intersection(inputs, z);
+        break;
+      }
+      case query::OpType::kDifference: {
+        std::vector<ArcBatch> inputs;
+        for (int in : n.inputs) {
+          inputs.push_back(node_arcs[static_cast<size_t>(in)]);
+        }
+        node_arcs[static_cast<size_t>(id)] = Difference(inputs);
+        break;
+      }
+      case query::OpType::kNegation:
+        node_arcs[static_cast<size_t>(id)] =
+            Negation(node_arcs[static_cast<size_t>(n.inputs[0])]);
+        break;
+      case query::OpType::kUnion:
+        HALK_CHECK(false)
+            << "union must be lifted out by ToDnf before embedding";
+        break;
+    }
+  }
+  const ArcBatch& target = node_arcs[static_cast<size_t>(proto.target())];
+  return {target.center, target.length};
+}
+
+Tensor HalkModel::Distance(const std::vector<int64_t>& entities,
+                           const EmbeddingBatch& embedding) {
+  Tensor points = tensor::Gather(entity_angles_, entities);
+  return ArcDistance(points, {embedding.a, embedding.b}, config_.rho,
+                     config_.eta);
+}
+
+void HalkModel::DistancesToAll(const EmbeddingBatch& embedding, int64_t row,
+                               std::vector<float>* out) const {
+  const int64_t d = config_.dim;
+  const float* center = embedding.a.data() + row * d;
+  const float* length = embedding.b.data() + row * d;
+  const float* table = entity_angles_.data();
+  out->resize(static_cast<size_t>(config_.num_entities));
+  for (int64_t e = 0; e < config_.num_entities; ++e) {
+    (*out)[static_cast<size_t>(e)] = ArcPointDistance(
+        table + e * d, center, length, d, config_.rho, config_.eta);
+  }
+}
+
+std::vector<Tensor> HalkModel::Parameters() const {
+  std::vector<Tensor> out = {entity_angles_, rel_center_, rel_length_,
+                             kappa_first_, kappa_rest_};
+  for (const nn::Module* m :
+       {static_cast<const nn::Module*>(proj_center_.get()),
+        static_cast<const nn::Module*>(proj_length_.get()),
+        static_cast<const nn::Module*>(diff_att_.get()),
+        static_cast<const nn::Module*>(diff_sets_.get()),
+        static_cast<const nn::Module*>(inter_att_.get()),
+        static_cast<const nn::Module*>(inter_sets_.get()),
+        static_cast<const nn::Module*>(neg_t1_.get()),
+        static_cast<const nn::Module*>(neg_t2_.get()),
+        static_cast<const nn::Module*>(neg_center_.get()),
+        static_cast<const nn::Module*>(neg_length_.get())}) {
+    for (const Tensor& p : m->Parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<ArcBatch> HalkModel::EmbedAllNodes(
+    const query::QueryGraph& query) {
+  std::vector<ArcBatch> node_arcs(static_cast<size_t>(query.num_nodes()));
+  std::vector<const query::QueryGraph*> single = {&query};
+  // Re-run the batched path with B = 1, capturing intermediates.
+  // (EmbedQueries discards them, so this mirrors its dispatch.)
+  std::vector<std::vector<float>> groups;
+  if (grouping_ != nullptr) groups = NodeGroupVectors(query, *grouping_);
+  for (int id : query.TopologicalOrder()) {
+    const query::QueryNode& n = query.nodes()[static_cast<size_t>(id)];
+    switch (n.op) {
+      case query::OpType::kAnchor:
+        node_arcs[static_cast<size_t>(id)] =
+            EmbedAnchors({n.anchor_entity});
+        break;
+      case query::OpType::kProjection:
+        node_arcs[static_cast<size_t>(id)] = Projection(
+            node_arcs[static_cast<size_t>(n.inputs[0])], {n.relation});
+        break;
+      case query::OpType::kIntersection: {
+        std::vector<ArcBatch> inputs;
+        std::vector<Tensor> z;
+        for (int in : n.inputs) {
+          inputs.push_back(node_arcs[static_cast<size_t>(in)]);
+          if (grouping_ != nullptr) {
+            const float zi = kg::NodeGrouping::Similarity(
+                groups[static_cast<size_t>(in)],
+                groups[static_cast<size_t>(id)]);
+            z.push_back(Tensor::Full({1, config_.dim}, zi));
+          }
+        }
+        node_arcs[static_cast<size_t>(id)] = Intersection(inputs, z);
+        break;
+      }
+      case query::OpType::kDifference: {
+        std::vector<ArcBatch> inputs;
+        for (int in : n.inputs) {
+          inputs.push_back(node_arcs[static_cast<size_t>(in)]);
+        }
+        node_arcs[static_cast<size_t>(id)] = Difference(inputs);
+        break;
+      }
+      case query::OpType::kNegation:
+        node_arcs[static_cast<size_t>(id)] =
+            Negation(node_arcs[static_cast<size_t>(n.inputs[0])]);
+        break;
+      case query::OpType::kUnion: {
+        // For pruning we over-approximate a union node by the input with
+        // the larger arclength (candidates are unioned downstream anyway).
+        node_arcs[static_cast<size_t>(id)] =
+            node_arcs[static_cast<size_t>(n.inputs[0])];
+        break;
+      }
+    }
+  }
+  return node_arcs;
+}
+
+}  // namespace halk::core

@@ -1,0 +1,119 @@
+#ifndef HALK_CORE_HALK_MODEL_H_
+#define HALK_CORE_HALK_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/arc.h"
+#include "core/query_model.h"
+#include "nn/deepsets.h"
+#include "nn/mlp.h"
+
+namespace halk::core {
+
+/// The HaLk model (Sec. III of the paper): entities are points on a circle,
+/// query nodes are arc segments, and the five logical operators are
+/// implemented per Eqs. (2)-(14):
+///   * projection — relation rotation followed by a start/end-point MLP
+///     producing center and arc angle through g(·);
+///   * difference — attention over rectangular-coordinate semantic centers
+///     with an asymmetry vector κ, and a DeepSets arclength bounded by the
+///     minuend (cardinality constraint);
+///   * intersection — the same semantic-average-center attention scaled by
+///     group similarity z, with a min-bounded DeepSets arclength;
+///   * negation — antipodal linear initialization refined by a non-linear
+///     two-branch MLP;
+///   * union — handled outside the model by the DNF rewrite (exact).
+/// The operator methods are virtual so the Table V ablations (HaLk-V1/V2/V3)
+/// can swap in degraded variants.
+class HalkModel : public QueryModel {
+ public:
+  /// `grouping` (optional, may be null) enables the group-similarity factor
+  /// z_i in the intersection attention (Eq. 10).
+  HalkModel(const ModelConfig& config, const kg::NodeGrouping* grouping);
+
+  std::string name() const override { return "HaLk"; }
+
+  EmbeddingBatch EmbedQueries(
+      const std::vector<const query::QueryGraph*>& queries) override;
+
+  tensor::Tensor Distance(const std::vector<int64_t>& entities,
+                          const EmbeddingBatch& embedding) override;
+
+  void DistancesToAll(const EmbeddingBatch& embedding, int64_t row,
+                      std::vector<float>* out) const override;
+
+  std::vector<tensor::Tensor> Parameters() const override;
+
+  bool Supports(query::OpType) const override { return true; }
+
+  // --- Operators (public for unit tests, ablations, and the pruner). ---
+
+  /// Anchor entities as zero-length arcs.
+  ArcBatch EmbedAnchors(const std::vector<int64_t>& entities);
+
+  /// Projection operator, Eqs. (2)-(3). `relations[i]` applies to row i.
+  virtual ArcBatch Projection(const ArcBatch& input,
+                              const std::vector<int64_t>& relations);
+
+  /// Difference operator, Eqs. (4)-(9); `inputs[0]` is the minuend.
+  virtual ArcBatch Difference(const std::vector<ArcBatch>& inputs);
+
+  /// Intersection operator, Eqs. (10)-(12). `z` holds one [B, d] constant
+  /// group-similarity tensor per input (empty = all ones).
+  ArcBatch Intersection(const std::vector<ArcBatch>& inputs,
+                        const std::vector<tensor::Tensor>& z);
+
+  /// Negation operator, Eqs. (13)-(14).
+  virtual ArcBatch Negation(const ArcBatch& input);
+
+  /// Per-node arc embeddings of one grounded union-free query; index = node
+  /// id (unreachable nodes undefined). Drives the pruning study (Sec. IV-D).
+  std::vector<ArcBatch> EmbedAllNodes(const query::QueryGraph& query);
+
+  const kg::NodeGrouping* grouping() const { return grouping_; }
+
+  /// Raw entity angle table [N, d] (tests/diagnostics).
+  const tensor::Tensor& entity_angles() const { return entity_angles_; }
+
+ protected:
+  /// Semantic-average center via attention in rectangular coordinates:
+  /// Eqs. (4)-(6) with per-input score tensors.
+  tensor::Tensor SemanticAverageCenter(
+      const std::vector<ArcBatch>& inputs,
+      const std::vector<tensor::Tensor>& scores) const;
+
+  const kg::NodeGrouping* grouping_;  // not owned, may be null
+  Rng rng_;
+
+  // Embedding tables.
+  tensor::Tensor entity_angles_;  // [N, d]
+  tensor::Tensor rel_center_;     // [M, d]
+  tensor::Tensor rel_length_;     // [M, d]
+
+  // Projection networks (Eq. 2).
+  std::unique_ptr<nn::Mlp> proj_center_;
+  std::unique_ptr<nn::Mlp> proj_length_;
+
+  // Difference networks (Eqs. 7-9).
+  std::unique_ptr<nn::Mlp> diff_att_;
+  tensor::Tensor kappa_first_;  // [d] asymmetry weight for the minuend
+  tensor::Tensor kappa_rest_;   // [d] shared weight for subtrahends
+  std::unique_ptr<nn::DeepSets> diff_sets_;
+
+  // Intersection networks (Eqs. 10-12).
+  std::unique_ptr<nn::Mlp> inter_att_;
+  std::unique_ptr<nn::DeepSets> inter_sets_;
+
+  // Negation networks (Eq. 14).
+  std::unique_ptr<nn::Mlp> neg_t1_;
+  std::unique_ptr<nn::Mlp> neg_t2_;
+  std::unique_ptr<nn::Mlp> neg_center_;
+  std::unique_ptr<nn::Mlp> neg_length_;
+};
+
+}  // namespace halk::core
+
+#endif  // HALK_CORE_HALK_MODEL_H_

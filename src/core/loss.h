@@ -1,0 +1,32 @@
+#ifndef HALK_CORE_LOSS_H_
+#define HALK_CORE_LOSS_H_
+
+#include <vector>
+
+#include "core/query_model.h"
+
+namespace halk::core {
+
+/// Per-batch training targets for the negative-sampling loss of Eq. (17).
+struct LossBatch {
+  /// One positive answer entity per batch row.
+  std::vector<int64_t> positives;
+  /// m negative (non-answer) entities per batch row.
+  std::vector<std::vector<int64_t>> negatives;
+  /// Group penalty ‖Relu(h_v − h_{U_q})‖₁ per row (0 when grouping is off);
+  /// multiplied by ξ inside the loss.
+  std::vector<float> positive_penalty;
+  std::vector<std::vector<float>> negative_penalty;
+};
+
+/// Eq. (17):
+///   L = −log σ(γ − d(v‖A_q) − ξ·pen(v))
+///       − (1/m) Σ_i log σ(ξ·pen(v'_i) + d(v'_i‖A_q) − γ)
+/// averaged over the batch, with −log σ(x) computed as softplus(−x).
+tensor::Tensor NegativeSamplingLoss(QueryModel* model,
+                                    const EmbeddingBatch& embedding,
+                                    const LossBatch& batch);
+
+}  // namespace halk::core
+
+#endif  // HALK_CORE_LOSS_H_

@@ -1,0 +1,40 @@
+#ifndef HALK_CORE_PRUNER_H_
+#define HALK_CORE_PRUNER_H_
+
+#include <vector>
+
+#include "core/halk_model.h"
+#include "kg/graph.h"
+#include "query/dag.h"
+
+namespace halk::core {
+
+/// HaLk as a pruning front-end for subgraph-matching engines (Sec. IV-D):
+/// for every variable node of the query the trained model's top-k nearest
+/// entities are collected into a node set S (anchors included), and the
+/// data graph is restricted to its subgraph induced by S. A matcher then
+/// runs on the (much smaller) induced graph.
+struct PruneResult {
+  /// Sorted node set S (top-k per variable node plus anchors).
+  std::vector<int64_t> candidates;
+  /// Subgraph of the data graph induced by S (shared vocabulary,
+  /// finalized).
+  kg::KnowledgeGraph induced;
+};
+
+class Pruner {
+ public:
+  explicit Pruner(HalkModel* model);
+
+  /// Prunes `graph` for `query` using `top_k` candidates per variable node
+  /// (the paper uses top-20).
+  PruneResult Prune(const query::QueryGraph& query,
+                    const kg::KnowledgeGraph& graph, int64_t top_k);
+
+ private:
+  HalkModel* model_;
+};
+
+}  // namespace halk::core
+
+#endif  // HALK_CORE_PRUNER_H_

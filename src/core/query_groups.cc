@@ -1,0 +1,71 @@
+#include "core/query_groups.h"
+
+#include "common/logging.h"
+
+namespace halk::core {
+
+using kg::NodeGrouping;
+using query::OpType;
+using query::QueryGraph;
+using query::QueryNode;
+
+std::vector<std::vector<float>> NodeGroupVectors(
+    const QueryGraph& query, const NodeGrouping& grouping) {
+  std::vector<std::vector<float>> vectors(
+      static_cast<size_t>(query.num_nodes()));
+  for (int id : query.TopologicalOrder()) {
+    const QueryNode& n = query.nodes()[static_cast<size_t>(id)];
+    std::vector<float>& out = vectors[static_cast<size_t>(id)];
+    switch (n.op) {
+      case OpType::kAnchor:
+        out = grouping.OneHot(n.anchor_entity);
+        break;
+      case OpType::kProjection:
+        out = grouping.Project(vectors[static_cast<size_t>(n.inputs[0])],
+                               n.relation);
+        break;
+      case OpType::kIntersection: {
+        out = vectors[static_cast<size_t>(n.inputs[0])];
+        for (size_t i = 1; i < n.inputs.size(); ++i) {
+          out = NodeGrouping::Intersect(
+              out, vectors[static_cast<size_t>(n.inputs[i])]);
+        }
+        break;
+      }
+      case OpType::kUnion: {
+        out = vectors[static_cast<size_t>(n.inputs[0])];
+        for (size_t i = 1; i < n.inputs.size(); ++i) {
+          out = NodeGrouping::Union(out,
+                                    vectors[static_cast<size_t>(n.inputs[i])]);
+        }
+        break;
+      }
+      case OpType::kDifference:
+        out = vectors[static_cast<size_t>(n.inputs[0])];
+        break;
+      case OpType::kNegation:
+        out = grouping.AllGroups();
+        break;
+    }
+  }
+  return vectors;
+}
+
+std::vector<float> QueryGroupVector(const QueryGraph& query,
+                                    const NodeGrouping& grouping) {
+  HALK_CHECK_GE(query.target(), 0);
+  auto vectors = NodeGroupVectors(query, grouping);
+  return vectors[static_cast<size_t>(query.target())];
+}
+
+float GroupPenalty(int64_t entity, const std::vector<float>& query_groups,
+                   const NodeGrouping& grouping) {
+  const int g = grouping.group_of(entity);
+  HALK_CHECK_LT(static_cast<size_t>(g), query_groups.size());
+  // ‖Relu(h_v − h_Uq)‖₁ with one-hot h_v: nonzero only at the entity's
+  // group coordinate.
+  const float diff = 1.0f - query_groups[static_cast<size_t>(g)];
+  return diff > 0.0f ? diff : 0.0f;
+}
+
+}  // namespace halk::core

@@ -1,0 +1,34 @@
+#ifndef HALK_CORE_QUERY_GROUPS_H_
+#define HALK_CORE_QUERY_GROUPS_H_
+
+#include <vector>
+
+#include "kg/groups.h"
+#include "query/dag.h"
+
+namespace halk::core {
+
+/// Propagates the coarse-grained group information of Sec. II-A through a
+/// grounded query DAG: anchors get their one-hot group vector, projection
+/// follows the relation-based 3D group adjacency, intersection multiplies
+/// elementwise (the paper's h_{U1} ⊙ ... ⊙ h_{Uk}), union takes the
+/// elementwise max, difference keeps the minuend's groups (a superset of
+/// the result's), and negation yields all groups (complements can fall
+/// anywhere). Returns one multi-hot vector per node (empty for
+/// unreachable nodes).
+std::vector<std::vector<float>> NodeGroupVectors(
+    const query::QueryGraph& query, const kg::NodeGrouping& grouping);
+
+/// Group vector of the target node — h_{U_q} in the loss (Eq. 17).
+std::vector<float> QueryGroupVector(const query::QueryGraph& query,
+                                    const kg::NodeGrouping& grouping);
+
+/// Group penalty ‖Relu(h_v − h_{U_q})‖₁ for entity `entity` (Eq. 17,
+/// before the ξ weight): 1 when the entity's group is impossible for the
+/// query per the group adjacency, 0 otherwise.
+float GroupPenalty(int64_t entity, const std::vector<float>& query_groups,
+                   const kg::NodeGrouping& grouping);
+
+}  // namespace halk::core
+
+#endif  // HALK_CORE_QUERY_GROUPS_H_

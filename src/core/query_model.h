@@ -1,0 +1,85 @@
+#ifndef HALK_CORE_QUERY_MODEL_H_
+#define HALK_CORE_QUERY_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kg/groups.h"
+#include "query/dag.h"
+#include "tensor/tensor.h"
+
+namespace halk::core {
+
+/// Hyper-parameters shared by HaLk and all baseline models. Paper defaults
+/// (d = 800, batch 512, γ = 24) are scaled for CPU training; the geometry is
+/// dimension-independent (see DESIGN.md).
+struct ModelConfig {
+  int64_t num_entities = 0;
+  int64_t num_relations = 0;
+  int64_t dim = 32;      // embedding dimensionality d
+  int64_t hidden = 64;   // MLP hidden width
+  float rho = 1.0f;      // arc radius ρ (fixed, as in the paper)
+  float lambda = 0.3f;   // residual-correction scale (λ of Eq. 3)
+  float eta = 0.9f;      // inside-distance weight η (Eq. 15; the paper's
+                         // 0.02 under-weights within-arc ranking at d=16)
+  float gamma = 4.0f;    // loss margin γ (the paper's 24 goes with d=800;
+                         // it must scale with the L1 distance magnitude)
+  float xi = 1.0f;       // group-penalty weight ξ             (Eq. 17)
+  uint64_t seed = 1;
+};
+
+/// A batch of query embeddings. The semantics of the two components are
+/// model-specific: HaLk/ConE use (center angles, arclengths/apertures),
+/// NewLook uses (box center, box offset), MLPMix uses (vector, unused).
+struct EmbeddingBatch {
+  tensor::Tensor a;  // [B, d]
+  tensor::Tensor b;  // [B, d]
+};
+
+/// Common interface of query-embedding models: grounded union-free query
+/// DAGs go in, embeddings come out, and entities are ranked by a
+/// model-specific distance. Union is handled outside the model via the DNF
+/// rewrite (min distance over conjunctive branches), exactly as in the
+/// paper.
+class QueryModel {
+ public:
+  explicit QueryModel(const ModelConfig& config) : config_(config) {}
+  virtual ~QueryModel() = default;
+
+  QueryModel(const QueryModel&) = delete;
+  QueryModel& operator=(const QueryModel&) = delete;
+
+  virtual std::string name() const = 0;
+
+  /// Embeds a batch of same-structure, union-free, grounded queries.
+  /// Differentiable: gradients flow to entity/relation tables and operator
+  /// networks.
+  virtual EmbeddingBatch EmbedQueries(
+      const std::vector<const query::QueryGraph*>& queries) = 0;
+
+  /// Differentiable distance [B] between `entities[i]` and embedding row i.
+  virtual tensor::Tensor Distance(const std::vector<int64_t>& entities,
+                                  const EmbeddingBatch& embedding) = 0;
+
+  /// Raw (tape-free) distances from embedding row `row` to every entity;
+  /// used for ranking at evaluation time. `out` is resized to num_entities.
+  virtual void DistancesToAll(const EmbeddingBatch& embedding, int64_t row,
+                              std::vector<float>* out) const = 0;
+
+  /// Trainable leaves for the optimizer.
+  virtual std::vector<tensor::Tensor> Parameters() const = 0;
+
+  /// Whether the model implements an operator (ConE/MLPMix lack difference,
+  /// NewLook lacks negation — their tables in the paper have '-').
+  virtual bool Supports(query::OpType op) const = 0;
+
+  const ModelConfig& config() const { return config_; }
+
+ protected:
+  ModelConfig config_;
+};
+
+}  // namespace halk::core
+
+#endif  // HALK_CORE_QUERY_MODEL_H_

@@ -1,0 +1,154 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+#include "core/query_groups.h"
+#include "nn/adam.h"
+#include "tensor/tape.h"
+
+namespace halk::core {
+
+using query::GroundedQuery;
+using query::StructureId;
+
+bool ModelSupportsStructure(const QueryModel& model, StructureId structure) {
+  const query::QueryGraph g = query::MakeStructure(structure);
+  for (const query::QueryNode& n : g.nodes()) {
+    if (n.op == query::OpType::kUnion) continue;  // handled via DNF
+    if (!model.Supports(n.op)) return false;
+  }
+  return true;
+}
+
+Trainer::Trainer(QueryModel* model, const kg::KnowledgeGraph* graph,
+                 const kg::NodeGrouping* grouping,
+                 const TrainerOptions& options)
+    : model_(model),
+      graph_(graph),
+      grouping_(grouping),
+      options_(options),
+      rng_(options.seed) {
+  HALK_CHECK(model != nullptr);
+  HALK_CHECK(graph != nullptr && graph->finalized());
+  if (options_.structures.empty()) {
+    options_.structures = query::TrainStructures();
+  }
+  for (StructureId s : options_.structures) {
+    if (ModelSupportsStructure(*model_, s)) active_structures_.push_back(s);
+  }
+  HALK_CHECK(!active_structures_.empty())
+      << "model " << model_->name() << " supports none of the structures";
+}
+
+Status Trainer::BuildPools() {
+  if (pools_built_) return Status::OK();
+  query::QuerySampler sampler(graph_, options_.seed * 7919 + 13);
+  for (StructureId s : active_structures_) {
+    // The structure list may repeat entries to weight the training mix
+    // (e.g. extra 1p passes, mirroring the benchmark protocols where
+    // one-hop queries dominate); pools are shared across repeats.
+    if (pools_.count(s) > 0) continue;
+    HALK_ASSIGN_OR_RETURN(
+        std::vector<GroundedQuery> pool,
+        sampler.SampleMany(s, options_.queries_per_structure));
+    std::vector<std::vector<float>> groups;
+    if (grouping_ != nullptr) {
+      groups.reserve(pool.size());
+      for (const GroundedQuery& q : pool) {
+        groups.push_back(QueryGroupVector(q.graph, *grouping_));
+      }
+    }
+    pool_groups_[s] = std::move(groups);
+    pools_[s] = std::move(pool);
+  }
+  pools_built_ = true;
+  return Status::OK();
+}
+
+const std::vector<GroundedQuery>& Trainer::Pool(StructureId structure) const {
+  static const std::vector<GroundedQuery> kEmpty;
+  auto it = pools_.find(structure);
+  return it == pools_.end() ? kEmpty : it->second;
+}
+
+Result<TrainStats> Trainer::Train() {
+  HALK_RETURN_NOT_OK(BuildPools());
+  const auto start = std::chrono::steady_clock::now();
+
+  nn::Adam::Options adam_options;
+  adam_options.lr = options_.learning_rate;
+  nn::Adam optimizer(model_->Parameters(), adam_options);
+
+  const int64_t num_entities = model_->config().num_entities;
+  TrainStats stats;
+  double loss_sum = 0.0;
+
+  for (int step = 0; step < options_.steps; ++step) {
+    const StructureId s = active_structures_[static_cast<size_t>(step) %
+                                             active_structures_.size()];
+    const std::vector<GroundedQuery>& pool = pools_[s];
+    const std::vector<std::vector<float>>& groups = pool_groups_[s];
+
+    std::vector<const query::QueryGraph*> graphs;
+    LossBatch batch;
+    graphs.reserve(static_cast<size_t>(options_.batch_size));
+    for (int b = 0; b < options_.batch_size; ++b) {
+      const size_t qi = static_cast<size_t>(rng_.UniformInt(pool.size()));
+      const GroundedQuery& q = pool[qi];
+      graphs.push_back(&q.graph);
+      // Positive: uniform over the exact answer set.
+      batch.positives.push_back(
+          q.answers[static_cast<size_t>(rng_.UniformInt(q.answers.size()))]);
+      // Negatives: uniform over non-answers (rejection sampling).
+      std::vector<int64_t> negs;
+      std::vector<float> neg_pen;
+      negs.reserve(static_cast<size_t>(options_.num_negatives));
+      for (int j = 0; j < options_.num_negatives; ++j) {
+        int64_t e = 0;
+        for (int tries = 0; tries < 16; ++tries) {
+          e = static_cast<int64_t>(
+              rng_.UniformInt(static_cast<uint64_t>(num_entities)));
+          if (!std::binary_search(q.answers.begin(), q.answers.end(), e)) {
+            break;
+          }
+        }
+        negs.push_back(e);
+        neg_pen.push_back(
+            grouping_ == nullptr
+                ? 0.0f
+                : GroupPenalty(e, groups[qi], *grouping_));
+      }
+      batch.negatives.push_back(std::move(negs));
+      batch.negative_penalty.push_back(std::move(neg_pen));
+      batch.positive_penalty.push_back(
+          grouping_ == nullptr
+              ? 0.0f
+              : GroupPenalty(batch.positives.back(), groups[qi], *grouping_));
+    }
+
+    EmbeddingBatch embedding = model_->EmbedQueries(graphs);
+    tensor::Tensor loss = NegativeSamplingLoss(model_, embedding, batch);
+    optimizer.ZeroGrad();
+    tensor::Backward(loss);
+    optimizer.Step();
+
+    stats.final_loss = static_cast<double>(loss.at(0));
+    loss_sum += stats.final_loss;
+    ++stats.steps;
+    if (options_.log_every > 0 && (step + 1) % options_.log_every == 0) {
+      HALK_LOG(Info) << model_->name() << " step " << (step + 1) << "/"
+                     << options_.steps << " structure "
+                     << query::StructureName(s) << " loss "
+                     << stats.final_loss;
+    }
+  }
+  stats.mean_loss = stats.steps > 0 ? loss_sum / static_cast<double>(stats.steps) : 0.0;
+  stats.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  return stats;
+}
+
+}  // namespace halk::core

@@ -1,0 +1,81 @@
+#ifndef HALK_CORE_TRAINER_H_
+#define HALK_CORE_TRAINER_H_
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/loss.h"
+#include "core/query_model.h"
+#include "kg/graph.h"
+#include "query/sampler.h"
+
+namespace halk::core {
+
+/// Returns true when the model implements every operator occurring in the
+/// structure's template (ConE/MLPMix cannot train on difference structures,
+/// NewLook cannot train on negation ones — the '-' cells of Tables I-IV).
+bool ModelSupportsStructure(const QueryModel& model,
+                            query::StructureId structure);
+
+struct TrainerOptions {
+  int steps = 600;
+  int batch_size = 32;
+  int num_negatives = 16;  // m in Eq. (17); paper uses 128 at full scale
+  float learning_rate = 1e-3f;
+  /// Structures cycled through during training (Algorithm 1 trains batches
+  /// of same-structure queries). Unsupported ones are skipped per model;
+  /// repeated entries weight the mix toward a structure (pools are shared).
+  std::vector<query::StructureId> structures;
+  /// Pre-sampled pool size per structure.
+  int queries_per_structure = 150;
+  uint64_t seed = 7;
+  /// Emit a progress line every `log_every` steps (0 = silent).
+  int log_every = 0;
+};
+
+struct TrainStats {
+  double mean_loss = 0.0;
+  double final_loss = 0.0;
+  int64_t steps = 0;
+  double seconds = 0.0;
+};
+
+/// Algorithm 1: offline training of a query model against the training
+/// graph. Query pools are sampled up front with exact answers from the
+/// symbolic executor; each step embeds one batch of same-structure queries,
+/// computes the Eq. (17) loss, and applies Adam.
+class Trainer {
+ public:
+  /// `grouping` may be null (disables the ξ group penalty).
+  Trainer(QueryModel* model, const kg::KnowledgeGraph* graph,
+          const kg::NodeGrouping* grouping, const TrainerOptions& options);
+
+  /// Runs the training loop; pools are materialized on the first call.
+  Result<TrainStats> Train();
+
+  /// The pre-sampled training pool of a structure (after Train or
+  /// BuildPools); empty if the structure is unsupported by the model.
+  const std::vector<query::GroundedQuery>& Pool(
+      query::StructureId structure) const;
+
+  /// Materializes the query pools without training (idempotent).
+  Status BuildPools();
+
+ private:
+  QueryModel* model_;
+  const kg::KnowledgeGraph* graph_;
+  const kg::NodeGrouping* grouping_;
+  TrainerOptions options_;
+  Rng rng_;
+  bool pools_built_ = false;
+  std::vector<query::StructureId> active_structures_;
+  std::map<query::StructureId, std::vector<query::GroundedQuery>> pools_;
+  // Target-node group vector per pooled query, parallel to pools_.
+  std::map<query::StructureId, std::vector<std::vector<float>>> pool_groups_;
+};
+
+}  // namespace halk::core
+
+#endif  // HALK_CORE_TRAINER_H_

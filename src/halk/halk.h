@@ -1,0 +1,45 @@
+#ifndef HALK_HALK_H_
+#define HALK_HALK_H_
+
+/// \file
+/// Umbrella header for the HaLk library — a C++ reproduction of
+/// "A Holistic Approach for Answering Logical Queries on Knowledge Graphs"
+/// (ICDE 2023). See README.md for a tour and DESIGN.md for the system
+/// inventory.
+
+#include "baselines/ablations.h"
+#include "baselines/betae.h"
+#include "baselines/cone.h"
+#include "baselines/factory.h"
+#include "baselines/mlpmix.h"
+#include "baselines/newlook.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/arc.h"
+#include "core/checkpoint.h"
+#include "core/distance.h"
+#include "core/evaluator.h"
+#include "core/halk_model.h"
+#include "core/loss.h"
+#include "core/lsh.h"
+#include "core/pruner.h"
+#include "core/query_groups.h"
+#include "core/query_model.h"
+#include "core/trainer.h"
+#include "kg/graph.h"
+#include "kg/groups.h"
+#include "kg/io.h"
+#include "kg/synthetic.h"
+#include "matching/matcher.h"
+#include "matching/pruned_matcher.h"
+#include "query/dag.h"
+#include "query/dnf.h"
+#include "query/executor.h"
+#include "query/optimizer.h"
+#include "query/sampler.h"
+#include "query/structures.h"
+#include "sparql/adaptor.h"
+#include "sparql/parser.h"
+
+#endif  // HALK_HALK_H_

@@ -1,0 +1,34 @@
+#include "kg/dictionary.h"
+
+#include "common/logging.h"
+
+namespace halk::kg {
+
+int64_t Dictionary::GetOrAdd(const std::string& name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  const int64_t id = static_cast<int64_t>(names_.size());
+  ids_.emplace(name, id);
+  names_.push_back(name);
+  return id;
+}
+
+Result<int64_t> Dictionary::Lookup(const std::string& name) const {
+  auto it = ids_.find(name);
+  if (it == ids_.end()) {
+    return Status::NotFound("name not in dictionary: " + name);
+  }
+  return it->second;
+}
+
+bool Dictionary::Contains(const std::string& name) const {
+  return ids_.count(name) > 0;
+}
+
+const std::string& Dictionary::Name(int64_t id) const {
+  HALK_CHECK_GE(id, 0);
+  HALK_CHECK_LT(id, size());
+  return names_[static_cast<size_t>(id)];
+}
+
+}  // namespace halk::kg

@@ -1,0 +1,39 @@
+#ifndef HALK_KG_DICTIONARY_H_
+#define HALK_KG_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace halk::kg {
+
+/// Bidirectional mapping between external names (entity/relation strings)
+/// and dense int64 ids assigned in insertion order.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Returns the id for `name`, inserting it if new.
+  int64_t GetOrAdd(const std::string& name);
+
+  /// Id of an existing name, or NotFound.
+  Result<int64_t> Lookup(const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// Name for an id; requires 0 <= id < size().
+  const std::string& Name(int64_t id) const;
+
+  int64_t size() const { return static_cast<int64_t>(names_.size()); }
+
+ private:
+  std::unordered_map<std::string, int64_t> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace halk::kg
+
+#endif  // HALK_KG_DICTIONARY_H_

@@ -1,0 +1,95 @@
+#include "kg/graph.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace halk::kg {
+
+namespace {
+// Packing budget: 22 bits head + 20 bits relation + 22 bits tail.
+constexpr int64_t kMaxEntities = int64_t{1} << 22;
+constexpr int64_t kMaxRelations = int64_t{1} << 20;
+}  // namespace
+
+KnowledgeGraph::KnowledgeGraph()
+    : entities_(std::make_shared<Dictionary>()),
+      relations_(std::make_shared<Dictionary>()) {}
+
+KnowledgeGraph KnowledgeGraph::WithSharedVocabulary(
+    const KnowledgeGraph& base) {
+  KnowledgeGraph g;
+  g.entities_ = base.entities_;
+  g.relations_ = base.relations_;
+  return g;
+}
+
+uint64_t KnowledgeGraph::PackKey(int64_t h, int64_t r, int64_t t) {
+  HALK_CHECK_LT(h, kMaxEntities);
+  HALK_CHECK_LT(r, kMaxRelations);
+  HALK_CHECK_LT(t, kMaxEntities);
+  return (static_cast<uint64_t>(h) << 42) | (static_cast<uint64_t>(r) << 22) |
+         static_cast<uint64_t>(t);
+}
+
+Status KnowledgeGraph::AddTriple(int64_t head, int64_t relation,
+                                 int64_t tail) {
+  if (head < 0 || head >= num_entities() || tail < 0 ||
+      tail >= num_entities()) {
+    return Status::InvalidArgument(
+        StrFormat("entity id out of range: (%ld, %ld, %ld) with %ld entities",
+                  static_cast<long>(head), static_cast<long>(relation),
+                  static_cast<long>(tail),
+                  static_cast<long>(num_entities())));
+  }
+  if (relation < 0 || relation >= num_relations()) {
+    return Status::InvalidArgument("relation id out of range");
+  }
+  const uint64_t key = PackKey(head, relation, tail);
+  if (triple_keys_.insert(key).second) {
+    triples_.push_back({head, relation, tail});
+    finalized_ = false;
+  }
+  return Status::OK();
+}
+
+void KnowledgeGraph::AddTriple(const std::string& head,
+                               const std::string& relation,
+                               const std::string& tail) {
+  const int64_t h = entities_->GetOrAdd(head);
+  const int64_t r = relations_->GetOrAdd(relation);
+  const int64_t t = entities_->GetOrAdd(tail);
+  HALK_CHECK_OK(AddTriple(h, r, t));
+}
+
+bool KnowledgeGraph::HasTriple(int64_t head, int64_t relation,
+                               int64_t tail) const {
+  if (head < 0 || head >= num_entities() || tail < 0 ||
+      tail >= num_entities() || relation < 0 || relation >= num_relations()) {
+    return false;
+  }
+  return triple_keys_.count(PackKey(head, relation, tail)) > 0;
+}
+
+void KnowledgeGraph::Finalize() {
+  index_.Build(num_entities(), num_relations(), triples_);
+  finalized_ = true;
+}
+
+const CsrIndex& KnowledgeGraph::index() const {
+  HALK_CHECK(finalized_) << "KnowledgeGraph::Finalize() not called";
+  return index_;
+}
+
+void KnowledgeGraph::ReserveEntities(int64_t n) {
+  for (int64_t i = entities_->size(); i < n; ++i) {
+    entities_->GetOrAdd("e" + std::to_string(i));
+  }
+}
+
+void KnowledgeGraph::ReserveRelations(int64_t n) {
+  for (int64_t i = relations_->size(); i < n; ++i) {
+    relations_->GetOrAdd("r" + std::to_string(i));
+  }
+}
+
+}  // namespace halk::kg

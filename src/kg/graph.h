@@ -1,0 +1,72 @@
+#ifndef HALK_KG_GRAPH_H_
+#define HALK_KG_GRAPH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "kg/csr.h"
+#include "kg/dictionary.h"
+
+namespace halk::kg {
+
+/// A multi-relational knowledge graph G = (V, R, T). Triples are appended
+/// (optionally by name through shared dictionaries) and then `Finalize()`
+/// builds the CSR adjacency index used by query execution and matching.
+class KnowledgeGraph {
+ public:
+  /// Creates a graph with its own dictionaries.
+  KnowledgeGraph();
+
+  /// Creates a graph sharing dictionaries with `base` — used for the
+  /// paper's nested splits G_train ⊆ G_valid ⊆ G_test, where all three
+  /// graphs index the same entity/relation vocabulary.
+  static KnowledgeGraph WithSharedVocabulary(const KnowledgeGraph& base);
+
+  /// Appends a triple by id. Duplicate triples are ignored.
+  /// Ids must already exist in the dictionaries.
+  Status AddTriple(int64_t head, int64_t relation, int64_t tail);
+
+  /// Appends a triple by name, growing the dictionaries as needed.
+  void AddTriple(const std::string& head, const std::string& relation,
+                 const std::string& tail);
+
+  bool HasTriple(int64_t head, int64_t relation, int64_t tail) const;
+
+  /// Builds the CSR index; call after the last AddTriple.
+  void Finalize();
+  bool finalized() const { return finalized_; }
+
+  const CsrIndex& index() const;
+
+  const std::vector<Triple>& triples() const { return triples_; }
+  int64_t num_entities() const { return entities_->size(); }
+  int64_t num_relations() const { return relations_->size(); }
+  int64_t num_triples() const { return static_cast<int64_t>(triples_.size()); }
+
+  Dictionary& entities() { return *entities_; }
+  const Dictionary& entities() const { return *entities_; }
+  Dictionary& relations() { return *relations_; }
+  const Dictionary& relations() const { return *relations_; }
+
+  /// Ensures ids [0, n) exist for anonymous entities (synthetic data).
+  void ReserveEntities(int64_t n);
+  void ReserveRelations(int64_t n);
+
+ private:
+  static uint64_t PackKey(int64_t h, int64_t r, int64_t t);
+
+  std::shared_ptr<Dictionary> entities_;
+  std::shared_ptr<Dictionary> relations_;
+  std::vector<Triple> triples_;
+  std::unordered_set<uint64_t> triple_keys_;
+  CsrIndex index_;
+  bool finalized_ = false;
+};
+
+}  // namespace halk::kg
+
+#endif  // HALK_KG_GRAPH_H_

@@ -1,0 +1,96 @@
+#include "kg/groups.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace halk::kg {
+
+NodeGrouping NodeGrouping::Random(int64_t num_entities, int num_groups,
+                                  Rng* rng) {
+  HALK_CHECK_GT(num_groups, 0);
+  std::vector<int> assignment(static_cast<size_t>(num_entities));
+  for (auto& g : assignment) {
+    g = static_cast<int>(rng->UniformInt(static_cast<uint64_t>(num_groups)));
+  }
+  return NodeGrouping(std::move(assignment), num_groups);
+}
+
+int NodeGrouping::group_of(int64_t entity) const {
+  HALK_CHECK_GE(entity, 0);
+  HALK_CHECK_LT(entity, num_entities());
+  return group_of_[static_cast<size_t>(entity)];
+}
+
+std::vector<float> NodeGrouping::OneHot(int64_t entity) const {
+  std::vector<float> v(static_cast<size_t>(num_groups_), 0.0f);
+  v[static_cast<size_t>(group_of(entity))] = 1.0f;
+  return v;
+}
+
+size_t NodeGrouping::AdjSlot(int64_t relation, int from_group,
+                             int to_group) const {
+  return static_cast<size_t>(
+      (relation * num_groups_ + from_group) * num_groups_ + to_group);
+}
+
+void NodeGrouping::BuildAdjacency(const KnowledgeGraph& graph) {
+  HALK_CHECK_EQ(graph.num_entities(), num_entities());
+  num_relations_ = graph.num_relations();
+  adjacency_.assign(
+      static_cast<size_t>(num_relations_) * num_groups_ * num_groups_, 0);
+  for (const Triple& t : graph.triples()) {
+    adjacency_[AdjSlot(t.relation, group_of(t.head), group_of(t.tail))] = 1;
+  }
+}
+
+bool NodeGrouping::Connected(int64_t relation, int from_group,
+                             int to_group) const {
+  HALK_CHECK(!adjacency_.empty()) << "BuildAdjacency not called";
+  HALK_CHECK_GE(relation, 0);
+  HALK_CHECK_LT(relation, num_relations_);
+  return adjacency_[AdjSlot(relation, from_group, to_group)] != 0;
+}
+
+std::vector<float> NodeGrouping::Project(const std::vector<float>& from,
+                                         int64_t relation) const {
+  HALK_CHECK_EQ(static_cast<int>(from.size()), num_groups_);
+  std::vector<float> out(static_cast<size_t>(num_groups_), 0.0f);
+  for (int g = 0; g < num_groups_; ++g) {
+    if (from[static_cast<size_t>(g)] <= 0.0f) continue;
+    for (int h = 0; h < num_groups_; ++h) {
+      if (Connected(relation, g, h)) out[static_cast<size_t>(h)] = 1.0f;
+    }
+  }
+  return out;
+}
+
+std::vector<float> NodeGrouping::Intersect(const std::vector<float>& a,
+                                           const std::vector<float>& b) {
+  HALK_CHECK_EQ(a.size(), b.size());
+  std::vector<float> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+std::vector<float> NodeGrouping::Union(const std::vector<float>& a,
+                                       const std::vector<float>& b) {
+  HALK_CHECK_EQ(a.size(), b.size());
+  std::vector<float> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = std::max(a[i], b[i]);
+  return out;
+}
+
+std::vector<float> NodeGrouping::AllGroups() const {
+  return std::vector<float>(static_cast<size_t>(num_groups_), 1.0f);
+}
+
+float NodeGrouping::Similarity(const std::vector<float>& a,
+                               const std::vector<float>& b) {
+  HALK_CHECK_EQ(a.size(), b.size());
+  float l1 = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) l1 += std::fabs(a[i] - b[i]);
+  return 1.0f / (l1 + 1.0f);
+}
+
+}  // namespace halk::kg

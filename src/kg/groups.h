@@ -1,0 +1,73 @@
+#ifndef HALK_KG_GROUPS_H_
+#define HALK_KG_GROUPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "kg/graph.h"
+
+namespace halk::kg {
+
+/// Random node grouping with relation-based 3D group adjacency (Sec. II-A
+/// of the paper): nodes are divided into `num_groups` memory-friendly
+/// groups recorded as one-hot vectors, and `M[r][i][k] = 1` iff some node
+/// of group i connects to some node of group k via relation r. Query
+/// processing uses the grouping for the intersection attention weights
+/// (z_i in Eq. 10) and for the group penalty in the loss (Eq. 17).
+class NodeGrouping {
+ public:
+  /// Uniformly random assignment of entities to groups.
+  static NodeGrouping Random(int64_t num_entities, int num_groups, Rng* rng);
+
+  int num_groups() const { return num_groups_; }
+  int64_t num_entities() const {
+    return static_cast<int64_t>(group_of_.size());
+  }
+
+  int group_of(int64_t entity) const;
+
+  /// One-hot group vector of an entity (length num_groups).
+  std::vector<float> OneHot(int64_t entity) const;
+
+  /// Builds M from a graph's triples.
+  void BuildAdjacency(const KnowledgeGraph& graph);
+
+  bool Connected(int64_t relation, int from_group, int to_group) const;
+
+  /// Multi-hot group vector reachable from `from` (a multi-hot vector)
+  /// through `relation` — the group-level image of a projection.
+  std::vector<float> Project(const std::vector<float>& from,
+                             int64_t relation) const;
+
+  /// Elementwise product (the paper's h_{U1} ⊙ ... ⊙ h_{Uk} for
+  /// intersection).
+  static std::vector<float> Intersect(const std::vector<float>& a,
+                                      const std::vector<float>& b);
+
+  /// Elementwise max (union of group sets).
+  static std::vector<float> Union(const std::vector<float>& a,
+                                  const std::vector<float>& b);
+
+  /// All-ones vector (used for negation, whose answers may fall anywhere).
+  std::vector<float> AllGroups() const;
+
+  /// z = 1 / (||a - b||_1 + 1), the group-similarity factor of Eq. (10).
+  static float Similarity(const std::vector<float>& a,
+                          const std::vector<float>& b);
+
+ private:
+  NodeGrouping(std::vector<int> group_of, int num_groups)
+      : group_of_(std::move(group_of)), num_groups_(num_groups) {}
+
+  size_t AdjSlot(int64_t relation, int from_group, int to_group) const;
+
+  std::vector<int> group_of_;
+  int num_groups_ = 0;
+  int64_t num_relations_ = 0;
+  std::vector<uint8_t> adjacency_;  // [relation][from][to]
+};
+
+}  // namespace halk::kg
+
+#endif  // HALK_KG_GROUPS_H_

@@ -1,0 +1,47 @@
+#include "kg/io.h"
+
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace halk::kg {
+
+Status LoadTriplesTsv(const std::string& path, KnowledgeGraph* graph) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open " + path);
+  }
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::vector<std::string> fields = Split(trimmed, '\t');
+    if (fields.size() != 3) {
+      return Status::ParseError(
+          StrFormat("%s:%ld: expected 3 tab-separated fields, got %zu",
+                    path.c_str(), static_cast<long>(line_no), fields.size()));
+    }
+    graph->AddTriple(fields[0], fields[1], fields[2]);
+  }
+  return Status::OK();
+}
+
+Status SaveTriplesTsv(const KnowledgeGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  for (const Triple& t : graph.triples()) {
+    out << graph.entities().Name(t.head) << '\t'
+        << graph.relations().Name(t.relation) << '\t'
+        << graph.entities().Name(t.tail) << '\n';
+  }
+  if (!out.good()) {
+    return Status::IOError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace halk::kg

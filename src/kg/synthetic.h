@@ -1,0 +1,71 @@
+#ifndef HALK_KG_SYNTHETIC_H_
+#define HALK_KG_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "kg/graph.h"
+
+namespace halk::kg {
+
+/// The paper's nested evaluation splits: G_train ⊆ G_valid ⊆ G_test, all
+/// sharing one entity/relation vocabulary. Validation/test queries are
+/// answered against the larger graphs, so correct answers can require edges
+/// unseen during training — the "incomplete KG" generalization setting.
+/// The latent geometric model a synthetic KG was generated from (entity
+/// angle vectors and relation rotations, row-major `[n, dim]`). Exposed for
+/// diagnostics and oracle baselines: an embedding method can at best
+/// recover this structure.
+struct LatentGroundTruth {
+  int dim = 0;
+  std::vector<double> entity;    // [num_entities * dim]
+  std::vector<double> relation;  // [num_relations * dim]
+};
+
+struct Dataset {
+  std::string name;
+  KnowledgeGraph train;
+  KnowledgeGraph valid;
+  KnowledgeGraph test;
+  LatentGroundTruth latent;
+};
+
+/// Knobs for the synthetic KG generator. Defaults give a mid-size graph;
+/// the Make*Like factories below configure stand-ins whose *relative*
+/// statistics (entity/relation ratio, density, fan-out) follow the three
+/// benchmark KGs of the paper, scaled to CPU-trainable size (see DESIGN.md
+/// substitution table).
+struct SyntheticKgOptions {
+  std::string name = "synthetic";
+  int64_t num_entities = 1000;
+  int64_t num_relations = 20;
+  /// Entity types inducing relation signatures (subject type -> object
+  /// type), which gives relations coherent semantics and makes multi-hop
+  /// queries meaningful.
+  int num_types = 8;
+  int64_t num_triples = 6000;
+  /// Head-popularity skew within a type (larger = more skewed).
+  double zipf_exponent = 0.8;
+  /// Average tails emitted per (head, relation) draw (one-to-many-ness).
+  double mean_fanout = 2.0;
+  /// Fraction of triples withheld from train (present in valid and test).
+  double valid_holdout = 0.08;
+  /// Fraction additionally withheld from valid (present only in test).
+  double test_holdout = 0.08;
+  uint64_t seed = 42;
+};
+
+/// Generates a dataset; all three graphs come back finalized. Every entity
+/// and relation is guaranteed to occur in the training graph.
+Dataset GenerateSyntheticKg(const SyntheticKgOptions& options);
+
+/// FB15k stand-in: dense, many relations, strong one-to-many.
+Dataset MakeFb15kLike(uint64_t seed = 42);
+/// FB15k-237 stand-in: fewer relations, sparser than FB15k.
+Dataset MakeFb237Like(uint64_t seed = 42);
+/// NELL995 stand-in: sparse, high entity/relation ratio.
+Dataset MakeNellLike(uint64_t seed = 42);
+
+}  // namespace halk::kg
+
+#endif  // HALK_KG_SYNTHETIC_H_

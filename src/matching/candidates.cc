@@ -1,0 +1,84 @@
+#include "matching/candidates.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "query/executor.h"
+
+namespace halk::matching {
+
+Result<std::vector<std::vector<int64_t>>> FilterCandidates(
+    const query::QueryGraph& query, const kg::KnowledgeGraph& graph) {
+  // The exact per-node entity sets under observed-edge semantics are the
+  // tightest sound filter; the symbolic executor computes them in one
+  // set-at-a-time pass.
+  return query::ExecuteQueryAllNodes(query, graph);
+}
+
+namespace {
+
+// Entities with at least one incoming `relation` edge, sorted.
+std::vector<int64_t> EntitiesWithIncoming(const kg::KnowledgeGraph& graph,
+                                          int64_t relation) {
+  std::vector<int64_t> out;
+  for (int64_t e = 0; e < graph.num_entities(); ++e) {
+    if (!graph.index().Heads(e, relation).empty()) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<int64_t> AllEntities(const kg::KnowledgeGraph& graph) {
+  std::vector<int64_t> out(static_cast<size_t>(graph.num_entities()));
+  std::iota(out.begin(), out.end(), 0);
+  return out;
+}
+
+std::vector<int64_t> NodeCandidates(const query::QueryGraph& query,
+                                    const kg::KnowledgeGraph& graph,
+                                    int node) {
+  const query::QueryNode& n = query.nodes()[static_cast<size_t>(node)];
+  switch (n.op) {
+    case query::OpType::kAnchor:
+      return {n.anchor_entity};
+    case query::OpType::kProjection:
+      return EntitiesWithIncoming(graph, n.relation);
+    case query::OpType::kIntersection: {
+      // Smallest child candidate set (cheapest sound choice).
+      std::vector<int64_t> best;
+      for (int input : n.inputs) {
+        std::vector<int64_t> c = NodeCandidates(query, graph, input);
+        if (best.empty() || c.size() < best.size()) best = std::move(c);
+      }
+      return best;
+    }
+    case query::OpType::kDifference:
+      return NodeCandidates(query, graph, n.inputs[0]);
+    case query::OpType::kUnion: {
+      std::vector<int64_t> merged;
+      for (int input : n.inputs) {
+        std::vector<int64_t> c = NodeCandidates(query, graph, input);
+        merged.insert(merged.end(), c.begin(), c.end());
+      }
+      std::sort(merged.begin(), merged.end());
+      merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+      return merged;
+    }
+    case query::OpType::kNegation:
+      // A complement admits anything.
+      return AllEntities(graph);
+  }
+  return {};
+}
+
+}  // namespace
+
+Result<std::vector<int64_t>> LocalTargetCandidates(
+    const query::QueryGraph& query, const kg::KnowledgeGraph& graph) {
+  HALK_RETURN_NOT_OK(query.Validate(/*grounded=*/true));
+  if (!graph.finalized()) {
+    return Status::InvalidArgument("graph not finalized");
+  }
+  return NodeCandidates(query, graph, query.target());
+}
+
+}  // namespace halk::matching

@@ -1,0 +1,35 @@
+#ifndef HALK_MATCHING_CANDIDATES_H_
+#define HALK_MATCHING_CANDIDATES_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "kg/graph.h"
+#include "query/dag.h"
+
+namespace halk::matching {
+
+/// Exact candidate sets: one forward pass over the query DAG computes, for
+/// every node, the set of data-graph entities that could bind to it given
+/// only the *observed* edges. This is the tightest sound filter (used by
+/// tests and the pruning study's ground truth); it costs a full symbolic
+/// execution. Returns per-node sorted candidate lists (empty for
+/// unreachable nodes).
+Result<std::vector<std::vector<int64_t>>> FilterCandidates(
+    const query::QueryGraph& query, const kg::KnowledgeGraph& graph);
+
+/// Local candidate filter in the spirit of G-Finder's LIG lookup: the
+/// target's candidates are derived from *single-edge* evidence only —
+/// a projection node admits every entity with an incoming edge of its
+/// relation; set operations combine their children's candidate sets
+/// (intersection takes the smallest child, difference the minuend,
+/// negation/union fall back to broad sets). Much cheaper than full
+/// execution but loose: the matcher's backtracking verification does the
+/// real work, which is what gives matching engines their query-size-
+/// dependent cost profile.
+Result<std::vector<int64_t>> LocalTargetCandidates(
+    const query::QueryGraph& query, const kg::KnowledgeGraph& graph);
+
+}  // namespace halk::matching
+
+#endif  // HALK_MATCHING_CANDIDATES_H_

@@ -1,0 +1,84 @@
+#include "matching/matcher.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+#include "matching/candidates.h"
+
+namespace halk::matching {
+
+SubgraphMatcher::SubgraphMatcher(const kg::KnowledgeGraph* graph)
+    : graph_(graph) {
+  HALK_CHECK(graph != nullptr);
+  HALK_CHECK(graph->finalized());
+}
+
+bool SubgraphMatcher::Verify(const query::QueryGraph& query, int node,
+                             int64_t entity, MatchStats* stats) const {
+  ++stats->verification_steps;
+  const query::QueryNode& n = query.nodes()[static_cast<size_t>(node)];
+  switch (n.op) {
+    case query::OpType::kAnchor:
+      return entity == n.anchor_entity;
+    case query::OpType::kProjection: {
+      // Existential witness over incoming edges; each head is re-verified
+      // from scratch (backtracking, no memo).
+      for (int64_t head : graph_->index().Heads(entity, n.relation)) {
+        if (Verify(query, n.inputs[0], head, stats)) return true;
+      }
+      return false;
+    }
+    case query::OpType::kIntersection: {
+      for (int input : n.inputs) {
+        if (!Verify(query, input, entity, stats)) return false;
+      }
+      return true;
+    }
+    case query::OpType::kUnion: {
+      for (int input : n.inputs) {
+        if (Verify(query, input, entity, stats)) return true;
+      }
+      return false;
+    }
+    case query::OpType::kDifference: {
+      if (!Verify(query, n.inputs[0], entity, stats)) return false;
+      for (size_t i = 1; i < n.inputs.size(); ++i) {
+        if (Verify(query, n.inputs[i], entity, stats)) return false;
+      }
+      return true;
+    }
+    case query::OpType::kNegation:
+      return !Verify(query, n.inputs[0], entity, stats);
+  }
+  return false;
+}
+
+Result<std::vector<int64_t>> SubgraphMatcher::Match(
+    const query::QueryGraph& query, MatchStats* stats) {
+  MatchStats local;
+  const auto start = std::chrono::steady_clock::now();
+
+  // Cheap local (single-edge) candidate lookup, then per-candidate
+  // backtracking verification — the G-Finder cost profile: candidate sets
+  // are loose, and the verification recursion grows with query size.
+  HALK_ASSIGN_OR_RETURN(std::vector<int64_t> candidates,
+                        LocalTargetCandidates(query, *graph_));
+
+  std::vector<int64_t> answers;
+  for (int64_t candidate : candidates) {
+    ++local.candidates_checked;
+    if (Verify(query, query.target(), candidate, &local)) {
+      answers.push_back(candidate);
+    }
+  }
+  std::sort(answers.begin(), answers.end());
+
+  local.millis = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  if (stats != nullptr) *stats = local;
+  return answers;
+}
+
+}  // namespace halk::matching

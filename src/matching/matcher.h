@@ -1,0 +1,46 @@
+#ifndef HALK_MATCHING_MATCHER_H_
+#define HALK_MATCHING_MATCHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "kg/graph.h"
+#include "query/dag.h"
+
+namespace halk::matching {
+
+/// Counters from one Match call (Table VI / Fig. 6 use the timings).
+struct MatchStats {
+  int64_t verification_steps = 0;  // recursive expansions performed
+  int64_t candidates_checked = 0;  // target candidates verified
+  double millis = 0.0;             // wall-clock of the whole match
+};
+
+/// Best-effort subgraph matcher in the spirit of G-Finder (Liu et al.,
+/// BigData 2019): candidate filtering over the query DAG followed by
+/// per-candidate backtracking verification that re-derives each binding
+/// through explicit edge enumeration (no memoization across candidates —
+/// the source of the query-size-exponential runtime the paper measures).
+///
+/// Like all matching-based systems it answers from *observed* edges only:
+/// on incomplete KGs it misses answers that require held-out edges, which
+/// is exactly the accuracy gap of Table VI.
+class SubgraphMatcher {
+ public:
+  explicit SubgraphMatcher(const kg::KnowledgeGraph* graph);
+
+  /// All entities that verifiably bind the query target. Sorted.
+  Result<std::vector<int64_t>> Match(const query::QueryGraph& query,
+                                     MatchStats* stats = nullptr);
+
+ private:
+  bool Verify(const query::QueryGraph& query, int node, int64_t entity,
+              MatchStats* stats) const;
+
+  const kg::KnowledgeGraph* graph_;
+};
+
+}  // namespace halk::matching
+
+#endif  // HALK_MATCHING_MATCHER_H_

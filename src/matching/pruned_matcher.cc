@@ -1,0 +1,32 @@
+#include "matching/pruned_matcher.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace halk::matching {
+
+PrunedMatcher::PrunedMatcher(core::HalkModel* model,
+                             const kg::KnowledgeGraph* graph, int64_t top_k)
+    : pruner_(model), graph_(graph), top_k_(top_k) {
+  HALK_CHECK(graph != nullptr);
+  HALK_CHECK(graph->finalized());
+  HALK_CHECK_GT(top_k, 0);
+}
+
+Result<std::vector<int64_t>> PrunedMatcher::Match(
+    const query::QueryGraph& query, MatchStats* stats) {
+  const auto start = std::chrono::steady_clock::now();
+  core::PruneResult pruned = pruner_.Prune(query, *graph_, top_k_);
+  SubgraphMatcher matcher(&pruned.induced);
+  MatchStats local;
+  HALK_ASSIGN_OR_RETURN(std::vector<int64_t> answers,
+                        matcher.Match(query, &local));
+  local.millis = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  if (stats != nullptr) *stats = local;
+  return answers;
+}
+
+}  // namespace halk::matching

@@ -1,0 +1,35 @@
+#ifndef HALK_MATCHING_PRUNED_MATCHER_H_
+#define HALK_MATCHING_PRUNED_MATCHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/pruner.h"
+#include "matching/matcher.h"
+
+namespace halk::matching {
+
+/// The HaLk + matcher pipeline of Sec. IV-D: a trained HaLk model supplies
+/// top-k candidates per query variable, the data graph is restricted to the
+/// induced subgraph, and the subgraph matcher runs on the (much smaller)
+/// result. Trades a little recall for a large runtime reduction.
+class PrunedMatcher {
+ public:
+  /// `top_k` is the per-variable candidate budget (the paper uses 20).
+  PrunedMatcher(core::HalkModel* model, const kg::KnowledgeGraph* graph,
+                int64_t top_k);
+
+  /// Matches on the induced subgraph. `stats->millis` includes pruning.
+  Result<std::vector<int64_t>> Match(const query::QueryGraph& query,
+                                     MatchStats* stats = nullptr);
+
+ private:
+  core::Pruner pruner_;
+  const kg::KnowledgeGraph* graph_;
+  int64_t top_k_;
+};
+
+}  // namespace halk::matching
+
+#endif  // HALK_MATCHING_PRUNED_MATCHER_H_

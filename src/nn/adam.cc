@@ -1,0 +1,51 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace halk::nn {
+
+Adam::Adam(std::vector<tensor::Tensor> params, const Options& options)
+    : params_(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const tensor::Tensor& p : params_) {
+    HALK_CHECK(p.defined());
+    HALK_CHECK(p.requires_grad()) << "Adam given a non-trainable tensor";
+    m_.emplace_back(static_cast<size_t>(p.numel()), 0.0f);
+    v_.emplace_back(static_cast<size_t>(p.numel()), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const float b1 = options_.beta1;
+  const float b2 = options_.beta2;
+  const float bias1 =
+      1.0f - std::pow(b1, static_cast<float>(step_count_));
+  const float bias2 =
+      1.0f - std::pow(b2, static_cast<float>(step_count_));
+  for (size_t t = 0; t < params_.size(); ++t) {
+    tensor::Tensor& p = params_[t];
+    float* data = p.data();
+    const float* grad = p.grad();
+    std::vector<float>& m = m_[t];
+    std::vector<float>& v = v_[t];
+    const int64_t n = p.numel();
+    for (int64_t i = 0; i < n; ++i) {
+      const float g = grad[i];
+      m[static_cast<size_t>(i)] = b1 * m[static_cast<size_t>(i)] + (1.0f - b1) * g;
+      v[static_cast<size_t>(i)] = b2 * v[static_cast<size_t>(i)] + (1.0f - b2) * g * g;
+      const float mhat = m[static_cast<size_t>(i)] / bias1;
+      const float vhat = v[static_cast<size_t>(i)] / bias2;
+      data[i] -= options_.lr * mhat / (std::sqrt(vhat) + options_.eps);
+    }
+  }
+}
+
+void Adam::ZeroGrad() {
+  for (tensor::Tensor& p : params_) p.ZeroGrad();
+}
+
+}  // namespace halk::nn

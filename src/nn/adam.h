@@ -1,0 +1,41 @@
+#ifndef HALK_NN_ADAM_H_
+#define HALK_NN_ADAM_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace halk::nn {
+
+/// Adam optimizer (Kingma & Ba, 2015) over a fixed parameter list — the
+/// optimizer the paper trains HaLk with.
+class Adam {
+ public:
+  struct Options {
+    float lr = 1e-4f;  // paper: 0.0001
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+  };
+
+  Adam(std::vector<tensor::Tensor> params, const Options& options);
+
+  /// Applies one update from the accumulated gradients.
+  void Step();
+
+  /// Clears gradients of all managed parameters.
+  void ZeroGrad();
+
+  int64_t step_count() const { return step_count_; }
+
+ private:
+  std::vector<tensor::Tensor> params_;
+  Options options_;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+  int64_t step_count_ = 0;
+};
+
+}  // namespace halk::nn
+
+#endif  // HALK_NN_ADAM_H_

@@ -1,0 +1,45 @@
+#include "nn/attention.h"
+
+#include "common/logging.h"
+
+namespace halk::nn {
+
+using tensor::Tensor;
+
+std::vector<Tensor> SoftmaxAcross(const std::vector<Tensor>& scores) {
+  HALK_CHECK(!scores.empty());
+  // Per-coordinate max over the list, detached: a constant shift leaves both
+  // the softmax value and its gradient unchanged.
+  Tensor shift = scores[0];
+  for (size_t i = 1; i < scores.size(); ++i) {
+    shift = tensor::Maximum(shift, scores[i]);
+  }
+  shift = shift.Detach();
+
+  std::vector<Tensor> exps;
+  exps.reserve(scores.size());
+  Tensor denom;
+  for (const Tensor& s : scores) {
+    Tensor e = tensor::Exp(tensor::Sub(s, shift));
+    denom = denom.defined() ? tensor::Add(denom, e) : e;
+    exps.push_back(std::move(e));
+  }
+  std::vector<Tensor> weights;
+  weights.reserve(exps.size());
+  for (const Tensor& e : exps) weights.push_back(tensor::Div(e, denom));
+  return weights;
+}
+
+Tensor WeightedSum(const std::vector<Tensor>& weights,
+                   const std::vector<Tensor>& values) {
+  HALK_CHECK_EQ(weights.size(), values.size());
+  HALK_CHECK(!weights.empty());
+  Tensor acc;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    Tensor term = tensor::Mul(weights[i], values[i]);
+    acc = acc.defined() ? tensor::Add(acc, term) : term;
+  }
+  return acc;
+}
+
+}  // namespace halk::nn

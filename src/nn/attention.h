@@ -1,0 +1,27 @@
+#ifndef HALK_NN_ATTENTION_H_
+#define HALK_NN_ATTENTION_H_
+
+#include <vector>
+
+#include "tensor/ops.h"
+
+namespace halk::nn {
+
+/// Elementwise softmax across a list of equally-shaped score tensors:
+/// `w_i = exp(s_i) / sum_j exp(s_j)`, computed per (batch, dimension)
+/// coordinate. This is the normalization used by the HaLk semantic-average
+/// center attention (Eqs. 7 and 10): each embedding dimension gets its own
+/// attention distribution over the k inputs.
+///
+/// Scores are max-shifted per coordinate before exponentiation for numerical
+/// stability; the shift is detached so gradients match plain softmax.
+std::vector<tensor::Tensor> SoftmaxAcross(
+    const std::vector<tensor::Tensor>& scores);
+
+/// Weighted sum `sum_i w_i * x_i` with per-coordinate weights.
+tensor::Tensor WeightedSum(const std::vector<tensor::Tensor>& weights,
+                           const std::vector<tensor::Tensor>& values);
+
+}  // namespace halk::nn
+
+#endif  // HALK_NN_ATTENTION_H_

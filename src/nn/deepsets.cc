@@ -1,0 +1,37 @@
+#include "nn/deepsets.h"
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace halk::nn {
+
+using tensor::Tensor;
+
+DeepSets::DeepSets(const std::vector<int64_t>& inner_dims,
+                   const std::vector<int64_t>& outer_dims, Rng* rng) {
+  HALK_CHECK(!inner_dims.empty() && !outer_dims.empty());
+  HALK_CHECK_EQ(inner_dims.back(), outer_dims.front())
+      << "inner output width must match outer input width";
+  inner_ = std::make_unique<Mlp>(inner_dims, rng);
+  outer_ = std::make_unique<Mlp>(outer_dims, rng);
+}
+
+Tensor DeepSets::Forward(const std::vector<Tensor>& elements) const {
+  HALK_CHECK(!elements.empty());
+  Tensor acc;
+  for (const Tensor& x : elements) {
+    Tensor h = inner_->Forward(x);
+    acc = acc.defined() ? tensor::Add(acc, h) : h;
+  }
+  Tensor mean =
+      tensor::MulScalar(acc, 1.0f / static_cast<float>(elements.size()));
+  return outer_->Forward(mean);
+}
+
+std::vector<Tensor> DeepSets::Parameters() const {
+  std::vector<Tensor> out = inner_->Parameters();
+  for (const Tensor& p : outer_->Parameters()) out.push_back(p);
+  return out;
+}
+
+}  // namespace halk::nn

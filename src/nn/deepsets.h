@@ -1,0 +1,36 @@
+#ifndef HALK_NN_DEEPSETS_H_
+#define HALK_NN_DEEPSETS_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/mlp.h"
+
+namespace halk::nn {
+
+/// Permutation-invariant set encoder (Zaheer et al., 2017):
+/// `DeepSets({x_1..x_k}) = outer(mean_i inner(x_i))`. Each `x_i` is a
+/// `[B, in]` tensor; the output is `[B, out]`. The mean aggregator makes the
+/// result independent of the order of the inputs — the property the HaLk
+/// intersection/difference arclength models rely on (Eqs. 8, 11 of the
+/// paper).
+class DeepSets : public Module {
+ public:
+  /// `inner_dims` maps element features to the latent space; `outer_dims`
+  /// maps the aggregated latent to the output. inner_dims.back() must equal
+  /// outer_dims.front().
+  DeepSets(const std::vector<int64_t>& inner_dims,
+           const std::vector<int64_t>& outer_dims, Rng* rng);
+
+  tensor::Tensor Forward(const std::vector<tensor::Tensor>& elements) const;
+
+  std::vector<tensor::Tensor> Parameters() const override;
+
+ private:
+  std::unique_ptr<Mlp> inner_;
+  std::unique_ptr<Mlp> outer_;
+};
+
+}  // namespace halk::nn
+
+#endif  // HALK_NN_DEEPSETS_H_

@@ -1,0 +1,32 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace halk::nn {
+
+void UniformInit(tensor::Tensor* t, float lo, float hi, Rng* rng) {
+  HALK_CHECK(t != nullptr && t->defined());
+  float* d = t->data();
+  for (int64_t i = 0; i < t->numel(); ++i) {
+    d[i] = static_cast<float>(rng->Uniform(lo, hi));
+  }
+}
+
+void NormalInit(tensor::Tensor* t, float stddev, Rng* rng) {
+  HALK_CHECK(t != nullptr && t->defined());
+  float* d = t->data();
+  for (int64_t i = 0; i < t->numel(); ++i) {
+    d[i] = static_cast<float>(rng->Normal()) * stddev;
+  }
+}
+
+void XavierUniformInit(tensor::Tensor* t, int64_t fan_in, int64_t fan_out,
+                       Rng* rng) {
+  const float a =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  UniformInit(t, -a, a, rng);
+}
+
+}  // namespace halk::nn

@@ -1,0 +1,21 @@
+#ifndef HALK_NN_INIT_H_
+#define HALK_NN_INIT_H_
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace halk::nn {
+
+/// Fills in-place with U(lo, hi).
+void UniformInit(tensor::Tensor* t, float lo, float hi, Rng* rng);
+
+/// Fills in-place with N(0, stddev^2).
+void NormalInit(tensor::Tensor* t, float stddev, Rng* rng);
+
+/// Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+void XavierUniformInit(tensor::Tensor* t, int64_t fan_in, int64_t fan_out,
+                       Rng* rng);
+
+}  // namespace halk::nn
+
+#endif  // HALK_NN_INIT_H_

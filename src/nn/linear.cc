@@ -1,0 +1,38 @@
+#include "nn/linear.h"
+
+#include "common/logging.h"
+#include "nn/init.h"
+
+namespace halk::nn {
+
+using tensor::Tensor;
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng,
+               bool with_bias)
+    : in_features_(in_features), out_features_(out_features) {
+  HALK_CHECK_GT(in_features, 0);
+  HALK_CHECK_GT(out_features, 0);
+  weight_ = Tensor::Zeros({in_features, out_features});
+  XavierUniformInit(&weight_, in_features, out_features, rng);
+  weight_.set_requires_grad(true);
+  if (with_bias) {
+    bias_ = Tensor::Zeros({out_features});
+    bias_.set_requires_grad(true);
+  }
+}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  HALK_CHECK_EQ(x.shape().rank(), 2);
+  HALK_CHECK_EQ(x.shape().dim(1), in_features_);
+  Tensor y = tensor::MatMul(x, weight_);
+  if (bias_.defined()) y = tensor::Add(y, bias_);
+  return y;
+}
+
+std::vector<Tensor> Linear::Parameters() const {
+  std::vector<Tensor> out = {weight_};
+  if (bias_.defined()) out.push_back(bias_);
+  return out;
+}
+
+}  // namespace halk::nn

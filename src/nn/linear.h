@@ -1,0 +1,34 @@
+#ifndef HALK_NN_LINEAR_H_
+#define HALK_NN_LINEAR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace halk::nn {
+
+/// Affine map `y = x W + b` for `x: [B, in]`, `W: [in, out]`, `b: [out]`.
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng* rng,
+         bool with_bias = true);
+
+  tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+  std::vector<tensor::Tensor> Parameters() const override;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  tensor::Tensor weight_;  // [in, out]
+  tensor::Tensor bias_;    // [out] or undefined
+};
+
+}  // namespace halk::nn
+
+#endif  // HALK_NN_LINEAR_H_

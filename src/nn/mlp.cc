@@ -1,0 +1,47 @@
+#include "nn/mlp.h"
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace halk::nn {
+
+using tensor::Tensor;
+
+Mlp::Mlp(const std::vector<int64_t>& dims, Rng* rng) {
+  HALK_CHECK_GE(dims.size(), 2u) << "MLP needs at least input and output dims";
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+  }
+}
+
+Tensor Mlp::Forward(const Tensor& x) const {
+  Tensor h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(h);
+    if (i + 1 < layers_.size()) h = tensor::Relu(h);
+  }
+  return h;
+}
+
+void Mlp::InitFinalBias(float value) {
+  std::vector<Tensor> params = layers_.back()->Parameters();
+  HALK_CHECK_EQ(params.size(), 2u) << "final layer has no bias";
+  Tensor bias = params[1];
+  std::fill(bias.data(), bias.data() + bias.numel(), value);
+}
+
+void Mlp::ZeroInitFinalLayer() {
+  for (Tensor p : layers_.back()->Parameters()) {
+    std::fill(p.data(), p.data() + p.numel(), 0.0f);
+  }
+}
+
+std::vector<Tensor> Mlp::Parameters() const {
+  std::vector<Tensor> out;
+  for (const auto& layer : layers_) {
+    for (const Tensor& p : layer->Parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace halk::nn

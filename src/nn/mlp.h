@@ -1,0 +1,40 @@
+#ifndef HALK_NN_MLP_H_
+#define HALK_NN_MLP_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/linear.h"
+
+namespace halk::nn {
+
+/// Multi-layer perceptron: Linear -> ReLU -> ... -> Linear (no activation
+/// after the last layer). `dims` lists layer widths, e.g. {32, 64, 16}.
+class Mlp : public Module {
+ public:
+  Mlp(const std::vector<int64_t>& dims, Rng* rng);
+
+  tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+  /// Sets every component of the final layer's bias to `value`. Used to
+  /// shift the operating point of bounded output activations (e.g. start
+  /// arclength heads near zero instead of the g(0) = π midpoint).
+  void InitFinalBias(float value);
+
+  /// Zeroes the final layer (weights and bias) so the MLP's output starts
+  /// at exactly 0 — the standard initialization for residual correction
+  /// heads, which must not perturb the base transformation at step 0.
+  void ZeroInitFinalLayer();
+
+  std::vector<tensor::Tensor> Parameters() const override;
+
+  int64_t in_features() const { return layers_.front()->in_features(); }
+  int64_t out_features() const { return layers_.back()->out_features(); }
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+};
+
+}  // namespace halk::nn
+
+#endif  // HALK_NN_MLP_H_

@@ -1,0 +1,15 @@
+#include "nn/module.h"
+
+namespace halk::nn {
+
+int64_t Module::ParameterCount() const {
+  int64_t total = 0;
+  for (const tensor::Tensor& p : Parameters()) total += p.numel();
+  return total;
+}
+
+void Module::ZeroGrad() {
+  for (tensor::Tensor p : Parameters()) p.ZeroGrad();
+}
+
+}  // namespace halk::nn

@@ -1,0 +1,29 @@
+#ifndef HALK_NN_MODULE_H_
+#define HALK_NN_MODULE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace halk::nn {
+
+/// Base class for parameterized building blocks. Parameters are leaf
+/// tensors with `requires_grad` set; optimizers consume `Parameters()`.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All trainable leaves of this module (handles, not copies).
+  virtual std::vector<tensor::Tensor> Parameters() const = 0;
+
+  /// Total number of trainable scalars.
+  int64_t ParameterCount() const;
+
+  /// Zeroes gradients of all parameters.
+  void ZeroGrad();
+};
+
+}  // namespace halk::nn
+
+#endif  // HALK_NN_MODULE_H_

@@ -1,0 +1,210 @@
+#include "query/dag.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace halk::query {
+
+int QueryGraph::AddNode(QueryNode node) {
+  for (int in : node.inputs) {
+    HALK_CHECK_GE(in, 0);
+    HALK_CHECK_LT(in, num_nodes()) << "inputs must be added before consumers";
+  }
+  nodes_.push_back(std::move(node));
+  return num_nodes() - 1;
+}
+
+int QueryGraph::AddAnchor(int64_t entity) {
+  QueryNode n;
+  n.op = OpType::kAnchor;
+  n.anchor_entity = entity;
+  return AddNode(std::move(n));
+}
+
+int QueryGraph::AddProjection(int input, int64_t relation) {
+  QueryNode n;
+  n.op = OpType::kProjection;
+  n.relation = relation;
+  n.inputs = {input};
+  return AddNode(std::move(n));
+}
+
+int QueryGraph::AddIntersection(std::vector<int> inputs) {
+  HALK_CHECK_GE(inputs.size(), 2u);
+  QueryNode n;
+  n.op = OpType::kIntersection;
+  n.inputs = std::move(inputs);
+  return AddNode(std::move(n));
+}
+
+int QueryGraph::AddUnion(std::vector<int> inputs) {
+  HALK_CHECK_GE(inputs.size(), 2u);
+  QueryNode n;
+  n.op = OpType::kUnion;
+  n.inputs = std::move(inputs);
+  return AddNode(std::move(n));
+}
+
+int QueryGraph::AddDifference(std::vector<int> inputs) {
+  HALK_CHECK_GE(inputs.size(), 2u);
+  QueryNode n;
+  n.op = OpType::kDifference;
+  n.inputs = std::move(inputs);
+  return AddNode(std::move(n));
+}
+
+int QueryGraph::AddNegation(int input) {
+  QueryNode n;
+  n.op = OpType::kNegation;
+  n.inputs = {input};
+  return AddNode(std::move(n));
+}
+
+void QueryGraph::SetTarget(int node) {
+  HALK_CHECK_GE(node, 0);
+  HALK_CHECK_LT(node, num_nodes());
+  target_ = node;
+}
+
+QueryNode& QueryGraph::mutable_node(int id) {
+  HALK_CHECK_GE(id, 0);
+  HALK_CHECK_LT(id, num_nodes());
+  return nodes_[static_cast<size_t>(id)];
+}
+
+Status QueryGraph::Validate(bool grounded) const {
+  if (target_ < 0 || target_ >= num_nodes()) {
+    return Status::InvalidArgument("query target not set");
+  }
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const QueryNode& n = nodes_[i];
+    for (int in : n.inputs) {
+      if (in < 0 || in >= static_cast<int>(i)) {
+        return Status::InvalidArgument(
+            StrFormat("node %zu has invalid input %d", i, in));
+      }
+    }
+    switch (n.op) {
+      case OpType::kAnchor:
+        if (!n.inputs.empty()) {
+          return Status::InvalidArgument("anchor node with inputs");
+        }
+        if (grounded && n.anchor_entity < 0) {
+          return Status::InvalidArgument("ungrounded anchor entity");
+        }
+        break;
+      case OpType::kProjection:
+        if (n.inputs.size() != 1) {
+          return Status::InvalidArgument("projection arity must be 1");
+        }
+        if (grounded && n.relation < 0) {
+          return Status::InvalidArgument("ungrounded projection relation");
+        }
+        break;
+      case OpType::kNegation:
+        if (n.inputs.size() != 1) {
+          return Status::InvalidArgument("negation arity must be 1");
+        }
+        break;
+      case OpType::kIntersection:
+      case OpType::kUnion:
+      case OpType::kDifference:
+        if (n.inputs.size() < 2) {
+          return Status::InvalidArgument(
+              StrFormat("%s needs >= 2 inputs", OpTypeName(n.op)));
+        }
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<int> QueryGraph::TopologicalOrder() const {
+  // Nodes are appended with inputs preceding consumers, so insertion order
+  // is already topological; return the reachable subset from target.
+  std::vector<char> reachable(nodes_.size(), 0);
+  std::vector<int> stack = {target_};
+  if (target_ >= 0) reachable[static_cast<size_t>(target_)] = 1;
+  while (!stack.empty()) {
+    const int id = stack.back();
+    stack.pop_back();
+    for (int in : nodes_[static_cast<size_t>(id)].inputs) {
+      if (!reachable[static_cast<size_t>(in)]) {
+        reachable[static_cast<size_t>(in)] = 1;
+        stack.push_back(in);
+      }
+    }
+  }
+  std::vector<int> order;
+  for (int i = 0; i < num_nodes(); ++i) {
+    if (reachable[static_cast<size_t>(i)]) order.push_back(i);
+  }
+  return order;
+}
+
+std::vector<int> QueryGraph::AnchorIds() const {
+  std::vector<int> out;
+  for (int i = 0; i < num_nodes(); ++i) {
+    if (nodes_[static_cast<size_t>(i)].op == OpType::kAnchor) out.push_back(i);
+  }
+  return out;
+}
+
+bool QueryGraph::HasOp(OpType op) const {
+  for (const QueryNode& n : nodes_) {
+    if (n.op == op) return true;
+  }
+  return false;
+}
+
+int QueryGraph::NumProjections() const {
+  int count = 0;
+  for (int id : TopologicalOrder()) {
+    if (nodes_[static_cast<size_t>(id)].op == OpType::kProjection) ++count;
+  }
+  return count;
+}
+
+namespace {
+void Render(const QueryGraph& g, int id, std::string* out) {
+  const QueryNode& n = g.nodes()[static_cast<size_t>(id)];
+  switch (n.op) {
+    case OpType::kAnchor:
+      *out += "a";
+      *out += (n.anchor_entity >= 0 ? std::to_string(n.anchor_entity) : "?");
+      return;
+    case OpType::kProjection:
+      *out += "p(";
+      Render(g, n.inputs[0], out);
+      *out += ",r";
+      *out += (n.relation >= 0 ? std::to_string(n.relation) : "?");
+      *out += ")";
+      return;
+    case OpType::kNegation:
+      *out += "n(";
+      Render(g, n.inputs[0], out);
+      *out += ")";
+      return;
+    default: {
+      *out += (n.op == OpType::kIntersection ? "i("
+               : n.op == OpType::kUnion      ? "u("
+                                             : "d(");
+      for (size_t i = 0; i < n.inputs.size(); ++i) {
+        if (i > 0) *out += ",";
+        Render(g, n.inputs[i], out);
+      }
+      *out += ")";
+      return;
+    }
+  }
+}
+}  // namespace
+
+std::string QueryGraph::ToString() const {
+  if (target_ < 0) return "<no target>";
+  std::string out;
+  Render(*this, target_, &out);
+  return out;
+}
+
+}  // namespace halk::query

@@ -1,0 +1,72 @@
+#ifndef HALK_QUERY_DAG_H_
+#define HALK_QUERY_DAG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/ops.h"
+
+namespace halk::query {
+
+/// One node of a query computation graph. `anchor_entity`/`relation` are
+/// -1 in structure templates and filled in by grounding.
+struct QueryNode {
+  OpType op = OpType::kAnchor;
+  int64_t anchor_entity = -1;  // kAnchor only
+  int64_t relation = -1;       // kProjection only
+  std::vector<int> inputs;     // ids of producer nodes
+};
+
+/// A logical query as a directed acyclic computation graph (Fig. 1b/1c of
+/// the paper). Nodes are appended bottom-up; the single `target()` node is
+/// the query's answer variable.
+class QueryGraph {
+ public:
+  QueryGraph() = default;
+
+  int AddAnchor(int64_t entity = -1);
+  int AddProjection(int input, int64_t relation = -1);
+  int AddIntersection(std::vector<int> inputs);
+  int AddUnion(std::vector<int> inputs);
+  /// inputs[0] is the minuend; the result is inputs[0] minus the rest.
+  int AddDifference(std::vector<int> inputs);
+  int AddNegation(int input);
+
+  void SetTarget(int node);
+  int target() const { return target_; }
+
+  const std::vector<QueryNode>& nodes() const { return nodes_; }
+  QueryNode& mutable_node(int id);
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  /// Structural well-formedness: target set, inputs in range and acyclic by
+  /// construction, arities (projection/negation unary, set ops >= 2 inputs),
+  /// and — when `grounded` — anchors/relations filled in.
+  Status Validate(bool grounded) const;
+
+  /// Node ids in dependency order (inputs before consumers).
+  std::vector<int> TopologicalOrder() const;
+
+  /// Ids of all anchor nodes in insertion order.
+  std::vector<int> AnchorIds() const;
+
+  bool HasOp(OpType op) const;
+
+  /// Number of projection edges — the "query size" axis of Table VI.
+  int NumProjections() const;
+
+  /// Debug rendering, e.g. "i(p(a0,r3), n(p(a1,r5)))".
+  std::string ToString() const;
+
+ private:
+  int AddNode(QueryNode node);
+
+  std::vector<QueryNode> nodes_;
+  int target_ = -1;
+};
+
+}  // namespace halk::query
+
+#endif  // HALK_QUERY_DAG_H_

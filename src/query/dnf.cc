@@ -1,0 +1,107 @@
+#include "query/dnf.h"
+
+#include "common/logging.h"
+
+namespace halk::query {
+
+namespace {
+
+// Outermost (last in topological order) reachable union node, or -1.
+// Expanding outermost-first keeps the branch count at the paper's
+// N = prod_u |inputs(u)| over *reachable* unions, instead of duplicating
+// branches for unions that become unreachable after substitution.
+int FindUnion(const QueryGraph& g) {
+  const std::vector<int> order = g.TopologicalOrder();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (g.nodes()[static_cast<size_t>(*it)].op == OpType::kUnion) return *it;
+  }
+  return -1;
+}
+
+// Copy of `g` where every reference to node `u` is redirected to node `c`
+// (c < u, so the graph stays topologically ordered).
+QueryGraph Substitute(const QueryGraph& g, int u, int c) {
+  QueryGraph out;
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    QueryNode n = g.nodes()[static_cast<size_t>(i)];
+    for (int& in : n.inputs) {
+      if (in == u) in = c;
+    }
+    switch (n.op) {
+      case OpType::kAnchor: {
+        int id = out.AddAnchor(n.anchor_entity);
+        HALK_CHECK_EQ(id, i);
+        break;
+      }
+      case OpType::kProjection: {
+        int id = out.AddProjection(n.inputs[0], n.relation);
+        HALK_CHECK_EQ(id, i);
+        break;
+      }
+      case OpType::kIntersection: {
+        int id = out.AddIntersection(n.inputs);
+        HALK_CHECK_EQ(id, i);
+        break;
+      }
+      case OpType::kUnion: {
+        int id = out.AddUnion(n.inputs);
+        HALK_CHECK_EQ(id, i);
+        break;
+      }
+      case OpType::kDifference: {
+        int id = out.AddDifference(n.inputs);
+        HALK_CHECK_EQ(id, i);
+        break;
+      }
+      case OpType::kNegation: {
+        int id = out.AddNegation(n.inputs[0]);
+        HALK_CHECK_EQ(id, i);
+        break;
+      }
+    }
+  }
+  out.SetTarget(g.target() == u ? c : g.target());
+  return out;
+}
+
+void Expand(const QueryGraph& g, std::vector<QueryGraph>* branches) {
+  const int u = FindUnion(g);
+  if (u < 0) {
+    branches->push_back(g);
+    return;
+  }
+  const QueryNode& node = g.nodes()[static_cast<size_t>(u)];
+  for (int input : node.inputs) {
+    Expand(Substitute(g, u, input), branches);
+  }
+}
+
+// Branch substitution distributes unions through projection, intersection,
+// and difference *minuends* — all upward-monotone positions. It is unsound
+// under negation or in a difference subtrahend (¬(A∪B) = ¬A ∩ ¬B), so such
+// graphs are rejected. The paper's structures never place a union there.
+void CheckMonotoneUnions(const QueryGraph& g, int id, bool non_monotone) {
+  const QueryNode& n = g.nodes()[static_cast<size_t>(id)];
+  HALK_CHECK(!(non_monotone && n.op == OpType::kUnion))
+      << "union inside a negation/difference-subtrahend scope has no DNF "
+         "branch expansion: "
+      << g.ToString();
+  for (size_t i = 0; i < n.inputs.size(); ++i) {
+    const bool child_non_monotone =
+        non_monotone || n.op == OpType::kNegation ||
+        (n.op == OpType::kDifference && i > 0);
+    CheckMonotoneUnions(g, n.inputs[i], child_non_monotone);
+  }
+}
+
+}  // namespace
+
+std::vector<QueryGraph> ToDnf(const QueryGraph& query) {
+  HALK_CHECK_GE(query.target(), 0);
+  CheckMonotoneUnions(query, query.target(), /*non_monotone=*/false);
+  std::vector<QueryGraph> branches;
+  Expand(query, &branches);
+  return branches;
+}
+
+}  // namespace halk::query

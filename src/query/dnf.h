@@ -1,0 +1,20 @@
+#ifndef HALK_QUERY_DNF_H_
+#define HALK_QUERY_DNF_H_
+
+#include <vector>
+
+#include "query/dag.h"
+
+namespace halk::query {
+
+/// Disjunctive-Normal-Form rewrite (Sec. III-F of the paper): every union
+/// node is lifted to the top of the computation graph, yielding
+/// N = prod_u |inputs(u)| union-free conjunctive branches. The answer to
+/// the original query is the union of the branch answers; HaLk scores an
+/// entity by its minimum distance over branches, so the union operator is
+/// exact and non-parametric.
+std::vector<QueryGraph> ToDnf(const QueryGraph& query);
+
+}  // namespace halk::query
+
+#endif  // HALK_QUERY_DNF_H_

@@ -1,0 +1,120 @@
+#include "query/executor.h"
+
+#include "common/logging.h"
+
+namespace halk::query {
+
+namespace {
+
+using Bitmap = std::vector<uint8_t>;
+
+Bitmap EvalNode(const kg::KnowledgeGraph& graph,
+                const std::vector<Bitmap>& sets, const QueryNode& node) {
+  const int64_t n = graph.num_entities();
+  Bitmap out(static_cast<size_t>(n), 0);
+  switch (node.op) {
+    case OpType::kAnchor:
+      out[static_cast<size_t>(node.anchor_entity)] = 1;
+      break;
+    case OpType::kProjection: {
+      const Bitmap& in = sets[static_cast<size_t>(node.inputs[0])];
+      for (int64_t e = 0; e < n; ++e) {
+        if (!in[static_cast<size_t>(e)]) continue;
+        for (int64_t t : graph.index().Tails(e, node.relation)) {
+          out[static_cast<size_t>(t)] = 1;
+        }
+      }
+      break;
+    }
+    case OpType::kIntersection: {
+      out = sets[static_cast<size_t>(node.inputs[0])];
+      for (size_t i = 1; i < node.inputs.size(); ++i) {
+        const Bitmap& in = sets[static_cast<size_t>(node.inputs[i])];
+        for (int64_t e = 0; e < n; ++e) {
+          out[static_cast<size_t>(e)] &= in[static_cast<size_t>(e)];
+        }
+      }
+      break;
+    }
+    case OpType::kUnion: {
+      for (int input : node.inputs) {
+        const Bitmap& in = sets[static_cast<size_t>(input)];
+        for (int64_t e = 0; e < n; ++e) {
+          out[static_cast<size_t>(e)] |= in[static_cast<size_t>(e)];
+        }
+      }
+      break;
+    }
+    case OpType::kDifference: {
+      out = sets[static_cast<size_t>(node.inputs[0])];
+      for (size_t i = 1; i < node.inputs.size(); ++i) {
+        const Bitmap& in = sets[static_cast<size_t>(node.inputs[i])];
+        for (int64_t e = 0; e < n; ++e) {
+          if (in[static_cast<size_t>(e)]) out[static_cast<size_t>(e)] = 0;
+        }
+      }
+      break;
+    }
+    case OpType::kNegation: {
+      const Bitmap& in = sets[static_cast<size_t>(node.inputs[0])];
+      for (int64_t e = 0; e < n; ++e) {
+        out[static_cast<size_t>(e)] = !in[static_cast<size_t>(e)];
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<int64_t> ToSortedIds(const Bitmap& bitmap) {
+  std::vector<int64_t> out;
+  for (size_t e = 0; e < bitmap.size(); ++e) {
+    if (bitmap[e]) out.push_back(static_cast<int64_t>(e));
+  }
+  return out;
+}
+
+Status CheckInputs(const QueryGraph& query, const kg::KnowledgeGraph& graph) {
+  HALK_RETURN_NOT_OK(query.Validate(/*grounded=*/true));
+  if (!graph.finalized()) {
+    return Status::InvalidArgument("graph not finalized");
+  }
+  for (const QueryNode& n : query.nodes()) {
+    if (n.op == OpType::kAnchor && n.anchor_entity >= graph.num_entities()) {
+      return Status::OutOfRange("anchor entity outside graph");
+    }
+    if (n.op == OpType::kProjection && n.relation >= graph.num_relations()) {
+      return Status::OutOfRange("relation outside graph");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<int64_t>> ExecuteQuery(const QueryGraph& query,
+                                          const kg::KnowledgeGraph& graph) {
+  HALK_RETURN_NOT_OK(CheckInputs(query, graph));
+  std::vector<Bitmap> sets(static_cast<size_t>(query.num_nodes()));
+  for (int id : query.TopologicalOrder()) {
+    sets[static_cast<size_t>(id)] =
+        EvalNode(graph, sets, query.nodes()[static_cast<size_t>(id)]);
+  }
+  return ToSortedIds(sets[static_cast<size_t>(query.target())]);
+}
+
+Result<std::vector<std::vector<int64_t>>> ExecuteQueryAllNodes(
+    const QueryGraph& query, const kg::KnowledgeGraph& graph) {
+  HALK_RETURN_NOT_OK(CheckInputs(query, graph));
+  std::vector<Bitmap> sets(static_cast<size_t>(query.num_nodes()));
+  std::vector<std::vector<int64_t>> out(
+      static_cast<size_t>(query.num_nodes()));
+  for (int id : query.TopologicalOrder()) {
+    sets[static_cast<size_t>(id)] =
+        EvalNode(graph, sets, query.nodes()[static_cast<size_t>(id)]);
+    out[static_cast<size_t>(id)] = ToSortedIds(sets[static_cast<size_t>(id)]);
+  }
+  return out;
+}
+
+}  // namespace halk::query

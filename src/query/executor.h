@@ -1,0 +1,31 @@
+#ifndef HALK_QUERY_EXECUTOR_H_
+#define HALK_QUERY_EXECUTOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "kg/graph.h"
+#include "query/dag.h"
+
+namespace halk::query {
+
+/// Exact symbolic execution of a grounded query against a (finalized)
+/// knowledge graph: each node evaluates to the set of entities satisfying
+/// its sub-query under standard FOL semantics (negation complements w.r.t.
+/// the full entity set; difference is minuend minus the union of the other
+/// inputs). Returns the sorted answer set of the target node.
+///
+/// This is the ground-truth oracle for training labels, evaluation, and
+/// the subgraph matcher's accuracy reference.
+Result<std::vector<int64_t>> ExecuteQuery(const QueryGraph& query,
+                                          const kg::KnowledgeGraph& graph);
+
+/// As above, but also returns the entity set of every reachable node
+/// (indexed by node id; unreachable nodes get empty sets). Used by the
+/// pruning study to compare per-variable candidates.
+Result<std::vector<std::vector<int64_t>>> ExecuteQueryAllNodes(
+    const QueryGraph& query, const kg::KnowledgeGraph& graph);
+
+}  // namespace halk::query
+
+#endif  // HALK_QUERY_EXECUTOR_H_

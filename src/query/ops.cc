@@ -1,0 +1,23 @@
+#include "query/ops.h"
+
+namespace halk::query {
+
+const char* OpTypeName(OpType op) {
+  switch (op) {
+    case OpType::kAnchor:
+      return "anchor";
+    case OpType::kProjection:
+      return "projection";
+    case OpType::kIntersection:
+      return "intersection";
+    case OpType::kUnion:
+      return "union";
+    case OpType::kDifference:
+      return "difference";
+    case OpType::kNegation:
+      return "negation";
+  }
+  return "?";
+}
+
+}  // namespace halk::query

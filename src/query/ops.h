@@ -1,0 +1,23 @@
+#ifndef HALK_QUERY_OPS_H_
+#define HALK_QUERY_OPS_H_
+
+namespace halk::query {
+
+/// The full set of first-order logical operations supported by HaLk
+/// (Sec. II-A of the paper): the union of traditional FOL operations and
+/// the newly-defined difference operation.
+enum class OpType {
+  kAnchor = 0,    // source node holding a constant entity
+  kProjection,    // relation traversal P
+  kIntersection,  // I
+  kUnion,         // U
+  kDifference,    // D (first input is the minuend)
+  kNegation,      // N (complement w.r.t. the universal entity set)
+};
+
+/// Short lowercase name, e.g. "projection".
+const char* OpTypeName(OpType op);
+
+}  // namespace halk::query
+
+#endif  // HALK_QUERY_OPS_H_

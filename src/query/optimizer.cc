@@ -1,0 +1,158 @@
+#include "query/optimizer.h"
+
+#include <map>
+
+#include "common/logging.h"
+
+namespace halk::query {
+
+namespace {
+
+class Rewriter {
+ public:
+  Rewriter(const QueryGraph& old_graph, const NormalizeOptions& options)
+      : old_(old_graph), options_(options) {}
+
+  QueryGraph Run() {
+    const int target = Rebuild(old_.target());
+    out_.SetTarget(target);
+    HALK_CHECK_OK(out_.Validate(/*grounded=*/false));
+    return std::move(out_);
+  }
+
+ private:
+  const QueryNode& Node(int id) const {
+    return old_.nodes()[static_cast<size_t>(id)];
+  }
+
+  // Follows ¬¬ chains: returns the node id with an even number of
+  // negations stripped (when enabled).
+  int StripDoubleNegation(int id) const {
+    if (!options_.eliminate_double_negation) return id;
+    while (Node(id).op == OpType::kNegation &&
+           Node(Node(id).inputs[0]).op == OpType::kNegation) {
+      id = Node(Node(id).inputs[0]).inputs[0];
+    }
+    return id;
+  }
+
+  // Collects the flattened input list of an associative node: children of
+  // the same op are spliced in (difference only flattens the minuend).
+  void Flatten(OpType op, int id, std::vector<int>* leaves) const {
+    const QueryNode& n = Node(id);
+    if (!options_.flatten_associative || n.op != op) {
+      leaves->push_back(id);
+      return;
+    }
+    if (op == OpType::kDifference) {
+      // D(D(a, b...), c...) = D(a, b..., c...): splice the minuend only.
+      Flatten(op, n.inputs[0], leaves);
+      for (size_t i = 1; i < n.inputs.size(); ++i) {
+        leaves->push_back(n.inputs[i]);
+      }
+      return;
+    }
+    for (int input : n.inputs) Flatten(op, input, leaves);
+  }
+
+  int Rebuild(int old_id) {
+    old_id = StripDoubleNegation(old_id);
+    auto it = memo_.find(old_id);
+    if (it != memo_.end()) return it->second;
+
+    const QueryNode& n = Node(old_id);
+    int new_id = -1;
+    switch (n.op) {
+      case OpType::kAnchor:
+        new_id = out_.AddAnchor(n.anchor_entity);
+        break;
+      case OpType::kProjection:
+        new_id = out_.AddProjection(Rebuild(n.inputs[0]), n.relation);
+        break;
+      case OpType::kNegation:
+        new_id = out_.AddNegation(Rebuild(n.inputs[0]));
+        break;
+      case OpType::kIntersection: {
+        std::vector<int> leaves;
+        for (int input : n.inputs) {
+          Flatten(OpType::kIntersection, StripDoubleNegation(input),
+                  &leaves);
+        }
+        // Partition into positive and negated conjuncts.
+        std::vector<int> positives;
+        std::vector<int> negated_bases;
+        for (int leaf : leaves) {
+          const int eff = StripDoubleNegation(leaf);
+          if (Node(eff).op == OpType::kNegation) {
+            negated_bases.push_back(
+                StripDoubleNegation(Node(eff).inputs[0]));
+          } else {
+            positives.push_back(eff);
+          }
+        }
+        const bool rewrite =
+            !negated_bases.empty() && !positives.empty() &&
+            (old_id != old_.target()
+                 ? options_.prefer_difference_for_intermediate
+                 : options_.rewrite_tail_negation);
+        if (rewrite) {
+          // I(a₁..aₖ, ¬b₁..¬bₘ) → D(I(a₁..aₖ), b₁..bₘ).
+          std::vector<int> pos_new;
+          for (int p : positives) pos_new.push_back(Rebuild(p));
+          const int base = pos_new.size() == 1
+                               ? pos_new[0]
+                               : out_.AddIntersection(pos_new);
+          std::vector<int> diff_inputs = {base};
+          for (int b : negated_bases) diff_inputs.push_back(Rebuild(b));
+          new_id = out_.AddDifference(std::move(diff_inputs));
+        } else {
+          std::vector<int> rebuilt;
+          for (int leaf : leaves) rebuilt.push_back(Rebuild(leaf));
+          new_id = rebuilt.size() == 1 ? rebuilt[0]
+                                       : out_.AddIntersection(rebuilt);
+        }
+        break;
+      }
+      case OpType::kUnion: {
+        std::vector<int> leaves;
+        for (int input : n.inputs) Flatten(OpType::kUnion, input, &leaves);
+        std::vector<int> rebuilt;
+        for (int leaf : leaves) rebuilt.push_back(Rebuild(leaf));
+        new_id =
+            rebuilt.size() == 1 ? rebuilt[0] : out_.AddUnion(rebuilt);
+        break;
+      }
+      case OpType::kDifference: {
+        std::vector<int> leaves;
+        Flatten(OpType::kDifference, old_id, &leaves);
+        std::vector<int> rebuilt;
+        for (int leaf : leaves) rebuilt.push_back(Rebuild(leaf));
+        HALK_CHECK_GE(rebuilt.size(), 2u);
+        new_id = out_.AddDifference(std::move(rebuilt));
+        break;
+      }
+    }
+    memo_.emplace(old_id, new_id);
+    return new_id;
+  }
+
+  const QueryGraph& old_;
+  NormalizeOptions options_;
+  QueryGraph out_;
+  std::map<int, int> memo_;
+};
+
+}  // namespace
+
+QueryGraph NormalizeQuery(const QueryGraph& query,
+                          const NormalizeOptions& options) {
+  HALK_CHECK_GE(query.target(), 0);
+  Rewriter rewriter(query, options);
+  return rewriter.Run();
+}
+
+QueryGraph NormalizeQuery(const QueryGraph& query) {
+  return NormalizeQuery(query, NormalizeOptions());
+}
+
+}  // namespace halk::query

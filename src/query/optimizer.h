@@ -1,0 +1,39 @@
+#ifndef HALK_QUERY_OPTIMIZER_H_
+#define HALK_QUERY_OPTIMIZER_H_
+
+#include "query/dag.h"
+
+namespace halk::query {
+
+/// Rewrite options for NormalizeQuery. The defaults encode the paper's
+/// empirically validated operator preferences (Sec. II-A: "the order of
+/// operator selection should be projection > intersection/difference >
+/// negation > union"; Sec. I: the difference operator is better for
+/// multi-hop reasoning while negation suits the tail position).
+struct NormalizeOptions {
+  /// ¬¬A → A.
+  bool eliminate_double_negation = true;
+  /// I(I(a, b), c) → I(a, b, c); same for unions and difference minuends.
+  bool flatten_associative = true;
+  /// I(a₁..aₖ, ¬b₁..¬bₘ) → D(I(a₁..aₖ), b₁..bₘ) for *intermediate* nodes
+  /// (a downstream operator consumes them) — difference produces compact
+  /// candidate sets that compound better over further hops.
+  bool prefer_difference_for_intermediate = true;
+  /// The same rewrite applied at the target node too. Off by default:
+  /// negation is the better *tail* operation in the paper's study.
+  bool rewrite_tail_negation = false;
+};
+
+/// Applies the semantics-preserving rewrites selected in `options` until a
+/// fixed point and returns the normalized graph (unreachable nodes are
+/// dropped). Every rewrite is an exact set identity; tests verify the
+/// executor returns identical answers before and after.
+QueryGraph NormalizeQuery(const QueryGraph& query,
+                          const NormalizeOptions& options);
+
+/// Normalization with default options.
+QueryGraph NormalizeQuery(const QueryGraph& query);
+
+}  // namespace halk::query
+
+#endif  // HALK_QUERY_OPTIMIZER_H_

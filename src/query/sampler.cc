@@ -1,0 +1,143 @@
+#include "query/sampler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "query/executor.h"
+
+namespace halk::query {
+
+QuerySampler::QuerySampler(const kg::KnowledgeGraph* graph, uint64_t seed)
+    : QuerySampler(graph, seed, Options()) {}
+
+QuerySampler::QuerySampler(const kg::KnowledgeGraph* graph, uint64_t seed,
+                           const Options& options)
+    : graph_(graph), rng_(seed), options_(options) {
+  HALK_CHECK(graph != nullptr);
+  HALK_CHECK(graph->finalized());
+  HALK_CHECK_GT(graph->num_triples(), 0);
+}
+
+int64_t QuerySampler::RandomEntityWithInEdge() {
+  const auto& triples = graph_->triples();
+  const size_t i = static_cast<size_t>(rng_.UniformInt(triples.size()));
+  return triples[i].tail;
+}
+
+bool QuerySampler::GroundTemplate(QueryGraph* graph) {
+  // Witness entity per node, assigned top-down (reverse topological order).
+  std::vector<int64_t> witness(static_cast<size_t>(graph->num_nodes()), -1);
+  std::vector<int> order = graph->TopologicalOrder();
+  witness[static_cast<size_t>(graph->target())] = RandomEntityWithInEdge();
+
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const int id = *it;
+    QueryNode& node = graph->mutable_node(id);
+    const int64_t w = witness[static_cast<size_t>(id)];
+    HALK_CHECK_GE(w, 0) << "witness not propagated to node " << id;
+    switch (node.op) {
+      case OpType::kAnchor:
+        node.anchor_entity = w;
+        break;
+      case OpType::kProjection: {
+        // Pick a random incoming edge (h, r, w): relation first among those
+        // with any head, then a head under it.
+        std::vector<int64_t> rels;
+        for (int64_t r = 0; r < graph_->num_relations(); ++r) {
+          if (!graph_->index().Heads(w, r).empty()) rels.push_back(r);
+        }
+        if (rels.empty()) return false;  // dead end; caller retries
+        const int64_t r =
+            rels[static_cast<size_t>(rng_.UniformInt(rels.size()))];
+        auto heads = graph_->index().Heads(w, r);
+        node.relation = r;
+        witness[static_cast<size_t>(node.inputs[0])] =
+            heads[static_cast<size_t>(rng_.UniformInt(heads.size()))];
+        break;
+      }
+      case OpType::kIntersection:
+      case OpType::kUnion:
+        for (int input : node.inputs) {
+          witness[static_cast<size_t>(input)] = w;
+        }
+        break;
+      case OpType::kDifference:
+        // Minuend must contain the witness; subtrahends are grounded around
+        // independent witnesses so the difference is usually non-trivial.
+        witness[static_cast<size_t>(node.inputs[0])] = w;
+        for (size_t i = 1; i < node.inputs.size(); ++i) {
+          int64_t other = RandomEntityWithInEdge();
+          for (int tries = 0; tries < 8 && other == w; ++tries) {
+            other = RandomEntityWithInEdge();
+          }
+          witness[static_cast<size_t>(node.inputs[i])] = other;
+        }
+        break;
+      case OpType::kNegation: {
+        // The negated sub-query is grounded around a different witness so
+        // that w stays outside it (checked exactly by the executor later).
+        int64_t other = RandomEntityWithInEdge();
+        for (int tries = 0; tries < 8 && other == w; ++tries) {
+          other = RandomEntityWithInEdge();
+        }
+        witness[static_cast<size_t>(node.inputs[0])] = other;
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+Result<GroundedQuery> QuerySampler::Sample(StructureId structure) {
+  const QueryGraph prototype = MakeStructure(structure);
+  const bool has_negation = prototype.HasOp(OpType::kNegation);
+  const int64_t cap =
+      has_negation ? options_.max_answers_negation : options_.max_answers;
+
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    QueryGraph g = prototype;
+    if (!GroundTemplate(&g)) continue;
+    HALK_ASSIGN_OR_RETURN(std::vector<int64_t> answers,
+                          ExecuteQuery(g, *graph_));
+    if (answers.empty() || static_cast<int64_t>(answers.size()) > cap) {
+      continue;
+    }
+    GroundedQuery out;
+    out.structure = structure;
+    out.graph = std::move(g);
+    out.answers = std::move(answers);
+    out.hard_answers = out.answers;
+    return out;
+  }
+  return Status::Internal(
+      StrFormat("could not ground structure %s in %d attempts",
+                StructureName(structure).c_str(), options_.max_attempts));
+}
+
+Result<std::vector<GroundedQuery>> QuerySampler::SampleMany(
+    StructureId structure, int count) {
+  std::vector<GroundedQuery> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    HALK_ASSIGN_OR_RETURN(GroundedQuery q, Sample(structure));
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+void SplitEasyHard(GroundedQuery* q, const kg::KnowledgeGraph& smaller) {
+  Result<std::vector<int64_t>> smaller_answers =
+      ExecuteQuery(q->graph, smaller);
+  HALK_CHECK(smaller_answers.ok()) << smaller_answers.status().ToString();
+  q->easy_answers.clear();
+  std::set_intersection(q->answers.begin(), q->answers.end(),
+                        smaller_answers->begin(), smaller_answers->end(),
+                        std::back_inserter(q->easy_answers));
+  q->hard_answers.clear();
+  std::set_difference(q->answers.begin(), q->answers.end(),
+                      q->easy_answers.begin(), q->easy_answers.end(),
+                      std::back_inserter(q->hard_answers));
+}
+
+}  // namespace halk::query

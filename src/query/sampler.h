@@ -1,0 +1,72 @@
+#ifndef HALK_QUERY_SAMPLER_H_
+#define HALK_QUERY_SAMPLER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "kg/graph.h"
+#include "query/dag.h"
+#include "query/structures.h"
+
+namespace halk::query {
+
+/// A structure template grounded against a concrete KG, with its exact
+/// answer set. `easy_answers` are those already derivable from a smaller
+/// split (filled by SplitEasyHard); ranking metrics are computed over
+/// `hard_answers` with the easy ones filtered out, as in the paper's
+/// protocol.
+struct GroundedQuery {
+  StructureId structure = StructureId::k1p;
+  QueryGraph graph;
+  std::vector<int64_t> answers;       // sorted, on the sampling graph
+  std::vector<int64_t> easy_answers;  // sorted subset of answers
+  std::vector<int64_t> hard_answers;  // answers \ easy_answers
+};
+
+/// Grounds query-structure templates against a KG with witness-based
+/// backward sampling: a random witness answer is chosen for the target and
+/// propagated down the DAG, so anchor/relation choices always admit at
+/// least one witness path and EPFO parts are never vacuous. Queries whose
+/// final answer set is empty or over the size cap are re-drawn.
+class QuerySampler {
+ public:
+  struct Options {
+    int max_attempts = 200;
+    /// Answer-set cap for structures without negation.
+    int64_t max_answers = 100;
+    /// Negation answers are complements and naturally huge (the paper sees
+    /// up to ~4000); they get a looser cap.
+    int64_t max_answers_negation = 100000;
+  };
+
+  QuerySampler(const kg::KnowledgeGraph* graph, uint64_t seed);
+  QuerySampler(const kg::KnowledgeGraph* graph, uint64_t seed,
+               const Options& options);
+
+  /// Samples one grounded query of the given structure.
+  Result<GroundedQuery> Sample(StructureId structure);
+
+  /// Samples `count` queries (re-seeding internally between draws).
+  Result<std::vector<GroundedQuery>> SampleMany(StructureId structure,
+                                                int count);
+
+  /// Fills anchors/relations of a template in place; returns false if the
+  /// witness walk dead-ends (caller retries). Exposed for tests.
+  bool GroundTemplate(QueryGraph* graph);
+
+ private:
+  int64_t RandomEntityWithInEdge();
+
+  const kg::KnowledgeGraph* graph_;
+  Rng rng_;
+  Options options_;
+};
+
+/// Splits `q->answers` into easy (answerable on `smaller`, typically the
+/// next-smaller split of the dataset) and hard (requiring held-out edges).
+void SplitEasyHard(GroundedQuery* q, const kg::KnowledgeGraph& smaller);
+
+}  // namespace halk::query
+
+#endif  // HALK_QUERY_SAMPLER_H_

@@ -1,0 +1,222 @@
+#include "query/structures.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace halk::query {
+
+std::vector<StructureId> AllStructures() {
+  return {StructureId::k1p,    StructureId::k2p,    StructureId::k3p,
+          StructureId::k2i,    StructureId::k3i,    StructureId::kIp,
+          StructureId::kPi,    StructureId::k2u,    StructureId::kUp,
+          StructureId::k2d,    StructureId::k3d,    StructureId::kDp,
+          StructureId::k2in,   StructureId::k3in,   StructureId::kPin,
+          StructureId::kPni,   StructureId::kPip,   StructureId::kP3ip,
+          StructureId::k2ipp,  StructureId::k2ippu, StructureId::k2ippd,
+          StructureId::k3ipp,  StructureId::k3ippu, StructureId::k3ippd};
+}
+
+std::string StructureName(StructureId id) {
+  switch (id) {
+    case StructureId::k1p: return "1p";
+    case StructureId::k2p: return "2p";
+    case StructureId::k3p: return "3p";
+    case StructureId::k2i: return "2i";
+    case StructureId::k3i: return "3i";
+    case StructureId::kIp: return "ip";
+    case StructureId::kPi: return "pi";
+    case StructureId::k2u: return "2u";
+    case StructureId::kUp: return "up";
+    case StructureId::k2d: return "2d";
+    case StructureId::k3d: return "3d";
+    case StructureId::kDp: return "dp";
+    case StructureId::k2in: return "2in";
+    case StructureId::k3in: return "3in";
+    case StructureId::kPin: return "pin";
+    case StructureId::kPni: return "pni";
+    case StructureId::kPip: return "pip";
+    case StructureId::kP3ip: return "p3ip";
+    case StructureId::k2ipp: return "2ipp";
+    case StructureId::k2ippu: return "2ippu";
+    case StructureId::k2ippd: return "2ippd";
+    case StructureId::k3ipp: return "3ipp";
+    case StructureId::k3ippu: return "3ippu";
+    case StructureId::k3ippd: return "3ippd";
+  }
+  return "?";
+}
+
+Result<StructureId> StructureFromName(const std::string& name) {
+  for (StructureId id : AllStructures()) {
+    if (StructureName(id) == name) return id;
+  }
+  return Status::NotFound("unknown query structure: " + name);
+}
+
+namespace {
+
+// p-chain of `hops` projections from a fresh anchor; returns the last node.
+int AddChain(QueryGraph* g, int hops) {
+  int node = g->AddAnchor();
+  for (int i = 0; i < hops; ++i) node = g->AddProjection(node);
+  return node;
+}
+
+}  // namespace
+
+QueryGraph MakeStructure(StructureId id) {
+  QueryGraph g;
+  switch (id) {
+    case StructureId::k1p:
+      g.SetTarget(AddChain(&g, 1));
+      break;
+    case StructureId::k2p:
+      g.SetTarget(AddChain(&g, 2));
+      break;
+    case StructureId::k3p:
+      g.SetTarget(AddChain(&g, 3));
+      break;
+    case StructureId::k2i:
+      g.SetTarget(g.AddIntersection({AddChain(&g, 1), AddChain(&g, 1)}));
+      break;
+    case StructureId::k3i:
+      g.SetTarget(g.AddIntersection(
+          {AddChain(&g, 1), AddChain(&g, 1), AddChain(&g, 1)}));
+      break;
+    case StructureId::kIp: {
+      int i = g.AddIntersection({AddChain(&g, 1), AddChain(&g, 1)});
+      g.SetTarget(g.AddProjection(i));
+      break;
+    }
+    case StructureId::kPi:
+      g.SetTarget(g.AddIntersection({AddChain(&g, 2), AddChain(&g, 1)}));
+      break;
+    case StructureId::k2u:
+      g.SetTarget(g.AddUnion({AddChain(&g, 1), AddChain(&g, 1)}));
+      break;
+    case StructureId::kUp: {
+      int u = g.AddUnion({AddChain(&g, 1), AddChain(&g, 1)});
+      g.SetTarget(g.AddProjection(u));
+      break;
+    }
+    case StructureId::k2d:
+      g.SetTarget(g.AddDifference({AddChain(&g, 1), AddChain(&g, 1)}));
+      break;
+    case StructureId::k3d:
+      g.SetTarget(g.AddDifference(
+          {AddChain(&g, 1), AddChain(&g, 1), AddChain(&g, 1)}));
+      break;
+    case StructureId::kDp: {
+      int d = g.AddDifference({AddChain(&g, 1), AddChain(&g, 1)});
+      g.SetTarget(g.AddProjection(d));
+      break;
+    }
+    case StructureId::k2in: {
+      int pos = AddChain(&g, 1);
+      int neg = g.AddNegation(AddChain(&g, 1));
+      g.SetTarget(g.AddIntersection({pos, neg}));
+      break;
+    }
+    case StructureId::k3in: {
+      int a = AddChain(&g, 1);
+      int b = AddChain(&g, 1);
+      int neg = g.AddNegation(AddChain(&g, 1));
+      g.SetTarget(g.AddIntersection({a, b, neg}));
+      break;
+    }
+    case StructureId::kPin: {
+      int chain = AddChain(&g, 2);
+      int neg = g.AddNegation(AddChain(&g, 1));
+      g.SetTarget(g.AddIntersection({chain, neg}));
+      break;
+    }
+    case StructureId::kPni: {
+      int neg = g.AddNegation(AddChain(&g, 2));
+      int pos = AddChain(&g, 1);
+      g.SetTarget(g.AddIntersection({neg, pos}));
+      break;
+    }
+    case StructureId::kPip: {
+      int i = g.AddIntersection({AddChain(&g, 2), AddChain(&g, 1)});
+      g.SetTarget(g.AddProjection(i));
+      break;
+    }
+    case StructureId::kP3ip: {
+      int i = g.AddIntersection(
+          {AddChain(&g, 1), AddChain(&g, 1), AddChain(&g, 1)});
+      g.SetTarget(g.AddProjection(g.AddProjection(i)));
+      break;
+    }
+    case StructureId::k2ipp: {
+      int i = g.AddIntersection({AddChain(&g, 1), AddChain(&g, 1)});
+      g.SetTarget(g.AddProjection(g.AddProjection(i)));
+      break;
+    }
+    case StructureId::k2ippu: {
+      int i = g.AddIntersection({AddChain(&g, 1), AddChain(&g, 1)});
+      int pp = g.AddProjection(g.AddProjection(i));
+      g.SetTarget(g.AddUnion({pp, AddChain(&g, 1)}));
+      break;
+    }
+    case StructureId::k2ippd: {
+      int i = g.AddIntersection({AddChain(&g, 1), AddChain(&g, 1)});
+      int pp = g.AddProjection(g.AddProjection(i));
+      g.SetTarget(g.AddDifference({pp, AddChain(&g, 1)}));
+      break;
+    }
+    case StructureId::k3ipp: {
+      int i = g.AddIntersection(
+          {AddChain(&g, 1), AddChain(&g, 1), AddChain(&g, 1)});
+      g.SetTarget(g.AddProjection(g.AddProjection(i)));
+      break;
+    }
+    case StructureId::k3ippu: {
+      int i = g.AddIntersection(
+          {AddChain(&g, 1), AddChain(&g, 1), AddChain(&g, 1)});
+      int pp = g.AddProjection(g.AddProjection(i));
+      g.SetTarget(g.AddUnion({pp, AddChain(&g, 1)}));
+      break;
+    }
+    case StructureId::k3ippd: {
+      int i = g.AddIntersection(
+          {AddChain(&g, 1), AddChain(&g, 1), AddChain(&g, 1)});
+      int pp = g.AddProjection(g.AddProjection(i));
+      g.SetTarget(g.AddDifference({pp, AddChain(&g, 1)}));
+      break;
+    }
+  }
+  HALK_CHECK_OK(g.Validate(/*grounded=*/false));
+  return g;
+}
+
+std::vector<StructureId> TrainStructures() {
+  return {StructureId::k1p,  StructureId::k2p,  StructureId::k3p,
+          StructureId::k2i,  StructureId::k3i,  StructureId::k2d,
+          StructureId::k3d,  StructureId::k2in, StructureId::k3in,
+          StructureId::kPin, StructureId::kPni};
+}
+
+std::vector<StructureId> EpfoDifferenceStructures() {
+  return {StructureId::k1p, StructureId::k2p, StructureId::k3p,
+          StructureId::k2i, StructureId::k3i, StructureId::kIp,
+          StructureId::kPi, StructureId::k2u, StructureId::kUp,
+          StructureId::k2d, StructureId::k3d, StructureId::kDp};
+}
+
+std::vector<StructureId> EvalOnlyStructures() {
+  return {StructureId::kIp, StructureId::kPi, StructureId::k2u,
+          StructureId::kUp, StructureId::kDp};
+}
+
+std::vector<StructureId> NegationStructures() {
+  return {StructureId::k2in, StructureId::k3in, StructureId::kPin,
+          StructureId::kPni};
+}
+
+std::vector<StructureId> PruningStructures() {
+  return {StructureId::k2ipp, StructureId::k2ippu, StructureId::k2ippd,
+          StructureId::k3ipp, StructureId::k3ippu, StructureId::k3ippd};
+}
+
+}  // namespace halk::query

@@ -1,0 +1,68 @@
+#ifndef HALK_QUERY_STRUCTURES_H_
+#define HALK_QUERY_STRUCTURES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/dag.h"
+
+namespace halk::query {
+
+/// The query structures of the paper's evaluation (Sec. IV-A): the 12
+/// EPFO + difference structures from NewLook, the 4 negation structures
+/// from ConE/MLPMix, and the 7 larger structures used in the pruning /
+/// scalability studies (Sec. IV-D, IV-G).
+enum class StructureId {
+  k1p = 0,
+  k2p,
+  k3p,
+  k2i,
+  k3i,
+  kIp,   // intersection then projection (eval-only)
+  kPi,   // projection branch intersected with 1p (eval-only)
+  k2u,   // union of two 1p (eval-only)
+  kUp,   // union then projection (eval-only)
+  k2d,   // difference of two 1p branches
+  k3d,   // difference with three inputs
+  kDp,   // difference then projection (eval-only)
+  k2in,  // 1p ∧ ¬1p
+  k3in,  // 1p ∧ 1p ∧ ¬1p
+  kPin,  // 2p ∧ ¬1p
+  kPni,  // ¬2p ∧ 1p
+  // Large structures (pruning power + scalability).
+  kPip,    // p(i(2p, 1p)) — query size 4
+  kP3ip,   // p(p(3i)) — query size 5
+  k2ipp,   // p(p(2i))
+  k2ippu,  // u(p(p(2i)), 1p)
+  k2ippd,  // d(p(p(2i)), 1p)
+  k3ipp,   // p(p(3i))  [3 anchors]
+  k3ippu,  // u(p(p(3i)), 1p)
+  k3ippd,  // d(p(p(3i)), 1p)
+};
+
+/// All structures, in enum order.
+std::vector<StructureId> AllStructures();
+
+/// Lowercase paper name, e.g. "2in".
+std::string StructureName(StructureId id);
+Result<StructureId> StructureFromName(const std::string& name);
+
+/// Builds the ungrounded template (anchors/relations = -1) for a structure.
+QueryGraph MakeStructure(StructureId id);
+
+/// Structures seen during training (per the paper's protocol ip, pi, 2u,
+/// up, dp are evaluated only).
+std::vector<StructureId> TrainStructures();
+/// The 12 structures of Tables I-II.
+std::vector<StructureId> EpfoDifferenceStructures();
+/// Evaluation-only generalization structures.
+std::vector<StructureId> EvalOnlyStructures();
+/// The 4 negation structures of Tables III-IV.
+std::vector<StructureId> NegationStructures();
+/// The 6 large structures of the pruning study (Fig. 6a).
+std::vector<StructureId> PruningStructures();
+
+}  // namespace halk::query
+
+#endif  // HALK_QUERY_STRUCTURES_H_

@@ -1,0 +1,184 @@
+#include "sparql/adaptor.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "sparql/parser.h"
+
+namespace halk::sparql {
+
+namespace {
+
+bool GroupMentions(const GroupPattern& group, const std::string& var) {
+  for (const TriplePattern& t : group.triples) {
+    if ((t.subject.is_variable() && t.subject.text == var) ||
+        (t.object.is_variable() && t.object.text == var)) {
+      return true;
+    }
+  }
+  for (const GroupPattern& g : group.not_exists) {
+    if (GroupMentions(g, var)) return true;
+  }
+  for (const GroupPattern& g : group.minus) {
+    if (GroupMentions(g, var)) return true;
+  }
+  for (const auto& alts : group.unions) {
+    for (const GroupPattern& g : alts) {
+      if (GroupMentions(g, var)) return true;
+    }
+  }
+  return false;
+}
+
+class Adaptor {
+ public:
+  Adaptor(const kg::KnowledgeGraph& kg) : kg_(kg) {}
+
+  Result<query::QueryGraph> Build(const SelectQuery& select) {
+    HALK_ASSIGN_OR_RETURN(
+        int target, BuildVariable(select.target_variable, select.where));
+    graph_.SetTarget(target);
+    HALK_RETURN_NOT_OK(graph_.Validate(/*grounded=*/true));
+    return std::move(graph_);
+  }
+
+ private:
+  Result<int> AnchorFor(const std::string& iri) {
+    HALK_ASSIGN_OR_RETURN(int64_t id, kg_.entities().Lookup(iri));
+    return graph_.AddAnchor(id);
+  }
+
+  Result<int64_t> RelationFor(const std::string& iri) {
+    return kg_.relations().Lookup(iri);
+  }
+
+  // Builds the node computing variable `var` within `group`.
+  Result<int> BuildVariable(const std::string& var,
+                            const GroupPattern& group) {
+    if (!visiting_.insert(var).second) {
+      return Status::InvalidArgument("cyclic variable dependency through ?" +
+                                     var);
+    }
+    std::vector<int> branches;
+
+    for (const TriplePattern& t : group.triples) {
+      if (t.object.is_variable() && t.object.text == var) {
+        // (s, p, ?var): forward projection.
+        HALK_ASSIGN_OR_RETURN(int64_t rel, RelationFor(t.predicate.text));
+        int source;
+        if (t.subject.is_variable()) {
+          HALK_ASSIGN_OR_RETURN(source,
+                                BuildVariable(t.subject.text, group));
+        } else {
+          HALK_ASSIGN_OR_RETURN(source, AnchorFor(t.subject.text));
+        }
+        branches.push_back(graph_.AddProjection(source, rel));
+      } else if (t.subject.is_variable() && t.subject.text == var) {
+        // (?var, p, o): traverse p backwards via the inverse relation.
+        // When o is a variable currently being resolved, this triple is
+        // oriented the other way (it produces o from var, not var from o).
+        if (t.object.is_variable() && visiting_.count(t.object.text)) {
+          continue;
+        }
+        const std::string inv = t.predicate.text + "_inv";
+        Result<int64_t> rel = RelationFor(inv);
+        if (!rel.ok()) {
+          // Only fatal if no other pattern produces this variable.
+          deferred_error_ = "pattern (?" + var + " " + t.predicate.text +
+                            " o) needs inverse relation '" + inv +
+                            "' in the KG vocabulary";
+          continue;
+        }
+        int source;
+        if (t.object.is_variable()) {
+          HALK_ASSIGN_OR_RETURN(source, BuildVariable(t.object.text, group));
+        } else {
+          HALK_ASSIGN_OR_RETURN(source, AnchorFor(t.object.text));
+        }
+        branches.push_back(graph_.AddProjection(source, *rel));
+      }
+    }
+
+    for (const auto& alternatives : group.unions) {
+      bool relevant = false;
+      for (const GroupPattern& alt : alternatives) {
+        relevant = relevant || GroupMentions(alt, var);
+      }
+      if (!relevant) continue;
+      std::vector<int> alt_nodes;
+      for (const GroupPattern& alt : alternatives) {
+        HALK_ASSIGN_OR_RETURN(int node, BuildVariableScoped(var, alt));
+        alt_nodes.push_back(node);
+      }
+      branches.push_back(graph_.AddUnion(std::move(alt_nodes)));
+    }
+
+    if (branches.empty()) {
+      visiting_.erase(var);
+      if (!deferred_error_.empty()) {
+        return Status::InvalidArgument(deferred_error_);
+      }
+      return Status::InvalidArgument("variable ?" + var +
+                                     " has no producing pattern");
+    }
+    int node = branches.size() == 1 ? branches[0]
+                                    : graph_.AddIntersection(branches);
+
+    // MINUS -> difference. Blocks attach to the variable they mention;
+    // blocks about other variables are handled when those are built.
+    std::vector<int> subtrahends;
+    for (const GroupPattern& g : group.minus) {
+      if (!GroupMentions(g, var)) continue;
+      HALK_ASSIGN_OR_RETURN(int sub, BuildVariableScoped(var, g));
+      subtrahends.push_back(sub);
+    }
+    if (!subtrahends.empty()) {
+      std::vector<int> inputs = {node};
+      inputs.insert(inputs.end(), subtrahends.begin(), subtrahends.end());
+      node = graph_.AddDifference(std::move(inputs));
+    }
+
+    // FILTER NOT EXISTS -> negation + intersection.
+    for (const GroupPattern& g : group.not_exists) {
+      if (!GroupMentions(g, var)) continue;
+      HALK_ASSIGN_OR_RETURN(int inner, BuildVariableScoped(var, g));
+      node = graph_.AddIntersection({node, graph_.AddNegation(inner)});
+    }
+
+    visiting_.erase(var);
+    return node;
+  }
+
+  // Builds `var` inside a nested group with a fresh visiting scope for it
+  // (the nested group is an independent pattern over the same variable).
+  Result<int> BuildVariableScoped(const std::string& var,
+                                  const GroupPattern& group) {
+    visiting_.erase(var);
+    Result<int> out = BuildVariable(var, group);
+    visiting_.insert(var);
+    return out;
+  }
+
+  const kg::KnowledgeGraph& kg_;
+  query::QueryGraph graph_;
+  std::set<std::string> visiting_;
+  std::string deferred_error_;
+};
+
+}  // namespace
+
+Result<query::QueryGraph> ToQueryGraph(const SelectQuery& select,
+                                       const kg::KnowledgeGraph& kg) {
+  Adaptor adaptor(kg);
+  return adaptor.Build(select);
+}
+
+Result<query::QueryGraph> CompileSparql(const std::string& text,
+                                        const kg::KnowledgeGraph& kg) {
+  HALK_ASSIGN_OR_RETURN(SelectQuery select, Parse(text));
+  return ToQueryGraph(select, kg);
+}
+
+}  // namespace halk::sparql

@@ -1,0 +1,37 @@
+#ifndef HALK_SPARQL_ADAPTOR_H_
+#define HALK_SPARQL_ADAPTOR_H_
+
+#include "common/status.h"
+#include "kg/graph.h"
+#include "query/dag.h"
+#include "sparql/ast.h"
+
+namespace halk::sparql {
+
+/// The query Adaptor of Sec. IV-F (Fig. 7b): maps SPARQL graph patterns
+/// onto HaLk's five logical operators and produces a grounded computation
+/// graph ready for any QueryModel, the symbolic executor, or the matcher.
+///
+/// Mapping:
+///   triple `(s, p, ?v)`             -> projection of s through p
+///   triple `(?v, p, o)`             -> projection of o through `p_inv`
+///                                      (requires the inverse relation to
+///                                      exist in the KG's vocabulary)
+///   several producers of ?v         -> intersection
+///   `{A} UNION {B}` producing ?v    -> union
+///   `MINUS {...}`                   -> difference
+///   `FILTER NOT EXISTS {...}`       -> negation + intersection
+///
+/// Constraints (clearly reported as errors): single projection variable,
+/// constant predicates, acyclic variable dependencies, and every variable
+/// on the path to the target must have at least one producer.
+Result<query::QueryGraph> ToQueryGraph(const SelectQuery& select,
+                                       const kg::KnowledgeGraph& kg);
+
+/// Convenience wrapper: parse + adapt.
+Result<query::QueryGraph> CompileSparql(const std::string& text,
+                                        const kg::KnowledgeGraph& kg);
+
+}  // namespace halk::sparql
+
+#endif  // HALK_SPARQL_ADAPTOR_H_

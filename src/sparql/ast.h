@@ -1,0 +1,48 @@
+#ifndef HALK_SPARQL_AST_H_
+#define HALK_SPARQL_AST_H_
+
+#include <string>
+#include <vector>
+
+namespace halk::sparql {
+
+/// A term of a triple pattern: either a variable (`?x`) or a constant IRI
+/// (`:Oscar`, `ns:Oscar`, `<http://example.org/Oscar>` — normalized to the
+/// local name).
+struct Term {
+  enum class Kind { kVariable, kIri };
+  Kind kind = Kind::kIri;
+  std::string text;
+
+  bool is_variable() const { return kind == Kind::kVariable; }
+};
+
+/// `subject predicate object .`
+struct TriplePattern {
+  Term subject;
+  Term predicate;
+  Term object;
+};
+
+/// A `{ ... }` group: basic graph pattern plus the three pattern operators
+/// the HaLk Adaptor maps to logical operators (Fig. 7):
+///   FILTER NOT EXISTS { ... }  ->  negation
+///   MINUS { ... }              ->  difference
+///   { ... } UNION { ... }      ->  union
+struct GroupPattern {
+  std::vector<TriplePattern> triples;
+  std::vector<GroupPattern> not_exists;
+  std::vector<GroupPattern> minus;
+  /// Each entry is a list of >= 2 alternative groups.
+  std::vector<std::vector<GroupPattern>> unions;
+};
+
+/// `SELECT ?target WHERE { ... }`.
+struct SelectQuery {
+  std::string target_variable;  // without the '?'
+  GroupPattern where;
+};
+
+}  // namespace halk::sparql
+
+#endif  // HALK_SPARQL_AST_H_

@@ -1,0 +1,110 @@
+#include "sparql/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace halk::sparql {
+
+namespace {
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-';
+}
+
+bool IsKeyword(const std::string& upper) {
+  static const char* kKeywords[] = {"SELECT", "WHERE",  "FILTER",
+                                    "NOT",    "EXISTS", "MINUS",
+                                    "UNION",  "PREFIX", "DISTINCT"};
+  for (const char* k : kKeywords) {
+    if (upper == k) return true;
+  }
+  return false;
+}
+
+// Local name of an IRI-ish string: text after the last ':', '/', or '#'.
+std::string LocalName(const std::string& raw) {
+  const size_t pos = raw.find_last_of(":/#");
+  return pos == std::string::npos ? raw : raw.substr(pos + 1);
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const int pos = static_cast<int>(i);
+    if (c == '#') {  // comment to end of line
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '{') {
+      tokens.push_back({TokenType::kLBrace, "{", pos});
+      ++i;
+      continue;
+    }
+    if (c == '}') {
+      tokens.push_back({TokenType::kRBrace, "}", pos});
+      ++i;
+      continue;
+    }
+    if (c == '.') {
+      tokens.push_back({TokenType::kDot, ".", pos});
+      ++i;
+      continue;
+    }
+    if (c == '?' || c == '$') {
+      ++i;
+      std::string name;
+      while (i < n && IsNameChar(input[i])) name += input[i++];
+      if (name.empty()) {
+        return Status::ParseError(
+            StrFormat("empty variable name at offset %d", pos));
+      }
+      tokens.push_back({TokenType::kVariable, name, pos});
+      continue;
+    }
+    if (c == '<') {
+      ++i;
+      std::string raw;
+      while (i < n && input[i] != '>') raw += input[i++];
+      if (i == n) {
+        return Status::ParseError(
+            StrFormat("unterminated IRI at offset %d", pos));
+      }
+      ++i;  // '>'
+      tokens.push_back({TokenType::kIri, LocalName(raw), pos});
+      continue;
+    }
+    if (IsNameChar(c) || c == ':') {
+      std::string raw;
+      while (i < n && (IsNameChar(input[i]) || input[i] == ':')) {
+        raw += input[i++];
+      }
+      const std::string upper = [&raw] {
+        std::string u = raw;
+        for (char& ch : u) ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+        return u;
+      }();
+      if (IsKeyword(upper)) {
+        tokens.push_back({TokenType::kKeyword, upper, pos});
+      } else {
+        tokens.push_back({TokenType::kIri, LocalName(raw), pos});
+      }
+      continue;
+    }
+    return Status::ParseError(
+        StrFormat("unexpected character '%c' at offset %d", c, pos));
+  }
+  tokens.push_back({TokenType::kEnd, "", static_cast<int>(n)});
+  return tokens;
+}
+
+}  // namespace halk::sparql

@@ -1,0 +1,34 @@
+#ifndef HALK_SPARQL_LEXER_H_
+#define HALK_SPARQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace halk::sparql {
+
+enum class TokenType {
+  kKeyword,   // SELECT WHERE FILTER NOT EXISTS MINUS UNION PREFIX DISTINCT
+  kVariable,  // ?name (text = name)
+  kIri,       // :name, ns:name, <...> (text = local name)
+  kLBrace,
+  kRBrace,
+  kDot,
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;  // keyword upper-cased; names as written
+  int position = 0;  // byte offset, for error messages
+};
+
+/// Tokenizes a SPARQL-subset query. Keywords are case-insensitive; IRIs
+/// are normalized to their local names (text after the last ':', '/', or
+/// '#').
+Result<std::vector<Token>> Lex(const std::string& input);
+
+}  // namespace halk::sparql
+
+#endif  // HALK_SPARQL_LEXER_H_

@@ -1,0 +1,141 @@
+#include "sparql/parser.h"
+
+#include "common/string_util.h"
+#include "sparql/lexer.h"
+
+namespace halk::sparql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectQuery> ParseQuery() {
+    // PREFIX declarations (ignored: IRIs are normalized to local names).
+    while (PeekKeyword("PREFIX")) {
+      Advance();  // PREFIX
+      if (Peek().type != TokenType::kIri) {
+        return Error("expected prefix name after PREFIX");
+      }
+      Advance();  // ns (the ':' is folded into the IRI token)
+      if (Peek().type != TokenType::kIri) {
+        return Error("expected IRI after prefix name");
+      }
+      Advance();  // <...>
+    }
+    if (!PeekKeyword("SELECT")) return Error("expected SELECT");
+    Advance();
+    if (PeekKeyword("DISTINCT")) Advance();
+    if (Peek().type != TokenType::kVariable) {
+      return Error("expected a single projection variable after SELECT");
+    }
+    SelectQuery out;
+    out.target_variable = Peek().text;
+    Advance();
+    if (Peek().type == TokenType::kVariable) {
+      return Error("only one projection variable is supported");
+    }
+    if (!PeekKeyword("WHERE")) return Error("expected WHERE");
+    Advance();
+    HALK_ASSIGN_OR_RETURN(out.where, ParseGroup());
+    if (Peek().type != TokenType::kEnd) {
+      return Error("trailing tokens after query");
+    }
+    return out;
+  }
+
+ private:
+  Result<GroupPattern> ParseGroup() {
+    if (Peek().type != TokenType::kLBrace) return ErrorG("expected '{'");
+    Advance();
+    GroupPattern group;
+    while (Peek().type != TokenType::kRBrace) {
+      if (Peek().type == TokenType::kEnd) return ErrorG("unterminated group");
+      if (PeekKeyword("FILTER")) {
+        Advance();
+        if (!PeekKeyword("NOT")) return ErrorG("only FILTER NOT EXISTS is supported");
+        Advance();
+        if (!PeekKeyword("EXISTS")) return ErrorG("expected EXISTS after FILTER NOT");
+        Advance();
+        HALK_ASSIGN_OR_RETURN(GroupPattern inner, ParseGroup());
+        group.not_exists.push_back(std::move(inner));
+        continue;
+      }
+      if (PeekKeyword("MINUS")) {
+        Advance();
+        HALK_ASSIGN_OR_RETURN(GroupPattern inner, ParseGroup());
+        group.minus.push_back(std::move(inner));
+        continue;
+      }
+      if (Peek().type == TokenType::kLBrace) {
+        // `{ A } UNION { B } [UNION { C }]...`
+        std::vector<GroupPattern> alternatives;
+        HALK_ASSIGN_OR_RETURN(GroupPattern first, ParseGroup());
+        alternatives.push_back(std::move(first));
+        while (PeekKeyword("UNION")) {
+          Advance();
+          HALK_ASSIGN_OR_RETURN(GroupPattern next, ParseGroup());
+          alternatives.push_back(std::move(next));
+        }
+        if (alternatives.size() < 2) {
+          return ErrorG("nested group without UNION");
+        }
+        group.unions.push_back(std::move(alternatives));
+        continue;
+      }
+      // Triple pattern.
+      HALK_ASSIGN_OR_RETURN(Term s, ParseTerm());
+      HALK_ASSIGN_OR_RETURN(Term p, ParseTerm());
+      HALK_ASSIGN_OR_RETURN(Term o, ParseTerm());
+      if (p.is_variable()) {
+        return ErrorG("variable predicates are not supported");
+      }
+      group.triples.push_back({std::move(s), std::move(p), std::move(o)});
+      if (Peek().type == TokenType::kDot) Advance();
+    }
+    Advance();  // '}'
+    return group;
+  }
+
+  Result<Term> ParseTerm() {
+    const Token& t = Peek();
+    if (t.type == TokenType::kVariable) {
+      Advance();
+      return Term{Term::Kind::kVariable, t.text};
+    }
+    if (t.type == TokenType::kIri) {
+      Advance();
+      return Term{Term::Kind::kIri, t.text};
+    }
+    return Status(StatusCode::kParseError,
+                  StrFormat("expected term at offset %d", t.position));
+  }
+
+  const Token& Peek() const { return tokens_[index_]; }
+  void Advance() {
+    if (index_ + 1 < tokens_.size()) ++index_;
+  }
+  bool PeekKeyword(const char* kw) const {
+    return Peek().type == TokenType::kKeyword && Peek().text == kw;
+  }
+  Status Error(const char* message) const {
+    return Status::ParseError(
+        StrFormat("%s (offset %d)", message, Peek().position));
+  }
+  // Same as Error; separate name keeps Result<GroupPattern> returns terse.
+  Status ErrorG(const char* message) const { return Error(message); }
+
+  std::vector<Token> tokens_;
+  size_t index_ = 0;
+};
+
+}  // namespace
+
+Result<SelectQuery> Parse(const std::string& input) {
+  HALK_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseQuery();
+}
+
+}  // namespace halk::sparql

@@ -1,0 +1,28 @@
+#ifndef HALK_SPARQL_PARSER_H_
+#define HALK_SPARQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sparql/ast.h"
+
+namespace halk::sparql {
+
+/// Parses a SPARQL-subset SELECT query:
+///
+///   PREFIX ns: <...>                       (accepted and ignored)
+///   SELECT [DISTINCT] ?x WHERE {
+///     ?x :rel :Const .                     basic graph pattern
+///     :Const :rel ?y .
+///     FILTER NOT EXISTS { ... }            -> negation
+///     MINUS { ... }                        -> difference
+///     { ... } UNION { ... }                -> union
+///   }
+///
+/// Exactly one projection variable is supported (the paper targets
+/// single-answer-variable logical queries).
+Result<SelectQuery> Parse(const std::string& input);
+
+}  // namespace halk::sparql
+
+#endif  // HALK_SPARQL_PARSER_H_

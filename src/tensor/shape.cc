@@ -1,0 +1,29 @@
+#include "tensor/shape.h"
+
+#include "common/logging.h"
+
+namespace halk::tensor {
+
+int64_t Shape::dim(int i) const {
+  HALK_CHECK_GE(i, 0);
+  HALK_CHECK_LT(i, rank());
+  return dims_[static_cast<size_t>(i)];
+}
+
+int64_t Shape::numel() const {
+  int64_t n = 1;
+  for (int64_t d : dims_) n *= d;
+  return n;
+}
+
+std::string Shape::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(dims_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace halk::tensor

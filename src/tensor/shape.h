@@ -1,0 +1,38 @@
+#ifndef HALK_TENSOR_SHAPE_H_
+#define HALK_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace halk::tensor {
+
+/// Dimensions of a Tensor. The library works with rank-1 vectors `[d]` and
+/// rank-2 batched matrices `[B, d]`; scalars are rank-1 tensors of size 1.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {}
+
+  int rank() const { return static_cast<int>(dims_.size()); }
+  int64_t dim(int i) const;
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  /// Total number of elements (1 for rank-0).
+  int64_t numel() const;
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// e.g. "[32, 16]".
+  std::string ToString() const;
+
+ private:
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace halk::tensor
+
+#endif  // HALK_TENSOR_SHAPE_H_

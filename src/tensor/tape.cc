@@ -1,0 +1,75 @@
+#include "tensor/tape.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace halk::tensor {
+
+namespace {
+
+// Iterative post-order DFS over the op graph; returns nodes such that every
+// node appears after all nodes that consume it when iterated in reverse.
+std::vector<TensorImpl*> TopoOrder(TensorImpl* root) {
+  std::vector<TensorImpl*> order;
+  std::unordered_set<TensorImpl*> visited;
+  struct Frame {
+    TensorImpl* node;
+    size_t next_input;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root, 0});
+  visited.insert(root);
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_input < top.node->inputs.size()) {
+      TensorImpl* child = top.node->inputs[top.next_input++].get();
+      if (child->requires_grad && visited.insert(child).second) {
+        stack.push_back({child, 0});
+      }
+    } else {
+      order.push_back(top.node);
+      stack.pop_back();
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+void Backward(const Tensor& root) {
+  HALK_CHECK(root.defined());
+  HALK_CHECK_EQ(root.numel(), 1) << "Backward root must be scalar";
+  HALK_CHECK(root.requires_grad())
+      << "Backward called on a graph with no trainable inputs";
+
+  TensorImpl* r = root.impl().get();
+  std::vector<TensorImpl*> order = TopoOrder(r);
+  r->EnsureGrad();
+  r->grad[0] += 1.0f;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    TensorImpl* node = *it;
+    if (node->backward) {
+      node->EnsureGrad();
+      node->backward(node);
+    }
+  }
+}
+
+int64_t GraphSize(const Tensor& root) {
+  HALK_CHECK(root.defined());
+  std::unordered_set<TensorImpl*> visited;
+  std::vector<TensorImpl*> stack = {root.impl().get()};
+  visited.insert(root.impl().get());
+  while (!stack.empty()) {
+    TensorImpl* node = stack.back();
+    stack.pop_back();
+    for (const auto& in : node->inputs) {
+      if (visited.insert(in.get()).second) stack.push_back(in.get());
+    }
+  }
+  return static_cast<int64_t>(visited.size());
+}
+
+}  // namespace halk::tensor

@@ -1,0 +1,20 @@
+#ifndef HALK_TENSOR_TAPE_H_
+#define HALK_TENSOR_TAPE_H_
+
+#include "tensor/tensor.h"
+
+namespace halk::tensor {
+
+/// Runs reverse-mode accumulation from `root` (a scalar: numel == 1).
+/// Gradients are *accumulated* into `grad()` of every tensor reachable
+/// through the op graph whose `requires_grad()` is set; call ZeroGrad (or
+/// use an optimizer that does) between steps.
+void Backward(const Tensor& root);
+
+/// Number of nodes reachable from `root` through the autograd graph
+/// (diagnostics/tests).
+int64_t GraphSize(const Tensor& root);
+
+}  // namespace halk::tensor
+
+#endif  // HALK_TENSOR_TAPE_H_

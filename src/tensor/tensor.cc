@@ -1,0 +1,128 @@
+#include "tensor/tensor.h"
+
+#include "common/logging.h"
+
+namespace halk::tensor {
+
+namespace {
+std::shared_ptr<TensorImpl> NewLeaf(const Shape& shape) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data.assign(static_cast<size_t>(shape.numel()), 0.0f);
+  return impl;
+}
+}  // namespace
+
+Tensor Tensor::Zeros(const Shape& shape) { return Tensor(NewLeaf(shape)); }
+
+Tensor Tensor::Full(const Shape& shape, float value) {
+  auto impl = NewLeaf(shape);
+  std::fill(impl->data.begin(), impl->data.end(), value);
+  return Tensor(impl);
+}
+
+Tensor Tensor::FromVector(const Shape& shape, std::vector<float> values) {
+  HALK_CHECK_EQ(shape.numel(), static_cast<int64_t>(values.size()));
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data = std::move(values);
+  return Tensor(impl);
+}
+
+Tensor Tensor::Scalar(float value) { return Full(Shape({1}), value); }
+
+const Shape& Tensor::shape() const {
+  HALK_CHECK(defined());
+  return impl_->shape;
+}
+
+int64_t Tensor::numel() const { return shape().numel(); }
+
+float* Tensor::data() {
+  HALK_CHECK(defined());
+  return impl_->data.data();
+}
+
+const float* Tensor::data() const {
+  HALK_CHECK(defined());
+  return impl_->data.data();
+}
+
+float Tensor::at(int64_t i) const {
+  HALK_CHECK_GE(i, 0);
+  HALK_CHECK_LT(i, numel());
+  return impl_->data[static_cast<size_t>(i)];
+}
+
+float Tensor::at(int64_t row, int64_t col) const {
+  HALK_CHECK_EQ(shape().rank(), 2);
+  const int64_t cols = shape().dim(1);
+  HALK_CHECK_GE(row, 0);
+  HALK_CHECK_LT(row, shape().dim(0));
+  HALK_CHECK_GE(col, 0);
+  HALK_CHECK_LT(col, cols);
+  return impl_->data[static_cast<size_t>(row * cols + col)];
+}
+
+bool Tensor::requires_grad() const {
+  HALK_CHECK(defined());
+  return impl_->requires_grad;
+}
+
+Tensor& Tensor::set_requires_grad(bool value) {
+  HALK_CHECK(defined());
+  impl_->requires_grad = value;
+  return *this;
+}
+
+float* Tensor::grad() {
+  HALK_CHECK(defined());
+  impl_->EnsureGrad();
+  return impl_->grad.data();
+}
+
+const std::vector<float>& Tensor::grad_vector() const {
+  HALK_CHECK(defined());
+  impl_->EnsureGrad();
+  return impl_->grad;
+}
+
+void Tensor::ZeroGrad() {
+  HALK_CHECK(defined());
+  std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+}
+
+Tensor Tensor::Detach() const {
+  HALK_CHECK(defined());
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = impl_->shape;
+  impl->data = impl_->data;
+  impl->op_name = "detach";
+  return Tensor(impl);
+}
+
+std::vector<float> Tensor::ToVector() const {
+  HALK_CHECK(defined());
+  return impl_->data;
+}
+
+Tensor MakeOpResult(const Shape& shape, const char* op_name,
+                    std::vector<Tensor> inputs,
+                    std::function<void(TensorImpl*)> backward) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data.assign(static_cast<size_t>(shape.numel()), 0.0f);
+  impl->op_name = op_name;
+  bool needs_grad = false;
+  impl->inputs.reserve(inputs.size());
+  for (const Tensor& t : inputs) {
+    HALK_CHECK(t.defined());
+    needs_grad = needs_grad || t.requires_grad();
+    impl->inputs.push_back(t.impl());
+  }
+  impl->requires_grad = needs_grad;
+  if (needs_grad) impl->backward = std::move(backward);
+  return Tensor(impl);
+}
+
+}  // namespace halk::tensor

@@ -1,0 +1,90 @@
+#ifndef HALK_TENSOR_TENSOR_H_
+#define HALK_TENSOR_TENSOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/shape.h"
+
+namespace halk::tensor {
+
+struct TensorImpl;
+
+/// Value-semantic handle to a node in the autograd graph. Copying a Tensor
+/// copies the handle, not the buffer. Each differentiable op produced by
+/// `halk::tensor` ops records its inputs and a backward closure; calling
+/// `Backward(loss)` (tape.h) runs reverse-mode accumulation into `grad()`
+/// of every reachable tensor with `requires_grad()`.
+class Tensor {
+ public:
+  /// Null handle; `defined()` is false.
+  Tensor() = default;
+  explicit Tensor(std::shared_ptr<TensorImpl> impl) : impl_(std::move(impl)) {}
+
+  /// Factory constructors. None of these require gradients by default.
+  static Tensor Zeros(const Shape& shape);
+  static Tensor Full(const Shape& shape, float value);
+  static Tensor FromVector(const Shape& shape, std::vector<float> values);
+  static Tensor Scalar(float value);
+
+  bool defined() const { return impl_ != nullptr; }
+
+  const Shape& shape() const;
+  int64_t numel() const;
+
+  /// Raw buffer access (row-major).
+  float* data();
+  const float* data() const;
+
+  /// Element accessors for tests and glue code.
+  float at(int64_t i) const;
+  float at(int64_t row, int64_t col) const;
+
+  bool requires_grad() const;
+  /// Marks this tensor as a trainable leaf.
+  Tensor& set_requires_grad(bool value);
+
+  /// Gradient buffer; allocated (zero-filled) on first access.
+  float* grad();
+  const std::vector<float>& grad_vector() const;
+  void ZeroGrad();
+
+  /// A tensor sharing this buffer but cut off from the autograd graph.
+  Tensor Detach() const;
+
+  /// Copies out the contents.
+  std::vector<float> ToVector() const;
+
+  std::shared_ptr<TensorImpl> impl() const { return impl_; }
+
+ private:
+  std::shared_ptr<TensorImpl> impl_;
+};
+
+/// Internal node storage. Public because ops.cc and tape.cc manipulate it;
+/// library users interact with Tensor only.
+struct TensorImpl {
+  Shape shape;
+  std::vector<float> data;
+  std::vector<float> grad;  // empty until needed
+  bool requires_grad = false;
+  const char* op_name = "leaf";
+  std::vector<std::shared_ptr<TensorImpl>> inputs;
+  /// Propagates this node's grad into inputs' grads. Null for leaves.
+  std::function<void(TensorImpl*)> backward;
+
+  void EnsureGrad() {
+    if (grad.empty()) grad.assign(data.size(), 0.0f);
+  }
+};
+
+/// Creates a non-leaf op result over `inputs`; requires_grad is inherited.
+Tensor MakeOpResult(const Shape& shape, const char* op_name,
+                    std::vector<Tensor> inputs,
+                    std::function<void(TensorImpl*)> backward);
+
+}  // namespace halk::tensor
+
+#endif  // HALK_TENSOR_TENSOR_H_

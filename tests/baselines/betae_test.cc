@@ -1,0 +1,163 @@
+#include "baselines/betae.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "kg/synthetic.h"
+#include "query/sampler.h"
+#include "tensor/ops.h"
+#include "tensor/tape.h"
+
+namespace halk::baselines {
+namespace {
+
+using core::EmbeddingBatch;
+using tensor::Tensor;
+
+// --- Special functions backing the KL distance. ---
+
+TEST(SpecialFunctionsTest, DigammaKnownValues) {
+  // ψ(1) = -γ_EM, ψ(2) = 1 - γ_EM, ψ(0.5) = -γ_EM - 2 ln 2.
+  constexpr float kEulerMascheroni = 0.5772157f;
+  EXPECT_NEAR(tensor::special::DigammaScalar(1.0f), -kEulerMascheroni, 1e-4f);
+  EXPECT_NEAR(tensor::special::DigammaScalar(2.0f), 1.0f - kEulerMascheroni,
+              1e-4f);
+  EXPECT_NEAR(tensor::special::DigammaScalar(0.5f),
+              -kEulerMascheroni - 2.0f * std::log(2.0f), 1e-4f);
+}
+
+TEST(SpecialFunctionsTest, TrigammaKnownValues) {
+  // ψ'(1) = π²/6, ψ'(2) = π²/6 − 1.
+  constexpr float kPiSq6 = 1.6449341f;
+  EXPECT_NEAR(tensor::special::TrigammaScalar(1.0f), kPiSq6, 1e-3f);
+  EXPECT_NEAR(tensor::special::TrigammaScalar(2.0f), kPiSq6 - 1.0f, 1e-3f);
+}
+
+TEST(SpecialFunctionsTest, DigammaIsLgammaDerivative) {
+  for (float x : {0.3f, 1.0f, 2.5f, 7.0f, 20.0f}) {
+    const float eps = 1e-3f;
+    const float numeric =
+        (std::lgamma(x + eps) - std::lgamma(x - eps)) / (2.0f * eps);
+    EXPECT_NEAR(tensor::special::DigammaScalar(x), numeric, 5e-3f) << x;
+  }
+}
+
+TEST(SpecialFunctionsTest, LgammaOpGradientMatchesDigamma) {
+  Tensor x = Tensor::FromVector({3}, {0.7f, 2.0f, 9.0f});
+  x.set_requires_grad(true);
+  tensor::Backward(tensor::SumAll(tensor::Lgamma(x)));
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(x.grad()[i], tensor::special::DigammaScalar(x.at(i)), 1e-4f);
+  }
+}
+
+// --- The model itself. ---
+
+class BetaETest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    kg::SyntheticKgOptions opt;
+    opt.num_entities = 150;
+    opt.num_relations = 6;
+    opt.num_triples = 1100;
+    opt.seed = 88;
+    dataset_ = new kg::Dataset(kg::GenerateSyntheticKg(opt));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static core::ModelConfig SmallConfig() {
+    core::ModelConfig c;
+    c.num_entities = dataset_->train.num_entities();
+    c.num_relations = dataset_->train.num_relations();
+    c.dim = 8;
+    c.hidden = 16;
+    c.seed = 7;
+    return c;
+  }
+  static kg::Dataset* dataset_;
+};
+
+kg::Dataset* BetaETest::dataset_ = nullptr;
+
+TEST_F(BetaETest, ParametersStayPositive) {
+  BetaEModel model(SmallConfig(), nullptr);
+  EmbeddingBatch anchors = model.EmbedAnchors({0, 1, 2});
+  for (int64_t i = 0; i < anchors.a.numel(); ++i) {
+    EXPECT_GE(anchors.a.at(i), BetaEModel::kMinParam);
+    EXPECT_GE(anchors.b.at(i), BetaEModel::kMinParam);
+  }
+  EmbeddingBatch proj = model.Projection(anchors, {0, 1, 2});
+  for (int64_t i = 0; i < proj.a.numel(); ++i) {
+    EXPECT_GE(proj.a.at(i), BetaEModel::kMinParam);
+  }
+}
+
+TEST_F(BetaETest, KlIsZeroForIdenticalDistributions) {
+  BetaEModel model(SmallConfig(), nullptr);
+  EmbeddingBatch self = model.EmbedAnchors({5});
+  Tensor d = model.Distance({5}, self);
+  EXPECT_NEAR(d.at(0), 0.0f, 1e-3f);
+}
+
+TEST_F(BetaETest, KlIsNonNegative) {
+  BetaEModel model(SmallConfig(), nullptr);
+  EmbeddingBatch q = model.Projection(model.EmbedAnchors({0}), {0});
+  for (int64_t e = 0; e < 20; ++e) {
+    Tensor d = model.Distance({e}, q);
+    EXPECT_GE(d.at(0), -1e-3f) << "entity " << e;
+  }
+}
+
+TEST_F(BetaETest, DoubleNegationIsIdentity) {
+  // (1/(1/α), 1/(1/β)) = (α, β) exactly.
+  BetaEModel model(SmallConfig(), nullptr);
+  EmbeddingBatch x = model.EmbedAnchors({3});
+  EmbeddingBatch nn = model.Negation(model.Negation(x));
+  for (int64_t i = 0; i < x.a.numel(); ++i) {
+    EXPECT_NEAR(nn.a.at(i), x.a.at(i), 1e-4f);
+    EXPECT_NEAR(nn.b.at(i), x.b.at(i), 1e-4f);
+  }
+}
+
+TEST_F(BetaETest, DistanceConsistentWithDistancesToAll) {
+  BetaEModel model(SmallConfig(), nullptr);
+  query::QuerySampler sampler(&dataset_->train, 3);
+  auto q = sampler.Sample(query::StructureId::k2i);
+  ASSERT_TRUE(q.ok());
+  std::vector<const query::QueryGraph*> batch = {&q->graph};
+  EmbeddingBatch emb = model.EmbedQueries(batch);
+  std::vector<float> all;
+  model.DistancesToAll(emb, 0, &all);
+  for (int64_t e : {int64_t{0}, int64_t{40}, int64_t{120}}) {
+    Tensor d = model.Distance({e}, emb);
+    EXPECT_NEAR(d.at(0), all[static_cast<size_t>(e)], 2e-2f);
+  }
+}
+
+TEST_F(BetaETest, TrainsWithoutNan) {
+  BetaEModel model(SmallConfig(), nullptr);
+  core::TrainerOptions opt;
+  opt.steps = 60;
+  opt.batch_size = 8;
+  opt.num_negatives = 4;
+  opt.learning_rate = 3e-3f;
+  opt.queries_per_structure = 30;
+  opt.seed = 5;
+  core::Trainer trainer(&model, &dataset_->train, nullptr, opt);
+  auto stats = trainer.Train();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(std::isfinite(stats->final_loss));
+}
+
+TEST_F(BetaETest, SupportsMatchesBetaEFamily) {
+  BetaEModel model(SmallConfig(), nullptr);
+  EXPECT_TRUE(model.Supports(query::OpType::kNegation));
+  EXPECT_FALSE(model.Supports(query::OpType::kDifference));
+}
+
+}  // namespace
+}  // namespace halk::baselines

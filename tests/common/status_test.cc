@@ -1,0 +1,88 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace halk {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad dim");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad dim");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad dim");
+}
+
+TEST(StatusTest, AllFactoryCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, ValueOrDieMovesValue) {
+  Result<std::string> r = std::string("hello");
+  std::string v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v, "hello");
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Chain(int x) {
+  HALK_RETURN_NOT_OK(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(Chain(1).ok());
+  EXPECT_FALSE(Chain(-1).ok());
+}
+
+Result<int> MakeEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x;
+}
+
+Result<int> DoubleEven(int x) {
+  HALK_ASSIGN_OR_RETURN(int v, MakeEven(x));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  Result<int> ok = DoubleEven(4);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 8);
+  Result<int> err = DoubleEven(3);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace halk

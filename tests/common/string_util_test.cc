@@ -1,0 +1,61 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace halk {
+namespace {
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a\tb\t\tc", '\t');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringUtilTest, SplitEmptyString) {
+  auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpties) {
+  auto parts = SplitWhitespace("  foo \t bar\nbaz  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[1], "bar");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t\n "), "");
+  EXPECT_EQ(Trim("no_trim"), "no_trim");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("SELECT * WHERE", "SELECT"));
+  EXPECT_FALSE(StartsWith("SEL", "SELECT"));
+  EXPECT_TRUE(EndsWith("query.tsv", ".tsv"));
+  EXPECT_FALSE(EndsWith("tsv", ".tsv"));
+}
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s-%.2f", 3, "x", 1.5), "3-x-1.50");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+}  // namespace
+}  // namespace halk

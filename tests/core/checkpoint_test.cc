@@ -1,0 +1,149 @@
+#include "core/checkpoint.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "baselines/factory.h"
+#include "core/halk_model.h"
+#include "kg/synthetic.h"
+#include "query/sampler.h"
+
+namespace halk::core {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    kg::SyntheticKgOptions opt;
+    opt.num_entities = 120;
+    opt.num_relations = 6;
+    opt.num_triples = 900;
+    opt.seed = 31;
+    dataset_ = new kg::Dataset(kg::GenerateSyntheticKg(opt));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static ModelConfig SmallConfig(uint64_t seed = 3) {
+    ModelConfig c;
+    c.num_entities = dataset_->train.num_entities();
+    c.num_relations = dataset_->train.num_relations();
+    c.dim = 8;
+    c.hidden = 16;
+    c.seed = seed;
+    return c;
+  }
+
+  std::string TempPath(const char* name) {
+    return testing::TempDir() + "/" + name;
+  }
+
+  static kg::Dataset* dataset_;
+};
+
+kg::Dataset* CheckpointTest::dataset_ = nullptr;
+
+TEST_F(CheckpointTest, RoundTripRestoresEveryParameter) {
+  HalkModel a(SmallConfig(3), nullptr);
+  const std::string path = TempPath("halk_ckpt_roundtrip.bin");
+  ASSERT_TRUE(SaveCheckpoint(a, path).ok());
+
+  HalkModel b(SmallConfig(99), nullptr);  // different random init
+  ASSERT_TRUE(LoadCheckpoint(&b, path).ok());
+  auto pa = a.Parameters();
+  auto pb = b.Parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t t = 0; t < pa.size(); ++t) {
+    for (int64_t i = 0; i < pa[t].numel(); ++i) {
+      ASSERT_EQ(pa[t].at(i), pb[t].at(i)) << "tensor " << t;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, RestoredModelProducesIdenticalEmbeddings) {
+  HalkModel a(SmallConfig(3), nullptr);
+  const std::string path = TempPath("halk_ckpt_embed.bin");
+  ASSERT_TRUE(SaveCheckpoint(a, path).ok());
+  HalkModel b(SmallConfig(77), nullptr);
+  ASSERT_TRUE(LoadCheckpoint(&b, path).ok());
+
+  query::QuerySampler sampler(&dataset_->train, 5);
+  auto q = sampler.Sample(query::StructureId::k2i);
+  ASSERT_TRUE(q.ok());
+  std::vector<const query::QueryGraph*> batch = {&q->graph};
+  EmbeddingBatch ea = a.EmbedQueries(batch);
+  EmbeddingBatch eb = b.EmbedQueries(batch);
+  for (int64_t i = 0; i < ea.a.numel(); ++i) {
+    EXPECT_EQ(ea.a.at(i), eb.a.at(i));
+    EXPECT_EQ(ea.b.at(i), eb.b.at(i));
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, RejectsWrongModelName) {
+  HalkModel halk(SmallConfig(), nullptr);
+  const std::string path = TempPath("halk_ckpt_name.bin");
+  ASSERT_TRUE(SaveCheckpoint(halk, path).ok());
+  auto cone = baselines::CreateModel("cone", SmallConfig(), nullptr);
+  ASSERT_TRUE(cone.ok());
+  Status s = LoadCheckpoint(cone->get(), path);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, RejectsMismatchedConfig) {
+  HalkModel a(SmallConfig(), nullptr);
+  const std::string path = TempPath("halk_ckpt_config.bin");
+  ASSERT_TRUE(SaveCheckpoint(a, path).ok());
+  ModelConfig other = SmallConfig();
+  other.dim = 16;  // different architecture
+  HalkModel b(other, nullptr);
+  Status s = LoadCheckpoint(&b, path);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, DetectsCorruption) {
+  HalkModel a(SmallConfig(), nullptr);
+  const std::string path = TempPath("halk_ckpt_corrupt.bin");
+  ASSERT_TRUE(SaveCheckpoint(a, path).ok());
+  {
+    // Flip a byte in the middle of the tensor payload.
+    FILE* f = fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    fseek(f, 400, SEEK_SET);
+    int c = fgetc(f);
+    fseek(f, 400, SEEK_SET);
+    fputc(c ^ 0x40, f);
+    fclose(f);
+  }
+  HalkModel b(SmallConfig(8), nullptr);
+  Status s = LoadCheckpoint(&b, path);
+  EXPECT_FALSE(s.ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, MissingFileIsIOError) {
+  HalkModel a(SmallConfig(), nullptr);
+  EXPECT_EQ(LoadCheckpoint(&a, "/nonexistent/ckpt.bin").code(),
+            StatusCode::kIOError);
+}
+
+TEST_F(CheckpointTest, WorksForEveryFactoryModel) {
+  for (const std::string& name : baselines::AvailableModels()) {
+    auto a = baselines::CreateModel(name, SmallConfig(4), nullptr);
+    ASSERT_TRUE(a.ok());
+    const std::string path = TempPath(("ckpt_" + name + ".bin").c_str());
+    ASSERT_TRUE(SaveCheckpoint(**a, path).ok()) << name;
+    auto b = baselines::CreateModel(name, SmallConfig(5), nullptr);
+    ASSERT_TRUE(LoadCheckpoint(b->get(), path).ok()) << name;
+    std::remove(path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace halk::core

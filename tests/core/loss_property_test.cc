@@ -1,0 +1,152 @@
+// Properties of the Eq. (17) loss and the group machinery that the
+// trainer relies on.
+
+#include <gtest/gtest.h>
+
+#include "core/halk_model.h"
+#include "core/loss.h"
+#include "core/query_groups.h"
+#include "kg/synthetic.h"
+#include "query/executor.h"
+#include "query/sampler.h"
+
+namespace halk::core {
+namespace {
+
+class LossPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  static void SetUpTestSuite() {
+    kg::SyntheticKgOptions opt;
+    opt.num_entities = 220;
+    opt.num_relations = 8;
+    opt.num_triples = 1500;
+    opt.seed = 55;
+    dataset_ = new kg::Dataset(kg::GenerateSyntheticKg(opt));
+    Rng rng(5);
+    grouping_ = new kg::NodeGrouping(
+        kg::NodeGrouping::Random(dataset_->train.num_entities(), 8, &rng));
+    grouping_->BuildAdjacency(dataset_->train);
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete grouping_;
+    dataset_ = nullptr;
+    grouping_ = nullptr;
+  }
+
+  static ModelConfig SmallConfig(uint64_t seed) {
+    ModelConfig c;
+    c.num_entities = dataset_->train.num_entities();
+    c.num_relations = dataset_->train.num_relations();
+    c.dim = 8;
+    c.hidden = 16;
+    c.seed = seed;
+    return c;
+  }
+
+  static kg::Dataset* dataset_;
+  static kg::NodeGrouping* grouping_;
+};
+
+kg::Dataset* LossPropertyTest::dataset_ = nullptr;
+kg::NodeGrouping* LossPropertyTest::grouping_ = nullptr;
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LossPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// A positive that is closer to the query arc yields a smaller loss, all
+// else equal.
+TEST_P(LossPropertyTest, CloserPositiveSmallerLoss) {
+  HalkModel model(SmallConfig(GetParam()), grouping_);
+  query::QuerySampler sampler(&dataset_->train, GetParam() * 13 + 1);
+  auto q = sampler.Sample(query::StructureId::k1p);
+  ASSERT_TRUE(q.ok());
+  std::vector<const query::QueryGraph*> batch = {&q->graph};
+  EmbeddingBatch emb = model.EmbedQueries(batch);
+
+  // Rank all entities by distance; pick a near one and a far one.
+  std::vector<float> dist;
+  model.DistancesToAll(emb, 0, &dist);
+  int64_t nearest = 0;
+  int64_t farthest = 0;
+  for (int64_t e = 0; e < static_cast<int64_t>(dist.size()); ++e) {
+    if (dist[static_cast<size_t>(e)] < dist[static_cast<size_t>(nearest)]) nearest = e;
+    if (dist[static_cast<size_t>(e)] > dist[static_cast<size_t>(farthest)]) farthest = e;
+  }
+
+  LossBatch lb;
+  lb.negatives = {{1, 2, 3, 4}};
+  lb.positive_penalty = {0.0f};
+  lb.negative_penalty = {{0, 0, 0, 0}};
+  lb.positives = {nearest};
+  EmbeddingBatch emb1 = model.EmbedQueries(batch);
+  const float loss_near = NegativeSamplingLoss(&model, emb1, lb).at(0);
+  lb.positives = {farthest};
+  EmbeddingBatch emb2 = model.EmbedQueries(batch);
+  const float loss_far = NegativeSamplingLoss(&model, emb2, lb).at(0);
+  EXPECT_LT(loss_near, loss_far);
+}
+
+// A negative that is farther from the query arc yields a smaller loss.
+TEST_P(LossPropertyTest, FartherNegativeSmallerLoss) {
+  HalkModel model(SmallConfig(GetParam() + 10), grouping_);
+  query::QuerySampler sampler(&dataset_->train, GetParam() * 17 + 3);
+  auto q = sampler.Sample(query::StructureId::k1p);
+  ASSERT_TRUE(q.ok());
+  std::vector<const query::QueryGraph*> batch = {&q->graph};
+  EmbeddingBatch emb = model.EmbedQueries(batch);
+  std::vector<float> dist;
+  model.DistancesToAll(emb, 0, &dist);
+  int64_t nearest = 0;
+  int64_t farthest = 0;
+  for (int64_t e = 0; e < static_cast<int64_t>(dist.size()); ++e) {
+    if (dist[static_cast<size_t>(e)] < dist[static_cast<size_t>(nearest)]) nearest = e;
+    if (dist[static_cast<size_t>(e)] > dist[static_cast<size_t>(farthest)]) farthest = e;
+  }
+  LossBatch lb;
+  lb.positives = {q->answers[0]};
+  lb.positive_penalty = {0.0f};
+  lb.negative_penalty = {{0.0f}};
+  lb.negatives = {{farthest}};
+  EmbeddingBatch emb1 = model.EmbedQueries(batch);
+  const float loss_far = NegativeSamplingLoss(&model, emb1, lb).at(0);
+  lb.negatives = {{nearest}};
+  EmbeddingBatch emb2 = model.EmbedQueries(batch);
+  const float loss_near = NegativeSamplingLoss(&model, emb2, lb).at(0);
+  EXPECT_LT(loss_far, loss_near);
+}
+
+// Group soundness: every exact answer of an EPFO query lies in the group
+// image computed by NodeGroupVectors (on the graph the adjacency was built
+// from), so true answers never incur the ξ penalty.
+TEST_P(LossPropertyTest, TrueAnswersNeverPenalized) {
+  query::QuerySampler sampler(&dataset_->train, GetParam() * 19 + 7);
+  for (query::StructureId s :
+       {query::StructureId::k1p, query::StructureId::k2p,
+        query::StructureId::k2i, query::StructureId::kPi}) {
+    auto q = sampler.Sample(s);
+    ASSERT_TRUE(q.ok()) << query::StructureName(s);
+    auto groups = QueryGroupVector(q->graph, *grouping_);
+    for (int64_t a : q->answers) {
+      EXPECT_EQ(GroupPenalty(a, groups, *grouping_), 0.0f)
+          << query::StructureName(s) << " answer " << a;
+    }
+  }
+}
+
+// The penalty is 1 exactly for entities whose group is impossible.
+TEST_P(LossPropertyTest, PenaltyMatchesGroupMembership) {
+  query::QuerySampler sampler(&dataset_->train, GetParam() * 23 + 11);
+  auto q = sampler.Sample(query::StructureId::k2i);
+  ASSERT_TRUE(q.ok());
+  auto groups = QueryGroupVector(q->graph, *grouping_);
+  for (int64_t e = 0; e < grouping_->num_entities(); e += 7) {
+    const float expected =
+        groups[static_cast<size_t>(grouping_->group_of(e))] > 0.0f ? 0.0f
+                                                                   : 1.0f;
+    EXPECT_EQ(GroupPenalty(e, groups, *grouping_), expected);
+  }
+}
+
+}  // namespace
+}  // namespace halk::core

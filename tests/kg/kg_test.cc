@@ -1,0 +1,193 @@
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "kg/csr.h"
+#include "kg/dictionary.h"
+#include "kg/graph.h"
+#include "kg/groups.h"
+#include "kg/io.h"
+
+namespace halk::kg {
+namespace {
+
+TEST(DictionaryTest, GetOrAddAssignsDenseIds) {
+  Dictionary d;
+  EXPECT_EQ(d.GetOrAdd("a"), 0);
+  EXPECT_EQ(d.GetOrAdd("b"), 1);
+  EXPECT_EQ(d.GetOrAdd("a"), 0);
+  EXPECT_EQ(d.size(), 2);
+  EXPECT_EQ(d.Name(1), "b");
+}
+
+TEST(DictionaryTest, LookupMissingIsNotFound) {
+  Dictionary d;
+  d.GetOrAdd("x");
+  EXPECT_TRUE(d.Lookup("x").ok());
+  auto r = d.Lookup("y");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(d.Contains("x"));
+  EXPECT_FALSE(d.Contains("y"));
+}
+
+KnowledgeGraph SmallGraph() {
+  KnowledgeGraph g;
+  g.AddTriple("alice", "knows", "bob");
+  g.AddTriple("alice", "knows", "carol");
+  g.AddTriple("bob", "knows", "carol");
+  g.AddTriple("carol", "works_at", "acme");
+  g.Finalize();
+  return g;
+}
+
+TEST(GraphTest, CountsAndLookups) {
+  KnowledgeGraph g = SmallGraph();
+  EXPECT_EQ(g.num_entities(), 4);
+  EXPECT_EQ(g.num_relations(), 2);
+  EXPECT_EQ(g.num_triples(), 4);
+
+  const int64_t alice = *g.entities().Lookup("alice");
+  const int64_t bob = *g.entities().Lookup("bob");
+  const int64_t knows = *g.relations().Lookup("knows");
+  EXPECT_TRUE(g.HasTriple(alice, knows, bob));
+  EXPECT_FALSE(g.HasTriple(bob, knows, alice));
+}
+
+TEST(GraphTest, DuplicateTriplesIgnored) {
+  KnowledgeGraph g;
+  g.AddTriple("a", "r", "b");
+  g.AddTriple("a", "r", "b");
+  EXPECT_EQ(g.num_triples(), 1);
+}
+
+TEST(GraphTest, AddTripleByIdValidation) {
+  KnowledgeGraph g;
+  g.AddTriple("a", "r", "b");
+  EXPECT_TRUE(g.AddTriple(0, 0, 1).ok());
+  EXPECT_FALSE(g.AddTriple(0, 0, 99).ok());
+  EXPECT_FALSE(g.AddTriple(0, 5, 1).ok());
+}
+
+TEST(GraphTest, SharedVocabularySplits) {
+  KnowledgeGraph train;
+  train.AddTriple("a", "r", "b");
+  KnowledgeGraph test = KnowledgeGraph::WithSharedVocabulary(train);
+  EXPECT_EQ(test.num_entities(), 2);
+  EXPECT_TRUE(test.AddTriple(0, 0, 1).ok());
+  // Adding a name to test grows the shared dictionary seen by train too.
+  test.AddTriple("a", "r", "c");
+  EXPECT_EQ(train.num_entities(), 3);
+}
+
+TEST(CsrTest, ForwardAndReverseNeighbors) {
+  KnowledgeGraph g = SmallGraph();
+  const auto& idx = g.index();
+  const int64_t alice = *g.entities().Lookup("alice");
+  const int64_t bob = *g.entities().Lookup("bob");
+  const int64_t carol = *g.entities().Lookup("carol");
+  const int64_t knows = *g.relations().Lookup("knows");
+
+  auto tails = idx.Tails(alice, knows);
+  std::set<int64_t> tail_set(tails.begin(), tails.end());
+  EXPECT_EQ(tail_set, (std::set<int64_t>{bob, carol}));
+
+  auto heads = idx.Heads(carol, knows);
+  std::set<int64_t> head_set(heads.begin(), heads.end());
+  EXPECT_EQ(head_set, (std::set<int64_t>{alice, bob}));
+
+  EXPECT_EQ(idx.OutDegree(alice, knows), 2);
+  EXPECT_TRUE(idx.Tails(carol, knows).empty());
+}
+
+TEST(CsrTest, EmptyRelationSlots) {
+  KnowledgeGraph g = SmallGraph();
+  const int64_t works = *g.relations().Lookup("works_at");
+  const int64_t alice = *g.entities().Lookup("alice");
+  EXPECT_TRUE(g.index().Tails(alice, works).empty());
+  EXPECT_TRUE(g.index().Heads(alice, works).empty());
+}
+
+TEST(GroupsTest, OneHotAndAssignmentStable) {
+  Rng rng(5);
+  NodeGrouping grouping = NodeGrouping::Random(100, 8, &rng);
+  EXPECT_EQ(grouping.num_groups(), 8);
+  for (int64_t e = 0; e < 100; ++e) {
+    auto v = grouping.OneHot(e);
+    EXPECT_EQ(v.size(), 8u);
+    float sum = 0.0f;
+    for (float x : v) sum += x;
+    EXPECT_EQ(sum, 1.0f);
+    EXPECT_EQ(v[static_cast<size_t>(grouping.group_of(e))], 1.0f);
+  }
+}
+
+TEST(GroupsTest, AdjacencyReflectsTriples) {
+  KnowledgeGraph g = SmallGraph();
+  Rng rng(7);
+  NodeGrouping grouping = NodeGrouping::Random(g.num_entities(), 2, &rng);
+  grouping.BuildAdjacency(g);
+  const int64_t knows = *g.relations().Lookup("knows");
+  const int64_t alice = *g.entities().Lookup("alice");
+  const int64_t bob = *g.entities().Lookup("bob");
+  EXPECT_TRUE(grouping.Connected(knows, grouping.group_of(alice),
+                                 grouping.group_of(bob)));
+}
+
+TEST(GroupsTest, ProjectFollowsGroupEdges) {
+  KnowledgeGraph g = SmallGraph();
+  Rng rng(9);
+  NodeGrouping grouping = NodeGrouping::Random(g.num_entities(), 4, &rng);
+  grouping.BuildAdjacency(g);
+  const int64_t knows = *g.relations().Lookup("knows");
+  const int64_t alice = *g.entities().Lookup("alice");
+  const int64_t bob = *g.entities().Lookup("bob");
+  auto img = grouping.Project(grouping.OneHot(alice), knows);
+  EXPECT_EQ(img[static_cast<size_t>(grouping.group_of(bob))], 1.0f);
+}
+
+TEST(GroupsTest, SetAlgebraHelpers) {
+  std::vector<float> a = {1, 0, 1, 0};
+  std::vector<float> b = {1, 1, 0, 0};
+  EXPECT_EQ(NodeGrouping::Intersect(a, b), (std::vector<float>{1, 0, 0, 0}));
+  EXPECT_EQ(NodeGrouping::Union(a, b), (std::vector<float>{1, 1, 1, 0}));
+  EXPECT_FLOAT_EQ(NodeGrouping::Similarity(a, a), 1.0f);
+  EXPECT_FLOAT_EQ(NodeGrouping::Similarity(a, b), 1.0f / 3.0f);
+}
+
+TEST(IoTest, RoundTrip) {
+  KnowledgeGraph g = SmallGraph();
+  const std::string path = testing::TempDir() + "/halk_kg_roundtrip.tsv";
+  ASSERT_TRUE(SaveTriplesTsv(g, path).ok());
+
+  KnowledgeGraph loaded;
+  ASSERT_TRUE(LoadTriplesTsv(path, &loaded).ok());
+  EXPECT_EQ(loaded.num_triples(), g.num_triples());
+  EXPECT_EQ(loaded.num_entities(), g.num_entities());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, MissingFileIsIOError) {
+  KnowledgeGraph g;
+  Status s = LoadTriplesTsv("/nonexistent/file.tsv", &g);
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+}
+
+TEST(IoTest, MalformedLineIsParseError) {
+  const std::string path = testing::TempDir() + "/halk_kg_bad.tsv";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("# comment\n\nonly_two\tfields\n", f);
+    fclose(f);
+  }
+  KnowledgeGraph g;
+  Status s = LoadTriplesTsv(path, &g);
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace halk::kg

@@ -1,0 +1,123 @@
+#include "kg/synthetic.h"
+
+#include <gtest/gtest.h>
+
+namespace halk::kg {
+namespace {
+
+bool IsSubsetOf(const KnowledgeGraph& small, const KnowledgeGraph& big) {
+  for (const Triple& t : small.triples()) {
+    if (!big.HasTriple(t.head, t.relation, t.tail)) return false;
+  }
+  return true;
+}
+
+TEST(SyntheticTest, GeneratesRequestedScale) {
+  SyntheticKgOptions opt;
+  opt.num_entities = 300;
+  opt.num_relations = 10;
+  opt.num_triples = 1500;
+  opt.seed = 1;
+  Dataset ds = GenerateSyntheticKg(opt);
+  EXPECT_EQ(ds.test.num_entities(), 300);
+  EXPECT_EQ(ds.test.num_relations(), 10);
+  // Dedup / rejection may fall slightly short of the target.
+  EXPECT_GE(ds.test.num_triples(), 1350);
+  EXPECT_LE(ds.test.num_triples(), 1500);
+}
+
+TEST(SyntheticTest, NestedSplits) {
+  SyntheticKgOptions opt;
+  opt.num_entities = 300;
+  opt.num_relations = 10;
+  opt.num_triples = 2000;
+  opt.seed = 2;
+  Dataset ds = GenerateSyntheticKg(opt);
+  EXPECT_LT(ds.train.num_triples(), ds.valid.num_triples());
+  EXPECT_LT(ds.valid.num_triples(), ds.test.num_triples());
+  EXPECT_TRUE(IsSubsetOf(ds.train, ds.valid));
+  EXPECT_TRUE(IsSubsetOf(ds.valid, ds.test));
+}
+
+TEST(SyntheticTest, EveryEntityAndRelationCoveredInTrain) {
+  SyntheticKgOptions opt;
+  opt.num_entities = 200;
+  opt.num_relations = 8;
+  opt.num_triples = 1200;
+  opt.seed = 3;
+  Dataset ds = GenerateSyntheticKg(opt);
+  std::vector<char> ent(static_cast<size_t>(ds.train.num_entities()), 0);
+  std::vector<char> rel(static_cast<size_t>(ds.train.num_relations()), 0);
+  for (const Triple& t : ds.train.triples()) {
+    ent[static_cast<size_t>(t.head)] = 1;
+    ent[static_cast<size_t>(t.tail)] = 1;
+    rel[static_cast<size_t>(t.relation)] = 1;
+  }
+  for (char c : rel) EXPECT_TRUE(c);
+  int covered = 0;
+  for (char c : ent) covered += c;
+  // A handful of entities may end up with no sampled triple at all (they
+  // then appear in no split); all entities that occur anywhere must occur
+  // in train.
+  std::vector<char> anywhere(static_cast<size_t>(ds.test.num_entities()), 0);
+  for (const Triple& t : ds.test.triples()) {
+    anywhere[static_cast<size_t>(t.head)] = 1;
+    anywhere[static_cast<size_t>(t.tail)] = 1;
+  }
+  for (size_t i = 0; i < anywhere.size(); ++i) {
+    if (anywhere[i]) EXPECT_TRUE(ent[i]) << "entity " << i;
+  }
+  EXPECT_GT(covered, 120);
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  SyntheticKgOptions opt;
+  opt.num_entities = 150;
+  opt.num_relations = 6;
+  opt.num_triples = 600;
+  opt.seed = 7;
+  Dataset a = GenerateSyntheticKg(opt);
+  Dataset b = GenerateSyntheticKg(opt);
+  ASSERT_EQ(a.test.num_triples(), b.test.num_triples());
+  for (int64_t i = 0; i < a.test.num_triples(); ++i) {
+    EXPECT_EQ(a.test.triples()[static_cast<size_t>(i)],
+              b.test.triples()[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  SyntheticKgOptions opt;
+  opt.num_entities = 150;
+  opt.num_relations = 6;
+  opt.num_triples = 600;
+  opt.seed = 8;
+  Dataset a = GenerateSyntheticKg(opt);
+  opt.seed = 9;
+  Dataset b = GenerateSyntheticKg(opt);
+  int same = 0;
+  const int64_t n = std::min(a.test.num_triples(), b.test.num_triples());
+  for (int64_t i = 0; i < n; ++i) {
+    same += a.test.triples()[static_cast<size_t>(i)] ==
+            b.test.triples()[static_cast<size_t>(i)];
+  }
+  EXPECT_LT(same, n / 10);
+}
+
+TEST(SyntheticTest, BenchmarkStandInsHaveDocumentedShapes) {
+  Dataset fb15k = MakeFb15kLike(1);
+  Dataset fb237 = MakeFb237Like(1);
+  Dataset nell = MakeNellLike(1);
+  // FB15k-like is the densest; NELL-like is the sparsest.
+  const double d15k = static_cast<double>(fb15k.test.num_triples()) /
+                      static_cast<double>(fb15k.test.num_entities());
+  const double d237 = static_cast<double>(fb237.test.num_triples()) /
+                      static_cast<double>(fb237.test.num_entities());
+  const double dnell = static_cast<double>(nell.test.num_triples()) /
+                       static_cast<double>(nell.test.num_entities());
+  EXPECT_GT(d15k, d237);
+  EXPECT_GT(d237, dnell);
+  EXPECT_GT(fb15k.test.num_relations(), fb237.test.num_relations());
+}
+
+}  // namespace
+}  // namespace halk::kg

@@ -1,0 +1,163 @@
+#include "matching/matcher.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "kg/synthetic.h"
+#include "matching/pruned_matcher.h"
+#include "query/executor.h"
+#include "query/sampler.h"
+
+namespace halk::matching {
+namespace {
+
+using query::StructureId;
+
+class MatcherTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    kg::SyntheticKgOptions opt;
+    opt.num_entities = 300;
+    opt.num_relations = 10;
+    opt.num_triples = 2200;
+    opt.seed = 91;
+    dataset_ = new kg::Dataset(kg::GenerateSyntheticKg(opt));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static kg::Dataset* dataset_;
+};
+
+kg::Dataset* MatcherTest::dataset_ = nullptr;
+
+TEST_F(MatcherTest, AgreesWithExecutorOnObservedGraph) {
+  SubgraphMatcher matcher(&dataset_->test);
+  query::QuerySampler sampler(&dataset_->test, 1);
+  for (StructureId id :
+       {StructureId::k1p, StructureId::k2p, StructureId::k2i,
+        StructureId::kPi, StructureId::k2d, StructureId::k2in,
+        StructureId::k2u, StructureId::k2ippd}) {
+    auto q = sampler.Sample(id);
+    ASSERT_TRUE(q.ok()) << query::StructureName(id);
+    auto matched = matcher.Match(q->graph);
+    ASSERT_TRUE(matched.ok());
+    EXPECT_EQ(*matched, q->answers) << query::StructureName(id);
+  }
+}
+
+TEST_F(MatcherTest, MissesHeldOutAnswers) {
+  // Matching on the training graph cannot recover answers that need
+  // held-out edges — the structural weakness the paper's Table VI shows.
+  SubgraphMatcher matcher(&dataset_->train);
+  query::QuerySampler sampler(&dataset_->test, 2);
+  int64_t missed = 0;
+  int64_t total = 0;
+  for (int i = 0; i < 30; ++i) {
+    auto q = sampler.Sample(StructureId::k2p);
+    ASSERT_TRUE(q.ok());
+    auto matched = matcher.Match(q->graph);
+    ASSERT_TRUE(matched.ok());
+    for (int64_t a : q->answers) {
+      total++;
+      missed += !std::binary_search(matched->begin(), matched->end(), a);
+    }
+  }
+  EXPECT_GT(total, 0);
+  EXPECT_GT(missed, 0);
+}
+
+TEST_F(MatcherTest, StatsArePopulated) {
+  SubgraphMatcher matcher(&dataset_->test);
+  query::QuerySampler sampler(&dataset_->test, 3);
+  auto q = sampler.Sample(StructureId::k2p);
+  ASSERT_TRUE(q.ok());
+  MatchStats stats;
+  ASSERT_TRUE(matcher.Match(q->graph, &stats).ok());
+  EXPECT_GT(stats.verification_steps, 0);
+  EXPECT_GT(stats.candidates_checked, 0);
+  EXPECT_GE(stats.millis, 0.0);
+}
+
+TEST_F(MatcherTest, WorkGrowsWithQuerySize) {
+  // Verification effort must grow with the number of projection hops —
+  // the scalability axis of Table VI.
+  SubgraphMatcher matcher(&dataset_->test);
+  query::QuerySampler sampler(&dataset_->test, 4);
+  auto avg_steps = [&](StructureId id) {
+    int64_t total = 0;
+    for (int i = 0; i < 10; ++i) {
+      auto q = sampler.Sample(id);
+      EXPECT_TRUE(q.ok());
+      MatchStats stats;
+      EXPECT_TRUE(matcher.Match(q->graph, &stats).ok());
+      total += stats.verification_steps;
+    }
+    return total / 10;
+  };
+  const int64_t steps_1p = avg_steps(StructureId::k1p);
+  const int64_t steps_p3ip = avg_steps(StructureId::kP3ip);
+  EXPECT_GT(steps_p3ip, steps_1p);
+}
+
+TEST_F(MatcherTest, PrunedMatcherSpeedsUpWithBoundedAccuracyLoss) {
+  core::ModelConfig config;
+  config.num_entities = dataset_->train.num_entities();
+  config.num_relations = dataset_->train.num_relations();
+  config.dim = 8;
+  config.hidden = 16;
+  config.gamma = 6.0f;
+  config.seed = 5;
+  core::HalkModel model(config, nullptr);
+  core::TrainerOptions topt;
+  topt.steps = 120;
+  topt.batch_size = 16;
+  topt.num_negatives = 8;
+  topt.queries_per_structure = 50;
+  topt.structures = {StructureId::k1p, StructureId::k2p, StructureId::k2i};
+  topt.seed = 6;
+  core::Trainer trainer(&model, &dataset_->train, nullptr, topt);
+  ASSERT_TRUE(trainer.Train().ok());
+
+  SubgraphMatcher full(&dataset_->test);
+  PrunedMatcher pruned(&model, &dataset_->test, /*top_k=*/20);
+  query::QuerySampler sampler(&dataset_->test, 7);
+
+  int64_t full_steps = 0;
+  int64_t pruned_steps = 0;
+  int64_t found = 0;
+  int64_t truth = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto q = sampler.Sample(StructureId::k2i);
+    ASSERT_TRUE(q.ok());
+    MatchStats fs, ps;
+    auto fr = full.Match(q->graph, &fs);
+    auto pr = pruned.Match(q->graph, &ps);
+    ASSERT_TRUE(fr.ok());
+    ASSERT_TRUE(pr.ok());
+    full_steps += fs.verification_steps;
+    pruned_steps += ps.verification_steps;
+    truth += static_cast<int64_t>(fr->size());
+    for (int64_t a : *pr) {
+      found += std::binary_search(fr->begin(), fr->end(), a);
+    }
+    // Pruned answers are a subset of the full matcher's answers.
+    for (int64_t a : *pr) {
+      EXPECT_TRUE(std::binary_search(fr->begin(), fr->end(), a));
+    }
+  }
+  EXPECT_LT(pruned_steps, full_steps);
+  EXPECT_GT(truth, 0);
+}
+
+TEST_F(MatcherTest, RejectsUngroundedQuery) {
+  SubgraphMatcher matcher(&dataset_->test);
+  query::QueryGraph q = query::MakeStructure(StructureId::k2p);
+  EXPECT_FALSE(matcher.Match(q).ok());
+}
+
+}  // namespace
+}  // namespace halk::matching

@@ -1,0 +1,144 @@
+// Numerical gradient checks of the *parameters* of nn building blocks —
+// the leaves the optimizer updates — complementing the input-gradient
+// checks in tensor/grad_check_test.cc.
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/adam.h"
+#include "nn/attention.h"
+#include "nn/deepsets.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+#include "tensor/ops.h"
+#include "tensor/tape.h"
+
+namespace halk::nn {
+namespace {
+
+using tensor::Tensor;
+
+// Checks d loss / d p numerically for a few coordinates of every
+// parameter of `params`, where `loss_fn` rebuilds the scalar loss.
+void CheckParameterGrads(const std::vector<Tensor>& params,
+                         const std::function<Tensor()>& loss_fn,
+                         uint64_t seed) {
+  Tensor loss = loss_fn();
+  ASSERT_EQ(loss.numel(), 1);
+  for (Tensor p : params) p.ZeroGrad();
+  tensor::Backward(loss);
+
+  Rng pick(seed);
+  const float eps = 1e-2f;
+  for (Tensor p : params) {
+    for (int check = 0; check < 3; ++check) {
+      const int64_t i = static_cast<int64_t>(
+          pick.UniformInt(static_cast<uint64_t>(p.numel())));
+      const float orig = p.data()[i];
+      p.data()[i] = orig + eps;
+      const float up = loss_fn().at(0);
+      p.data()[i] = orig - eps;
+      const float down = loss_fn().at(0);
+      p.data()[i] = orig;
+      const float numeric = (up - down) / (2.0f * eps);
+      EXPECT_NEAR(p.grad()[i], numeric,
+                  4e-2f * std::max(1.0f, std::fabs(numeric)))
+          << "param element " << i;
+    }
+  }
+}
+
+Tensor RandomInput(Rng* rng, int64_t rows, int64_t cols) {
+  std::vector<float> v(static_cast<size_t>(rows * cols));
+  for (auto& x : v) x = static_cast<float>(rng->Uniform(-1, 1));
+  return Tensor::FromVector({rows, cols}, std::move(v));
+}
+
+TEST(NnGradTest, LinearParameters) {
+  Rng rng(1);
+  Linear lin(5, 3, &rng);
+  Tensor x = RandomInput(&rng, 4, 5);
+  CheckParameterGrads(lin.Parameters(), [&] {
+    return tensor::MeanAll(tensor::Square(lin.Forward(x)));
+  }, 2);
+}
+
+TEST(NnGradTest, MlpParameters) {
+  Rng rng(3);
+  Mlp mlp({4, 8, 2}, &rng);
+  Tensor x = RandomInput(&rng, 3, 4);
+  CheckParameterGrads(mlp.Parameters(), [&] {
+    return tensor::MeanAll(tensor::Square(tensor::Tanh(mlp.Forward(x))));
+  }, 4);
+}
+
+TEST(NnGradTest, DeepSetsParameters) {
+  Rng rng(5);
+  DeepSets ds({3, 6}, {6, 2}, &rng);
+  Tensor x1 = RandomInput(&rng, 2, 3);
+  Tensor x2 = RandomInput(&rng, 2, 3);
+  Tensor x3 = RandomInput(&rng, 2, 3);
+  CheckParameterGrads(ds.Parameters(), [&] {
+    return tensor::MeanAll(tensor::Square(ds.Forward({x1, x2, x3})));
+  }, 6);
+}
+
+TEST(NnGradTest, AttentionPipelineParameters) {
+  // The exact scoring pattern the HaLk intersection uses: per-input MLP
+  // scores, softmax across inputs, weighted mix.
+  Rng rng(7);
+  Mlp score({4, 8, 4}, &rng);
+  Tensor a = RandomInput(&rng, 2, 4);
+  Tensor b = RandomInput(&rng, 2, 4);
+  CheckParameterGrads(score.Parameters(), [&] {
+    auto weights = SoftmaxAcross({score.Forward(a), score.Forward(b)});
+    Tensor mix = WeightedSum(weights, {a, b});
+    return tensor::MeanAll(tensor::Square(mix));
+  }, 8);
+}
+
+TEST(NnGradTest, ZeroInitFinalLayerZeroesOutput) {
+  Rng rng(9);
+  Mlp mlp({4, 8, 3}, &rng);
+  mlp.ZeroInitFinalLayer();
+  Tensor x = RandomInput(&rng, 2, 4);
+  Tensor y = mlp.Forward(x);
+  for (int64_t i = 0; i < y.numel(); ++i) EXPECT_EQ(y.at(i), 0.0f);
+  // But gradients still flow to the zeroed layer (and it can learn).
+  Tensor loss = tensor::MeanAll(tensor::Square(tensor::AddScalar(y, 1.0f)));
+  tensor::Backward(loss);
+  bool any = false;
+  for (Tensor p : mlp.Parameters()) {
+    for (float g : p.grad_vector()) any = any || g != 0.0f;
+  }
+  EXPECT_TRUE(any);
+}
+
+TEST(NnGradTest, AdamFirstStepMagnitudeIsLr) {
+  // With bias correction, the very first Adam update has magnitude ≈ lr
+  // regardless of the raw gradient scale.
+  Tensor x = Tensor::FromVector({2}, {1.0f, -3.0f}).set_requires_grad(true);
+  Adam opt({x}, {.lr = 0.25f});
+  Tensor loss = tensor::SumAll(tensor::MulScalar(x, 123.0f));
+  tensor::Backward(loss);
+  const float before0 = x.at(0);
+  opt.Step();
+  EXPECT_NEAR(std::fabs(x.at(0) - before0), 0.25f, 1e-3f);
+}
+
+TEST(NnGradTest, InitFinalBiasSetsOperatingPoint) {
+  Rng rng(11);
+  Mlp mlp({2, 4, 2}, &rng);
+  mlp.InitFinalBias(-3.0f);
+  // Zero input, ReLU hidden of random weights with zero bias -> final
+  // output is final-bias plus weighted hidden; with zero input the hidden
+  // is bias-only (zero), so the output equals the final bias.
+  Tensor y = mlp.Forward(Tensor::Zeros({1, 2}));
+  for (int64_t i = 0; i < y.numel(); ++i) EXPECT_FLOAT_EQ(y.at(i), -3.0f);
+}
+
+}  // namespace
+}  // namespace halk::nn

@@ -1,0 +1,234 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/adam.h"
+#include "nn/attention.h"
+#include "nn/deepsets.h"
+#include "nn/init.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+#include "tensor/ops.h"
+#include "tensor/tape.h"
+
+namespace halk::nn {
+namespace {
+
+using tensor::Backward;
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(InitTest, UniformWithinBounds) {
+  Rng rng(1);
+  Tensor t = Tensor::Zeros({100});
+  UniformInit(&t, -0.5f, 0.5f, &rng);
+  float lo = 1e9f;
+  float hi = -1e9f;
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    lo = std::min(lo, t.at(i));
+    hi = std::max(hi, t.at(i));
+  }
+  EXPECT_GE(lo, -0.5f);
+  EXPECT_LT(hi, 0.5f);
+  EXPECT_LT(lo, -0.2f);  // actually spread out
+  EXPECT_GT(hi, 0.2f);
+}
+
+TEST(InitTest, NormalRoughStddev) {
+  Rng rng(2);
+  Tensor t = Tensor::Zeros({5000});
+  NormalInit(&t, 2.0f, &rng);
+  double sq = 0.0;
+  for (int64_t i = 0; i < t.numel(); ++i) sq += t.at(i) * t.at(i);
+  EXPECT_NEAR(std::sqrt(sq / static_cast<double>(t.numel())), 2.0, 0.1);
+}
+
+TEST(InitTest, XavierBound) {
+  Rng rng(3);
+  Tensor t = Tensor::Zeros({64, 64});
+  XavierUniformInit(&t, 64, 64, &rng);
+  const float bound = std::sqrt(6.0f / 128.0f);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_LE(std::fabs(t.at(i)), bound + 1e-6f);
+  }
+}
+
+TEST(LinearTest, ShapesAndParameterCount) {
+  Rng rng(4);
+  Linear lin(8, 3, &rng);
+  Tensor x = Tensor::Zeros({5, 8});
+  Tensor y = lin.Forward(x);
+  EXPECT_EQ(y.shape(), Shape({5, 3}));
+  EXPECT_EQ(lin.ParameterCount(), 8 * 3 + 3);
+}
+
+TEST(LinearTest, NoBiasVariant) {
+  Rng rng(5);
+  Linear lin(4, 2, &rng, /*with_bias=*/false);
+  EXPECT_EQ(lin.ParameterCount(), 8);
+  EXPECT_EQ(lin.Parameters().size(), 1u);
+}
+
+TEST(LinearTest, LearnsIdentityMap) {
+  Rng rng(6);
+  Linear lin(2, 2, &rng);
+  Adam opt(lin.Parameters(), {.lr = 0.05f});
+  float last_loss = 1e9f;
+  for (int step = 0; step < 200; ++step) {
+    std::vector<float> xs(16);
+    for (auto& v : xs) v = static_cast<float>(rng.Uniform(-1, 1));
+    Tensor x = Tensor::FromVector({8, 2}, xs);
+    Tensor pred = lin.Forward(x);
+    Tensor loss = tensor::MeanAll(tensor::Square(tensor::Sub(pred, x)));
+    opt.ZeroGrad();
+    Backward(loss);
+    opt.Step();
+    last_loss = loss.at(0);
+  }
+  EXPECT_LT(last_loss, 1e-3f);
+}
+
+TEST(MlpTest, DepthAndParameters) {
+  Rng rng(7);
+  Mlp mlp({4, 16, 16, 2}, &rng);
+  EXPECT_EQ(mlp.in_features(), 4);
+  EXPECT_EQ(mlp.out_features(), 2);
+  EXPECT_EQ(mlp.ParameterCount(), (4 * 16 + 16) + (16 * 16 + 16) + (16 * 2 + 2));
+  Tensor y = mlp.Forward(Tensor::Zeros({3, 4}));
+  EXPECT_EQ(y.shape(), Shape({3, 2}));
+}
+
+TEST(MlpTest, LearnsXorLikeFunction) {
+  Rng rng(8);
+  Mlp mlp({2, 16, 1}, &rng);
+  Adam opt(mlp.Parameters(), {.lr = 0.03f});
+  Tensor x = Tensor::FromVector({4, 2}, {0, 0, 0, 1, 1, 0, 1, 1});
+  Tensor target = Tensor::FromVector({4, 1}, {0, 1, 1, 0});
+  float last_loss = 1e9f;
+  for (int step = 0; step < 500; ++step) {
+    Tensor pred = tensor::Sigmoid(mlp.Forward(x));
+    Tensor loss = tensor::MeanAll(tensor::Square(tensor::Sub(pred, target)));
+    opt.ZeroGrad();
+    Backward(loss);
+    opt.Step();
+    last_loss = loss.at(0);
+  }
+  EXPECT_LT(last_loss, 0.03f);
+}
+
+TEST(DeepSetsTest, PermutationInvariance) {
+  Rng rng(9);
+  DeepSets ds({3, 8}, {8, 2}, &rng);
+  Rng data_rng(10);
+  std::vector<Tensor> xs;
+  for (int i = 0; i < 4; ++i) {
+    std::vector<float> v(6);
+    for (auto& f : v) f = static_cast<float>(data_rng.Uniform(-1, 1));
+    xs.push_back(Tensor::FromVector({2, 3}, v));
+  }
+  Tensor a = ds.Forward(xs);
+  std::vector<Tensor> shuffled = {xs[2], xs[0], xs[3], xs[1]};
+  Tensor b = ds.Forward(shuffled);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_NEAR(a.at(i), b.at(i), 1e-5f);
+  }
+}
+
+TEST(DeepSetsTest, SingleElementSet) {
+  Rng rng(11);
+  DeepSets ds({2, 4}, {4, 1}, &rng);
+  Tensor x = Tensor::FromVector({1, 2}, {0.5f, -0.5f});
+  Tensor y = ds.Forward({x});
+  EXPECT_EQ(y.shape(), Shape({1, 1}));
+}
+
+TEST(AttentionTest, WeightsSumToOne) {
+  Rng rng(12);
+  std::vector<Tensor> scores;
+  for (int i = 0; i < 3; ++i) {
+    std::vector<float> v(4);
+    for (auto& f : v) f = static_cast<float>(rng.Uniform(-2, 2));
+    scores.push_back(Tensor::FromVector({2, 2}, v));
+  }
+  auto weights = SoftmaxAcross(scores);
+  ASSERT_EQ(weights.size(), 3u);
+  for (int64_t i = 0; i < 4; ++i) {
+    float total = 0.0f;
+    for (const Tensor& w : weights) {
+      EXPECT_GT(w.at(i), 0.0f);
+      total += w.at(i);
+    }
+    EXPECT_NEAR(total, 1.0f, 1e-5f);
+  }
+}
+
+TEST(AttentionTest, LargerScoreLargerWeight) {
+  Tensor s1 = Tensor::FromVector({1, 2}, {2.0f, 0.0f});
+  Tensor s2 = Tensor::FromVector({1, 2}, {0.0f, 3.0f});
+  auto weights = SoftmaxAcross({s1, s2});
+  EXPECT_GT(weights[0].at(0), weights[1].at(0));
+  EXPECT_LT(weights[0].at(1), weights[1].at(1));
+}
+
+TEST(AttentionTest, StableForLargeScores) {
+  Tensor s1 = Tensor::FromVector({1, 1}, {1000.0f});
+  Tensor s2 = Tensor::FromVector({1, 1}, {999.0f});
+  auto weights = SoftmaxAcross({s1, s2});
+  EXPECT_TRUE(std::isfinite(weights[0].at(0)));
+  EXPECT_NEAR(weights[0].at(0) + weights[1].at(0), 1.0f, 1e-5f);
+  EXPECT_GT(weights[0].at(0), weights[1].at(0));
+}
+
+TEST(AttentionTest, WeightedSumMatchesManual) {
+  Tensor w1 = Tensor::FromVector({1, 2}, {0.25f, 0.75f});
+  Tensor w2 = Tensor::FromVector({1, 2}, {0.75f, 0.25f});
+  Tensor x1 = Tensor::FromVector({1, 2}, {4.0f, 8.0f});
+  Tensor x2 = Tensor::FromVector({1, 2}, {8.0f, 4.0f});
+  Tensor out = WeightedSum({w1, w2}, {x1, x2});
+  EXPECT_FLOAT_EQ(out.at(0), 0.25f * 4.0f + 0.75f * 8.0f);
+  EXPECT_FLOAT_EQ(out.at(1), 0.75f * 8.0f + 0.25f * 4.0f);
+}
+
+TEST(AdamTest, MinimizesQuadratic) {
+  Tensor x = Tensor::FromVector({2}, {5.0f, -3.0f}).set_requires_grad(true);
+  Adam opt({x}, {.lr = 0.1f});
+  for (int step = 0; step < 300; ++step) {
+    Tensor loss = tensor::SumAll(tensor::Square(x));
+    opt.ZeroGrad();
+    Backward(loss);
+    opt.Step();
+  }
+  EXPECT_NEAR(x.at(0), 0.0f, 0.02f);
+  EXPECT_NEAR(x.at(1), 0.0f, 0.02f);
+}
+
+TEST(AdamTest, StepCountAdvances) {
+  Tensor x = Tensor::FromVector({1}, {1.0f}).set_requires_grad(true);
+  Adam opt({x}, {});
+  EXPECT_EQ(opt.step_count(), 0);
+  Tensor loss = tensor::SumAll(tensor::Square(x));
+  Backward(loss);
+  opt.Step();
+  EXPECT_EQ(opt.step_count(), 1);
+}
+
+TEST(ModuleTest, ZeroGradClearsAllParameters) {
+  Rng rng(13);
+  Mlp mlp({2, 4, 1}, &rng);
+  Tensor loss = tensor::MeanAll(mlp.Forward(Tensor::Full({3, 2}, 1.0f)));
+  Backward(loss);
+  bool any_nonzero = false;
+  for (tensor::Tensor p : mlp.Parameters()) {
+    for (float g : p.grad_vector()) any_nonzero = any_nonzero || g != 0.0f;
+  }
+  EXPECT_TRUE(any_nonzero);
+  mlp.ZeroGrad();
+  for (tensor::Tensor p : mlp.Parameters()) {
+    for (float g : p.grad_vector()) EXPECT_EQ(g, 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace halk::nn

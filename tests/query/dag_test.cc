@@ -1,0 +1,85 @@
+#include "query/dag.h"
+
+#include <gtest/gtest.h>
+
+#include "query/ops.h"
+
+namespace halk::query {
+namespace {
+
+TEST(OpTypeTest, Names) {
+  EXPECT_STREQ(OpTypeName(OpType::kAnchor), "anchor");
+  EXPECT_STREQ(OpTypeName(OpType::kProjection), "projection");
+  EXPECT_STREQ(OpTypeName(OpType::kIntersection), "intersection");
+  EXPECT_STREQ(OpTypeName(OpType::kUnion), "union");
+  EXPECT_STREQ(OpTypeName(OpType::kDifference), "difference");
+  EXPECT_STREQ(OpTypeName(OpType::kNegation), "negation");
+}
+
+TEST(DagTest, BuildSimpleChain) {
+  QueryGraph g;
+  int a = g.AddAnchor(5);
+  int p = g.AddProjection(a, 2);
+  g.SetTarget(p);
+  EXPECT_EQ(g.num_nodes(), 2);
+  EXPECT_EQ(g.target(), p);
+  EXPECT_TRUE(g.Validate(/*grounded=*/true).ok());
+}
+
+TEST(DagTest, ValidateRejectsMissingTarget) {
+  QueryGraph g;
+  g.AddAnchor(1);
+  EXPECT_FALSE(g.Validate(false).ok());
+}
+
+TEST(DagTest, ValidateRejectsUngroundedWhenRequired) {
+  QueryGraph g;
+  int a = g.AddAnchor();  // entity -1
+  int p = g.AddProjection(a);
+  g.SetTarget(p);
+  EXPECT_TRUE(g.Validate(/*grounded=*/false).ok());
+  EXPECT_FALSE(g.Validate(/*grounded=*/true).ok());
+}
+
+TEST(DagTest, TopologicalOrderSkipsUnreachable) {
+  QueryGraph g;
+  int a = g.AddAnchor(0);
+  g.AddAnchor(1);  // orphan
+  int p = g.AddProjection(a, 0);
+  g.SetTarget(p);
+  auto order = g.TopologicalOrder();
+  EXPECT_EQ(order, (std::vector<int>{0, 2}));
+}
+
+TEST(DagTest, AnchorIdsAndHasOp) {
+  QueryGraph g;
+  int a1 = g.AddAnchor(0);
+  int a2 = g.AddAnchor(1);
+  int p1 = g.AddProjection(a1, 0);
+  int p2 = g.AddProjection(a2, 1);
+  int n = g.AddNegation(p2);
+  g.SetTarget(g.AddIntersection({p1, n}));
+  EXPECT_EQ(g.AnchorIds(), (std::vector<int>{a1, a2}));
+  EXPECT_TRUE(g.HasOp(OpType::kNegation));
+  EXPECT_FALSE(g.HasOp(OpType::kUnion));
+}
+
+TEST(DagTest, NumProjectionsCountsReachableEdges) {
+  QueryGraph g;
+  int a = g.AddAnchor(0);
+  int p1 = g.AddProjection(a, 0);
+  int p2 = g.AddProjection(p1, 1);
+  g.SetTarget(p2);
+  EXPECT_EQ(g.NumProjections(), 2);
+}
+
+TEST(DagTest, ToStringRendersStructure) {
+  QueryGraph g;
+  int a = g.AddAnchor(3);
+  int p = g.AddProjection(a, 7);
+  g.SetTarget(p);
+  EXPECT_EQ(g.ToString(), "p(a3,r7)");
+}
+
+}  // namespace
+}  // namespace halk::query

@@ -1,0 +1,97 @@
+#include "query/dnf.h"
+
+#include <gtest/gtest.h>
+
+#include "query/structures.h"
+
+namespace halk::query {
+namespace {
+
+bool ReachableUnion(const QueryGraph& g) {
+  for (int id : g.TopologicalOrder()) {
+    if (g.nodes()[static_cast<size_t>(id)].op == OpType::kUnion) return true;
+  }
+  return false;
+}
+
+TEST(DnfTest, UnionFreeQueryIsSingleBranch) {
+  QueryGraph g = MakeStructure(StructureId::k3p);
+  auto branches = ToDnf(g);
+  ASSERT_EQ(branches.size(), 1u);
+  EXPECT_EQ(branches[0].ToString(), g.ToString());
+}
+
+TEST(DnfTest, TwoUBecomesTwoBranches) {
+  QueryGraph g = MakeStructure(StructureId::k2u);
+  auto branches = ToDnf(g);
+  ASSERT_EQ(branches.size(), 2u);
+  for (const auto& b : branches) {
+    EXPECT_FALSE(ReachableUnion(b));
+    EXPECT_TRUE(b.Validate(/*grounded=*/false).ok());
+  }
+}
+
+TEST(DnfTest, UpKeepsTrailingProjectionPerBranch) {
+  QueryGraph g = MakeStructure(StructureId::kUp);
+  auto branches = ToDnf(g);
+  ASSERT_EQ(branches.size(), 2u);
+  for (const auto& b : branches) {
+    EXPECT_FALSE(ReachableUnion(b));
+    // Each branch is a 2p chain: anchor -> p -> p.
+    EXPECT_EQ(b.NumProjections(), 2);
+  }
+}
+
+TEST(DnfTest, NestedUnionsMultiply) {
+  // u(u(1p,1p), 1p) -> 3 branches.
+  QueryGraph g;
+  int p1 = g.AddProjection(g.AddAnchor(), -1);
+  int p2 = g.AddProjection(g.AddAnchor(), -1);
+  int p3 = g.AddProjection(g.AddAnchor(), -1);
+  int u1 = g.AddUnion({p1, p2});
+  g.SetTarget(g.AddUnion({u1, p3}));
+  auto branches = ToDnf(g);
+  EXPECT_EQ(branches.size(), 3u);
+}
+
+TEST(DnfTest, DifferenceMinuendUnionDistributes) {
+  // d(u(b1,b2), c) -> (b1-c), (b2-c).
+  QueryGraph g;
+  int b1 = g.AddProjection(g.AddAnchor(), -1);
+  int b2 = g.AddProjection(g.AddAnchor(), -1);
+  int c = g.AddProjection(g.AddAnchor(), -1);
+  int u = g.AddUnion({b1, b2});
+  g.SetTarget(g.AddDifference({u, c}));
+  auto branches = ToDnf(g);
+  ASSERT_EQ(branches.size(), 2u);
+  for (const auto& b : branches) EXPECT_FALSE(ReachableUnion(b));
+}
+
+TEST(DnfDeathTest, UnionUnderNegationRejected) {
+  QueryGraph g;
+  int b1 = g.AddProjection(g.AddAnchor(), -1);
+  int b2 = g.AddProjection(g.AddAnchor(), -1);
+  int u = g.AddUnion({b1, b2});
+  g.SetTarget(g.AddNegation(u));
+  EXPECT_DEATH(ToDnf(g), "union inside");
+}
+
+TEST(DnfDeathTest, UnionInSubtrahendRejected) {
+  QueryGraph g;
+  int m = g.AddProjection(g.AddAnchor(), -1);
+  int b1 = g.AddProjection(g.AddAnchor(), -1);
+  int b2 = g.AddProjection(g.AddAnchor(), -1);
+  int u = g.AddUnion({b1, b2});
+  g.SetTarget(g.AddDifference({m, u}));
+  EXPECT_DEATH(ToDnf(g), "union inside");
+}
+
+TEST(DnfTest, PruningUnionStructuresExpand) {
+  auto branches2 = ToDnf(MakeStructure(StructureId::k2ippu));
+  EXPECT_EQ(branches2.size(), 2u);
+  auto branches3 = ToDnf(MakeStructure(StructureId::k3ippu));
+  EXPECT_EQ(branches3.size(), 2u);
+}
+
+}  // namespace
+}  // namespace halk::query

@@ -1,0 +1,193 @@
+#include "query/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "query/dnf.h"
+
+namespace halk::query {
+namespace {
+
+// Family KG:
+//   anna -parent_of-> ben, cara
+//   ben  -parent_of-> dave
+//   anna -likes-> cara ; ben -likes-> cara ; cara -likes-> dave
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_.AddTriple("anna", "parent_of", "ben");
+    g_.AddTriple("anna", "parent_of", "cara");
+    g_.AddTriple("ben", "parent_of", "dave");
+    g_.AddTriple("anna", "likes", "cara");
+    g_.AddTriple("ben", "likes", "cara");
+    g_.AddTriple("cara", "likes", "dave");
+    g_.Finalize();
+    anna_ = *g_.entities().Lookup("anna");
+    ben_ = *g_.entities().Lookup("ben");
+    cara_ = *g_.entities().Lookup("cara");
+    dave_ = *g_.entities().Lookup("dave");
+    parent_ = *g_.relations().Lookup("parent_of");
+    likes_ = *g_.relations().Lookup("likes");
+  }
+
+  kg::KnowledgeGraph g_;
+  int64_t anna_, ben_, cara_, dave_, parent_, likes_;
+};
+
+TEST_F(ExecutorTest, OneHopProjection) {
+  QueryGraph q;
+  q.SetTarget(q.AddProjection(q.AddAnchor(anna_), parent_));
+  auto r = ExecuteQuery(q, g_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<int64_t>{ben_, cara_}));
+}
+
+TEST_F(ExecutorTest, TwoHopProjection) {
+  QueryGraph q;
+  int a = q.AddAnchor(anna_);
+  q.SetTarget(q.AddProjection(q.AddProjection(a, parent_), parent_));
+  auto r = ExecuteQuery(q, g_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<int64_t>{dave_}));  // grandchildren of anna
+}
+
+TEST_F(ExecutorTest, Intersection) {
+  // Children of anna who are liked by ben: {cara}.
+  QueryGraph q;
+  int b1 = q.AddProjection(q.AddAnchor(anna_), parent_);
+  int b2 = q.AddProjection(q.AddAnchor(ben_), likes_);
+  q.SetTarget(q.AddIntersection({b1, b2}));
+  auto r = ExecuteQuery(q, g_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<int64_t>{cara_}));
+}
+
+TEST_F(ExecutorTest, UnionMergesBranches) {
+  QueryGraph q;
+  int b1 = q.AddProjection(q.AddAnchor(anna_), parent_);
+  int b2 = q.AddProjection(q.AddAnchor(cara_), likes_);
+  q.SetTarget(q.AddUnion({b1, b2}));
+  auto r = ExecuteQuery(q, g_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<int64_t>{ben_, cara_, dave_}));
+}
+
+TEST_F(ExecutorTest, DifferenceRemovesSubtrahends) {
+  // Children of anna minus entities ben likes: {ben}.
+  QueryGraph q;
+  int b1 = q.AddProjection(q.AddAnchor(anna_), parent_);
+  int b2 = q.AddProjection(q.AddAnchor(ben_), likes_);
+  q.SetTarget(q.AddDifference({b1, b2}));
+  auto r = ExecuteQuery(q, g_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<int64_t>{ben_}));
+}
+
+TEST_F(ExecutorTest, NegationComplementsUniverse) {
+  // NOT (children of anna) = {anna, dave}.
+  QueryGraph q;
+  int b = q.AddProjection(q.AddAnchor(anna_), parent_);
+  q.SetTarget(q.AddNegation(b));
+  auto r = ExecuteQuery(q, g_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<int64_t>{anna_, dave_}));
+}
+
+TEST_F(ExecutorTest, IntersectionWithNegation2in) {
+  // Liked by anna or... actually: children of anna AND NOT liked-by-ben:
+  // {ben, cara} \ {cara} = {ben}.
+  QueryGraph q;
+  int pos = q.AddProjection(q.AddAnchor(anna_), parent_);
+  int neg = q.AddNegation(q.AddProjection(q.AddAnchor(ben_), likes_));
+  q.SetTarget(q.AddIntersection({pos, neg}));
+  auto r = ExecuteQuery(q, g_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<int64_t>{ben_}));
+}
+
+TEST_F(ExecutorTest, DifferenceEqualsNegationIntersection) {
+  // B - C == B ∧ ¬C (Fig. 2 of the paper).
+  QueryGraph qd;
+  {
+    int b = qd.AddProjection(qd.AddAnchor(anna_), parent_);
+    int c = qd.AddProjection(qd.AddAnchor(ben_), likes_);
+    qd.SetTarget(qd.AddDifference({b, c}));
+  }
+  QueryGraph qn;
+  {
+    int b = qn.AddProjection(qn.AddAnchor(anna_), parent_);
+    int c = qn.AddNegation(qn.AddProjection(qn.AddAnchor(ben_), likes_));
+    qn.SetTarget(qn.AddIntersection({b, c}));
+  }
+  auto rd = ExecuteQuery(qd, g_);
+  auto rn = ExecuteQuery(qn, g_);
+  ASSERT_TRUE(rd.ok());
+  ASSERT_TRUE(rn.ok());
+  EXPECT_EQ(*rd, *rn);
+}
+
+TEST_F(ExecutorTest, EmptyAnswerSetIsAllowed) {
+  QueryGraph q;
+  q.SetTarget(q.AddProjection(q.AddAnchor(dave_), parent_));
+  auto r = ExecuteQuery(q, g_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST_F(ExecutorTest, RejectsUngroundedQuery) {
+  QueryGraph q;
+  q.SetTarget(q.AddProjection(q.AddAnchor(), parent_));
+  EXPECT_FALSE(ExecuteQuery(q, g_).ok());
+}
+
+TEST_F(ExecutorTest, RejectsOutOfRangeAnchor) {
+  QueryGraph q;
+  q.SetTarget(q.AddProjection(q.AddAnchor(999), parent_));
+  EXPECT_FALSE(ExecuteQuery(q, g_).ok());
+}
+
+TEST_F(ExecutorTest, AllNodesResultsExposeIntermediates) {
+  QueryGraph q;
+  int a = q.AddAnchor(anna_);
+  int p1 = q.AddProjection(a, parent_);
+  int p2 = q.AddProjection(p1, parent_);
+  q.SetTarget(p2);
+  auto r = ExecuteQueryAllNodes(q, g_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[static_cast<size_t>(a)], (std::vector<int64_t>{anna_}));
+  EXPECT_EQ((*r)[static_cast<size_t>(p1)],
+            (std::vector<int64_t>{ben_, cara_}));
+  EXPECT_EQ((*r)[static_cast<size_t>(p2)], (std::vector<int64_t>{dave_}));
+}
+
+TEST_F(ExecutorTest, DnfBranchesUnionToOriginalAnswers) {
+  // up structure: project the union.
+  QueryGraph q;
+  int b1 = q.AddProjection(q.AddAnchor(anna_), parent_);
+  int b2 = q.AddProjection(q.AddAnchor(anna_), likes_);
+  int u = q.AddUnion({b1, b2});
+  q.SetTarget(q.AddProjection(u, likes_));
+  auto direct = ExecuteQuery(q, g_);
+  ASSERT_TRUE(direct.ok());
+
+  auto branches = ToDnf(q);
+  ASSERT_EQ(branches.size(), 2u);
+  std::set<int64_t> merged;
+  for (const QueryGraph& b : branches) {
+    EXPECT_FALSE(b.HasOp(OpType::kUnion) &&
+                 [&] {
+                   for (int id : b.TopologicalOrder()) {
+                     if (b.nodes()[static_cast<size_t>(id)].op ==
+                         OpType::kUnion)
+                       return true;
+                   }
+                   return false;
+                 }());
+    auto r = ExecuteQuery(b, g_);
+    ASSERT_TRUE(r.ok());
+    merged.insert(r->begin(), r->end());
+  }
+  EXPECT_EQ(std::vector<int64_t>(merged.begin(), merged.end()), *direct);
+}
+
+}  // namespace
+}  // namespace halk::query

@@ -1,0 +1,176 @@
+#include "query/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "kg/synthetic.h"
+#include "query/executor.h"
+#include "query/sampler.h"
+#include "query/structures.h"
+
+namespace halk::query {
+namespace {
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    kg::SyntheticKgOptions opt;
+    opt.num_entities = 200;
+    opt.num_relations = 8;
+    opt.num_triples = 1400;
+    opt.seed = 71;
+    dataset_ = new kg::Dataset(kg::GenerateSyntheticKg(opt));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static kg::Dataset* dataset_;
+};
+
+kg::Dataset* OptimizerTest::dataset_ = nullptr;
+
+TEST_F(OptimizerTest, DoubleNegationEliminated) {
+  QueryGraph g;
+  int p = g.AddProjection(g.AddAnchor(1), 0);
+  g.SetTarget(g.AddNegation(g.AddNegation(p)));
+  QueryGraph n = NormalizeQuery(g);
+  EXPECT_FALSE(n.HasOp(OpType::kNegation));
+  EXPECT_EQ(n.ToString(), "p(a1,r0)");
+}
+
+TEST_F(OptimizerTest, NestedIntersectionsFlattened) {
+  QueryGraph g;
+  int a = g.AddProjection(g.AddAnchor(1), 0);
+  int b = g.AddProjection(g.AddAnchor(2), 1);
+  int c = g.AddProjection(g.AddAnchor(3), 2);
+  g.SetTarget(g.AddIntersection({g.AddIntersection({a, b}), c}));
+  QueryGraph n = NormalizeQuery(g);
+  const QueryNode& target = n.nodes()[static_cast<size_t>(n.target())];
+  EXPECT_EQ(target.op, OpType::kIntersection);
+  EXPECT_EQ(target.inputs.size(), 3u);
+}
+
+TEST_F(OptimizerTest, NestedUnionsFlattened) {
+  QueryGraph g;
+  int a = g.AddProjection(g.AddAnchor(1), 0);
+  int b = g.AddProjection(g.AddAnchor(2), 1);
+  int c = g.AddProjection(g.AddAnchor(3), 2);
+  g.SetTarget(g.AddUnion({g.AddUnion({a, b}), c}));
+  QueryGraph n = NormalizeQuery(g);
+  const QueryNode& target = n.nodes()[static_cast<size_t>(n.target())];
+  EXPECT_EQ(target.op, OpType::kUnion);
+  EXPECT_EQ(target.inputs.size(), 3u);
+}
+
+TEST_F(OptimizerTest, DifferenceMinuendFlattened) {
+  // D(D(a, b), c) -> D(a, b, c).
+  QueryGraph g;
+  int a = g.AddProjection(g.AddAnchor(1), 0);
+  int b = g.AddProjection(g.AddAnchor(2), 1);
+  int c = g.AddProjection(g.AddAnchor(3), 2);
+  g.SetTarget(g.AddDifference({g.AddDifference({a, b}), c}));
+  QueryGraph n = NormalizeQuery(g);
+  const QueryNode& target = n.nodes()[static_cast<size_t>(n.target())];
+  EXPECT_EQ(target.op, OpType::kDifference);
+  EXPECT_EQ(target.inputs.size(), 3u);
+}
+
+TEST_F(OptimizerTest, IntermediateNegationBecomesDifference) {
+  // p(i(a, ¬b)) — the negation is intermediate, so the paper's preference
+  // rewrites it into a difference.
+  QueryGraph g;
+  int a = g.AddProjection(g.AddAnchor(1), 0);
+  int b = g.AddProjection(g.AddAnchor(2), 1);
+  int i = g.AddIntersection({a, g.AddNegation(b)});
+  g.SetTarget(g.AddProjection(i, 2));
+  QueryGraph n = NormalizeQuery(g);
+  EXPECT_FALSE(n.HasOp(OpType::kNegation));
+  EXPECT_TRUE(n.HasOp(OpType::kDifference));
+}
+
+TEST_F(OptimizerTest, TailNegationKeptByDefault) {
+  // 2in: i(a, ¬b) at the target — negation is the better tail operator,
+  // so the default options keep it.
+  QueryGraph g = MakeStructure(StructureId::k2in);
+  QueryGraph n = NormalizeQuery(g);
+  EXPECT_TRUE(n.HasOp(OpType::kNegation));
+  EXPECT_FALSE(n.HasOp(OpType::kDifference));
+
+  NormalizeOptions opt;
+  opt.rewrite_tail_negation = true;
+  QueryGraph n2 = NormalizeQuery(g, opt);
+  EXPECT_FALSE(n2.HasOp(OpType::kNegation));
+  EXPECT_TRUE(n2.HasOp(OpType::kDifference));
+}
+
+TEST_F(OptimizerTest, PreservesSemanticsOnRandomQueries) {
+  QuerySampler sampler(&dataset_->test, 9);
+  NormalizeOptions aggressive;
+  aggressive.rewrite_tail_negation = true;
+  for (StructureId s : AllStructures()) {
+    auto q = sampler.Sample(s);
+    ASSERT_TRUE(q.ok()) << StructureName(s);
+    for (const NormalizeOptions& opt :
+         {NormalizeOptions(), aggressive}) {
+      QueryGraph n = NormalizeQuery(q->graph, opt);
+      ASSERT_TRUE(n.Validate(/*grounded=*/true).ok()) << StructureName(s);
+      auto before = ExecuteQuery(q->graph, dataset_->test);
+      auto after = ExecuteQuery(n, dataset_->test);
+      ASSERT_TRUE(before.ok());
+      ASSERT_TRUE(after.ok());
+      EXPECT_EQ(*before, *after) << StructureName(s);
+    }
+  }
+}
+
+TEST_F(OptimizerTest, HandcraftedDeepNest) {
+  // ¬¬(i(i(a, ¬¬b), ¬c)) under a projection; normalization must produce
+  // a flat difference feeding the projection with identical semantics.
+  QuerySampler sampler(&dataset_->test, 11);
+  auto seed_query = sampler.Sample(StructureId::k2i);
+  ASSERT_TRUE(seed_query.ok());
+  const auto& nodes = seed_query->graph.nodes();
+  const QueryNode& inter =
+      nodes[static_cast<size_t>(seed_query->graph.target())];
+
+  QueryGraph g;
+  int a = g.AddProjection(
+      g.AddAnchor(nodes[static_cast<size_t>(
+                            nodes[static_cast<size_t>(inter.inputs[0])]
+                                .inputs[0])]
+                      .anchor_entity),
+      nodes[static_cast<size_t>(inter.inputs[0])].relation);
+  int b = g.AddProjection(
+      g.AddAnchor(nodes[static_cast<size_t>(
+                            nodes[static_cast<size_t>(inter.inputs[1])]
+                                .inputs[0])]
+                      .anchor_entity),
+      nodes[static_cast<size_t>(inter.inputs[1])].relation);
+  int c = g.AddProjection(g.AddAnchor(0), 0);
+  int bb = g.AddNegation(g.AddNegation(b));
+  int i1 = g.AddIntersection({a, bb});
+  int i2 = g.AddIntersection({i1, g.AddNegation(c)});
+  int nn = g.AddNegation(g.AddNegation(i2));
+  g.SetTarget(g.AddProjection(nn, 1));
+
+  QueryGraph n = NormalizeQuery(g);
+  EXPECT_FALSE(n.HasOp(OpType::kNegation));
+  auto before = ExecuteQuery(g, dataset_->test);
+  auto after = ExecuteQuery(n, dataset_->test);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*before, *after);
+}
+
+TEST_F(OptimizerTest, NormalizedGraphHasNoUnreachableNodes) {
+  QueryGraph g;
+  int p = g.AddProjection(g.AddAnchor(1), 0);
+  g.AddProjection(g.AddAnchor(2), 1);  // orphan
+  g.SetTarget(g.AddNegation(g.AddNegation(p)));
+  QueryGraph n = NormalizeQuery(g);
+  EXPECT_EQ(static_cast<size_t>(n.num_nodes()),
+            n.TopologicalOrder().size());
+}
+
+}  // namespace
+}  // namespace halk::query

@@ -1,0 +1,198 @@
+// Property-based tests of logical-query semantics on randomly grounded
+// queries: algebraic identities that must hold exactly for the symbolic
+// executor, for any query and graph.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "kg/synthetic.h"
+#include "query/dnf.h"
+#include "query/executor.h"
+#include "query/sampler.h"
+
+namespace halk::query {
+namespace {
+
+class QueryPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  static void SetUpTestSuite() {
+    kg::SyntheticKgOptions opt;
+    opt.num_entities = 250;
+    opt.num_relations = 10;
+    opt.num_triples = 1800;
+    opt.seed = 1234;
+    dataset_ = new kg::Dataset(kg::GenerateSyntheticKg(opt));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static kg::Dataset* dataset_;
+};
+
+kg::Dataset* QueryPropertyTest::dataset_ = nullptr;
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// B − C  ==  B ∧ ¬C  (the identity behind Fig. 2 of the paper).
+TEST_P(QueryPropertyTest, DifferenceEqualsIntersectWithNegation) {
+  QuerySampler sampler(&dataset_->test, GetParam());
+  auto q = sampler.Sample(StructureId::k2d);
+  ASSERT_TRUE(q.ok());
+  // Rebuild as b ∧ ¬c.
+  const auto& nodes = q->graph.nodes();
+  const QueryNode& diff = nodes[static_cast<size_t>(q->graph.target())];
+  QueryGraph alt;
+  const QueryNode& b_proj = nodes[static_cast<size_t>(diff.inputs[0])];
+  const QueryNode& c_proj = nodes[static_cast<size_t>(diff.inputs[1])];
+  int b = alt.AddProjection(
+      alt.AddAnchor(nodes[static_cast<size_t>(b_proj.inputs[0])].anchor_entity),
+      b_proj.relation);
+  int c = alt.AddProjection(
+      alt.AddAnchor(nodes[static_cast<size_t>(c_proj.inputs[0])].anchor_entity),
+      c_proj.relation);
+  alt.SetTarget(alt.AddIntersection({b, alt.AddNegation(c)}));
+  auto rd = ExecuteQuery(q->graph, dataset_->test);
+  auto rn = ExecuteQuery(alt, dataset_->test);
+  ASSERT_TRUE(rd.ok());
+  ASSERT_TRUE(rn.ok());
+  EXPECT_EQ(*rd, *rn);
+}
+
+// Double negation is the identity.
+TEST_P(QueryPropertyTest, DoubleNegationIdentity) {
+  QuerySampler sampler(&dataset_->test, GetParam() + 100);
+  auto q = sampler.Sample(StructureId::k2p);
+  ASSERT_TRUE(q.ok());
+  QueryGraph wrapped = q->graph;
+  wrapped.SetTarget(wrapped.AddNegation(wrapped.AddNegation(q->graph.target())));
+  auto base = ExecuteQuery(q->graph, dataset_->test);
+  auto twice = ExecuteQuery(wrapped, dataset_->test);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(*base, *twice);
+}
+
+// A ∧ B ⊆ A  and  A ∧ B ⊆ B.
+TEST_P(QueryPropertyTest, IntersectionIsSubsetOfInputs) {
+  QuerySampler sampler(&dataset_->test, GetParam() + 200);
+  auto q = sampler.Sample(StructureId::k2i);
+  ASSERT_TRUE(q.ok());
+  auto all = ExecuteQueryAllNodes(q->graph, dataset_->test);
+  ASSERT_TRUE(all.ok());
+  const QueryNode& target =
+      q->graph.nodes()[static_cast<size_t>(q->graph.target())];
+  const auto& result = (*all)[static_cast<size_t>(q->graph.target())];
+  for (int input : target.inputs) {
+    const auto& in = (*all)[static_cast<size_t>(input)];
+    EXPECT_TRUE(std::includes(in.begin(), in.end(), result.begin(),
+                              result.end()));
+  }
+}
+
+// A ⊆ A ∨ B and B ⊆ A ∨ B.
+TEST_P(QueryPropertyTest, UnionIsSupersetOfInputs) {
+  QuerySampler sampler(&dataset_->test, GetParam() + 300);
+  auto q = sampler.Sample(StructureId::k2u);
+  ASSERT_TRUE(q.ok());
+  auto all = ExecuteQueryAllNodes(q->graph, dataset_->test);
+  ASSERT_TRUE(all.ok());
+  const QueryNode& target =
+      q->graph.nodes()[static_cast<size_t>(q->graph.target())];
+  const auto& result = (*all)[static_cast<size_t>(q->graph.target())];
+  for (int input : target.inputs) {
+    const auto& in = (*all)[static_cast<size_t>(input)];
+    EXPECT_TRUE(std::includes(result.begin(), result.end(), in.begin(),
+                              in.end()));
+  }
+}
+
+// De Morgan: ¬(A ∨ B) == ¬A ∧ ¬B.
+TEST_P(QueryPropertyTest, DeMorgan) {
+  QuerySampler sampler(&dataset_->test, GetParam() + 400);
+  auto q = sampler.Sample(StructureId::k2u);
+  ASSERT_TRUE(q.ok());
+  const auto& nodes = q->graph.nodes();
+  const QueryNode& u = nodes[static_cast<size_t>(q->graph.target())];
+
+  QueryGraph lhs = q->graph;
+  lhs.SetTarget(lhs.AddNegation(q->graph.target()));
+
+  QueryGraph rhs;
+  std::vector<int> negs;
+  for (int input : u.inputs) {
+    const QueryNode& p = nodes[static_cast<size_t>(input)];
+    int a = rhs.AddAnchor(
+        nodes[static_cast<size_t>(p.inputs[0])].anchor_entity);
+    negs.push_back(rhs.AddNegation(rhs.AddProjection(a, p.relation)));
+  }
+  rhs.SetTarget(rhs.AddIntersection(negs));
+
+  auto rl = ExecuteQuery(lhs, dataset_->test);
+  auto rr = ExecuteQuery(rhs, dataset_->test);
+  ASSERT_TRUE(rl.ok());
+  ASSERT_TRUE(rr.ok());
+  EXPECT_EQ(*rl, *rr);
+}
+
+// DNF branches always union back to the original answers, for every
+// union-bearing structure.
+TEST_P(QueryPropertyTest, DnfPreservesSemantics) {
+  QuerySampler sampler(&dataset_->test, GetParam() + 500);
+  for (StructureId s : {StructureId::k2u, StructureId::kUp,
+                        StructureId::k2ippu, StructureId::k3ippu}) {
+    auto q = sampler.Sample(s);
+    ASSERT_TRUE(q.ok()) << StructureName(s);
+    auto direct = ExecuteQuery(q->graph, dataset_->test);
+    ASSERT_TRUE(direct.ok());
+    std::set<int64_t> merged;
+    for (const QueryGraph& branch : ToDnf(q->graph)) {
+      auto r = ExecuteQuery(branch, dataset_->test);
+      ASSERT_TRUE(r.ok());
+      merged.insert(r->begin(), r->end());
+    }
+    EXPECT_EQ(std::vector<int64_t>(merged.begin(), merged.end()), *direct)
+        << StructureName(s);
+  }
+}
+
+// Monotonicity under graph growth: EPFO (negation/difference-free)
+// answers never shrink when edges are added (train ⊆ test).
+TEST_P(QueryPropertyTest, EpfoMonotoneUnderGraphGrowth) {
+  QuerySampler sampler(&dataset_->train, GetParam() + 600);
+  for (StructureId s :
+       {StructureId::k2p, StructureId::k2i, StructureId::k2u,
+        StructureId::kIp}) {
+    auto q = sampler.Sample(s);
+    ASSERT_TRUE(q.ok()) << StructureName(s);
+    auto small = ExecuteQuery(q->graph, dataset_->train);
+    auto big = ExecuteQuery(q->graph, dataset_->test);
+    ASSERT_TRUE(small.ok());
+    ASSERT_TRUE(big.ok());
+    EXPECT_TRUE(std::includes(big->begin(), big->end(), small->begin(),
+                              small->end()))
+        << StructureName(s);
+  }
+}
+
+// The matcher agrees with the executor on every structure (same graph).
+TEST_P(QueryPropertyTest, HardAnswersNotDerivableOnSmallerGraph) {
+  QuerySampler sampler(&dataset_->test, GetParam() + 700);
+  auto q = sampler.Sample(StructureId::k2p);
+  ASSERT_TRUE(q.ok());
+  SplitEasyHard(&*q, dataset_->train);
+  auto small = ExecuteQuery(q->graph, dataset_->train);
+  ASSERT_TRUE(small.ok());
+  for (int64_t hard : q->hard_answers) {
+    EXPECT_FALSE(std::binary_search(small->begin(), small->end(), hard));
+  }
+  for (int64_t easy : q->easy_answers) {
+    EXPECT_TRUE(std::binary_search(small->begin(), small->end(), easy));
+  }
+}
+
+}  // namespace
+}  // namespace halk::query

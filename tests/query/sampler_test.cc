@@ -1,0 +1,123 @@
+#include "query/sampler.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "kg/synthetic.h"
+#include "query/executor.h"
+
+namespace halk::query {
+namespace {
+
+class SamplerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    kg::SyntheticKgOptions opt;
+    opt.num_entities = 400;
+    opt.num_relations = 12;
+    opt.num_triples = 3000;
+    opt.seed = 11;
+    dataset_ = new kg::Dataset(kg::GenerateSyntheticKg(opt));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static kg::Dataset* dataset_;
+};
+
+kg::Dataset* SamplerTest::dataset_ = nullptr;
+
+TEST_F(SamplerTest, GroundsEveryStructure) {
+  QuerySampler sampler(&dataset_->test, 1);
+  for (StructureId id : AllStructures()) {
+    auto q = sampler.Sample(id);
+    ASSERT_TRUE(q.ok()) << StructureName(id) << ": "
+                        << q.status().ToString();
+    EXPECT_TRUE(q->graph.Validate(/*grounded=*/true).ok())
+        << StructureName(id);
+    EXPECT_FALSE(q->answers.empty()) << StructureName(id);
+  }
+}
+
+TEST_F(SamplerTest, AnswersMatchExecutorExactly) {
+  QuerySampler sampler(&dataset_->test, 2);
+  for (StructureId id : {StructureId::k2p, StructureId::k2i,
+                         StructureId::k2d, StructureId::k2in}) {
+    auto q = sampler.Sample(id);
+    ASSERT_TRUE(q.ok());
+    auto direct = ExecuteQuery(q->graph, dataset_->test);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(q->answers, *direct) << StructureName(id);
+  }
+}
+
+TEST_F(SamplerTest, AnswersAreSortedAndUnique) {
+  QuerySampler sampler(&dataset_->test, 3);
+  auto q = sampler.Sample(StructureId::k2u);
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(std::is_sorted(q->answers.begin(), q->answers.end()));
+  EXPECT_EQ(std::adjacent_find(q->answers.begin(), q->answers.end()),
+            q->answers.end());
+}
+
+TEST_F(SamplerTest, RespectsAnswerCap) {
+  QuerySampler::Options opt;
+  opt.max_answers = 20;
+  QuerySampler sampler(&dataset_->test, 4, opt);
+  for (int i = 0; i < 10; ++i) {
+    auto q = sampler.Sample(StructureId::k2p);
+    ASSERT_TRUE(q.ok());
+    EXPECT_LE(q->answers.size(), 20u);
+  }
+}
+
+TEST_F(SamplerTest, SampleManyYieldsRequestedCount) {
+  QuerySampler sampler(&dataset_->test, 5);
+  auto qs = sampler.SampleMany(StructureId::k2i, 25);
+  ASSERT_TRUE(qs.ok());
+  EXPECT_EQ(qs->size(), 25u);
+}
+
+TEST_F(SamplerTest, DeterministicForSeed) {
+  QuerySampler a(&dataset_->test, 6);
+  QuerySampler b(&dataset_->test, 6);
+  auto qa = a.Sample(StructureId::k3p);
+  auto qb = b.Sample(StructureId::k3p);
+  ASSERT_TRUE(qa.ok());
+  ASSERT_TRUE(qb.ok());
+  EXPECT_EQ(qa->graph.ToString(), qb->graph.ToString());
+  EXPECT_EQ(qa->answers, qb->answers);
+}
+
+TEST_F(SamplerTest, SplitEasyHardPartitionsAnswers) {
+  QuerySampler sampler(&dataset_->test, 7);
+  int with_hard = 0;
+  for (int i = 0; i < 20; ++i) {
+    auto q = sampler.Sample(StructureId::k2p);
+    ASSERT_TRUE(q.ok());
+    SplitEasyHard(&*q, dataset_->train);
+    // Partition: easy ∪ hard == answers, disjoint.
+    std::vector<int64_t> merged = q->easy_answers;
+    merged.insert(merged.end(), q->hard_answers.begin(),
+                  q->hard_answers.end());
+    std::sort(merged.begin(), merged.end());
+    EXPECT_EQ(merged, q->answers);
+    with_hard += !q->hard_answers.empty();
+  }
+  // Held-out edges must make at least some queries require generalization.
+  EXPECT_GT(with_hard, 0);
+}
+
+TEST_F(SamplerTest, NegationQueriesCanHaveLargeAnswerSets) {
+  QuerySampler sampler(&dataset_->test, 8);
+  auto q = sampler.Sample(StructureId::k2in);
+  ASSERT_TRUE(q.ok());
+  // Complements are large; just check plausibility and executor agreement.
+  EXPECT_GT(q->answers.size(), 0u);
+}
+
+}  // namespace
+}  // namespace halk::query

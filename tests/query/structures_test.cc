@@ -1,0 +1,68 @@
+#include "query/structures.h"
+
+#include <gtest/gtest.h>
+
+namespace halk::query {
+namespace {
+
+TEST(StructuresTest, NamesRoundTrip) {
+  for (StructureId id : AllStructures()) {
+    auto parsed = StructureFromName(StructureName(id));
+    ASSERT_TRUE(parsed.ok()) << StructureName(id);
+    EXPECT_EQ(*parsed, id);
+  }
+  EXPECT_FALSE(StructureFromName("bogus").ok());
+}
+
+TEST(StructuresTest, AllTemplatesValidate) {
+  for (StructureId id : AllStructures()) {
+    QueryGraph g = MakeStructure(id);
+    EXPECT_TRUE(g.Validate(/*grounded=*/false).ok()) << StructureName(id);
+    EXPECT_FALSE(g.Validate(/*grounded=*/true).ok()) << StructureName(id);
+  }
+}
+
+TEST(StructuresTest, ProjectionCountsMatchQuerySizes) {
+  // The Table VI "query size" axis.
+  EXPECT_EQ(MakeStructure(StructureId::k1p).NumProjections(), 1);
+  EXPECT_EQ(MakeStructure(StructureId::k2p).NumProjections(), 2);
+  EXPECT_EQ(MakeStructure(StructureId::kPi).NumProjections(), 3);
+  EXPECT_EQ(MakeStructure(StructureId::kPip).NumProjections(), 4);
+  EXPECT_EQ(MakeStructure(StructureId::kP3ip).NumProjections(), 5);
+}
+
+TEST(StructuresTest, OperatorInventory) {
+  EXPECT_TRUE(MakeStructure(StructureId::k2in).HasOp(OpType::kNegation));
+  EXPECT_TRUE(MakeStructure(StructureId::k2d).HasOp(OpType::kDifference));
+  EXPECT_TRUE(MakeStructure(StructureId::k2u).HasOp(OpType::kUnion));
+  EXPECT_FALSE(MakeStructure(StructureId::k3p).HasOp(OpType::kIntersection));
+  EXPECT_TRUE(MakeStructure(StructureId::k3ippd).HasOp(OpType::kDifference));
+  EXPECT_TRUE(MakeStructure(StructureId::k3ippu).HasOp(OpType::kUnion));
+}
+
+TEST(StructuresTest, AnchorCounts) {
+  EXPECT_EQ(MakeStructure(StructureId::k1p).AnchorIds().size(), 1u);
+  EXPECT_EQ(MakeStructure(StructureId::k3i).AnchorIds().size(), 3u);
+  EXPECT_EQ(MakeStructure(StructureId::k3d).AnchorIds().size(), 3u);
+  EXPECT_EQ(MakeStructure(StructureId::k3ippu).AnchorIds().size(), 4u);
+}
+
+TEST(StructuresTest, CategoryListsAreConsistent) {
+  // Train + eval-only covers the 12 EPFO/difference structures of Tables
+  // I-II (training also includes the negation structures).
+  auto train = TrainStructures();
+  auto eval_only = EvalOnlyStructures();
+  auto table12 = EpfoDifferenceStructures();
+  for (StructureId id : table12) {
+    const bool in_train =
+        std::find(train.begin(), train.end(), id) != train.end();
+    const bool in_eval =
+        std::find(eval_only.begin(), eval_only.end(), id) != eval_only.end();
+    EXPECT_TRUE(in_train != in_eval) << StructureName(id);
+  }
+  EXPECT_EQ(NegationStructures().size(), 4u);
+  EXPECT_EQ(PruningStructures().size(), 6u);
+}
+
+}  // namespace
+}  // namespace halk::query

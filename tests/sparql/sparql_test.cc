@@ -1,0 +1,199 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "query/executor.h"
+#include "sparql/adaptor.h"
+#include "sparql/lexer.h"
+#include "sparql/parser.h"
+
+namespace halk::sparql {
+namespace {
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = Lex("SELECT ?x WHERE { ?x :rel :Const . }");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_GE(tokens->size(), 9u);
+  EXPECT_EQ((*tokens)[0].type, TokenType::kKeyword);
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].type, TokenType::kVariable);
+  EXPECT_EQ((*tokens)[1].text, "x");
+  EXPECT_EQ((*tokens)[3].type, TokenType::kLBrace);
+  EXPECT_EQ((*tokens)[5].type, TokenType::kIri);
+  EXPECT_EQ((*tokens)[5].text, "rel");
+}
+
+TEST(LexerTest, IriNormalization) {
+  auto tokens = Lex("<http://example.org/ns#Oscar> ns:won :prize");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "Oscar");
+  EXPECT_EQ((*tokens)[1].text, "won");
+  EXPECT_EQ((*tokens)[2].text, "prize");
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = Lex("select ?x where { }");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[2].text, "WHERE");
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = Lex("SELECT ?x # a comment\nWHERE { }");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[2].text, "WHERE");
+}
+
+TEST(LexerTest, UnterminatedIriIsError) {
+  EXPECT_FALSE(Lex("SELECT ?x WHERE { <http://oops ").ok());
+}
+
+TEST(ParserTest, BasicGraphPattern) {
+  auto q = Parse("SELECT ?f WHERE { ?d directed ?f . oscar won_by ?d . }");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->target_variable, "f");
+  ASSERT_EQ(q->where.triples.size(), 2u);
+  EXPECT_TRUE(q->where.triples[0].subject.is_variable());
+  EXPECT_EQ(q->where.triples[1].subject.text, "oscar");
+}
+
+TEST(ParserTest, PrefixAndDistinctAccepted) {
+  auto q = Parse(
+      "PREFIX ns: <http://example.org/> "
+      "SELECT DISTINCT ?x WHERE { ns:a ns:r ?x . }");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->where.triples[0].subject.text, "a");
+}
+
+TEST(ParserTest, FilterNotExists) {
+  auto q = Parse(
+      "SELECT ?x WHERE { a r ?x . FILTER NOT EXISTS { b s ?x . } }");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->where.not_exists.size(), 1u);
+  EXPECT_EQ(q->where.not_exists[0].triples.size(), 1u);
+}
+
+TEST(ParserTest, MinusBlock) {
+  auto q = Parse("SELECT ?x WHERE { a r ?x . MINUS { b s ?x . } }");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->where.minus.size(), 1u);
+}
+
+TEST(ParserTest, UnionBlocks) {
+  auto q = Parse(
+      "SELECT ?x WHERE { { a r ?x . } UNION { b s ?x . } UNION { c t ?x } }");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->where.unions.size(), 1u);
+  EXPECT_EQ(q->where.unions[0].size(), 3u);
+}
+
+TEST(ParserTest, Rejections) {
+  EXPECT_FALSE(Parse("WHERE { a r ?x }").ok());            // no SELECT
+  EXPECT_FALSE(Parse("SELECT ?x ?y WHERE { a r ?x }").ok());  // two vars
+  EXPECT_FALSE(Parse("SELECT ?x WHERE { a ?p ?x }").ok());  // var predicate
+  EXPECT_FALSE(Parse("SELECT ?x WHERE { a r ?x ").ok());    // unterminated
+  EXPECT_FALSE(Parse("SELECT ?x WHERE { FILTER EXISTS { a r ?x } }").ok());
+}
+
+// --- Adaptor tests on the Fig. 1 movie scenario. ---
+
+class AdaptorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // "Films directed by Oscar-winning American directors."
+    kg_.AddTriple("Oscar", "won_by", "Borzage");
+    kg_.AddTriple("Oscar", "won_by", "Chaplin");
+    kg_.AddTriple("USA", "citizen", "Borzage");
+    kg_.AddTriple("USA", "citizen", "Hitchcock");
+    kg_.AddTriple("Borzage", "directed", "SeventhHeaven");
+    kg_.AddTriple("Borzage", "directed", "StreetAngel");
+    kg_.AddTriple("Chaplin", "directed", "ModernTimes");
+    kg_.AddTriple("Hitchcock", "directed", "Psycho");
+    kg_.AddTriple("Festival", "screened", "StreetAngel");
+    // Inverse relation used by subject-variable patterns.
+    kg_.AddTriple("SeventhHeaven", "directed_inv", "Borzage");
+    kg_.Finalize();
+  }
+
+  std::vector<std::string> Answers(const std::string& sparql) {
+    auto graph = CompileSparql(sparql, kg_);
+    if (!graph.ok()) ADD_FAILURE() << graph.status().ToString();
+    auto result = query::ExecuteQuery(*graph, kg_);
+    if (!result.ok()) ADD_FAILURE() << result.status().ToString();
+    std::vector<std::string> names;
+    for (int64_t id : *result) names.push_back(kg_.entities().Name(id));
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  kg::KnowledgeGraph kg_;
+};
+
+TEST_F(AdaptorTest, Figure1Query) {
+  // 2i + projection: films by directors who won the Oscar AND are American.
+  auto names = Answers(
+      "SELECT ?f WHERE { Oscar won_by ?d . USA citizen ?d . "
+      "?d directed ?f }");
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"SeventhHeaven", "StreetAngel"}));
+}
+
+TEST_F(AdaptorTest, MinusMapsToDifference) {
+  auto names = Answers(
+      "SELECT ?f WHERE { Borzage directed ?f . "
+      "MINUS { Festival screened ?f . } }");
+  EXPECT_EQ(names, (std::vector<std::string>{"SeventhHeaven"}));
+}
+
+TEST_F(AdaptorTest, NotExistsMapsToNegation) {
+  auto names = Answers(
+      "SELECT ?f WHERE { Borzage directed ?f . "
+      "FILTER NOT EXISTS { Festival screened ?f . } }");
+  EXPECT_EQ(names, (std::vector<std::string>{"SeventhHeaven"}));
+}
+
+TEST_F(AdaptorTest, UnionMapsToUnion) {
+  auto names = Answers(
+      "SELECT ?f WHERE { { Borzage directed ?f . } UNION "
+      "{ Chaplin directed ?f . } }");
+  EXPECT_EQ(names, (std::vector<std::string>{"ModernTimes", "SeventhHeaven",
+                                             "StreetAngel"}));
+}
+
+TEST_F(AdaptorTest, InverseRelationForSubjectVariable) {
+  auto names = Answers("SELECT ?d WHERE { ?d directed SeventhHeaven . }");
+  EXPECT_EQ(names, (std::vector<std::string>{"Borzage"}));
+}
+
+TEST_F(AdaptorTest, MissingInverseIsExplained) {
+  auto graph =
+      CompileSparql("SELECT ?x WHERE { ?x screened StreetAngel }", kg_);
+  ASSERT_FALSE(graph.ok());
+  EXPECT_NE(graph.status().message().find("screened_inv"), std::string::npos);
+}
+
+TEST_F(AdaptorTest, UnknownEntityIsNotFound) {
+  auto graph = CompileSparql("SELECT ?x WHERE { Nobody directed ?x }", kg_);
+  EXPECT_FALSE(graph.ok());
+  EXPECT_EQ(graph.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(AdaptorTest, UnproducedVariableIsError) {
+  auto graph = CompileSparql("SELECT ?x WHERE { Oscar won_by ?d }", kg_);
+  EXPECT_FALSE(graph.ok());
+}
+
+TEST_F(AdaptorTest, OperatorMappingShapes) {
+  auto graph = CompileSparql(
+      "SELECT ?f WHERE { Oscar won_by ?d . USA citizen ?d . ?d directed ?f "
+      ". MINUS { Festival screened ?f } "
+      "FILTER NOT EXISTS { Chaplin directed ?f } }",
+      kg_);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_TRUE(graph->HasOp(query::OpType::kIntersection));
+  EXPECT_TRUE(graph->HasOp(query::OpType::kDifference));
+  EXPECT_TRUE(graph->HasOp(query::OpType::kNegation));
+}
+
+}  // namespace
+}  // namespace halk::sparql

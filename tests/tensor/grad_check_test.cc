@@ -1,0 +1,221 @@
+// Property-style numerical gradient verification: for every differentiable
+// op, the autograd gradient must match a central finite difference of the
+// scalarized output at randomly drawn (kink-free) points.
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+#include "tensor/tape.h"
+
+namespace halk::tensor {
+namespace {
+
+using BuildFn = std::function<Tensor(const std::vector<Tensor>&)>;
+
+// Verifies d(scalar f(inputs))/d(inputs) against central differences.
+void CheckGrad(const BuildFn& f, std::vector<Tensor> inputs,
+               float eps = 1e-2f, float tol = 3e-2f) {
+  for (Tensor& t : inputs) t.set_requires_grad(true);
+  Tensor loss = f(inputs);
+  ASSERT_EQ(loss.numel(), 1);
+  Backward(loss);
+
+  for (size_t t = 0; t < inputs.size(); ++t) {
+    std::vector<float> analytic = inputs[t].grad_vector();
+    for (int64_t i = 0; i < inputs[t].numel(); ++i) {
+      const float orig = inputs[t].data()[i];
+      inputs[t].data()[i] = orig + eps;
+      const float up = f(inputs).at(0);
+      inputs[t].data()[i] = orig - eps;
+      const float down = f(inputs).at(0);
+      inputs[t].data()[i] = orig;
+      const float numeric = (up - down) / (2.0f * eps);
+      const float a = analytic[static_cast<size_t>(i)];
+      const float denom = std::max({1.0f, std::fabs(a), std::fabs(numeric)});
+      EXPECT_NEAR(a, numeric, tol * denom)
+          << "input " << t << " element " << i;
+    }
+  }
+}
+
+std::vector<float> RandomValues(Rng* rng, int64_t n, float lo, float hi) {
+  std::vector<float> v(static_cast<size_t>(n));
+  for (auto& x : v) x = static_cast<float>(rng->Uniform(lo, hi));
+  return v;
+}
+
+TEST(GradCheckTest, Add) {
+  Rng rng(1);
+  CheckGrad([](const std::vector<Tensor>& in) {
+    return SumAll(Add(in[0], in[1]));
+  }, {Tensor::FromVector({2, 3}, RandomValues(&rng, 6, -1, 1)),
+      Tensor::FromVector({2, 3}, RandomValues(&rng, 6, -1, 1))});
+}
+
+TEST(GradCheckTest, SubRowBroadcast) {
+  Rng rng(2);
+  CheckGrad([](const std::vector<Tensor>& in) {
+    return SumAll(Square(Sub(in[0], in[1])));
+  }, {Tensor::FromVector({3, 2}, RandomValues(&rng, 6, -1, 1)),
+      Tensor::FromVector({2}, RandomValues(&rng, 2, -1, 1))});
+}
+
+TEST(GradCheckTest, MulScalarBroadcast) {
+  Rng rng(3);
+  CheckGrad([](const std::vector<Tensor>& in) {
+    return SumAll(Mul(in[0], in[1]));
+  }, {Tensor::FromVector({2, 2}, RandomValues(&rng, 4, -1, 1)),
+      Tensor::FromVector({1}, RandomValues(&rng, 1, 0.5, 1.5))});
+}
+
+TEST(GradCheckTest, Div) {
+  Rng rng(4);
+  CheckGrad([](const std::vector<Tensor>& in) {
+    return SumAll(Div(in[0], in[1]));
+  }, {Tensor::FromVector({4}, RandomValues(&rng, 4, -1, 1)),
+      Tensor::FromVector({4}, RandomValues(&rng, 4, 1.0, 2.0))});
+}
+
+TEST(GradCheckTest, SinCos) {
+  Rng rng(5);
+  CheckGrad([](const std::vector<Tensor>& in) {
+    return SumAll(Add(Sin(in[0]), Cos(in[0])));
+  }, {Tensor::FromVector({5}, RandomValues(&rng, 5, -3, 3))});
+}
+
+TEST(GradCheckTest, TanhSigmoid) {
+  Rng rng(6);
+  CheckGrad([](const std::vector<Tensor>& in) {
+    return SumAll(Mul(Tanh(in[0]), Sigmoid(in[0])));
+  }, {Tensor::FromVector({5}, RandomValues(&rng, 5, -2, 2))});
+}
+
+TEST(GradCheckTest, ReluAwayFromKink) {
+  CheckGrad([](const std::vector<Tensor>& in) {
+    return SumAll(Relu(in[0]));
+  }, {Tensor::FromVector({4}, {-1.0f, -0.5f, 0.5f, 1.0f})});
+}
+
+TEST(GradCheckTest, AbsAwayFromKink) {
+  CheckGrad([](const std::vector<Tensor>& in) {
+    return SumAll(Abs(in[0]));
+  }, {Tensor::FromVector({4}, {-1.0f, -0.5f, 0.5f, 1.0f})});
+}
+
+TEST(GradCheckTest, ExpLogSqrt) {
+  Rng rng(7);
+  CheckGrad([](const std::vector<Tensor>& in) {
+    return SumAll(Add(Exp(in[0]), Add(Log(in[0]), Sqrt(in[0]))));
+  }, {Tensor::FromVector({4}, RandomValues(&rng, 4, 0.5, 2.0))});
+}
+
+TEST(GradCheckTest, SquareChain) {
+  Rng rng(8);
+  CheckGrad([](const std::vector<Tensor>& in) {
+    return MeanAll(Square(Square(in[0])));
+  }, {Tensor::FromVector({3}, RandomValues(&rng, 3, -1.5, 1.5))});
+}
+
+TEST(GradCheckTest, Atan2) {
+  Rng rng(9);
+  CheckGrad([](const std::vector<Tensor>& in) {
+    return SumAll(Atan2(in[0], in[1]));
+  }, {Tensor::FromVector({4}, RandomValues(&rng, 4, 0.5, 1.5)),
+      Tensor::FromVector({4}, RandomValues(&rng, 4, 0.5, 1.5))});
+}
+
+TEST(GradCheckTest, MinimumMaximumAwayFromTies) {
+  CheckGrad([](const std::vector<Tensor>& in) {
+    return SumAll(Add(Minimum(in[0], in[1]), Maximum(in[0], in[1])));
+  }, {Tensor::FromVector({3}, {1.0f, 5.0f, 2.0f}),
+      Tensor::FromVector({3}, {2.0f, 3.0f, 4.0f})});
+}
+
+TEST(GradCheckTest, MatMul) {
+  Rng rng(10);
+  CheckGrad([](const std::vector<Tensor>& in) {
+    return SumAll(Square(MatMul(in[0], in[1])));
+  }, {Tensor::FromVector({2, 3}, RandomValues(&rng, 6, -1, 1)),
+      Tensor::FromVector({3, 2}, RandomValues(&rng, 6, -1, 1))});
+}
+
+TEST(GradCheckTest, ConcatSliceChain) {
+  Rng rng(11);
+  CheckGrad([](const std::vector<Tensor>& in) {
+    Tensor cat = Concat({in[0], in[1]}, 1);
+    Tensor sl = SliceCols(cat, 1, 3);
+    return SumAll(Square(sl));
+  }, {Tensor::FromVector({2, 2}, RandomValues(&rng, 4, -1, 1)),
+      Tensor::FromVector({2, 2}, RandomValues(&rng, 4, -1, 1))});
+}
+
+TEST(GradCheckTest, SumDimMeanDim) {
+  Rng rng(12);
+  CheckGrad([](const std::vector<Tensor>& in) {
+    return SumAll(Square(SumDim(in[0], 0))) + SumAll(Square(MeanDim(in[0], 1)));
+  }, {Tensor::FromVector({3, 2}, RandomValues(&rng, 6, -1, 1))});
+}
+
+TEST(GradCheckTest, GatherThroughLoss) {
+  Rng rng(13);
+  CheckGrad([](const std::vector<Tensor>& in) {
+    return SumAll(Square(Gather(in[0], {0, 2, 0})));
+  }, {Tensor::FromVector({3, 2}, RandomValues(&rng, 6, -1, 1))});
+}
+
+TEST(GradCheckTest, BroadcastRowThroughLoss) {
+  Rng rng(14);
+  CheckGrad([](const std::vector<Tensor>& in) {
+    return SumAll(Square(BroadcastRow(in[0], 4)));
+  }, {Tensor::FromVector({3}, RandomValues(&rng, 3, -1, 1))});
+}
+
+TEST(GradCheckTest, Mod2PiPassThrough) {
+  // Points away from wrap boundaries.
+  CheckGrad([](const std::vector<Tensor>& in) {
+    return SumAll(Sin(Mod2Pi(in[0])));
+  }, {Tensor::FromVector({3}, {7.0f, -2.0f, 14.0f})});
+}
+
+TEST(GradCheckTest, ClampInterior) {
+  CheckGrad([](const std::vector<Tensor>& in) {
+    return SumAll(Square(Clamp(in[0], -10.0f, 10.0f)));
+  }, {Tensor::FromVector({3}, {-1.0f, 0.5f, 2.0f})});
+}
+
+TEST(GradCheckTest, AttentionPattern) {
+  // w_i = exp(s_i) / sum_j exp(s_j) elementwise, then weighted mix —
+  // the exact computation the HaLk intersection/difference operators use.
+  Rng rng(15);
+  CheckGrad([](const std::vector<Tensor>& in) {
+    Tensor e0 = Exp(in[0]);
+    Tensor e1 = Exp(in[1]);
+    Tensor denom = Add(e0, e1);
+    Tensor w0 = Div(e0, denom);
+    Tensor w1 = Div(e1, denom);
+    Tensor mix = Add(Mul(w0, in[2]), Mul(w1, in[3]));
+    return MeanAll(Square(mix));
+  }, {Tensor::FromVector({2, 2}, RandomValues(&rng, 4, -1, 1)),
+      Tensor::FromVector({2, 2}, RandomValues(&rng, 4, -1, 1)),
+      Tensor::FromVector({2, 2}, RandomValues(&rng, 4, -1, 1)),
+      Tensor::FromVector({2, 2}, RandomValues(&rng, 4, -1, 1))});
+}
+
+TEST(GradCheckTest, DeepComposition) {
+  Rng rng(16);
+  CheckGrad([](const std::vector<Tensor>& in) {
+    Tensor h = Tanh(MatMul(in[0], in[1]));
+    Tensor g = Sigmoid(MatMul(h, in[2]));
+    return MeanAll(Square(g));
+  }, {Tensor::FromVector({2, 3}, RandomValues(&rng, 6, -1, 1)),
+      Tensor::FromVector({3, 3}, RandomValues(&rng, 9, -1, 1)),
+      Tensor::FromVector({3, 1}, RandomValues(&rng, 3, -1, 1))});
+}
+
+}  // namespace
+}  // namespace halk::tensor

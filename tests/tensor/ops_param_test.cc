@@ -1,0 +1,174 @@
+// Parameterized sweeps: every elementwise op must satisfy its algebraic
+// identities across a grid of shapes and seeds, and every gradient must
+// match central differences (complementing grad_check_test.cc's targeted
+// cases with breadth).
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+#include "tensor/tape.h"
+
+namespace halk::tensor {
+namespace {
+
+using ShapeSeed = std::tuple<int64_t, int64_t, uint64_t>;  // rows, cols, seed
+
+class OpsSweepTest : public ::testing::TestWithParam<ShapeSeed> {
+ protected:
+  Tensor RandomTensor(Rng* rng, float lo = -2.0f, float hi = 2.0f) {
+    auto [rows, cols, seed] = GetParam();
+    std::vector<float> v(static_cast<size_t>(rows * cols));
+    for (auto& x : v) x = static_cast<float>(rng->Uniform(lo, hi));
+    return Tensor::FromVector({rows, cols}, std::move(v));
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, OpsSweepTest,
+    ::testing::Values(ShapeSeed{1, 1, 11}, ShapeSeed{1, 7, 12},
+                      ShapeSeed{5, 3, 13}, ShapeSeed{8, 8, 14},
+                      ShapeSeed{2, 16, 15}));
+
+TEST_P(OpsSweepTest, AddCommutes) {
+  Rng rng(std::get<2>(GetParam()));
+  Tensor a = RandomTensor(&rng);
+  Tensor b = RandomTensor(&rng);
+  Tensor ab = Add(a, b);
+  Tensor ba = Add(b, a);
+  for (int64_t i = 0; i < ab.numel(); ++i) {
+    EXPECT_FLOAT_EQ(ab.at(i), ba.at(i));
+  }
+}
+
+TEST_P(OpsSweepTest, MulDistributesOverAdd) {
+  Rng rng(std::get<2>(GetParam()) + 1);
+  Tensor a = RandomTensor(&rng);
+  Tensor b = RandomTensor(&rng);
+  Tensor c = RandomTensor(&rng);
+  Tensor lhs = Mul(a, Add(b, c));
+  Tensor rhs = Add(Mul(a, b), Mul(a, c));
+  for (int64_t i = 0; i < lhs.numel(); ++i) {
+    EXPECT_NEAR(lhs.at(i), rhs.at(i), 1e-4f);
+  }
+}
+
+TEST_P(OpsSweepTest, SubIsAddOfNeg) {
+  Rng rng(std::get<2>(GetParam()) + 2);
+  Tensor a = RandomTensor(&rng);
+  Tensor b = RandomTensor(&rng);
+  Tensor lhs = Sub(a, b);
+  Tensor rhs = Add(a, Neg(b));
+  for (int64_t i = 0; i < lhs.numel(); ++i) {
+    EXPECT_FLOAT_EQ(lhs.at(i), rhs.at(i));
+  }
+}
+
+TEST_P(OpsSweepTest, MinPlusMaxEqualsSum) {
+  Rng rng(std::get<2>(GetParam()) + 3);
+  Tensor a = RandomTensor(&rng);
+  Tensor b = RandomTensor(&rng);
+  Tensor lhs = Add(Minimum(a, b), Maximum(a, b));
+  Tensor rhs = Add(a, b);
+  for (int64_t i = 0; i < lhs.numel(); ++i) {
+    EXPECT_FLOAT_EQ(lhs.at(i), rhs.at(i));
+  }
+}
+
+TEST_P(OpsSweepTest, SinSquaredPlusCosSquared) {
+  Rng rng(std::get<2>(GetParam()) + 4);
+  Tensor a = RandomTensor(&rng, -6.0f, 6.0f);
+  Tensor lhs = Add(Square(Sin(a)), Square(Cos(a)));
+  for (int64_t i = 0; i < lhs.numel(); ++i) {
+    EXPECT_NEAR(lhs.at(i), 1.0f, 1e-5f);
+  }
+}
+
+TEST_P(OpsSweepTest, ExpLogRoundTrip) {
+  Rng rng(std::get<2>(GetParam()) + 5);
+  Tensor a = RandomTensor(&rng, 0.1f, 3.0f);
+  Tensor rt = Exp(Log(a));
+  for (int64_t i = 0; i < rt.numel(); ++i) {
+    EXPECT_NEAR(rt.at(i), a.at(i), 1e-4f * std::fabs(a.at(i)) + 1e-5f);
+  }
+}
+
+TEST_P(OpsSweepTest, SoftplusMatchesLogSigmoidIdentity) {
+  // softplus(-x) == -log(sigmoid(x)).
+  Rng rng(std::get<2>(GetParam()) + 6);
+  Tensor a = RandomTensor(&rng, -8.0f, 8.0f);
+  Tensor lhs = Softplus(Neg(a));
+  Tensor rhs = Neg(Log(Sigmoid(a)));
+  for (int64_t i = 0; i < lhs.numel(); ++i) {
+    EXPECT_NEAR(lhs.at(i), rhs.at(i), 1e-4f);
+  }
+}
+
+TEST_P(OpsSweepTest, SumDimsConsistentWithSumAll) {
+  Rng rng(std::get<2>(GetParam()) + 7);
+  Tensor a = RandomTensor(&rng);
+  const float total = SumAll(a).at(0);
+  EXPECT_NEAR(SumAll(SumDim(a, 0)).at(0), total, 1e-3f);
+  EXPECT_NEAR(SumAll(SumDim(a, 1)).at(0), total, 1e-3f);
+}
+
+TEST_P(OpsSweepTest, ConcatSliceRoundTrip) {
+  Rng rng(std::get<2>(GetParam()) + 8);
+  Tensor a = RandomTensor(&rng);
+  Tensor b = RandomTensor(&rng);
+  const int64_t cols = a.shape().dim(1);
+  Tensor cat = Concat({a, b}, 1);
+  Tensor a2 = SliceCols(cat, 0, cols);
+  Tensor b2 = SliceCols(cat, cols, 2 * cols);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_FLOAT_EQ(a2.at(i), a.at(i));
+    EXPECT_FLOAT_EQ(b2.at(i), b.at(i));
+  }
+}
+
+TEST_P(OpsSweepTest, MatMulIdentity) {
+  Rng rng(std::get<2>(GetParam()) + 9);
+  Tensor a = RandomTensor(&rng);
+  const int64_t cols = a.shape().dim(1);
+  Tensor eye = Tensor::Zeros({cols, cols});
+  for (int64_t i = 0; i < cols; ++i) eye.data()[i * cols + i] = 1.0f;
+  Tensor out = MatMul(a, eye);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_NEAR(out.at(i), a.at(i), 1e-5f);
+  }
+}
+
+TEST_P(OpsSweepTest, GradientOfCompositePipeline) {
+  // Numerical gradient over a pipeline representative of model code:
+  // softplus(sumdim(mul(sin(a), sigmoid(b)))).
+  Rng rng(std::get<2>(GetParam()) + 10);
+  Tensor a = RandomTensor(&rng).set_requires_grad(true);
+  Tensor b = RandomTensor(&rng).set_requires_grad(true);
+  auto f = [&]() {
+    return MeanAll(Softplus(SumDim(Mul(Sin(a), Sigmoid(b)), 1)));
+  };
+  Tensor loss = f();
+  Backward(loss);
+  const float eps = 1e-2f;
+  Rng pick(std::get<2>(GetParam()) + 11);
+  for (int check = 0; check < 4; ++check) {
+    Tensor& t = (check % 2 == 0) ? a : b;
+    const int64_t i =
+        static_cast<int64_t>(pick.UniformInt(static_cast<uint64_t>(t.numel())));
+    const float orig = t.data()[i];
+    t.data()[i] = orig + eps;
+    const float up = f().at(0);
+    t.data()[i] = orig - eps;
+    const float down = f().at(0);
+    t.data()[i] = orig;
+    const float numeric = (up - down) / (2.0f * eps);
+    EXPECT_NEAR(t.grad()[i], numeric,
+                3e-2f * std::max(1.0f, std::fabs(numeric)));
+  }
+}
+
+}  // namespace
+}  // namespace halk::tensor

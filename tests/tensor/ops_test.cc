@@ -1,0 +1,240 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/tape.h"
+
+namespace halk::tensor {
+namespace {
+
+constexpr float kPi = 3.14159265358979f;
+
+TEST(OpsTest, AddSameShape) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({2, 2}, {10, 20, 30, 40});
+  Tensor c = Add(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 44.0f);
+}
+
+TEST(OpsTest, AddScalarBroadcast) {
+  Tensor a = Tensor::FromVector({3}, {1, 2, 3});
+  Tensor s = Tensor::Scalar(10.0f);
+  Tensor c = Add(a, s);
+  EXPECT_FLOAT_EQ(c.at(2), 13.0f);
+  Tensor d = Add(s, a);
+  EXPECT_FLOAT_EQ(d.at(0), 11.0f);
+}
+
+TEST(OpsTest, AddRowBroadcast) {
+  Tensor m = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = Tensor::FromVector({3}, {10, 20, 30});
+  Tensor c = Add(m, r);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 2), 36.0f);
+  Tensor d = Add(r, m);
+  EXPECT_FLOAT_EQ(d.at(1, 0), 14.0f);
+}
+
+TEST(OpsTest, SubMulDiv) {
+  Tensor a = Tensor::FromVector({2}, {6, 8});
+  Tensor b = Tensor::FromVector({2}, {2, 4});
+  EXPECT_FLOAT_EQ(Sub(a, b).at(0), 4.0f);
+  EXPECT_FLOAT_EQ(Mul(a, b).at(1), 32.0f);
+  EXPECT_FLOAT_EQ(Div(a, b).at(1), 2.0f);
+}
+
+TEST(OpsTest, NegAndScalarOps) {
+  Tensor a = Tensor::FromVector({2}, {1, -2});
+  EXPECT_FLOAT_EQ(Neg(a).at(1), 2.0f);
+  EXPECT_FLOAT_EQ(AddScalar(a, 5.0f).at(0), 6.0f);
+  EXPECT_FLOAT_EQ(MulScalar(a, -3.0f).at(0), -3.0f);
+}
+
+TEST(OpsTest, TrigAndActivations) {
+  Tensor a = Tensor::FromVector({3}, {0.0f, kPi / 2.0f, kPi});
+  EXPECT_NEAR(Sin(a).at(1), 1.0f, 1e-6);
+  EXPECT_NEAR(Cos(a).at(2), -1.0f, 1e-6);
+
+  Tensor b = Tensor::FromVector({2}, {0.0f, 100.0f});
+  EXPECT_NEAR(Tanh(b).at(0), 0.0f, 1e-6);
+  EXPECT_NEAR(Tanh(b).at(1), 1.0f, 1e-6);
+  EXPECT_NEAR(Sigmoid(b).at(0), 0.5f, 1e-6);
+
+  Tensor c = Tensor::FromVector({2}, {-2.0f, 3.0f});
+  EXPECT_FLOAT_EQ(Relu(c).at(0), 0.0f);
+  EXPECT_FLOAT_EQ(Relu(c).at(1), 3.0f);
+  EXPECT_FLOAT_EQ(Abs(c).at(0), 2.0f);
+}
+
+TEST(OpsTest, ExpLogSqrtSquare) {
+  Tensor a = Tensor::FromVector({2}, {0.0f, 1.0f});
+  EXPECT_NEAR(Exp(a).at(1), std::exp(1.0f), 1e-5);
+  Tensor b = Tensor::FromVector({2}, {1.0f, std::exp(2.0f)});
+  EXPECT_NEAR(Log(b).at(1), 2.0f, 1e-5);
+  Tensor c = Tensor::FromVector({2}, {4.0f, 9.0f});
+  EXPECT_FLOAT_EQ(Sqrt(c).at(1), 3.0f);
+  EXPECT_FLOAT_EQ(Square(c).at(0), 16.0f);
+}
+
+TEST(OpsTest, Atan2Quadrants) {
+  Tensor y = Tensor::FromVector({4}, {1.0f, 1.0f, -1.0f, -1.0f});
+  Tensor x = Tensor::FromVector({4}, {1.0f, -1.0f, -1.0f, 1.0f});
+  Tensor a = Atan2(y, x);
+  EXPECT_NEAR(a.at(0), kPi / 4.0f, 1e-6);
+  EXPECT_NEAR(a.at(1), 3.0f * kPi / 4.0f, 1e-6);
+  EXPECT_NEAR(a.at(2), -3.0f * kPi / 4.0f, 1e-6);
+  EXPECT_NEAR(a.at(3), -kPi / 4.0f, 1e-6);
+}
+
+TEST(OpsTest, MinimumMaximum) {
+  Tensor a = Tensor::FromVector({3}, {1, 5, 3});
+  Tensor b = Tensor::FromVector({3}, {2, 4, 3});
+  Tensor mn = Minimum(a, b);
+  Tensor mx = Maximum(a, b);
+  EXPECT_FLOAT_EQ(mn.at(0), 1.0f);
+  EXPECT_FLOAT_EQ(mn.at(1), 4.0f);
+  EXPECT_FLOAT_EQ(mx.at(0), 2.0f);
+  EXPECT_FLOAT_EQ(mx.at(1), 5.0f);
+}
+
+TEST(OpsTest, Clamp) {
+  Tensor a = Tensor::FromVector({3}, {-5, 0.5f, 5});
+  Tensor c = Clamp(a, 0.0f, 1.0f);
+  EXPECT_FLOAT_EQ(c.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(c.at(1), 0.5f);
+  EXPECT_FLOAT_EQ(c.at(2), 1.0f);
+}
+
+TEST(OpsTest, Mod2PiWrapsIntoRange) {
+  Tensor a = Tensor::FromVector({4}, {-kPi, 0.0f, 3.0f * kPi, 7.0f * kPi});
+  Tensor m = Mod2Pi(a);
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_GE(m.at(i), 0.0f);
+    EXPECT_LT(m.at(i), 2.0f * kPi + 1e-5);
+  }
+  EXPECT_NEAR(m.at(0), kPi, 1e-5);
+  EXPECT_NEAR(m.at(2), kPi, 1e-4);
+}
+
+TEST(OpsTest, MatMulValues) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(OpsTest, ConcatRank1) {
+  Tensor a = Tensor::FromVector({2}, {1, 2});
+  Tensor b = Tensor::FromVector({3}, {3, 4, 5});
+  Tensor c = Concat({a, b}, 0);
+  EXPECT_EQ(c.numel(), 5);
+  EXPECT_FLOAT_EQ(c.at(4), 5.0f);
+}
+
+TEST(OpsTest, ConcatRank2Columns) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({2, 1}, {9, 10});
+  Tensor c = Concat({a, b}, 1);
+  EXPECT_EQ(c.shape(), Shape({2, 3}));
+  EXPECT_FLOAT_EQ(c.at(0, 2), 9.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 3.0f);
+}
+
+TEST(OpsTest, SliceCols) {
+  Tensor a = Tensor::FromVector({2, 4}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor s = SliceCols(a, 1, 3);
+  EXPECT_EQ(s.shape(), Shape({2, 2}));
+  EXPECT_FLOAT_EQ(s.at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(s.at(1, 1), 7.0f);
+}
+
+TEST(OpsTest, Reshape) {
+  Tensor a = Tensor::FromVector({4}, {1, 2, 3, 4});
+  Tensor r = Reshape(a, Shape({2, 2}));
+  EXPECT_FLOAT_EQ(r.at(1, 0), 3.0f);
+}
+
+TEST(OpsTest, Reductions) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_FLOAT_EQ(SumAll(a).at(0), 21.0f);
+  EXPECT_FLOAT_EQ(MeanAll(a).at(0), 3.5f);
+
+  Tensor s0 = SumDim(a, 0);
+  EXPECT_EQ(s0.shape(), Shape({3}));
+  EXPECT_FLOAT_EQ(s0.at(0), 5.0f);
+  EXPECT_FLOAT_EQ(s0.at(2), 9.0f);
+
+  Tensor s1 = SumDim(a, 1);
+  EXPECT_EQ(s1.shape(), Shape({2}));
+  EXPECT_FLOAT_EQ(s1.at(0), 6.0f);
+  EXPECT_FLOAT_EQ(s1.at(1), 15.0f);
+
+  EXPECT_FLOAT_EQ(MeanDim(a, 1).at(0), 2.0f);
+  EXPECT_FLOAT_EQ(MeanDim(a, 0).at(1), 3.5f);
+}
+
+TEST(OpsTest, GatherRows) {
+  Tensor table = Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor g = Gather(table, {2, 0, 2});
+  EXPECT_EQ(g.shape(), Shape({3, 2}));
+  EXPECT_FLOAT_EQ(g.at(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(g.at(1, 1), 2.0f);
+  EXPECT_FLOAT_EQ(g.at(2, 1), 6.0f);
+}
+
+TEST(OpsTest, GatherBackwardScatterAdds) {
+  Tensor table = Tensor::FromVector({3, 2}, {0, 0, 0, 0, 0, 0});
+  table.set_requires_grad(true);
+  Tensor g = Gather(table, {1, 1});
+  Tensor loss = SumAll(g);
+  Backward(loss);
+  // Row 1 gathered twice: grad 2 per element; rows 0,2 untouched.
+  EXPECT_FLOAT_EQ(table.grad()[0], 0.0f);
+  EXPECT_FLOAT_EQ(table.grad()[2], 2.0f);
+  EXPECT_FLOAT_EQ(table.grad()[3], 2.0f);
+  EXPECT_FLOAT_EQ(table.grad()[4], 0.0f);
+}
+
+TEST(OpsTest, BroadcastRowTiles) {
+  Tensor a = Tensor::FromVector({2}, {1, 2});
+  Tensor b = BroadcastRow(a, 3);
+  EXPECT_EQ(b.shape(), Shape({3, 2}));
+  EXPECT_FLOAT_EQ(b.at(2, 1), 2.0f);
+}
+
+TEST(OpsTest, OperatorSugar) {
+  Tensor a = Tensor::FromVector({2}, {1, 2});
+  Tensor b = Tensor::FromVector({2}, {3, 4});
+  EXPECT_FLOAT_EQ((a + b).at(0), 4.0f);
+  EXPECT_FLOAT_EQ((a - b).at(1), -2.0f);
+  EXPECT_FLOAT_EQ((a * b).at(1), 8.0f);
+  EXPECT_FLOAT_EQ((a / b).at(0), 1.0f / 3.0f);
+  EXPECT_FLOAT_EQ((-a).at(0), -1.0f);
+}
+
+TEST(OpsTest, RowBroadcastBackwardReduces) {
+  Tensor m = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor r = Tensor::FromVector({2}, {1, 1}).set_requires_grad(true);
+  Tensor loss = SumAll(Mul(m, r));
+  Backward(loss);
+  // d/dr_j = sum over rows of m[:, j].
+  EXPECT_FLOAT_EQ(r.grad()[0], 4.0f);
+  EXPECT_FLOAT_EQ(r.grad()[1], 6.0f);
+}
+
+TEST(OpsTest, ScalarBroadcastBackwardReduces) {
+  Tensor m = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor s = Tensor::Scalar(1.0f).set_requires_grad(true);
+  Tensor loss = SumAll(Mul(m, s));
+  Backward(loss);
+  EXPECT_FLOAT_EQ(s.grad()[0], 10.0f);
+}
+
+}  // namespace
+}  // namespace halk::tensor

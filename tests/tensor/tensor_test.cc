@@ -1,0 +1,98 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "tensor/tape.h"
+
+namespace halk::tensor {
+namespace {
+
+TEST(TensorTest, ZerosAndFull) {
+  Tensor z = Tensor::Zeros({2, 3});
+  EXPECT_EQ(z.numel(), 6);
+  for (int64_t i = 0; i < 6; ++i) EXPECT_EQ(z.at(i), 0.0f);
+
+  Tensor f = Tensor::Full({4}, 2.5f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(f.at(i), 2.5f);
+}
+
+TEST(TensorTest, FromVectorRowMajor) {
+  Tensor t = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+}
+
+TEST(TensorTest, ScalarShape) {
+  Tensor s = Tensor::Scalar(3.0f);
+  EXPECT_EQ(s.numel(), 1);
+  EXPECT_EQ(s.at(0), 3.0f);
+}
+
+TEST(TensorTest, UndefinedHandle) {
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+}
+
+TEST(TensorTest, RequiresGradDefaultsFalse) {
+  Tensor t = Tensor::Zeros({3});
+  EXPECT_FALSE(t.requires_grad());
+  t.set_requires_grad(true);
+  EXPECT_TRUE(t.requires_grad());
+}
+
+TEST(TensorTest, RequiresGradPropagatesThroughOps) {
+  Tensor a = Tensor::Full({3}, 1.0f).set_requires_grad(true);
+  Tensor b = Tensor::Full({3}, 2.0f);
+  Tensor c = Add(a, b);
+  EXPECT_TRUE(c.requires_grad());
+
+  Tensor d = Add(b, b);
+  EXPECT_FALSE(d.requires_grad());
+}
+
+TEST(TensorTest, DetachCutsGraph) {
+  Tensor a = Tensor::Full({1}, 1.0f).set_requires_grad(true);
+  Tensor b = MulScalar(a, 2.0f);
+  Tensor c = b.Detach();
+  EXPECT_FALSE(c.requires_grad());
+  EXPECT_EQ(c.at(0), 2.0f);
+}
+
+TEST(TensorTest, ZeroGradClears) {
+  Tensor a = Tensor::Full({2}, 1.0f).set_requires_grad(true);
+  Tensor loss = SumAll(a);
+  Backward(loss);
+  EXPECT_EQ(a.grad()[0], 1.0f);
+  a.ZeroGrad();
+  EXPECT_EQ(a.grad()[0], 0.0f);
+}
+
+TEST(TensorTest, BackwardAccumulates) {
+  Tensor a = Tensor::Full({2}, 1.0f).set_requires_grad(true);
+  for (int i = 0; i < 3; ++i) {
+    Tensor loss = SumAll(a);
+    Backward(loss);
+  }
+  EXPECT_EQ(a.grad()[0], 3.0f);
+}
+
+TEST(TensorTest, GraphSizeCountsNodes) {
+  Tensor a = Tensor::Full({2}, 1.0f).set_requires_grad(true);
+  Tensor b = MulScalar(a, 2.0f);
+  Tensor c = Add(b, a);
+  EXPECT_EQ(GraphSize(c), 3);
+}
+
+TEST(TensorTest, DiamondGraphGradient) {
+  // loss = sum(a*a + a) -> dl/da = 2a + 1 = 3 at a=1.
+  Tensor a = Tensor::Full({1}, 1.0f).set_requires_grad(true);
+  Tensor loss = SumAll(Add(Mul(a, a), a));
+  Backward(loss);
+  EXPECT_FLOAT_EQ(a.grad()[0], 3.0f);
+}
+
+}  // namespace
+}  // namespace halk::tensor
