@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6c_online.dir/bench_fig6c_online.cc.o"
+  "CMakeFiles/bench_fig6c_online.dir/bench_fig6c_online.cc.o.d"
+  "bench_fig6c_online"
+  "bench_fig6c_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6c_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

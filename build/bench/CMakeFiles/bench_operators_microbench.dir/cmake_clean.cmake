@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_operators_microbench.dir/bench_operators_microbench.cc.o"
+  "CMakeFiles/bench_operators_microbench.dir/bench_operators_microbench.cc.o.d"
+  "bench_operators_microbench"
+  "bench_operators_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_operators_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_mrr.dir/bench_table1_mrr.cc.o"
+  "CMakeFiles/bench_table1_mrr.dir/bench_table1_mrr.cc.o.d"
+  "bench_table1_mrr"
+  "bench_table1_mrr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_mrr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

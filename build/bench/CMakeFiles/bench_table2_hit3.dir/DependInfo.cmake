@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_hit3.cc" "bench/CMakeFiles/bench_table2_hit3.dir/bench_table2_hit3.cc.o" "gcc" "bench/CMakeFiles/bench_table2_hit3.dir/bench_table2_hit3.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/halk_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/halk_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/halk_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/halk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/halk_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/halk_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/halk_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/halk_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/halk_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/halk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

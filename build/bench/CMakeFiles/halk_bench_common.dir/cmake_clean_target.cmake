@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libhalk_bench_common.a"
+)

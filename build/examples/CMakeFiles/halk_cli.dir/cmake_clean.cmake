@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halk_cli.dir/halk_cli.cpp.o"
+  "CMakeFiles/halk_cli.dir/halk_cli.cpp.o.d"
+  "halk_cli"
+  "halk_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halk_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pruned_matching.dir/pruned_matching.cpp.o"
+  "CMakeFiles/pruned_matching.dir/pruned_matching.cpp.o.d"
+  "pruned_matching"
+  "pruned_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pruned_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

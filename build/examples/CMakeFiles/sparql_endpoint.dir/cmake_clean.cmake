@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparql_endpoint.dir/sparql_endpoint.cpp.o"
+  "CMakeFiles/sparql_endpoint.dir/sparql_endpoint.cpp.o.d"
+  "sparql_endpoint"
+  "sparql_endpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparql_endpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/ablations.cc" "src/CMakeFiles/halk_baselines.dir/baselines/ablations.cc.o" "gcc" "src/CMakeFiles/halk_baselines.dir/baselines/ablations.cc.o.d"
+  "/root/repo/src/baselines/betae.cc" "src/CMakeFiles/halk_baselines.dir/baselines/betae.cc.o" "gcc" "src/CMakeFiles/halk_baselines.dir/baselines/betae.cc.o.d"
+  "/root/repo/src/baselines/cone.cc" "src/CMakeFiles/halk_baselines.dir/baselines/cone.cc.o" "gcc" "src/CMakeFiles/halk_baselines.dir/baselines/cone.cc.o.d"
+  "/root/repo/src/baselines/factory.cc" "src/CMakeFiles/halk_baselines.dir/baselines/factory.cc.o" "gcc" "src/CMakeFiles/halk_baselines.dir/baselines/factory.cc.o.d"
+  "/root/repo/src/baselines/mlpmix.cc" "src/CMakeFiles/halk_baselines.dir/baselines/mlpmix.cc.o" "gcc" "src/CMakeFiles/halk_baselines.dir/baselines/mlpmix.cc.o.d"
+  "/root/repo/src/baselines/newlook.cc" "src/CMakeFiles/halk_baselines.dir/baselines/newlook.cc.o" "gcc" "src/CMakeFiles/halk_baselines.dir/baselines/newlook.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/halk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/halk_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/halk_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/halk_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/halk_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/halk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

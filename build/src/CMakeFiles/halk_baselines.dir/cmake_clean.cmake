@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halk_baselines.dir/baselines/ablations.cc.o"
+  "CMakeFiles/halk_baselines.dir/baselines/ablations.cc.o.d"
+  "CMakeFiles/halk_baselines.dir/baselines/betae.cc.o"
+  "CMakeFiles/halk_baselines.dir/baselines/betae.cc.o.d"
+  "CMakeFiles/halk_baselines.dir/baselines/cone.cc.o"
+  "CMakeFiles/halk_baselines.dir/baselines/cone.cc.o.d"
+  "CMakeFiles/halk_baselines.dir/baselines/factory.cc.o"
+  "CMakeFiles/halk_baselines.dir/baselines/factory.cc.o.d"
+  "CMakeFiles/halk_baselines.dir/baselines/mlpmix.cc.o"
+  "CMakeFiles/halk_baselines.dir/baselines/mlpmix.cc.o.d"
+  "CMakeFiles/halk_baselines.dir/baselines/newlook.cc.o"
+  "CMakeFiles/halk_baselines.dir/baselines/newlook.cc.o.d"
+  "libhalk_baselines.a"
+  "libhalk_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halk_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

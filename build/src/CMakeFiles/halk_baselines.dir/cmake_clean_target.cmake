@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhalk_baselines.a"
+)

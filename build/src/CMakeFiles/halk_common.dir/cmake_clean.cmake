@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halk_common.dir/common/logging.cc.o"
+  "CMakeFiles/halk_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/halk_common.dir/common/rng.cc.o"
+  "CMakeFiles/halk_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/halk_common.dir/common/status.cc.o"
+  "CMakeFiles/halk_common.dir/common/status.cc.o.d"
+  "CMakeFiles/halk_common.dir/common/string_util.cc.o"
+  "CMakeFiles/halk_common.dir/common/string_util.cc.o.d"
+  "libhalk_common.a"
+  "libhalk_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halk_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

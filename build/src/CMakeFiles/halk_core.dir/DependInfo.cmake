@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/arc.cc" "src/CMakeFiles/halk_core.dir/core/arc.cc.o" "gcc" "src/CMakeFiles/halk_core.dir/core/arc.cc.o.d"
+  "/root/repo/src/core/checkpoint.cc" "src/CMakeFiles/halk_core.dir/core/checkpoint.cc.o" "gcc" "src/CMakeFiles/halk_core.dir/core/checkpoint.cc.o.d"
+  "/root/repo/src/core/distance.cc" "src/CMakeFiles/halk_core.dir/core/distance.cc.o" "gcc" "src/CMakeFiles/halk_core.dir/core/distance.cc.o.d"
+  "/root/repo/src/core/evaluator.cc" "src/CMakeFiles/halk_core.dir/core/evaluator.cc.o" "gcc" "src/CMakeFiles/halk_core.dir/core/evaluator.cc.o.d"
+  "/root/repo/src/core/halk_model.cc" "src/CMakeFiles/halk_core.dir/core/halk_model.cc.o" "gcc" "src/CMakeFiles/halk_core.dir/core/halk_model.cc.o.d"
+  "/root/repo/src/core/loss.cc" "src/CMakeFiles/halk_core.dir/core/loss.cc.o" "gcc" "src/CMakeFiles/halk_core.dir/core/loss.cc.o.d"
+  "/root/repo/src/core/lsh.cc" "src/CMakeFiles/halk_core.dir/core/lsh.cc.o" "gcc" "src/CMakeFiles/halk_core.dir/core/lsh.cc.o.d"
+  "/root/repo/src/core/pruner.cc" "src/CMakeFiles/halk_core.dir/core/pruner.cc.o" "gcc" "src/CMakeFiles/halk_core.dir/core/pruner.cc.o.d"
+  "/root/repo/src/core/query_groups.cc" "src/CMakeFiles/halk_core.dir/core/query_groups.cc.o" "gcc" "src/CMakeFiles/halk_core.dir/core/query_groups.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/CMakeFiles/halk_core.dir/core/trainer.cc.o" "gcc" "src/CMakeFiles/halk_core.dir/core/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/halk_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/halk_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/halk_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/halk_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/halk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

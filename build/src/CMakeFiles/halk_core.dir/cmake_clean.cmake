@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halk_core.dir/core/arc.cc.o"
+  "CMakeFiles/halk_core.dir/core/arc.cc.o.d"
+  "CMakeFiles/halk_core.dir/core/checkpoint.cc.o"
+  "CMakeFiles/halk_core.dir/core/checkpoint.cc.o.d"
+  "CMakeFiles/halk_core.dir/core/distance.cc.o"
+  "CMakeFiles/halk_core.dir/core/distance.cc.o.d"
+  "CMakeFiles/halk_core.dir/core/evaluator.cc.o"
+  "CMakeFiles/halk_core.dir/core/evaluator.cc.o.d"
+  "CMakeFiles/halk_core.dir/core/halk_model.cc.o"
+  "CMakeFiles/halk_core.dir/core/halk_model.cc.o.d"
+  "CMakeFiles/halk_core.dir/core/loss.cc.o"
+  "CMakeFiles/halk_core.dir/core/loss.cc.o.d"
+  "CMakeFiles/halk_core.dir/core/lsh.cc.o"
+  "CMakeFiles/halk_core.dir/core/lsh.cc.o.d"
+  "CMakeFiles/halk_core.dir/core/pruner.cc.o"
+  "CMakeFiles/halk_core.dir/core/pruner.cc.o.d"
+  "CMakeFiles/halk_core.dir/core/query_groups.cc.o"
+  "CMakeFiles/halk_core.dir/core/query_groups.cc.o.d"
+  "CMakeFiles/halk_core.dir/core/trainer.cc.o"
+  "CMakeFiles/halk_core.dir/core/trainer.cc.o.d"
+  "libhalk_core.a"
+  "libhalk_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halk_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

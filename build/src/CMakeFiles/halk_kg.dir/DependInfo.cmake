@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kg/csr.cc" "src/CMakeFiles/halk_kg.dir/kg/csr.cc.o" "gcc" "src/CMakeFiles/halk_kg.dir/kg/csr.cc.o.d"
+  "/root/repo/src/kg/dictionary.cc" "src/CMakeFiles/halk_kg.dir/kg/dictionary.cc.o" "gcc" "src/CMakeFiles/halk_kg.dir/kg/dictionary.cc.o.d"
+  "/root/repo/src/kg/graph.cc" "src/CMakeFiles/halk_kg.dir/kg/graph.cc.o" "gcc" "src/CMakeFiles/halk_kg.dir/kg/graph.cc.o.d"
+  "/root/repo/src/kg/groups.cc" "src/CMakeFiles/halk_kg.dir/kg/groups.cc.o" "gcc" "src/CMakeFiles/halk_kg.dir/kg/groups.cc.o.d"
+  "/root/repo/src/kg/io.cc" "src/CMakeFiles/halk_kg.dir/kg/io.cc.o" "gcc" "src/CMakeFiles/halk_kg.dir/kg/io.cc.o.d"
+  "/root/repo/src/kg/synthetic.cc" "src/CMakeFiles/halk_kg.dir/kg/synthetic.cc.o" "gcc" "src/CMakeFiles/halk_kg.dir/kg/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/halk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

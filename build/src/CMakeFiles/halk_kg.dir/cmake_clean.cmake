@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halk_kg.dir/kg/csr.cc.o"
+  "CMakeFiles/halk_kg.dir/kg/csr.cc.o.d"
+  "CMakeFiles/halk_kg.dir/kg/dictionary.cc.o"
+  "CMakeFiles/halk_kg.dir/kg/dictionary.cc.o.d"
+  "CMakeFiles/halk_kg.dir/kg/graph.cc.o"
+  "CMakeFiles/halk_kg.dir/kg/graph.cc.o.d"
+  "CMakeFiles/halk_kg.dir/kg/groups.cc.o"
+  "CMakeFiles/halk_kg.dir/kg/groups.cc.o.d"
+  "CMakeFiles/halk_kg.dir/kg/io.cc.o"
+  "CMakeFiles/halk_kg.dir/kg/io.cc.o.d"
+  "CMakeFiles/halk_kg.dir/kg/synthetic.cc.o"
+  "CMakeFiles/halk_kg.dir/kg/synthetic.cc.o.d"
+  "libhalk_kg.a"
+  "libhalk_kg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halk_kg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halk_matching.dir/matching/candidates.cc.o"
+  "CMakeFiles/halk_matching.dir/matching/candidates.cc.o.d"
+  "CMakeFiles/halk_matching.dir/matching/matcher.cc.o"
+  "CMakeFiles/halk_matching.dir/matching/matcher.cc.o.d"
+  "CMakeFiles/halk_matching.dir/matching/pruned_matcher.cc.o"
+  "CMakeFiles/halk_matching.dir/matching/pruned_matcher.cc.o.d"
+  "libhalk_matching.a"
+  "libhalk_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halk_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

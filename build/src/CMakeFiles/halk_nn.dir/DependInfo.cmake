@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/adam.cc" "src/CMakeFiles/halk_nn.dir/nn/adam.cc.o" "gcc" "src/CMakeFiles/halk_nn.dir/nn/adam.cc.o.d"
+  "/root/repo/src/nn/attention.cc" "src/CMakeFiles/halk_nn.dir/nn/attention.cc.o" "gcc" "src/CMakeFiles/halk_nn.dir/nn/attention.cc.o.d"
+  "/root/repo/src/nn/deepsets.cc" "src/CMakeFiles/halk_nn.dir/nn/deepsets.cc.o" "gcc" "src/CMakeFiles/halk_nn.dir/nn/deepsets.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/CMakeFiles/halk_nn.dir/nn/init.cc.o" "gcc" "src/CMakeFiles/halk_nn.dir/nn/init.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/CMakeFiles/halk_nn.dir/nn/linear.cc.o" "gcc" "src/CMakeFiles/halk_nn.dir/nn/linear.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/CMakeFiles/halk_nn.dir/nn/mlp.cc.o" "gcc" "src/CMakeFiles/halk_nn.dir/nn/mlp.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/CMakeFiles/halk_nn.dir/nn/module.cc.o" "gcc" "src/CMakeFiles/halk_nn.dir/nn/module.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/halk_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/halk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halk_nn.dir/nn/adam.cc.o"
+  "CMakeFiles/halk_nn.dir/nn/adam.cc.o.d"
+  "CMakeFiles/halk_nn.dir/nn/attention.cc.o"
+  "CMakeFiles/halk_nn.dir/nn/attention.cc.o.d"
+  "CMakeFiles/halk_nn.dir/nn/deepsets.cc.o"
+  "CMakeFiles/halk_nn.dir/nn/deepsets.cc.o.d"
+  "CMakeFiles/halk_nn.dir/nn/init.cc.o"
+  "CMakeFiles/halk_nn.dir/nn/init.cc.o.d"
+  "CMakeFiles/halk_nn.dir/nn/linear.cc.o"
+  "CMakeFiles/halk_nn.dir/nn/linear.cc.o.d"
+  "CMakeFiles/halk_nn.dir/nn/mlp.cc.o"
+  "CMakeFiles/halk_nn.dir/nn/mlp.cc.o.d"
+  "CMakeFiles/halk_nn.dir/nn/module.cc.o"
+  "CMakeFiles/halk_nn.dir/nn/module.cc.o.d"
+  "libhalk_nn.a"
+  "libhalk_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halk_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/dag.cc" "src/CMakeFiles/halk_query.dir/query/dag.cc.o" "gcc" "src/CMakeFiles/halk_query.dir/query/dag.cc.o.d"
+  "/root/repo/src/query/dnf.cc" "src/CMakeFiles/halk_query.dir/query/dnf.cc.o" "gcc" "src/CMakeFiles/halk_query.dir/query/dnf.cc.o.d"
+  "/root/repo/src/query/executor.cc" "src/CMakeFiles/halk_query.dir/query/executor.cc.o" "gcc" "src/CMakeFiles/halk_query.dir/query/executor.cc.o.d"
+  "/root/repo/src/query/ops.cc" "src/CMakeFiles/halk_query.dir/query/ops.cc.o" "gcc" "src/CMakeFiles/halk_query.dir/query/ops.cc.o.d"
+  "/root/repo/src/query/optimizer.cc" "src/CMakeFiles/halk_query.dir/query/optimizer.cc.o" "gcc" "src/CMakeFiles/halk_query.dir/query/optimizer.cc.o.d"
+  "/root/repo/src/query/sampler.cc" "src/CMakeFiles/halk_query.dir/query/sampler.cc.o" "gcc" "src/CMakeFiles/halk_query.dir/query/sampler.cc.o.d"
+  "/root/repo/src/query/structures.cc" "src/CMakeFiles/halk_query.dir/query/structures.cc.o" "gcc" "src/CMakeFiles/halk_query.dir/query/structures.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/halk_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/halk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halk_query.dir/query/dag.cc.o"
+  "CMakeFiles/halk_query.dir/query/dag.cc.o.d"
+  "CMakeFiles/halk_query.dir/query/dnf.cc.o"
+  "CMakeFiles/halk_query.dir/query/dnf.cc.o.d"
+  "CMakeFiles/halk_query.dir/query/executor.cc.o"
+  "CMakeFiles/halk_query.dir/query/executor.cc.o.d"
+  "CMakeFiles/halk_query.dir/query/ops.cc.o"
+  "CMakeFiles/halk_query.dir/query/ops.cc.o.d"
+  "CMakeFiles/halk_query.dir/query/optimizer.cc.o"
+  "CMakeFiles/halk_query.dir/query/optimizer.cc.o.d"
+  "CMakeFiles/halk_query.dir/query/sampler.cc.o"
+  "CMakeFiles/halk_query.dir/query/sampler.cc.o.d"
+  "CMakeFiles/halk_query.dir/query/structures.cc.o"
+  "CMakeFiles/halk_query.dir/query/structures.cc.o.d"
+  "libhalk_query.a"
+  "libhalk_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halk_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

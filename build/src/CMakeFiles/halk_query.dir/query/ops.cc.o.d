@@ -1,0 +1,2 @@
+src/CMakeFiles/halk_query.dir/query/ops.cc.o: /root/repo/src/query/ops.cc \
+ /usr/include/stdc-predef.h /root/repo/src/query/ops.h

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halk_sparql.dir/sparql/adaptor.cc.o"
+  "CMakeFiles/halk_sparql.dir/sparql/adaptor.cc.o.d"
+  "CMakeFiles/halk_sparql.dir/sparql/lexer.cc.o"
+  "CMakeFiles/halk_sparql.dir/sparql/lexer.cc.o.d"
+  "CMakeFiles/halk_sparql.dir/sparql/parser.cc.o"
+  "CMakeFiles/halk_sparql.dir/sparql/parser.cc.o.d"
+  "libhalk_sparql.a"
+  "libhalk_sparql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halk_sparql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

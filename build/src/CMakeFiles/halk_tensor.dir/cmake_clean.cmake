@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halk_tensor.dir/tensor/ops.cc.o"
+  "CMakeFiles/halk_tensor.dir/tensor/ops.cc.o.d"
+  "CMakeFiles/halk_tensor.dir/tensor/shape.cc.o"
+  "CMakeFiles/halk_tensor.dir/tensor/shape.cc.o.d"
+  "CMakeFiles/halk_tensor.dir/tensor/tape.cc.o"
+  "CMakeFiles/halk_tensor.dir/tensor/tape.cc.o.d"
+  "CMakeFiles/halk_tensor.dir/tensor/tensor.cc.o"
+  "CMakeFiles/halk_tensor.dir/tensor/tensor.cc.o.d"
+  "libhalk_tensor.a"
+  "libhalk_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halk_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

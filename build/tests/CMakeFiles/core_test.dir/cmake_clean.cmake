@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/arc_distance_test.cc.o"
+  "CMakeFiles/core_test.dir/core/arc_distance_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/checkpoint_test.cc.o"
+  "CMakeFiles/core_test.dir/core/checkpoint_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/halk_model_test.cc.o"
+  "CMakeFiles/core_test.dir/core/halk_model_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/loss_property_test.cc.o"
+  "CMakeFiles/core_test.dir/core/loss_property_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/lsh_test.cc.o"
+  "CMakeFiles/core_test.dir/core/lsh_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/training_test.cc.o"
+  "CMakeFiles/core_test.dir/core/training_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/query/dag_test.cc" "tests/CMakeFiles/query_test.dir/query/dag_test.cc.o" "gcc" "tests/CMakeFiles/query_test.dir/query/dag_test.cc.o.d"
+  "/root/repo/tests/query/dnf_test.cc" "tests/CMakeFiles/query_test.dir/query/dnf_test.cc.o" "gcc" "tests/CMakeFiles/query_test.dir/query/dnf_test.cc.o.d"
+  "/root/repo/tests/query/executor_test.cc" "tests/CMakeFiles/query_test.dir/query/executor_test.cc.o" "gcc" "tests/CMakeFiles/query_test.dir/query/executor_test.cc.o.d"
+  "/root/repo/tests/query/optimizer_test.cc" "tests/CMakeFiles/query_test.dir/query/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/query_test.dir/query/optimizer_test.cc.o.d"
+  "/root/repo/tests/query/property_test.cc" "tests/CMakeFiles/query_test.dir/query/property_test.cc.o" "gcc" "tests/CMakeFiles/query_test.dir/query/property_test.cc.o.d"
+  "/root/repo/tests/query/sampler_test.cc" "tests/CMakeFiles/query_test.dir/query/sampler_test.cc.o" "gcc" "tests/CMakeFiles/query_test.dir/query/sampler_test.cc.o.d"
+  "/root/repo/tests/query/structures_test.cc" "tests/CMakeFiles/query_test.dir/query/structures_test.cc.o" "gcc" "tests/CMakeFiles/query_test.dir/query/structures_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/halk_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/halk_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/halk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/halk_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/halk_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/halk_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/halk_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/halk_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/halk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_test.dir/query/dag_test.cc.o"
+  "CMakeFiles/query_test.dir/query/dag_test.cc.o.d"
+  "CMakeFiles/query_test.dir/query/dnf_test.cc.o"
+  "CMakeFiles/query_test.dir/query/dnf_test.cc.o.d"
+  "CMakeFiles/query_test.dir/query/executor_test.cc.o"
+  "CMakeFiles/query_test.dir/query/executor_test.cc.o.d"
+  "CMakeFiles/query_test.dir/query/optimizer_test.cc.o"
+  "CMakeFiles/query_test.dir/query/optimizer_test.cc.o.d"
+  "CMakeFiles/query_test.dir/query/property_test.cc.o"
+  "CMakeFiles/query_test.dir/query/property_test.cc.o.d"
+  "CMakeFiles/query_test.dir/query/sampler_test.cc.o"
+  "CMakeFiles/query_test.dir/query/sampler_test.cc.o.d"
+  "CMakeFiles/query_test.dir/query/structures_test.cc.o"
+  "CMakeFiles/query_test.dir/query/structures_test.cc.o.d"
+  "query_test"
+  "query_test.pdb"
+  "query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
