@@ -1,0 +1,173 @@
+// Serving-engine throughput study: single-threaded unbatched evaluation
+// (today's Evaluator loop, as every example drives it) vs. the QueryServer
+// with micro-batching, and with the canonical-fingerprint answer cache on
+// top. The workload is a skewed stream over a pool of distinct queries —
+// the traffic shape a production endpoint sees, where popular queries
+// repeat. Prints a human-readable table, the server's metrics dump, and a
+// final machine-readable JSON line for longitudinal perf tracking.
+//
+//   $ ./bench/bench_serving_throughput            # full scale
+//   $ HALK_BENCH_FAST=1 ./bench/bench_serving_throughput
+//
+// The model is left untrained: serving throughput depends on the embedding
+// and scoring computation, not on the learned weights.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <vector>
+
+#include "halk/halk.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using halk::query::StructureId;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct Workload {
+  // Distinct grounded queries and the (skewed) request sequence over them.
+  std::vector<halk::query::GroundedQuery> pool;
+  std::vector<size_t> sequence;
+};
+
+Workload MakeWorkload(const halk::kg::KnowledgeGraph& kg, int pool_size,
+                      int num_requests, uint64_t seed) {
+  Workload w;
+  halk::query::QuerySampler sampler(&kg, seed);
+  const std::vector<StructureId> structures = {
+      StructureId::k2p, StructureId::k3p, StructureId::k2i,
+      StructureId::kIp, StructureId::kPip};
+  for (int i = 0; i < pool_size; ++i) {
+    w.pool.push_back(
+        sampler.Sample(structures[static_cast<size_t>(i) % structures.size()])
+            .ValueOrDie());
+  }
+  // Quadratically skewed popularity: low indices repeat often, the tail is
+  // cold — a crude stand-in for Zipf request traffic.
+  halk::Rng rng(seed + 1);
+  for (int i = 0; i < num_requests; ++i) {
+    const double u = rng.Uniform();
+    w.sequence.push_back(static_cast<size_t>(
+        static_cast<double>(pool_size) * u * u * 0.999));
+  }
+  return w;
+}
+
+double RunBaseline(halk::core::QueryModel* model, const Workload& w,
+                   int64_t k) {
+  halk::core::Evaluator evaluator(model);
+  const Clock::time_point start = Clock::now();
+  for (size_t idx : w.sequence) {
+    std::vector<int64_t> top = evaluator.TopK(w.pool[idx].graph, k);
+    if (top.empty()) std::abort();
+  }
+  return static_cast<double>(w.sequence.size()) / SecondsSince(start);
+}
+
+double RunServed(halk::serving::QueryServer* server, const Workload& w,
+                 int64_t k) {
+  const Clock::time_point start = Clock::now();
+  std::vector<std::future<halk::Result<halk::serving::TopKAnswer>>> futures;
+  futures.reserve(w.sequence.size());
+  for (size_t idx : w.sequence) {
+    auto r = server->Submit(w.pool[idx].graph, k);
+    HALK_CHECK(r.ok()) << r.status().ToString();
+    futures.push_back(std::move(*r));
+  }
+  for (auto& f : futures) {
+    auto answer = f.get();
+    HALK_CHECK(answer.ok()) << answer.status().ToString();
+  }
+  return static_cast<double>(w.sequence.size()) / SecondsSince(start);
+}
+
+}  // namespace
+
+int main() {
+  using namespace halk;
+  const bool fast = std::getenv("HALK_BENCH_FAST") != nullptr;
+  const int num_requests = fast ? 300 : 2000;
+  const int pool_size = fast ? 32 : 96;
+  const int64_t k = 10;
+
+  kg::SyntheticKgOptions opt;
+  opt.num_entities = 400;
+  opt.num_relations = 10;
+  opt.num_triples = 2400;
+  opt.seed = 7;
+  kg::Dataset dataset = kg::GenerateSyntheticKg(opt);
+
+  core::ModelConfig config;
+  config.num_entities = dataset.train.num_entities();
+  config.num_relations = dataset.train.num_relations();
+  config.dim = 16;
+  config.hidden = 32;
+  config.seed = 3;
+  core::HalkModel model(config, nullptr);
+
+  Workload workload =
+      MakeWorkload(dataset.train, pool_size, num_requests, 101);
+  std::printf(
+      "serving throughput: %d requests over %d distinct queries, k=%lld\n",
+      num_requests, pool_size, static_cast<long long>(k));
+
+  const double qps_baseline = RunBaseline(&model, workload, k);
+  std::printf("baseline  (1 thread, unbatched, uncached): %8.1f qps\n",
+              qps_baseline);
+
+  serving::ServerOptions batch_only;
+  batch_only.num_workers = 4;
+  batch_only.max_batch_size = 16;
+  batch_only.queue_capacity = static_cast<size_t>(num_requests);
+  batch_only.enable_cache = false;
+  double qps_batched = 0.0;
+  {
+    serving::QueryServer server(&model, &dataset.train, batch_only);
+    qps_batched = RunServed(&server, workload, k);
+  }
+  std::printf("served    (4 workers, batch 16, no cache): %8.1f qps (%.2fx)\n",
+              qps_batched, qps_batched / qps_baseline);
+
+  serving::ServerOptions full = batch_only;
+  full.enable_cache = true;
+  full.cache_capacity = 4096;
+  serving::QueryServer server(&model, &dataset.train, full);
+  const double qps_served = RunServed(&server, workload, k);
+  std::printf("served    (4 workers, batch 16, cache on): %8.1f qps (%.2fx)\n",
+              qps_served, qps_served / qps_baseline);
+
+  serving::MetricsRegistry* metrics = server.metrics();
+  const int64_t hits = metrics->CounterValue("serving.cache_hits");
+  const int64_t misses = metrics->CounterValue("serving.cache_misses");
+  const double hit_rate =
+      hits + misses == 0
+          ? 0.0
+          : static_cast<double>(hits) / static_cast<double>(hits + misses);
+  serving::Histogram* latency =
+      metrics->GetHistogram("serving.latency_us", {1.0});
+  serving::Histogram* batch_size =
+      metrics->GetHistogram("serving.batch_size", {1.0});
+
+  std::printf("\n--- cache-on server metrics ---\n%s\n",
+              server.DumpMetrics().c_str());
+
+  // One machine-readable line for the perf trajectory (keep keys stable).
+  std::printf(
+      "JSON {\"bench\":\"serving_throughput\",\"requests\":%d,"
+      "\"distinct\":%d,\"workers\":%d,\"max_batch\":%d,"
+      "\"qps_baseline\":%.1f,\"qps_batched\":%.1f,\"qps_served\":%.1f,"
+      "\"speedup_batched\":%.3f,\"speedup_served\":%.3f,"
+      "\"p50_ms\":%.3f,\"p99_ms\":%.3f,\"cache_hit_rate\":%.3f,"
+      "\"mean_batch_size\":%.2f}\n",
+      num_requests, pool_size, batch_only.num_workers,
+      static_cast<int>(batch_only.max_batch_size), qps_baseline, qps_batched,
+      qps_served, qps_batched / qps_baseline, qps_served / qps_baseline,
+      latency->Quantile(0.5) / 1000.0, latency->Quantile(0.99) / 1000.0,
+      hit_rate, batch_size->mean());
+  return 0;
+}

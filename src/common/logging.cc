@@ -1,12 +1,28 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace halk {
 
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+// All log output funnels through one mutex-guarded sink so that messages
+// from concurrent threads (serving workers in particular) never interleave
+// mid-line.
+std::mutex& SinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+void EmitLine(const std::string& line) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  std::fprintf(stderr, "%s\n", line.c_str());
+  std::fflush(stderr);
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -23,8 +39,10 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 namespace internal {
 
@@ -34,8 +52,8 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (level_ >= g_level) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  if (level_ >= g_level.load(std::memory_order_relaxed)) {
+    EmitLine(stream_.str());
   }
 }
 
@@ -45,7 +63,7 @@ FatalMessage::FatalMessage(const char* file, int line, const char* condition) {
 }
 
 FatalMessage::~FatalMessage() {
-  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  EmitLine(stream_.str());
   std::abort();
 }
 

@@ -14,7 +14,9 @@ LogLevel GetLogLevel();
 
 namespace internal {
 
-/// Stream-style log sink; emits on destruction.
+/// Stream-style log sink; emits on destruction. Each message is formatted
+/// in a thread-local buffer and written to the shared sink under a mutex,
+/// so concurrent threads never interleave partial lines.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);

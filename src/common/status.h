@@ -20,6 +20,8 @@ enum class StatusCode {
   kParseError,
   kInternal,
   kNotImplemented,
+  kUnavailable,       // transient overload; the caller may retry later
+  kDeadlineExceeded,  // the operation's deadline passed before completion
 };
 
 /// Returns a human-readable name for a status code, e.g. "InvalidArgument".
@@ -57,6 +59,12 @@ class Status {
   }
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

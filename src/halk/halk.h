@@ -36,9 +36,15 @@
 #include "query/dag.h"
 #include "query/dnf.h"
 #include "query/executor.h"
+#include "query/fingerprint.h"
 #include "query/optimizer.h"
 #include "query/sampler.h"
 #include "query/structures.h"
+#include "serving/batcher.h"
+#include "serving/lru_cache.h"
+#include "serving/metrics.h"
+#include "serving/request_queue.h"
+#include "serving/server.h"
 #include "sparql/adaptor.h"
 #include "sparql/parser.h"
 

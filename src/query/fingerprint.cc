@@ -1,0 +1,112 @@
+#include "query/fingerprint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace halk::query {
+
+namespace {
+
+// splitmix64 finalizer — a cheap, well-mixed 64-bit permutation.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Two independently-seeded lanes give a 128-bit digest without pulling in
+// a real hash library.
+Fingerprint Combine(const Fingerprint& acc, uint64_t value) {
+  Fingerprint out;
+  out.hi = Mix64(acc.hi ^ Mix64(value ^ 0x517cc1b727220a95ULL));
+  out.lo = Mix64(acc.lo ^ Mix64(value ^ 0x2545f4914f6cdd1dULL));
+  return out;
+}
+
+Fingerprint HashNode(uint64_t op_tag, uint64_t payload,
+                     std::vector<Fingerprint> inputs, bool sort_from) {
+  // `sort_from` = index of the first input whose order is irrelevant
+  // (0 for fully commutative ops, 1 for difference, inputs.size() for
+  // ordered ops). Sorting by (hi, lo) canonicalizes the commutative tail.
+  Fingerprint h;
+  h = Combine(h, op_tag);
+  h = Combine(h, payload);
+  auto cmp = [](const Fingerprint& a, const Fingerprint& b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  };
+  std::sort(inputs.begin() + static_cast<std::ptrdiff_t>(sort_from),
+            inputs.end(), cmp);
+  for (const Fingerprint& in : inputs) {
+    h = Combine(h, in.hi);
+    h = Combine(h, in.lo);
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string Fingerprint::ToHex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return std::string(buf);
+}
+
+Fingerprint CanonicalFingerprint(const QueryGraph& query) {
+  HALK_CHECK_GE(query.target(), 0) << "fingerprint of a target-less query";
+  std::vector<Fingerprint> node_hash(
+      static_cast<size_t>(query.num_nodes()));
+  // TopologicalOrder lists inputs before consumers, so each node's input
+  // hashes are ready when it is visited; nodes unreachable from the target
+  // simply never feed into the target hash.
+  for (int id : query.TopologicalOrder()) {
+    const QueryNode& n = query.nodes()[static_cast<size_t>(id)];
+    std::vector<Fingerprint> inputs;
+    inputs.reserve(n.inputs.size());
+    for (int in : n.inputs) {
+      inputs.push_back(node_hash[static_cast<size_t>(in)]);
+    }
+    uint64_t payload = 0;
+    size_t sort_from = inputs.size();
+    switch (n.op) {
+      case OpType::kAnchor:
+        payload = static_cast<uint64_t>(n.anchor_entity);
+        break;
+      case OpType::kProjection:
+        payload = static_cast<uint64_t>(n.relation);
+        break;
+      case OpType::kIntersection:
+      case OpType::kUnion:
+        sort_from = 0;
+        break;
+      case OpType::kDifference:
+        sort_from = 1;  // the minuend is positional, subtrahends are a set
+        break;
+      case OpType::kNegation:
+        break;
+    }
+    node_hash[static_cast<size_t>(id)] =
+        HashNode(static_cast<uint64_t>(n.op) + 1, payload, std::move(inputs),
+                 sort_from);
+  }
+  return node_hash[static_cast<size_t>(query.target())];
+}
+
+Fingerprint StructureFingerprint(const QueryGraph& query) {
+  Fingerprint h;
+  h = Combine(h, static_cast<uint64_t>(query.num_nodes()));
+  h = Combine(h, static_cast<uint64_t>(query.target()));
+  for (const QueryNode& n : query.nodes()) {
+    h = Combine(h, static_cast<uint64_t>(n.op) + 1);
+    h = Combine(h, static_cast<uint64_t>(n.inputs.size()));
+    for (int in : n.inputs) h = Combine(h, static_cast<uint64_t>(in));
+  }
+  return h;
+}
+
+}  // namespace halk::query

@@ -1,0 +1,53 @@
+#ifndef HALK_QUERY_FINGERPRINT_H_
+#define HALK_QUERY_FINGERPRINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "query/dag.h"
+
+namespace halk::query {
+
+/// A 128-bit query digest. Collisions are astronomically unlikely at cache
+/// scale, so fingerprint equality is treated as query equality by the
+/// serving layer.
+struct Fingerprint {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool operator==(const Fingerprint& other) const {
+    return hi == other.hi && lo == other.lo;
+  }
+  bool operator!=(const Fingerprint& other) const { return !(*this == other); }
+
+  /// 32 hex digits, e.g. for log lines and cache dumps.
+  std::string ToHex() const;
+};
+
+/// Hasher for unordered containers keyed by Fingerprint.
+struct FingerprintHash {
+  size_t operator()(const Fingerprint& fp) const {
+    return static_cast<size_t>(fp.hi ^ (fp.lo * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// Canonical content fingerprint of a grounded query: a Merkle-style hash
+/// over the sub-DAG reachable from the target, including anchor entities
+/// and relations. Input hashes of commutative operators (intersection,
+/// union; difference subtrahends) are sorted, and node ids / insertion
+/// order never enter the digest, so two graphs that denote the same query
+/// — e.g. `i(a, b)` vs `i(b, a)`, or graphs with dead nodes — fingerprint
+/// identically. This is the serving cache key.
+Fingerprint CanonicalFingerprint(const QueryGraph& query);
+
+/// Layout fingerprint: hashes the node array exactly as stored (ops and
+/// input ids in order, grounding excluded). Two queries with equal layout
+/// fingerprints have identical node numbering and op placement, which is
+/// the precondition for batching them into one EmbedQueries call. Note
+/// this is deliberately stricter than structural isomorphism.
+Fingerprint StructureFingerprint(const QueryGraph& query);
+
+}  // namespace halk::query
+
+#endif  // HALK_QUERY_FINGERPRINT_H_

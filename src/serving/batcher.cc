@@ -1,0 +1,33 @@
+#include "serving/batcher.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "query/fingerprint.h"
+
+namespace halk::serving {
+
+std::vector<MicroBatch> FormBatches(const std::vector<BatchItem>& items,
+                                    size_t max_batch_size) {
+  HALK_CHECK_GT(max_batch_size, 0u);
+  std::vector<MicroBatch> batches;
+  // Maps a structure layout to the batch currently being filled for it;
+  // once a batch reaches max_batch_size the next item opens a fresh one.
+  std::unordered_map<query::Fingerprint, size_t, query::FingerprintHash>
+      open_batch;
+  for (const BatchItem& item : items) {
+    const query::Fingerprint layout = query::StructureFingerprint(*item.graph);
+    auto it = open_batch.find(layout);
+    if (it == open_batch.end() ||
+        batches[it->second].items.size() >= max_batch_size) {
+      open_batch[layout] = batches.size();
+      batches.emplace_back();
+      batches.back().items.push_back(item);
+    } else {
+      batches[it->second].items.push_back(item);
+    }
+  }
+  return batches;
+}
+
+}  // namespace halk::serving

@@ -1,0 +1,35 @@
+#ifndef HALK_SERVING_BATCHER_H_
+#define HALK_SERVING_BATCHER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "query/dag.h"
+
+namespace halk::serving {
+
+/// One union-free conjunctive branch awaiting embedding, tagged with the
+/// request it came from so branch distances can be min-reduced per request
+/// after scoring.
+struct BatchItem {
+  size_t request_index = 0;          // caller-defined request slot
+  const query::QueryGraph* graph = nullptr;  // union-free grounded branch
+};
+
+/// A group of branches safe to embed in one EmbedQueries call: all share
+/// the same node layout (see StructureFingerprint), which is the model's
+/// same-structure precondition.
+struct MicroBatch {
+  std::vector<BatchItem> items;
+};
+
+/// Groups items by structure layout and splits each group into batches of
+/// at most `max_batch_size`. Within a group the input order is preserved,
+/// and group order follows first appearance, so batching is deterministic
+/// for a given item sequence.
+std::vector<MicroBatch> FormBatches(const std::vector<BatchItem>& items,
+                                    size_t max_batch_size);
+
+}  // namespace halk::serving
+
+#endif  // HALK_SERVING_BATCHER_H_

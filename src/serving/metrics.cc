@@ -1,0 +1,116 @@
+#include "serving/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace halk::serving {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      counts_(bounds_.size() + 1, 0) {
+  HALK_CHECK(!bounds_.empty());
+  HALK_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void Histogram::Observe(double x) {
+  const size_t b = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), x) - bounds_.begin());
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_[b];
+  sum_ += x;
+  ++total_;
+}
+
+int64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+}
+
+double Histogram::Quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  int64_t seen = 0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    seen += counts_[b];
+    if (static_cast<double>(seen) < target) continue;
+    if (b >= bounds_.size()) return bounds_.back();  // overflow bucket
+    const double hi = bounds_[b];
+    const double lo = b == 0 ? 0.0 : bounds_[b - 1];
+    if (counts_[b] == 0) return hi;
+    // Interpolate within the bucket assuming uniform mass.
+    const double into =
+        (target - static_cast<double>(seen - counts_[b])) /
+        static_cast<double>(counts_[b]);
+    return lo + (hi - lo) * into;
+  }
+  return bounds_.back();
+}
+
+std::vector<double> Histogram::ExponentialBounds(double start, double factor,
+                                                 int n) {
+  HALK_CHECK_GT(start, 0.0);
+  HALK_CHECK_GT(factor, 1.0);
+  HALK_CHECK_GT(n, 0);
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(n));
+  double b = start;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(b);
+    b *= factor;
+  }
+  return out;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  }
+  return slot.get();
+}
+
+int64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+std::string MetricsRegistry::DumpText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, c] : counters_) {
+    out << "counter " << name << " " << c->value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out << "histogram " << name << " count=" << h->count()
+        << " mean=" << h->mean() << " p50=" << h->Quantile(0.50)
+        << " p95=" << h->Quantile(0.95) << " p99=" << h->Quantile(0.99)
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace halk::serving

@@ -1,0 +1,83 @@
+#ifndef HALK_SERVING_METRICS_H_
+#define HALK_SERVING_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace halk::serving {
+
+/// Monotonically increasing event count. Increments are lock-free; reads
+/// are approximate under concurrency (exact once writers quiesce).
+class Counter {
+ public:
+  void Increment(int64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram with Prometheus-style quantile interpolation.
+/// Observations land in the first bucket whose upper bound is >= x; the
+/// last bucket is an implicit +inf overflow. Good enough for p50/p95/p99
+/// latency and batch-size distributions without per-observation allocation.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly ascending.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double x);
+
+  int64_t count() const;
+  double sum() const;
+  double mean() const;
+
+  /// Linear-interpolated quantile estimate, q in [0, 1]. Returns 0 when
+  /// empty; observations in the overflow bucket report the largest bound.
+  double Quantile(double q) const;
+
+  /// `n` bounds: start, start*factor, start*factor^2, ...
+  static std::vector<double> ExponentialBounds(double start, double factor,
+                                               int n);
+
+ private:
+  std::vector<double> bounds_;          // ascending upper bounds
+  mutable std::mutex mu_;               // guards counts_ and sum_
+  std::vector<int64_t> counts_;         // bounds_.size() + 1 (overflow)
+  double sum_ = 0.0;
+  int64_t total_ = 0;
+};
+
+/// Named counters and histograms shared by the serving stack. Get* lazily
+/// creates on first use and returns stable pointers (instruments are never
+/// removed), so hot paths cache the pointer and skip the registry lock.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> upper_bounds);
+
+  /// Value of a counter, 0 if it was never created.
+  int64_t CounterValue(const std::string& name) const;
+
+  /// Plain-text dump, one instrument per line, sorted by name:
+  ///   counter serving.submitted 128
+  ///   histogram serving.latency_us count=120 mean=412.5 p50=... p95=... p99=...
+  std::string DumpText() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace halk::serving
+
+#endif  // HALK_SERVING_METRICS_H_

@@ -1,0 +1,106 @@
+#ifndef HALK_SERVING_REQUEST_QUEUE_H_
+#define HALK_SERVING_REQUEST_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace halk::serving {
+
+/// Bounded multi-producer/multi-consumer FIFO used as the serving
+/// admission queue. Producers fail fast (kUnavailable) when the queue is
+/// full — backpressure is surfaced to the client instead of buffering
+/// unboundedly — and consumers pop in micro-batches, lingering briefly for
+/// more work when the queue runs shallow.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Non-blocking admission: kUnavailable when full or closed.
+  Status TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return Status::Unavailable("queue closed");
+      if (items_.size() >= capacity_) {
+        return Status::Unavailable("queue full");
+      }
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return Status::OK();
+  }
+
+  /// Blocks until at least one item (or close), then drains up to
+  /// `max_items`, waiting at most `linger` for stragglers to coalesce a
+  /// fuller batch. Returns false only when the queue is closed and empty —
+  /// the consumer's signal to exit.
+  bool PopBatch(std::vector<T>* out, size_t max_items,
+                std::chrono::microseconds linger) {
+    out->clear();
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;  // closed and drained
+    auto take = [&] {
+      while (!items_.empty() && out->size() < max_items) {
+        out->push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+    };
+    take();
+    if (out->size() < max_items && linger.count() > 0 && !closed_) {
+      // Linger until the batch fills, the queue closes, or the window
+      // elapses — re-arming after each partial arrival so stragglers keep
+      // coalescing into this batch.
+      const auto deadline = std::chrono::steady_clock::now() + linger;
+      while (out->size() < max_items && !closed_) {
+        if (!ready_.wait_until(lock, deadline, [this] {
+              return !items_.empty() || closed_;
+            })) {
+          break;  // window elapsed with nothing new
+        }
+        take();
+      }
+    }
+    return true;
+  }
+
+  /// Rejects future pushes and wakes all consumers; already-queued items
+  /// are still handed out so shutdown drains rather than drops.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  size_t capacity() const { return capacity_; }
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace halk::serving
+
+#endif  // HALK_SERVING_REQUEST_QUEUE_H_

@@ -1,0 +1,286 @@
+#include "serving/server.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+#include "query/dnf.h"
+#include "serving/batcher.h"
+
+namespace halk::serving {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MicrosSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+/// Indices of the `k` smallest distances, ascending by distance.
+void TopKFromDistances(const std::vector<float>& dist, int64_t k,
+                       TopKAnswer* out) {
+  std::vector<int64_t> ids(dist.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  k = std::min<int64_t>(k, static_cast<int64_t>(ids.size()));
+  std::partial_sort(ids.begin(), ids.begin() + k, ids.end(),
+                    [&dist](int64_t a, int64_t b) {
+                      return dist[static_cast<size_t>(a)] <
+                             dist[static_cast<size_t>(b)];
+                    });
+  ids.resize(static_cast<size_t>(k));
+  out->entities = std::move(ids);
+  out->distances.reserve(out->entities.size());
+  for (int64_t e : out->entities) {
+    out->distances.push_back(dist[static_cast<size_t>(e)]);
+  }
+}
+
+}  // namespace
+
+QueryServer::QueryServer(core::QueryModel* model,
+                         const kg::KnowledgeGraph* kg,
+                         const ServerOptions& options)
+    : model_(model),
+      kg_(kg),
+      options_(options),
+      queue_(options.queue_capacity),
+      cache_(options.enable_cache ? options.cache_capacity : 0),
+      submitted_(metrics_.GetCounter("serving.submitted")),
+      rejected_(metrics_.GetCounter("serving.rejected")),
+      invalid_(metrics_.GetCounter("serving.invalid")),
+      completed_(metrics_.GetCounter("serving.completed")),
+      expired_(metrics_.GetCounter("serving.deadline_expired")),
+      cache_hits_(metrics_.GetCounter("serving.cache_hits")),
+      cache_misses_(metrics_.GetCounter("serving.cache_misses")),
+      latency_us_(metrics_.GetHistogram(
+          "serving.latency_us", Histogram::ExponentialBounds(1.0, 2.0, 26))),
+      batch_size_(metrics_.GetHistogram(
+          "serving.batch_size", Histogram::ExponentialBounds(1.0, 2.0, 12))) {
+  HALK_CHECK(model != nullptr);
+  HALK_CHECK_GT(options_.num_workers, 0);
+  HALK_CHECK_GT(options_.max_batch_size, 0u);
+  HALK_CHECK_GT(options_.queue_capacity, 0u);
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryServer::~QueryServer() { Shutdown(); }
+
+void QueryServer::Shutdown() {
+  if (shutdown_.exchange(true)) return;
+  queue_.Close();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+Status QueryServer::ValidateQuery(const query::QueryGraph& query,
+                                  int64_t k) const {
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  HALK_RETURN_NOT_OK(query.Validate(/*grounded=*/true));
+  const core::ModelConfig& config = model_->config();
+  for (const query::QueryNode& n : query.nodes()) {
+    if (!model_->Supports(n.op)) {
+      return Status::InvalidArgument(
+          std::string("model does not support operator ") +
+          query::OpTypeName(n.op));
+    }
+    if (n.op == query::OpType::kAnchor &&
+        (n.anchor_entity < 0 || n.anchor_entity >= config.num_entities)) {
+      return Status::InvalidArgument("anchor entity out of range");
+    }
+    if (n.op == query::OpType::kProjection &&
+        (n.relation < 0 || n.relation >= config.num_relations)) {
+      return Status::InvalidArgument("relation out of range");
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::future<Result<TopKAnswer>>> QueryServer::Submit(
+    const query::QueryGraph& query, int64_t k,
+    std::chrono::microseconds timeout) {
+  if (shutdown_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("server is shut down");
+  }
+  Status valid = ValidateQuery(query, k);
+  if (!valid.ok()) {
+    invalid_->Increment();
+    return valid;
+  }
+  submitted_->Increment();
+  const Clock::time_point now = Clock::now();
+  const query::Fingerprint key = query::CanonicalFingerprint(query);
+
+  if (options_.enable_cache) {
+    CachedAnswer cached;
+    if (cache_.Get(key, &cached) &&
+        static_cast<int64_t>(cached.entities.size()) >= std::min<int64_t>(
+            k, model_->config().num_entities)) {
+      cache_hits_->Increment();
+      completed_->Increment();
+      TopKAnswer answer;
+      const size_t take = static_cast<size_t>(
+          std::min<int64_t>(k, static_cast<int64_t>(cached.entities.size())));
+      answer.entities.assign(cached.entities.begin(),
+                             cached.entities.begin() + take);
+      answer.distances.assign(cached.distances.begin(),
+                              cached.distances.begin() + take);
+      answer.from_cache = true;
+      latency_us_->Observe(MicrosSince(now));
+      std::promise<Result<TopKAnswer>> ready;
+      ready.set_value(std::move(answer));
+      return ready.get_future();
+    }
+    // Not counted as a miss yet: a twin in flight may fill the cache
+    // before a worker reaches this request. The worker-side triage counts
+    // each request as exactly one hit or one miss.
+  }
+
+  auto request = std::make_unique<PendingRequest>();
+  request->graph = query;
+  request->k = k;
+  request->key = key;
+  request->submit_time = now;
+  request->has_deadline = timeout.count() > 0;
+  request->deadline =
+      request->has_deadline ? now + timeout : Clock::time_point::max();
+  std::future<Result<TopKAnswer>> future = request->promise.get_future();
+
+  Status pushed = queue_.TryPush(std::move(request));
+  if (!pushed.ok()) {
+    rejected_->Increment();
+    return pushed;
+  }
+  return future;
+}
+
+Result<TopKAnswer> QueryServer::Answer(const query::QueryGraph& query,
+                                       int64_t k,
+                                       std::chrono::microseconds timeout) {
+  HALK_ASSIGN_OR_RETURN(std::future<Result<TopKAnswer>> future,
+                        Submit(query, k, timeout));
+  return future.get();
+}
+
+void QueryServer::Finish(PendingRequest* request, Result<TopKAnswer> result) {
+  if (result.ok()) {
+    completed_->Increment();
+  }
+  latency_us_->Observe(MicrosSince(request->submit_time));
+  request->promise.set_value(std::move(result));
+}
+
+void QueryServer::WorkerLoop() {
+  std::vector<std::unique_ptr<PendingRequest>> chunk;
+  while (queue_.PopBatch(&chunk, options_.max_batch_size,
+                         options_.batch_linger)) {
+    ServeChunk(&chunk);
+    chunk.clear();
+  }
+}
+
+void QueryServer::ServeChunk(
+    std::vector<std::unique_ptr<PendingRequest>>* chunk) {
+  const Clock::time_point now = Clock::now();
+  // Admission-to-service triage: expired requests fail fast, and requests
+  // answered by a twin that completed while they sat in the queue are
+  // served straight from the cache.
+  std::vector<std::unique_ptr<PendingRequest>> live;
+  live.reserve(chunk->size());
+  for (std::unique_ptr<PendingRequest>& request : *chunk) {
+    if (request->has_deadline && now > request->deadline) {
+      expired_->Increment();
+      Finish(request.get(),
+             Status::DeadlineExceeded("expired while queued"));
+      continue;
+    }
+    if (options_.enable_cache) {
+      CachedAnswer cached;
+      if (cache_.Get(request->key, &cached) &&
+          static_cast<int64_t>(cached.entities.size()) >=
+              std::min<int64_t>(request->k, model_->config().num_entities)) {
+        TopKAnswer answer;
+        const size_t take = static_cast<size_t>(std::min<int64_t>(
+            request->k, static_cast<int64_t>(cached.entities.size())));
+        answer.entities.assign(cached.entities.begin(),
+                               cached.entities.begin() + take);
+        answer.distances.assign(cached.distances.begin(),
+                                cached.distances.begin() + take);
+        answer.from_cache = true;
+        cache_hits_->Increment();
+        Finish(request.get(), std::move(answer));
+        continue;
+      }
+      cache_misses_->Increment();
+    }
+    live.push_back(std::move(request));
+  }
+  if (live.empty()) return;
+
+  // DNF-expand every live request; branches (not requests) are the unit of
+  // batching, so one EmbedQueries call can mix branches of many requests.
+  std::vector<std::vector<query::QueryGraph>> branches(live.size());
+  std::vector<BatchItem> items;
+  for (size_t r = 0; r < live.size(); ++r) {
+    branches[r] = query::ToDnf(live[r]->graph);
+    for (const query::QueryGraph& branch : branches[r]) {
+      items.push_back({r, &branch});
+    }
+  }
+
+  // Per-request running minimum over branch distances (the DNF union
+  // semantics, as in Evaluator::ScoreAllEntities).
+  std::vector<std::vector<float>> best(live.size());
+  std::vector<float> dist;
+  for (const MicroBatch& batch : FormBatches(items, options_.max_batch_size)) {
+    batch_size_->Observe(static_cast<double>(batch.items.size()));
+    std::vector<const query::QueryGraph*> graphs;
+    graphs.reserve(batch.items.size());
+    for (const BatchItem& item : batch.items) graphs.push_back(item.graph);
+    core::EmbeddingBatch embedding = model_->EmbedQueries(graphs);
+    for (size_t row = 0; row < batch.items.size(); ++row) {
+      const size_t r = batch.items[row].request_index;
+      model_->DistancesToAll(embedding, static_cast<int64_t>(row), &dist);
+      if (best[r].empty()) {
+        best[r] = dist;
+      } else {
+        for (size_t i = 0; i < dist.size(); ++i) {
+          best[r][i] = std::min(best[r][i], dist[i]);
+        }
+      }
+    }
+  }
+
+  for (size_t r = 0; r < live.size(); ++r) {
+    TopKAnswer answer;
+    TopKFromDistances(best[r], live[r]->k, &answer);
+    if (options_.enable_cache) {
+      CachedAnswer entry{answer.entities, answer.distances};
+      cache_.Put(live[r]->key, std::move(entry));
+    }
+    Finish(live[r].get(), std::move(answer));
+  }
+}
+
+std::string QueryServer::DumpMetrics() const {
+  std::ostringstream out;
+  out << metrics_.DumpText();
+  const int64_t hits = cache_hits_->value();
+  const int64_t misses = cache_misses_->value();
+  const int64_t lookups = hits + misses;
+  out << "derived serving.cache_hit_rate "
+      << (lookups == 0 ? 0.0
+                       : static_cast<double>(hits) /
+                             static_cast<double>(lookups))
+      << "\n";
+  return out.str();
+}
+
+}  // namespace halk::serving

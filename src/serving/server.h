@@ -1,0 +1,142 @@
+#ifndef HALK_SERVING_SERVER_H_
+#define HALK_SERVING_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "core/query_model.h"
+#include "kg/graph.h"
+#include "query/dag.h"
+#include "query/fingerprint.h"
+#include "serving/lru_cache.h"
+#include "serving/metrics.h"
+#include "serving/request_queue.h"
+
+namespace halk::serving {
+
+/// Tuning knobs of the serving engine. The defaults favor throughput on a
+/// trained mid-size model; tests shrink them to force edge cases.
+struct ServerOptions {
+  /// Worker threads draining the request queue.
+  int num_workers = 4;
+  /// Admission-queue capacity; Submit rejects (kUnavailable) beyond it.
+  size_t queue_capacity = 1024;
+  /// Upper bound on queries per EmbedQueries call.
+  size_t max_batch_size = 16;
+  /// How long a worker lingers for stragglers when its batch is not full.
+  std::chrono::microseconds batch_linger{100};
+  /// Entry capacity of the answer cache; 0 disables caching outright.
+  size_t cache_capacity = 4096;
+  bool enable_cache = true;
+};
+
+/// A served top-k answer: entity ids in ascending model distance.
+struct TopKAnswer {
+  std::vector<int64_t> entities;
+  std::vector<float> distances;
+  bool from_cache = false;
+};
+
+/// Concurrent query-serving engine over a trained QueryModel (Sec. IV's
+/// evaluation path, productionized): any thread submits grounded query
+/// graphs; a bounded MPMC queue applies admission control; worker threads
+/// coalesce pending requests into micro-batches per structure layout and
+/// answer them with one EmbedQueries call each; canonical-fingerprint
+/// LRU caching short-circuits repeated queries; counters and latency
+/// histograms are exported through a MetricsRegistry.
+///
+/// Union queries are DNF-expanded (exactly as Evaluator does) and their
+/// branches batch independently — a branch of one request can share a
+/// micro-batch with branches of other requests.
+class QueryServer {
+ public:
+  /// `model` must stay alive for the server's lifetime and is shared with
+  /// the workers — inference paths (EmbedQueries / DistancesToAll) only
+  /// read parameters, so no external synchronization is needed as long as
+  /// nobody trains the model while it serves. `kg` (optional, may be null)
+  /// adds grounding validation against the graph's vocabulary.
+  QueryServer(core::QueryModel* model, const kg::KnowledgeGraph* kg,
+              const ServerOptions& options);
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Submits one query for asynchronous answering. Fails fast with
+  /// kUnavailable when the queue is full (admission control) and
+  /// kInvalidArgument for malformed/unsupported queries; cache hits
+  /// resolve before returning. `timeout` zero means no deadline; a request
+  /// still queued when its deadline passes resolves to kDeadlineExceeded.
+  Result<std::future<Result<TopKAnswer>>> Submit(
+      const query::QueryGraph& query, int64_t k,
+      std::chrono::microseconds timeout = std::chrono::microseconds::zero());
+
+  /// Synchronous convenience wrapper around Submit.
+  Result<TopKAnswer> Answer(
+      const query::QueryGraph& query, int64_t k,
+      std::chrono::microseconds timeout = std::chrono::microseconds::zero());
+
+  /// Stops admission, drains queued requests, and joins the workers.
+  /// Idempotent; also run by the destructor.
+  void Shutdown();
+
+  MetricsRegistry* metrics() { return &metrics_; }
+  /// Plain-text metrics dump plus derived cache hit rate.
+  std::string DumpMetrics() const;
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  struct CachedAnswer {
+    std::vector<int64_t> entities;
+    std::vector<float> distances;
+  };
+
+  struct PendingRequest {
+    query::QueryGraph graph;
+    int64_t k = 0;
+    query::Fingerprint key;
+    std::chrono::steady_clock::time_point submit_time;
+    std::chrono::steady_clock::time_point deadline;  // max() = none
+    bool has_deadline = false;
+    std::promise<Result<TopKAnswer>> promise;
+  };
+
+  void WorkerLoop();
+  void ServeChunk(std::vector<std::unique_ptr<PendingRequest>>* chunk);
+  Status ValidateQuery(const query::QueryGraph& query, int64_t k) const;
+  void Finish(PendingRequest* request, Result<TopKAnswer> result);
+
+  core::QueryModel* model_;
+  const kg::KnowledgeGraph* kg_;  // may be null
+  ServerOptions options_;
+
+  BoundedQueue<std::unique_ptr<PendingRequest>> queue_;
+  LruCache<query::Fingerprint, CachedAnswer, query::FingerprintHash> cache_;
+  MetricsRegistry metrics_;
+
+  // Hot-path instrument pointers (stable for the registry's lifetime).
+  Counter* submitted_;
+  Counter* rejected_;
+  Counter* invalid_;
+  Counter* completed_;
+  Counter* expired_;
+  Counter* cache_hits_;
+  Counter* cache_misses_;
+  Histogram* latency_us_;
+  Histogram* batch_size_;
+
+  std::vector<std::thread> workers_;
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace halk::serving
+
+#endif  // HALK_SERVING_SERVER_H_

@@ -1,0 +1,140 @@
+#include "core/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/halk_model.h"
+#include "kg/synthetic.h"
+#include "query/dnf.h"
+#include "query/sampler.h"
+#include "query/structures.h"
+
+namespace halk::core {
+namespace {
+
+using query::StructureId;
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    kg::SyntheticKgOptions opt;
+    opt.num_entities = 120;
+    opt.num_relations = 6;
+    opt.num_triples = 700;
+    opt.seed = 19;
+    dataset_ = new kg::Dataset(kg::GenerateSyntheticKg(opt));
+    ModelConfig config;
+    config.num_entities = dataset_->train.num_entities();
+    config.num_relations = dataset_->train.num_relations();
+    config.dim = 8;
+    config.hidden = 16;
+    config.seed = 23;
+    model_ = new HalkModel(config, nullptr);
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete dataset_;
+    model_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static query::GroundedQuery SampleOne(StructureId s, uint64_t seed) {
+    query::QuerySampler sampler(&dataset_->train, seed);
+    return sampler.Sample(s).ValueOrDie();
+  }
+
+  static kg::Dataset* dataset_;
+  static HalkModel* model_;
+};
+
+kg::Dataset* EvaluatorTest::dataset_ = nullptr;
+HalkModel* EvaluatorTest::model_ = nullptr;
+
+TEST_F(EvaluatorTest, ScoreAllEntitiesCoversEveryEntity) {
+  Evaluator evaluator(model_);
+  query::GroundedQuery q = SampleOne(StructureId::k2i, 5);
+  std::vector<float> scores = evaluator.ScoreAllEntities(q.graph);
+  EXPECT_EQ(static_cast<int64_t>(scores.size()),
+            dataset_->train.num_entities());
+  for (float s : scores) {
+    EXPECT_TRUE(std::isfinite(s));
+    EXPECT_GE(s, 0.0f);
+  }
+}
+
+TEST_F(EvaluatorTest, ScoreAllEntitiesTakesMinimumOverUnionBranches) {
+  Evaluator evaluator(model_);
+  query::GroundedQuery q = SampleOne(StructureId::k2u, 9);
+  std::vector<float> whole = evaluator.ScoreAllEntities(q.graph);
+  // Score each DNF branch separately; the union score must be the
+  // element-wise minimum.
+  std::vector<query::QueryGraph> branches = query::ToDnf(q.graph);
+  ASSERT_EQ(branches.size(), 2u);
+  std::vector<float> lhs = evaluator.ScoreAllEntities(branches[0]);
+  std::vector<float> rhs = evaluator.ScoreAllEntities(branches[1]);
+  for (size_t i = 0; i < whole.size(); ++i) {
+    EXPECT_FLOAT_EQ(whole[i], std::min(lhs[i], rhs[i]));
+  }
+}
+
+TEST_F(EvaluatorTest, TopKIsSortedPrefixOfScoreAllEntities) {
+  Evaluator evaluator(model_);
+  for (StructureId s :
+       {StructureId::k1p, StructureId::k2p, StructureId::k2i,
+        StructureId::k2u}) {
+    query::GroundedQuery q = SampleOne(s, 31);
+    std::vector<float> scores = evaluator.ScoreAllEntities(q.graph);
+    std::vector<int64_t> top = evaluator.TopK(q.graph, 10);
+    ASSERT_EQ(top.size(), 10u);
+    // Ascending by score.
+    for (size_t i = 1; i < top.size(); ++i) {
+      EXPECT_LE(scores[static_cast<size_t>(top[i - 1])],
+                scores[static_cast<size_t>(top[i])]);
+    }
+    // Nothing outside the prefix scores strictly below its tail.
+    const float worst = scores[static_cast<size_t>(top.back())];
+    int64_t strictly_better = 0;
+    for (float v : scores) strictly_better += v < worst;
+    EXPECT_LE(strictly_better, 9);
+  }
+}
+
+TEST_F(EvaluatorTest, TopKClampsToEntityCount) {
+  Evaluator evaluator(model_);
+  query::GroundedQuery q = SampleOne(StructureId::k1p, 13);
+  std::vector<int64_t> all =
+      evaluator.TopK(q.graph, dataset_->train.num_entities() + 50);
+  EXPECT_EQ(static_cast<int64_t>(all.size()), dataset_->train.num_entities());
+}
+
+TEST_F(EvaluatorTest, TopKAgreesWithEvaluateRanking) {
+  // A hard answer of rank 1 must be the TopK head; more generally, the
+  // filtered rank Evaluate computes must match a rank recomputed from
+  // ScoreAllEntities directly.
+  Evaluator evaluator(model_);
+  query::GroundedQuery q = SampleOne(StructureId::k2i, 47);
+  ASSERT_FALSE(q.answers.empty());
+  Metrics m = evaluator.Evaluate({q});
+  EXPECT_EQ(m.num_queries, 1);
+
+  std::vector<float> scores = evaluator.ScoreAllEntities(q.graph);
+  double mrr = 0.0;
+  for (int64_t answer : q.answers) {
+    const float d = scores[static_cast<size_t>(answer)];
+    int64_t rank = 1;
+    for (int64_t e = 0; e < static_cast<int64_t>(scores.size()); ++e) {
+      if (scores[static_cast<size_t>(e)] < d &&
+          !std::binary_search(q.answers.begin(), q.answers.end(), e)) {
+        ++rank;
+      }
+    }
+    mrr += 1.0 / static_cast<double>(rank);
+  }
+  mrr /= static_cast<double>(q.answers.size());
+  EXPECT_NEAR(m.mrr, mrr, 1e-9);
+}
+
+}  // namespace
+}  // namespace halk::core

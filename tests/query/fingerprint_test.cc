@@ -1,0 +1,108 @@
+#include "query/fingerprint.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "query/structures.h"
+
+namespace halk::query {
+namespace {
+
+QueryGraph TwoIntersection(int64_t a0, int64_t r0, int64_t a1, int64_t r1) {
+  QueryGraph g;
+  int p0 = g.AddProjection(g.AddAnchor(a0), r0);
+  int p1 = g.AddProjection(g.AddAnchor(a1), r1);
+  g.SetTarget(g.AddIntersection({p0, p1}));
+  return g;
+}
+
+TEST(FingerprintTest, DeterministicAcrossCalls) {
+  QueryGraph g = TwoIntersection(3, 1, 7, 2);
+  EXPECT_EQ(CanonicalFingerprint(g), CanonicalFingerprint(g));
+  EXPECT_EQ(StructureFingerprint(g), StructureFingerprint(g));
+}
+
+TEST(FingerprintTest, GroundingChangesCanonicalNotStructure) {
+  QueryGraph a = TwoIntersection(3, 1, 7, 2);
+  QueryGraph b = TwoIntersection(4, 1, 7, 2);
+  EXPECT_NE(CanonicalFingerprint(a), CanonicalFingerprint(b));
+  EXPECT_EQ(StructureFingerprint(a), StructureFingerprint(b));
+}
+
+TEST(FingerprintTest, IntersectionInputOrderIsCanonicalized) {
+  QueryGraph a = TwoIntersection(3, 1, 7, 2);
+  QueryGraph b = TwoIntersection(7, 2, 3, 1);  // same branches, swapped
+  EXPECT_EQ(CanonicalFingerprint(a), CanonicalFingerprint(b));
+}
+
+TEST(FingerprintTest, DifferenceMinuendIsPositional) {
+  QueryGraph a;
+  {
+    int p0 = a.AddProjection(a.AddAnchor(1), 0);
+    int p1 = a.AddProjection(a.AddAnchor(2), 0);
+    a.SetTarget(a.AddDifference({p0, p1}));
+  }
+  QueryGraph b;
+  {
+    int p0 = b.AddProjection(b.AddAnchor(2), 0);
+    int p1 = b.AddProjection(b.AddAnchor(1), 0);
+    b.SetTarget(b.AddDifference({p0, p1}));
+  }
+  // a \ b != b \ a.
+  EXPECT_NE(CanonicalFingerprint(a), CanonicalFingerprint(b));
+}
+
+TEST(FingerprintTest, DeadNodesDoNotAffectCanonicalFingerprint) {
+  QueryGraph a = TwoIntersection(3, 1, 7, 2);
+  QueryGraph b = TwoIntersection(3, 1, 7, 2);
+  b.AddProjection(b.AddAnchor(9), 5);  // unreachable from target
+  EXPECT_EQ(CanonicalFingerprint(a), CanonicalFingerprint(b));
+  // The layout fingerprint, by design, does see the extra nodes.
+  EXPECT_NE(StructureFingerprint(a), StructureFingerprint(b));
+}
+
+QueryGraph UniformlyGrounded(StructureId id) {
+  QueryGraph g = MakeStructure(id);
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    QueryNode& n = g.mutable_node(i);
+    if (n.op == OpType::kAnchor) n.anchor_entity = 0;
+    if (n.op == OpType::kProjection) n.relation = 0;
+  }
+  return g;
+}
+
+TEST(FingerprintTest, DistinctStructureTemplatesAreDistinct) {
+  // A spread of genuinely different structures, grounded identically, must
+  // hash apart both ways.
+  const std::vector<StructureId> distinct = {
+      StructureId::k1p, StructureId::k2p,  StructureId::k3p,
+      StructureId::k2i, StructureId::k3i,  StructureId::kIp,
+      StructureId::kPi, StructureId::k2u,  StructureId::k2d,
+      StructureId::k2in, StructureId::kPip};
+  std::unordered_set<Fingerprint, FingerprintHash> canonical;
+  std::unordered_set<Fingerprint, FingerprintHash> layout;
+  for (StructureId id : distinct) {
+    QueryGraph g = UniformlyGrounded(id);
+    canonical.insert(CanonicalFingerprint(g));
+    layout.insert(StructureFingerprint(g));
+  }
+  EXPECT_EQ(canonical.size(), distinct.size());
+  EXPECT_EQ(layout.size(), distinct.size());
+}
+
+TEST(FingerprintTest, AliasedStructureTemplatesCollide) {
+  // kP3ip and k3ipp both build p(p(3i)); with equal grounding they denote
+  // the same query, and the canonical fingerprint must agree.
+  QueryGraph a = UniformlyGrounded(StructureId::kP3ip);
+  QueryGraph b = UniformlyGrounded(StructureId::k3ipp);
+  EXPECT_EQ(CanonicalFingerprint(a), CanonicalFingerprint(b));
+}
+
+TEST(FingerprintTest, HexRendering) {
+  QueryGraph g = TwoIntersection(3, 1, 7, 2);
+  EXPECT_EQ(CanonicalFingerprint(g).ToHex().size(), 32u);
+}
+
+}  // namespace
+}  // namespace halk::query

@@ -1,0 +1,91 @@
+#include "serving/batcher.h"
+
+#include <gtest/gtest.h>
+
+#include "query/fingerprint.h"
+#include "query/structures.h"
+#include "serving/request_queue.h"
+
+namespace halk::serving {
+namespace {
+
+using query::QueryGraph;
+using query::StructureId;
+
+QueryGraph Grounded(StructureId id, int64_t seed) {
+  QueryGraph g = query::MakeStructure(id);
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    query::QueryNode& n = g.mutable_node(i);
+    if (n.op == query::OpType::kAnchor) n.anchor_entity = seed;
+    if (n.op == query::OpType::kProjection) n.relation = seed % 3;
+  }
+  return g;
+}
+
+TEST(BatcherTest, GroupsByStructureLayout) {
+  QueryGraph p1a = Grounded(StructureId::k1p, 0);
+  QueryGraph p1b = Grounded(StructureId::k1p, 1);
+  QueryGraph i2 = Grounded(StructureId::k2i, 2);
+  std::vector<BatchItem> items = {{0, &p1a}, {1, &i2}, {2, &p1b}};
+  std::vector<MicroBatch> batches = FormBatches(items, 16);
+  ASSERT_EQ(batches.size(), 2u);
+  // First-appearance order: the 1p group opens first.
+  EXPECT_EQ(batches[0].items.size(), 2u);
+  EXPECT_EQ(batches[0].items[0].request_index, 0u);
+  EXPECT_EQ(batches[0].items[1].request_index, 2u);
+  EXPECT_EQ(batches[1].items.size(), 1u);
+  EXPECT_EQ(batches[1].items[0].request_index, 1u);
+}
+
+TEST(BatcherTest, SplitsGroupsAtMaxBatchSize) {
+  std::vector<QueryGraph> graphs;
+  graphs.reserve(10);
+  for (int i = 0; i < 10; ++i) {
+    graphs.push_back(Grounded(StructureId::k2p, i));
+  }
+  std::vector<BatchItem> items;
+  for (size_t i = 0; i < graphs.size(); ++i) {
+    items.push_back({i, &graphs[i]});
+  }
+  std::vector<MicroBatch> batches = FormBatches(items, 4);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0].items.size(), 4u);
+  EXPECT_EQ(batches[1].items.size(), 4u);
+  EXPECT_EQ(batches[2].items.size(), 2u);
+}
+
+TEST(BatcherTest, EmptyInput) {
+  EXPECT_TRUE(FormBatches({}, 8).empty());
+}
+
+TEST(BoundedQueueTest, TryPushRejectsWhenFull) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1).ok());
+  EXPECT_TRUE(q.TryPush(2).ok());
+  Status full = q.TryPush(3);
+  EXPECT_EQ(full.code(), StatusCode::kUnavailable);
+}
+
+TEST(BoundedQueueTest, PopBatchDrainsUpToMax) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.TryPush(i).ok());
+  std::vector<int> out;
+  ASSERT_TRUE(q.PopBatch(&out, 3, std::chrono::microseconds(0)));
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2}));
+  ASSERT_TRUE(q.PopBatch(&out, 3, std::chrono::microseconds(0)));
+  EXPECT_EQ(out, (std::vector<int>{3, 4}));
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenSignalsExit) {
+  BoundedQueue<int> q(8);
+  ASSERT_TRUE(q.TryPush(7).ok());
+  q.Close();
+  EXPECT_EQ(q.TryPush(8).code(), StatusCode::kUnavailable);
+  std::vector<int> out;
+  EXPECT_TRUE(q.PopBatch(&out, 4, std::chrono::microseconds(0)));
+  EXPECT_EQ(out, (std::vector<int>{7}));
+  EXPECT_FALSE(q.PopBatch(&out, 4, std::chrono::microseconds(0)));
+}
+
+}  // namespace
+}  // namespace halk::serving

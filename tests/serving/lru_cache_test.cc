@@ -1,0 +1,79 @@
+#include "serving/lru_cache.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace halk::serving {
+namespace {
+
+TEST(LruCacheTest, GetAfterPut) {
+  LruCache<int, std::string> cache(4);
+  cache.Put(1, "one");
+  std::string out;
+  EXPECT_TRUE(cache.Get(1, &out));
+  EXPECT_EQ(out, "one");
+  EXPECT_FALSE(cache.Get(2, &out));
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+}
+
+TEST(LruCacheTest, OverwriteKeepsSingleEntry) {
+  LruCache<int, std::string> cache(4);
+  cache.Put(1, "one");
+  cache.Put(1, "uno");
+  EXPECT_EQ(cache.size(), 1u);
+  std::string out;
+  ASSERT_TRUE(cache.Get(1, &out));
+  EXPECT_EQ(out, "uno");
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  int out = 0;
+  ASSERT_TRUE(cache.Get(1, &out));  // 1 is now most recent
+  cache.Put(3, 30);                 // evicts 2
+  EXPECT_FALSE(cache.Get(2, &out));
+  EXPECT_TRUE(cache.Get(1, &out));
+  EXPECT_TRUE(cache.Get(3, &out));
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCacheTest, ZeroCapacityNeverStores) {
+  LruCache<int, int> cache(0);
+  cache.Put(1, 10);
+  int out = 0;
+  EXPECT_FALSE(cache.Get(1, &out));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruCacheTest, ConcurrentMixedAccessStaysConsistent) {
+  LruCache<int, int> cache(64);
+  constexpr int kThreads = 4;
+  constexpr int kOps = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOps; ++i) {
+        const int key = (t * 31 + i) % 100;
+        cache.Put(key, key * 2);
+        int out = 0;
+        if (cache.Get(key, &out)) {
+          // The value for a key is always key*2, no torn reads.
+          EXPECT_EQ(out, key * 2);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_LE(cache.size(), 64u);
+}
+
+}  // namespace
+}  // namespace halk::serving

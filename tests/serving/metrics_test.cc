@@ -1,0 +1,92 @@
+#include "serving/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace halk::serving {
+namespace {
+
+TEST(CounterTest, ConcurrentIncrementsAllLand) {
+  Counter c;
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIncrements; ++i) c.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kIncrements);
+}
+
+TEST(HistogramTest, CountSumMean) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Observe(0.5);
+  h.Observe(5.0);
+  h.Observe(50.0);
+  h.Observe(500.0);  // overflow bucket
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_DOUBLE_EQ(h.sum(), 555.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 555.5 / 4.0);
+}
+
+TEST(HistogramTest, QuantilesAreMonotoneAndBracketed) {
+  Histogram h(Histogram::ExponentialBounds(1.0, 2.0, 12));
+  for (int i = 1; i <= 1000; ++i) h.Observe(static_cast<double>(i % 100));
+  const double p50 = h.Quantile(0.50);
+  const double p95 = h.Quantile(0.95);
+  const double p99 = h.Quantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p99, 2048.0);
+}
+
+TEST(HistogramTest, QuantileOfEmptyIsZero) {
+  Histogram h({1.0, 2.0});
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, OverflowReportsLargestBound) {
+  Histogram h({1.0, 2.0});
+  h.Observe(100.0);
+  EXPECT_EQ(h.Quantile(0.5), 2.0);
+}
+
+TEST(MetricsRegistryTest, StablePointersAndDump) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("serving.submitted");
+  Counter* b = registry.GetCounter("serving.submitted");
+  EXPECT_EQ(a, b);
+  a->Increment(3);
+  EXPECT_EQ(registry.CounterValue("serving.submitted"), 3);
+  EXPECT_EQ(registry.CounterValue("never.created"), 0);
+
+  Histogram* h = registry.GetHistogram("serving.latency_us",
+                                       Histogram::ExponentialBounds(1, 2, 4));
+  h->Observe(3.0);
+  const std::string dump = registry.DumpText();
+  EXPECT_NE(dump.find("counter serving.submitted 3"), std::string::npos);
+  EXPECT_NE(dump.find("histogram serving.latency_us count=1"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ConcurrentGetOrCreate) {
+  MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < 1000; ++i) {
+        registry.GetCounter("shared")->Increment();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.CounterValue("shared"), 4000);
+}
+
+}  // namespace
+}  // namespace halk::serving

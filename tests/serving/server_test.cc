@@ -1,0 +1,307 @@
+#include "serving/server.h"
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/evaluator.h"
+#include "core/halk_model.h"
+#include "kg/synthetic.h"
+#include "query/sampler.h"
+#include "query/structures.h"
+
+namespace halk::serving {
+namespace {
+
+using query::StructureId;
+
+/// Shared fixture: a small synthetic KG and an (untrained) HaLk model.
+/// Serving correctness is weight-independent, so training is skipped.
+class QueryServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    kg::SyntheticKgOptions opt;
+    opt.num_entities = 150;
+    opt.num_relations = 6;
+    opt.num_triples = 900;
+    opt.seed = 11;
+    dataset_ = new kg::Dataset(kg::GenerateSyntheticKg(opt));
+    core::ModelConfig config;
+    config.num_entities = dataset_->train.num_entities();
+    config.num_relations = dataset_->train.num_relations();
+    config.dim = 8;
+    config.hidden = 16;
+    config.seed = 7;
+    model_ = new core::HalkModel(config, nullptr);
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete dataset_;
+    model_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static std::vector<query::GroundedQuery> SampleQueries(
+      StructureId structure, int count, uint64_t seed) {
+    query::QuerySampler sampler(&dataset_->train, seed);
+    return sampler.SampleMany(structure, count).ValueOrDie();
+  }
+
+  static kg::Dataset* dataset_;
+  static core::HalkModel* model_;
+};
+
+kg::Dataset* QueryServerTest::dataset_ = nullptr;
+core::HalkModel* QueryServerTest::model_ = nullptr;
+
+TEST_F(QueryServerTest, AgreesWithUncachedEvaluatorAcrossStructures) {
+  ServerOptions options;
+  options.num_workers = 3;
+  options.max_batch_size = 4;
+  QueryServer server(model_, &dataset_->train, options);
+  core::Evaluator evaluator(model_);
+  // Union structures exercise the DNF branch batching.
+  for (StructureId s : {StructureId::k1p, StructureId::k2p, StructureId::k2i,
+                        StructureId::k2in, StructureId::k2d,
+                        StructureId::k2u, StructureId::kUp}) {
+    for (const query::GroundedQuery& q : SampleQueries(s, 3, 101)) {
+      Result<TopKAnswer> served = server.Answer(q.graph, 10);
+      ASSERT_TRUE(served.ok()) << served.status().ToString();
+      std::vector<int64_t> expected = evaluator.TopK(q.graph, 10);
+      EXPECT_EQ(served->entities, expected)
+          << "structure " << query::StructureName(s);
+    }
+  }
+}
+
+TEST_F(QueryServerTest, CacheHitMatchesUncachedAnswer) {
+  ServerOptions cached_options;
+  cached_options.num_workers = 2;
+  ServerOptions uncached_options;
+  uncached_options.num_workers = 2;
+  uncached_options.enable_cache = false;
+  QueryServer cached(model_, &dataset_->train, cached_options);
+  QueryServer uncached(model_, &dataset_->train, uncached_options);
+
+  query::GroundedQuery q = SampleQueries(StructureId::k2i, 1, 33)[0];
+  Result<TopKAnswer> first = cached.Answer(q.graph, 8);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->from_cache);
+  Result<TopKAnswer> second = cached.Answer(q.graph, 8);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->from_cache);
+  Result<TopKAnswer> baseline = uncached.Answer(q.graph, 8);
+  ASSERT_TRUE(baseline.ok());
+
+  EXPECT_EQ(first->entities, baseline->entities);
+  EXPECT_EQ(second->entities, baseline->entities);
+  EXPECT_EQ(second->distances, baseline->distances);
+  EXPECT_GE(cached.metrics()->CounterValue("serving.cache_hits"), 1);
+}
+
+TEST_F(QueryServerTest, SmallerKIsServedFromLargerCachedEntry) {
+  ServerOptions options;
+  options.num_workers = 1;
+  QueryServer server(model_, &dataset_->train, options);
+  query::GroundedQuery q = SampleQueries(StructureId::k2p, 1, 55)[0];
+  Result<TopKAnswer> big = server.Answer(q.graph, 10);
+  ASSERT_TRUE(big.ok());
+  Result<TopKAnswer> small = server.Answer(q.graph, 3);
+  ASSERT_TRUE(small.ok());
+  EXPECT_TRUE(small->from_cache);
+  ASSERT_EQ(small->entities.size(), 3u);
+  EXPECT_EQ(std::vector<int64_t>(big->entities.begin(),
+                                 big->entities.begin() + 3),
+            small->entities);
+}
+
+TEST_F(QueryServerTest, ConcurrentSubmittersAllAnswered) {
+  ServerOptions options;
+  options.num_workers = 4;
+  options.max_batch_size = 8;
+  QueryServer server(model_, &dataset_->train, options);
+  core::Evaluator evaluator(model_);
+
+  std::vector<query::GroundedQuery> pool =
+      SampleQueries(StructureId::k2i, 12, 77);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const query::GroundedQuery& q =
+            pool[static_cast<size_t>((t * kPerThread + i) % pool.size())];
+        Result<TopKAnswer> r = server.Answer(q.graph, 5);
+        if (!r.ok() || r->entities.size() != 5u) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server.metrics()->CounterValue("serving.submitted"),
+            kThreads * kPerThread);
+  EXPECT_EQ(server.metrics()->CounterValue("serving.completed"),
+            kThreads * kPerThread);
+  // Spot-check one answer against the single-threaded path.
+  Result<TopKAnswer> r = server.Answer(pool[0].graph, 5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->entities, evaluator.TopK(pool[0].graph, 5));
+}
+
+TEST_F(QueryServerTest, QueuedRequestsPastDeadlineExpire) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.max_batch_size = 4;
+  options.batch_linger = std::chrono::microseconds(0);
+  options.enable_cache = false;
+  QueryServer server(model_, &dataset_->train, options);
+
+  // Fill the single worker with two full batches of undeadlined work, then
+  // queue requests that can only be reached after >= one batch of real
+  // embedding work — far beyond their 1us deadline.
+  std::vector<query::GroundedQuery> blockers =
+      SampleQueries(StructureId::k3p, 8, 91);
+  std::vector<std::future<Result<TopKAnswer>>> blocker_futures;
+  for (const query::GroundedQuery& q : blockers) {
+    auto r = server.Submit(q.graph, 5);
+    ASSERT_TRUE(r.ok());
+    blocker_futures.push_back(std::move(*r));
+  }
+  std::vector<query::GroundedQuery> doomed =
+      SampleQueries(StructureId::k1p, 4, 92);
+  std::vector<std::future<Result<TopKAnswer>>> doomed_futures;
+  for (const query::GroundedQuery& q : doomed) {
+    auto r = server.Submit(q.graph, 5, std::chrono::microseconds(1));
+    ASSERT_TRUE(r.ok());
+    doomed_futures.push_back(std::move(*r));
+  }
+  for (auto& f : blocker_futures) {
+    EXPECT_TRUE(f.get().ok());
+  }
+  int expired = 0;
+  for (auto& f : doomed_futures) {
+    Result<TopKAnswer> r = f.get();
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+      ++expired;
+    }
+  }
+  EXPECT_GE(expired, 1);
+  EXPECT_EQ(server.metrics()->CounterValue("serving.deadline_expired"),
+            expired);
+}
+
+TEST_F(QueryServerTest, FullQueueAppliesBackpressure) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.max_batch_size = 2;
+  options.queue_capacity = 2;
+  options.enable_cache = false;
+  QueryServer server(model_, &dataset_->train, options);
+
+  std::vector<query::GroundedQuery> pool =
+      SampleQueries(StructureId::k2p, 8, 13);
+  int accepted = 0;
+  int rejected = 0;
+  std::vector<std::future<Result<TopKAnswer>>> futures;
+  for (int i = 0; i < 64; ++i) {
+    auto r = server.Submit(pool[static_cast<size_t>(i) % pool.size()].graph,
+                           5);
+    if (r.ok()) {
+      ++accepted;
+      futures.push_back(std::move(*r));
+    } else {
+      EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0);
+  EXPECT_GT(accepted, 0);
+  for (auto& f : futures) {
+    EXPECT_TRUE(f.get().ok());
+  }
+  EXPECT_EQ(server.metrics()->CounterValue("serving.rejected"), rejected);
+}
+
+TEST_F(QueryServerTest, InvalidQueriesRejectedSynchronously) {
+  ServerOptions options;
+  options.num_workers = 1;
+  QueryServer server(model_, &dataset_->train, options);
+
+  query::QueryGraph ungrounded = query::MakeStructure(StructureId::k2i);
+  auto r1 = server.Submit(ungrounded, 5);
+  EXPECT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kInvalidArgument);
+
+  query::QueryGraph out_of_range;
+  out_of_range.SetTarget(out_of_range.AddProjection(
+      out_of_range.AddAnchor(dataset_->train.num_entities() + 5), 0));
+  auto r2 = server.Submit(out_of_range, 5);
+  EXPECT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kInvalidArgument);
+
+  query::GroundedQuery q = SampleQueries(StructureId::k1p, 1, 3)[0];
+  auto r3 = server.Submit(q.graph, 0);
+  EXPECT_FALSE(r3.ok());
+  EXPECT_EQ(r3.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(server.metrics()->CounterValue("serving.invalid"), 3);
+}
+
+TEST_F(QueryServerTest, ShutdownDrainsQueuedWorkAndRejectsNewWork) {
+  ServerOptions options;
+  options.num_workers = 2;
+  QueryServer* server = new QueryServer(model_, &dataset_->train, options);
+  std::vector<query::GroundedQuery> pool =
+      SampleQueries(StructureId::k2i, 10, 29);
+  std::vector<std::future<Result<TopKAnswer>>> futures;
+  for (const query::GroundedQuery& q : pool) {
+    auto r = server->Submit(q.graph, 5);
+    ASSERT_TRUE(r.ok());
+    futures.push_back(std::move(*r));
+  }
+  server->Shutdown();
+  for (auto& f : futures) {
+    EXPECT_TRUE(f.get().ok());  // drained, not dropped
+  }
+  auto rejected = server->Submit(pool[0].graph, 5);
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+  delete server;  // double-shutdown must be safe
+}
+
+TEST_F(QueryServerTest, KLargerThanEntityCountIsClamped) {
+  ServerOptions options;
+  options.num_workers = 1;
+  QueryServer server(model_, &dataset_->train, options);
+  query::GroundedQuery q = SampleQueries(StructureId::k1p, 1, 41)[0];
+  Result<TopKAnswer> r =
+      server.Answer(q.graph, dataset_->train.num_entities() + 100);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(static_cast<int64_t>(r->entities.size()),
+            dataset_->train.num_entities());
+  // And the clamped full answer satisfies later smaller-k requests.
+  Result<TopKAnswer> again = server.Answer(q.graph, 4);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->from_cache);
+}
+
+TEST_F(QueryServerTest, MetricsDumpContainsDerivedHitRate) {
+  ServerOptions options;
+  options.num_workers = 1;
+  QueryServer server(model_, &dataset_->train, options);
+  query::GroundedQuery q = SampleQueries(StructureId::k1p, 1, 61)[0];
+  ASSERT_TRUE(server.Answer(q.graph, 5).ok());
+  ASSERT_TRUE(server.Answer(q.graph, 5).ok());
+  const std::string dump = server.DumpMetrics();
+  EXPECT_NE(dump.find("counter serving.submitted 2"), std::string::npos);
+  EXPECT_NE(dump.find("serving.cache_hit_rate 0.5"), std::string::npos);
+  EXPECT_NE(dump.find("histogram serving.latency_us"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace halk::serving
