@@ -7,6 +7,63 @@ namespace halk::bench {
 
 using query::StructureId;
 
+BenchJson::BenchJson(const std::string& name) : name_(name) {
+  fields_.emplace_back("bench", "\"" + name + "\"");
+}
+
+BenchJson& BenchJson::Set(const std::string& key, const std::string& value) {
+  fields_.emplace_back(key, "\"" + value + "\"");
+  return *this;
+}
+
+BenchJson& BenchJson::Set(const std::string& key, const char* value) {
+  return Set(key, std::string(value));
+}
+
+BenchJson& BenchJson::Set(const std::string& key, double value,
+                          int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  fields_.emplace_back(key, buf);
+  return *this;
+}
+
+BenchJson& BenchJson::Set(const std::string& key, int64_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+BenchJson& BenchJson::Set(const std::string& key, int value) {
+  fields_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+std::string BenchJson::ToJson() const {
+  std::string out = "{";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + fields_[i].first + "\":" + fields_[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+void BenchJson::Emit() const {
+  const std::string json = ToJson();
+  std::printf("JSON %s\n", json.c_str());
+  const char* dir = std::getenv("HALK_BENCH_OUTPUT_DIR");
+  const std::string path = std::string(dir != nullptr ? dir
+                                                      : HALK_REPO_ROOT_DIR) +
+                           "/BENCH_" + name_ + ".json";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "%s\n", json.c_str());
+  std::fclose(f);
+}
+
 Scale Scale::FromEnv() {
   Scale s;
   const char* fast = std::getenv("HALK_BENCH_FAST");

@@ -1,14 +1,40 @@
 #ifndef HALK_BENCH_BENCH_COMMON_H_
 #define HALK_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "halk/halk.h"
 
 namespace halk::bench {
+
+/// The one machine-readable summary line every bench ends with. Keys keep
+/// insertion order ("bench" is always first) so the lines diff cleanly
+/// across runs. Emit() prints `JSON {...}` to stdout — the grep target for
+/// longitudinal perf tracking — and writes the same object to
+/// BENCH_<name>.json at the repo root (HALK_BENCH_OUTPUT_DIR overrides the
+/// directory; keep keys stable once a bench has shipped).
+class BenchJson {
+ public:
+  explicit BenchJson(const std::string& name);
+
+  BenchJson& Set(const std::string& key, const std::string& value);
+  BenchJson& Set(const std::string& key, const char* value);
+  BenchJson& Set(const std::string& key, double value, int precision = 3);
+  BenchJson& Set(const std::string& key, int64_t value);
+  BenchJson& Set(const std::string& key, int value);
+
+  std::string ToJson() const;
+  void Emit() const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> fields_;  // pre-rendered
+};
 
 /// Experiment scale. The defaults regenerate the paper tables in minutes
 /// on one CPU core; set HALK_BENCH_FAST=1 in the environment for a quick

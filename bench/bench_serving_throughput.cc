@@ -18,6 +18,7 @@
 #include <future>
 #include <vector>
 
+#include "bench_common.h"
 #include "halk/halk.h"
 
 namespace {
@@ -157,17 +158,20 @@ int main() {
               server.DumpMetrics().c_str());
 
   // One machine-readable line for the perf trajectory (keep keys stable).
-  std::printf(
-      "JSON {\"bench\":\"serving_throughput\",\"requests\":%d,"
-      "\"distinct\":%d,\"workers\":%d,\"max_batch\":%d,"
-      "\"qps_baseline\":%.1f,\"qps_batched\":%.1f,\"qps_served\":%.1f,"
-      "\"speedup_batched\":%.3f,\"speedup_served\":%.3f,"
-      "\"p50_ms\":%.3f,\"p99_ms\":%.3f,\"cache_hit_rate\":%.3f,"
-      "\"mean_batch_size\":%.2f}\n",
-      num_requests, pool_size, batch_only.num_workers,
-      static_cast<int>(batch_only.max_batch_size), qps_baseline, qps_batched,
-      qps_served, qps_batched / qps_baseline, qps_served / qps_baseline,
-      latency->Quantile(0.5) / 1000.0, latency->Quantile(0.99) / 1000.0,
-      hit_rate, batch_size->mean());
+  bench::BenchJson("serving_throughput")
+      .Set("requests", num_requests)
+      .Set("distinct", pool_size)
+      .Set("workers", batch_only.num_workers)
+      .Set("max_batch", static_cast<int>(batch_only.max_batch_size))
+      .Set("qps_baseline", qps_baseline, 1)
+      .Set("qps_batched", qps_batched, 1)
+      .Set("qps_served", qps_served, 1)
+      .Set("speedup_batched", qps_batched / qps_baseline)
+      .Set("speedup_served", qps_served / qps_baseline)
+      .Set("p50_ms", latency->Quantile(0.5) / 1000.0)
+      .Set("p99_ms", latency->Quantile(0.99) / 1000.0)
+      .Set("cache_hit_rate", hit_rate)
+      .Set("mean_batch_size", batch_size->mean(), 2)
+      .Emit();
   return 0;
 }

@@ -2,11 +2,18 @@
 // the query Adaptor into a HaLk computation graph, then answered both by
 // the exact executor and by a trained HaLk model behind the concurrent
 // QueryServer — the same serving engine a production endpoint would sit
-// on, with micro-batching, answer caching, and latency metrics.
+// on, with micro-batching, answer caching, sharded ranking, and latency
+// metrics.
 //
 //   $ ./examples/sparql_endpoint
+//   $ ./examples/sparql_endpoint --checkpoint /tmp/sparql_model.bin
+//
+// With --checkpoint, the model is restored from the file when it exists
+// (skipping training entirely — the restart path of a real endpoint) and
+// trained-then-saved there when it does not.
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -61,8 +68,14 @@ void Run(const halk::kg::KnowledgeGraph& kg, const std::string& title,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace halk;
+  std::string checkpoint_path;
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--checkpoint") == 0) {
+      checkpoint_path = argv[i + 1];
+    }
+  }
   kg::KnowledgeGraph kg = BuildKg();
   std::printf("academic KG: %lld entities, %lld relations, %lld triples\n",
               static_cast<long long>(kg.num_entities()),
@@ -99,23 +112,48 @@ int main() {
   config.hidden = 16;
   config.seed = 17;
   core::HalkModel model(config, &grouping);
-  core::TrainerOptions topt;
-  topt.steps = 300;
-  topt.batch_size = 8;
-  topt.num_negatives = 6;
-  topt.learning_rate = 1e-2f;
-  topt.queries_per_structure = 40;
-  topt.structures = {query::StructureId::k1p, query::StructureId::k2p,
-                     query::StructureId::k2i};
-  core::Trainer trainer(&model, &kg, &grouping, topt);
-  HALK_CHECK(trainer.Train().ok());
+  bool restored = false;
+  if (!checkpoint_path.empty()) {
+    const Status loaded = core::LoadCheckpoint(&model, checkpoint_path);
+    if (loaded.ok()) {
+      std::printf("restored model from %s, skipping training\n",
+                  checkpoint_path.c_str());
+      restored = true;
+    } else {
+      std::printf("no usable checkpoint at %s (%s), training from scratch\n",
+                  checkpoint_path.c_str(), loaded.ToString().c_str());
+    }
+  }
+  if (!restored) {
+    core::TrainerOptions topt;
+    topt.steps = 300;
+    topt.batch_size = 8;
+    topt.num_negatives = 6;
+    topt.learning_rate = 1e-2f;
+    topt.queries_per_structure = 40;
+    topt.structures = {query::StructureId::k1p, query::StructureId::k2p,
+                       query::StructureId::k2i};
+    core::Trainer trainer(&model, &kg, &grouping, topt);
+    HALK_CHECK(trainer.Train().ok());
+    if (!checkpoint_path.empty()) {
+      const Status saved = core::SaveCheckpoint(model, checkpoint_path);
+      if (saved.ok()) {
+        std::printf("saved model to %s\n", checkpoint_path.c_str());
+      } else {
+        std::printf("could not save checkpoint: %s\n",
+                    saved.ToString().c_str());
+      }
+    }
+  }
 
   // Serve SPARQL traffic through the QueryServer: compiled queries are
   // submitted from the "frontend" thread and answered by worker threads,
-  // with repeated queries short-circuited by the answer cache.
+  // with repeated queries short-circuited by the answer cache and ranking
+  // scattered over two entity-table shards.
   serving::ServerOptions sopt;
   sopt.num_workers = 2;
   sopt.max_batch_size = 8;
+  sopt.num_shards = 2;
   serving::QueryServer server(&model, &kg, sopt);
 
   const std::vector<std::string> traffic = {

@@ -22,6 +22,8 @@ enum class StatusCode {
   kNotImplemented,
   kUnavailable,       // transient overload; the caller may retry later
   kDeadlineExceeded,  // the operation's deadline passed before completion
+  kPartialResult,     // degraded success: an answer computed over only part
+                      // of the data (e.g. a shard with no live replica)
 };
 
 /// Returns a human-readable name for a status code, e.g. "InvalidArgument".
@@ -65,6 +67,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status PartialResult(std::string msg) {
+    return Status(StatusCode::kPartialResult, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -63,4 +63,59 @@ float ArcPointDistance(const float* point_angles, const float* arc_center,
   return d_o + eta * d_i;
 }
 
+ArcConstants MakeArcConstants(const float* arc_center,
+                              const float* arc_length, int64_t dim, float rho,
+                              float eta) {
+  ArcConstants out;
+  out.rho = rho;
+  out.eta = eta;
+  out.a_s.resize(static_cast<size_t>(dim));
+  out.a_e.resize(static_cast<size_t>(dim));
+  out.center.resize(static_cast<size_t>(dim));
+  out.half_width.resize(static_cast<size_t>(dim));
+  for (int64_t i = 0; i < dim; ++i) {
+    const float ac = arc_center[i];
+    const float al = arc_length[i];
+    // Same float expressions as ArcPointDistance, for bit-identical scans.
+    out.a_s[static_cast<size_t>(i)] = ac - al / (2.0f * rho);
+    out.a_e[static_cast<size_t>(i)] = ac + al / (2.0f * rho);
+    out.center[static_cast<size_t>(i)] = ac;
+    out.half_width[static_cast<size_t>(i)] =
+        2.0f * rho * std::fabs(std::sin(al / (4.0f * rho)));
+  }
+  return out;
+}
+
+float ArcPointDistanceBounded(const float* point_angles,
+                              const ArcConstants& arc, float bound) {
+  // Same accumulation order as ArcPointDistance, so a full scan returns the
+  // bit-identical value; the partial d_o + eta*d_i is non-decreasing across
+  // dimensions (rho > 0, eta >= 0), which makes the early exit exact for
+  // pruning. Points inside the arc on a dimension cost one sine; only the
+  // outside case needs the two endpoint chords.
+  const int64_t dim = static_cast<int64_t>(arc.center.size());
+  const float rho = arc.rho;
+  float d_o = 0.0f;
+  float d_i = 0.0f;
+  for (int64_t i = 0; i < dim; ++i) {
+    const float theta = point_angles[i];
+    const float to_center =
+        2.0f * rho * std::fabs(std::sin((theta - arc.center[i]) / 2.0f));
+    const float half_width = arc.half_width[i];
+    if (to_center > half_width) {
+      const float to_start =
+          2.0f * rho * std::fabs(std::sin((theta - arc.a_s[i]) / 2.0f));
+      const float to_end =
+          2.0f * rho * std::fabs(std::sin((theta - arc.a_e[i]) / 2.0f));
+      d_o += std::min(to_start, to_end);
+      d_i += half_width;
+    } else {
+      d_i += to_center;
+    }
+    const float partial = d_o + arc.eta * d_i;
+    if (partial > bound) return partial;
+  }
+  return d_o + arc.eta * d_i;
+}
+
 }  // namespace halk::core

@@ -26,6 +26,34 @@ float ArcPointDistance(const float* point_angles, const float* arc_center,
                        const float* arc_length, int64_t dim, float rho,
                        float eta);
 
+/// Entity-independent per-dimension quantities of one arc, hoisted out of
+/// a many-entity scan: endpoint angles and the half-width chord account
+/// for half the trigonometry in ArcPointDistance yet never change across
+/// entities. Computed with the same float expressions, so scans through
+/// ArcConstants are bit-identical to the plain kernel.
+struct ArcConstants {
+  float rho = 1.0f;
+  float eta = 0.0f;
+  std::vector<float> a_s;          // start angle per dimension
+  std::vector<float> a_e;          // end angle per dimension
+  std::vector<float> center;       // center angle per dimension
+  std::vector<float> half_width;   // half-arc chord per dimension
+};
+
+ArcConstants MakeArcConstants(const float* arc_center,
+                              const float* arc_length, int64_t dim, float rho,
+                              float eta);
+
+/// Bound-aware scan kernel for top-k (requires rho > 0 and eta >= 0, so
+/// every per-dimension term is non-negative and the partial sum is a lower
+/// bound of the final distance). Returns the exact ArcPointDistance value
+/// — bit-identical, same accumulation order — unless the partial sum
+/// exceeds `bound` first, in which case it stops scanning dimensions and
+/// returns that partial sum (some value > bound, <= the true distance).
+/// Callers must treat any result > bound as "worse than bound" only.
+float ArcPointDistanceBounded(const float* point_angles,
+                              const ArcConstants& arc, float bound);
+
 }  // namespace halk::core
 
 #endif  // HALK_CORE_DISTANCE_H_

@@ -1,9 +1,9 @@
 #include "core/evaluator.h"
 
 #include <algorithm>
-#include <numeric>
 
 #include "common/logging.h"
+#include "core/topk.h"
 #include "query/dnf.h"
 
 namespace halk::core {
@@ -33,16 +33,10 @@ std::vector<float> Evaluator::ScoreAllEntities(
 
 std::vector<int64_t> Evaluator::TopK(const query::QueryGraph& query,
                                      int64_t k) {
-  std::vector<float> dist = ScoreAllEntities(query);
-  std::vector<int64_t> ids(dist.size());
-  std::iota(ids.begin(), ids.end(), 0);
-  k = std::min<int64_t>(k, static_cast<int64_t>(ids.size()));
-  std::partial_sort(ids.begin(), ids.begin() + k, ids.end(),
-                    [&dist](int64_t a, int64_t b) {
-                      return dist[static_cast<size_t>(a)] <
-                             dist[static_cast<size_t>(b)];
-                    });
-  ids.resize(static_cast<size_t>(k));
+  std::vector<ScoredEntity> top = TopKFromDistances(ScoreAllEntities(query), k);
+  std::vector<int64_t> ids;
+  ids.reserve(top.size());
+  for (const ScoredEntity& s : top) ids.push_back(s.entity);
   return ids;
 }
 

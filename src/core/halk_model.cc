@@ -1,6 +1,8 @@
 #include "core/halk_model.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/logging.h"
 #include "core/distance.h"
@@ -318,14 +320,58 @@ Tensor HalkModel::Distance(const std::vector<int64_t>& entities,
 
 void HalkModel::DistancesToAll(const EmbeddingBatch& embedding, int64_t row,
                                std::vector<float>* out) const {
+  DistancesToRange(embedding, row, 0, config_.num_entities, out);
+}
+
+void HalkModel::DistancesToRange(const EmbeddingBatch& embedding, int64_t row,
+                                 int64_t begin, int64_t end,
+                                 std::vector<float>* out) const {
   const int64_t d = config_.dim;
   const float* center = embedding.a.data() + row * d;
   const float* length = embedding.b.data() + row * d;
   const float* table = entity_angles_.data();
-  out->resize(static_cast<size_t>(config_.num_entities));
-  for (int64_t e = 0; e < config_.num_entities; ++e) {
-    (*out)[static_cast<size_t>(e)] = ArcPointDistance(
+  out->resize(static_cast<size_t>(end - begin));
+  for (int64_t e = begin; e < end; ++e) {
+    (*out)[static_cast<size_t>(e - begin)] = ArcPointDistance(
         table + e * d, center, length, d, config_.rho, config_.eta);
+  }
+}
+
+void HalkModel::AccumulateTopKRange(const std::vector<BranchRef>& branches,
+                                    int64_t begin, int64_t end,
+                                    TopKAccumulator* acc) const {
+  // Early exit is only a lower-bound argument when every per-dimension
+  // term is non-negative.
+  if (config_.rho <= 0.0f || config_.eta < 0.0f) {
+    QueryModel::AccumulateTopKRange(branches, begin, end, acc);
+    return;
+  }
+  const int64_t d = config_.dim;
+  // Endpoint angles and half-width chords are entity-independent: hoist
+  // them out of the scan (half the trigonometry of the plain kernel).
+  std::vector<ArcConstants> arcs;
+  arcs.reserve(branches.size());
+  for (const BranchRef& branch : branches) {
+    arcs.push_back(MakeArcConstants(
+        branch.embedding->a.data() + branch.row * d,
+        branch.embedding->b.data() + branch.row * d, d, config_.rho,
+        config_.eta));
+  }
+  const float* table = entity_angles_.data();
+  for (int64_t e = begin; e < end; ++e) {
+    const float* point = table + e * d;
+    const float admission = acc->bound();
+    float dmin = std::numeric_limits<float>::infinity();
+    for (const ArcConstants& arc : arcs) {
+      // A branch only has to beat the best branch so far or the admission
+      // bound, whichever is tighter; anything above that cap cannot change
+      // the outcome, so its exact value is irrelevant.
+      const float cap = std::min(dmin, admission);
+      dmin = std::min(dmin, ArcPointDistanceBounded(point, arc, cap));
+    }
+    // dmin <= admission implies some branch finished its scan, so dmin is
+    // the exact minimum; above the bound the entity cannot enter anyway.
+    if (dmin <= admission) acc->Push(e, dmin);
   }
 }
 

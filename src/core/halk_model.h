@@ -45,6 +45,18 @@ class HalkModel : public QueryModel {
   void DistancesToAll(const EmbeddingBatch& embedding, int64_t row,
                       std::vector<float>* out) const override;
 
+  void DistancesToRange(const EmbeddingBatch& embedding, int64_t row,
+                        int64_t begin, int64_t end,
+                        std::vector<float>* out) const override;
+
+  /// Bound-aware scan: the arc distance accumulates non-negative
+  /// per-dimension terms, so an entity is abandoned the moment its partial
+  /// sum exceeds the accumulator's admission bound. Exact — admitted
+  /// entities carry the bit-identical full distance.
+  void AccumulateTopKRange(const std::vector<BranchRef>& branches,
+                           int64_t begin, int64_t end,
+                           TopKAccumulator* acc) const override;
+
   std::vector<tensor::Tensor> Parameters() const override;
 
   bool Supports(query::OpType) const override { return true; }

@@ -1,10 +1,12 @@
 #ifndef HALK_CORE_QUERY_MODEL_H_
 #define HALK_CORE_QUERY_MODEL_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "core/topk.h"
 #include "kg/groups.h"
 #include "query/dag.h"
 #include "tensor/tensor.h"
@@ -37,6 +39,13 @@ struct EmbeddingBatch {
   tensor::Tensor b;  // [B, d]
 };
 
+/// One conjunctive (DNF) branch of a query: row `row` of an embedding
+/// batch. A query's entity score is the minimum distance over its branches.
+struct BranchRef {
+  const EmbeddingBatch* embedding = nullptr;
+  int64_t row = 0;
+};
+
 /// Common interface of query-embedding models: grounded union-free query
 /// DAGs go in, embeddings come out, and entities are ranked by a
 /// model-specific distance. Union is handled outside the model via the DNF
@@ -66,6 +75,48 @@ class QueryModel {
   /// used for ranking at evaluation time. `out` is resized to num_entities.
   virtual void DistancesToAll(const EmbeddingBatch& embedding, int64_t row,
                               std::vector<float>* out) const = 0;
+
+  /// Raw distances from embedding row `row` to the entity slice
+  /// [begin, end): `out` is resized to end - begin with `(*out)[i]` the
+  /// distance to entity begin + i, bit-identical to the corresponding
+  /// DistancesToAll entries. The base implementation scores the full table
+  /// and copies the slice; models with per-entity kernels override it to
+  /// touch only the range (the sharded-execution hot path).
+  virtual void DistancesToRange(const EmbeddingBatch& embedding, int64_t row,
+                                int64_t begin, int64_t end,
+                                std::vector<float>* out) const {
+    std::vector<float> all;
+    DistancesToAll(embedding, row, &all);
+    out->assign(all.begin() + begin, all.begin() + end);
+  }
+
+  /// Streams the entity slice [begin, end) into `acc`, scoring each entity
+  /// by its minimum distance over the branches (the DNF union semantics).
+  /// Exact relative to the full scan: acc->Take() afterwards equals what
+  /// pushing every DistancesToRange minimum would produce. The base
+  /// implementation does exactly that full scan; models whose distance
+  /// accumulates monotonically per dimension override it with a bound-aware
+  /// kernel that abandons an entity as soon as its partial sum exceeds
+  /// acc->bound() — the sharded-execution hot path.
+  virtual void AccumulateTopKRange(const std::vector<BranchRef>& branches,
+                                   int64_t begin, int64_t end,
+                                   TopKAccumulator* acc) const {
+    std::vector<float> best;
+    std::vector<float> dist;
+    for (const BranchRef& branch : branches) {
+      DistancesToRange(*branch.embedding, branch.row, begin, end, &dist);
+      if (best.empty()) {
+        best = dist;
+      } else {
+        for (size_t i = 0; i < dist.size(); ++i) {
+          best[i] = std::min(best[i], dist[i]);
+        }
+      }
+    }
+    for (size_t i = 0; i < best.size(); ++i) {
+      acc->Push(begin + static_cast<int64_t>(i), best[i]);
+    }
+  }
 
   /// Trainable leaves for the optimizer.
   virtual std::vector<tensor::Tensor> Parameters() const = 0;

@@ -1,11 +1,11 @@
 #include "serving/server.h"
 
 #include <algorithm>
-#include <numeric>
 #include <sstream>
 #include <utility>
 
 #include "common/logging.h"
+#include "core/topk.h"
 #include "query/dnf.h"
 #include "serving/batcher.h"
 
@@ -20,22 +20,14 @@ double MicrosSince(Clock::time_point start) {
       .count();
 }
 
-/// Indices of the `k` smallest distances, ascending by distance.
-void TopKFromDistances(const std::vector<float>& dist, int64_t k,
-                       TopKAnswer* out) {
-  std::vector<int64_t> ids(dist.size());
-  std::iota(ids.begin(), ids.end(), 0);
-  k = std::min<int64_t>(k, static_cast<int64_t>(ids.size()));
-  std::partial_sort(ids.begin(), ids.begin() + k, ids.end(),
-                    [&dist](int64_t a, int64_t b) {
-                      return dist[static_cast<size_t>(a)] <
-                             dist[static_cast<size_t>(b)];
-                    });
-  ids.resize(static_cast<size_t>(k));
-  out->entities = std::move(ids);
-  out->distances.reserve(out->entities.size());
-  for (int64_t e : out->entities) {
-    out->distances.push_back(dist[static_cast<size_t>(e)]);
+/// Unpacks a (distance, entity)-ordered ranking into the answer arrays.
+void FillAnswer(const std::vector<core::ScoredEntity>& ranking,
+                TopKAnswer* out) {
+  out->entities.reserve(ranking.size());
+  out->distances.reserve(ranking.size());
+  for (const core::ScoredEntity& s : ranking) {
+    out->entities.push_back(s.entity);
+    out->distances.push_back(s.distance);
   }
 }
 
@@ -64,6 +56,13 @@ QueryServer::QueryServer(core::QueryModel* model,
   HALK_CHECK_GT(options_.num_workers, 0);
   HALK_CHECK_GT(options_.max_batch_size, 0u);
   HALK_CHECK_GT(options_.queue_capacity, 0u);
+  if (options_.num_shards > 0) {
+    shard::ShardOptions shard_options;
+    shard_options.num_shards = options_.num_shards;
+    shard_options.replication = options_.shard_replication;
+    coordinator_ = std::make_unique<shard::ShardCoordinator>(
+        model, shard_options, options_.shard_faults, &metrics_);
+  }
   workers_.reserve(static_cast<size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -78,6 +77,8 @@ void QueryServer::Shutdown() {
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
+  // After the serving workers drain, no one submits shard tasks anymore.
+  if (coordinator_ != nullptr) coordinator_->Stop();
 }
 
 Status QueryServer::ValidateQuery(const query::QueryGraph& query,
@@ -235,9 +236,14 @@ void QueryServer::ServeChunk(
     }
   }
 
-  // Per-request running minimum over branch distances (the DNF union
-  // semantics, as in Evaluator::ScoreAllEntities).
+  // Per-request accumulation over branch distances (the DNF union
+  // semantics, as in Evaluator::ScoreAllEntities). Unsharded, the worker
+  // keeps a running elementwise minimum and ranks in place; sharded, it
+  // collects each request's embedded branches (cheap tensor handles) and
+  // hands ranking to the scatter-gather coordinator.
+  const bool sharded = coordinator_ != nullptr;
   std::vector<std::vector<float>> best(live.size());
+  std::vector<shard::BranchSet> branch_sets(sharded ? live.size() : 0);
   std::vector<float> dist;
   for (const MicroBatch& batch : FormBatches(items, options_.max_batch_size)) {
     batch_size_->Observe(static_cast<double>(batch.items.size()));
@@ -247,6 +253,16 @@ void QueryServer::ServeChunk(
     core::EmbeddingBatch embedding = model_->EmbedQueries(graphs);
     for (size_t row = 0; row < batch.items.size(); ++row) {
       const size_t r = batch.items[row].request_index;
+      if (sharded) {
+        shard::BranchSet& set = branch_sets[r];
+        if (set.embeddings.empty() ||
+            set.embeddings.back().a.impl() != embedding.a.impl()) {
+          set.embeddings.push_back(embedding);
+        }
+        set.rows.emplace_back(set.embeddings.size() - 1,
+                              static_cast<int64_t>(row));
+        continue;
+      }
       model_->DistancesToAll(embedding, static_cast<int64_t>(row), &dist);
       if (best[r].empty()) {
         best[r] = dist;
@@ -260,8 +276,22 @@ void QueryServer::ServeChunk(
 
   for (size_t r = 0; r < live.size(); ++r) {
     TopKAnswer answer;
-    TopKFromDistances(best[r], live[r]->k, &answer);
-    if (options_.enable_cache) {
+    if (sharded) {
+      shard::ShardedTopK top = coordinator_->TopKEmbedded(
+          branch_sets[r], live[r]->k, live[r]->deadline);
+      if (!top.ok() && !top.partial()) {
+        Finish(live[r].get(), top.status);
+        continue;
+      }
+      FillAnswer(top.entries, &answer);
+      answer.coverage = top.coverage;
+      answer.completeness = top.status;
+    } else {
+      FillAnswer(core::TopKFromDistances(best[r], live[r]->k), &answer);
+    }
+    // Degraded answers are never cached: the outage must not outlive the
+    // replicas that caused it.
+    if (options_.enable_cache && answer.coverage == 1.0) {
       CachedAnswer entry{answer.entities, answer.distances};
       cache_.Put(live[r]->key, std::move(entry));
     }

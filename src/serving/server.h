@@ -18,6 +18,8 @@
 #include "serving/lru_cache.h"
 #include "serving/metrics.h"
 #include "serving/request_queue.h"
+#include "shard/coordinator.h"
+#include "shard/fault_injector.h"
 
 namespace halk::serving {
 
@@ -35,6 +37,14 @@ struct ServerOptions {
   /// Entry capacity of the answer cache; 0 disables caching outright.
   size_t cache_capacity = 4096;
   bool enable_cache = true;
+  /// Entity-table shards ranked in parallel per request; 0 keeps ranking
+  /// on the serving worker thread (unsharded brute force).
+  int num_shards = 0;
+  /// Replicas per shard when sharding is on (availability, not speed).
+  int shard_replication = 1;
+  /// Test hook: injects replica faults into the sharded ranking path.
+  /// Must outlive the server; ignored when num_shards is 0.
+  shard::ShardFaultInjector* shard_faults = nullptr;
 };
 
 /// A served top-k answer: entity ids in ascending model distance.
@@ -42,6 +52,12 @@ struct TopKAnswer {
   std::vector<int64_t> entities;
   std::vector<float> distances;
   bool from_cache = false;
+  /// Fraction of the entity table scored. Below 1 only under sharded
+  /// serving when every replica of some shard was lost; the entities are
+  /// still the exact top-k of the covered fraction.
+  double coverage = 1.0;
+  /// OK, or kPartialResult when coverage < 1 (degraded-mode serving).
+  Status completeness;
 };
 
 /// Concurrent query-serving engine over a trained QueryModel (Sec. IV's
@@ -93,6 +109,9 @@ class QueryServer {
 
   const ServerOptions& options() const { return options_; }
 
+  /// The sharded execution engine, or null when num_shards is 0.
+  shard::ShardCoordinator* coordinator() { return coordinator_.get(); }
+
  private:
   struct CachedAnswer {
     std::vector<int64_t> entities;
@@ -121,6 +140,7 @@ class QueryServer {
   BoundedQueue<std::unique_ptr<PendingRequest>> queue_;
   LruCache<query::Fingerprint, CachedAnswer, query::FingerprintHash> cache_;
   MetricsRegistry metrics_;
+  std::unique_ptr<shard::ShardCoordinator> coordinator_;  // null = unsharded
 
   // Hot-path instrument pointers (stable for the registry's lifetime).
   Counter* submitted_;

@@ -1,0 +1,264 @@
+#include "shard/coordinator.h"
+
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+#include "query/dnf.h"
+
+namespace halk::shard {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr Clock::time_point kNoDeadline = Clock::time_point::max();
+
+}  // namespace
+
+ShardCoordinator::ShardCoordinator(core::QueryModel* model,
+                                   const ShardOptions& options,
+                                   ShardFaultInjector* faults,
+                                   serving::MetricsRegistry* metrics)
+    : model_(model),
+      options_(options),
+      num_entities_(model->config().num_entities) {
+  HALK_CHECK(model != nullptr);
+  HALK_CHECK_GT(options_.num_shards, 0);
+  HALK_CHECK_GT(options_.replication, 0);
+  HALK_CHECK_GT(options_.queue_capacity, 0u);
+  HALK_CHECK_GT(options_.down_after_failures, 0);
+
+  // Contiguous balanced partition: the first `num_entities % num_shards`
+  // shards own one extra entity.
+  const int64_t shards = options_.num_shards;
+  const int64_t base = num_entities_ / shards;
+  const int64_t extra = num_entities_ % shards;
+  int64_t next = 0;
+  workers_.reserve(static_cast<size_t>(shards * options_.replication));
+  for (int s = 0; s < options_.num_shards; ++s) {
+    const int64_t size = base + (s < extra ? 1 : 0);
+    const EntityRange range{next, next + size};
+    next += size;
+    for (int r = 0; r < options_.replication; ++r) {
+      workers_.push_back(std::make_unique<ShardWorker>(
+          model, range, s, r, faults, options_.queue_capacity,
+          options_.down_after_failures));
+    }
+  }
+  HALK_CHECK_EQ(next, num_entities_);
+
+  if (metrics != nullptr) {
+    requests_ = metrics->GetCounter("shard.requests");
+    partials_ = metrics->GetCounter("shard.partial_results");
+    deadline_misses_ = metrics->GetCounter("shard.deadline_misses");
+    gather_us_ = metrics->GetHistogram(
+        "shard.gather_us", serving::Histogram::ExponentialBounds(1.0, 2.0, 26));
+    for (int s = 0; s < options_.num_shards; ++s) {
+      const std::string prefix = "shard." + std::to_string(s);
+      shard_tasks_.push_back(metrics->GetCounter(prefix + ".tasks"));
+      shard_failovers_.push_back(metrics->GetCounter(prefix + ".failovers"));
+    }
+  }
+}
+
+ShardCoordinator::~ShardCoordinator() { Stop(); }
+
+void ShardCoordinator::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  for (auto& worker : workers_) worker->Stop();
+}
+
+ShardWorker* ShardCoordinator::worker(int shard, int replica) const {
+  return workers_[static_cast<size_t>(shard * options_.replication + replica)]
+      .get();
+}
+
+EntityRange ShardCoordinator::shard_range(int shard) const {
+  return worker(shard, 0)->range();
+}
+
+ReplicaHealth ShardCoordinator::replica_health(int shard, int replica) const {
+  return worker(shard, replica)->health();
+}
+
+int64_t ShardCoordinator::replica_tasks_served(int shard, int replica) const {
+  return worker(shard, replica)->tasks_served();
+}
+
+int ShardCoordinator::PickReplica(int shard,
+                                  const std::vector<bool>& tried) const {
+  int suspect = -1;
+  int last_resort = -1;
+  for (int r = 0; r < options_.replication; ++r) {
+    if (tried[static_cast<size_t>(r)]) continue;
+    switch (worker(shard, r)->health()) {
+      case ReplicaHealth::kHealthy:
+        return r;
+      case ReplicaHealth::kSuspect:
+        if (suspect < 0) suspect = r;
+        break;
+      case ReplicaHealth::kDown:
+        // Probed only when nothing better remains, so a replica revived
+        // behind the coordinator's back can work its way back to healthy.
+        if (last_resort < 0) last_resort = r;
+        break;
+    }
+  }
+  return suspect >= 0 ? suspect : last_resort;
+}
+
+ShardedTopK ShardCoordinator::TopKEmbedded(const BranchSet& branches,
+                                           int64_t k,
+                                           Clock::time_point deadline) {
+  const Clock::time_point start = Clock::now();
+  if (requests_ != nullptr) requests_->Increment();
+
+  // Tasks share ownership of the branch set so a replica abandoned at the
+  // deadline can finish (or fail) harmlessly after this call returns.
+  auto shared = std::make_shared<const BranchSet>(branches);
+
+  const int num_shards = options_.num_shards;
+  const int replication = options_.replication;
+  struct Attempt {
+    std::future<Result<std::vector<core::ScoredEntity>>> future;
+    int replica = -1;
+  };
+  std::vector<Attempt> attempts(static_cast<size_t>(num_shards));
+  std::vector<std::vector<bool>> tried(
+      static_cast<size_t>(num_shards),
+      std::vector<bool>(static_cast<size_t>(replication), false));
+
+  // Scatter to the next live untried replica; false when none remain.
+  auto dispatch = [&](int shard) {
+    while (true) {
+      const int replica = PickReplica(shard, tried[static_cast<size_t>(shard)]);
+      if (replica < 0) {
+        attempts[static_cast<size_t>(shard)].replica = -1;
+        return false;
+      }
+      tried[static_cast<size_t>(shard)][static_cast<size_t>(replica)] = true;
+      auto task = std::make_unique<ShardTask>();
+      task->branches = shared;
+      task->k = k;
+      task->deadline = deadline;
+      auto future = task->result.get_future();
+      if (!shard_tasks_.empty()) {
+        shard_tasks_[static_cast<size_t>(shard)]->Increment();
+      }
+      const Status submitted = worker(shard, replica)->Submit(std::move(task));
+      if (!submitted.ok()) {
+        worker(shard, replica)->MarkFailure();
+        continue;  // queue full or stopped: treat as a failed call
+      }
+      attempts[static_cast<size_t>(shard)] = {std::move(future), replica};
+      return true;
+    }
+  };
+
+  for (int s = 0; s < num_shards; ++s) dispatch(s);
+
+  // Replicas of `shard` not yet tried this request — candidates for a
+  // failover attempt.
+  auto untried_count = [&](int shard) {
+    int n = 0;
+    for (int r = 0; r < replication; ++r) {
+      if (!tried[static_cast<size_t>(shard)][static_cast<size_t>(r)]) ++n;
+    }
+    return n;
+  };
+
+  // Gather with failover: a failed or deadline-missing replica is demoted
+  // and the shard retries on the next live replica with the time left. The
+  // wait is hedged — while untried replicas remain, an attempt only gets an
+  // even split of the remaining budget, so one slow replica cannot consume
+  // the whole deadline and leave its failover no time to run.
+  std::vector<std::vector<core::ScoredEntity>> partials(
+      static_cast<size_t>(num_shards));
+  int64_t covered_entities = 0;
+  int uncovered_shards = 0;
+  for (int s = 0; s < num_shards; ++s) {
+    Attempt& attempt = attempts[static_cast<size_t>(s)];
+    bool covered = false;
+    while (attempt.replica >= 0) {
+      bool ready = true;
+      if (deadline == kNoDeadline) {
+        attempt.future.wait();
+      } else {
+        Clock::time_point attempt_deadline = deadline;
+        const int spares = untried_count(s);
+        const Clock::time_point now = Clock::now();
+        if (spares > 0 && now < deadline) {
+          attempt_deadline = now + (deadline - now) / (spares + 1);
+        }
+        ready = attempt.future.wait_until(attempt_deadline) ==
+                std::future_status::ready;
+      }
+      if (!ready) {
+        if (deadline_misses_ != nullptr) deadline_misses_->Increment();
+        worker(s, attempt.replica)->MarkFailure();
+        if (!shard_failovers_.empty()) {
+          shard_failovers_[static_cast<size_t>(s)]->Increment();
+        }
+        if (!dispatch(s)) break;
+        continue;
+      }
+      Result<std::vector<core::ScoredEntity>> result = attempt.future.get();
+      if (result.ok()) {
+        worker(s, attempt.replica)->MarkSuccess();
+        partials[static_cast<size_t>(s)] = std::move(*result);
+        covered_entities += shard_range(s).size();
+        covered = true;
+        break;
+      }
+      worker(s, attempt.replica)->MarkFailure();
+      if (!shard_failovers_.empty()) {
+        shard_failovers_[static_cast<size_t>(s)]->Increment();
+      }
+      if (!dispatch(s)) break;
+    }
+    if (!covered) ++uncovered_shards;
+  }
+
+  ShardedTopK out;
+  out.entries = core::MergeTopK(partials, k);
+  out.coverage = num_entities_ == 0
+                     ? 1.0
+                     : static_cast<double>(covered_entities) /
+                           static_cast<double>(num_entities_);
+  if (uncovered_shards == 0) {
+    out.status = Status::OK();
+  } else if (covered_entities == 0) {
+    out.status = Status::Unavailable("no shard replica available");
+  } else {
+    if (partials_ != nullptr) partials_->Increment();
+    out.status = Status::PartialResult(
+        std::to_string(uncovered_shards) + " of " +
+        std::to_string(num_shards) + " shards unavailable");
+  }
+  if (gather_us_ != nullptr) {
+    gather_us_->Observe(
+        std::chrono::duration<double, std::micro>(Clock::now() - start)
+            .count());
+  }
+  return out;
+}
+
+ShardedTopK ShardCoordinator::TopK(const query::QueryGraph& query, int64_t k,
+                                   std::chrono::microseconds timeout) {
+  // One single-row EmbedQueries per DNF branch, exactly as
+  // Evaluator::ScoreAllEntities does, so healthy-path rankings match the
+  // brute-force evaluator bit-for-bit.
+  BranchSet branches;
+  for (const query::QueryGraph& branch : query::ToDnf(query)) {
+    std::vector<const query::QueryGraph*> single = {&branch};
+    branches.embeddings.push_back(model_->EmbedQueries(single));
+    branches.rows.emplace_back(branches.embeddings.size() - 1, 0);
+  }
+  const Clock::time_point deadline =
+      timeout.count() > 0 ? Clock::now() + timeout : kNoDeadline;
+  return TopKEmbedded(branches, k, deadline);
+}
+
+}  // namespace halk::shard

@@ -1,0 +1,44 @@
+#include "shard/fault_injector.h"
+
+namespace halk::shard {
+
+void ShardFaultInjector::FailNextCalls(int shard, int replica, int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_[{shard, replica}].fail_next = n;
+}
+
+void ShardFaultInjector::AddLatency(int shard, int replica,
+                                    std::chrono::microseconds latency) {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_[{shard, replica}].latency = latency;
+}
+
+void ShardFaultInjector::SetDown(int shard, int replica, bool down) {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_[{shard, replica}].down = down;
+}
+
+void ShardFaultInjector::SetShardDown(int shard, int num_replicas, bool down) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int r = 0; r < num_replicas; ++r) faults_[{shard, r}].down = down;
+}
+
+Status ShardFaultInjector::OnCall(int shard, int replica,
+                                  std::chrono::microseconds* added_latency) {
+  std::lock_guard<std::mutex> lock(mu_);
+  *added_latency = std::chrono::microseconds::zero();
+  auto it = faults_.find({shard, replica});
+  if (it == faults_.end()) return Status::OK();
+  Fault& fault = it->second;
+  *added_latency = fault.latency;
+  if (fault.down) {
+    return Status::Unavailable("injected: replica permanently down");
+  }
+  if (fault.fail_next > 0) {
+    --fault.fail_next;
+    return Status::Unavailable("injected: fail-next-call");
+  }
+  return Status::OK();
+}
+
+}  // namespace halk::shard

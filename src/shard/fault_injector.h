@@ -1,0 +1,53 @@
+#ifndef HALK_SHARD_FAULT_INJECTOR_H_
+#define HALK_SHARD_FAULT_INJECTOR_H_
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "common/status.h"
+
+namespace halk::shard {
+
+/// Deterministic fault injection for shard replicas, keyed by
+/// (shard, replica). Tests arm it to kill replicas, slow them down, or
+/// fail a bounded number of calls; production code simply never passes an
+/// injector. Thread-safe: workers consult it concurrently with test
+/// threads re-arming it.
+class ShardFaultInjector {
+ public:
+  /// The next `n` calls served by (shard, replica) fail with kUnavailable.
+  void FailNextCalls(int shard, int replica, int n);
+
+  /// Every call served by (shard, replica) sleeps `latency` before
+  /// computing — a degraded replica, not a failed one.
+  void AddLatency(int shard, int replica, std::chrono::microseconds latency);
+
+  /// Permanently downs (or, with false, revives) the replica: every call
+  /// fails until cleared.
+  void SetDown(int shard, int replica, bool down);
+
+  /// Downs every replica of `shard` — the full-shard-outage scenario.
+  void SetShardDown(int shard, int num_replicas, bool down);
+
+  /// Consulted by the worker at the start of each call. Returns the
+  /// injected failure (if any) and reports extra latency the worker must
+  /// sleep through `added_latency` (always written; zero when unarmed).
+  Status OnCall(int shard, int replica,
+                std::chrono::microseconds* added_latency);
+
+ private:
+  struct Fault {
+    int fail_next = 0;
+    bool down = false;
+    std::chrono::microseconds latency{0};
+  };
+
+  std::mutex mu_;
+  std::map<std::pair<int, int>, Fault> faults_;
+};
+
+}  // namespace halk::shard
+
+#endif  // HALK_SHARD_FAULT_INJECTOR_H_

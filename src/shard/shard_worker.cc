@@ -1,0 +1,105 @@
+#include "shard/shard_worker.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace halk::shard {
+
+const char* ReplicaHealthName(ReplicaHealth health) {
+  switch (health) {
+    case ReplicaHealth::kHealthy:
+      return "healthy";
+    case ReplicaHealth::kSuspect:
+      return "suspect";
+    case ReplicaHealth::kDown:
+      return "down";
+  }
+  return "unknown";
+}
+
+ShardWorker::ShardWorker(const core::QueryModel* model, EntityRange range,
+                         int shard_index, int replica_index,
+                         ShardFaultInjector* faults, size_t queue_capacity,
+                         int down_after_failures)
+    : model_(model),
+      range_(range),
+      shard_index_(shard_index),
+      replica_index_(replica_index),
+      down_after_failures_(down_after_failures),
+      faults_(faults),
+      queue_(queue_capacity) {
+  HALK_CHECK(model != nullptr);
+  HALK_CHECK_GE(range.begin, 0);
+  HALK_CHECK_GE(range.end, range.begin);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+ShardWorker::~ShardWorker() { Stop(); }
+
+void ShardWorker::Stop() {
+  if (stopped_.exchange(true)) return;
+  queue_.Close();
+  if (thread_.joinable()) thread_.join();
+}
+
+Status ShardWorker::Submit(std::unique_ptr<ShardTask> task) {
+  return queue_.TryPush(std::move(task));
+}
+
+void ShardWorker::MarkFailure() {
+  const int streak = failure_streak_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  health_.store(static_cast<int>(streak >= down_after_failures_
+                                     ? ReplicaHealth::kDown
+                                     : ReplicaHealth::kSuspect),
+                std::memory_order_release);
+}
+
+void ShardWorker::MarkSuccess() {
+  failure_streak_.store(0, std::memory_order_release);
+  health_.store(static_cast<int>(ReplicaHealth::kHealthy),
+                std::memory_order_release);
+}
+
+void ShardWorker::Loop() {
+  std::vector<std::unique_ptr<ShardTask>> batch;
+  while (queue_.PopBatch(&batch, 1, std::chrono::microseconds::zero())) {
+    Serve(batch[0].get());
+    batch.clear();
+  }
+}
+
+void ShardWorker::Serve(ShardTask* task) {
+  tasks_served_.fetch_add(1, std::memory_order_relaxed);
+  if (faults_ != nullptr) {
+    std::chrono::microseconds delay{0};
+    const Status injected = faults_->OnCall(shard_index_, replica_index_, &delay);
+    if (delay.count() > 0) std::this_thread::sleep_for(delay);
+    if (!injected.ok()) {
+      task->result.set_value(injected);
+      return;
+    }
+  }
+  // A task the coordinator has already given up on is not worth scoring;
+  // its promise result is never read, but must still be fulfilled.
+  if (std::chrono::steady_clock::now() > task->deadline) {
+    task->result.set_value(
+        Status::DeadlineExceeded("shard task past its deadline"));
+    return;
+  }
+
+  // Min over branches per entity in the owned range, streamed through the
+  // model's bound-aware top-k kernel — the partial ranking the coordinator
+  // k-way merges.
+  const BranchSet& branches = *task->branches;
+  std::vector<core::BranchRef> refs;
+  refs.reserve(branches.rows.size());
+  for (const auto& [embedding_index, row] : branches.rows) {
+    refs.push_back({&branches.embeddings[embedding_index], row});
+  }
+  core::TopKAccumulator acc(task->k);
+  model_->AccumulateTopKRange(refs, range_.begin, range_.end, &acc);
+  task->result.set_value(acc.Take());
+}
+
+}  // namespace halk::shard

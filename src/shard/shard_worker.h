@@ -1,0 +1,116 @@
+#ifndef HALK_SHARD_SHARD_WORKER_H_
+#define HALK_SHARD_SHARD_WORKER_H_
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/query_model.h"
+#include "core/topk.h"
+#include "serving/request_queue.h"
+#include "shard/fault_injector.h"
+
+namespace halk::shard {
+
+/// Half-open slice [begin, end) of the entity-id space owned by one shard.
+struct EntityRange {
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t size() const { return end - begin; }
+};
+
+/// The embedded form of one query after DNF expansion: each entry of
+/// `rows` names row `second` of `embeddings[first]`. EmbeddingBatch holds
+/// cheap value-semantic tensor handles, so a BranchSet shares the
+/// underlying buffers rather than copying them.
+struct BranchSet {
+  std::vector<core::EmbeddingBatch> embeddings;
+  std::vector<std::pair<size_t, int64_t>> rows;
+};
+
+/// A scatter task: score the worker's entity range against every branch
+/// (min across branches per entity — the DNF union semantics) and return
+/// the local top-k. Tasks own their BranchSet through a shared_ptr so a
+/// task abandoned by the coordinator (deadline failover) can still run to
+/// completion safely.
+struct ShardTask {
+  std::shared_ptr<const BranchSet> branches;
+  int64_t k = 0;
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  std::promise<Result<std::vector<core::ScoredEntity>>> result;
+};
+
+/// Coordinator-visible availability of one replica. Healthy replicas are
+/// preferred for scatter; a failure demotes to suspect; enough consecutive
+/// failures (ShardOptions::down_after_failures) demote to down, and down
+/// replicas are skipped until a later success path revives them.
+enum class ReplicaHealth { kHealthy = 0, kSuspect = 1, kDown = 2 };
+
+const char* ReplicaHealthName(ReplicaHealth health);
+
+/// One replica of one shard: a dedicated thread draining its own bounded
+/// task queue and computing partial distances over a contiguous read-only
+/// view of the model's entity table (trained parameters are never copied).
+class ShardWorker {
+ public:
+  /// `model` and `faults` (optional) must outlive the worker.
+  ShardWorker(const core::QueryModel* model, EntityRange range,
+              int shard_index, int replica_index, ShardFaultInjector* faults,
+              size_t queue_capacity, int down_after_failures);
+  ~ShardWorker();
+
+  ShardWorker(const ShardWorker&) = delete;
+  ShardWorker& operator=(const ShardWorker&) = delete;
+
+  /// Enqueues a task; kUnavailable when the queue is full or stopped.
+  Status Submit(std::unique_ptr<ShardTask> task);
+
+  /// Closes the queue (pending tasks still drain) and joins the thread.
+  /// Idempotent; also run by the destructor.
+  void Stop();
+
+  ReplicaHealth health() const {
+    return static_cast<ReplicaHealth>(
+        health_.load(std::memory_order_acquire));
+  }
+  /// Demotes: healthy -> suspect, and to down after
+  /// `down_after_failures` consecutive failures.
+  void MarkFailure();
+  /// Restores the replica to healthy and clears the failure streak.
+  void MarkSuccess();
+
+  const EntityRange& range() const { return range_; }
+  int shard_index() const { return shard_index_; }
+  int replica_index() const { return replica_index_; }
+  int64_t tasks_served() const {
+    return tasks_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+  void Serve(ShardTask* task);
+
+  const core::QueryModel* model_;
+  const EntityRange range_;
+  const int shard_index_;
+  const int replica_index_;
+  const int down_after_failures_;
+  ShardFaultInjector* faults_;  // may be null
+
+  serving::BoundedQueue<std::unique_ptr<ShardTask>> queue_;
+  std::atomic<int> health_{static_cast<int>(ReplicaHealth::kHealthy)};
+  std::atomic<int> failure_streak_{0};
+  std::atomic<int64_t> tasks_served_{0};
+  std::atomic<bool> stopped_{false};
+  std::thread thread_;
+};
+
+}  // namespace halk::shard
+
+#endif  // HALK_SHARD_SHARD_WORKER_H_

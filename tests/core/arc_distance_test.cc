@@ -1,4 +1,6 @@
 #include <cmath>
+#include <limits>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -138,6 +140,39 @@ TEST(DistanceTest, GradientFlowsToPointAndArc) {
   for (float g : point.grad_vector()) point_grad = point_grad || g != 0.0f;
   EXPECT_TRUE(arc_grad);
   EXPECT_TRUE(point_grad);
+}
+
+TEST(DistanceTest, BoundedKernelIsBitIdenticalWhenNotPruned) {
+  Rng rng(19);
+  const int64_t d = 16;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<float> point, center, length;
+    for (int64_t i = 0; i < d; ++i) {
+      point.push_back(static_cast<float>(rng.Uniform()) * 2.0f * kPi);
+      center.push_back(static_cast<float>(rng.Uniform()) * 2.0f * kPi);
+      length.push_back(static_cast<float>(rng.Uniform()) * 2.0f);
+    }
+    const float rho = 1.0f;
+    const float eta = 0.9f;
+    const float exact = ArcPointDistance(point.data(), center.data(),
+                                         length.data(), d, rho, eta);
+    const ArcConstants arc =
+        MakeArcConstants(center.data(), length.data(), d, rho, eta);
+    // With an infinite bound the scan never exits early: bit-identical.
+    const float unbounded = ArcPointDistanceBounded(
+        point.data(), arc, std::numeric_limits<float>::infinity());
+    EXPECT_EQ(unbounded, exact) << "trial " << trial;
+    // Any bound at or above the distance keeps the result exact.
+    EXPECT_EQ(ArcPointDistanceBounded(point.data(), arc, exact), exact);
+    // A bound below it makes the scan exit with some value above the
+    // bound — a certificate the entity cannot enter the top-k.
+    if (exact > 0.0f) {
+      const float pruned =
+          ArcPointDistanceBounded(point.data(), arc, exact * 0.5f);
+      EXPECT_GT(pruned, exact * 0.5f);
+      EXPECT_LE(pruned, exact);
+    }
+  }
 }
 
 TEST(DistanceTest, WiderArcReducesDistanceToFixedPoint) {

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "baselines/factory.h"
+#include "core/evaluator.h"
 #include "core/halk_model.h"
 #include "kg/synthetic.h"
 #include "query/sampler.h"
@@ -143,6 +144,33 @@ TEST_F(CheckpointTest, WorksForEveryFactoryModel) {
     ASSERT_TRUE(LoadCheckpoint(b->get(), path).ok()) << name;
     std::remove(path.c_str());
   }
+}
+
+// Mirrors the halk_cli serving path: a trained-and-saved model, restored
+// through the factory into a fresh instance, must rank identically.
+TEST_F(CheckpointTest, RestoredFactoryModelRanksIdentically) {
+  auto trained = baselines::CreateModel("halk", SmallConfig(6), nullptr);
+  ASSERT_TRUE(trained.ok());
+  const std::string path = TempPath("halk_ckpt_topk.bin");
+  ASSERT_TRUE(SaveCheckpoint(**trained, path).ok());
+
+  auto restored = baselines::CreateModel("halk", SmallConfig(123), nullptr);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_TRUE(LoadCheckpoint(restored->get(), path).ok());
+
+  Evaluator before(trained->get());
+  Evaluator after(restored->get());
+  query::QuerySampler sampler(&dataset_->train, 9);
+  for (query::StructureId s :
+       {query::StructureId::k1p, query::StructureId::k2i,
+        query::StructureId::k2u}) {
+    auto queries = sampler.SampleMany(s, 3);
+    ASSERT_TRUE(queries.ok());
+    for (const query::GroundedQuery& q : *queries) {
+      EXPECT_EQ(before.TopK(q.graph, 10), after.TopK(q.graph, 10));
+    }
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

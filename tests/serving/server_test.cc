@@ -303,5 +303,69 @@ TEST_F(QueryServerTest, MetricsDumpContainsDerivedHitRate) {
   EXPECT_NE(dump.find("histogram serving.latency_us"), std::string::npos);
 }
 
+TEST_F(QueryServerTest, ShardedServerAgreesWithEvaluatorAcrossStructures) {
+  ServerOptions options;
+  options.num_workers = 2;
+  options.max_batch_size = 4;
+  options.num_shards = 4;
+  options.enable_cache = false;
+  QueryServer server(model_, &dataset_->train, options);
+  ASSERT_NE(server.coordinator(), nullptr);
+  core::Evaluator evaluator(model_);
+  for (StructureId s : {StructureId::k1p, StructureId::k2p, StructureId::k2i,
+                        StructureId::k2in, StructureId::k2d,
+                        StructureId::k2u, StructureId::kUp}) {
+    for (const query::GroundedQuery& q : SampleQueries(s, 3, 211)) {
+      Result<TopKAnswer> served = server.Answer(q.graph, 10);
+      ASSERT_TRUE(served.ok()) << served.status().ToString();
+      EXPECT_EQ(served->coverage, 1.0);
+      EXPECT_TRUE(served->completeness.ok());
+      EXPECT_EQ(served->entities, evaluator.TopK(q.graph, 10))
+          << "structure " << query::StructureName(s);
+    }
+  }
+  EXPECT_GT(server.metrics()->CounterValue("shard.requests"), 0);
+}
+
+TEST_F(QueryServerTest, ShardOutageServesPartialAnswersUncached) {
+  shard::ShardFaultInjector faults;
+  ServerOptions options;
+  options.num_workers = 2;
+  options.num_shards = 4;
+  options.shard_replication = 1;
+  options.shard_faults = &faults;
+  QueryServer server(model_, &dataset_->train, options);
+  query::GroundedQuery q = SampleQueries(StructureId::k2i, 1, 223)[0];
+
+  faults.SetShardDown(/*shard=*/3, /*num_replicas=*/1, true);
+  const shard::EntityRange lost = server.coordinator()->shard_range(3);
+  const double expected_coverage =
+      1.0 - static_cast<double>(lost.size()) /
+                static_cast<double>(dataset_->train.num_entities());
+
+  Result<TopKAnswer> degraded = server.Answer(q.graph, 10);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_DOUBLE_EQ(degraded->coverage, expected_coverage);
+  EXPECT_EQ(degraded->completeness.code(), StatusCode::kPartialResult);
+  EXPECT_FALSE(degraded->from_cache);
+  for (int64_t e : degraded->entities) {
+    EXPECT_TRUE(e < lost.begin || e >= lost.end) << "entity " << e;
+  }
+
+  // Degraded answers must not be cached: once the shard heals, the same
+  // query gets the full-coverage answer computed fresh.
+  faults.SetShardDown(3, 1, false);
+  core::Evaluator evaluator(model_);
+  Result<TopKAnswer> healed = server.Answer(q.graph, 10);
+  ASSERT_TRUE(healed.ok());
+  EXPECT_FALSE(healed->from_cache);
+  EXPECT_EQ(healed->coverage, 1.0);
+  EXPECT_EQ(healed->entities, evaluator.TopK(q.graph, 10));
+  // The healed full answer is cacheable again.
+  Result<TopKAnswer> cached = server.Answer(q.graph, 10);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_TRUE(cached->from_cache);
+}
+
 }  // namespace
 }  // namespace halk::serving
