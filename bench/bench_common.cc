@@ -64,6 +64,13 @@ void BenchJson::Emit() const {
   std::fclose(f);
 }
 
+void SetLatencyQuantiles(BenchJson* json, const serving::Histogram& histogram,
+                         const std::string& prefix) {
+  json->Set(prefix + "p50_ms", histogram.Quantile(0.50) / 1000.0)
+      .Set(prefix + "p95_ms", histogram.Quantile(0.95) / 1000.0)
+      .Set(prefix + "p99_ms", histogram.Quantile(0.99) / 1000.0);
+}
+
 Scale Scale::FromEnv() {
   Scale s;
   const char* fast = std::getenv("HALK_BENCH_FAST");

@@ -36,6 +36,13 @@ class BenchJson {
   std::vector<std::pair<std::string, std::string>> fields_;  // pre-rendered
 };
 
+/// Records `<prefix>p50_ms` / `<prefix>p95_ms` / `<prefix>p99_ms` from an
+/// instrumented latency histogram (whose observations are in microseconds,
+/// the serving convention) — the quantiles a production dashboard would
+/// read, rather than bench-side wall-clock resampling.
+void SetLatencyQuantiles(BenchJson* json, const serving::Histogram& histogram,
+                         const std::string& prefix = "");
+
 /// Experiment scale. The defaults regenerate the paper tables in minutes
 /// on one CPU core; set HALK_BENCH_FAST=1 in the environment for a quick
 /// smoke-scale run (same code paths, noisier numbers).

@@ -134,6 +134,20 @@ int main() {
   std::printf("served    (4 workers, batch 16, no cache): %8.1f qps (%.2fx)\n",
               qps_batched, qps_batched / qps_baseline);
 
+  // The tracing-disabled contract (one relaxed atomic load per request):
+  // attaching a disabled tracer must not move throughput measurably.
+  obs::Tracer tracer;  // never enabled
+  serving::ServerOptions traced_off = batch_only;
+  traced_off.tracer = &tracer;
+  double qps_tracer_off = 0.0;
+  {
+    serving::QueryServer server(&model, &dataset.train, traced_off);
+    qps_tracer_off = RunServed(&server, workload, k);
+  }
+  std::printf("served    (ditto, tracer attached, off)  : %8.1f qps (%.4fx "
+              "of no-tracer)\n",
+              qps_tracer_off, qps_tracer_off / qps_batched);
+
   serving::ServerOptions full = batch_only;
   full.enable_cache = true;
   full.cache_capacity = 4096;
@@ -158,19 +172,22 @@ int main() {
               server.DumpMetrics().c_str());
 
   // One machine-readable line for the perf trajectory (keep keys stable).
-  bench::BenchJson("serving_throughput")
-      .Set("requests", num_requests)
+  bench::BenchJson json("serving_throughput");
+  json.Set("requests", num_requests)
       .Set("distinct", pool_size)
       .Set("workers", batch_only.num_workers)
       .Set("max_batch", static_cast<int>(batch_only.max_batch_size))
       .Set("qps_baseline", qps_baseline, 1)
       .Set("qps_batched", qps_batched, 1)
+      .Set("qps_tracer_off", qps_tracer_off, 1)
       .Set("qps_served", qps_served, 1)
       .Set("speedup_batched", qps_batched / qps_baseline)
       .Set("speedup_served", qps_served / qps_baseline)
-      .Set("p50_ms", latency->Quantile(0.5) / 1000.0)
-      .Set("p99_ms", latency->Quantile(0.99) / 1000.0)
-      .Set("cache_hit_rate", hit_rate)
+      .Set("tracer_off_ratio", qps_tracer_off / qps_batched);
+  // p50/p95/p99 straight from the server's own latency histogram — the
+  // instrumented path, not a bench-side stopwatch.
+  bench::SetLatencyQuantiles(&json, *latency);
+  json.Set("cache_hit_rate", hit_rate)
       .Set("mean_batch_size", batch_size->mean(), 2)
       .Emit();
   return 0;

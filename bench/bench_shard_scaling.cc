@@ -121,7 +121,10 @@ int main() {
   for (int shards : {1, 2, 4, 8}) {
     shard::ShardOptions options;
     options.num_shards = shards;
-    shard::ShardCoordinator coordinator(&model, options);
+    // Fresh registry per shard count so the instrumented gather histogram
+    // covers exactly this configuration's queries.
+    serving::MetricsRegistry metrics;
+    shard::ShardCoordinator coordinator(&model, options, nullptr, &metrics);
     std::vector<double> lat_ms;
     const Clock::time_point start = Clock::now();
     for (size_t i = 0; i < queries.size(); ++i) {
@@ -147,6 +150,15 @@ int main() {
         .Set(prefix + "_p50_ms", stats.p50_ms)
         .Set(prefix + "_p99_ms", stats.p99_ms)
         .Set(prefix + "_speedup", stats.qps / baseline.qps);
+    // Gather quantiles from the coordinator's own shard.gather_us histogram
+    // — the instrumented view a dashboard reads, alongside the wall-clock
+    // per-query numbers above (which additionally include embedding).
+    bench::SetLatencyQuantiles(
+        &json,
+        *metrics.GetHistogram("shard.gather_us",
+                              serving::Histogram::ExponentialBounds(1.0, 2.0,
+                                                                    26)),
+        prefix + "_gather_");
   }
   json.Emit();
   return 0;

@@ -7,16 +7,29 @@
 //
 //   $ ./examples/sparql_endpoint
 //   $ ./examples/sparql_endpoint --checkpoint /tmp/sparql_model.bin
+//   $ ./examples/sparql_endpoint --trace-out /tmp/endpoint_trace.json
 //
 // With --checkpoint, the model is restored from the file when it exists
 // (skipping training entirely — the restart path of a real endpoint) and
-// trained-then-saved there when it does not.
+// trained-then-saved there when it does not. With --trace-out, the trace
+// of the last served query is written as chrome://tracing JSON on exit.
+//
+// After the scripted demo the endpoint drops into a line REPL on stdin
+// (EOF exits immediately, so piping from /dev/null is script-safe):
+// SPARQL queries are served live; dot-commands inspect the engine:
+//   .metrics   plain-text metrics dump
+//   .prom      Prometheus text exposition
+//   .trace     chrome://tracing JSON of the last served query
+//   .slow      slow-query log (fingerprint, hits, worst latency)
+//   .health    per-replica shard health
+//   .quit      exit
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "common/string_util.h"
 #include "halk/halk.h"
 
 namespace {
@@ -66,14 +79,29 @@ void Run(const halk::kg::KnowledgeGraph& kg, const std::string& title,
   std::printf("\n");
 }
 
+void WriteFileOrWarn(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s (%zu bytes)\n", path.c_str(), content.size());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace halk;
   std::string checkpoint_path;
+  std::string trace_out_path;
   for (int i = 1; i < argc - 1; ++i) {
     if (std::strcmp(argv[i], "--checkpoint") == 0) {
       checkpoint_path = argv[i + 1];
+    }
+    if (std::strcmp(argv[i], "--trace-out") == 0) {
+      trace_out_path = argv[i + 1];
     }
   }
   kg::KnowledgeGraph kg = BuildKg();
@@ -150,11 +178,36 @@ int main(int argc, char** argv) {
   // submitted from the "frontend" thread and answered by worker threads,
   // with repeated queries short-circuited by the answer cache and ranking
   // scattered over two entity-table shards.
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
   serving::ServerOptions sopt;
   sopt.num_workers = 2;
   sopt.max_batch_size = 8;
   sopt.num_shards = 2;
+  sopt.tracer = &tracer;
+  // A tiny threshold so the demo's slow-query log has entries to show.
+  sopt.slow_query_threshold = std::chrono::microseconds(1);
   serving::QueryServer server(&model, &kg, sopt);
+  uint64_t last_trace_id = 0;
+
+  auto serve = [&](const std::string& sparql) {
+    auto graph = sparql::CompileSparql(sparql, kg);
+    if (!graph.ok()) {
+      std::printf("adaptor error: %s\n", graph.status().ToString().c_str());
+      return;
+    }
+    auto answer = server.Answer(*graph, 3);
+    if (!answer.ok()) {
+      std::printf("serving error: %s\n", answer.status().ToString().c_str());
+      return;
+    }
+    if (answer->trace_id != 0) last_trace_id = answer->trace_id;
+    std::printf("top-3%s:", answer->from_cache ? " (cached)" : "");
+    for (int64_t e : answer->entities) {
+      std::printf(" %s", kg.entities().Name(e).c_str());
+    }
+    std::printf("   <- %s\n", sparql.c_str());
+  };
 
   const std::vector<std::string> traffic = {
       "SELECT ?a WHERE { ACM awarded ?a . ?a works_at MIT . }",
@@ -164,17 +217,63 @@ int main(int argc, char** argv) {
       "SELECT ?p WHERE { alice authored ?p . }",
       "SELECT ?a WHERE { ACM awarded ?a . ?a works_at MIT . }",
   };
-  for (const std::string& sparql : traffic) {
-    auto graph = sparql::CompileSparql(sparql, kg);
-    HALK_CHECK(graph.ok());
-    auto answer = server.Answer(*graph, 3);
-    HALK_CHECK(answer.ok()) << answer.status().ToString();
-    std::printf("top-3%s:", answer->from_cache ? " (cached)" : "");
-    for (int64_t e : answer->entities) {
-      std::printf(" %s", kg.entities().Name(e).c_str());
-    }
-    std::printf("   <- %s\n", sparql.c_str());
-  }
+  for (const std::string& sparql : traffic) serve(sparql);
   std::printf("\n--- serving metrics ---\n%s", server.DumpMetrics().c_str());
+
+  // Interactive endpoint: SPARQL per line, dot-commands for inspection.
+  // fgets returns null at EOF, so non-interactive runs fall straight
+  // through.
+  std::printf("\n--- interactive endpoint (SPARQL per line; "
+              ".metrics .prom .trace .slow .health .quit) ---\n");
+  char line[4096];
+  while (std::fgets(line, sizeof(line), stdin) != nullptr) {
+    const std::string input(Trim(line));
+    if (input.empty()) continue;
+    if (input == ".quit") break;
+    if (input == ".metrics") {
+      std::printf("%s", server.DumpMetrics().c_str());
+    } else if (input == ".prom") {
+      std::printf("%s", server.metrics()->DumpPrometheus().c_str());
+    } else if (input == ".trace") {
+      if (last_trace_id == 0) {
+        std::printf("no trace captured yet\n");
+      } else {
+        std::printf("%s\n",
+                    tracer.Collect(last_trace_id).ToChromeJson().c_str());
+      }
+    } else if (input == ".slow") {
+      const auto entries = server.slow_query_log()->Entries();
+      if (entries.empty()) std::printf("slow-query log is empty\n");
+      for (const auto& entry : entries) {
+        std::printf("fingerprint=%s hits=%lld worst_us=%.1f spans=%zu\n",
+                    entry.fingerprint.c_str(),
+                    static_cast<long long>(entry.hits),
+                    static_cast<double>(entry.worst_ns) / 1e3,
+                    entry.trace.spans().size());
+      }
+    } else if (input == ".health") {
+      shard::ShardCoordinator* coordinator = server.coordinator();
+      if (coordinator == nullptr) {
+        std::printf("unsharded server: no replicas\n");
+        continue;
+      }
+      for (int s = 0; s < coordinator->num_shards(); ++s) {
+        for (int r = 0; r < coordinator->replication(); ++r) {
+          std::printf("shard=%d replica=%d health=%s tasks=%lld\n", s, r,
+                      shard::ReplicaHealthName(
+                          coordinator->replica_health(s, r)),
+                      static_cast<long long>(
+                          coordinator->replica_tasks_served(s, r)));
+        }
+      }
+    } else {
+      serve(input);
+    }
+  }
+
+  if (!trace_out_path.empty() && last_trace_id != 0) {
+    WriteFileOrWarn(trace_out_path,
+                    tracer.Collect(last_trace_id).ToChromeJson());
+  }
   return 0;
 }

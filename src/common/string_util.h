@@ -28,6 +28,11 @@ std::string ToLower(std::string_view s);
 /// printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/// Escapes backslash, double quote, and control characters (\n, \r, \t,
+/// other controls as \uXXXX) so `s` can be embedded in a double-quoted
+/// JSON string or Prometheus label value.
+std::string CEscape(std::string_view s);
+
 }  // namespace halk
 
 #endif  // HALK_COMMON_STRING_UTIL_H_

@@ -339,11 +339,12 @@ void HalkModel::DistancesToRange(const EmbeddingBatch& embedding, int64_t row,
 
 void HalkModel::AccumulateTopKRange(const std::vector<BranchRef>& branches,
                                     int64_t begin, int64_t end,
-                                    TopKAccumulator* acc) const {
+                                    TopKAccumulator* acc,
+                                    ScanStats* stats) const {
   // Early exit is only a lower-bound argument when every per-dimension
   // term is non-negative.
   if (config_.rho <= 0.0f || config_.eta < 0.0f) {
-    QueryModel::AccumulateTopKRange(branches, begin, end, acc);
+    QueryModel::AccumulateTopKRange(branches, begin, end, acc, stats);
     return;
   }
   const int64_t d = config_.dim;
@@ -371,8 +372,13 @@ void HalkModel::AccumulateTopKRange(const std::vector<BranchRef>& branches,
     }
     // dmin <= admission implies some branch finished its scan, so dmin is
     // the exact minimum; above the bound the entity cannot enter anyway.
-    if (dmin <= admission) acc->Push(e, dmin);
+    if (dmin <= admission) {
+      acc->Push(e, dmin);
+    } else if (stats != nullptr) {
+      ++stats->entities_pruned;
+    }
   }
+  if (stats != nullptr) stats->entities_scanned += end - begin;
 }
 
 std::vector<Tensor> HalkModel::Parameters() const {

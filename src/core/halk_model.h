@@ -54,8 +54,8 @@ class HalkModel : public QueryModel {
   /// sum exceeds the accumulator's admission bound. Exact — admitted
   /// entities carry the bit-identical full distance.
   void AccumulateTopKRange(const std::vector<BranchRef>& branches,
-                           int64_t begin, int64_t end,
-                           TopKAccumulator* acc) const override;
+                           int64_t begin, int64_t end, TopKAccumulator* acc,
+                           ScanStats* stats = nullptr) const override;
 
   std::vector<tensor::Tensor> Parameters() const override;
 

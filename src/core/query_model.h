@@ -46,6 +46,15 @@ struct BranchRef {
   int64_t row = 0;
 };
 
+/// Observability counters filled by one AccumulateTopKRange scan.
+struct ScanStats {
+  /// Entities examined (the size of the scanned range).
+  int64_t entities_scanned = 0;
+  /// Entities abandoned by a bound-aware early exit before their exact
+  /// distance was known; 0 for the exhaustive base kernel.
+  int64_t entities_pruned = 0;
+};
+
 /// Common interface of query-embedding models: grounded union-free query
 /// DAGs go in, embeddings come out, and entities are ranked by a
 /// model-specific distance. Union is handled outside the model via the DNF
@@ -97,10 +106,12 @@ class QueryModel {
   /// implementation does exactly that full scan; models whose distance
   /// accumulates monotonically per dimension override it with a bound-aware
   /// kernel that abandons an entity as soon as its partial sum exceeds
-  /// acc->bound() — the sharded-execution hot path.
+  /// acc->bound() — the sharded-execution hot path. `stats` (optional)
+  /// receives scan counters for tracing.
   virtual void AccumulateTopKRange(const std::vector<BranchRef>& branches,
                                    int64_t begin, int64_t end,
-                                   TopKAccumulator* acc) const {
+                                   TopKAccumulator* acc,
+                                   ScanStats* stats = nullptr) const {
     std::vector<float> best;
     std::vector<float> dist;
     for (const BranchRef& branch : branches) {
@@ -115,6 +126,9 @@ class QueryModel {
     }
     for (size_t i = 0; i < best.size(); ++i) {
       acc->Push(begin + static_cast<int64_t>(i), best[i]);
+    }
+    if (stats != nullptr) {
+      stats->entities_scanned += static_cast<int64_t>(best.size());
     }
   }
 

@@ -1,0 +1,61 @@
+#include "obs/slow_query_log.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace halk::obs {
+
+SlowQueryLog::SlowQueryLog(size_t capacity, int64_t threshold_ns)
+    : capacity_(std::max<size_t>(capacity, 1)), threshold_ns_(threshold_ns) {}
+
+int64_t SlowQueryLog::threshold_ns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return threshold_ns_;
+}
+
+void SlowQueryLog::set_threshold_ns(int64_t threshold_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  threshold_ns_ = threshold_ns;
+}
+
+bool SlowQueryLog::Offer(const std::string& fingerprint, Trace trace) {
+  const int64_t duration = trace.duration_ns();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (threshold_ns_ <= 0 || duration < threshold_ns_) return false;
+  auto it = index_.find(fingerprint);
+  if (it != index_.end()) {
+    Entry refreshed = std::move(*it->second);
+    entries_.erase(it->second);
+    refreshed.trace = std::move(trace);
+    refreshed.worst_ns = std::max(refreshed.worst_ns, duration);
+    refreshed.hits += 1;
+    entries_.push_front(std::move(refreshed));
+    it->second = entries_.begin();
+    return true;
+  }
+  entries_.push_front(Entry{fingerprint, std::move(trace), duration, 1});
+  index_[fingerprint] = entries_.begin();
+  while (entries_.size() > capacity_) {
+    index_.erase(entries_.back().fingerprint);
+    entries_.pop_back();
+  }
+  return true;
+}
+
+std::vector<SlowQueryLog::Entry> SlowQueryLog::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {entries_.begin(), entries_.end()};
+}
+
+size_t SlowQueryLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void SlowQueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  index_.clear();
+}
+
+}  // namespace halk::obs

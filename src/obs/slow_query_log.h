@@ -1,0 +1,57 @@
+#ifndef HALK_OBS_SLOW_QUERY_LOG_H_
+#define HALK_OBS_SLOW_QUERY_LOG_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace halk::obs {
+
+/// Bounded log of the traces of recent slow requests, keyed by query
+/// fingerprint so a single hot pathological query occupies one entry no
+/// matter how often it recurs (its hit count and latest/worst trace are
+/// updated in place). Least-recently-slow entries are evicted beyond
+/// `capacity`. Thread-safe; Offer is off the hot path (it only runs for
+/// requests that already blew the threshold).
+class SlowQueryLog {
+ public:
+  /// `threshold_ns` <= 0 rejects everything (a disabled log).
+  SlowQueryLog(size_t capacity, int64_t threshold_ns);
+
+  int64_t threshold_ns() const;
+  void set_threshold_ns(int64_t threshold_ns);
+  size_t capacity() const { return capacity_; }
+
+  /// Records `trace` under `fingerprint` when its duration is at or above
+  /// the threshold; returns whether it was kept. An existing entry for the
+  /// fingerprint is refreshed (hits + 1, latest trace, worst duration).
+  bool Offer(const std::string& fingerprint, Trace trace);
+
+  struct Entry {
+    std::string fingerprint;
+    Trace trace;          // the most recent qualifying trace
+    int64_t worst_ns = 0;  // slowest duration seen for this fingerprint
+    int64_t hits = 0;      // qualifying requests, including evicted history
+  };
+
+  /// Entries most-recently-slow first.
+  std::vector<Entry> Entries() const;
+  size_t size() const;
+  void Clear();
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  int64_t threshold_ns_;
+  std::list<Entry> entries_;  // MRU at front
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace halk::obs
+
+#endif  // HALK_OBS_SLOW_QUERY_LOG_H_

@@ -1,0 +1,297 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace halk::obs {
+
+namespace {
+
+/// Global tracer serial: thread-local ring caches key on it so a tracer
+/// constructed at a recycled address never inherits stale ring pointers.
+std::atomic<uint64_t> g_tracer_serial{1};
+
+}  // namespace
+
+double SpanRecord::annotation(const char* key, double fallback) const {
+  for (int i = 0; i < num_annotations; ++i) {
+    if (std::strcmp(annotations[i].key, key) == 0) {
+      return annotations[i].value;
+    }
+  }
+  return fallback;
+}
+
+bool SpanRecord::has_annotation(const char* key) const {
+  for (int i = 0; i < num_annotations; ++i) {
+    if (std::strcmp(annotations[i].key, key) == 0) return true;
+  }
+  return false;
+}
+
+Trace::Trace(uint64_t id, std::vector<SpanRecord> spans)
+    : id_(id), spans_(std::move(spans)) {
+  std::sort(spans_.begin(), spans_.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.id < b.id;
+            });
+}
+
+const SpanRecord* Trace::Find(const char* name) const {
+  for (const SpanRecord& s : spans_) {
+    if (std::strcmp(s.name, name) == 0) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<const SpanRecord*> Trace::FindAll(const char* name) const {
+  std::vector<const SpanRecord*> out;
+  for (const SpanRecord& s : spans_) {
+    if (std::strcmp(s.name, name) == 0) out.push_back(&s);
+  }
+  return out;
+}
+
+int64_t Trace::duration_ns() const {
+  if (spans_.empty()) return 0;
+  for (const SpanRecord& s : spans_) {
+    if (s.parent == 0) return s.duration_ns;
+  }
+  int64_t lo = spans_.front().start_ns;
+  int64_t hi = lo;
+  for (const SpanRecord& s : spans_) hi = std::max(hi, s.end_ns());
+  return hi - lo;
+}
+
+std::string Trace::ToChromeJson() const {
+  // Complete events ("ph":"X") with microsecond timestamps relative to the
+  // earliest span, one virtual pid, real thread indices — loadable by
+  // chrome://tracing and Perfetto as-is.
+  int64_t origin_ns = spans_.empty() ? 0 : spans_.front().start_ns;
+  for (const SpanRecord& s : spans_) {
+    origin_ns = std::min(origin_ns, s.start_ns);
+  }
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& s : spans_) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << CEscape(s.name) << "\",\"cat\":\"halk\""
+        << ",\"ph\":\"X\",\"ts\":"
+        << StrFormat("%.3f",
+                     static_cast<double>(s.start_ns - origin_ns) / 1000.0)
+        << ",\"dur\":"
+        << StrFormat("%.3f", static_cast<double>(s.duration_ns) / 1000.0)
+        << ",\"pid\":1,\"tid\":" << s.thread << ",\"args\":{\"span\":" << s.id
+        << ",\"parent\":" << s.parent;
+    for (int i = 0; i < s.num_annotations; ++i) {
+      out << ",\"" << CEscape(s.annotations[i].key)
+          << "\":" << StrFormat("%g", s.annotations[i].value);
+    }
+    out << "}}";
+  }
+  out << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"trace_id\":\"" << id_
+      << "\"}}";
+  return out.str();
+}
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One span slot of a ring. Every field is a relaxed atomic so concurrent
+/// wrap-overwrite and collection stay TSan-clean; `seq` is the seqlock
+/// word: 0 empty, odd mid-write, even published (2*ticket + 2).
+struct Tracer::Slot {
+  std::atomic<uint64_t> seq{0};
+  std::atomic<uint64_t> trace_id{0};
+  std::atomic<uint32_t> id{0};
+  std::atomic<uint32_t> parent{0};
+  std::atomic<const char*> name{""};
+  std::atomic<int64_t> start_ns{0};
+  std::atomic<int64_t> duration_ns{0};
+  std::atomic<int> num_annotations{0};
+  std::atomic<const char*> ann_key[kMaxAnnotations];
+  std::atomic<double> ann_value[kMaxAnnotations];
+};
+
+/// One thread's ring: the owning thread is the only writer, so `next` is a
+/// plain monotone ticket and publication order is per-slot via `seq`.
+struct Tracer::Ring {
+  explicit Ring(size_t capacity, uint32_t thread_index)
+      : slots(capacity), thread(thread_index) {}
+  std::vector<Slot> slots;
+  uint64_t next = 0;  // written by the owner thread only
+  const uint32_t thread;
+};
+
+Tracer::Tracer(size_t ring_capacity)
+    : ring_capacity_(ring_capacity),
+      serial_(g_tracer_serial.fetch_add(1, std::memory_order_relaxed)) {
+  HALK_CHECK_GT(ring_capacity, 0u);
+}
+
+Tracer::~Tracer() = default;
+
+uint64_t Tracer::StartTrace() {
+  if (!enabled_.load(std::memory_order_relaxed)) return 0;
+  return next_trace_.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint32_t Tracer::NextSpanId() {
+  uint32_t id = next_span_.fetch_add(1, std::memory_order_relaxed);
+  if (id == 0) id = next_span_.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+Tracer::Ring* Tracer::ThisThreadRing() {
+  // Keyed by tracer serial, not address, so a tracer constructed at a
+  // freed tracer's address starts with a fresh ring.
+  thread_local std::unordered_map<uint64_t, Ring*> rings;
+  auto it = rings.find(serial_);
+  if (it != rings.end()) return it->second;
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  rings_.push_back(std::make_unique<Ring>(
+      ring_capacity_, static_cast<uint32_t>(rings_.size())));
+  Ring* ring = rings_.back().get();
+  rings.emplace(serial_, ring);
+  return ring;
+}
+
+void Tracer::Record(const SpanRecord& record) {
+  if (record.trace_id == 0) return;
+  Ring* ring = ThisThreadRing();
+  const uint64_t ticket = ring->next++;
+  Slot& slot = ring->slots[ticket % ring->slots.size()];
+  // Seqlock write: odd while the payload is inconsistent, even + unique
+  // once published. Payload stores are relaxed; the release on the final
+  // seq store publishes them to acquire readers.
+  slot.seq.store(2 * ticket + 1, std::memory_order_release);
+  slot.trace_id.store(record.trace_id, std::memory_order_relaxed);
+  slot.id.store(record.id, std::memory_order_relaxed);
+  slot.parent.store(record.parent, std::memory_order_relaxed);
+  slot.name.store(record.name, std::memory_order_relaxed);
+  slot.start_ns.store(record.start_ns, std::memory_order_relaxed);
+  slot.duration_ns.store(record.duration_ns, std::memory_order_relaxed);
+  const int n = std::min(record.num_annotations, kMaxAnnotations);
+  slot.num_annotations.store(n, std::memory_order_relaxed);
+  for (int i = 0; i < n; ++i) {
+    slot.ann_key[i].store(record.annotations[i].key,
+                          std::memory_order_relaxed);
+    slot.ann_value[i].store(record.annotations[i].value,
+                            std::memory_order_relaxed);
+  }
+  slot.seq.store(2 * ticket + 2, std::memory_order_release);
+}
+
+Trace Tracer::Collect(uint64_t trace_id) const {
+  std::vector<SpanRecord> spans;
+  if (trace_id == 0) return Trace(0, std::move(spans));
+  std::vector<Ring*> rings;
+  {
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    rings.reserve(rings_.size());
+    for (const auto& r : rings_) rings.push_back(r.get());
+  }
+  for (Ring* ring : rings) {
+    for (Slot& slot : ring->slots) {
+      const uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+      if (s1 == 0 || (s1 & 1) != 0) continue;  // empty or mid-write
+      if (slot.trace_id.load(std::memory_order_relaxed) != trace_id) {
+        continue;
+      }
+      SpanRecord record;
+      record.trace_id = trace_id;
+      record.id = slot.id.load(std::memory_order_relaxed);
+      record.parent = slot.parent.load(std::memory_order_relaxed);
+      record.name = slot.name.load(std::memory_order_relaxed);
+      record.start_ns = slot.start_ns.load(std::memory_order_relaxed);
+      record.duration_ns = slot.duration_ns.load(std::memory_order_relaxed);
+      record.thread = ring->thread;
+      record.num_annotations =
+          std::min(slot.num_annotations.load(std::memory_order_relaxed),
+                   kMaxAnnotations);
+      for (int i = 0; i < record.num_annotations; ++i) {
+        record.annotations[i].key =
+            slot.ann_key[i].load(std::memory_order_relaxed);
+        record.annotations[i].value =
+            slot.ann_value[i].load(std::memory_order_relaxed);
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != s1) {
+        continue;  // overwritten mid-read; the replacement span is newer
+      }
+      spans.push_back(record);
+    }
+  }
+  return Trace(trace_id, std::move(spans));
+}
+
+uint32_t RecordSpan(const TraceContext& ctx, const char* name,
+                    int64_t start_ns, int64_t end_ns,
+                    std::initializer_list<Annotation> annotations,
+                    uint32_t explicit_id) {
+  if (!ctx.active()) return 0;
+  SpanRecord record;
+  record.trace_id = ctx.trace_id;
+  record.id = explicit_id != 0 ? explicit_id : ctx.tracer->NextSpanId();
+  record.parent = ctx.parent;
+  record.name = name;
+  record.start_ns = start_ns;
+  record.duration_ns = std::max<int64_t>(0, end_ns - start_ns);
+  for (const Annotation& a : annotations) {
+    if (record.num_annotations >= kMaxAnnotations) break;
+    record.annotations[record.num_annotations++] = a;
+  }
+  ctx.tracer->Record(record);
+  return record.id;
+}
+
+uint32_t RecordEvent(const TraceContext& ctx, const char* name,
+                     std::initializer_list<Annotation> annotations) {
+  if (!ctx.active()) return 0;
+  const int64_t now = NowNs();
+  return RecordSpan(ctx, name, now, now, annotations);
+}
+
+SpanGuard::SpanGuard(const TraceContext& ctx, const char* name) {
+  if (!ctx.active()) return;
+  ctx_ = ctx;
+  name_ = name;
+  start_ns_ = NowNs();
+  id_ = ctx.tracer->NextSpanId();
+  ended_ = false;
+}
+
+void SpanGuard::Annotate(const char* key, double value) {
+  if (ended_ || num_annotations_ >= kMaxAnnotations) return;
+  annotations_[num_annotations_++] = {key, value};
+}
+
+void SpanGuard::End() {
+  if (ended_) return;
+  ended_ = true;
+  SpanRecord record;
+  record.trace_id = ctx_.trace_id;
+  record.id = id_;
+  record.parent = ctx_.parent;
+  record.name = name_;
+  record.start_ns = start_ns_;
+  record.duration_ns = NowNs() - start_ns_;
+  record.num_annotations = num_annotations_;
+  for (int i = 0; i < num_annotations_; ++i) {
+    record.annotations[i] = annotations_[i];
+  }
+  ctx_.tracer->Record(record);
+}
+
+}  // namespace halk::obs

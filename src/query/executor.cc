@@ -94,11 +94,25 @@ Status CheckInputs(const QueryGraph& query, const kg::KnowledgeGraph& graph) {
 
 Result<std::vector<int64_t>> ExecuteQuery(const QueryGraph& query,
                                           const kg::KnowledgeGraph& graph) {
+  return ExecuteQuery(query, graph, obs::TraceContext{});
+}
+
+Result<std::vector<int64_t>> ExecuteQuery(const QueryGraph& query,
+                                          const kg::KnowledgeGraph& graph,
+                                          const obs::TraceContext& trace) {
   HALK_RETURN_NOT_OK(CheckInputs(query, graph));
   std::vector<Bitmap> sets(static_cast<size_t>(query.num_nodes()));
   for (int id : query.TopologicalOrder()) {
-    sets[static_cast<size_t>(id)] =
-        EvalNode(graph, sets, query.nodes()[static_cast<size_t>(id)]);
+    obs::SpanGuard span(trace, "exec_node");
+    const QueryNode& node = query.nodes()[static_cast<size_t>(id)];
+    sets[static_cast<size_t>(id)] = EvalNode(graph, sets, node);
+    if (span.active()) {
+      span.Annotate("node", id);
+      span.Annotate("op", static_cast<double>(node.op));
+      int64_t cardinality = 0;
+      for (uint8_t bit : sets[static_cast<size_t>(id)]) cardinality += bit;
+      span.Annotate("result_size", static_cast<double>(cardinality));
+    }
   }
   return ToSortedIds(sets[static_cast<size_t>(query.target())]);
 }

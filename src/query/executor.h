@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "kg/graph.h"
+#include "obs/trace.h"
 #include "query/dag.h"
 
 namespace halk::query {
@@ -19,6 +20,14 @@ namespace halk::query {
 /// the subgraph matcher's accuracy reference.
 Result<std::vector<int64_t>> ExecuteQuery(const QueryGraph& query,
                                           const kg::KnowledgeGraph& graph);
+
+/// As ExecuteQuery, recording one `exec_node` span per evaluated node
+/// (annotated with the node id, operator, and result-set size) under
+/// `trace`. With an inactive context this is ExecuteQuery at no extra
+/// cost beyond a per-node pointer check.
+Result<std::vector<int64_t>> ExecuteQuery(const QueryGraph& query,
+                                          const kg::KnowledgeGraph& graph,
+                                          const obs::TraceContext& trace);
 
 /// As above, but also returns the entity set of every reachable node
 /// (indexed by node id; unreachable nodes get empty sets). Used by the

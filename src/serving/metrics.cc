@@ -1,60 +1,122 @@
 #include "serving/metrics.h"
 
 #include <algorithm>
+#include <cctype>
 #include <sstream>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 
 namespace halk::serving {
 
+namespace {
+
+/// Renders labels in canonical form: sorted by label name, values escaped,
+/// `{a="x",b="y"}`. Empty labels render as "" so unlabeled instruments keep
+/// their bare name everywhere.
+std::string CanonicalLabels(const Labels& labels) {
+  if (labels.empty()) return "";
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out = "{";
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) out += ",";
+    out += sorted[i].first;
+    out += "=\"";
+    out += CEscape(sorted[i].second);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+/// Prometheus metric names match [a-zA-Z_:][a-zA-Z0-9_:]*; dots (our
+/// internal separator) and anything else invalid become underscores.
+std::string SanitizeName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (out.empty()) return "_";
+  if (std::isdigit(static_cast<unsigned char>(out[0]))) out.insert(0, 1, '_');
+  return out;
+}
+
+/// Splices an `le` label into an already-canonical label string.
+std::string WithLe(const std::string& labels, const std::string& le) {
+  if (labels.empty()) return "{le=\"" + le + "\"}";
+  return labels.substr(0, labels.size() - 1) + ",le=\"" + le + "\"}";
+}
+
+}  // namespace
+
 Histogram::Histogram(std::vector<double> upper_bounds)
-    : bounds_(std::move(upper_bounds)),
-      counts_(bounds_.size() + 1, 0) {
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1) {
   HALK_CHECK(!bounds_.empty());
   HALK_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+  for (std::atomic<int64_t>& c : counts_) {
+    c.store(0, std::memory_order_relaxed);
+  }
 }
 
 void Histogram::Observe(double x) {
   const size_t b = static_cast<size_t>(
       std::lower_bound(bounds_.begin(), bounds_.end(), x) - bounds_.begin());
-  std::lock_guard<std::mutex> lock(mu_);
-  ++counts_[b];
-  sum_ += x;
-  ++total_;
+  counts_[b].fetch_add(1, std::memory_order_relaxed);
+  double current = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(current, current + x,
+                                     std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+  }
+  total_.fetch_add(1, std::memory_order_relaxed);
 }
 
 int64_t Histogram::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return total_;
+  return total_.load(std::memory_order_relaxed);
 }
 
-double Histogram::sum() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return sum_;
-}
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
 
 double Histogram::mean() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+  const int64_t n = total_.load(std::memory_order_relaxed);
+  return n == 0 ? 0.0 : sum_.load(std::memory_order_relaxed) /
+                            static_cast<double>(n);
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::vector<int64_t> out(counts_.size());
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    out[b] = counts_[b].load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 double Histogram::Quantile(double q) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (total_ == 0) return 0.0;
+  // Work from a snapshot and derive the total from it, so a racing Observe
+  // between bucket reads can never leave target unreachable.
+  const std::vector<int64_t> counts = BucketCounts();
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  if (total == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  const double target = q * static_cast<double>(total_);
+  const double target = q * static_cast<double>(total);
   int64_t seen = 0;
-  for (size_t b = 0; b < counts_.size(); ++b) {
-    seen += counts_[b];
+  for (size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;  // empty buckets carry no mass
+    seen += counts[b];
     if (static_cast<double>(seen) < target) continue;
     if (b >= bounds_.size()) return bounds_.back();  // overflow bucket
     const double hi = bounds_[b];
     const double lo = b == 0 ? 0.0 : bounds_[b - 1];
-    if (counts_[b] == 0) return hi;
-    // Interpolate within the bucket assuming uniform mass.
-    const double into =
-        (target - static_cast<double>(seen - counts_[b])) /
-        static_cast<double>(counts_[b]);
+    // Interpolate within the bucket assuming uniform mass. q=0 lands at the
+    // bucket's lower edge (into=0), q=1 at the last non-empty bucket's
+    // upper bound (into=1); the clamp keeps rounding from escaping [lo,hi].
+    const double into = std::clamp(
+        (target - static_cast<double>(seen - counts[b])) /
+            static_cast<double>(counts[b]),
+        0.0, 1.0);
     return lo + (hi - lo) * into;
   }
   return bounds_.back();
@@ -75,42 +137,119 @@ std::vector<double> Histogram::ExponentialBounds(double start, double factor,
   return out;
 }
 
-Counter* MetricsRegistry::GetCounter(const std::string& name) {
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const Labels& labels) {
+  const Key key{name, CanonicalLabels(labels)};
   std::lock_guard<std::mutex> lock(mu_);
-  std::unique_ptr<Counter>& slot = counters_[name];
+  std::unique_ptr<Counter>& slot = counters_[key];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
-Histogram* MetricsRegistry::GetHistogram(const std::string& name,
-                                         std::vector<double> upper_bounds) {
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const Labels& labels) {
+  const Key key{name, CanonicalLabels(labels)};
   std::lock_guard<std::mutex> lock(mu_);
-  std::unique_ptr<Histogram>& slot = histograms_[name];
+  std::unique_ptr<Gauge>& slot = gauges_[key];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> upper_bounds,
+                                         const Labels& labels) {
+  const Key key{name, CanonicalLabels(labels)};
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[key];
   if (slot == nullptr) {
     slot = std::make_unique<Histogram>(std::move(upper_bounds));
   }
   return slot.get();
 }
 
-int64_t MetricsRegistry::CounterValue(const std::string& name) const {
+int64_t MetricsRegistry::CounterValue(const std::string& name,
+                                      const Labels& labels) const {
+  const Key key{name, CanonicalLabels(labels)};
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = counters_.find(name);
+  auto it = counters_.find(key);
   return it == counters_.end() ? 0 : it->second->value();
+}
+
+double MetricsRegistry::GaugeValue(const std::string& name,
+                                   const Labels& labels) const {
+  const Key key{name, CanonicalLabels(labels)};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(key);
+  return it == gauges_.end() ? 0.0 : it->second->value();
 }
 
 std::string MetricsRegistry::DumpText() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream out;
-  for (const auto& [name, c] : counters_) {
-    out << "counter " << name << " " << c->value() << "\n";
+  for (const auto& [key, c] : counters_) {
+    out << "counter " << key.name << key.labels << " " << c->value() << "\n";
   }
-  for (const auto& [name, h] : histograms_) {
-    out << "histogram " << name << " count=" << h->count()
+  for (const auto& [key, g] : gauges_) {
+    out << "gauge " << key.name << key.labels << " " << g->value() << "\n";
+  }
+  for (const auto& [key, h] : histograms_) {
+    out << "histogram " << key.name << key.labels << " count=" << h->count()
         << " mean=" << h->mean() << " p50=" << h->Quantile(0.50)
         << " p95=" << h->Quantile(0.95) << " p99=" << h->Quantile(0.99)
         << "\n";
   }
   return out.str();
+}
+
+std::string MetricsRegistry::DumpPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  // The maps are ordered by (name, labels), so children of a family are
+  // contiguous and each family's # TYPE line precedes all its samples.
+  std::string last_family;
+  for (const auto& [key, c] : counters_) {
+    const std::string family = SanitizeName(key.name);
+    if (family != last_family) {
+      out += "# TYPE " + family + " counter\n";
+      last_family = family;
+    }
+    out += family + key.labels + " " +
+           StrFormat("%lld", static_cast<long long>(c->value())) + "\n";
+  }
+  last_family.clear();
+  for (const auto& [key, g] : gauges_) {
+    const std::string family = SanitizeName(key.name);
+    if (family != last_family) {
+      out += "# TYPE " + family + " gauge\n";
+      last_family = family;
+    }
+    out += family + key.labels + " " + StrFormat("%g", g->value()) + "\n";
+  }
+  last_family.clear();
+  for (const auto& [key, h] : histograms_) {
+    const std::string family = SanitizeName(key.name);
+    if (family != last_family) {
+      out += "# TYPE " + family + " histogram\n";
+      last_family = family;
+    }
+    const std::vector<int64_t> counts = h->BucketCounts();
+    const std::vector<double>& bounds = h->bounds();
+    int64_t cumulative = 0;
+    for (size_t b = 0; b < bounds.size(); ++b) {
+      cumulative += counts[b];
+      out += family + "_bucket" +
+             WithLe(key.labels, StrFormat("%g", bounds[b])) + " " +
+             StrFormat("%lld", static_cast<long long>(cumulative)) + "\n";
+    }
+    cumulative += counts.back();
+    out += family + "_bucket" + WithLe(key.labels, "+Inf") + " " +
+           StrFormat("%lld", static_cast<long long>(cumulative)) + "\n";
+    out += family + "_sum" + key.labels + " " + StrFormat("%g", h->sum()) +
+           "\n";
+    out += family + "_count" + key.labels + " " +
+           StrFormat("%lld", static_cast<long long>(cumulative)) + "\n";
+  }
+  return out;
 }
 
 }  // namespace halk::serving

@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace halk::serving {
@@ -24,10 +25,32 @@ class Counter {
   std::atomic<int64_t> value_{0};
 };
 
+/// A point-in-time level that can move both ways: queue depth, in-flight
+/// requests, replica health. Set/Add are lock-free (Add is a CAS loop, so
+/// concurrent deltas never lose updates).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
 /// Fixed-bucket histogram with Prometheus-style quantile interpolation.
 /// Observations land in the first bucket whose upper bound is >= x; the
-/// last bucket is an implicit +inf overflow. Good enough for p50/p95/p99
-/// latency and batch-size distributions without per-observation allocation.
+/// last bucket is an implicit +inf overflow. Observe is lock-free
+/// (per-bucket atomic counts plus an atomic sum), so hot-path observation
+/// never serializes behind readers; concurrent reads see a consistent-
+/// enough snapshot (count/sum/buckets may momentarily disagree by the few
+/// observations in flight, exact once writers quiesce).
 class Histogram {
  public:
   /// `upper_bounds` must be non-empty and strictly ascending.
@@ -37,45 +60,92 @@ class Histogram {
 
   int64_t count() const;
   double sum() const;
-  double mean() const;
+  double mean() const;  // 0 when empty
 
-  /// Linear-interpolated quantile estimate, q in [0, 1]. Returns 0 when
-  /// empty; observations in the overflow bucket report the largest bound.
+  /// Linear-interpolated quantile estimate, q in [0, 1] (clamped). Defined
+  /// edge behavior, never NaN:
+  ///  - empty histogram: 0 for every q;
+  ///  - q = 0: the lower edge of the first non-empty bucket;
+  ///  - q = 1: the upper bound of the last non-empty bucket;
+  ///  - observations in the +inf overflow bucket report the largest finite
+  ///    bound (so an all-overflow histogram returns it for every q).
   double Quantile(double q) const;
+
+  /// Snapshot of per-bucket counts; bounds().size() + 1 entries, the last
+  /// being the +inf overflow bucket (the exposition format's raw series).
+  std::vector<int64_t> BucketCounts() const;
+  const std::vector<double>& bounds() const { return bounds_; }
 
   /// `n` bounds: start, start*factor, start*factor^2, ...
   static std::vector<double> ExponentialBounds(double start, double factor,
                                                int n);
 
  private:
-  std::vector<double> bounds_;          // ascending upper bounds
-  mutable std::mutex mu_;               // guards counts_ and sum_
-  std::vector<int64_t> counts_;         // bounds_.size() + 1 (overflow)
-  double sum_ = 0.0;
-  int64_t total_ = 0;
+  std::vector<double> bounds_;               // ascending upper bounds
+  std::vector<std::atomic<int64_t>> counts_;  // bounds_.size() + 1 (overflow)
+  std::atomic<double> sum_{0.0};
+  std::atomic<int64_t> total_{0};
 };
 
-/// Named counters and histograms shared by the serving stack. Get* lazily
-/// creates on first use and returns stable pointers (instruments are never
-/// removed), so hot paths cache the pointer and skip the registry lock.
+/// Instrument labels, e.g. {{"shard", "2"}, {"replica", "0"}}. Order is
+/// irrelevant: the registry canonicalizes by sorting on label name, so
+/// {a,b} and {b,a} address the same instrument.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Named counters, gauges, and histograms shared by the serving stack,
+/// optionally carrying labels — `GetCounter("shard.tasks", {{"shard","2"}})`
+/// addresses one child of the `shard.tasks` family. Get* lazily creates on
+/// first use and returns stable pointers (instruments are never removed),
+/// so hot paths cache the pointer and skip the registry lock.
+///
+/// A metric name must keep one kind (counter, gauge, or histogram) and,
+/// for histograms, one bucket layout across all its labeled children.
 class MetricsRegistry {
  public:
-  Counter* GetCounter(const std::string& name);
+  Counter* GetCounter(const std::string& name, const Labels& labels = {});
+  Gauge* GetGauge(const std::string& name, const Labels& labels = {});
   Histogram* GetHistogram(const std::string& name,
-                          std::vector<double> upper_bounds);
+                          std::vector<double> upper_bounds,
+                          const Labels& labels = {});
 
   /// Value of a counter, 0 if it was never created.
-  int64_t CounterValue(const std::string& name) const;
+  int64_t CounterValue(const std::string& name,
+                       const Labels& labels = {}) const;
+  /// Value of a gauge, 0 if it was never created.
+  double GaugeValue(const std::string& name, const Labels& labels = {}) const;
 
-  /// Plain-text dump, one instrument per line, sorted by name:
+  /// Plain-text dump. Ordering is stable and documented: all counters,
+  /// then all gauges, then all histograms, each sorted by (name, canonical
+  /// label string). Labeled instruments render the canonical labels inline:
   ///   counter serving.submitted 128
+  ///   counter shard.tasks{shard="2"} 40
+  ///   gauge serving.queue_depth 3
   ///   histogram serving.latency_us count=120 mean=412.5 p50=... p95=... p99=...
   std::string DumpText() const;
 
+  /// Prometheus text exposition (text/plain version 0.0.4): one `# TYPE`
+  /// line per family (names sanitized to [a-zA-Z0-9_:], dots become
+  /// underscores), counter/gauge sample lines, and the full
+  /// `_bucket{le=...}` / `_sum` / `_count` series for histograms with
+  /// cumulative bucket counts ending at le="+Inf".
+  std::string DumpPrometheus() const;
+
  private:
+  /// Instrument identity: name plus canonical (sorted, escaped) labels.
+  struct Key {
+    std::string name;
+    std::string labels;  // canonical rendering, "" when unlabeled
+
+    bool operator<(const Key& other) const {
+      if (name != other.name) return name < other.name;
+      return labels < other.labels;
+    }
+  };
+
   mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<Histogram>> histograms_;
 };
 
 }  // namespace halk::serving

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "core/topk.h"
+#include "obs/trace.h"
 #include "query/dnf.h"
 #include "serving/batcher.h"
 
@@ -51,11 +52,19 @@ QueryServer::QueryServer(core::QueryModel* model,
       latency_us_(metrics_.GetHistogram(
           "serving.latency_us", Histogram::ExponentialBounds(1.0, 2.0, 26))),
       batch_size_(metrics_.GetHistogram(
-          "serving.batch_size", Histogram::ExponentialBounds(1.0, 2.0, 12))) {
+          "serving.batch_size", Histogram::ExponentialBounds(1.0, 2.0, 12))),
+      queue_depth_(metrics_.GetGauge("serving.queue_depth")),
+      in_flight_(metrics_.GetGauge("serving.in_flight")) {
   HALK_CHECK(model != nullptr);
   HALK_CHECK_GT(options_.num_workers, 0);
   HALK_CHECK_GT(options_.max_batch_size, 0u);
   HALK_CHECK_GT(options_.queue_capacity, 0u);
+  if (options_.tracer != nullptr &&
+      options_.slow_query_threshold.count() > 0) {
+    slow_log_ = std::make_unique<obs::SlowQueryLog>(
+        options_.slow_query_log_capacity,
+        options_.slow_query_threshold.count() * 1000);
+  }
   if (options_.num_shards > 0) {
     shard::ShardOptions shard_options;
     shard_options.num_shards = options_.num_shards;
@@ -119,7 +128,24 @@ Result<std::future<Result<TopKAnswer>>> QueryServer::Submit(
   const Clock::time_point now = Clock::now();
   const query::Fingerprint key = query::CanonicalFingerprint(query);
 
+  // One relaxed atomic load when tracing is off (StartTrace returns 0 and
+  // every span helper below no-ops on the inactive context).
+  obs::TraceContext trace;
+  uint32_t root_span = 0;
+  int64_t submit_ns = 0;
+  if (options_.tracer != nullptr) {
+    const uint64_t trace_id = options_.tracer->StartTrace();
+    if (trace_id != 0) {
+      // The root span id is pre-allocated so every phase span can parent
+      // it; the root itself is recorded when the request finishes.
+      root_span = options_.tracer->NextSpanId();
+      trace = {options_.tracer, trace_id, root_span};
+      submit_ns = obs::NowNs();
+    }
+  }
+
   if (options_.enable_cache) {
+    obs::SpanGuard lookup(trace, "cache_lookup");
     CachedAnswer cached;
     if (cache_.Get(key, &cached) &&
         static_cast<int64_t>(cached.entities.size()) >= std::min<int64_t>(
@@ -134,7 +160,15 @@ Result<std::future<Result<TopKAnswer>>> QueryServer::Submit(
       answer.distances.assign(cached.distances.begin(),
                               cached.distances.begin() + take);
       answer.from_cache = true;
+      answer.trace_id = trace.trace_id;
       latency_us_->Observe(MicrosSince(now));
+      if (trace.active()) {
+        lookup.Annotate("hit", 1.0);
+        lookup.End();
+        obs::RecordSpan({trace.tracer, trace.trace_id, 0}, "request",
+                        submit_ns, obs::NowNs(), {{"cache_hit", 1.0}},
+                        root_span);
+      }
       std::promise<Result<TopKAnswer>> ready;
       ready.set_value(std::move(answer));
       return ready.get_future();
@@ -142,6 +176,7 @@ Result<std::future<Result<TopKAnswer>>> QueryServer::Submit(
     // Not counted as a miss yet: a twin in flight may fill the cache
     // before a worker reaches this request. The worker-side triage counts
     // each request as exactly one hit or one miss.
+    lookup.Annotate("hit", 0.0);
   }
 
   auto request = std::make_unique<PendingRequest>();
@@ -152,10 +187,19 @@ Result<std::future<Result<TopKAnswer>>> QueryServer::Submit(
   request->has_deadline = timeout.count() > 0;
   request->deadline =
       request->has_deadline ? now + timeout : Clock::time_point::max();
+  request->trace = trace;
+  request->root_span = root_span;
+  request->submit_ns = submit_ns;
   std::future<Result<TopKAnswer>> future = request->promise.get_future();
 
+  // Bumped before the push so a worker that picks the request up
+  // immediately can never observe (and decrement) a count it predates.
+  queue_depth_->Add(1.0);
+  in_flight_->Add(1.0);
   Status pushed = queue_.TryPush(std::move(request));
   if (!pushed.ok()) {
+    queue_depth_->Add(-1.0);
+    in_flight_->Add(-1.0);
     rejected_->Increment();
     return pushed;
   }
@@ -173,8 +217,22 @@ Result<TopKAnswer> QueryServer::Answer(const query::QueryGraph& query,
 void QueryServer::Finish(PendingRequest* request, Result<TopKAnswer> result) {
   if (result.ok()) {
     completed_->Increment();
+    result->trace_id = request->trace.trace_id;
   }
   latency_us_->Observe(MicrosSince(request->submit_time));
+  in_flight_->Add(-1.0);
+  if (request->trace.active()) {
+    const int64_t end_ns = obs::NowNs();
+    obs::RecordSpan({request->trace.tracer, request->trace.trace_id, 0},
+                    "request", request->submit_ns, end_ns,
+                    {{"ok", result.ok() ? 1.0 : 0.0}}, request->root_span);
+    if (slow_log_ != nullptr &&
+        end_ns - request->submit_ns >= slow_log_->threshold_ns()) {
+      slow_log_->Offer(
+          request->key.ToHex(),
+          request->trace.tracer->Collect(request->trace.trace_id));
+    }
+  }
   request->promise.set_value(std::move(result));
 }
 
@@ -190,12 +248,22 @@ void QueryServer::WorkerLoop() {
 void QueryServer::ServeChunk(
     std::vector<std::unique_ptr<PendingRequest>>* chunk) {
   const Clock::time_point now = Clock::now();
+  bool any_traced = false;
+  for (const std::unique_ptr<PendingRequest>& request : *chunk) {
+    if (request->trace.active()) any_traced = true;
+  }
+  const int64_t pickup_ns = any_traced ? obs::NowNs() : 0;
   // Admission-to-service triage: expired requests fail fast, and requests
   // answered by a twin that completed while they sat in the queue are
   // served straight from the cache.
   std::vector<std::unique_ptr<PendingRequest>> live;
   live.reserve(chunk->size());
   for (std::unique_ptr<PendingRequest>& request : *chunk) {
+    queue_depth_->Add(-1.0);
+    // The queue-wait phase is timed after the fact: its start was stamped
+    // at Submit, its end is this pickup.
+    obs::RecordSpan(request->trace, "queue_wait", request->submit_ns,
+                    pickup_ns);
     if (request->has_deadline && now > request->deadline) {
       expired_->Increment();
       Finish(request.get(),
@@ -203,6 +271,7 @@ void QueryServer::ServeChunk(
       continue;
     }
     if (options_.enable_cache) {
+      obs::SpanGuard lookup(request->trace, "cache_lookup");
       CachedAnswer cached;
       if (cache_.Get(request->key, &cached) &&
           static_cast<int64_t>(cached.entities.size()) >=
@@ -216,10 +285,13 @@ void QueryServer::ServeChunk(
                                 cached.distances.begin() + take);
         answer.from_cache = true;
         cache_hits_->Increment();
+        lookup.Annotate("hit", 1.0);
+        lookup.End();
         Finish(request.get(), std::move(answer));
         continue;
       }
       cache_misses_->Increment();
+      lookup.Annotate("hit", 0.0);
     }
     live.push_back(std::move(request));
   }
@@ -230,9 +302,27 @@ void QueryServer::ServeChunk(
   std::vector<std::vector<query::QueryGraph>> branches(live.size());
   std::vector<BatchItem> items;
   for (size_t r = 0; r < live.size(); ++r) {
+    obs::SpanGuard dnf(live[r]->trace, "dnf_expand");
     branches[r] = query::ToDnf(live[r]->graph);
+    dnf.Annotate("branches", static_cast<double>(branches[r].size()));
+    dnf.End();
     for (const query::QueryGraph& branch : branches[r]) {
       items.push_back({r, &branch});
+    }
+  }
+
+  // Batch assembly is one pass shared by the whole chunk, so every traced
+  // request gets a batch_assembly span with the same endpoints.
+  const int64_t assembly_start = any_traced ? obs::NowNs() : 0;
+  const std::vector<MicroBatch> micro_batches =
+      FormBatches(items, options_.max_batch_size);
+  if (any_traced) {
+    const int64_t assembly_end = obs::NowNs();
+    for (const std::unique_ptr<PendingRequest>& request : live) {
+      obs::RecordSpan(request->trace, "batch_assembly", assembly_start,
+                      assembly_end,
+                      {{"batches", static_cast<double>(micro_batches.size())},
+                       {"chunk_requests", static_cast<double>(live.size())}});
     }
   }
 
@@ -245,12 +335,31 @@ void QueryServer::ServeChunk(
   std::vector<std::vector<float>> best(live.size());
   std::vector<shard::BranchSet> branch_sets(sharded ? live.size() : 0);
   std::vector<float> dist;
-  for (const MicroBatch& batch : FormBatches(items, options_.max_batch_size)) {
+  std::vector<size_t> batch_requests;  // distinct request indices per batch
+  for (const MicroBatch& batch : micro_batches) {
     batch_size_->Observe(static_cast<double>(batch.items.size()));
     std::vector<const query::QueryGraph*> graphs;
     graphs.reserve(batch.items.size());
     for (const BatchItem& item : batch.items) graphs.push_back(item.graph);
+    const int64_t embed_start = any_traced ? obs::NowNs() : 0;
     core::EmbeddingBatch embedding = model_->EmbedQueries(graphs);
+    if (any_traced) {
+      // A micro-batch embeds branches of many requests in one model call;
+      // each participating trace records the shared embed interval.
+      const int64_t embed_end = obs::NowNs();
+      batch_requests.clear();
+      for (const BatchItem& item : batch.items) {
+        batch_requests.push_back(item.request_index);
+      }
+      std::sort(batch_requests.begin(), batch_requests.end());
+      batch_requests.erase(
+          std::unique(batch_requests.begin(), batch_requests.end()),
+          batch_requests.end());
+      for (const size_t r : batch_requests) {
+        obs::RecordSpan(live[r]->trace, "embed", embed_start, embed_end,
+                        {{"rows", static_cast<double>(batch.items.size())}});
+      }
+    }
     for (size_t row = 0; row < batch.items.size(); ++row) {
       const size_t r = batch.items[row].request_index;
       if (sharded) {
@@ -263,6 +372,8 @@ void QueryServer::ServeChunk(
                               static_cast<int64_t>(row));
         continue;
       }
+      const bool traced = live[r]->trace.active();
+      const int64_t score_start = traced ? obs::NowNs() : 0;
       model_->DistancesToAll(embedding, static_cast<int64_t>(row), &dist);
       if (best[r].empty()) {
         best[r] = dist;
@@ -271,6 +382,10 @@ void QueryServer::ServeChunk(
           best[r][i] = std::min(best[r][i], dist[i]);
         }
       }
+      if (traced) {
+        obs::RecordSpan(live[r]->trace, "score", score_start, obs::NowNs(),
+                        {{"entities", static_cast<double>(dist.size())}});
+      }
     }
   }
 
@@ -278,7 +393,7 @@ void QueryServer::ServeChunk(
     TopKAnswer answer;
     if (sharded) {
       shard::ShardedTopK top = coordinator_->TopKEmbedded(
-          branch_sets[r], live[r]->k, live[r]->deadline);
+          branch_sets[r], live[r]->k, live[r]->deadline, live[r]->trace);
       if (!top.ok() && !top.partial()) {
         Finish(live[r].get(), top.status);
         continue;
@@ -287,7 +402,9 @@ void QueryServer::ServeChunk(
       answer.coverage = top.coverage;
       answer.completeness = top.status;
     } else {
+      obs::SpanGuard rank(live[r]->trace, "rank");
       FillAnswer(core::TopKFromDistances(best[r], live[r]->k), &answer);
+      rank.End();
     }
     // Degraded answers are never cached: the outage must not outlive the
     // replicas that caused it.

@@ -13,6 +13,8 @@
 #include "common/status.h"
 #include "core/query_model.h"
 #include "kg/graph.h"
+#include "obs/slow_query_log.h"
+#include "obs/trace.h"
 #include "query/dag.h"
 #include "query/fingerprint.h"
 #include "serving/lru_cache.h"
@@ -45,6 +47,18 @@ struct ServerOptions {
   /// Test hook: injects replica faults into the sharded ranking path.
   /// Must outlive the server; ignored when num_shards is 0.
   shard::ShardFaultInjector* shard_faults = nullptr;
+  /// Optional request tracer (must outlive the server). While its enabled
+  /// flag is set, every submitted request records a span tree — queue
+  /// wait, cache lookup, DNF expansion, batching, embedding, per-shard
+  /// scatter/scan, merge — retrievable via tracer->Collect(trace_id) with
+  /// the id returned in TopKAnswer::trace_id. Null or disabled costs one
+  /// relaxed atomic load per request.
+  obs::Tracer* tracer = nullptr;
+  /// Requests slower than this land in the slow-query log (zero disables
+  /// the log; it only retains traces, so it also requires `tracer`).
+  std::chrono::microseconds slow_query_threshold{0};
+  /// Distinct query fingerprints retained by the slow-query log.
+  size_t slow_query_log_capacity = 32;
 };
 
 /// A served top-k answer: entity ids in ascending model distance.
@@ -58,6 +72,9 @@ struct TopKAnswer {
   double coverage = 1.0;
   /// OK, or kPartialResult when coverage < 1 (degraded-mode serving).
   Status completeness;
+  /// Id of the request's trace when the server's tracer captured one
+  /// (pass to Tracer::Collect); 0 when tracing was off for this request.
+  uint64_t trace_id = 0;
 };
 
 /// Concurrent query-serving engine over a trained QueryModel (Sec. IV's
@@ -107,6 +124,12 @@ class QueryServer {
   /// Plain-text metrics dump plus derived cache hit rate.
   std::string DumpMetrics() const;
 
+  /// The tracer from ServerOptions, or null.
+  obs::Tracer* tracer() { return options_.tracer; }
+  /// The slow-query log, or null when slow_query_threshold was zero or no
+  /// tracer was configured.
+  obs::SlowQueryLog* slow_query_log() { return slow_log_.get(); }
+
   const ServerOptions& options() const { return options_; }
 
   /// The sharded execution engine, or null when num_shards is 0.
@@ -125,6 +148,12 @@ class QueryServer {
     std::chrono::steady_clock::time_point submit_time;
     std::chrono::steady_clock::time_point deadline;  // max() = none
     bool has_deadline = false;
+    /// Trace handle parented at the request's root span; inactive when
+    /// tracing is off. `root_span` is pre-allocated at Submit so children
+    /// can reference it before the root is recorded at Finish.
+    obs::TraceContext trace;
+    uint32_t root_span = 0;
+    int64_t submit_ns = 0;
     std::promise<Result<TopKAnswer>> promise;
   };
 
@@ -141,6 +170,7 @@ class QueryServer {
   LruCache<query::Fingerprint, CachedAnswer, query::FingerprintHash> cache_;
   MetricsRegistry metrics_;
   std::unique_ptr<shard::ShardCoordinator> coordinator_;  // null = unsharded
+  std::unique_ptr<obs::SlowQueryLog> slow_log_;           // null = disabled
 
   // Hot-path instrument pointers (stable for the registry's lifetime).
   Counter* submitted_;
@@ -152,6 +182,8 @@ class QueryServer {
   Counter* cache_misses_;
   Histogram* latency_us_;
   Histogram* batch_size_;
+  Gauge* queue_depth_;  // requests admitted, not yet picked up
+  Gauge* in_flight_;    // requests admitted, not yet finished
 
   std::vector<std::thread> workers_;
   std::atomic<bool> shutdown_{false};

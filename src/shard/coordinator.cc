@@ -22,12 +22,27 @@ ShardCoordinator::ShardCoordinator(core::QueryModel* model,
                                    serving::MetricsRegistry* metrics)
     : model_(model),
       options_(options),
-      num_entities_(model->config().num_entities) {
+      num_entities_(model->config().num_entities),
+      metrics_(metrics) {
   HALK_CHECK(model != nullptr);
   HALK_CHECK_GT(options_.num_shards, 0);
   HALK_CHECK_GT(options_.replication, 0);
   HALK_CHECK_GT(options_.queue_capacity, 0u);
   HALK_CHECK_GT(options_.down_after_failures, 0);
+
+  if (metrics_ != nullptr) {
+    requests_ = metrics_->GetCounter("shard.requests");
+    partials_ = metrics_->GetCounter("shard.partial_results");
+    deadline_misses_ = metrics_->GetCounter("shard.deadline_misses");
+    gather_us_ = metrics_->GetHistogram(
+        "shard.gather_us", serving::Histogram::ExponentialBounds(1.0, 2.0, 26));
+    for (int s = 0; s < options_.num_shards; ++s) {
+      const serving::Labels shard_label = {{"shard", std::to_string(s)}};
+      shard_tasks_.push_back(metrics_->GetCounter("shard.tasks", shard_label));
+      shard_failovers_.push_back(
+          metrics_->GetCounter("shard.failovers", shard_label));
+    }
+  }
 
   // Contiguous balanced partition: the first `num_entities % num_shards`
   // shards own one extra entity.
@@ -41,25 +56,23 @@ ShardCoordinator::ShardCoordinator(core::QueryModel* model,
     const EntityRange range{next, next + size};
     next += size;
     for (int r = 0; r < options_.replication; ++r) {
+      serving::Histogram* scan_us = nullptr;
+      serving::Gauge* health = nullptr;
+      if (metrics_ != nullptr) {
+        const serving::Labels replica_labels = {
+            {"shard", std::to_string(s)}, {"replica", std::to_string(r)}};
+        scan_us = metrics_->GetHistogram(
+            "shard.scan_us",
+            serving::Histogram::ExponentialBounds(1.0, 2.0, 26),
+            replica_labels);
+        health = metrics_->GetGauge("shard.replica_health", replica_labels);
+      }
       workers_.push_back(std::make_unique<ShardWorker>(
           model, range, s, r, faults, options_.queue_capacity,
-          options_.down_after_failures));
+          options_.down_after_failures, scan_us, health));
     }
   }
   HALK_CHECK_EQ(next, num_entities_);
-
-  if (metrics != nullptr) {
-    requests_ = metrics->GetCounter("shard.requests");
-    partials_ = metrics->GetCounter("shard.partial_results");
-    deadline_misses_ = metrics->GetCounter("shard.deadline_misses");
-    gather_us_ = metrics->GetHistogram(
-        "shard.gather_us", serving::Histogram::ExponentialBounds(1.0, 2.0, 26));
-    for (int s = 0; s < options_.num_shards; ++s) {
-      const std::string prefix = "shard." + std::to_string(s);
-      shard_tasks_.push_back(metrics->GetCounter(prefix + ".tasks"));
-      shard_failovers_.push_back(metrics->GetCounter(prefix + ".failovers"));
-    }
-  }
 }
 
 ShardCoordinator::~ShardCoordinator() { Stop(); }
@@ -111,9 +124,16 @@ int ShardCoordinator::PickReplica(int shard,
 
 ShardedTopK ShardCoordinator::TopKEmbedded(const BranchSet& branches,
                                            int64_t k,
-                                           Clock::time_point deadline) {
+                                           Clock::time_point deadline,
+                                           const obs::TraceContext& trace) {
   const Clock::time_point start = Clock::now();
   if (requests_ != nullptr) requests_->Increment();
+
+  // The scatter span covers dispatch plus the whole hedged gather; every
+  // replica_scan, failover, and hedged-wait event nests under it. Merge is
+  // a disjoint sibling so per-phase spans tile the request wall-clock.
+  obs::SpanGuard scatter(trace, "scatter");
+  const obs::TraceContext scatter_ctx = scatter.child_context();
 
   // Tasks share ownership of the branch set so a replica abandoned at the
   // deadline can finish (or fail) harmlessly after this call returns.
@@ -143,6 +163,7 @@ ShardedTopK ShardCoordinator::TopKEmbedded(const BranchSet& branches,
       task->branches = shared;
       task->k = k;
       task->deadline = deadline;
+      task->trace = scatter_ctx;
       auto future = task->result.get_future();
       if (!shard_tasks_.empty()) {
         shard_tasks_[static_cast<size_t>(shard)]->Increment();
@@ -197,10 +218,16 @@ ShardedTopK ShardCoordinator::TopKEmbedded(const BranchSet& branches,
       }
       if (!ready) {
         if (deadline_misses_ != nullptr) deadline_misses_->Increment();
+        obs::RecordEvent(scatter_ctx, "hedged_wait_expired",
+                         {{"shard", static_cast<double>(s)},
+                          {"replica", static_cast<double>(attempt.replica)}});
         worker(s, attempt.replica)->MarkFailure();
         if (!shard_failovers_.empty()) {
           shard_failovers_[static_cast<size_t>(s)]->Increment();
         }
+        obs::RecordEvent(scatter_ctx, "failover",
+                         {{"shard", static_cast<double>(s)},
+                          {"replica", static_cast<double>(attempt.replica)}});
         if (!dispatch(s)) break;
         continue;
       }
@@ -216,13 +243,27 @@ ShardedTopK ShardCoordinator::TopKEmbedded(const BranchSet& branches,
       if (!shard_failovers_.empty()) {
         shard_failovers_[static_cast<size_t>(s)]->Increment();
       }
+      obs::RecordEvent(scatter_ctx, "failover",
+                       {{"shard", static_cast<double>(s)},
+                        {"replica", static_cast<double>(attempt.replica)}});
       if (!dispatch(s)) break;
     }
     if (!covered) ++uncovered_shards;
   }
+  if (scatter.active()) {
+    scatter.Annotate("shards", static_cast<double>(num_shards));
+    scatter.Annotate("uncovered_shards", static_cast<double>(uncovered_shards));
+  }
+  scatter.End();
 
   ShardedTopK out;
-  out.entries = core::MergeTopK(partials, k);
+  {
+    obs::SpanGuard merge(trace, "merge");
+    out.entries = core::MergeTopK(partials, k);
+    if (merge.active()) {
+      merge.Annotate("entries", static_cast<double>(out.entries.size()));
+    }
+  }
   out.coverage = num_entities_ == 0
                      ? 1.0
                      : static_cast<double>(covered_entities) /

@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "core/query_model.h"
 #include "core/topk.h"
+#include "obs/trace.h"
 #include "query/dag.h"
 #include "serving/metrics.h"
 #include "shard/fault_injector.h"
@@ -59,8 +60,13 @@ struct ShardedTopK {
 class ShardCoordinator {
  public:
   /// `model`, `faults` (optional), and `metrics` (optional) must outlive
-  /// the coordinator. When `metrics` is given, per-shard task/failover
-  /// counters and gather latency are exported as `shard.*` instruments.
+  /// the coordinator. When `metrics` is given, the coordinator exports
+  /// `shard.*` instruments: request/partial/deadline counters, gather
+  /// latency, labeled per-shard `shard.tasks{shard=...}` /
+  /// `shard.failovers{shard=...}` counters, per-replica
+  /// `shard.scan_us{shard=...,replica=...}` scan-latency histograms, and
+  /// `shard.replica_health{shard=...,replica=...}` gauges mirroring each
+  /// replica's ReplicaHealth (0 healthy, 1 suspect, 2 down).
   ShardCoordinator(core::QueryModel* model, const ShardOptions& options,
                    ShardFaultInjector* faults = nullptr,
                    serving::MetricsRegistry* metrics = nullptr);
@@ -74,10 +80,13 @@ class ShardCoordinator {
   /// while a shard still has untried replicas, one attempt only gets an
   /// even split of the remaining budget. A replica that misses its slice is
   /// abandoned (tasks own the BranchSet, so this is safe) and the shard
-  /// fails over with the time left.
+  /// fails over with the time left. With an active `trace`, the gather
+  /// records a `scatter` span (per-replica `replica_scan` children plus
+  /// `failover` / `hedged_wait_expired` events) and a sibling `merge` span.
   ShardedTopK TopKEmbedded(const BranchSet& branches, int64_t k,
                            std::chrono::steady_clock::time_point deadline =
-                               std::chrono::steady_clock::time_point::max());
+                               std::chrono::steady_clock::time_point::max(),
+                           const obs::TraceContext& trace = {});
 
   /// Convenience: DNF-expands and embeds `query` exactly as Evaluator does
   /// (one single-row EmbedQueries per branch), then scatter-gathers.
@@ -105,6 +114,7 @@ class ShardCoordinator {
   core::QueryModel* model_;
   const ShardOptions options_;
   const int64_t num_entities_;
+  serving::MetricsRegistry* metrics_;  // may be null
   bool stopped_ = false;
 
   // workers_[shard * replication + replica]; all replicas of a shard own

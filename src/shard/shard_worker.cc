@@ -21,13 +21,17 @@ const char* ReplicaHealthName(ReplicaHealth health) {
 ShardWorker::ShardWorker(const core::QueryModel* model, EntityRange range,
                          int shard_index, int replica_index,
                          ShardFaultInjector* faults, size_t queue_capacity,
-                         int down_after_failures)
+                         int down_after_failures,
+                         serving::Histogram* scan_us,
+                         serving::Gauge* health_gauge)
     : model_(model),
       range_(range),
       shard_index_(shard_index),
       replica_index_(replica_index),
       down_after_failures_(down_after_failures),
       faults_(faults),
+      scan_us_(scan_us),
+      health_gauge_(health_gauge),
       queue_(queue_capacity) {
   HALK_CHECK(model != nullptr);
   HALK_CHECK_GE(range.begin, 0);
@@ -49,16 +53,20 @@ Status ShardWorker::Submit(std::unique_ptr<ShardTask> task) {
 
 void ShardWorker::MarkFailure() {
   const int streak = failure_streak_.fetch_add(1, std::memory_order_acq_rel) + 1;
-  health_.store(static_cast<int>(streak >= down_after_failures_
-                                     ? ReplicaHealth::kDown
-                                     : ReplicaHealth::kSuspect),
-                std::memory_order_release);
+  const int state = static_cast<int>(streak >= down_after_failures_
+                                         ? ReplicaHealth::kDown
+                                         : ReplicaHealth::kSuspect);
+  health_.store(state, std::memory_order_release);
+  if (health_gauge_ != nullptr) health_gauge_->Set(state);
 }
 
 void ShardWorker::MarkSuccess() {
   failure_streak_.store(0, std::memory_order_release);
   health_.store(static_cast<int>(ReplicaHealth::kHealthy),
                 std::memory_order_release);
+  if (health_gauge_ != nullptr) {
+    health_gauge_->Set(static_cast<int>(ReplicaHealth::kHealthy));
+  }
 }
 
 void ShardWorker::Loop() {
@@ -97,8 +105,28 @@ void ShardWorker::Serve(ShardTask* task) {
   for (const auto& [embedding_index, row] : branches.rows) {
     refs.push_back({&branches.embeddings[embedding_index], row});
   }
+  obs::SpanGuard scan(task->trace, "replica_scan");
   core::TopKAccumulator acc(task->k);
-  model_->AccumulateTopKRange(refs, range_.begin, range_.end, &acc);
+  core::ScanStats stats;
+  const int64_t scan_start = scan_us_ != nullptr ? obs::NowNs() : 0;
+  model_->AccumulateTopKRange(refs, range_.begin, range_.end, &acc, &stats);
+  if (scan_us_ != nullptr) {
+    scan_us_->Observe(static_cast<double>(obs::NowNs() - scan_start) / 1e3);
+  }
+  if (scan.active()) {
+    scan.Annotate("shard", shard_index_);
+    scan.Annotate("replica", replica_index_);
+    scan.Annotate("entities_scanned",
+                  static_cast<double>(stats.entities_scanned));
+    scan.Annotate("entities_pruned",
+                  static_cast<double>(stats.entities_pruned));
+    scan.Annotate("early_exit_rate",
+                  stats.entities_scanned == 0
+                      ? 0.0
+                      : static_cast<double>(stats.entities_pruned) /
+                            static_cast<double>(stats.entities_scanned));
+  }
+  scan.End();
   task->result.set_value(acc.Take());
 }
 

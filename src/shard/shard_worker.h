@@ -12,6 +12,8 @@
 #include "common/status.h"
 #include "core/query_model.h"
 #include "core/topk.h"
+#include "obs/trace.h"
+#include "serving/metrics.h"
 #include "serving/request_queue.h"
 #include "shard/fault_injector.h"
 
@@ -43,6 +45,9 @@ struct ShardTask {
   int64_t k = 0;
   std::chrono::steady_clock::time_point deadline =
       std::chrono::steady_clock::time_point::max();
+  /// Request trace handle; when active, the worker records a replica_scan
+  /// span (shard/replica/scan counters annotated) under it.
+  obs::TraceContext trace;
   std::promise<Result<std::vector<core::ScoredEntity>>> result;
 };
 
@@ -59,10 +64,15 @@ const char* ReplicaHealthName(ReplicaHealth health);
 /// view of the model's entity table (trained parameters are never copied).
 class ShardWorker {
  public:
-  /// `model` and `faults` (optional) must outlive the worker.
+  /// `model`, `faults` (optional), and the instruments (optional) must
+  /// outlive the worker. `scan_us` receives per-task scan latency;
+  /// `health_gauge` mirrors the replica's ReplicaHealth as its numeric
+  /// value (0 healthy, 1 suspect, 2 down).
   ShardWorker(const core::QueryModel* model, EntityRange range,
               int shard_index, int replica_index, ShardFaultInjector* faults,
-              size_t queue_capacity, int down_after_failures);
+              size_t queue_capacity, int down_after_failures,
+              serving::Histogram* scan_us = nullptr,
+              serving::Gauge* health_gauge = nullptr);
   ~ShardWorker();
 
   ShardWorker(const ShardWorker&) = delete;
@@ -101,7 +111,9 @@ class ShardWorker {
   const int shard_index_;
   const int replica_index_;
   const int down_after_failures_;
-  ShardFaultInjector* faults_;  // may be null
+  ShardFaultInjector* faults_;            // may be null
+  serving::Histogram* scan_us_;           // may be null
+  serving::Gauge* health_gauge_;          // may be null
 
   serving::BoundedQueue<std::unique_ptr<ShardTask>> queue_;
   std::atomic<int> health_{static_cast<int>(ReplicaHealth::kHealthy)};

@@ -1,0 +1,263 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace halk::obs {
+namespace {
+
+TEST(TracerTest, DisabledTracerMakesEverySpanOperationANoOp) {
+  Tracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  EXPECT_EQ(tracer.StartTrace(), 0u);
+
+  const TraceContext ctx{&tracer, 0, 0};
+  EXPECT_FALSE(ctx.active());
+  SpanGuard guard(ctx, "work");
+  EXPECT_FALSE(guard.active());
+  EXPECT_EQ(guard.id(), 0u);
+  guard.Annotate("k", 1.0);
+  guard.End();
+  EXPECT_EQ(RecordSpan(ctx, "late", 1, 2), 0u);
+  EXPECT_EQ(RecordEvent(ctx, "event"), 0u);
+  EXPECT_TRUE(tracer.Collect(0).empty());
+
+  // A null tracer is equally inert.
+  const TraceContext null_ctx{};
+  EXPECT_FALSE(null_ctx.active());
+  EXPECT_EQ(RecordSpan(null_ctx, "x", 1, 2), 0u);
+}
+
+TEST(TracerTest, SpanGuardRecordsNestedSpansWithAnnotations) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const uint64_t id = tracer.StartTrace();
+  ASSERT_NE(id, 0u);
+
+  SpanGuard root({&tracer, id, 0}, "request");
+  ASSERT_TRUE(root.active());
+  {
+    SpanGuard child(root.child_context(), "embed");
+    child.Annotate("rows", 4.0);
+  }  // recorded by the destructor
+  root.End();
+  root.End();  // idempotent: must not record a second span
+
+  const Trace trace = tracer.Collect(id);
+  ASSERT_EQ(trace.spans().size(), 2u);
+  const SpanRecord* request = trace.Find("request");
+  const SpanRecord* embed = trace.Find("embed");
+  ASSERT_NE(request, nullptr);
+  ASSERT_NE(embed, nullptr);
+  EXPECT_EQ(request->parent, 0u);
+  EXPECT_EQ(embed->parent, request->id);
+  EXPECT_EQ(embed->annotation("rows"), 4.0);
+  EXPECT_TRUE(embed->has_annotation("rows"));
+  EXPECT_FALSE(embed->has_annotation("cols"));
+  EXPECT_EQ(embed->annotation("cols", -7.0), -7.0);
+  // The child nests inside the parent in time.
+  EXPECT_GE(embed->start_ns, request->start_ns);
+  EXPECT_LE(embed->end_ns(), request->end_ns());
+  // With a root present, the trace duration is the root's duration.
+  EXPECT_EQ(trace.duration_ns(), request->duration_ns);
+}
+
+TEST(TracerTest, ExplicitEndpointsAndPreallocatedRootId) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const uint64_t id = tracer.StartTrace();
+
+  // The server pattern: the root id is allocated up front so children can
+  // parent it, and the root span itself is recorded last.
+  const uint32_t root_id = tracer.NextSpanId();
+  RecordSpan({&tracer, id, root_id}, "queue_wait", 100, 250);
+  const uint32_t recorded = RecordSpan({&tracer, id, 0}, "request", 50, 400,
+                                       {{"ok", 1.0}}, root_id);
+  EXPECT_EQ(recorded, root_id);
+
+  const Trace trace = tracer.Collect(id);
+  const SpanRecord* request = trace.Find("request");
+  const SpanRecord* wait = trace.Find("queue_wait");
+  ASSERT_NE(request, nullptr);
+  ASSERT_NE(wait, nullptr);
+  EXPECT_EQ(request->id, root_id);
+  EXPECT_EQ(request->start_ns, 50);
+  EXPECT_EQ(request->duration_ns, 350);
+  EXPECT_EQ(request->annotation("ok"), 1.0);
+  EXPECT_EQ(wait->parent, root_id);
+  EXPECT_EQ(wait->duration_ns, 150);
+  EXPECT_EQ(trace.duration_ns(), 350);
+}
+
+TEST(TracerTest, EventsAreZeroDurationSpans) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const uint64_t id = tracer.StartTrace();
+  RecordEvent({&tracer, id, 0}, "failover", {{"shard", 2.0}});
+  const Trace trace = tracer.Collect(id);
+  const SpanRecord* event = trace.Find("failover");
+  ASSERT_NE(event, nullptr);
+  EXPECT_EQ(event->duration_ns, 0);
+  EXPECT_EQ(event->annotation("shard"), 2.0);
+}
+
+TEST(TracerTest, DistinctTracesAreCollectedIndependently) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const uint64_t a = tracer.StartTrace();
+  const uint64_t b = tracer.StartTrace();
+  ASSERT_NE(a, b);
+  RecordSpan({&tracer, a, 0}, "alpha", 1, 2);
+  RecordSpan({&tracer, b, 0}, "beta", 1, 2);
+  EXPECT_EQ(tracer.Collect(a).spans().size(), 1u);
+  EXPECT_STREQ(tracer.Collect(a).spans()[0].name, "alpha");
+  EXPECT_EQ(tracer.Collect(b).spans().size(), 1u);
+  EXPECT_STREQ(tracer.Collect(b).spans()[0].name, "beta");
+  EXPECT_TRUE(tracer.Collect(a + b + 99).empty());
+}
+
+TEST(TracerTest, CollectReturnsSpansSortedByStartTime) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const uint64_t id = tracer.StartTrace();
+  RecordSpan({&tracer, id, 0}, "second", 10, 12);
+  RecordSpan({&tracer, id, 0}, "first", 5, 6);
+  RecordSpan({&tracer, id, 0}, "third", 20, 21);
+  const Trace trace = tracer.Collect(id);
+  ASSERT_EQ(trace.spans().size(), 3u);
+  EXPECT_STREQ(trace.spans()[0].name, "first");
+  EXPECT_STREQ(trace.spans()[1].name, "second");
+  EXPECT_STREQ(trace.spans()[2].name, "third");
+  // No root span (all parents nonzero? here parents are 0 at top level) —
+  // duration falls back to the root span's duration when present; with
+  // several parent-0 spans the first by start time wins, so just check the
+  // envelope invariant holds.
+  EXPECT_GE(trace.duration_ns(), 0);
+}
+
+TEST(TracerTest, EnvelopeDurationWhenNoRootSpanWasRecorded) {
+  std::vector<SpanRecord> spans(2);
+  spans[0].trace_id = 9;
+  spans[0].id = 2;
+  spans[0].parent = 1;  // orphaned children only, no parent-0 span
+  spans[0].name = "a";
+  spans[0].start_ns = 100;
+  spans[0].duration_ns = 50;
+  spans[1].trace_id = 9;
+  spans[1].id = 3;
+  spans[1].parent = 1;
+  spans[1].name = "b";
+  spans[1].start_ns = 400;
+  spans[1].duration_ns = 25;
+  const Trace trace(9, spans);
+  EXPECT_EQ(trace.duration_ns(), 425 - 100);
+}
+
+TEST(TracerTest, RingWrapKeepsTheNewestSpans) {
+  Tracer tracer(/*ring_capacity=*/8);
+  tracer.set_enabled(true);
+  const uint64_t id = tracer.StartTrace();
+  for (int i = 0; i < 20; ++i) {
+    RecordSpan({&tracer, id, 0}, "span", i * 10, i * 10 + 5,
+               {{"i", static_cast<double>(i)}});
+  }
+  const Trace trace = tracer.Collect(id);
+  EXPECT_EQ(trace.spans().size(), 8u);
+  for (const SpanRecord& span : trace.spans()) {
+    EXPECT_GE(span.annotation("i"), 12.0);  // the 8 newest of 20
+  }
+}
+
+TEST(TracerTest, SpansFromManyThreadsAssembleIntoOneTrace) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const uint64_t id = tracer.StartTrace();
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 100;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, id, t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        RecordSpan({&tracer, id, 0}, "work", t * 1000 + i, t * 1000 + i + 1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const Trace trace = tracer.Collect(id);
+  EXPECT_EQ(trace.spans().size(),
+            static_cast<size_t>(kThreads * kSpansPerThread));
+  std::set<uint32_t> thread_indices;
+  for (const SpanRecord& span : trace.spans()) {
+    thread_indices.insert(span.thread);
+  }
+  EXPECT_EQ(thread_indices.size(), static_cast<size_t>(kThreads));
+}
+
+TEST(TracerTest, CollectIsSafeWhileAnotherThreadRecords) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const uint64_t id = tracer.StartTrace();
+  std::thread recorder([&tracer, id] {
+    for (int i = 0; i < 2000; ++i) {
+      RecordSpan({&tracer, id, 0}, "hot", i, i + 1);
+    }
+  });
+  // Concurrent collection must neither crash nor return torn spans
+  // (seqlock readers skip slots mid-write).
+  for (int i = 0; i < 50; ++i) {
+    const Trace snapshot = tracer.Collect(id);
+    for (const SpanRecord& span : snapshot.spans()) {
+      EXPECT_EQ(span.trace_id, id);
+      EXPECT_EQ(span.duration_ns, 1);
+    }
+  }
+  recorder.join();
+  EXPECT_EQ(tracer.Collect(id).spans().size(), 2000u);
+}
+
+TEST(TracerTest, AnnotationsBeyondTheCapAreDropped) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const uint64_t id = tracer.StartTrace();
+  SpanGuard guard({&tracer, id, 0}, "busy");
+  for (int i = 0; i < kMaxAnnotations + 4; ++i) {
+    guard.Annotate("k", static_cast<double>(i));
+  }
+  guard.End();
+  const Trace trace = tracer.Collect(id);
+  ASSERT_EQ(trace.spans().size(), 1u);
+  EXPECT_EQ(trace.spans()[0].num_annotations, kMaxAnnotations);
+}
+
+TEST(TraceTest, ChromeJsonHasCompleteEventsWithArgs) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const uint64_t id = tracer.StartTrace();
+  const uint32_t root = RecordSpan({&tracer, id, 0}, "request", 1000, 9000);
+  RecordSpan({&tracer, id, root}, "embed", 2000, 3000, {{"rows", 3.0}});
+  const std::string json = tracer.Collect(id).ToChromeJson();
+
+  EXPECT_NE(json.find("{\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"request\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"embed\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"rows\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // Crude structural sanity: braces and brackets balance.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+
+  // An empty trace still renders a loadable document.
+  const std::string empty = Trace().ToChromeJson();
+  EXPECT_NE(empty.find("\"traceEvents\":[]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace halk::obs

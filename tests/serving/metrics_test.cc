@@ -1,5 +1,10 @@
 #include "serving/metrics.h"
 
+#include <cmath>
+#include <map>
+#include <regex>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -72,6 +77,319 @@ TEST(MetricsRegistryTest, StablePointersAndDump) {
   EXPECT_NE(dump.find("counter serving.submitted 3"), std::string::npos);
   EXPECT_NE(dump.find("histogram serving.latency_us count=1"),
             std::string::npos);
+}
+
+TEST(GaugeTest, SetMovesBothWays) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.Set(5.0);
+  EXPECT_EQ(g.value(), 5.0);
+  g.Set(2.0);
+  EXPECT_EQ(g.value(), 2.0);
+  g.Add(-3.5);
+  EXPECT_DOUBLE_EQ(g.value(), -1.5);
+}
+
+TEST(GaugeTest, ConcurrentAddLosesNoDeltas) {
+  Gauge g;
+  g.Set(100.0);
+  constexpr int kThreads = 4;
+  constexpr int kAdds = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g] {
+      // Paired +2/-1 so the CAS loop is exercised in both directions.
+      for (int i = 0; i < kAdds; ++i) {
+        g.Add(2.0);
+        g.Add(-1.0);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(g.value(), 100.0 + kThreads * kAdds);
+}
+
+TEST(HistogramTest, ConcurrentObserveLosesNothing) {
+  Histogram h(Histogram::ExponentialBounds(1.0, 2.0, 10));
+  constexpr int kThreads = 8;
+  constexpr int kObservations = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kObservations; ++i) {
+        h.Observe(static_cast<double>(i % 100));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.count(), kThreads * kObservations);
+  // Each thread observes 100 full cycles of 0..99 (sum 4950 per cycle);
+  // every addend is an integer well inside double precision, so the
+  // CAS-maintained sum must be exact.
+  EXPECT_DOUBLE_EQ(h.sum(), kThreads * 100.0 * 4950.0);
+  const std::vector<int64_t> buckets = h.BucketCounts();
+  ASSERT_EQ(buckets.size(), h.bounds().size() + 1);
+  int64_t bucket_total = 0;
+  for (int64_t c : buckets) bucket_total += c;
+  EXPECT_EQ(bucket_total, h.count());
+}
+
+TEST(HistogramTest, QuantileEdgeCasesAreDefinedAndNeverNaN) {
+  // Empty: 0 for every q, including out-of-range q (clamped).
+  Histogram empty({1.0, 2.0});
+  for (double q : {-1.0, 0.0, 0.5, 1.0, 2.0}) {
+    EXPECT_EQ(empty.Quantile(q), 0.0) << "q=" << q;
+  }
+
+  // q=0 reports the lower edge of the first non-empty bucket, q=1 the
+  // upper bound of the last non-empty bucket.
+  Histogram h({1.0, 2.0, 4.0});
+  h.Observe(1.5);  // lands in (1, 2]
+  EXPECT_EQ(h.Quantile(0.0), 1.0);
+  EXPECT_EQ(h.Quantile(1.0), 2.0);
+  // Out-of-range q clamps to the same edges.
+  EXPECT_EQ(h.Quantile(-0.5), h.Quantile(0.0));
+  EXPECT_EQ(h.Quantile(1.5), h.Quantile(1.0));
+
+  // All observations in the +inf overflow bucket: the largest finite bound
+  // for every q (there is nothing better to report).
+  Histogram overflow({1.0, 2.0});
+  overflow.Observe(50.0);
+  overflow.Observe(99.0);
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(overflow.Quantile(q), 2.0) << "q=" << q;
+  }
+
+  // A dense sweep must never produce NaN on any of the above shapes.
+  for (const Histogram* hist : {&empty, &h, &overflow}) {
+    for (int i = 0; i <= 100; ++i) {
+      EXPECT_FALSE(std::isnan(hist->Quantile(i / 100.0))) << "q=" << i / 100.0;
+    }
+  }
+}
+
+TEST(MetricsRegistryTest, LabeledChildrenAreDistinctInstruments) {
+  MetricsRegistry registry;
+  Counter* s0 = registry.GetCounter("shard.tasks", {{"shard", "0"}});
+  Counter* s1 = registry.GetCounter("shard.tasks", {{"shard", "1"}});
+  Counter* unlabeled = registry.GetCounter("shard.tasks");
+  EXPECT_NE(s0, s1);
+  EXPECT_NE(s0, unlabeled);
+  s0->Increment(2);
+  s1->Increment(5);
+  EXPECT_EQ(registry.CounterValue("shard.tasks", {{"shard", "0"}}), 2);
+  EXPECT_EQ(registry.CounterValue("shard.tasks", {{"shard", "1"}}), 5);
+  EXPECT_EQ(registry.CounterValue("shard.tasks"), 0);
+  EXPECT_EQ(registry.CounterValue("shard.tasks", {{"shard", "9"}}), 0);
+}
+
+TEST(MetricsRegistryTest, LabelOrderIsCanonicalized) {
+  MetricsRegistry registry;
+  Gauge* a = registry.GetGauge("shard.replica_health",
+                               {{"shard", "1"}, {"replica", "0"}});
+  Gauge* b = registry.GetGauge("shard.replica_health",
+                               {{"replica", "0"}, {"shard", "1"}});
+  EXPECT_EQ(a, b);
+  a->Set(2.0);
+  EXPECT_EQ(registry.GaugeValue("shard.replica_health",
+                                {{"replica", "0"}, {"shard", "1"}}),
+            2.0);
+  EXPECT_EQ(registry.GaugeValue("shard.replica_health",
+                                {{"replica", "1"}, {"shard", "1"}}),
+            0.0);  // never created
+
+  Histogram* h1 = registry.GetHistogram(
+      "shard.scan_us", {1.0, 2.0}, {{"shard", "0"}, {"replica", "1"}});
+  Histogram* h2 = registry.GetHistogram(
+      "shard.scan_us", {1.0, 2.0}, {{"replica", "1"}, {"shard", "0"}});
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(MetricsRegistryTest, DumpTextOrderingIsStableAndDocumented) {
+  MetricsRegistry registry;
+  // Created in scrambled order on purpose; the dump must not care.
+  registry.GetHistogram("z.lat", {1.0})->Observe(0.5);
+  registry.GetCounter("b.tasks", {{"x", "2"}})->Increment(2);
+  registry.GetGauge("m.depth")->Set(3.0);
+  registry.GetCounter("b.tasks", {{"x", "1"}})->Increment(1);
+  registry.GetCounter("a.requests")->Increment(7);
+  registry.GetGauge("n.health", {{"r", "0"}})->Set(1.0);
+
+  const std::string dump = registry.DumpText();
+  // Deterministic: a second dump is byte-identical.
+  EXPECT_EQ(dump, registry.DumpText());
+
+  // Sections in kind order (counters, gauges, histograms), each sorted by
+  // (name, labels).
+  const std::vector<std::string> expected_order = {
+      "counter a.requests 7",
+      "counter b.tasks{x=\"1\"} 1",
+      "counter b.tasks{x=\"2\"} 2",
+      "gauge m.depth 3",
+      "gauge n.health{r=\"0\"} 1",
+      "histogram z.lat count=1",
+  };
+  size_t at = 0;
+  for (const std::string& needle : expected_order) {
+    const size_t pos = dump.find(needle, at);
+    ASSERT_NE(pos, std::string::npos) << needle << "\n--- dump ---\n" << dump;
+    at = pos;
+  }
+}
+
+// Checks `text` line by line against the Prometheus text exposition format
+// (version 0.0.4): every line is a `# TYPE` declaration or a sample whose
+// name/labels/value match the grammar, every sample belongs to a declared
+// family, and histogram bucket series are cumulative and consistent.
+void ExpectValidPrometheusExposition(const std::string& text) {
+  static const std::regex kTypeRe(
+      R"(# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram))");
+  static const std::regex kSampleRe(
+      R"lit(([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? (-?(?:[0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?)|\+Inf))lit");
+
+  std::map<std::string, std::string> family_type;  // name -> declared type
+  // Per histogram child (family + non-le labels): the bucket counts in
+  // file order, the +Inf bucket, and the _count sample, cross-checked at
+  // the end.
+  std::map<std::string, std::vector<double>> bucket_series;
+  std::map<std::string, double> inf_value;
+  std::map<std::string, double> count_value;
+  std::map<std::string, int> sum_seen;
+
+  std::istringstream lines(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    SCOPED_TRACE("line " + std::to_string(line_no) + ": " + line);
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    std::smatch m;
+    if (line[0] == '#') {
+      ASSERT_TRUE(std::regex_match(line, m, kTypeRe));
+      const std::string family = m[1];
+      EXPECT_EQ(family_type.count(family), 0u)
+          << "duplicate # TYPE for " << family;
+      family_type[family] = m[2];
+      continue;
+    }
+    ASSERT_TRUE(std::regex_match(line, m, kSampleRe));
+    const std::string name = m[1];
+    const std::string labels = m[2];
+    const std::string value_text = m[3];
+    const double value =
+        value_text == "+Inf" ? 0.0 : std::stod(value_text);  // must parse
+
+    // Resolve the family: plain name for counters/gauges, the stripped
+    // `_bucket`/`_sum`/`_count` suffix for histogram series.
+    std::string family = name;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string s(suffix);
+      if (name.size() > s.size() &&
+          name.compare(name.size() - s.size(), s.size(), s) == 0) {
+        const std::string stem = name.substr(0, name.size() - s.size());
+        if (family_type.count(stem) != 0 &&
+            family_type[stem] == "histogram") {
+          family = stem;
+          break;
+        }
+      }
+    }
+    ASSERT_EQ(family_type.count(family), 1u)
+        << "sample before/without # TYPE for family " << family;
+    const std::string& type = family_type[family];
+    if (type == "histogram") {
+      // Key bucket series by family + non-le labels so labeled children
+      // are tracked independently; the `le` label itself must be present
+      // on bucket lines.
+      if (name == family + "_bucket") {
+        ASSERT_NE(labels.find("le="), std::string::npos);
+        // Strip the le pair (it varies per line of one series) so the key
+        // matches the _sum/_count label set of the same child.
+        std::string rest = labels;
+        const size_t le = rest.find("le=");
+        const size_t end = rest.find_first_of(",}", le);
+        if (rest[end] == ',') {
+          rest.erase(le, end - le + 1);  // mid-list: drop its trailing comma
+        } else if (le > 1 && rest[le - 1] == ',') {
+          rest.erase(le - 1, end - le + 1);  // last pair: drop leading comma
+        } else {
+          rest.erase(le, end - le + 1);  // only pair: "{" remains
+        }
+        if (rest == "{") rest.clear();
+        const std::string series_key = family + "|" + rest;
+        bucket_series[series_key].push_back(value);
+        if (line.find("le=\"+Inf\"") != std::string::npos) {
+          inf_value[series_key] = value;
+        }
+      } else if (name == family + "_count") {
+        count_value[family + "|" + labels] = value;
+      } else if (name == family + "_sum") {
+        ++sum_seen[family + "|" + labels];
+      } else {
+        ADD_FAILURE() << "histogram family " << family
+                      << " has non-series sample " << name;
+      }
+    } else {
+      EXPECT_EQ(name, family) << "suffixed sample in a " << type << " family";
+    }
+  }
+
+  EXPECT_FALSE(family_type.empty());
+  for (const auto& [key, series] : bucket_series) {
+    SCOPED_TRACE("bucket series " + key);
+    ASSERT_FALSE(series.empty());
+    for (size_t i = 1; i < series.size(); ++i) {
+      EXPECT_GE(series[i], series[i - 1]) << "buckets must be cumulative";
+    }
+    // The +Inf bucket closes every series and agrees with _count and _sum.
+    ASSERT_EQ(inf_value.count(key), 1u) << "no +Inf bucket";
+    EXPECT_EQ(series.back(), inf_value[key]);
+    ASSERT_EQ(count_value.count(key), 1u) << "no _count sample";
+    EXPECT_EQ(inf_value[key], count_value[key]);
+    EXPECT_EQ(sum_seen.count(key), 1u) << "no _sum sample";
+  }
+  for (const auto& [key, n] : sum_seen) {
+    EXPECT_EQ(n, 1) << "family child " << key << " must emit _sum once";
+  }
+}
+
+TEST(MetricsRegistryTest, DumpPrometheusMatchesTheTextGrammar) {
+  MetricsRegistry registry;
+  registry.GetCounter("serving.submitted")->Increment(128);
+  registry.GetCounter("shard.tasks", {{"shard", "0"}})->Increment(3);
+  registry.GetCounter("shard.tasks", {{"shard", "1"}})->Increment(4);
+  registry.GetGauge("serving.queue_depth")->Set(2.0);
+  registry.GetGauge("shard.replica_health",
+                    {{"shard", "0"}, {"replica", "1"}})
+      ->Set(1.0);
+  Histogram* latency =
+      registry.GetHistogram("serving.latency_us", {1.0, 10.0, 100.0});
+  latency->Observe(0.5);
+  latency->Observe(50.0);
+  latency->Observe(1e6);  // overflow bucket
+  Histogram* scan = registry.GetHistogram(
+      "shard.scan_us", {1.0, 10.0}, {{"shard", "0"}, {"replica", "0"}});
+  scan->Observe(5.0);
+  // Names needing sanitization and a label value needing escaping.
+  registry.GetCounter("weird-name.v2")->Increment();
+  registry.GetCounter("9lives")->Increment();
+  registry.GetGauge("esc", {{"q", "say \"hi\"\nback\\slash"}})->Set(1.0);
+
+  const std::string text = registry.DumpPrometheus();
+  ExpectValidPrometheusExposition(text);
+
+  // Spot-check the round trip: dots sanitized, families typed, series
+  // complete.
+  EXPECT_NE(text.find("# TYPE serving_submitted counter"), std::string::npos);
+  EXPECT_NE(text.find("serving_submitted 128"), std::string::npos);
+  EXPECT_NE(text.find("shard_tasks{shard=\"0\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE serving_latency_us histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("serving_latency_us_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("serving_latency_us_count 3"), std::string::npos);
+  EXPECT_NE(text.find("weird_name_v2 1"), std::string::npos);
+  EXPECT_NE(text.find("_9lives 1"), std::string::npos);
 }
 
 TEST(MetricsRegistryTest, ConcurrentGetOrCreate) {

@@ -1,6 +1,8 @@
 #include "serving/server.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <future>
 #include <thread>
 #include <vector>
@@ -10,6 +12,7 @@
 #include "core/evaluator.h"
 #include "core/halk_model.h"
 #include "kg/synthetic.h"
+#include "obs/trace.h"
 #include "query/sampler.h"
 #include "query/structures.h"
 
@@ -365,6 +368,147 @@ TEST_F(QueryServerTest, ShardOutageServesPartialAnswersUncached) {
   Result<TopKAnswer> cached = server.Answer(q.graph, 10);
   ASSERT_TRUE(cached.ok());
   EXPECT_TRUE(cached->from_cache);
+}
+
+TEST_F(QueryServerTest, TracedShardedRequestPhaseSpansTileTheLatency) {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  ServerOptions options;
+  options.num_workers = 2;
+  options.max_batch_size = 4;
+  options.num_shards = 2;
+  options.enable_cache = false;
+  options.tracer = &tracer;
+  QueryServer server(model_, &dataset_->train, options);
+
+  query::GroundedQuery q = SampleQueries(StructureId::k2i, 1, 301)[0];
+  Result<TopKAnswer> r = server.Answer(q.graph, 10);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_NE(r->trace_id, 0u);
+
+  const obs::Trace trace = tracer.Collect(r->trace_id);
+  const obs::SpanRecord* root = trace.Find("request");
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->parent, 0u);
+  EXPECT_EQ(root->annotation("ok"), 1.0);
+
+  // Every request-path phase must be present as a direct child of the root.
+  for (const char* phase : {"queue_wait", "dnf_expand", "batch_assembly",
+                            "embed", "scatter", "merge"}) {
+    const obs::SpanRecord* span = trace.Find(phase);
+    ASSERT_NE(span, nullptr) << "missing span " << phase;
+    EXPECT_EQ(span->parent, root->id) << phase;
+    EXPECT_GE(span->start_ns, root->start_ns) << phase;
+    EXPECT_LE(span->end_ns(), root->end_ns()) << phase;
+  }
+  // The phases are sequentially disjoint slices of the request, so their
+  // durations sum to at most the end-to-end latency.
+  int64_t phase_sum_ns = 0;
+  for (const obs::SpanRecord& span : trace.spans()) {
+    if (span.parent == root->id) phase_sum_ns += span.duration_ns;
+  }
+  EXPECT_GT(phase_sum_ns, 0);
+  EXPECT_LE(phase_sum_ns, root->duration_ns);
+
+  // Each shard contributed one replica_scan under the scatter span, with
+  // its scan statistics attached.
+  const obs::SpanRecord* scatter = trace.Find("scatter");
+  ASSERT_NE(scatter, nullptr);
+  EXPECT_EQ(scatter->annotation("shards"), 2.0);
+  EXPECT_EQ(scatter->annotation("uncovered_shards"), 0.0);
+  const std::vector<const obs::SpanRecord*> scans =
+      trace.FindAll("replica_scan");
+  ASSERT_EQ(scans.size(), 2u);
+  for (const obs::SpanRecord* scan : scans) {
+    EXPECT_EQ(scan->parent, scatter->id);
+    EXPECT_TRUE(scan->has_annotation("shard"));
+    EXPECT_TRUE(scan->has_annotation("entities_scanned"));
+    EXPECT_GT(scan->annotation("entities_scanned"), 0.0);
+  }
+}
+
+TEST_F(QueryServerTest, SlowQueryLogKeysRepeatedSlowRequestsByFingerprint) {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  ServerOptions options;
+  options.num_workers = 1;
+  options.enable_cache = false;  // repeats must reach the workers
+  options.tracer = &tracer;
+  // Every request blows a 1us threshold, so each one lands in the log.
+  options.slow_query_threshold = std::chrono::microseconds(1);
+  options.slow_query_log_capacity = 8;
+  QueryServer server(model_, &dataset_->train, options);
+  ASSERT_NE(server.slow_query_log(), nullptr);
+
+  query::GroundedQuery hot = SampleQueries(StructureId::k2p, 1, 311)[0];
+  query::GroundedQuery cold = SampleQueries(StructureId::k2i, 1, 313)[0];
+  ASSERT_TRUE(server.Answer(hot.graph, 5).ok());
+  ASSERT_TRUE(server.Answer(cold.graph, 5).ok());
+  ASSERT_TRUE(server.Answer(hot.graph, 5).ok());
+
+  const auto entries = server.slow_query_log()->Entries();
+  ASSERT_EQ(entries.size(), 2u);  // two fingerprints, not three requests
+  // Most-recently-slow first: the repeated query, with both hits folded in.
+  EXPECT_EQ(entries[0].hits, 2);
+  EXPECT_EQ(entries[1].hits, 1);
+  EXPECT_GE(entries[0].worst_ns, 1000);
+  // The stored trace is the full span tree of the offending request.
+  EXPECT_NE(entries[0].trace.Find("request"), nullptr);
+  EXPECT_NE(entries[0].trace.Find("queue_wait"), nullptr);
+}
+
+TEST_F(QueryServerTest, ReplicaFailureDrivesHealthGaugeAndFailoverSpans) {
+  shard::ShardFaultInjector faults;
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  ServerOptions options;
+  options.num_workers = 1;
+  options.num_shards = 2;
+  options.shard_replication = 2;
+  options.shard_faults = &faults;
+  options.enable_cache = false;
+  options.tracer = &tracer;
+  QueryServer server(model_, &dataset_->train, options);
+  MetricsRegistry* metrics = server.metrics();
+  const Labels replica00{{"replica", "0"}, {"shard", "0"}};
+  const Labels replica01{{"replica", "1"}, {"shard", "0"}};
+  EXPECT_EQ(metrics->GaugeValue("shard.replica_health", replica00), 0.0);
+
+  query::GroundedQuery q = SampleQueries(StructureId::k1p, 1, 401)[0];
+
+  // One failure: the shard fails over to replica 1 (full coverage) and
+  // replica 0 is demoted healthy -> suspect.
+  faults.FailNextCalls(/*shard=*/0, /*replica=*/0, 100);
+  Result<TopKAnswer> r = server.Answer(q.graph, 5);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->coverage, 1.0);
+  EXPECT_EQ(metrics->GaugeValue("shard.replica_health", replica00), 1.0);
+  EXPECT_EQ(metrics->GaugeValue("shard.replica_health", replica01), 0.0);
+  ASSERT_NE(r->trace_id, 0u);
+  const obs::Trace trace = tracer.Collect(r->trace_id);
+  const std::vector<const obs::SpanRecord*> failovers =
+      trace.FindAll("failover");
+  ASSERT_GE(failovers.size(), 1u);
+  EXPECT_EQ(failovers[0]->annotation("shard", -1.0), 0.0);
+  EXPECT_EQ(failovers[0]->annotation("replica", -1.0), 0.0);
+  const obs::SpanRecord* scatter = trace.Find("scatter");
+  ASSERT_NE(scatter, nullptr);
+  EXPECT_EQ(failovers[0]->parent, scatter->id);
+
+  // Replica 1 now fails too, so the scatter keeps probing replica 0 until
+  // its consecutive failures cross the threshold: suspect -> down.
+  faults.FailNextCalls(0, 1, 100);
+  for (int i = 0; i < 4; ++i) {
+    Result<TopKAnswer> degraded = server.Answer(q.graph, 5);
+    ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+    EXPECT_EQ(degraded->completeness.code(), StatusCode::kPartialResult);
+  }
+  EXPECT_EQ(metrics->GaugeValue("shard.replica_health", replica00), 2.0);
+  EXPECT_GE(metrics->CounterValue("shard.failovers", {{"shard", "0"}}), 3);
+  // The untouched shard's replicas stayed healthy throughout.
+  EXPECT_EQ(metrics->GaugeValue("shard.replica_health",
+                                {{"replica", "0"}, {"shard", "1"}}),
+            0.0);
 }
 
 }  // namespace

@@ -154,8 +154,18 @@ TEST_F(ShardTest, SingleReplicaLossIsAnswerInvariant) {
   }
   EXPECT_NE(coordinator.replica_health(1, 0), ReplicaHealth::kHealthy);
   EXPECT_EQ(coordinator.replica_health(1, 1), ReplicaHealth::kHealthy);
-  EXPECT_GE(metrics.CounterValue("shard.1.failovers"), 1);
+  EXPECT_GE(metrics.CounterValue("shard.failovers", {{"shard", "1"}}), 1);
   EXPECT_EQ(metrics.CounterValue("shard.partial_results"), 0);
+  // The downed replica's health gauge mirrors its demotion; its sibling
+  // stayed healthy (0).
+  EXPECT_GT(
+      metrics.GaugeValue("shard.replica_health",
+                         {{"shard", "1"}, {"replica", "0"}}),
+      0.0);
+  EXPECT_EQ(
+      metrics.GaugeValue("shard.replica_health",
+                         {{"shard", "1"}, {"replica", "1"}}),
+      0.0);
 }
 
 TEST_F(ShardTest, TransientFailureFailsOverOnce) {
