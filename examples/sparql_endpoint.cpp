@@ -11,8 +11,12 @@
 //
 // With --checkpoint, the model is restored from the file when it exists
 // (skipping training entirely — the restart path of a real endpoint) and
-// trained-then-saved there when it does not. With --trace-out, the trace
-// of the last served query is written as chrome://tracing JSON on exit.
+// trained-then-saved there when it does not. A checkpoint that exists but
+// cannot be restored (corrupt, wrong model, checksum mismatch) is a fatal
+// configuration error: the endpoint prints the diagnostic to stderr and
+// exits nonzero rather than silently training a fresh model over it. With
+// --trace-out, the trace of the last served query is written as
+// chrome://tracing JSON on exit.
 //
 // After the scripted demo the endpoint drops into a line REPL on stdin
 // (EOF exits immediately, so piping from /dev/null is script-safe):
@@ -147,9 +151,20 @@ int main(int argc, char** argv) {
       std::printf("restored model from %s, skipping training\n",
                   checkpoint_path.c_str());
       restored = true;
-    } else {
-      std::printf("no usable checkpoint at %s (%s), training from scratch\n",
+    } else if (loaded.code() == StatusCode::kIOError) {
+      // The file is absent (first run): train and save below.
+      std::printf("no checkpoint at %s (%s), training from scratch\n",
                   checkpoint_path.c_str(), loaded.ToString().c_str());
+    } else {
+      // The file exists but is not a usable checkpoint (bad magic,
+      // truncation, checksum/config mismatch). Overwriting it with a
+      // freshly trained model would destroy whatever it was — refuse.
+      std::fprintf(stderr,
+                   "error: cannot restore checkpoint %s: %s\n"
+                   "(delete the file or point --checkpoint elsewhere to "
+                   "train from scratch)\n",
+                   checkpoint_path.c_str(), loaded.ToString().c_str());
+      return 1;
     }
   }
   if (!restored) {

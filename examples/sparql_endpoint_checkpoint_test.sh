@@ -1,0 +1,33 @@
+#!/bin/sh
+# Exercises sparql_endpoint's --checkpoint failure modes end to end:
+#   1. a corrupt checkpoint must produce a clean stderr diagnostic and a
+#      nonzero exit (never silently retrain over the file);
+#   2. a missing checkpoint trains from scratch and saves;
+#   3. a rerun restores the saved checkpoint and skips training.
+# Usage: sparql_endpoint_checkpoint_test.sh <path-to-sparql_endpoint>
+set -eu
+
+BIN="$1"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+printf 'definitely not a checkpoint' > "$TMP/corrupt.bin"
+if "$BIN" --checkpoint "$TMP/corrupt.bin" < /dev/null \
+    > "$TMP/out.txt" 2> "$TMP/err.txt"; then
+  echo "FAIL: expected nonzero exit for a corrupt checkpoint" >&2
+  exit 1
+fi
+grep -q "cannot restore checkpoint" "$TMP/err.txt" || {
+  echo "FAIL: no diagnostic on stderr for a corrupt checkpoint" >&2
+  cat "$TMP/err.txt" >&2
+  exit 1
+}
+
+"$BIN" --checkpoint "$TMP/model.bin" < /dev/null > "$TMP/first.txt" 2>&1
+grep -q "training from scratch" "$TMP/first.txt"
+grep -q "saved model to" "$TMP/first.txt"
+
+"$BIN" --checkpoint "$TMP/model.bin" < /dev/null > "$TMP/second.txt" 2>&1
+grep -q "restored model from" "$TMP/second.txt"
+
+echo PASS

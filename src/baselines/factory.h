@@ -16,10 +16,11 @@ std::vector<std::string> AvailableModels();
 
 /// Builds a model by name. `grouping` may be null; only HaLk variants use
 /// it (for the intersection z factor and training group penalty).
-Result<std::unique_ptr<core::QueryModel>> CreateModel(
+[[nodiscard]] Result<std::unique_ptr<core::QueryModel>> CreateModel(
     const std::string& name, const core::ModelConfig& config,
     const kg::NodeGrouping* grouping);
 
 }  // namespace halk::baselines
 
 #endif  // HALK_BASELINES_FACTORY_H_
+

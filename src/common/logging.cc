@@ -3,7 +3,8 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace halk {
 
@@ -13,13 +14,13 @@ std::atomic<LogLevel> g_level{LogLevel::kInfo};
 // All log output funnels through one mutex-guarded sink so that messages
 // from concurrent threads (serving workers in particular) never interleave
 // mid-line.
-std::mutex& SinkMutex() {
-  static std::mutex mu;
+Mutex& SinkMutex() {
+  static Mutex mu;
   return mu;
 }
 
 void EmitLine(const std::string& line) {
-  std::lock_guard<std::mutex> lock(SinkMutex());
+  MutexLock lock(SinkMutex());
   std::fprintf(stderr, "%s\n", line.c_str());
   std::fflush(stderr);
 }
@@ -40,8 +41,10 @@ const char* LevelName(LogLevel level) {
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
+  // order: the level is an isolated filter word; no data rides on it.
   g_level.store(level, std::memory_order_relaxed);
 }
+// order: same isolated word; stale reads misfilter at most one message.
 LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 namespace internal {
@@ -52,6 +55,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
+  // order: filter check only; see SetLogLevel.
   if (level_ >= g_level.load(std::memory_order_relaxed)) {
     EmitLine(stream_.str());
   }

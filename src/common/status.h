@@ -30,7 +30,12 @@ enum class StatusCode {
 const char* StatusCodeToString(StatusCode code);
 
 /// Outcome of an operation that can fail. Cheap to copy in the OK case.
-class Status {
+/// `[[nodiscard]]` at class level: every expression that produces a Status
+/// and drops it is a compile-time warning (an error under -Werror CI), the
+/// RocksDB "no status left behind" discipline. halk_lint additionally
+/// requires fallible function *declarations* to carry [[nodiscard]] so the
+/// contract is visible at the API surface.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -86,7 +91,7 @@ class Status {
 
 /// Either a value of type T or an error Status. Modeled after arrow::Result.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value and from error Status, so `return value;` and
   /// `return Status::...;` both work inside functions returning Result<T>.

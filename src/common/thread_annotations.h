@@ -1,0 +1,72 @@
+#ifndef HALK_COMMON_THREAD_ANNOTATIONS_H_
+#define HALK_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis annotations (the Abseil/RocksDB practice):
+/// lock discipline is declared next to the data it protects and checked at
+/// compile time by `clang -Wthread-safety -Werror` (the `thread-safety` CI
+/// job). Under any other compiler every macro expands to nothing, so GCC
+/// builds are unaffected.
+///
+/// The annotations only bite on capability-annotated mutex types — use
+/// `halk::Mutex` / `halk::MutexLock` / `halk::CondVar` from
+/// "common/mutex.h" rather than `std::mutex`, which libstdc++ does not
+/// annotate. See docs/static_analysis.md for the conventions.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define HALK_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define HALK_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a type as a lockable capability (mutex-like).
+#define HALK_CAPABILITY(name) HALK_THREAD_ANNOTATION(capability(name))
+
+/// Marks an RAII type that acquires a capability for its lifetime.
+#define HALK_SCOPED_CAPABILITY HALK_THREAD_ANNOTATION(scoped_lockable)
+
+/// Declares that a data member is protected by the given mutex: reads and
+/// writes are only legal while it is held.
+#define HALK_GUARDED_BY(x) HALK_THREAD_ANNOTATION(guarded_by(x))
+
+/// Like HALK_GUARDED_BY, but for the data a pointer/smart-pointer member
+/// points at (the pointer itself is unguarded).
+#define HALK_PT_GUARDED_BY(x) HALK_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Declares that callers must hold the mutex(es) before calling.
+#define HALK_REQUIRES(...) \
+  HALK_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Declares that callers must hold the mutex(es) at least shared.
+#define HALK_REQUIRES_SHARED(...) \
+  HALK_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Declares that callers must NOT hold the mutex(es) (the function
+/// acquires them itself; calling with them held would deadlock).
+#define HALK_EXCLUDES(...) HALK_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability (exclusively / shared).
+#define HALK_ACQUIRE(...) \
+  HALK_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define HALK_ACQUIRE_SHARED(...) \
+  HALK_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define HALK_RELEASE(...) \
+  HALK_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define HALK_RELEASE_SHARED(...) \
+  HALK_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `result`.
+#define HALK_TRY_ACQUIRE(result, ...) \
+  HALK_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// Returns a reference to the mutex guarding the annotated data.
+#define HALK_RETURN_CAPABILITY(x) HALK_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function's body is exempt from analysis. Every use
+/// must carry a justification comment (halk_lint's catalog documents the
+/// convention).
+#define HALK_NO_THREAD_SAFETY_ANALYSIS \
+  HALK_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // HALK_COMMON_THREAD_ANNOTATIONS_H_

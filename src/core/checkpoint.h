@@ -20,12 +20,13 @@ namespace halk::core {
 ///   | ModelConfig fields | u64 num_tensors
 ///   | per tensor: u64 numel, float data[numel]
 ///   | u64 fnv1a checksum of everything above
-Status SaveCheckpoint(const QueryModel& model, const std::string& path);
+[[nodiscard]] Status SaveCheckpoint(const QueryModel& model, const std::string& path);
 
 /// Restores parameters into `model`; fails (without partial writes) on
 /// magic/version/name/shape/checksum mismatch.
-Status LoadCheckpoint(QueryModel* model, const std::string& path);
+[[nodiscard]] Status LoadCheckpoint(QueryModel* model, const std::string& path);
 
 }  // namespace halk::core
 
 #endif  // HALK_CORE_CHECKPOINT_H_
+

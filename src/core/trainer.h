@@ -53,7 +53,7 @@ class Trainer {
           const kg::NodeGrouping* grouping, const TrainerOptions& options);
 
   /// Runs the training loop; pools are materialized on the first call.
-  Result<TrainStats> Train();
+  [[nodiscard]] Result<TrainStats> Train();
 
   /// The pre-sampled training pool of a structure (after Train or
   /// BuildPools); empty if the structure is unsupported by the model.
@@ -61,7 +61,7 @@ class Trainer {
       query::StructureId structure) const;
 
   /// Materializes the query pools without training (idempotent).
-  Status BuildPools();
+  [[nodiscard]] Status BuildPools();
 
  private:
   QueryModel* model_;
@@ -79,3 +79,4 @@ class Trainer {
 }  // namespace halk::core
 
 #endif  // HALK_CORE_TRAINER_H_
+

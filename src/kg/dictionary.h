@@ -20,7 +20,7 @@ class Dictionary {
   int64_t GetOrAdd(const std::string& name);
 
   /// Id of an existing name, or NotFound.
-  Result<int64_t> Lookup(const std::string& name) const;
+  [[nodiscard]] Result<int64_t> Lookup(const std::string& name) const;
 
   bool Contains(const std::string& name) const;
 
@@ -37,3 +37,4 @@ class Dictionary {
 }  // namespace halk::kg
 
 #endif  // HALK_KG_DICTIONARY_H_
+

@@ -28,7 +28,7 @@ class KnowledgeGraph {
 
   /// Appends a triple by id. Duplicate triples are ignored.
   /// Ids must already exist in the dictionaries.
-  Status AddTriple(int64_t head, int64_t relation, int64_t tail);
+  [[nodiscard]] Status AddTriple(int64_t head, int64_t relation, int64_t tail);
 
   /// Appends a triple by name, growing the dictionaries as needed.
   void AddTriple(const std::string& head, const std::string& relation,
@@ -70,3 +70,4 @@ class KnowledgeGraph {
 }  // namespace halk::kg
 
 #endif  // HALK_KG_GRAPH_H_
+

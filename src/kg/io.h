@@ -10,11 +10,12 @@ namespace halk::kg {
 
 /// Loads `head \t relation \t tail` lines into `graph` (names are added to
 /// its dictionaries). Blank lines and lines starting with '#' are skipped.
-Status LoadTriplesTsv(const std::string& path, KnowledgeGraph* graph);
+[[nodiscard]] Status LoadTriplesTsv(const std::string& path, KnowledgeGraph* graph);
 
 /// Writes all triples of `graph` as TSV.
-Status SaveTriplesTsv(const KnowledgeGraph& graph, const std::string& path);
+[[nodiscard]] Status SaveTriplesTsv(const KnowledgeGraph& graph, const std::string& path);
 
 }  // namespace halk::kg
 
 #endif  // HALK_KG_IO_H_
+

@@ -15,7 +15,7 @@ namespace halk::matching {
 /// tests and the pruning study's ground truth); it costs a full symbolic
 /// execution. Returns per-node sorted candidate lists (empty for
 /// unreachable nodes).
-Result<std::vector<std::vector<int64_t>>> FilterCandidates(
+[[nodiscard]] Result<std::vector<std::vector<int64_t>>> FilterCandidates(
     const query::QueryGraph& query, const kg::KnowledgeGraph& graph);
 
 /// Local candidate filter in the spirit of G-Finder's LIG lookup: the
@@ -27,9 +27,10 @@ Result<std::vector<std::vector<int64_t>>> FilterCandidates(
 /// execution but loose: the matcher's backtracking verification does the
 /// real work, which is what gives matching engines their query-size-
 /// dependent cost profile.
-Result<std::vector<int64_t>> LocalTargetCandidates(
+[[nodiscard]] Result<std::vector<int64_t>> LocalTargetCandidates(
     const query::QueryGraph& query, const kg::KnowledgeGraph& graph);
 
 }  // namespace halk::matching
 
 #endif  // HALK_MATCHING_CANDIDATES_H_
+

@@ -31,7 +31,7 @@ class SubgraphMatcher {
   explicit SubgraphMatcher(const kg::KnowledgeGraph* graph);
 
   /// All entities that verifiably bind the query target. Sorted.
-  Result<std::vector<int64_t>> Match(const query::QueryGraph& query,
+  [[nodiscard]] Result<std::vector<int64_t>> Match(const query::QueryGraph& query,
                                      MatchStats* stats = nullptr);
 
  private:
@@ -44,3 +44,4 @@ class SubgraphMatcher {
 }  // namespace halk::matching
 
 #endif  // HALK_MATCHING_MATCHER_H_
+

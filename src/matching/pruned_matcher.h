@@ -21,7 +21,7 @@ class PrunedMatcher {
                 int64_t top_k);
 
   /// Matches on the induced subgraph. `stats->millis` includes pruning.
-  Result<std::vector<int64_t>> Match(const query::QueryGraph& query,
+  [[nodiscard]] Result<std::vector<int64_t>> Match(const query::QueryGraph& query,
                                      MatchStats* stats = nullptr);
 
  private:
@@ -33,3 +33,4 @@ class PrunedMatcher {
 }  // namespace halk::matching
 
 #endif  // HALK_MATCHING_PRUNED_MATCHER_H_
+

@@ -9,18 +9,18 @@ SlowQueryLog::SlowQueryLog(size_t capacity, int64_t threshold_ns)
     : capacity_(std::max<size_t>(capacity, 1)), threshold_ns_(threshold_ns) {}
 
 int64_t SlowQueryLog::threshold_ns() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return threshold_ns_;
 }
 
 void SlowQueryLog::set_threshold_ns(int64_t threshold_ns) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   threshold_ns_ = threshold_ns;
 }
 
 bool SlowQueryLog::Offer(const std::string& fingerprint, Trace trace) {
   const int64_t duration = trace.duration_ns();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (threshold_ns_ <= 0 || duration < threshold_ns_) return false;
   auto it = index_.find(fingerprint);
   if (it != index_.end()) {
@@ -43,17 +43,17 @@ bool SlowQueryLog::Offer(const std::string& fingerprint, Trace trace) {
 }
 
 std::vector<SlowQueryLog::Entry> SlowQueryLog::Entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return {entries_.begin(), entries_.end()};
 }
 
 size_t SlowQueryLog::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 
 void SlowQueryLog::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_.clear();
   index_.clear();
 }

@@ -3,11 +3,12 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/trace.h"
 
 namespace halk::obs {
@@ -23,14 +24,14 @@ class SlowQueryLog {
   /// `threshold_ns` <= 0 rejects everything (a disabled log).
   SlowQueryLog(size_t capacity, int64_t threshold_ns);
 
-  int64_t threshold_ns() const;
-  void set_threshold_ns(int64_t threshold_ns);
+  int64_t threshold_ns() const HALK_EXCLUDES(mu_);
+  void set_threshold_ns(int64_t threshold_ns) HALK_EXCLUDES(mu_);
   size_t capacity() const { return capacity_; }
 
   /// Records `trace` under `fingerprint` when its duration is at or above
   /// the threshold; returns whether it was kept. An existing entry for the
   /// fingerprint is refreshed (hits + 1, latest trace, worst duration).
-  bool Offer(const std::string& fingerprint, Trace trace);
+  bool Offer(const std::string& fingerprint, Trace trace) HALK_EXCLUDES(mu_);
 
   struct Entry {
     std::string fingerprint;
@@ -40,16 +41,17 @@ class SlowQueryLog {
   };
 
   /// Entries most-recently-slow first.
-  std::vector<Entry> Entries() const;
-  size_t size() const;
-  void Clear();
+  std::vector<Entry> Entries() const HALK_EXCLUDES(mu_);
+  size_t size() const HALK_EXCLUDES(mu_);
+  void Clear() HALK_EXCLUDES(mu_);
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  int64_t threshold_ns_;
-  std::list<Entry> entries_;  // MRU at front
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  mutable Mutex mu_;
+  int64_t threshold_ns_ HALK_GUARDED_BY(mu_);
+  std::list<Entry> entries_ HALK_GUARDED_BY(mu_);  // MRU at front
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_
+      HALK_GUARDED_BY(mu_);
 };
 
 }  // namespace halk::obs

@@ -136,6 +136,7 @@ struct Tracer::Ring {
 
 Tracer::Tracer(size_t ring_capacity)
     : ring_capacity_(ring_capacity),
+      // order: the serial only needs uniqueness, not ordering.
       serial_(g_tracer_serial.fetch_add(1, std::memory_order_relaxed)) {
   HALK_CHECK_GT(ring_capacity, 0u);
 }
@@ -143,11 +144,14 @@ Tracer::Tracer(size_t ring_capacity)
 Tracer::~Tracer() = default;
 
 uint64_t Tracer::StartTrace() {
+  // order: the disabled-cost contract is exactly one relaxed load; id
+  // allocation only needs uniqueness, not ordering.
   if (!enabled_.load(std::memory_order_relaxed)) return 0;
   return next_trace_.fetch_add(1, std::memory_order_relaxed);
 }
 
 uint32_t Tracer::NextSpanId() {
+  // order: ids only need uniqueness; the seqlock publishes the payload.
   uint32_t id = next_span_.fetch_add(1, std::memory_order_relaxed);
   if (id == 0) id = next_span_.fetch_add(1, std::memory_order_relaxed);
   return id;
@@ -159,7 +163,7 @@ Tracer::Ring* Tracer::ThisThreadRing() {
   thread_local std::unordered_map<uint64_t, Ring*> rings;
   auto it = rings.find(serial_);
   if (it != rings.end()) return it->second;
-  std::lock_guard<std::mutex> lock(rings_mu_);
+  MutexLock lock(rings_mu_);
   rings_.push_back(std::make_unique<Ring>(
       ring_capacity_, static_cast<uint32_t>(rings_.size())));
   Ring* ring = rings_.back().get();
@@ -172,9 +176,9 @@ void Tracer::Record(const SpanRecord& record) {
   Ring* ring = ThisThreadRing();
   const uint64_t ticket = ring->next++;
   Slot& slot = ring->slots[ticket % ring->slots.size()];
-  // Seqlock write: odd while the payload is inconsistent, even + unique
-  // once published. Payload stores are relaxed; the release on the final
-  // seq store publishes them to acquire readers.
+  // order: seqlock write protocol — odd seq (release) marks the payload
+  // inconsistent, relaxed payload stores follow, and the final even seq
+  // store (release) publishes them to acquire readers in Collect.
   slot.seq.store(2 * ticket + 1, std::memory_order_release);
   slot.trace_id.store(record.trace_id, std::memory_order_relaxed);
   slot.id.store(record.id, std::memory_order_relaxed);
@@ -183,6 +187,7 @@ void Tracer::Record(const SpanRecord& record) {
   slot.start_ns.store(record.start_ns, std::memory_order_relaxed);
   slot.duration_ns.store(record.duration_ns, std::memory_order_relaxed);
   const int n = std::min(record.num_annotations, kMaxAnnotations);
+  // order: relaxed payload stores, published by the trailing release.
   slot.num_annotations.store(n, std::memory_order_relaxed);
   for (int i = 0; i < n; ++i) {
     slot.ann_key[i].store(record.annotations[i].key,
@@ -190,6 +195,7 @@ void Tracer::Record(const SpanRecord& record) {
     slot.ann_value[i].store(record.annotations[i].value,
                             std::memory_order_relaxed);
   }
+  // order: release pairs with the acquire seq load in Collect.
   slot.seq.store(2 * ticket + 2, std::memory_order_release);
 }
 
@@ -198,12 +204,16 @@ Trace Tracer::Collect(uint64_t trace_id) const {
   if (trace_id == 0) return Trace(0, std::move(spans));
   std::vector<Ring*> rings;
   {
-    std::lock_guard<std::mutex> lock(rings_mu_);
+    MutexLock lock(rings_mu_);
     rings.reserve(rings_.size());
     for (const auto& r : rings_) rings.push_back(r.get());
   }
   for (Ring* ring : rings) {
     for (Slot& slot : ring->slots) {
+      // order: seqlock read protocol — the acquire seq load pairs with the
+      // writer's trailing release, making the relaxed payload loads below
+      // observe a fully published record (re-validated by the fence +
+      // relaxed re-read of seq at the end).
       const uint64_t s1 = slot.seq.load(std::memory_order_acquire);
       if (s1 == 0 || (s1 & 1) != 0) continue;  // empty or mid-write
       if (slot.trace_id.load(std::memory_order_relaxed) != trace_id) {
@@ -211,6 +221,7 @@ Trace Tracer::Collect(uint64_t trace_id) const {
       }
       SpanRecord record;
       record.trace_id = trace_id;
+      // order: relaxed payload reads, validated by the seq re-check below.
       record.id = slot.id.load(std::memory_order_relaxed);
       record.parent = slot.parent.load(std::memory_order_relaxed);
       record.name = slot.name.load(std::memory_order_relaxed);
@@ -220,12 +231,15 @@ Trace Tracer::Collect(uint64_t trace_id) const {
       record.num_annotations =
           std::min(slot.num_annotations.load(std::memory_order_relaxed),
                    kMaxAnnotations);
+      // order: relaxed annotation reads, same seqlock validation.
       for (int i = 0; i < record.num_annotations; ++i) {
         record.annotations[i].key =
             slot.ann_key[i].load(std::memory_order_relaxed);
         record.annotations[i].value =
             slot.ann_value[i].load(std::memory_order_relaxed);
       }
+      // order: the acquire fence orders the payload loads above before the
+      // seq re-check, so an unchanged seq proves the reads were torn-free.
       std::atomic_thread_fence(std::memory_order_acquire);
       if (slot.seq.load(std::memory_order_relaxed) != s1) {
         continue;  // overwritten mid-read; the replacement span is newer

@@ -6,9 +6,11 @@
 #include <cstdint>
 #include <initializer_list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace halk::obs {
 
@@ -95,8 +97,11 @@ class Tracer {
   Tracer& operator=(const Tracer&) = delete;
 
   void set_enabled(bool on) {
+    // order: enabling tracing only toggles whether ids are handed out; no
+    // other state is published through the flag.
     enabled_.store(on, std::memory_order_relaxed);
   }
+  // order: hot-path check; stale reads just delay span capture one request.
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   /// A fresh nonzero trace id when enabled; 0 when disabled (downstream
@@ -121,15 +126,17 @@ class Tracer {
   struct Slot;
   struct Ring;
 
-  Ring* ThisThreadRing();
+  Ring* ThisThreadRing() HALK_EXCLUDES(rings_mu_);
 
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> next_trace_{1};
   std::atomic<uint32_t> next_span_{1};
   const size_t ring_capacity_;
   const uint64_t serial_;  // distinguishes tracers in thread-local caches
-  mutable std::mutex rings_mu_;  // guards rings_ growth, not slot access
-  std::vector<std::unique_ptr<Ring>> rings_;
+  /// Guards growth of `rings_` only; slot access is lock-free by design
+  /// (each Ring has one writer thread, readers go through the seqlock).
+  mutable Mutex rings_mu_;
+  std::vector<std::unique_ptr<Ring>> rings_ HALK_GUARDED_BY(rings_mu_);
 };
 
 /// The handle threaded through a request path: which tracer, which trace,

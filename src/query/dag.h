@@ -44,7 +44,7 @@ class QueryGraph {
   /// Structural well-formedness: target set, inputs in range and acyclic by
   /// construction, arities (projection/negation unary, set ops >= 2 inputs),
   /// and — when `grounded` — anchors/relations filled in.
-  Status Validate(bool grounded) const;
+  [[nodiscard]] Status Validate(bool grounded) const;
 
   /// Node ids in dependency order (inputs before consumers).
   std::vector<int> TopologicalOrder() const;
@@ -70,3 +70,4 @@ class QueryGraph {
 }  // namespace halk::query
 
 #endif  // HALK_QUERY_DAG_H_
+

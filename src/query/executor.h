@@ -18,23 +18,24 @@ namespace halk::query {
 ///
 /// This is the ground-truth oracle for training labels, evaluation, and
 /// the subgraph matcher's accuracy reference.
-Result<std::vector<int64_t>> ExecuteQuery(const QueryGraph& query,
+[[nodiscard]] Result<std::vector<int64_t>> ExecuteQuery(const QueryGraph& query,
                                           const kg::KnowledgeGraph& graph);
 
 /// As ExecuteQuery, recording one `exec_node` span per evaluated node
 /// (annotated with the node id, operator, and result-set size) under
 /// `trace`. With an inactive context this is ExecuteQuery at no extra
 /// cost beyond a per-node pointer check.
-Result<std::vector<int64_t>> ExecuteQuery(const QueryGraph& query,
+[[nodiscard]] Result<std::vector<int64_t>> ExecuteQuery(const QueryGraph& query,
                                           const kg::KnowledgeGraph& graph,
                                           const obs::TraceContext& trace);
 
 /// As above, but also returns the entity set of every reachable node
 /// (indexed by node id; unreachable nodes get empty sets). Used by the
 /// pruning study to compare per-variable candidates.
-Result<std::vector<std::vector<int64_t>>> ExecuteQueryAllNodes(
+[[nodiscard]] Result<std::vector<std::vector<int64_t>>> ExecuteQueryAllNodes(
     const QueryGraph& query, const kg::KnowledgeGraph& graph);
 
 }  // namespace halk::query
 
 #endif  // HALK_QUERY_EXECUTOR_H_
+

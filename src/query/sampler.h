@@ -45,10 +45,10 @@ class QuerySampler {
                const Options& options);
 
   /// Samples one grounded query of the given structure.
-  Result<GroundedQuery> Sample(StructureId structure);
+  [[nodiscard]] Result<GroundedQuery> Sample(StructureId structure);
 
   /// Samples `count` queries (re-seeding internally between draws).
-  Result<std::vector<GroundedQuery>> SampleMany(StructureId structure,
+  [[nodiscard]] Result<std::vector<GroundedQuery>> SampleMany(StructureId structure,
                                                 int count);
 
   /// Fills anchors/relations of a template in place; returns false if the
@@ -70,3 +70,4 @@ void SplitEasyHard(GroundedQuery* q, const kg::KnowledgeGraph& smaller);
 }  // namespace halk::query
 
 #endif  // HALK_QUERY_SAMPLER_H_
+

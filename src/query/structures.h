@@ -46,7 +46,7 @@ std::vector<StructureId> AllStructures();
 
 /// Lowercase paper name, e.g. "2in".
 std::string StructureName(StructureId id);
-Result<StructureId> StructureFromName(const std::string& name);
+[[nodiscard]] Result<StructureId> StructureFromName(const std::string& name);
 
 /// Builds the ungrounded template (anchors/relations = -1) for a structure.
 QueryGraph MakeStructure(StructureId id);
@@ -66,3 +66,4 @@ std::vector<StructureId> PruningStructures();
 }  // namespace halk::query
 
 #endif  // HALK_QUERY_STRUCTURES_H_
+

@@ -4,9 +4,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace halk::serving {
 
@@ -23,8 +25,8 @@ class LruCache {
   LruCache& operator=(const LruCache&) = delete;
 
   /// Copies the value into `*out` and marks the entry most-recently-used.
-  bool Get(const K& key, V* out) {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool Get(const K& key, V* out) HALK_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     auto it = index_.find(key);
     if (it == index_.end()) {
       ++misses_;
@@ -38,8 +40,8 @@ class LruCache {
 
   /// Inserts or overwrites, evicting the least-recently-used entry when
   /// over capacity. A zero-capacity cache stays empty.
-  void Put(const K& key, V value) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Put(const K& key, V value) HALK_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     if (capacity_ == 0) return;
     auto it = index_.find(key);
     if (it != index_.end()) {
@@ -56,40 +58,41 @@ class LruCache {
     }
   }
 
-  void Clear() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Clear() HALK_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     order_.clear();
     index_.clear();
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const HALK_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return index_.size();
   }
   size_t capacity() const { return capacity_; }
 
-  int64_t hits() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  int64_t hits() const HALK_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return hits_;
   }
-  int64_t misses() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  int64_t misses() const HALK_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return misses_;
   }
-  int64_t evictions() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  int64_t evictions() const HALK_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return evictions_;
   }
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::list<std::pair<K, V>> order_;  // front = most recently used
+  mutable Mutex mu_;
+  /// front = most recently used
+  std::list<std::pair<K, V>> order_ HALK_GUARDED_BY(mu_);
   std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator, Hash>
-      index_;
-  int64_t hits_ = 0;
-  int64_t misses_ = 0;
-  int64_t evictions_ = 0;
+      index_ HALK_GUARDED_BY(mu_);
+  int64_t hits_ HALK_GUARDED_BY(mu_) = 0;
+  int64_t misses_ HALK_GUARDED_BY(mu_) = 0;
+  int64_t evictions_ HALK_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace halk::serving

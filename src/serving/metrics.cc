@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <map>
+#include <set>
 #include <sstream>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -11,13 +14,39 @@ namespace halk::serving {
 
 namespace {
 
-/// Renders labels in canonical form: sorted by label name, values escaped,
-/// `{a="x",b="y"}`. Empty labels render as "" so unlabeled instruments keep
-/// their bare name everywhere.
+/// Prometheus label names match [a-zA-Z_][a-zA-Z0-9_]* (no ':', which is
+/// reserved for metric names); anything else becomes '_' so adversarial
+/// label names can never corrupt the exposition.
+std::string SanitizeLabelName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok =
+        std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+    if (!ok) c = '_';
+  }
+  if (out.empty()) return "_";
+  if (std::isdigit(static_cast<unsigned char>(out[0]))) out.insert(0, 1, '_');
+  return out;
+}
+
+/// Renders labels in canonical form: names sanitized then sorted, values
+/// escaped, `{a="x",b="y"}`. Empty labels render as "" so unlabeled
+/// instruments keep their bare name everywhere.
 std::string CanonicalLabels(const Labels& labels) {
   if (labels.empty()) return "";
-  Labels sorted = labels;
+  Labels sorted;
+  sorted.reserve(labels.size());
+  for (const auto& [label_name, value] : labels) {
+    sorted.emplace_back(SanitizeLabelName(label_name), value);
+  }
   std::sort(sorted.begin(), sorted.end());
+  // Duplicate names (possible when distinct raw names sanitize to the same
+  // string) keep their first value: a sample may carry each label once.
+  sorted.erase(std::unique(sorted.begin(), sorted.end(),
+                           [](const auto& a, const auto& b) {
+                             return a.first == b.first;
+                           }),
+               sorted.end());
   std::string out = "{";
   for (size_t i = 0; i < sorted.size(); ++i) {
     if (i > 0) out += ",";
@@ -28,6 +57,17 @@ std::string CanonicalLabels(const Labels& labels) {
   }
   out += "}";
   return out;
+}
+
+/// Histograms reserve the `le` label for their bucket series; a caller
+/// label that sanitizes to `le` is renamed to `exported_le` (the standard
+/// Prometheus collision convention) so WithLe never emits two `le` pairs.
+Labels RenameReservedHistogramLabels(const Labels& labels) {
+  Labels fixed = labels;
+  for (auto& [label_name, value] : fixed) {
+    if (SanitizeLabelName(label_name) == "le") label_name = "exported_le";
+  }
+  return fixed;
 }
 
 /// Prometheus metric names match [a-zA-Z_:][a-zA-Z0-9_:]*; dots (our
@@ -57,6 +97,7 @@ Histogram::Histogram(std::vector<double> upper_bounds)
   HALK_CHECK(!bounds_.empty());
   HALK_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
   for (std::atomic<int64_t>& c : counts_) {
+    // order: constructor runs before the histogram is shared.
     c.store(0, std::memory_order_relaxed);
   }
 }
@@ -64,6 +105,8 @@ Histogram::Histogram(std::vector<double> upper_bounds)
 void Histogram::Observe(double x) {
   const size_t b = static_cast<size_t>(
       std::lower_bound(bounds_.begin(), bounds_.end(), x) - bounds_.begin());
+  // order: bucket counts, sum, and total are independently-read monitoring
+  // words; readers tolerate momentary disagreement, so no release pairing.
   counts_[b].fetch_add(1, std::memory_order_relaxed);
   double current = sum_.load(std::memory_order_relaxed);
   while (!sum_.compare_exchange_weak(current, current + x,
@@ -74,12 +117,15 @@ void Histogram::Observe(double x) {
 }
 
 int64_t Histogram::count() const {
+  // order: monitoring read; exact only once writers quiesce (documented).
   return total_.load(std::memory_order_relaxed);
 }
 
+// order: monitoring read; exact only once writers quiesce (documented).
 double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
 
 double Histogram::mean() const {
+  // order: both reads are monitoring snapshots; small skew is acceptable.
   const int64_t n = total_.load(std::memory_order_relaxed);
   return n == 0 ? 0.0 : sum_.load(std::memory_order_relaxed) /
                             static_cast<double>(n);
@@ -88,6 +134,8 @@ double Histogram::mean() const {
 std::vector<int64_t> Histogram::BucketCounts() const {
   std::vector<int64_t> out(counts_.size());
   for (size_t b = 0; b < counts_.size(); ++b) {
+    // order: per-bucket snapshot; Quantile derives its total from this
+    // same snapshot, so cross-bucket skew cannot strand the target.
     out[b] = counts_[b].load(std::memory_order_relaxed);
   }
   return out;
@@ -140,7 +188,7 @@ std::vector<double> Histogram::ExponentialBounds(double start, double factor,
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const Labels& labels) {
   const Key key{name, CanonicalLabels(labels)};
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::unique_ptr<Counter>& slot = counters_[key];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
@@ -149,7 +197,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
 Gauge* MetricsRegistry::GetGauge(const std::string& name,
                                  const Labels& labels) {
   const Key key{name, CanonicalLabels(labels)};
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::unique_ptr<Gauge>& slot = gauges_[key];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
@@ -158,8 +206,9 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name,
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> upper_bounds,
                                          const Labels& labels) {
-  const Key key{name, CanonicalLabels(labels)};
-  std::lock_guard<std::mutex> lock(mu_);
+  const Key key{name,
+                CanonicalLabels(RenameReservedHistogramLabels(labels))};
+  MutexLock lock(mu_);
   std::unique_ptr<Histogram>& slot = histograms_[key];
   if (slot == nullptr) {
     slot = std::make_unique<Histogram>(std::move(upper_bounds));
@@ -170,7 +219,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 int64_t MetricsRegistry::CounterValue(const std::string& name,
                                       const Labels& labels) const {
   const Key key{name, CanonicalLabels(labels)};
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(key);
   return it == counters_.end() ? 0 : it->second->value();
 }
@@ -178,13 +227,13 @@ int64_t MetricsRegistry::CounterValue(const std::string& name,
 double MetricsRegistry::GaugeValue(const std::string& name,
                                    const Labels& labels) const {
   const Key key{name, CanonicalLabels(labels)};
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(key);
   return it == gauges_.end() ? 0.0 : it->second->value();
 }
 
 std::string MetricsRegistry::DumpText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream out;
   for (const auto& [key, c] : counters_) {
     out << "counter " << key.name << key.labels << " " << c->value() << "\n";
@@ -202,13 +251,33 @@ std::string MetricsRegistry::DumpText() const {
 }
 
 std::string MetricsRegistry::DumpPrometheus() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
+  // Sanitized families must be unique per instrument, or two raw names
+  // like "x.y" and "x_y" (or a counter and a gauge sharing a name) would
+  // emit duplicate `# TYPE` declarations and interleave their series.
+  // Each (kind, raw name) claims its sanitized family on first use;
+  // later claimants of an already-taken family get a deterministic
+  // `_2`, `_3`, ... suffix. Kinds are numbered so a counter and a gauge
+  // with the same raw name stay distinct families.
+  std::set<std::string> used_families;
+  std::map<std::pair<int, std::string>, std::string> family_of;
+  const auto family_for = [&](int kind, const std::string& raw_name) {
+    auto it = family_of.find({kind, raw_name});
+    if (it != family_of.end()) return it->second;
+    const std::string base = SanitizeName(raw_name);
+    std::string family = base;
+    for (int n = 2; !used_families.insert(family).second; ++n) {
+      family = base + "_" + StrFormat("%d", n);
+    }
+    family_of[{kind, raw_name}] = family;
+    return family;
+  };
   // The maps are ordered by (name, labels), so children of a family are
   // contiguous and each family's # TYPE line precedes all its samples.
   std::string last_family;
   for (const auto& [key, c] : counters_) {
-    const std::string family = SanitizeName(key.name);
+    const std::string family = family_for(0, key.name);
     if (family != last_family) {
       out += "# TYPE " + family + " counter\n";
       last_family = family;
@@ -218,7 +287,7 @@ std::string MetricsRegistry::DumpPrometheus() const {
   }
   last_family.clear();
   for (const auto& [key, g] : gauges_) {
-    const std::string family = SanitizeName(key.name);
+    const std::string family = family_for(1, key.name);
     if (family != last_family) {
       out += "# TYPE " + family + " gauge\n";
       last_family = family;
@@ -227,7 +296,7 @@ std::string MetricsRegistry::DumpPrometheus() const {
   }
   last_family.clear();
   for (const auto& [key, h] : histograms_) {
-    const std::string family = SanitizeName(key.name);
+    const std::string family = family_for(2, key.name);
     if (family != last_family) {
       out += "# TYPE " + family + " histogram\n";
       last_family = family;

@@ -5,10 +5,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace halk::serving {
 
@@ -17,8 +19,10 @@ namespace halk::serving {
 class Counter {
  public:
   void Increment(int64_t n = 1) {
+    // order: independent event count; no other data is published with it.
     value_.fetch_add(n, std::memory_order_relaxed);
   }
+  // order: monitoring read; staleness by a few increments is acceptable.
   int64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
@@ -30,14 +34,18 @@ class Counter {
 /// concurrent deltas never lose updates).
 class Gauge {
  public:
+  // order: the gauge value is self-contained; no release pairing needed.
   void Set(double v) { value_.store(v, std::memory_order_relaxed); }
   void Add(double delta) {
+    // order: CAS loop on a single word; relaxed suffices because no other
+    // memory is published through the gauge.
     double current = value_.load(std::memory_order_relaxed);
     while (!value_.compare_exchange_weak(current, current + delta,
                                          std::memory_order_relaxed,
                                          std::memory_order_relaxed)) {
     }
   }
+  // order: monitoring read; momentary staleness is acceptable.
   double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
@@ -102,17 +110,20 @@ using Labels = std::vector<std::pair<std::string, std::string>>;
 /// for histograms, one bucket layout across all its labeled children.
 class MetricsRegistry {
  public:
-  Counter* GetCounter(const std::string& name, const Labels& labels = {});
-  Gauge* GetGauge(const std::string& name, const Labels& labels = {});
+  Counter* GetCounter(const std::string& name, const Labels& labels = {})
+      HALK_EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name, const Labels& labels = {})
+      HALK_EXCLUDES(mu_);
   Histogram* GetHistogram(const std::string& name,
                           std::vector<double> upper_bounds,
-                          const Labels& labels = {});
+                          const Labels& labels = {}) HALK_EXCLUDES(mu_);
 
   /// Value of a counter, 0 if it was never created.
   int64_t CounterValue(const std::string& name,
-                       const Labels& labels = {}) const;
+                       const Labels& labels = {}) const HALK_EXCLUDES(mu_);
   /// Value of a gauge, 0 if it was never created.
-  double GaugeValue(const std::string& name, const Labels& labels = {}) const;
+  double GaugeValue(const std::string& name, const Labels& labels = {}) const
+      HALK_EXCLUDES(mu_);
 
   /// Plain-text dump. Ordering is stable and documented: all counters,
   /// then all gauges, then all histograms, each sorted by (name, canonical
@@ -121,14 +132,14 @@ class MetricsRegistry {
   ///   counter shard.tasks{shard="2"} 40
   ///   gauge serving.queue_depth 3
   ///   histogram serving.latency_us count=120 mean=412.5 p50=... p95=... p99=...
-  std::string DumpText() const;
+  std::string DumpText() const HALK_EXCLUDES(mu_);
 
   /// Prometheus text exposition (text/plain version 0.0.4): one `# TYPE`
   /// line per family (names sanitized to [a-zA-Z0-9_:], dots become
   /// underscores), counter/gauge sample lines, and the full
   /// `_bucket{le=...}` / `_sum` / `_count` series for histograms with
   /// cumulative bucket counts ending at le="+Inf".
-  std::string DumpPrometheus() const;
+  std::string DumpPrometheus() const HALK_EXCLUDES(mu_);
 
  private:
   /// Instrument identity: name plus canonical (sorted, escaped) labels.
@@ -142,10 +153,11 @@ class MetricsRegistry {
     }
   };
 
-  mutable std::mutex mu_;
-  std::map<Key, std::unique_ptr<Counter>> counters_;
-  std::map<Key, std::unique_ptr<Gauge>> gauges_;
-  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_;
+  std::map<Key, std::unique_ptr<Counter>> counters_ HALK_GUARDED_BY(mu_);
+  std::map<Key, std::unique_ptr<Gauge>> gauges_ HALK_GUARDED_BY(mu_);
+  std::map<Key, std::unique_ptr<Histogram>> histograms_
+      HALK_GUARDED_BY(mu_);
 };
 
 }  // namespace halk::serving

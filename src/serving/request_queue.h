@@ -2,13 +2,13 @@
 #define HALK_SERVING_REQUEST_QUEUE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace halk::serving {
 
@@ -26,16 +26,16 @@ class BoundedQueue {
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
   /// Non-blocking admission: kUnavailable when full or closed.
-  Status TryPush(T item) {
+  [[nodiscard]] Status TryPush(T item) HALK_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (closed_) return Status::Unavailable("queue closed");
       if (items_.size() >= capacity_) {
         return Status::Unavailable("queue full");
       }
       items_.push_back(std::move(item));
     }
-    ready_.notify_one();
+    ready_.NotifyOne();
     return Status::OK();
   }
 
@@ -44,12 +44,14 @@ class BoundedQueue {
   /// fuller batch. Returns false only when the queue is closed and empty —
   /// the consumer's signal to exit.
   bool PopBatch(std::vector<T>* out, size_t max_items,
-                std::chrono::microseconds linger) {
+                std::chrono::microseconds linger) HALK_EXCLUDES(mu_) {
     out->clear();
-    std::unique_lock<std::mutex> lock(mu_);
-    ready_.wait(lock, [this] { return !items_.empty() || closed_; });
+    MutexLock lock(mu_);
+    ready_.Wait(mu_, [this]() HALK_REQUIRES(mu_) {
+      return !items_.empty() || closed_;
+    });
     if (items_.empty()) return false;  // closed and drained
-    auto take = [&] {
+    auto take = [&]() HALK_REQUIRES(mu_) {
       while (!items_.empty() && out->size() < max_items) {
         out->push_back(std::move(items_.front()));
         items_.pop_front();
@@ -62,7 +64,7 @@ class BoundedQueue {
       // coalescing into this batch.
       const auto deadline = std::chrono::steady_clock::now() + linger;
       while (out->size() < max_items && !closed_) {
-        if (!ready_.wait_until(lock, deadline, [this] {
+        if (!ready_.WaitUntil(mu_, deadline, [this]() HALK_REQUIRES(mu_) {
               return !items_.empty() || closed_;
             })) {
           break;  // window elapsed with nothing new
@@ -75,32 +77,33 @@ class BoundedQueue {
 
   /// Rejects future pushes and wakes all consumers; already-queued items
   /// are still handed out so shutdown drains rather than drops.
-  void Close() {
+  void Close() HALK_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
-    ready_.notify_all();
+    ready_.NotifyAll();
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const HALK_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return items_.size();
   }
   size_t capacity() const { return capacity_; }
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool closed() const HALK_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return closed_;
   }
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable ready_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar ready_;
+  std::deque<T> items_ HALK_GUARDED_BY(mu_);
+  bool closed_ HALK_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace halk::serving
 
 #endif  // HALK_SERVING_REQUEST_QUEUE_H_
+

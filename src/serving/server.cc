@@ -116,6 +116,8 @@ Status QueryServer::ValidateQuery(const query::QueryGraph& query,
 Result<std::future<Result<TopKAnswer>>> QueryServer::Submit(
     const query::QueryGraph& query, int64_t k,
     std::chrono::microseconds timeout) {
+  // order: acquire pairs with the seq_cst exchange in Shutdown so a
+  // submitter that sees the flag also sees the queue already closed.
   if (shutdown_.load(std::memory_order_acquire)) {
     return Status::Unavailable("server is shut down");
   }

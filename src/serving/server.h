@@ -107,12 +107,12 @@ class QueryServer {
   /// kInvalidArgument for malformed/unsupported queries; cache hits
   /// resolve before returning. `timeout` zero means no deadline; a request
   /// still queued when its deadline passes resolves to kDeadlineExceeded.
-  Result<std::future<Result<TopKAnswer>>> Submit(
+  [[nodiscard]] Result<std::future<Result<TopKAnswer>>> Submit(
       const query::QueryGraph& query, int64_t k,
       std::chrono::microseconds timeout = std::chrono::microseconds::zero());
 
   /// Synchronous convenience wrapper around Submit.
-  Result<TopKAnswer> Answer(
+  [[nodiscard]] Result<TopKAnswer> Answer(
       const query::QueryGraph& query, int64_t k,
       std::chrono::microseconds timeout = std::chrono::microseconds::zero());
 
@@ -159,7 +159,7 @@ class QueryServer {
 
   void WorkerLoop();
   void ServeChunk(std::vector<std::unique_ptr<PendingRequest>>* chunk);
-  Status ValidateQuery(const query::QueryGraph& query, int64_t k) const;
+  [[nodiscard]] Status ValidateQuery(const query::QueryGraph& query, int64_t k) const;
   void Finish(PendingRequest* request, Result<TopKAnswer> result);
 
   core::QueryModel* model_;
@@ -192,3 +192,4 @@ class QueryServer {
 }  // namespace halk::serving
 
 #endif  // HALK_SERVING_SERVER_H_
+

@@ -3,29 +3,29 @@
 namespace halk::shard {
 
 void ShardFaultInjector::FailNextCalls(int shard, int replica, int n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   faults_[{shard, replica}].fail_next = n;
 }
 
 void ShardFaultInjector::AddLatency(int shard, int replica,
                                     std::chrono::microseconds latency) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   faults_[{shard, replica}].latency = latency;
 }
 
 void ShardFaultInjector::SetDown(int shard, int replica, bool down) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   faults_[{shard, replica}].down = down;
 }
 
 void ShardFaultInjector::SetShardDown(int shard, int num_replicas, bool down) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (int r = 0; r < num_replicas; ++r) faults_[{shard, r}].down = down;
 }
 
 Status ShardFaultInjector::OnCall(int shard, int replica,
                                   std::chrono::microseconds* added_latency) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   *added_latency = std::chrono::microseconds::zero();
   auto it = faults_.find({shard, replica});
   if (it == faults_.end()) return Status::OK();

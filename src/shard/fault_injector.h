@@ -3,10 +3,11 @@
 
 #include <chrono>
 #include <map>
-#include <mutex>
 #include <utility>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace halk::shard {
 
@@ -18,24 +19,26 @@ namespace halk::shard {
 class ShardFaultInjector {
  public:
   /// The next `n` calls served by (shard, replica) fail with kUnavailable.
-  void FailNextCalls(int shard, int replica, int n);
+  void FailNextCalls(int shard, int replica, int n) HALK_EXCLUDES(mu_);
 
   /// Every call served by (shard, replica) sleeps `latency` before
   /// computing — a degraded replica, not a failed one.
-  void AddLatency(int shard, int replica, std::chrono::microseconds latency);
+  void AddLatency(int shard, int replica, std::chrono::microseconds latency)
+      HALK_EXCLUDES(mu_);
 
   /// Permanently downs (or, with false, revives) the replica: every call
   /// fails until cleared.
-  void SetDown(int shard, int replica, bool down);
+  void SetDown(int shard, int replica, bool down) HALK_EXCLUDES(mu_);
 
   /// Downs every replica of `shard` — the full-shard-outage scenario.
-  void SetShardDown(int shard, int num_replicas, bool down);
+  void SetShardDown(int shard, int num_replicas, bool down)
+      HALK_EXCLUDES(mu_);
 
   /// Consulted by the worker at the start of each call. Returns the
   /// injected failure (if any) and reports extra latency the worker must
   /// sleep through `added_latency` (always written; zero when unarmed).
-  Status OnCall(int shard, int replica,
-                std::chrono::microseconds* added_latency);
+  [[nodiscard]] Status OnCall(int shard, int replica,
+                std::chrono::microseconds* added_latency) HALK_EXCLUDES(mu_);
 
  private:
   struct Fault {
@@ -44,10 +47,11 @@ class ShardFaultInjector {
     std::chrono::microseconds latency{0};
   };
 
-  std::mutex mu_;
-  std::map<std::pair<int, int>, Fault> faults_;
+  Mutex mu_;
+  std::map<std::pair<int, int>, Fault> faults_ HALK_GUARDED_BY(mu_);
 };
 
 }  // namespace halk::shard
 
 #endif  // HALK_SHARD_FAULT_INJECTOR_H_
+

@@ -52,6 +52,9 @@ Status ShardWorker::Submit(std::unique_ptr<ShardTask> task) {
 }
 
 void ShardWorker::MarkFailure() {
+  // order: acq_rel makes concurrent demotions agree on the streak count;
+  // the release store pairs with the acquire load in health() so a
+  // coordinator that observes kDown also observes the streak behind it.
   const int streak = failure_streak_.fetch_add(1, std::memory_order_acq_rel) + 1;
   const int state = static_cast<int>(streak >= down_after_failures_
                                          ? ReplicaHealth::kDown
@@ -61,6 +64,8 @@ void ShardWorker::MarkFailure() {
 }
 
 void ShardWorker::MarkSuccess() {
+  // order: release pairs with the acquire load in health(); clearing the
+  // streak must not be reordered after the revive becomes visible.
   failure_streak_.store(0, std::memory_order_release);
   health_.store(static_cast<int>(ReplicaHealth::kHealthy),
                 std::memory_order_release);
@@ -78,6 +83,7 @@ void ShardWorker::Loop() {
 }
 
 void ShardWorker::Serve(ShardTask* task) {
+  // order: statistics counter; readers tolerate staleness.
   tasks_served_.fetch_add(1, std::memory_order_relaxed);
   if (faults_ != nullptr) {
     std::chrono::microseconds delay{0};

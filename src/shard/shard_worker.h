@@ -79,13 +79,15 @@ class ShardWorker {
   ShardWorker& operator=(const ShardWorker&) = delete;
 
   /// Enqueues a task; kUnavailable when the queue is full or stopped.
-  Status Submit(std::unique_ptr<ShardTask> task);
+  [[nodiscard]] Status Submit(std::unique_ptr<ShardTask> task);
 
   /// Closes the queue (pending tasks still drain) and joins the thread.
   /// Idempotent; also run by the destructor.
   void Stop();
 
   ReplicaHealth health() const {
+    // order: acquire pairs with the release stores in MarkFailure /
+    // MarkSuccess so health transitions are seen in order.
     return static_cast<ReplicaHealth>(
         health_.load(std::memory_order_acquire));
   }
@@ -99,6 +101,7 @@ class ShardWorker {
   int shard_index() const { return shard_index_; }
   int replica_index() const { return replica_index_; }
   int64_t tasks_served() const {
+    // order: statistics read; staleness is acceptable.
     return tasks_served_.load(std::memory_order_relaxed);
   }
 
@@ -126,3 +129,4 @@ class ShardWorker {
 }  // namespace halk::shard
 
 #endif  // HALK_SHARD_SHARD_WORKER_H_
+

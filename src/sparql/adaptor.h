@@ -25,13 +25,14 @@ namespace halk::sparql {
 /// Constraints (clearly reported as errors): single projection variable,
 /// constant predicates, acyclic variable dependencies, and every variable
 /// on the path to the target must have at least one producer.
-Result<query::QueryGraph> ToQueryGraph(const SelectQuery& select,
+[[nodiscard]] Result<query::QueryGraph> ToQueryGraph(const SelectQuery& select,
                                        const kg::KnowledgeGraph& kg);
 
 /// Convenience wrapper: parse + adapt.
-Result<query::QueryGraph> CompileSparql(const std::string& text,
+[[nodiscard]] Result<query::QueryGraph> CompileSparql(const std::string& text,
                                         const kg::KnowledgeGraph& kg);
 
 }  // namespace halk::sparql
 
 #endif  // HALK_SPARQL_ADAPTOR_H_
+

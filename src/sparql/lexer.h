@@ -27,8 +27,9 @@ struct Token {
 /// Tokenizes a SPARQL-subset query. Keywords are case-insensitive; IRIs
 /// are normalized to their local names (text after the last ':', '/', or
 /// '#').
-Result<std::vector<Token>> Lex(const std::string& input);
+[[nodiscard]] Result<std::vector<Token>> Lex(const std::string& input);
 
 }  // namespace halk::sparql
 
 #endif  // HALK_SPARQL_LEXER_H_
+

@@ -21,8 +21,9 @@ namespace halk::sparql {
 ///
 /// Exactly one projection variable is supported (the paper targets
 /// single-answer-variable logical queries).
-Result<SelectQuery> Parse(const std::string& input);
+[[nodiscard]] Result<SelectQuery> Parse(const std::string& input);
 
 }  // namespace halk::sparql
 
 #endif  // HALK_SPARQL_PARSER_H_
+

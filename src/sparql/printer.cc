@@ -1,0 +1,64 @@
+#include "sparql/printer.h"
+
+namespace halk::sparql {
+
+namespace {
+
+void AppendTerm(const Term& term, std::string* out) {
+  if (term.is_variable()) {
+    *out += '?';
+    *out += term.text;
+  } else {
+    *out += '<';
+    *out += term.text;
+    *out += '>';
+  }
+}
+
+void AppendGroup(const GroupPattern& group, std::string* out) {
+  *out += "{ ";
+  for (const TriplePattern& triple : group.triples) {
+    AppendTerm(triple.subject, out);
+    *out += ' ';
+    AppendTerm(triple.predicate, out);
+    *out += ' ';
+    AppendTerm(triple.object, out);
+    *out += " . ";
+  }
+  for (const std::vector<GroupPattern>& alternatives : group.unions) {
+    for (size_t i = 0; i < alternatives.size(); ++i) {
+      if (i > 0) *out += "UNION ";
+      AppendGroup(alternatives[i], out);
+      *out += ' ';
+    }
+  }
+  for (const GroupPattern& inner : group.not_exists) {
+    *out += "FILTER NOT EXISTS ";
+    AppendGroup(inner, out);
+    *out += ' ';
+  }
+  for (const GroupPattern& inner : group.minus) {
+    *out += "MINUS ";
+    AppendGroup(inner, out);
+    *out += ' ';
+  }
+  *out += '}';
+}
+
+}  // namespace
+
+std::string ToSparql(const GroupPattern& group) {
+  std::string out;
+  AppendGroup(group, &out);
+  return out;
+}
+
+std::string ToSparql(const SelectQuery& query) {
+  std::string out = "SELECT ?";
+  out += query.target_variable;
+  out += " WHERE ";
+  AppendGroup(query.where, &out);
+  return out;
+}
+
+}  // namespace halk::sparql

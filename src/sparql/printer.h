@@ -1,0 +1,26 @@
+#ifndef HALK_SPARQL_PRINTER_H_
+#define HALK_SPARQL_PRINTER_H_
+
+#include <string>
+
+#include "sparql/ast.h"
+
+namespace halk::sparql {
+
+/// Serializes an AST back to parseable SPARQL-subset text, the inverse of
+/// Parse(). IRIs are emitted in angle form (`<name>`) because the lexer
+/// normalizes every IRI to a local name that can never contain ':', '/',
+/// '#', or '>' — the angle form therefore re-lexes to exactly the same
+/// token even when the name holds spaces or punctuation a prefixed form
+/// would split. Printing is canonical (triples, then unions, then
+/// FILTER NOT EXISTS, then MINUS), so print -> parse -> print is a fixed
+/// point; the fuzz suite leans on that to check round-trip stability.
+std::string ToSparql(const SelectQuery& query);
+
+/// Serializes one group (without the enclosing braces' leading keyword
+/// context); exposed for tests.
+std::string ToSparql(const GroupPattern& group);
+
+}  // namespace halk::sparql
+
+#endif  // HALK_SPARQL_PRINTER_H_

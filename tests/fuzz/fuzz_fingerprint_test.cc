@@ -1,0 +1,243 @@
+// Deterministic fuzzing of query fingerprint canonicalization: randomly
+// generated grounded DAGs are re-expressed in ways that do not change the
+// denoted query — commutative inputs permuted, node ids renumbered by a
+// random topological rebuild, dead nodes appended — and the canonical
+// fingerprint must be bit-identical across every re-expression, while
+// semantically distinct queries must never collide.
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fuzz/fuzz_harness.h"
+#include "query/dag.h"
+#include "query/fingerprint.h"
+
+namespace halk::query {
+namespace {
+
+using fuzz::SplitMix64;
+
+void Shuffle(std::vector<int>* v, SplitMix64& rng) {
+  for (size_t i = v->size(); i > 1; --i) {
+    std::swap((*v)[i - 1], (*v)[rng.Below(i)]);
+  }
+}
+
+/// Picks `count` distinct node ids from [0, pool).
+std::vector<int> PickDistinct(int pool, int count, SplitMix64& rng) {
+  std::vector<int> ids(pool);
+  for (int i = 0; i < pool; ++i) ids[i] = i;
+  Shuffle(&ids, rng);
+  ids.resize(count);
+  return ids;
+}
+
+/// A random grounded query DAG. Anchors draw entities from
+/// [entity_base, entity_base + 100), so graphs built with different bases
+/// are guaranteed semantically distinct (anchor sets are disjoint).
+QueryGraph RandomGraph(int64_t entity_base, SplitMix64& rng) {
+  QueryGraph g;
+  const int num_anchors = 1 + static_cast<int>(rng.Below(3));
+  for (int i = 0; i < num_anchors; ++i) {
+    g.AddAnchor(entity_base + static_cast<int64_t>(rng.Below(100)));
+  }
+  const int num_ops = 1 + static_cast<int>(rng.Below(7));
+  int last = 0;
+  for (int i = 0; i < num_ops; ++i) {
+    const int pool = g.num_nodes();
+    switch (rng.Below(5)) {
+      case 0:
+      case 1:  // bias toward projections, the paper's dominant op
+        last = g.AddProjection(static_cast<int>(rng.Below(pool)),
+                               static_cast<int64_t>(rng.Below(50)));
+        break;
+      case 2: {
+        if (pool < 2) { last = g.AddProjection(0, 1); break; }
+        const int n = 2 + static_cast<int>(rng.Below(
+                              std::min(pool - 1, 2)));
+        last = g.AddIntersection(PickDistinct(pool, n, rng));
+        break;
+      }
+      case 3: {
+        if (pool < 2) { last = g.AddProjection(0, 2); break; }
+        const int n = 2 + static_cast<int>(rng.Below(
+                              std::min(pool - 1, 2)));
+        if (rng.OneIn(2)) {
+          last = g.AddUnion(PickDistinct(pool, n, rng));
+        } else {
+          last = g.AddDifference(PickDistinct(pool, n, rng));
+        }
+        break;
+      }
+      case 4:
+        last = g.AddNegation(static_cast<int>(rng.Below(pool)));
+        break;
+    }
+  }
+  g.SetTarget(last);
+  return g;
+}
+
+/// Same query, inputs of commutative operators permuted in place
+/// (difference keeps its minuend, the subtrahend tail shuffles).
+QueryGraph PermuteCommutative(const QueryGraph& g, SplitMix64& rng) {
+  QueryGraph out = g;
+  for (int id = 0; id < out.num_nodes(); ++id) {
+    QueryNode& node = out.mutable_node(id);
+    if (node.op == OpType::kIntersection || node.op == OpType::kUnion) {
+      Shuffle(&node.inputs, rng);
+    } else if (node.op == OpType::kDifference && node.inputs.size() > 2) {
+      std::vector<int> tail(node.inputs.begin() + 1, node.inputs.end());
+      Shuffle(&tail, rng);
+      std::copy(tail.begin(), tail.end(), node.inputs.begin() + 1);
+    }
+  }
+  return out;
+}
+
+/// Same query rebuilt under a random topological renumbering: node ids,
+/// insertion order, and input-list storage all change; the denoted query
+/// does not.
+QueryGraph RandomRenumber(const QueryGraph& g, SplitMix64& rng) {
+  const int n = g.num_nodes();
+  std::vector<int> indegree(n, 0);
+  std::vector<std::vector<int>> consumers(n);
+  for (int id = 0; id < n; ++id) {
+    for (int input : g.nodes()[id].inputs) {
+      ++indegree[id];
+      consumers[input].push_back(id);
+    }
+  }
+  std::vector<int> ready;
+  for (int id = 0; id < n; ++id) {
+    if (indegree[id] == 0) ready.push_back(id);
+  }
+  QueryGraph out;
+  std::vector<int> remap(n, -1);
+  while (!ready.empty()) {
+    const size_t pick = rng.Below(ready.size());
+    const int id = ready[pick];
+    ready.erase(ready.begin() + static_cast<long>(pick));
+    const QueryNode& node = g.nodes()[id];
+    std::vector<int> inputs;
+    inputs.reserve(node.inputs.size());
+    for (int input : node.inputs) inputs.push_back(remap[input]);
+    switch (node.op) {
+      case OpType::kAnchor:
+        remap[id] = out.AddAnchor(node.anchor_entity);
+        break;
+      case OpType::kProjection:
+        remap[id] = out.AddProjection(inputs[0], node.relation);
+        break;
+      case OpType::kIntersection:
+        remap[id] = out.AddIntersection(std::move(inputs));
+        break;
+      case OpType::kUnion:
+        remap[id] = out.AddUnion(std::move(inputs));
+        break;
+      case OpType::kDifference:
+        remap[id] = out.AddDifference(std::move(inputs));
+        break;
+      case OpType::kNegation:
+        remap[id] = out.AddNegation(inputs[0]);
+        break;
+    }
+    for (int consumer : consumers[id]) {
+      if (--indegree[consumer] == 0) ready.push_back(consumer);
+    }
+  }
+  out.SetTarget(remap[g.target()]);
+  return out;
+}
+
+/// Appends nodes unreachable from the target; the canonical fingerprint
+/// hashes only the target's sub-DAG.
+QueryGraph WithDeadNodes(const QueryGraph& g, SplitMix64& rng) {
+  QueryGraph out = g;
+  const int target = out.target();
+  const int dead_anchor =
+      out.AddAnchor(static_cast<int64_t>(1000000 + rng.Below(100)));
+  out.AddProjection(dead_anchor, static_cast<int64_t>(rng.Below(50)));
+  out.SetTarget(target);
+  return out;
+}
+
+TEST(FingerprintFuzzTest, CanonicalFingerprintIsInvariantUnderReexpression) {
+  SplitMix64 rng(11);
+  for (int round = 0; round < 400; ++round) {
+    const QueryGraph g = RandomGraph(round * 1000, rng);
+    ASSERT_TRUE(g.Validate(/*grounded=*/true).ok())
+        << "generator bug at round " << round << ": " << g.ToString();
+    const Fingerprint fp = CanonicalFingerprint(g);
+    SCOPED_TRACE("round " + std::to_string(round) + " " + g.ToString());
+    for (int variant = 0; variant < 4; ++variant) {
+      EXPECT_EQ(CanonicalFingerprint(PermuteCommutative(g, rng)), fp);
+      EXPECT_EQ(CanonicalFingerprint(RandomRenumber(g, rng)), fp);
+      EXPECT_EQ(CanonicalFingerprint(WithDeadNodes(g, rng)), fp);
+      EXPECT_EQ(CanonicalFingerprint(
+                    RandomRenumber(PermuteCommutative(g, rng), rng)),
+                fp);
+    }
+  }
+}
+
+TEST(FingerprintFuzzTest, DistinctQueriesDoNotCollide) {
+  // Disjoint anchor-entity ranges make every generated graph a different
+  // query, so every canonical fingerprint must be unique. 2000 graphs at
+  // 128 bits: any collision is a canonicalization bug, not bad luck.
+  SplitMix64 rng(23);
+  std::set<std::pair<uint64_t, uint64_t>> seen;
+  for (int round = 0; round < 2000; ++round) {
+    const QueryGraph g = RandomGraph(round * 1000, rng);
+    const Fingerprint fp = CanonicalFingerprint(g);
+    EXPECT_TRUE(seen.insert({fp.hi, fp.lo}).second)
+        << "collision at round " << round << ": " << g.ToString();
+  }
+}
+
+TEST(FingerprintFuzzTest, GroundingChangesTheFingerprint) {
+  SplitMix64 rng(31);
+  for (int round = 0; round < 300; ++round) {
+    QueryGraph g = RandomGraph(round * 1000, rng);
+    const Fingerprint fp = CanonicalFingerprint(g);
+    // Mutate one anchor entity or one relation reachable from the target;
+    // the fingerprint must move.
+    QueryGraph mutated = g;
+    bool changed = false;
+    for (int id = 0; id < mutated.num_nodes() && !changed; ++id) {
+      QueryNode& node = mutated.mutable_node(id);
+      if (node.op == OpType::kAnchor) {
+        node.anchor_entity += 1;
+        changed = true;
+      }
+    }
+    ASSERT_TRUE(changed);
+    // Node 0 is always an anchor and every leaf is an anchor, but the
+    // mutated anchor might be dead; only assert when it is reachable.
+    bool reachable = false;
+    {
+      std::vector<int> stack = {mutated.target()};
+      std::vector<bool> seen_node(mutated.num_nodes(), false);
+      while (!stack.empty()) {
+        const int id = stack.back();
+        stack.pop_back();
+        if (seen_node[id]) continue;
+        seen_node[id] = true;
+        if (id == 0) reachable = true;
+        for (int input : mutated.nodes()[id].inputs) stack.push_back(input);
+      }
+    }
+    if (reachable) {
+      EXPECT_NE(CanonicalFingerprint(mutated), fp)
+          << "round " << round << ": " << g.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace halk::query

@@ -1,0 +1,127 @@
+#ifndef HALK_TESTS_FUZZ_FUZZ_HARNESS_H_
+#define HALK_TESTS_FUZZ_FUZZ_HARNESS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+/// A deterministic, corpus-driven mutation fuzzer: no libFuzzer, no
+/// coverage feedback, just a seeded PRNG applying structured mutations to
+/// checked-in corpus entries. Every run of a fuzz test executes the exact
+/// same input sequence, so the `fuzz`-labeled ctest suites are ordinary
+/// reproducible tests that happen to explore a large adversarial input
+/// space — run them under ASan/UBSan/TSan (the sanitizer CI matrix does)
+/// and a failure is a plain test failure with a reproducible seed.
+namespace halk::fuzz {
+
+/// SplitMix64 (Steele et al.): tiny, fast, and passes BigCrush — more than
+/// enough to drive mutations. Deliberately not std::mt19937 so the stream
+/// is stable across standard libraries.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n); n must be > 0.
+  uint64_t Below(uint64_t n) { return Next() % n; }
+
+  bool OneIn(uint64_t n) { return Below(n) == 0; }
+
+ private:
+  uint64_t state_;
+};
+
+/// Applies 1..4 random byte/span-level mutations to `base`. `corpus` (may
+/// be empty) feeds the splice mutation so crossover between entries is
+/// possible; `tokens` (may be empty) feeds a dictionary mutation inserting
+/// domain keywords whole, which reaches far deeper into parsers than byte
+/// noise alone.
+inline std::string Mutate(const std::string& base,
+                          const std::vector<std::string>& corpus,
+                          const std::vector<std::string>& tokens,
+                          SplitMix64& rng) {
+  std::string out = base;
+  const int rounds = 1 + static_cast<int>(rng.Below(4));
+  for (int round = 0; round < rounds; ++round) {
+    switch (rng.Below(7)) {
+      case 0:  // flip one byte
+        if (!out.empty()) {
+          out[rng.Below(out.size())] =
+              static_cast<char>(rng.Below(256));
+        }
+        break;
+      case 1:  // insert a random byte
+        out.insert(out.begin() + static_cast<long>(rng.Below(out.size() + 1)),
+                   static_cast<char>(rng.Below(256)));
+        break;
+      case 2: {  // erase a span
+        if (out.empty()) break;
+        const size_t at = rng.Below(out.size());
+        const size_t len = 1 + rng.Below(out.size() - at);
+        out.erase(at, rng.OneIn(4) ? len : 1 + rng.Below(8));
+        break;
+      }
+      case 3: {  // duplicate a span in place
+        if (out.empty()) break;
+        const size_t at = rng.Below(out.size());
+        const size_t len =
+            std::min<size_t>(1 + rng.Below(16), out.size() - at);
+        out.insert(at, out.substr(at, len));
+        break;
+      }
+      case 4: {  // splice a random slice of another corpus entry
+        if (corpus.empty()) break;
+        const std::string& donor = corpus[rng.Below(corpus.size())];
+        if (donor.empty()) break;
+        const size_t from = rng.Below(donor.size());
+        const size_t len = 1 + rng.Below(donor.size() - from);
+        out.insert(rng.Below(out.size() + 1), donor.substr(from, len));
+        break;
+      }
+      case 5: {  // insert a dictionary token
+        if (tokens.empty()) break;
+        out.insert(rng.Below(out.size() + 1),
+                   tokens[rng.Below(tokens.size())]);
+        break;
+      }
+      case 6:  // truncate
+        if (!out.empty()) out.resize(rng.Below(out.size() + 1));
+        break;
+    }
+    // Keep inputs bounded so quadratic consumers stay fast.
+    if (out.size() > 4096) out.resize(4096);
+  }
+  return out;
+}
+
+/// Drives `fn` over every corpus entry unmutated (the corpus must always
+/// pass) and then over `iterations` seeded mutants. The callback receives
+/// the input and a reproduction tag ("seed=S iter=I") to embed in failure
+/// messages.
+inline void RunCorpus(
+    const std::vector<std::string>& corpus,
+    const std::vector<std::string>& tokens, uint64_t seed, int iterations,
+    const std::function<void(const std::string&, const std::string&)>& fn) {
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    fn(corpus[i], "corpus entry #" + std::to_string(i));
+  }
+  SplitMix64 rng(seed);
+  for (int i = 0; i < iterations; ++i) {
+    const std::string& base = corpus[rng.Below(corpus.size())];
+    const std::string input = Mutate(base, corpus, tokens, rng);
+    fn(input,
+       "seed=" + std::to_string(seed) + " iter=" + std::to_string(i));
+  }
+}
+
+}  // namespace halk::fuzz
+
+#endif  // HALK_TESTS_FUZZ_FUZZ_HARNESS_H_

@@ -1,0 +1,388 @@
+#include "tools/lint/lint.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace halk::lint {
+namespace {
+
+std::vector<Diagnostic> Lint(const std::string& path,
+                             const std::string& text) {
+  return LintFileContent(path, text, Options{}).diagnostics;
+}
+
+bool HasRule(const std::vector<Diagnostic>& diags, const std::string& rule,
+             int line = -1) {
+  return std::any_of(diags.begin(), diags.end(),
+                     [&](const Diagnostic& d) {
+                       return d.rule == rule &&
+                              (line < 0 || d.line == line);
+                     });
+}
+
+// ---------------------------------------------------------------------------
+// StripCommentsAndStrings
+// ---------------------------------------------------------------------------
+
+TEST(StripTest, BlanksLineAndBlockComments) {
+  const std::string in = "int x;  // new Foo\n/* delete p; */int y;\n";
+  const std::string out = StripCommentsAndStrings(in);
+  EXPECT_EQ(out.size(), in.size());
+  EXPECT_EQ(out, "int x;            \n               int y;\n");
+}
+
+TEST(StripTest, BlanksStringAndCharLiterals) {
+  const std::string in = "auto s = \"new X\"; char c = 'n';\n";
+  const std::string out = StripCommentsAndStrings(in);
+  EXPECT_EQ(out.size(), in.size());
+  EXPECT_EQ(out.find("new"), std::string::npos);
+  // The surrounding code survives.
+  EXPECT_NE(out.find("auto s ="), std::string::npos);
+}
+
+TEST(StripTest, HandlesEscapesInsideStrings) {
+  const std::string in = R"(auto s = "a\"new\""; int z;)";
+  const std::string out = StripCommentsAndStrings(in);
+  EXPECT_EQ(out.find("new"), std::string::npos);
+  EXPECT_NE(out.find("int z;"), std::string::npos);
+}
+
+TEST(StripTest, BlanksRawStrings) {
+  const std::string in = "auto q = R\"(new Foo // delete)\"; int after;";
+  const std::string out = StripCommentsAndStrings(in);
+  EXPECT_EQ(out.find("new"), std::string::npos);
+  EXPECT_EQ(out.find("delete"), std::string::npos);
+  EXPECT_NE(out.find("int after;"), std::string::npos);
+}
+
+TEST(StripTest, PreservesNewlinesInsideComments) {
+  const std::string in = "/* a\nb\nc */int x;";
+  const std::string out = StripCommentsAndStrings(in);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+// ---------------------------------------------------------------------------
+// no-using-namespace-header
+// ---------------------------------------------------------------------------
+
+TEST(UsingNamespaceTest, FiresInHeader) {
+  const auto diags = Lint("src/foo/bar.h", "using namespace std;\n");
+  EXPECT_TRUE(HasRule(diags, "no-using-namespace-header", 1));
+}
+
+TEST(UsingNamespaceTest, SilentInSourceFile) {
+  const auto diags = Lint("src/foo/bar.cc", "using namespace std;\n");
+  EXPECT_FALSE(HasRule(diags, "no-using-namespace-header"));
+}
+
+TEST(UsingNamespaceTest, SilentInCommentAndSuppressedInline) {
+  EXPECT_FALSE(HasRule(Lint("a.h", "// using namespace std;\n"),
+                       "no-using-namespace-header"));
+  EXPECT_FALSE(HasRule(
+      Lint("a.h",
+           "using namespace std;  "
+           "// halk_lint:allow no-using-namespace-header\n"),
+      "no-using-namespace-header"));
+}
+
+// ---------------------------------------------------------------------------
+// no-raw-new-delete
+// ---------------------------------------------------------------------------
+
+TEST(RawNewDeleteTest, FiresOnNewAndDelete) {
+  EXPECT_TRUE(HasRule(Lint("src/a.cc", "auto* p = new Foo();\n"),
+                      "no-raw-new-delete", 1));
+  EXPECT_TRUE(
+      HasRule(Lint("src/a.cc", "delete p;\n"), "no-raw-new-delete", 1));
+  EXPECT_TRUE(
+      HasRule(Lint("src/a.cc", "delete[] arr;\n"), "no-raw-new-delete", 1));
+}
+
+TEST(RawNewDeleteTest, DefaultedSpecialMembersAreNotDeletes) {
+  const auto diags =
+      Lint("src/a.h", "Foo(const Foo&) = delete;\nFoo& operator=(const "
+                      "Foo&) = delete;\n");
+  EXPECT_FALSE(HasRule(diags, "no-raw-new-delete"));
+}
+
+TEST(RawNewDeleteTest, TensorArenaIsExempt) {
+  EXPECT_FALSE(HasRule(Lint("src/tensor/arena.cc", "auto* p = new float[8];\n"),
+                       "no-raw-new-delete"));
+}
+
+TEST(RawNewDeleteTest, IdentifiersContainingNewDoNotFire) {
+  EXPECT_FALSE(HasRule(Lint("src/a.cc", "int renew_count = new_size;\n"),
+                       "no-raw-new-delete"));
+}
+
+// ---------------------------------------------------------------------------
+// no-std-mutex
+// ---------------------------------------------------------------------------
+
+TEST(StdMutexTest, FiresOnStdPrimitives) {
+  EXPECT_TRUE(
+      HasRule(Lint("src/a.h", "std::mutex mu_;\n"), "no-std-mutex", 1));
+  EXPECT_TRUE(HasRule(Lint("src/a.cc", "std::lock_guard<std::mutex> l(m);\n"),
+                      "no-std-mutex", 1));
+  EXPECT_TRUE(HasRule(Lint("src/a.h", "std::condition_variable cv_;\n"),
+                      "no-std-mutex", 1));
+}
+
+TEST(StdMutexTest, AnnotatedWrapperIsFine) {
+  const auto diags =
+      Lint("src/a.h", "halk::Mutex mu_;\nint x_ HALK_GUARDED_BY(mu_);\n");
+  EXPECT_FALSE(HasRule(diags, "no-std-mutex"));
+}
+
+TEST(StdMutexTest, InlineAllowSuppresses) {
+  const auto diags = Lint(
+      "src/a.h", "std::mutex mu_;  // halk_lint:allow no-std-mutex — why\n");
+  EXPECT_FALSE(HasRule(diags, "no-std-mutex"));
+}
+
+// ---------------------------------------------------------------------------
+// mutex-guarded
+// ---------------------------------------------------------------------------
+
+TEST(MutexGuardedTest, UnguardedMutexMemberFires) {
+  const auto diags = Lint("src/a.h", "class C {\n  Mutex mu_;\n  int x_;\n};\n");
+  EXPECT_TRUE(HasRule(diags, "mutex-guarded", 2));
+}
+
+TEST(MutexGuardedTest, GuardedMutexMemberIsFine) {
+  const auto diags = Lint(
+      "src/a.h",
+      "class C {\n  mutable Mutex mu_;\n  int x_ HALK_GUARDED_BY(mu_);\n};\n");
+  EXPECT_FALSE(HasRule(diags, "mutex-guarded"));
+}
+
+TEST(MutexGuardedTest, PtGuardedAlsoCounts) {
+  const auto diags =
+      Lint("src/a.h",
+           "class C {\n  Mutex mu_;\n  int* p_ HALK_PT_GUARDED_BY(mu_);\n};\n");
+  EXPECT_FALSE(HasRule(diags, "mutex-guarded"));
+}
+
+TEST(MutexGuardedTest, StaticAndLocalMutexesAreSkipped) {
+  EXPECT_FALSE(HasRule(Lint("src/a.cc", "static Mutex g_mu;\n"),
+                       "mutex-guarded"));
+}
+
+// ---------------------------------------------------------------------------
+// memory-order-comment
+// ---------------------------------------------------------------------------
+
+TEST(MemoryOrderTest, UncommentedRelaxedFires) {
+  const auto diags =
+      Lint("src/a.cc", "n_.fetch_add(1, std::memory_order_relaxed);\n");
+  EXPECT_TRUE(HasRule(diags, "memory-order-comment", 1));
+}
+
+TEST(MemoryOrderTest, SameLineOrderCommentPasses) {
+  const auto diags = Lint(
+      "src/a.cc",
+      "n_.fetch_add(1, std::memory_order_relaxed);  // order: counter only\n");
+  EXPECT_FALSE(HasRule(diags, "memory-order-comment"));
+}
+
+TEST(MemoryOrderTest, CommentWithinTenLinesPasses) {
+  std::string text = "// order: seqlock write protocol\n";
+  for (int i = 0; i < 9; ++i) text += "int filler" + std::to_string(i) + ";\n";
+  text += "seq_.store(s, std::memory_order_release);\n";
+  EXPECT_FALSE(HasRule(Lint("src/a.cc", text), "memory-order-comment"));
+}
+
+TEST(MemoryOrderTest, CommentBeyondTenLinesFires) {
+  std::string text = "// order: too far away\n";
+  for (int i = 0; i < 11; ++i) text += "int filler" + std::to_string(i) + ";\n";
+  text += "seq_.store(s, std::memory_order_release);\n";
+  EXPECT_TRUE(HasRule(Lint("src/a.cc", text), "memory-order-comment"));
+}
+
+TEST(MemoryOrderTest, SeqCstNeedsNoComment) {
+  EXPECT_FALSE(HasRule(Lint("src/a.cc", "n_.store(1);\n"),
+                       "memory-order-comment"));
+}
+
+// ---------------------------------------------------------------------------
+// nodiscard-status
+// ---------------------------------------------------------------------------
+
+TEST(NodiscardTest, HeaderDeclWithoutAttributeFires) {
+  const auto diags = Lint("src/a.h", "Status Load(const std::string& p);\n");
+  EXPECT_TRUE(HasRule(diags, "nodiscard-status", 1));
+}
+
+TEST(NodiscardTest, ResultDeclWithoutAttributeFires) {
+  const auto diags =
+      Lint("src/a.h", "Result<std::vector<int>> Parse(std::string s);\n");
+  EXPECT_TRUE(HasRule(diags, "nodiscard-status", 1));
+}
+
+TEST(NodiscardTest, AttributeOnSameOrPrecedingLinePasses) {
+  EXPECT_FALSE(HasRule(
+      Lint("src/a.h", "[[nodiscard]] Status Load(const std::string& p);\n"),
+      "nodiscard-status"));
+  EXPECT_FALSE(HasRule(
+      Lint("src/a.h", "[[nodiscard]]\nStatus Load(const std::string& p);\n"),
+      "nodiscard-status"));
+}
+
+TEST(NodiscardTest, ConstructorsAndSourceFilesDoNotFire) {
+  // `Status()` / `Result(T)` constructors have no function name after the
+  // type, and .cc definitions are the declaration's responsibility.
+  EXPECT_FALSE(HasRule(Lint("src/a.h", "Status() : code_(kOk) {}\n"),
+                       "nodiscard-status"));
+  EXPECT_FALSE(HasRule(
+      Lint("src/a.cc", "Status Load(const std::string& p) { return {}; }\n"),
+      "nodiscard-status"));
+}
+
+TEST(NodiscardTest, StatusHeaderRequiresClassLevelAttribute) {
+  const auto bad = Lint("src/common/status.h",
+                        "class Status {};\ntemplate <typename T>\nclass "
+                        "Result {};\n");
+  EXPECT_TRUE(HasRule(bad, "nodiscard-status"));
+  const auto good =
+      Lint("src/common/status.h",
+           "class [[nodiscard]] Status {};\ntemplate <typename T>\nclass "
+           "[[nodiscard]] Result {};\n");
+  EXPECT_FALSE(HasRule(good, "nodiscard-status"));
+}
+
+TEST(NodiscardTest, FixInsertsAttributePreservingIndent) {
+  Options fix;
+  fix.fix = true;
+  const std::string text =
+      "class C {\n  Status Load(const std::string& p);\n};\n";
+  FileResult result = LintFileContent("src/a.h", text, fix);
+  ASSERT_TRUE(result.changed);
+  EXPECT_NE(result.fixed_text.find(
+                "  [[nodiscard]] Status Load(const std::string& p);"),
+            std::string::npos);
+  // The fixed finding is reported but marked as repaired.
+  ASSERT_TRUE(HasRule(result.diagnostics, "nodiscard-status"));
+  EXPECT_EQ(result.diagnostics[0].message.rfind("[fixed] ", 0), 0u);
+  // Re-linting the fixed text is clean.
+  EXPECT_FALSE(HasRule(Lint("src/a.h", result.fixed_text),
+                       "nodiscard-status"));
+}
+
+// ---------------------------------------------------------------------------
+// gitignore-hygiene
+// ---------------------------------------------------------------------------
+
+TEST(GitignoreTest, MissingFileIsOneFinding) {
+  const auto diags = LintGitignore(".gitignore", "", /*exists=*/false);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "gitignore-hygiene");
+}
+
+TEST(GitignoreTest, CompleteFileIsClean) {
+  const auto diags = LintGitignore(
+      ".gitignore", "build/\nbuild-*/\nBENCH_*.json\nartifacts/\n",
+      /*exists=*/true);
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(GitignoreTest, BuildGlobCoversBothBuildPatterns) {
+  const auto diags = LintGitignore(
+      ".gitignore", "build*/\nBENCH_*.json\nartifacts/\n", /*exists=*/true);
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(GitignoreTest, EachMissingPatternIsItsOwnFinding) {
+  const auto diags =
+      LintGitignore(".gitignore", "build/\n", /*exists=*/true);
+  EXPECT_EQ(diags.size(), 3u);  // build-*/, BENCH_*.json, artifacts/
+  for (const auto& d : diags) EXPECT_EQ(d.rule, "gitignore-hygiene");
+}
+
+// ---------------------------------------------------------------------------
+// Allowlist
+// ---------------------------------------------------------------------------
+
+TEST(AllowlistTest, ParsesEntriesAndEnforcesJustification) {
+  std::vector<Diagnostic> diags;
+  const auto entries = ParseAllowlist(
+      "# header comment\n"
+      "no-std-mutex src/common/mutex.h  # the annotated wrapper itself\n"
+      "mutex-guarded src/legacy/  \n",
+      "allow.txt", &diags);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_TRUE(entries[0].has_justification);
+  EXPECT_FALSE(entries[1].has_justification);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "allowlist-justification");
+  EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(AllowlistTest, MalformedEntryIsASyntaxFinding) {
+  std::vector<Diagnostic> diags;
+  const auto entries = ParseAllowlist("just-a-rule\n", "allow.txt", &diags);
+  EXPECT_TRUE(entries.empty());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "allowlist-syntax");
+}
+
+TEST(AllowlistTest, AllowedMatchesRuleAndPathSubstring) {
+  std::vector<Diagnostic> diags;
+  const auto entries = ParseAllowlist(
+      "no-std-mutex common/mutex.h  # wrapper\n"
+      "* src/generated/  # machine output\n",
+      "allow.txt", &diags);
+  EXPECT_TRUE(Allowed(entries, "no-std-mutex", "src/common/mutex.h"));
+  EXPECT_FALSE(Allowed(entries, "mutex-guarded", "src/common/mutex.h"));
+  EXPECT_FALSE(Allowed(entries, "no-std-mutex", "src/serving/server.h"));
+  // A `*` rule suppresses everything under the path.
+  EXPECT_TRUE(Allowed(entries, "no-raw-new-delete", "src/generated/x.cc"));
+}
+
+// ---------------------------------------------------------------------------
+// Seeded-mutant negatives: the checkers catch the exact regressions the CI
+// gates exist to prevent (tree is currently clean, so these prove the
+// detection path end to end).
+// ---------------------------------------------------------------------------
+
+TEST(SeededMutantTest, DroppingGuardedByAnnotationIsCaught) {
+  const std::string annotated =
+      "class Cache {\n"
+      "  mutable Mutex mu_;\n"
+      "  size_t hits_ HALK_GUARDED_BY(mu_) = 0;\n"
+      "};\n";
+  EXPECT_FALSE(HasRule(Lint("src/serving/c.h", annotated), "mutex-guarded"));
+  // Mutant: someone strips the annotation.
+  const std::string mutant =
+      "class Cache {\n"
+      "  mutable Mutex mu_;\n"
+      "  size_t hits_ = 0;\n"
+      "};\n";
+  EXPECT_TRUE(HasRule(Lint("src/serving/c.h", mutant), "mutex-guarded", 2));
+}
+
+TEST(SeededMutantTest, RevertingToStdMutexIsCaught) {
+  const std::string mutant =
+      "class Cache {\n"
+      "  mutable std::mutex mu_;\n"
+      "  size_t hits_ HALK_GUARDED_BY(mu_) = 0;\n"
+      "};\n";
+  EXPECT_TRUE(HasRule(Lint("src/serving/c.h", mutant), "no-std-mutex", 2));
+}
+
+TEST(SeededMutantTest, DeletingOrderCommentIsCaught) {
+  const std::string annotated =
+      "// order: release pairs with acquire in health()\n"
+      "health_.store(h, std::memory_order_release);\n";
+  EXPECT_FALSE(
+      HasRule(Lint("src/shard/w.cc", annotated), "memory-order-comment"));
+  const std::string mutant =
+      "health_.store(h, std::memory_order_release);\n";
+  EXPECT_TRUE(
+      HasRule(Lint("src/shard/w.cc", mutant), "memory-order-comment", 1));
+}
+
+}  // namespace
+}  // namespace halk::lint

@@ -1,0 +1,34 @@
+// NEGATIVE fixture for clang's -Wthread-safety analysis. This file is NOT
+// part of any build target: the clang CI job compiles it with
+// `-Wthread-safety -Werror -fsyntax-only` and asserts the compilation
+// FAILS, proving the annotation plumbing in common/mutex.h and
+// common/thread_annotations.h actually detects the races it exists to
+// catch (a silently inert macro set would pass every positive build).
+//
+// Each violation below mirrors a real bug class the annotations guard
+// against in src/serving and src/shard.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace halk {
+
+class Account {
+ public:
+  // Violation 1: writes a guarded member without holding its mutex.
+  void DepositUnlocked(int amount) { balance_ += amount; }
+
+  // Violation 2: declares the requirement but the caller below ignores it.
+  void DepositLocked(int amount) HALK_REQUIRES(mu_) { balance_ += amount; }
+  void CallerWithoutLock() { DepositLocked(1); }
+
+  // Violation 3: acquires but never releases (scoped-capability misuse is
+  // the double-unlock / forgotten-unlock bug class).
+  void LockLeak() { mu_.Lock(); }
+
+ private:
+  Mutex mu_;
+  int balance_ HALK_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace halk

@@ -1,5 +1,7 @@
 #include "serving/metrics.h"
 
+#include "serving/prometheus_grammar.h"
+
 #include <cmath>
 #include <map>
 #include <regex>
@@ -237,122 +239,6 @@ TEST(MetricsRegistryTest, DumpTextOrderingIsStableAndDocumented) {
   }
 }
 
-// Checks `text` line by line against the Prometheus text exposition format
-// (version 0.0.4): every line is a `# TYPE` declaration or a sample whose
-// name/labels/value match the grammar, every sample belongs to a declared
-// family, and histogram bucket series are cumulative and consistent.
-void ExpectValidPrometheusExposition(const std::string& text) {
-  static const std::regex kTypeRe(
-      R"(# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram))");
-  static const std::regex kSampleRe(
-      R"lit(([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? (-?(?:[0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?)|\+Inf))lit");
-
-  std::map<std::string, std::string> family_type;  // name -> declared type
-  // Per histogram child (family + non-le labels): the bucket counts in
-  // file order, the +Inf bucket, and the _count sample, cross-checked at
-  // the end.
-  std::map<std::string, std::vector<double>> bucket_series;
-  std::map<std::string, double> inf_value;
-  std::map<std::string, double> count_value;
-  std::map<std::string, int> sum_seen;
-
-  std::istringstream lines(text);
-  std::string line;
-  int line_no = 0;
-  while (std::getline(lines, line)) {
-    ++line_no;
-    SCOPED_TRACE("line " + std::to_string(line_no) + ": " + line);
-    ASSERT_FALSE(line.empty()) << "blank line in exposition";
-    std::smatch m;
-    if (line[0] == '#') {
-      ASSERT_TRUE(std::regex_match(line, m, kTypeRe));
-      const std::string family = m[1];
-      EXPECT_EQ(family_type.count(family), 0u)
-          << "duplicate # TYPE for " << family;
-      family_type[family] = m[2];
-      continue;
-    }
-    ASSERT_TRUE(std::regex_match(line, m, kSampleRe));
-    const std::string name = m[1];
-    const std::string labels = m[2];
-    const std::string value_text = m[3];
-    const double value =
-        value_text == "+Inf" ? 0.0 : std::stod(value_text);  // must parse
-
-    // Resolve the family: plain name for counters/gauges, the stripped
-    // `_bucket`/`_sum`/`_count` suffix for histogram series.
-    std::string family = name;
-    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
-      const std::string s(suffix);
-      if (name.size() > s.size() &&
-          name.compare(name.size() - s.size(), s.size(), s) == 0) {
-        const std::string stem = name.substr(0, name.size() - s.size());
-        if (family_type.count(stem) != 0 &&
-            family_type[stem] == "histogram") {
-          family = stem;
-          break;
-        }
-      }
-    }
-    ASSERT_EQ(family_type.count(family), 1u)
-        << "sample before/without # TYPE for family " << family;
-    const std::string& type = family_type[family];
-    if (type == "histogram") {
-      // Key bucket series by family + non-le labels so labeled children
-      // are tracked independently; the `le` label itself must be present
-      // on bucket lines.
-      if (name == family + "_bucket") {
-        ASSERT_NE(labels.find("le="), std::string::npos);
-        // Strip the le pair (it varies per line of one series) so the key
-        // matches the _sum/_count label set of the same child.
-        std::string rest = labels;
-        const size_t le = rest.find("le=");
-        const size_t end = rest.find_first_of(",}", le);
-        if (rest[end] == ',') {
-          rest.erase(le, end - le + 1);  // mid-list: drop its trailing comma
-        } else if (le > 1 && rest[le - 1] == ',') {
-          rest.erase(le - 1, end - le + 1);  // last pair: drop leading comma
-        } else {
-          rest.erase(le, end - le + 1);  // only pair: "{" remains
-        }
-        if (rest == "{") rest.clear();
-        const std::string series_key = family + "|" + rest;
-        bucket_series[series_key].push_back(value);
-        if (line.find("le=\"+Inf\"") != std::string::npos) {
-          inf_value[series_key] = value;
-        }
-      } else if (name == family + "_count") {
-        count_value[family + "|" + labels] = value;
-      } else if (name == family + "_sum") {
-        ++sum_seen[family + "|" + labels];
-      } else {
-        ADD_FAILURE() << "histogram family " << family
-                      << " has non-series sample " << name;
-      }
-    } else {
-      EXPECT_EQ(name, family) << "suffixed sample in a " << type << " family";
-    }
-  }
-
-  EXPECT_FALSE(family_type.empty());
-  for (const auto& [key, series] : bucket_series) {
-    SCOPED_TRACE("bucket series " + key);
-    ASSERT_FALSE(series.empty());
-    for (size_t i = 1; i < series.size(); ++i) {
-      EXPECT_GE(series[i], series[i - 1]) << "buckets must be cumulative";
-    }
-    // The +Inf bucket closes every series and agrees with _count and _sum.
-    ASSERT_EQ(inf_value.count(key), 1u) << "no +Inf bucket";
-    EXPECT_EQ(series.back(), inf_value[key]);
-    ASSERT_EQ(count_value.count(key), 1u) << "no _count sample";
-    EXPECT_EQ(inf_value[key], count_value[key]);
-    EXPECT_EQ(sum_seen.count(key), 1u) << "no _sum sample";
-  }
-  for (const auto& [key, n] : sum_seen) {
-    EXPECT_EQ(n, 1) << "family child " << key << " must emit _sum once";
-  }
-}
-
 TEST(MetricsRegistryTest, DumpPrometheusMatchesTheTextGrammar) {
   MetricsRegistry registry;
   registry.GetCounter("serving.submitted")->Increment(128);
@@ -404,6 +290,36 @@ TEST(MetricsRegistryTest, ConcurrentGetOrCreate) {
   }
   for (std::thread& t : threads) t.join();
   EXPECT_EQ(registry.CounterValue("shared"), 4000);
+}
+
+// Regression: label names used to reach the exposition unsanitized, so an
+// adversarial name (spaces, quotes, leading digit) produced grammar-invalid
+// output. Names now canonicalize to [a-zA-Z_][a-zA-Z0-9_]* at registration.
+TEST(MetricsRegistryTest, AdversarialLabelNamesAreSanitized) {
+  MetricsRegistry registry;
+  registry.GetCounter("c", {{"bad name!", "v"}, {"1digit", "w"}})
+      ->Increment();
+  const std::string text = registry.DumpPrometheus();
+  SCOPED_TRACE(text);
+  ExpectValidPrometheusExposition(text);
+  EXPECT_NE(text.find("bad_name_=\"v\""), std::string::npos);
+  EXPECT_NE(text.find("_1digit=\"w\""), std::string::npos);
+}
+
+// Regression: two raw names sanitizing to the same family ("x.y" and
+// "x_y") used to emit duplicate # TYPE declarations; later claimants now
+// get a deterministic _2 suffix.
+TEST(MetricsRegistryTest, CollidingSanitizedFamiliesStayDistinct) {
+  MetricsRegistry registry;
+  registry.GetCounter("x.y")->Increment();
+  registry.GetCounter("x_y")->Increment(2);
+  registry.GetGauge("x_y")->Set(7.0);  // cross-kind collision on the name
+  const std::string text = registry.DumpPrometheus();
+  SCOPED_TRACE(text);
+  ExpectValidPrometheusExposition(text);
+  EXPECT_NE(text.find("# TYPE x_y counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE x_y_2 counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE x_y_3 gauge"), std::string::npos);
 }
 
 }  // namespace

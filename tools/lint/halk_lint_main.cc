@@ -1,0 +1,165 @@
+// halk_lint CLI: walks the given files/directories (.h/.cc/.cpp), applies
+// the rule engine in tools/lint/lint.{h,cc}, filters findings through the
+// allowlist, and prints `file:line: [rule] message` per finding.
+//
+// Usage:
+//   halk_lint [--fix] [--allowlist FILE] [--root DIR] <paths...>
+//
+// Exit status: 0 when clean (or when --fix repaired every finding),
+// 1 when unfixed findings remain, 2 on usage/IO errors.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+bool IsLintableSource(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+void CollectFiles(const fs::path& path, std::vector<fs::path>* out) {
+  if (fs::is_directory(path)) {
+    for (const auto& entry : fs::recursive_directory_iterator(path)) {
+      if (entry.is_regular_file() && IsLintableSource(entry.path())) {
+        out->push_back(entry.path());
+      }
+    }
+  } else {
+    out->push_back(path);
+  }
+}
+
+int Usage() {
+  std::cerr << "usage: halk_lint [--fix] [--allowlist FILE] [--root DIR] "
+               "<paths...>\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  halk::lint::Options options;
+  std::string allowlist_path;
+  std::string root = ".";
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fix") {
+      options.fix = true;
+    } else if (arg == "--allowlist") {
+      if (++i >= argc) return Usage();
+      allowlist_path = argv[i];
+    } else if (arg == "--root") {
+      if (++i >= argc) return Usage();
+      root = argv[i];
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "halk_lint: unknown flag " << arg << "\n";
+      return Usage();
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) return Usage();
+
+  std::vector<halk::lint::Diagnostic> diagnostics;
+
+  // Allowlist: explicit flag wins; otherwise the conventional location under
+  // the root, which is optional.
+  std::vector<halk::lint::AllowEntry> allow;
+  if (allowlist_path.empty()) {
+    const fs::path conventional =
+        fs::path(root) / "tools" / "halk_lint_allowlist.txt";
+    if (fs::exists(conventional)) allowlist_path = conventional.string();
+  }
+  if (!allowlist_path.empty()) {
+    std::string text;
+    if (!ReadFile(allowlist_path, &text)) {
+      std::cerr << "halk_lint: cannot read allowlist " << allowlist_path
+                << "\n";
+      return 2;
+    }
+    allow = halk::lint::ParseAllowlist(text, allowlist_path, &diagnostics);
+  }
+
+  std::vector<fs::path> files;
+  for (const std::string& input : inputs) {
+    if (!fs::exists(input)) {
+      std::cerr << "halk_lint: no such file or directory: " << input << "\n";
+      return 2;
+    }
+    CollectFiles(input, &files);
+  }
+  std::sort(files.begin(), files.end());
+
+  int fixed = 0;
+  for (const fs::path& file : files) {
+    std::string text;
+    if (!ReadFile(file, &text)) {
+      std::cerr << "halk_lint: cannot read " << file.string() << "\n";
+      return 2;
+    }
+    const std::string path = file.generic_string();
+    halk::lint::FileResult result =
+        halk::lint::LintFileContent(path, text, options);
+    for (halk::lint::Diagnostic& d : result.diagnostics) {
+      if (halk::lint::Allowed(allow, d.rule, path)) continue;
+      diagnostics.push_back(std::move(d));
+    }
+    if (result.changed) {
+      std::ofstream out(file, std::ios::binary | std::ios::trunc);
+      out << result.fixed_text;
+      ++fixed;
+    }
+  }
+
+  // Repo hygiene: the root .gitignore must fence off build trees and
+  // generated artifacts.
+  {
+    const fs::path gitignore = fs::path(root) / ".gitignore";
+    std::string text;
+    const bool exists = fs::exists(gitignore) && ReadFile(gitignore, &text);
+    for (halk::lint::Diagnostic& d : halk::lint::LintGitignore(
+             gitignore.generic_string(), text, exists)) {
+      if (halk::lint::Allowed(allow, d.rule, d.file)) continue;
+      diagnostics.push_back(std::move(d));
+    }
+  }
+
+  int failures = 0;
+  for (const halk::lint::Diagnostic& d : diagnostics) {
+    std::cout << d.ToString() << "\n";
+    if (d.message.rfind("[fixed] ", 0) != 0) ++failures;
+  }
+  if (failures > 0) {
+    std::cout << "halk_lint: " << failures << " finding(s) in "
+              << files.size() << " file(s)\n";
+    return 1;
+  }
+  if (fixed > 0) {
+    std::cout << "halk_lint: fixed " << fixed << " file(s), no findings "
+              << "remain\n";
+  }
+  return 0;
+}

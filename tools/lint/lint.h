@@ -1,0 +1,81 @@
+#ifndef HALK_TOOLS_LINT_LINT_H_
+#define HALK_TOOLS_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+/// halk_lint: a from-scratch, stdlib-only lint engine enforcing the repo's
+/// correctness conventions over `src/` (see docs/static_analysis.md for the
+/// rule catalog). It is deliberately textual — rules are written against
+/// comment/string-stripped source lines, not an AST — which keeps the tool
+/// dependency-free and fast enough to run on every build, at the cost of
+/// only catching the idioms this codebase actually uses. Each rule has a
+/// stable id usable in the allowlist file and in inline
+/// `halk_lint:allow <rule>` comments.
+namespace halk::lint {
+
+/// One finding, formatted by callers as `file:line: [rule] message`.
+struct Diagnostic {
+  std::string file;
+  int line = 0;  // 1-based; 0 = whole-file / repo-level finding
+  std::string rule;
+  std::string message;
+
+  std::string ToString() const;
+};
+
+struct Options {
+  /// Apply mechanical fixes in place (currently: nodiscard-status
+  /// insertion). Non-mechanical rules always stay diagnostics.
+  bool fix = false;
+};
+
+/// Result of linting one file. When `fix` was requested and a mechanical
+/// rule fired, `fixed_text` holds the rewritten file and `changed` is true
+/// (diagnostics for the fixed findings are still reported, marked fixed).
+struct FileResult {
+  std::vector<Diagnostic> diagnostics;
+  std::string fixed_text;
+  bool changed = false;
+};
+
+/// Replaces the contents of comments and string/char literals with spaces,
+/// preserving every newline and byte offset, so token rules cannot fire on
+/// prose or literals. Rules that *read* comments (`// order:`,
+/// `halk_lint:allow`) consult the original text instead.
+std::string StripCommentsAndStrings(const std::string& text);
+
+/// Lints one file's content. `path` is used for diagnostics and for
+/// path-scoped rules (header-only rules, tensor-arena exemption).
+FileResult LintFileContent(const std::string& path, const std::string& text,
+                           const Options& options);
+
+/// Repo-hygiene rule over the root .gitignore: build trees (`build/`,
+/// `build-*/`), bench artifacts (`BENCH_*.json`), and the CI `artifacts/`
+/// directory must all be ignored so they can never be committed again.
+/// `exists` is false when no .gitignore was found at the root.
+std::vector<Diagnostic> LintGitignore(const std::string& gitignore_path,
+                                      const std::string& text, bool exists);
+
+/// One allowlist entry: `rule path-substring  # justification`.
+struct AllowEntry {
+  std::string rule;
+  std::string path_substring;
+  bool has_justification = false;
+  int line = 0;
+};
+
+/// Parses the allowlist. Entries missing a `# justification` comment are
+/// themselves diagnostics (rule `allowlist-justification`) — grandfathered
+/// sites must say why.
+std::vector<AllowEntry> ParseAllowlist(const std::string& text,
+                                       const std::string& path,
+                                       std::vector<Diagnostic>* diagnostics);
+
+/// True when `rule` at `path` is suppressed by an allowlist entry.
+bool Allowed(const std::vector<AllowEntry>& entries, const std::string& rule,
+             const std::string& path);
+
+}  // namespace halk::lint
+
+#endif  // HALK_TOOLS_LINT_LINT_H_
