@@ -2,13 +2,31 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 
 namespace halk::bench {
 
 using query::StructureId;
 
+namespace {
+
+std::string Utcnow() {
+  const std::time_t now = std::time(nullptr);
+  std::tm parts{};
+  gmtime_r(&now, &parts);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &parts);
+  return buf;
+}
+
+}  // namespace
+
 BenchJson::BenchJson(const std::string& name) : name_(name) {
   fields_.emplace_back("bench", "\"" + name + "\"");
+  // Provenance: which build produced the number, and when. The sha is the
+  // commit seen at CMake configure time ("unknown" outside a git clone).
+  fields_.emplace_back("git_sha", "\"" HALK_GIT_SHA "\"");
+  fields_.emplace_back("timestamp", "\"" + Utcnow() + "\"");
 }
 
 BenchJson& BenchJson::Set(const std::string& key, const std::string& value) {
@@ -48,8 +66,35 @@ std::string BenchJson::ToJson() const {
   return out;
 }
 
+bool EnableProfilerFromEnv() {
+  const char* env = std::getenv("HALK_BENCH_PROFILE");
+  const bool profile = env != nullptr && env[0] == '1';
+  if (profile) obs::Profiler::Global().set_enabled(true);
+  return profile;
+}
+
+std::string RenderTopSelf(const obs::ProfileSnapshot& snapshot, int n) {
+  std::string out;
+  for (const obs::ProfileFlatEntry& e : snapshot.TopSelf(n)) {
+    if (!out.empty()) out += "|";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "=%.3fms/%lldx",
+                  static_cast<double>(e.self_ns) / 1e6,
+                  static_cast<long long>(e.count));
+    out += e.path + buf;
+  }
+  return out;
+}
+
 void BenchJson::Emit() const {
-  const std::string json = ToJson();
+  BenchJson with_profile = *this;
+  // A profiled run records where its time went right in the summary line;
+  // unprofiled runs keep the historical schema (no key at all).
+  if (obs::Profiler::Global().enabled()) {
+    with_profile.Set("profile",
+                     RenderTopSelf(obs::Profiler::Global().Snapshot(), 5));
+  }
+  const std::string json = with_profile.ToJson();
   std::printf("JSON %s\n", json.c_str());
   const char* dir = std::getenv("HALK_BENCH_OUTPUT_DIR");
   const std::string path = std::string(dir != nullptr ? dir
@@ -154,10 +199,56 @@ Trained TrainModel(const std::string& model_name, const BenchDataset& ds,
     for (StructureId s : query::NegationStructures()) mix.push_back(s);
     options.structures = std::move(mix);
   }
+  // Opt-in training observability, shared by every bench binary:
+  //   HALK_BENCH_PROFILE=1  → enable the profiler for the run, report the
+  //     phase breakdown, and write a collapsed-stack flamegraph
+  //     (FLAME_train_<model>_<dataset>.txt next to the BENCH_*.json files);
+  //   HALK_BENCH_JOURNAL=1  → write the structured training journal
+  //     (JOURNAL_train_<model>_<dataset>.jsonl, same directory).
+  // Both default off so perf-sensitive captures pay nothing.
+  const char* out_dir_env = std::getenv("HALK_BENCH_OUTPUT_DIR");
+  const std::string out_dir =
+      out_dir_env != nullptr ? out_dir_env : HALK_REPO_ROOT_DIR;
+  const std::string run_tag = model_name + "_" + ds.data.name;
+  const char* profile_env = std::getenv("HALK_BENCH_PROFILE");
+  const bool profile = profile_env != nullptr && profile_env[0] == '1';
+  options.profile = profile;
+  const char* journal_env = std::getenv("HALK_BENCH_JOURNAL");
+  std::unique_ptr<obs::TrainJournal> journal;
+  if (journal_env != nullptr && journal_env[0] == '1') {
+    auto opened = obs::TrainJournal::Open(out_dir + "/JOURNAL_train_" +
+                                          run_tag + ".jsonl");
+    if (opened.ok()) {
+      journal = std::move(*opened);
+      options.journal = journal.get();
+    } else {
+      std::fprintf(stderr, "warning: %s\n",
+                   opened.status().ToString().c_str());
+    }
+  }
+
   core::Trainer trainer(model->get(), &ds.data.train, ds.grouping.get(),
                         options);
   auto stats = trainer.Train();
   HALK_CHECK(stats.ok()) << stats.status().ToString();
+
+  if (profile) {
+    const std::string flame_path =
+        out_dir + "/FLAME_train_" + run_tag + ".txt";
+    FILE* f = std::fopen(flame_path.c_str(), "w");
+    if (f != nullptr) {
+      const std::string collapsed =
+          obs::Profiler::Global().Snapshot().ToCollapsed();
+      std::fwrite(collapsed.data(), 1, collapsed.size(), f);
+      std::fclose(f);
+    }
+    std::printf(
+        "train phases (%s): sample %.2fs embed %.2fs loss %.2fs "
+        "backward %.2fs adam %.2fs of %.2fs total\n",
+        run_tag.c_str(), stats->sample_seconds, stats->embed_seconds,
+        stats->loss_seconds, stats->backward_seconds, stats->adam_seconds,
+        stats->seconds);
+  }
 
   Trained out;
   out.model = std::move(*model);

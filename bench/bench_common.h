@@ -13,11 +13,14 @@
 namespace halk::bench {
 
 /// The one machine-readable summary line every bench ends with. Keys keep
-/// insertion order ("bench" is always first) so the lines diff cleanly
-/// across runs. Emit() prints `JSON {...}` to stdout — the grep target for
-/// longitudinal perf tracking — and writes the same object to
-/// BENCH_<name>.json at the repo root (HALK_BENCH_OUTPUT_DIR overrides the
-/// directory; keep keys stable once a bench has shipped).
+/// insertion order ("bench" is always first, then the provenance fields
+/// `git_sha` / `timestamp` added by the constructor) so the lines diff
+/// cleanly across runs. Emit() prints `JSON {...}` to stdout — the grep
+/// target for longitudinal perf tracking — appends a `profile` field with
+/// the top-5 self-time regions when the global profiler is enabled, and
+/// writes the same object to BENCH_<name>.json at the repo root
+/// (HALK_BENCH_OUTPUT_DIR overrides the directory; keep keys stable once
+/// a bench has shipped). `tools/halk_bench_diff` compares two such files.
 class BenchJson {
  public:
   explicit BenchJson(const std::string& name);
@@ -35,6 +38,19 @@ class BenchJson {
   std::string name_;
   std::vector<std::pair<std::string, std::string>> fields_;  // pre-rendered
 };
+
+/// Renders the `n` largest self-time regions of a profile snapshot as one
+/// flat string — `path=<self_ms>ms/<count>x` entries joined by `|` — so
+/// BENCH_*.json stays a flat JSON object (the shared line parser and
+/// bench_diff reject nested containers by design).
+std::string RenderTopSelf(const obs::ProfileSnapshot& snapshot, int n);
+
+/// Enables the global profiler when HALK_BENCH_PROFILE=1, so benches that
+/// never train (the infra benches serve an untrained model) still report
+/// where their serving/ranking time went via BenchJson's `profile` field.
+/// Training benches get this plus the flamegraph/journal files through
+/// TrainModel. Returns whether profiling is on.
+bool EnableProfilerFromEnv();
 
 /// Records `<prefix>p50_ms` / `<prefix>p95_ms` / `<prefix>p99_ms` from an
 /// instrumented latency histogram (whose observations are in microseconds,

@@ -92,6 +92,10 @@ double RunServed(halk::serving::QueryServer* server, const Workload& w,
 int main() {
   using namespace halk;
   const bool fast = std::getenv("HALK_BENCH_FAST") != nullptr;
+  // HALK_BENCH_PROFILE=1 reports where serving time went (the `profile`
+  // field of the JSON line) — a profiled run is a different workload, so
+  // never compare its qps against an unprofiled one.
+  bench::EnableProfilerFromEnv();
   const int num_requests = fast ? 300 : 2000;
   const int pool_size = fast ? 32 : 96;
   const int64_t k = 10;

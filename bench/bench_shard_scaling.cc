@@ -53,6 +53,10 @@ LatencyStats Summarize(std::vector<double> latencies_ms, double seconds) {
 int main() {
   using namespace halk;
   const bool fast = std::getenv("HALK_BENCH_FAST") != nullptr;
+  // HALK_BENCH_PROFILE=1 reports where ranking time went (the `profile`
+  // field of the JSON line) — never compare a profiled run's qps against
+  // an unprofiled one.
+  bench::EnableProfilerFromEnv();
   // Scoring 20k entities dwarfs embedding one 8-node query graph, which is
   // the regime sharding is for (production tables are larger still).
   const int64_t num_entities = fast ? 4000 : 20000;

@@ -8,6 +8,8 @@
 //   $ ./examples/sparql_endpoint
 //   $ ./examples/sparql_endpoint --checkpoint /tmp/sparql_model.bin
 //   $ ./examples/sparql_endpoint --trace-out /tmp/endpoint_trace.json
+//   $ ./examples/sparql_endpoint --journal-out /tmp/train_journal.jsonl \
+//                                --profile-out /tmp/endpoint_flame.txt
 //
 // With --checkpoint, the model is restored from the file when it exists
 // (skipping training entirely — the restart path of a real endpoint) and
@@ -16,7 +18,11 @@
 // configuration error: the endpoint prints the diagnostic to stderr and
 // exits nonzero rather than silently training a fresh model over it. With
 // --trace-out, the trace of the last served query is written as
-// chrome://tracing JSON on exit.
+// chrome://tracing JSON on exit. With --journal-out, the training loop
+// appends one JSONL record per step (loss, grad norm, tape op counts) to
+// the given path; with --profile-out, the global CPU profiler is enabled
+// for the whole process and a collapsed-stack flamegraph is written on
+// exit (feed it to flamegraph.pl or speedscope).
 //
 // After the scripted demo the endpoint drops into a line REPL on stdin
 // (EOF exits immediately, so piping from /dev/null is script-safe):
@@ -26,10 +32,12 @@
 //   .trace     chrome://tracing JSON of the last served query
 //   .slow      slow-query log (fingerprint, hits, worst latency)
 //   .health    per-replica shard health
+//   .profile   collapsed-stack CPU profile (needs --profile-out)
 //   .quit      exit
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -100,6 +108,8 @@ int main(int argc, char** argv) {
   using namespace halk;
   std::string checkpoint_path;
   std::string trace_out_path;
+  std::string journal_out_path;
+  std::string profile_out_path;
   for (int i = 1; i < argc - 1; ++i) {
     if (std::strcmp(argv[i], "--checkpoint") == 0) {
       checkpoint_path = argv[i + 1];
@@ -107,6 +117,17 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--trace-out") == 0) {
       trace_out_path = argv[i + 1];
     }
+    if (std::strcmp(argv[i], "--journal-out") == 0) {
+      journal_out_path = argv[i + 1];
+    }
+    if (std::strcmp(argv[i], "--profile-out") == 0) {
+      profile_out_path = argv[i + 1];
+    }
+  }
+  if (!profile_out_path.empty()) {
+    obs::Profiler::Global().set_enabled(true);
+    std::printf("CPU profiler enabled, flamegraph -> %s\n",
+                profile_out_path.c_str());
   }
   kg::KnowledgeGraph kg = BuildKg();
   std::printf("academic KG: %lld entities, %lld relations, %lld triples\n",
@@ -176,8 +197,24 @@ int main(int argc, char** argv) {
     topt.queries_per_structure = 40;
     topt.structures = {query::StructureId::k1p, query::StructureId::k2p,
                        query::StructureId::k2i};
+    std::unique_ptr<obs::TrainJournal> journal;
+    if (!journal_out_path.empty()) {
+      auto opened = obs::TrainJournal::Open(journal_out_path);
+      if (opened.ok()) {
+        journal = std::move(*opened);
+        topt.journal = journal.get();
+      } else {
+        std::printf("cannot open journal %s: %s\n", journal_out_path.c_str(),
+                    opened.status().ToString().c_str());
+      }
+    }
     core::Trainer trainer(&model, &kg, &grouping, topt);
     HALK_CHECK(trainer.Train().ok());
+    if (journal != nullptr) {
+      std::printf("training journal: %lld records -> %s\n",
+                  static_cast<long long>(journal->records_written()),
+                  journal_out_path.c_str());
+    }
     if (!checkpoint_path.empty()) {
       const Status saved = core::SaveCheckpoint(model, checkpoint_path);
       if (saved.ok()) {
@@ -239,7 +276,7 @@ int main(int argc, char** argv) {
   // fgets returns null at EOF, so non-interactive runs fall straight
   // through.
   std::printf("\n--- interactive endpoint (SPARQL per line; "
-              ".metrics .prom .trace .slow .health .quit) ---\n");
+              ".metrics .prom .trace .slow .health .profile .quit) ---\n");
   char line[4096];
   while (std::fgets(line, sizeof(line), stdin) != nullptr) {
     const std::string input(Trim(line));
@@ -266,6 +303,18 @@ int main(int argc, char** argv) {
                     static_cast<double>(entry.worst_ns) / 1e3,
                     entry.trace.spans().size());
       }
+    } else if (input == ".profile") {
+      if (!obs::Profiler::Global().enabled()) {
+        std::printf("profiler disabled (run with --profile-out)\n");
+        continue;
+      }
+      const std::string collapsed =
+          obs::Profiler::Global().Snapshot().ToCollapsed();
+      if (collapsed.empty()) {
+        std::printf("no profile samples yet\n");
+      } else {
+        std::printf("%s", collapsed.c_str());
+      }
     } else if (input == ".health") {
       shard::ShardCoordinator* coordinator = server.coordinator();
       if (coordinator == nullptr) {
@@ -289,6 +338,10 @@ int main(int argc, char** argv) {
   if (!trace_out_path.empty() && last_trace_id != 0) {
     WriteFileOrWarn(trace_out_path,
                     tracer.Collect(last_trace_id).ToChromeJson());
+  }
+  if (!profile_out_path.empty()) {
+    WriteFileOrWarn(profile_out_path,
+                    obs::Profiler::Global().Snapshot().ToCollapsed());
   }
   return 0;
 }

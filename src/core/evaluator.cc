@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "core/topk.h"
+#include "obs/profiler.h"
 #include "query/dnf.h"
 
 namespace halk::core {
@@ -14,6 +15,7 @@ Evaluator::Evaluator(QueryModel* model) : model_(model) {
 
 std::vector<float> Evaluator::ScoreAllEntities(
     const query::QueryGraph& query) {
+  HALK_PROFILE_SCOPE("eval/score_all");
   std::vector<float> best;
   for (const query::QueryGraph& branch : query::ToDnf(query)) {
     std::vector<const query::QueryGraph*> single = {&branch};
@@ -33,6 +35,7 @@ std::vector<float> Evaluator::ScoreAllEntities(
 
 std::vector<int64_t> Evaluator::TopK(const query::QueryGraph& query,
                                      int64_t k) {
+  HALK_PROFILE_SCOPE("eval/topk");
   std::vector<ScoredEntity> top = TopKFromDistances(ScoreAllEntities(query), k);
   std::vector<int64_t> ids;
   ids.reserve(top.size());
@@ -41,6 +44,7 @@ std::vector<int64_t> Evaluator::TopK(const query::QueryGraph& query,
 }
 
 Metrics Evaluator::Evaluate(const std::vector<query::GroundedQuery>& queries) {
+  HALK_PROFILE_SCOPE("eval/evaluate");
   Metrics metrics;
   for (const query::GroundedQuery& q : queries) {
     const std::vector<int64_t>& hard =

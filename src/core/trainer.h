@@ -2,6 +2,7 @@
 #define HALK_CORE_TRAINER_H_
 
 #include <map>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -10,6 +11,13 @@
 #include "core/query_model.h"
 #include "kg/graph.h"
 #include "query/sampler.h"
+
+namespace halk::obs {
+class TrainJournal;
+}  // namespace halk::obs
+namespace halk::serving {
+class MetricsRegistry;
+}  // namespace halk::serving
 
 namespace halk::core {
 
@@ -31,15 +39,62 @@ struct TrainerOptions {
   /// Pre-sampled pool size per structure.
   int queries_per_structure = 150;
   uint64_t seed = 7;
-  /// Emit a progress line every `log_every` steps (0 = silent).
+  /// Emit a progress line every `log_every` steps (0 = silent); lines go
+  /// through common/logging (HALK_LOG), never raw stdio.
   int log_every = 0;
+
+  // --- observability (all off by default, zero overhead when off) --------
+  /// Structured JSONL journal receiving header/step/eval records
+  /// (docs/observability.md has the schema). Null disables journaling.
+  obs::TrainJournal* journal = nullptr;
+  /// Registry receiving `train.*` counters/gauges with the tape op totals
+  /// after Train() returns. Null disables the export.
+  serving::MetricsRegistry* metrics = nullptr;
+  /// Enables the global profiler for the duration of Train() and fills the
+  /// TrainStats phase breakdown from it (restores the previous enabled
+  /// state on return). The breakdown is also filled when the caller
+  /// enabled the profiler beforehand.
+  bool profile = false;
+  /// Every `eval_every` steps, score a held-out query pool and journal an
+  /// "eval" record with MRR / Hits@3 (0 = never). Requires `journal`.
+  int eval_every = 0;
+  /// Held-out queries sampled per active structure for periodic eval
+  /// (disjoint seed from the training pools).
+  int eval_queries_per_structure = 20;
 };
+
+/// Hex fingerprint of every hyperparameter that shapes a training run
+/// (FNV-1a over the rendered options, observability sinks excluded).
+/// Journals carry it next to the seed so two runs are diffable iff their
+/// configurations match.
+std::string TrainerOptionsFingerprint(const TrainerOptions& options);
 
 struct TrainStats {
   double mean_loss = 0.0;
   double final_loss = 0.0;
   int64_t steps = 0;
   double seconds = 0.0;
+
+  /// Phase breakdown from the profiler (zeros when profiling was off for
+  /// the run). Phases are disjoint slices of each step, so their sum is
+  /// at most `seconds`.
+  double sample_seconds = 0.0;    // pool sampling + batch assembly
+  double embed_seconds = 0.0;     // QueryModel::EmbedQueries
+  double loss_seconds = 0.0;      // Eq. (17) loss graph construction
+  double backward_seconds = 0.0;  // reverse-mode accumulation
+  double adam_seconds = 0.0;      // optimizer update
+
+  /// Tape accounting totals over the whole run (zeros unless a journal or
+  /// metrics sink requested accounting).
+  int64_t forward_ops = 0;
+  int64_t backward_ops = 0;
+  int64_t forward_flops = 0;
+  int64_t backward_flops = 0;
+  int64_t peak_graph_bytes = 0;
+
+  /// Gradient / applied-update L2 norms of the final step.
+  double grad_norm = 0.0;
+  double update_norm = 0.0;
 };
 
 /// Algorithm 1: offline training of a query model against the training
@@ -64,6 +119,10 @@ class Trainer {
   [[nodiscard]] Status BuildPools();
 
  private:
+  /// Samples the held-out eval pool (idempotent; only when eval is on).
+  [[nodiscard]] Status BuildEvalPool();
+
+  std::vector<query::GroundedQuery> eval_pool_;
   QueryModel* model_;
   const kg::KnowledgeGraph* graph_;
   const kg::NodeGrouping* grouping_;

@@ -26,6 +26,8 @@ void Adam::Step() {
       1.0f - std::pow(b1, static_cast<float>(step_count_));
   const float bias2 =
       1.0f - std::pow(b2, static_cast<float>(step_count_));
+  double grad_sq = 0.0;
+  double update_sq = 0.0;
   for (size_t t = 0; t < params_.size(); ++t) {
     tensor::Tensor& p = params_[t];
     float* data = p.data();
@@ -39,9 +41,14 @@ void Adam::Step() {
       v[static_cast<size_t>(i)] = b2 * v[static_cast<size_t>(i)] + (1.0f - b2) * g * g;
       const float mhat = m[static_cast<size_t>(i)] / bias1;
       const float vhat = v[static_cast<size_t>(i)] / bias2;
-      data[i] -= options_.lr * mhat / (std::sqrt(vhat) + options_.eps);
+      const float delta = options_.lr * mhat / (std::sqrt(vhat) + options_.eps);
+      data[i] -= delta;
+      grad_sq += static_cast<double>(g) * static_cast<double>(g);
+      update_sq += static_cast<double>(delta) * static_cast<double>(delta);
     }
   }
+  last_grad_norm_ = std::sqrt(grad_sq);
+  last_update_norm_ = std::sqrt(update_sq);
 }
 
 void Adam::ZeroGrad() {

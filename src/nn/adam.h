@@ -28,12 +28,22 @@ class Adam {
 
   int64_t step_count() const { return step_count_; }
 
+  /// L2 norm over every parameter gradient seen by the last Step()
+  /// (0 before the first step). Computed inside the update loop, so it
+  /// costs two fused multiply-adds per element, not an extra pass.
+  double last_grad_norm() const { return last_grad_norm_; }
+  /// L2 norm of the last Step()'s applied parameter delta — the "is Adam
+  /// still moving" signal the training journal records per step.
+  double last_update_norm() const { return last_update_norm_; }
+
  private:
   std::vector<tensor::Tensor> params_;
   Options options_;
   std::vector<std::vector<float>> m_;
   std::vector<std::vector<float>> v_;
   int64_t step_count_ = 0;
+  double last_grad_norm_ = 0.0;
+  double last_update_norm_ = 0.0;
 };
 
 }  // namespace halk::nn

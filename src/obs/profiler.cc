@@ -1,0 +1,329 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "obs/trace.h"
+
+namespace halk::obs {
+
+namespace {
+
+/// Global profiler serial: thread-local state caches key on it so a
+/// profiler constructed at a recycled address never inherits another
+/// profiler's per-thread trees (same idiom as the tracer serial).
+std::atomic<uint64_t> g_profiler_serial{1};
+
+}  // namespace
+
+/// One call-tree region of one thread. A node is created the first time
+/// its (parent, name) pair is entered on its thread and never moves or
+/// dies; only its owner thread creates children under it, but Snapshot()
+/// reads the counters from other threads, hence the relaxed atomics.
+struct Profiler::Node {
+  const char* name = "";
+  uint32_t parent = kProfileNoParent;
+  std::atomic<int64_t> count{0};
+  std::atomic<int64_t> total_ns{0};
+};
+
+/// Per-thread call-tree arena. The owning thread is the only writer;
+/// Snapshot() threads read concurrently. `num_nodes` is the publication
+/// point: nodes[0..num_nodes) are fully initialized once an acquire load
+/// observes the size (the owner release-stores it after filling the slot).
+struct Profiler::ThreadState {
+  uint64_t thread_index = 0;
+  std::array<Node, kMaxProfileNodes> nodes;
+  std::atomic<uint32_t> num_nodes{0};
+  std::atomic<int64_t> overflow{0};
+  /// Index of the innermost open region on this thread (owner-only).
+  uint32_t current = kProfileNoParent;
+
+  /// Finds or creates the child of `parent` named `name`. Returns
+  /// kProfileNoParent when the arena is full.
+  uint32_t Intern(const char* name, uint32_t parent) {
+    // order: acquire pairs with the release store below so the linear
+    // scan only visits fully initialized nodes.
+    const uint32_t n = num_nodes.load(std::memory_order_acquire);
+    for (uint32_t i = 0; i < n; ++i) {
+      if (nodes[i].parent == parent &&
+          (nodes[i].name == name || std::strcmp(nodes[i].name, name) == 0)) {
+        return i;
+      }
+    }
+    if (n >= kMaxProfileNodes) {
+      // order: statistic only; nothing is ordered against it.
+      overflow.fetch_add(1, std::memory_order_relaxed);
+      return kProfileNoParent;
+    }
+    nodes[n].name = name;
+    nodes[n].parent = parent;
+    // order: release publishes the name/parent writes above to Snapshot()
+    // readers that acquire-load num_nodes.
+    num_nodes.store(n + 1, std::memory_order_release);
+    return n;
+  }
+};
+
+Profiler::Profiler()
+    // order: serial allocation is a plain unique-id fetch; no other data
+    // is published through it.
+    : serial_(g_profiler_serial.fetch_add(1, std::memory_order_relaxed)) {}
+
+Profiler::~Profiler() = default;
+
+Profiler& Profiler::Global() {
+  static Profiler* profiler = new Profiler();  // halk_lint:allow no-raw-new-delete intentionally leaked singleton
+  return *profiler;
+}
+
+Profiler::ThreadState* Profiler::ThisThreadState() {
+  // Keyed by profiler serial, not `this`, so a profiler constructed at a
+  // recycled address never resolves to a stale state (tracer idiom).
+  thread_local std::unordered_map<uint64_t, ThreadState*> states;
+  auto it = states.find(serial_);
+  if (it != states.end()) return it->second;
+  MutexLock lock(states_mu_);
+  states_.push_back(std::make_unique<ThreadState>());
+  ThreadState* state = states_.back().get();
+  state->thread_index = states_.size() - 1;
+  states.emplace(serial_, state);
+  return state;
+}
+
+int64_t Profiler::overflow_count() const {
+  MutexLock lock(states_mu_);
+  int64_t total = 0;
+  for (const auto& s : states_) {
+    // order: statistic only.
+    total += s->overflow.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Profiler::Reset() {
+  MutexLock lock(states_mu_);
+  for (const auto& s : states_) {
+    // order: acquire pairs with Intern's release so only initialized
+    // nodes are touched.
+    const uint32_t n = s->num_nodes.load(std::memory_order_acquire);
+    for (uint32_t i = 0; i < n; ++i) {
+      // order: counters are independent statistics; tearing across the
+      // pair during a concurrent scope exit is acceptable.
+      s->nodes[i].count.store(0, std::memory_order_relaxed);
+      s->nodes[i].total_ns.store(0, std::memory_order_relaxed);
+    }
+    // order: statistic only.
+    s->overflow.store(0, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+/// Mutable merge tree keyed by (parent chain, name).
+struct MergeNode {
+  std::string name;
+  int64_t count = 0;
+  int64_t total_ns = 0;
+  std::unordered_map<std::string, MergeNode> children;
+};
+
+ProfileEntry Finalize(const std::string& name, const MergeNode& node) {
+  ProfileEntry entry;
+  entry.name = name;
+  entry.count = node.count;
+  entry.total_ns = node.total_ns;
+  int64_t child_total = 0;
+  entry.children.reserve(node.children.size());
+  for (const auto& [child_name, child] : node.children) {
+    child_total += child.total_ns;
+    entry.children.push_back(Finalize(child_name, child));
+  }
+  std::sort(entry.children.begin(), entry.children.end(),
+            [](const ProfileEntry& a, const ProfileEntry& b) {
+              return a.name < b.name;
+            });
+  entry.self_ns = std::max<int64_t>(0, entry.total_ns - child_total);
+  return entry;
+}
+
+}  // namespace
+
+ProfileSnapshot Profiler::Snapshot() const {
+  MergeNode root;
+  MutexLock lock(states_mu_);
+  for (const auto& s : states_) {
+    // order: acquire pairs with Intern's release store of num_nodes.
+    const uint32_t n = s->num_nodes.load(std::memory_order_acquire);
+    // Walk nodes in creation order: a node's parent always has a smaller
+    // index, so the parent's MergeNode exists by the time the child is
+    // visited.
+    std::vector<MergeNode*> merged(n, nullptr);
+    for (uint32_t i = 0; i < n; ++i) {
+      const Node& node = s->nodes[i];
+      MergeNode& parent =
+          node.parent == kProfileNoParent ? root : *merged[node.parent];
+      MergeNode& m = parent.children[node.name];
+      // order: counters are statistics; a scope exiting concurrently may
+      // be counted with a lagging duration — acceptable for a snapshot.
+      m.count += node.count.load(std::memory_order_relaxed);
+      m.total_ns += node.total_ns.load(std::memory_order_relaxed);
+      merged[i] = &m;
+    }
+  }
+  std::vector<ProfileEntry> roots;
+  roots.reserve(root.children.size());
+  for (const auto& [name, node] : root.children) {
+    roots.push_back(Finalize(name, node));
+  }
+  std::sort(roots.begin(), roots.end(),
+            [](const ProfileEntry& a, const ProfileEntry& b) {
+              return a.name < b.name;
+            });
+  return ProfileSnapshot(std::move(roots));
+}
+
+ProfileScope::ProfileScope(Profiler& profiler, const char* name) {
+  if (!profiler.enabled()) return;  // one relaxed load when disabled
+  Profiler::ThreadState* state = profiler.ThisThreadState();
+  const uint32_t node = state->Intern(name, state->current);
+  if (node == kProfileNoParent) return;  // arena full: drop, stay inert
+  state_ = state;
+  node_ = node;
+  saved_current_ = state->current;
+  state->current = node;
+  start_ns_ = NowNs();
+}
+
+ProfileScope::~ProfileScope() {
+  if (state_ == nullptr) return;
+  const int64_t elapsed = NowNs() - start_ns_;
+  state_->current = saved_current_;
+  Profiler::Node& node = state_->nodes[node_];
+  // order: counters are independent statistics read relaxed by Snapshot.
+  node.count.fetch_add(1, std::memory_order_relaxed);
+  // order: same.
+  node.total_ns.fetch_add(elapsed, std::memory_order_relaxed);
+}
+
+ProfileSnapshot::ProfileSnapshot(std::vector<ProfileEntry> roots)
+    : roots_(std::move(roots)) {}
+
+namespace {
+
+void SumNamed(const std::vector<ProfileEntry>& entries,
+              const std::string& name, int64_t* total_ns, int64_t* count) {
+  for (const ProfileEntry& e : entries) {
+    if (e.name == name) {
+      *total_ns += e.total_ns;
+      *count += e.count;
+    }
+    SumNamed(e.children, name, total_ns, count);
+  }
+}
+
+void FlattenInto(const std::vector<ProfileEntry>& entries,
+                 const std::string& prefix,
+                 std::vector<ProfileFlatEntry>* out) {
+  for (const ProfileEntry& e : entries) {
+    ProfileFlatEntry flat;
+    flat.path = prefix.empty() ? e.name : prefix + ";" + e.name;
+    flat.name = e.name;
+    flat.count = e.count;
+    flat.total_ns = e.total_ns;
+    flat.self_ns = e.self_ns;
+    const std::string path = flat.path;
+    out->push_back(std::move(flat));
+    FlattenInto(e.children, path, out);
+  }
+}
+
+}  // namespace
+
+int64_t ProfileSnapshot::TotalNs(const std::string& name) const {
+  int64_t total = 0;
+  int64_t count = 0;
+  SumNamed(roots_, name, &total, &count);
+  return total;
+}
+
+int64_t ProfileSnapshot::Count(const std::string& name) const {
+  int64_t total = 0;
+  int64_t count = 0;
+  SumNamed(roots_, name, &total, &count);
+  return count;
+}
+
+std::vector<ProfileFlatEntry> ProfileSnapshot::Flatten() const {
+  std::vector<ProfileFlatEntry> out;
+  FlattenInto(roots_, "", &out);
+  return out;
+}
+
+std::vector<ProfileFlatEntry> ProfileSnapshot::TopSelf(int n) const {
+  std::vector<ProfileFlatEntry> flat = Flatten();
+  std::sort(flat.begin(), flat.end(),
+            [](const ProfileFlatEntry& a, const ProfileFlatEntry& b) {
+              if (a.self_ns != b.self_ns) return a.self_ns > b.self_ns;
+              return a.path < b.path;
+            });
+  if (n >= 0 && flat.size() > static_cast<size_t>(n)) flat.resize(n);
+  return flat;
+}
+
+std::string ProfileSnapshot::ToCollapsed() const {
+  std::ostringstream out;
+  for (const ProfileFlatEntry& e : Flatten()) {
+    if (e.self_ns <= 0) continue;
+    out << e.path << " " << e.self_ns << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+/// Emits one entry plus its children as chrome "complete" events, packing
+/// children sequentially from the parent's start (aggregate profiles have
+/// no real timeline to preserve).
+void EmitChromeEvents(const ProfileEntry& entry, int64_t start_ns,
+                      bool* first, std::ostringstream* out) {
+  if (!*first) *out << ",";
+  *first = false;
+  *out << "{\"name\":\"" << CEscape(entry.name) << "\",\"cat\":\"halk\""
+       << ",\"ph\":\"X\",\"ts\":"
+       << StrFormat("%.3f", static_cast<double>(start_ns) / 1000.0)
+       << ",\"dur\":"
+       << StrFormat("%.3f", static_cast<double>(entry.total_ns) / 1000.0)
+       << ",\"pid\":1,\"tid\":0,\"args\":{\"count\":" << entry.count
+       << ",\"self_us\":"
+       << StrFormat("%.3f", static_cast<double>(entry.self_ns) / 1000.0)
+       << "}}";
+  int64_t child_start = start_ns;
+  for (const ProfileEntry& child : entry.children) {
+    EmitChromeEvents(child, child_start, first, out);
+    child_start += child.total_ns;
+  }
+}
+
+}  // namespace
+
+std::string ProfileSnapshot::ToChromeJson() const {
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  int64_t start_ns = 0;
+  for (const ProfileEntry& root : roots_) {
+    EmitChromeEvents(root, start_ns, &first, &out);
+    start_ns += root.total_ns;
+  }
+  out << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"source\":"
+      << "\"halk_profiler\"}}";
+  return out.str();
+}
+
+}  // namespace halk::obs

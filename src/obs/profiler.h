@@ -1,0 +1,176 @@
+#ifndef HALK_OBS_PROFILER_H_
+#define HALK_OBS_PROFILER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace halk::obs {
+
+/// Upper bound on distinct (parent, name) regions per thread. The call
+/// tree is a fixed-size append-only arena so readers never race a
+/// reallocation; overflowing regions are counted but not recorded.
+inline constexpr uint32_t kMaxProfileNodes = 1024;
+/// Sentinel parent index of root regions.
+inline constexpr uint32_t kProfileNoParent = 0xffffffffu;
+
+/// One merged call-tree region of a ProfileSnapshot. `self_ns` is
+/// `total_ns` minus the totals of the children (clamped at zero: a child
+/// timed on another thread can overlap its parent's wall time).
+struct ProfileEntry {
+  std::string name;
+  int64_t count = 0;
+  int64_t total_ns = 0;
+  int64_t self_ns = 0;
+  std::vector<ProfileEntry> children;  // sorted by name
+};
+
+/// A flattened region with its full call path, e.g. "train/step;embed".
+struct ProfileFlatEntry {
+  std::string path;  // ';'-joined names from root to the region
+  std::string name;  // leaf name
+  int64_t count = 0;
+  int64_t total_ns = 0;
+  int64_t self_ns = 0;
+};
+
+/// A point-in-time aggregation of every thread's call tree, merged by
+/// region path (same parent chain + same name = same entry, regardless of
+/// which thread recorded it).
+class ProfileSnapshot {
+ public:
+  ProfileSnapshot() = default;
+  explicit ProfileSnapshot(std::vector<ProfileEntry> roots);
+
+  bool empty() const { return roots_.empty(); }
+  const std::vector<ProfileEntry>& roots() const { return roots_; }
+
+  /// Sum of `total_ns` over every region named `name`, anywhere in the
+  /// tree — the lookup the trainer's phase breakdown uses.
+  int64_t TotalNs(const std::string& name) const;
+  /// Sum of `count` over every region named `name`.
+  int64_t Count(const std::string& name) const;
+
+  /// Every region flattened depth-first with its ';'-joined path.
+  std::vector<ProfileFlatEntry> Flatten() const;
+
+  /// The `n` regions with the largest self time, descending.
+  std::vector<ProfileFlatEntry> TopSelf(int n) const;
+
+  /// Collapsed-stack flamegraph lines ("a;b;c <self_ns>\n"), the input
+  /// format of flamegraph.pl / speedscope / inferno. Regions with zero
+  /// self time are omitted (their time lives in their children).
+  std::string ToCollapsed() const;
+
+  /// chrome://tracing "trace event" JSON in the same shape as
+  /// Trace::ToChromeJson(): complete "ph":"X" events, microsecond
+  /// timestamps. An aggregate profile has no real timeline, so children
+  /// are packed left-to-right inside their parent's extent; `count` and
+  /// `self_us` ride along under `args`.
+  std::string ToChromeJson() const;
+
+ private:
+  std::vector<ProfileEntry> roots_;
+};
+
+/// A scoped, hierarchical, thread-local CPU profiler: HALK_PROFILE_SCOPE
+/// regions nest into a per-thread call tree keyed by (parent, region
+/// name); Snapshot() merges every thread's tree by path into a
+/// ProfileSnapshot with call counts and self/total time.
+///
+/// Hot-path discipline mirrors the Tracer: entering a scope when the
+/// profiler is disabled costs one relaxed atomic load (no clock read, no
+/// thread-local lookup); when enabled, enter/exit are lock-free — node
+/// counters are relaxed atomics, the per-thread node arena is append-only
+/// and published with a release store of its size, and the registry mutex
+/// is touched only on a thread's first region and by Snapshot().
+///
+/// Region names must be string literals (or otherwise outlive the
+/// profiler): nodes store the pointer. The halk_lint rule
+/// `profile-scope-literal` enforces the literal part, which also keeps
+/// flamegraph cardinality bounded by the number of call sites.
+class Profiler {
+ public:
+  Profiler();
+  ~Profiler();
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// The process-wide profiler HALK_PROFILE_SCOPE records into.
+  static Profiler& Global();
+
+  void set_enabled(bool on) {
+    // order: the flag only gates whether scopes record; no other state is
+    // published through it.
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  // order: hot-path check; a stale read delays capture by one scope.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Merges every thread's call tree, by path. Safe to call while other
+  /// threads enter/exit scopes (counters may lag by the scopes in flight).
+  ProfileSnapshot Snapshot() const HALK_EXCLUDES(states_mu_);
+
+  /// Zeroes every region's count/total. The tree structure is kept (and
+  /// scopes currently on some thread's stack keep their node), so Reset
+  /// is safe to call concurrently with recording; a scope spanning the
+  /// reset contributes its full duration to the fresh window.
+  void Reset() HALK_EXCLUDES(states_mu_);
+
+  /// Regions dropped because a thread exceeded kMaxProfileNodes.
+  int64_t overflow_count() const;
+
+ private:
+  friend class ProfileScope;
+  struct Node;
+  struct ThreadState;
+
+  ThreadState* ThisThreadState() HALK_EXCLUDES(states_mu_);
+
+  std::atomic<bool> enabled_{false};
+  const uint64_t serial_;  // distinguishes profilers in thread-local caches
+  /// Guards growth of `states_` only; node access is lock-free by design
+  /// (append-only arena per thread, one writer thread each).
+  mutable Mutex states_mu_;
+  std::vector<std::unique_ptr<ThreadState>> states_ HALK_GUARDED_BY(states_mu_);
+};
+
+/// RAII region: pushes onto this thread's region stack on construction,
+/// pops and accumulates (count, duration) on destruction. When the
+/// profiler is disabled at construction, both ends are no-ops.
+class ProfileScope {
+ public:
+  ProfileScope(Profiler& profiler, const char* name);
+  ~ProfileScope();
+
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+  bool active() const { return state_ != nullptr; }
+
+ private:
+  Profiler::ThreadState* state_ = nullptr;
+  uint32_t node_ = kProfileNoParent;
+  uint32_t saved_current_ = kProfileNoParent;
+  int64_t start_ns_ = 0;
+};
+
+#define HALK_PROFILE_CONCAT_INNER(a, b) a##b
+#define HALK_PROFILE_CONCAT(a, b) HALK_PROFILE_CONCAT_INNER(a, b)
+
+/// Times the enclosing scope as a region of the global profiler. `name`
+/// must be a string literal (lint rule profile-scope-literal).
+#define HALK_PROFILE_SCOPE(name)                            \
+  ::halk::obs::ProfileScope HALK_PROFILE_CONCAT(            \
+      halk_profile_scope_, __LINE__)(                       \
+      ::halk::obs::Profiler::Global(), name)
+
+}  // namespace halk::obs
+
+#endif  // HALK_OBS_PROFILER_H_

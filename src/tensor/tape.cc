@@ -1,5 +1,7 @@
 #include "tensor/tape.h"
 
+#include <algorithm>
+#include <cstring>
 #include <unordered_set>
 #include <vector>
 
@@ -36,7 +38,93 @@ std::vector<TensorImpl*> TopoOrder(TensorImpl* root) {
   return order;
 }
 
+/// The innermost accounting installed on this thread (null = disabled).
+thread_local TapeAccounting* t_active_accounting = nullptr;
+
+/// Full-graph footprint (data + gradient buffers), counting every
+/// reachable node once, requires_grad or not.
+int64_t GraphBytes(TensorImpl* root) {
+  std::unordered_set<TensorImpl*> visited;
+  std::vector<TensorImpl*> stack = {root};
+  visited.insert(root);
+  int64_t bytes = 0;
+  while (!stack.empty()) {
+    TensorImpl* node = stack.back();
+    stack.pop_back();
+    bytes += static_cast<int64_t>((node->data.size() + node->grad.size()) *
+                                  sizeof(float));
+    for (const auto& in : node->inputs) {
+      if (visited.insert(in.get()).second) stack.push_back(in.get());
+    }
+  }
+  return bytes;
+}
+
 }  // namespace
+
+int64_t EstimateForwardFlops(const TensorImpl& node) {
+  const char* op = node.op_name;
+  if (std::strcmp(op, "matmul") == 0 && node.inputs.size() == 2) {
+    const Shape& a = node.inputs[0]->shape;
+    const Shape& b = node.inputs[1]->shape;
+    if (a.rank() == 2 && b.rank() == 2) {
+      return 2 * a.dim(0) * a.dim(1) * b.dim(1);
+    }
+  }
+  // Pure data movement computes nothing.
+  for (const char* mover : {"reshape", "gather", "concat0", "concat1",
+                            "slice_cols", "broadcast_row", "leaf", "detach"}) {
+    if (std::strcmp(op, mover) == 0) return 0;
+  }
+  // Reductions touch every *input* element once.
+  if (std::strcmp(op, "sum_all") == 0 || std::strcmp(op, "sum_dim") == 0) {
+    return node.inputs.empty()
+               ? 0
+               : static_cast<int64_t>(node.inputs[0]->data.size());
+  }
+  // Everything else is elementwise over the output.
+  return static_cast<int64_t>(node.data.size());
+}
+
+TapeAccounting::TapeAccounting() : previous_(t_active_accounting) {
+  t_active_accounting = this;
+}
+
+TapeAccounting::~TapeAccounting() { t_active_accounting = previous_; }
+
+TapeAccounting* TapeAccounting::Active() { return t_active_accounting; }
+
+void TapeAccounting::RecordForward(const TensorImpl& node) {
+  const int64_t flops = EstimateForwardFlops(node);
+  const int64_t bytes =
+      static_cast<int64_t>(node.data.size() * sizeof(float));
+  TapeOpStats& op = stats_.forward[node.op_name];
+  ++op.count;
+  op.flops += flops;
+  op.bytes += bytes;
+  ++stats_.forward_nodes;
+  stats_.forward_flops += flops;
+  stats_.forward_bytes += bytes;
+}
+
+void TapeAccounting::RecordBackward(const TensorImpl& node) {
+  // Reverse-mode propagates one gradient per input element touched; the
+  // standard estimate is ~2x the forward op (one pass per input operand).
+  const int64_t flops = 2 * EstimateForwardFlops(node);
+  const int64_t bytes =
+      static_cast<int64_t>(node.grad.size() * sizeof(float));
+  TapeOpStats& op = stats_.backward[node.op_name];
+  ++op.count;
+  op.flops += flops;
+  op.bytes += bytes;
+  ++stats_.backward_nodes;
+  stats_.backward_flops += flops;
+  stats_.backward_bytes += bytes;
+}
+
+void TapeAccounting::RecordGraphBytes(int64_t bytes) {
+  stats_.peak_graph_bytes = std::max(stats_.peak_graph_bytes, bytes);
+}
 
 void Backward(const Tensor& root) {
   HALK_CHECK(root.defined());
@@ -48,13 +136,18 @@ void Backward(const Tensor& root) {
   std::vector<TensorImpl*> order = TopoOrder(r);
   r->EnsureGrad();
   r->grad[0] += 1.0f;
+  TapeAccounting* accounting = TapeAccounting::Active();
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     TensorImpl* node = *it;
     if (node->backward) {
       node->EnsureGrad();
       node->backward(node);
+      if (accounting != nullptr) accounting->RecordBackward(*node);
     }
   }
+  // Footprint is measured after the walk, when every node that will ever
+  // hold a gradient buffer for this graph has one.
+  if (accounting != nullptr) accounting->RecordGraphBytes(GraphBytes(r));
 }
 
 int64_t GraphSize(const Tensor& root) {

@@ -1,6 +1,10 @@
 #ifndef HALK_TENSOR_TAPE_H_
 #define HALK_TENSOR_TAPE_H_
 
+#include <cstdint>
+#include <map>
+#include <string>
+
 #include "tensor/tensor.h"
 
 namespace halk::tensor {
@@ -14,6 +18,68 @@ void Backward(const Tensor& root);
 /// Number of nodes reachable from `root` through the autograd graph
 /// (diagnostics/tests).
 int64_t GraphSize(const Tensor& root);
+
+/// Accounting bucket for one op name.
+struct TapeOpStats {
+  int64_t count = 0;  // nodes created (forward) / closures run (backward)
+  int64_t flops = 0;  // estimated, see EstimateForwardFlops
+  int64_t bytes = 0;  // output (forward) / gradient (backward) bytes
+};
+
+/// Totals accumulated while a TapeAccounting is installed, split forward
+/// (op nodes recorded by MakeOpResult) vs backward (closures executed by
+/// Backward()).
+struct TapeStats {
+  std::map<std::string, TapeOpStats> forward;
+  std::map<std::string, TapeOpStats> backward;
+  int64_t forward_nodes = 0;
+  int64_t forward_flops = 0;
+  int64_t forward_bytes = 0;
+  int64_t backward_nodes = 0;
+  int64_t backward_flops = 0;
+  int64_t backward_bytes = 0;
+  /// Largest single-graph footprint seen by a Backward() call: the sum of
+  /// data+grad bytes over every node reachable from its root. A proxy for
+  /// peak autograd memory (graphs are freed when the loss handle drops).
+  int64_t peak_graph_bytes = 0;
+};
+
+/// Estimated FLOPs to compute `node`'s forward value. Elementwise ops
+/// count one FLOP per output element (transcendentals included — this is
+/// an op-mix estimate, not a cycle model); "matmul" counts the exact
+/// 2·m·k·n multiply-adds from the input shapes; data-movement ops
+/// (reshape/gather/concat/slice/broadcast) count zero.
+int64_t EstimateForwardFlops(const TensorImpl& node);
+
+/// Scoped, thread-local op accounting. While an instance is alive on a
+/// thread, every MakeOpResult and Backward() on that thread accumulates
+/// into its stats; instances nest (the innermost wins, the outer resumes
+/// on destruction). When none is installed the overhead is one
+/// thread-local pointer load per op. Single-threaded by design: the
+/// trainer's graphs are built and differentiated on one thread.
+class TapeAccounting {
+ public:
+  TapeAccounting();
+  ~TapeAccounting();
+
+  TapeAccounting(const TapeAccounting&) = delete;
+  TapeAccounting& operator=(const TapeAccounting&) = delete;
+
+  const TapeStats& stats() const { return stats_; }
+  void Reset() { stats_ = TapeStats{}; }
+
+  /// The accounting installed on this thread, or null.
+  static TapeAccounting* Active();
+
+  /// Internal hooks (tensor.cc / tape.cc).
+  void RecordForward(const TensorImpl& node);
+  void RecordBackward(const TensorImpl& node);
+  void RecordGraphBytes(int64_t bytes);
+
+ private:
+  TapeStats stats_;
+  TapeAccounting* previous_ = nullptr;
+};
 
 }  // namespace halk::tensor
 

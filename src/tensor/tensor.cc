@@ -1,6 +1,7 @@
 #include "tensor/tensor.h"
 
 #include "common/logging.h"
+#include "tensor/tape.h"
 
 namespace halk::tensor {
 
@@ -122,6 +123,10 @@ Tensor MakeOpResult(const Shape& shape, const char* op_name,
   }
   impl->requires_grad = needs_grad;
   if (needs_grad) impl->backward = std::move(backward);
+  // One thread-local pointer load when accounting is off.
+  if (TapeAccounting* accounting = TapeAccounting::Active()) {
+    accounting->RecordForward(*impl);
+  }
   return Tensor(impl);
 }
 

@@ -1,0 +1,147 @@
+// halk_bench_diff: throughput keys gate on tolerance, everything else is
+// informational, schema drift is noted, and malformed/mismatched inputs
+// are errors rather than passes.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "tools/bench_diff/bench_diff.h"
+
+namespace halk::benchdiff {
+namespace {
+
+constexpr char kBaseline[] =
+    "{\"bench\":\"serving_throughput\",\"git_sha\":\"abc1234\","
+    "\"qps\":1000.0,\"batched_qps\":2000.0,\"qps_cached\":5000.0,"
+    "\"p99_ms\":8.0,\"speedup_batched\":2.0}";
+
+std::string Fresh(double qps, double batched, double cached) {
+  return "{\"bench\":\"serving_throughput\",\"git_sha\":\"def5678\","
+         "\"qps\":" + std::to_string(qps) +
+         ",\"batched_qps\":" + std::to_string(batched) +
+         ",\"qps_cached\":" + std::to_string(cached) +
+         ",\"p99_ms\":20.0,\"speedup_batched\":1.0}";
+}
+
+TEST(IsThroughputKeyTest, MatchesQpsShapesOnly) {
+  EXPECT_TRUE(IsThroughputKey("qps"));
+  EXPECT_TRUE(IsThroughputKey("qps_cached"));
+  EXPECT_TRUE(IsThroughputKey("batched_qps"));
+  EXPECT_FALSE(IsThroughputKey("p99_ms"));
+  EXPECT_FALSE(IsThroughputKey("speedup_batched"));
+  EXPECT_FALSE(IsThroughputKey("qpsx"));
+  EXPECT_FALSE(IsThroughputKey("steps"));
+}
+
+TEST(BenchDiffTest, WithinTolerancePasses) {
+  auto report = DiffBenchJson(kBaseline, Fresh(900.0, 2400.0, 4200.0),
+                              Options{});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok) << report->ToString();
+  // Latency and speedup moved wildly but are informational only.
+  EXPECT_NE(report->ToString().find("PASS"), std::string::npos);
+}
+
+TEST(BenchDiffTest, ThroughputRegressionBeyondToleranceFails) {
+  auto report = DiffBenchJson(kBaseline, Fresh(700.0, 2000.0, 5000.0),
+                              Options{});
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->ok);
+  const std::string text = report->ToString();
+  EXPECT_NE(text.find("FAIL qps"), std::string::npos) << text;
+  EXPECT_NE(text.find("-30.0%"), std::string::npos) << text;
+}
+
+TEST(BenchDiffTest, ImprovementBeyondToleranceAlsoFails) {
+  // A "too good" number usually means the workload silently shrank; the
+  // gate is symmetric so that regression hides nowhere.
+  auto report = DiffBenchJson(kBaseline, Fresh(1000.0, 2000.0, 9000.0),
+                              Options{});
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->ok);
+}
+
+TEST(BenchDiffTest, TightenedToleranceApplies) {
+  Options tight;
+  tight.tolerance = 0.02;
+  auto report =
+      DiffBenchJson(kBaseline, Fresh(960.0, 2000.0, 5000.0), tight);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->ok);  // -4% > 2%
+  Options loose;
+  loose.tolerance = 0.05;
+  report = DiffBenchJson(kBaseline, Fresh(960.0, 2000.0, 5000.0), loose);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok);
+}
+
+TEST(BenchDiffTest, MissingThroughputKeyIsNotedAndOptionallyFatal) {
+  const std::string fresh_missing =
+      "{\"bench\":\"serving_throughput\",\"qps\":1000.0,"
+      "\"qps_cached\":5000.0,\"p99_ms\":8.0}";
+  auto report = DiffBenchJson(kBaseline, fresh_missing, Options{});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok);  // missing keys are notes by default
+  bool noted = false;
+  for (const std::string& note : report->notes) {
+    noted = noted || note.find("batched_qps") != std::string::npos;
+  }
+  EXPECT_TRUE(noted);
+
+  Options strict;
+  strict.fail_on_missing = true;
+  report = DiffBenchJson(kBaseline, fresh_missing, strict);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->ok);
+}
+
+TEST(BenchDiffTest, NewKeysInFreshRunAreNotes) {
+  const std::string fresh =
+      "{\"bench\":\"serving_throughput\",\"qps\":1000.0,"
+      "\"batched_qps\":2000.0,\"qps_cached\":5000.0,\"p99_ms\":8.0,"
+      "\"speedup_batched\":2.0,\"brand_new_metric\":1.0}";
+  auto report = DiffBenchJson(kBaseline, fresh, Options{});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok);
+  bool noted = false;
+  for (const std::string& note : report->notes) {
+    noted = noted || note.find("brand_new_metric") != std::string::npos;
+  }
+  EXPECT_TRUE(noted);
+}
+
+TEST(BenchDiffTest, DifferentBenchNamesAreAnError) {
+  const std::string other = "{\"bench\":\"shard_scaling\",\"qps\":1000.0}";
+  auto report = DiffBenchJson(kBaseline, other, Options{});
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BenchDiffTest, MalformedInputIsAParseError) {
+  auto report = DiffBenchJson("not json", kBaseline, Options{});
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kParseError);
+  report = DiffBenchJson(kBaseline, "{\"bench\":\"x\",\"qps\":[1]}",
+                         Options{});
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kParseError);
+  report = DiffBenchJson("{\"qps\":1.0}", "{\"qps\":1.0}", Options{});
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BenchDiffTest, ZeroBaselineOnlyFailsWhenFreshIsNonZero) {
+  const std::string zero_base = "{\"bench\":\"b\",\"qps\":0.0}";
+  auto report = DiffBenchJson(zero_base, "{\"bench\":\"b\",\"qps\":0.0}",
+                              Options{});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok);
+  report = DiffBenchJson(zero_base, "{\"bench\":\"b\",\"qps\":10.0}",
+                         Options{});
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->ok);
+}
+
+}  // namespace
+}  // namespace halk::benchdiff

@@ -1,0 +1,223 @@
+// Trainer observability: the structured journal (header/step/eval JSONL
+// records over a 600-step run), the profiler-derived phase breakdown
+// (span sum bounded by wall time), tape totals surfaced through
+// TrainStats and the metrics registry, and the options fingerprint.
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/halk_model.h"
+#include "core/trainer.h"
+#include "kg/synthetic.h"
+#include "obs/journal.h"
+#include "serving/metrics.h"
+
+namespace halk::core {
+namespace {
+
+using query::StructureId;
+
+class TrainerObsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    kg::SyntheticKgOptions opt;
+    opt.num_entities = 120;
+    opt.num_relations = 5;
+    opt.num_triples = 700;
+    opt.seed = 71;
+    dataset_ = new kg::Dataset(kg::GenerateSyntheticKg(opt));
+    Rng rng(9);
+    grouping_ = new kg::NodeGrouping(
+        kg::NodeGrouping::Random(dataset_->train.num_entities(), 5, &rng));
+    grouping_->BuildAdjacency(dataset_->train);
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete grouping_;
+    dataset_ = nullptr;
+    grouping_ = nullptr;
+  }
+
+  static ModelConfig SmallConfig() {
+    ModelConfig c;
+    c.num_entities = dataset_->train.num_entities();
+    c.num_relations = dataset_->train.num_relations();
+    c.dim = 8;
+    c.hidden = 16;
+    c.seed = 13;
+    return c;
+  }
+
+  static TrainerOptions BaseOptions() {
+    TrainerOptions opt;
+    opt.steps = 600;
+    opt.batch_size = 8;
+    opt.num_negatives = 4;
+    opt.learning_rate = 5e-3f;
+    opt.structures = {StructureId::k1p, StructureId::k2i};
+    opt.queries_per_structure = 40;
+    opt.eval_queries_per_structure = 10;
+    opt.seed = 21;
+    return opt;
+  }
+
+  static kg::Dataset* dataset_;
+  static kg::NodeGrouping* grouping_;
+};
+
+kg::Dataset* TrainerObsTest::dataset_ = nullptr;
+kg::NodeGrouping* TrainerObsTest::grouping_ = nullptr;
+
+TEST_F(TrainerObsTest, SixHundredStepJournalHasValidSchema) {
+  HalkModel model(SmallConfig(), grouping_);
+  std::ostringstream sink;
+  auto journal = obs::TrainJournal::ToStream(&sink);
+  serving::MetricsRegistry metrics;
+
+  TrainerOptions opt = BaseOptions();
+  opt.journal = journal.get();
+  opt.metrics = &metrics;
+  opt.profile = true;
+  opt.eval_every = 200;
+  Trainer trainer(&model, &dataset_->train, grouping_, opt);
+  auto stats = trainer.Train();
+  ASSERT_TRUE(stats.ok());
+
+  // 1 header + 600 steps + evals at 200/400/600.
+  EXPECT_EQ(journal->records_written(), 1 + 600 + 3);
+
+  std::istringstream lines(sink.str());
+  std::string line;
+  int headers = 0;
+  int steps = 0;
+  int evals = 0;
+  int last_step = 0;
+  while (std::getline(lines, line)) {
+    auto parsed = obs::ParseJsonLine(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    const obs::JsonValue* record = obs::FindKey(*parsed, "record");
+    ASSERT_NE(record, nullptr) << line;
+    if (record->string_value == "header") {
+      ++headers;
+      EXPECT_EQ(steps + evals, 0) << "header must come first";
+      EXPECT_EQ(obs::FindKey(*parsed, "schema_version")->number, 1.0);
+      EXPECT_EQ(obs::FindKey(*parsed, "seed")->number, 21.0);
+      EXPECT_EQ(obs::FindKey(*parsed, "steps")->number, 600.0);
+      EXPECT_EQ(obs::FindKey(*parsed, "structures")->string_value, "1p,2i");
+      const obs::JsonValue* fp = obs::FindKey(*parsed, "options_fingerprint");
+      ASSERT_NE(fp, nullptr);
+      EXPECT_EQ(fp->string_value,
+                TrainerOptionsFingerprint(opt));
+    } else if (record->string_value == "step") {
+      ++steps;
+      // Steps are 1-based and strictly increasing.
+      EXPECT_EQ(obs::FindKey(*parsed, "step")->number, last_step + 1);
+      last_step = static_cast<int>(obs::FindKey(*parsed, "step")->number);
+      for (const char* key :
+           {"loss", "grad_norm", "update_norm", "wall_ms", "forward_ops",
+            "backward_ops", "forward_flops", "backward_flops",
+            "forward_bytes", "peak_graph_bytes"}) {
+        const obs::JsonValue* v = obs::FindKey(*parsed, key);
+        ASSERT_NE(v, nullptr) << key << " missing: " << line;
+        ASSERT_TRUE(v->is_number()) << key;
+        EXPECT_TRUE(std::isfinite(v->number)) << key;
+        EXPECT_GE(v->number, 0.0) << key;
+      }
+      EXPECT_GT(obs::FindKey(*parsed, "forward_ops")->number, 0.0);
+      EXPECT_GT(obs::FindKey(*parsed, "backward_flops")->number, 0.0);
+      const std::string structure =
+          obs::FindKey(*parsed, "structure")->string_value;
+      EXPECT_TRUE(structure == "1p" || structure == "2i") << structure;
+    } else if (record->string_value == "eval") {
+      ++evals;
+      const double step_of_eval = obs::FindKey(*parsed, "step")->number;
+      EXPECT_EQ(std::fmod(step_of_eval, 200.0), 0.0);
+      for (const char* key : {"mrr", "hits1", "hits3", "hits10"}) {
+        const double v = obs::FindKey(*parsed, key)->number;
+        EXPECT_GE(v, 0.0) << key;
+        EXPECT_LE(v, 1.0) << key;
+      }
+      EXPECT_EQ(obs::FindKey(*parsed, "num_queries")->number, 20.0);
+    } else {
+      FAIL() << "unknown record kind: " << line;
+    }
+  }
+  EXPECT_EQ(headers, 1);
+  EXPECT_EQ(steps, 600);
+  EXPECT_EQ(evals, 3);
+
+  // Tape totals surfaced on TrainStats and mirrored into the registry.
+  EXPECT_GT(stats->forward_ops, 0);
+  EXPECT_GT(stats->backward_ops, 0);
+  EXPECT_GT(stats->forward_flops, 0);
+  EXPECT_GT(stats->backward_flops, stats->forward_flops);
+  EXPECT_GT(stats->peak_graph_bytes, 0);
+  EXPECT_GT(stats->grad_norm, 0.0);
+  EXPECT_GT(stats->update_norm, 0.0);
+  EXPECT_EQ(metrics.GetCounter("train.tape.forward_ops")->value(),
+            stats->forward_ops);
+  EXPECT_EQ(metrics.GetCounter("train.steps")->value(), 600);
+  EXPECT_GT(
+      metrics.GetCounter("train.tape.ops", {{"op", "matmul"}, {"pass", "forward"}})
+          ->value(),
+      0);
+
+  // Phase breakdown: the profiled phases partition a subset of the step,
+  // so their sum can never exceed the run's wall time.
+  const double span_sum = stats->sample_seconds + stats->embed_seconds +
+                          stats->loss_seconds + stats->backward_seconds +
+                          stats->adam_seconds;
+  EXPECT_GT(span_sum, 0.0);
+  EXPECT_LE(span_sum, stats->seconds * 1.05 + 0.05);
+  // The training math dominates the breakdown for this workload.
+  EXPECT_GT(stats->embed_seconds + stats->loss_seconds +
+                stats->backward_seconds,
+            0.0);
+}
+
+TEST_F(TrainerObsTest, NoJournalNoMetricsMeansNoAccountingCost) {
+  HalkModel model(SmallConfig(), grouping_);
+  TrainerOptions opt = BaseOptions();
+  opt.steps = 10;
+  Trainer trainer(&model, &dataset_->train, grouping_, opt);
+  auto stats = trainer.Train();
+  ASSERT_TRUE(stats.ok());
+  // Accounting was never installed, so tape totals stay zero.
+  EXPECT_EQ(stats->forward_ops, 0);
+  EXPECT_EQ(stats->backward_ops, 0);
+  EXPECT_EQ(stats->peak_graph_bytes, 0);
+  // And without profile=true the phase breakdown stays zero too.
+  EXPECT_EQ(stats->sample_seconds, 0.0);
+  EXPECT_EQ(stats->adam_seconds, 0.0);
+}
+
+TEST_F(TrainerObsTest, OptionsFingerprintKeysTheConfiguration) {
+  const TrainerOptions base = BaseOptions();
+  TrainerOptions same = BaseOptions();
+  EXPECT_EQ(TrainerOptionsFingerprint(base), TrainerOptionsFingerprint(same));
+  TrainerOptions different_lr = BaseOptions();
+  different_lr.learning_rate *= 2.0f;
+  EXPECT_NE(TrainerOptionsFingerprint(base),
+            TrainerOptionsFingerprint(different_lr));
+  TrainerOptions different_structures = BaseOptions();
+  different_structures.structures = {StructureId::k1p};
+  EXPECT_NE(TrainerOptionsFingerprint(base),
+            TrainerOptionsFingerprint(different_structures));
+  // Observability sinks do not change the fingerprint: two runs with the
+  // same hyperparameters stay comparable whether or not they journaled.
+  TrainerOptions journaled = BaseOptions();
+  std::ostringstream sink;
+  auto journal = obs::TrainJournal::ToStream(&sink);
+  journaled.journal = journal.get();
+  journaled.profile = true;
+  EXPECT_EQ(TrainerOptionsFingerprint(base),
+            TrainerOptionsFingerprint(journaled));
+}
+
+}  // namespace
+}  // namespace halk::core

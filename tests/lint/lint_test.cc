@@ -342,6 +342,55 @@ TEST(AllowlistTest, AllowedMatchesRuleAndPathSubstring) {
 }
 
 // ---------------------------------------------------------------------------
+// profile-scope-literal
+// ---------------------------------------------------------------------------
+
+TEST(ProfileScopeLiteralTest, LiteralArgumentPasses) {
+  const std::string code =
+      "void Step() {\n"
+      "  HALK_PROFILE_SCOPE(\"train/step\");\n"
+      "}\n";
+  EXPECT_FALSE(HasRule(Lint("src/core/trainer.cc", code),
+                       "profile-scope-literal"));
+}
+
+TEST(ProfileScopeLiteralTest, DynamicArgumentFires) {
+  const std::string code =
+      "void Step(const std::string& name) {\n"
+      "  HALK_PROFILE_SCOPE(name.c_str());\n"
+      "}\n";
+  EXPECT_TRUE(HasRule(Lint("src/core/trainer.cc", code),
+                      "profile-scope-literal", 2));
+}
+
+TEST(ProfileScopeLiteralTest, WrappedLiteralOnNextLinePasses) {
+  const std::string code =
+      "void Step() {\n"
+      "  HALK_PROFILE_SCOPE(\n"
+      "      \"train/a_rather_long_region_name\");\n"
+      "}\n";
+  EXPECT_FALSE(HasRule(Lint("src/core/trainer.cc", code),
+                       "profile-scope-literal"));
+}
+
+TEST(ProfileScopeLiteralTest, MacroDefinitionItselfIsExempt) {
+  const std::string code =
+      "#define HALK_PROFILE_SCOPE(name)                       \\\n"
+      "  ::halk::obs::ProfileScope scope(Profiler::Global(), (name))\n";
+  EXPECT_FALSE(HasRule(Lint("src/obs/profiler.h", code),
+                       "profile-scope-literal"));
+}
+
+TEST(ProfileScopeLiteralTest, InlineAllowSuppresses) {
+  const std::string code =
+      "void Step(const char* name) {\n"
+      "  HALK_PROFILE_SCOPE(name);  // halk_lint:allow profile-scope-literal\n"
+      "}\n";
+  EXPECT_FALSE(HasRule(Lint("src/core/trainer.cc", code),
+                       "profile-scope-literal"));
+}
+
+// ---------------------------------------------------------------------------
 // Seeded-mutant negatives: the checkers catch the exact regressions the CI
 // gates exist to prevent (tree is currently clean, so these prove the
 // detection path end to end).
@@ -382,6 +431,23 @@ TEST(SeededMutantTest, DeletingOrderCommentIsCaught) {
       "health_.store(h, std::memory_order_release);\n";
   EXPECT_TRUE(
       HasRule(Lint("src/shard/w.cc", mutant), "memory-order-comment", 1));
+}
+
+
+TEST(SeededMutantTest, ProfileScopeVariableNameIsCaught) {
+  const std::string literal =
+      "void Eval() {\n"
+      "  HALK_PROFILE_SCOPE(\"eval/score_all\");\n"
+      "}\n";
+  EXPECT_FALSE(HasRule(Lint("src/core/evaluator.cc", literal),
+                       "profile-scope-literal"));
+  // Mutant: someone parameterizes the region name per query structure.
+  const std::string mutant =
+      "void Eval(const query::GroundedQuery& q) {\n"
+      "  HALK_PROFILE_SCOPE(StructureName(q.structure));\n"
+      "}\n";
+  EXPECT_TRUE(HasRule(Lint("src/core/evaluator.cc", mutant),
+                      "profile-scope-literal", 2));
 }
 
 }  // namespace

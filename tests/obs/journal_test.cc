@@ -1,0 +1,175 @@
+// Training journal: the flat JSON line builder/parser round-trip, escape
+// and error handling, the FNV-1a options fingerprint, and TrainJournal's
+// append/flush/record-count behavior against both a stream and a file.
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/journal.h"
+
+namespace halk::obs {
+namespace {
+
+TEST(JsonLineBuilderTest, RendersGoldenLine) {
+  JsonLineBuilder b;
+  b.Str("record", "step")
+      .Int("step", 42)
+      .Num("loss", 0.5)
+      .Bool("done", false)
+      .Null("note");
+  EXPECT_EQ(b.Finish(),
+            "{\"record\":\"step\",\"step\":42,\"loss\":0.5,"
+            "\"done\":false,\"note\":null}");
+}
+
+TEST(JsonLineBuilderTest, EscapesStringsAndRejectsNonFinite) {
+  JsonLineBuilder b;
+  b.Str("msg", "a\"b\\c\nd").Num("bad", std::nan("")).Num(
+      "inf", std::numeric_limits<double>::infinity());
+  const std::string line = b.Finish();
+  EXPECT_NE(line.find("a\\\"b\\\\c\\nd"), std::string::npos);
+  // Non-finite doubles have no JSON representation; they become null.
+  EXPECT_NE(line.find("\"bad\":null"), std::string::npos);
+  EXPECT_NE(line.find("\"inf\":null"), std::string::npos);
+}
+
+TEST(JsonLineBuilderTest, EmptyBuilderRendersEmptyObject) {
+  JsonLineBuilder b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.Finish(), "{}");
+}
+
+TEST(ParseJsonLineTest, RoundTripsBuilderOutput) {
+  JsonLineBuilder b;
+  b.Str("record", "header")
+      .Int("seed", -7)
+      .Num("lr", 0.004999999888241291)
+      .Bool("profile", true)
+      .Null("extra");
+  auto parsed = ParseJsonLine(b.Finish());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 5u);
+  // Key order of appearance is preserved.
+  EXPECT_EQ((*parsed)[0].first, "record");
+  EXPECT_EQ((*parsed)[0].second.string_value, "header");
+  const JsonValue* seed = FindKey(*parsed, "seed");
+  ASSERT_NE(seed, nullptr);
+  EXPECT_DOUBLE_EQ(seed->number, -7.0);
+  // %.17g rendering round-trips doubles exactly.
+  EXPECT_EQ(FindKey(*parsed, "lr")->number, 0.004999999888241291);
+  EXPECT_TRUE(FindKey(*parsed, "profile")->bool_value);
+  EXPECT_EQ(FindKey(*parsed, "extra")->kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(FindKey(*parsed, "absent"), nullptr);
+}
+
+TEST(ParseJsonLineTest, HandlesUnicodeEscapes) {
+  auto parsed = ParseJsonLine("{\"s\":\"a\\u0041\\u00e9\\ud83d\\ude00\"}");
+  ASSERT_TRUE(parsed.ok());
+  // \u0041 = 'A', \u00e9 = é (2 UTF-8 bytes), surrogate pair = 😀 (4).
+  EXPECT_EQ(FindKey(*parsed, "s")->string_value,
+            "aA\xc3\xa9\xf0\x9f\x98\x80");
+  // A lone surrogate decodes to U+FFFD instead of corrupting the string.
+  auto lone = ParseJsonLine("{\"s\":\"\\ud83d!\"}");
+  ASSERT_TRUE(lone.ok());
+  EXPECT_EQ(FindKey(*lone, "s")->string_value, "\xef\xbf\xbd!");
+}
+
+TEST(ParseJsonLineTest, AcceptsSurroundingWhitespaceAndNumberForms) {
+  auto parsed =
+      ParseJsonLine("  { \"a\" : -1.5e3 , \"b\" : 0.25 , \"c\" : 12 }  ");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(FindKey(*parsed, "a")->number, -1500.0);
+  EXPECT_DOUBLE_EQ(FindKey(*parsed, "b")->number, 0.25);
+  EXPECT_DOUBLE_EQ(FindKey(*parsed, "c")->number, 12.0);
+}
+
+TEST(ParseJsonLineTest, RejectsMalformedInput) {
+  // One representative per error class; the fuzz suite covers the rest.
+  for (const char* bad : {
+           "",                      // no object
+           "{\"a\":1",              // unterminated
+           "{\"a\":1} trailing",    // bytes after the object
+           "{\"a\":{\"b\":1}}",     // nested object
+           "{\"a\":[1,2]}",         // nested array
+           "{\"a\":01}",            // leading zero
+           "{\"a\":+1}",            // bad sign
+           "{a:1}",                 // unquoted key
+           "{\"a\" 1}",             // missing colon
+           "{\"a\":1,}",            // trailing comma
+           "{\"a\":\"\\x41\"}",     // invalid escape
+           "{\"a\":\"\\u12\"}",     // short unicode escape
+           "{\"a\":tru}",           // bad keyword
+       }) {
+    auto parsed = ParseJsonLine(bad);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << bad;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kParseError) << bad;
+  }
+}
+
+TEST(Fnv1a64Test, MatchesReferenceVectorsAndDiscriminates) {
+  // Standard FNV-1a 64 test vectors.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ull);
+  EXPECT_NE(Fnv1a64("lr=0.005"), Fnv1a64("lr=0.0005"));
+}
+
+TEST(TrainJournalTest, WritesOneFlushedLinePerRecord) {
+  std::ostringstream sink;
+  std::unique_ptr<TrainJournal> journal = TrainJournal::ToStream(&sink);
+  JsonLineBuilder a;
+  a.Str("record", "header").Int("schema_version", 1);
+  journal->Write(a);
+  JsonLineBuilder b;
+  b.Str("record", "step").Int("step", 1);
+  journal->Write(b);
+  EXPECT_EQ(journal->records_written(), 2);
+  const std::string text = sink.str();
+  EXPECT_EQ(text,
+            "{\"record\":\"header\",\"schema_version\":1}\n"
+            "{\"record\":\"step\",\"step\":1}\n");
+  // Every line is independently parseable (the JSONL contract).
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(ParseJsonLine(line).ok()) << line;
+  }
+}
+
+TEST(TrainJournalTest, OpenTruncatesAndReportsPath) {
+  const std::string path =
+      ::testing::TempDir() + "/halk_journal_test.jsonl";
+  {
+    std::ofstream stale(path);
+    stale << "stale content\n";
+  }
+  auto journal = TrainJournal::Open(path);
+  ASSERT_TRUE(journal.ok());
+  EXPECT_EQ((*journal)->path(), path);
+  JsonLineBuilder rec;
+  rec.Str("record", "header");
+  (*journal)->Write(rec);
+  journal->reset();  // close before reading back
+
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "{\"record\":\"header\"}");
+  EXPECT_FALSE(std::getline(in, line)) << "stale content survived Open";
+  std::remove(path.c_str());
+}
+
+TEST(TrainJournalTest, OpenOnUnwritablePathIsIOError) {
+  auto journal = TrainJournal::Open("/nonexistent-dir/journal.jsonl");
+  ASSERT_FALSE(journal.ok());
+  EXPECT_EQ(journal.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace halk::obs

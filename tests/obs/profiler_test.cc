@@ -1,0 +1,224 @@
+// Hierarchical CPU profiler: scope nesting, cross-thread merging, the
+// disabled fast path, Reset semantics, arena overflow, and the collapsed /
+// chrome-trace export formats (exercised on hand-built snapshots so the
+// assertions are exact, not timing-dependent).
+
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/profiler.h"
+
+namespace halk::obs {
+namespace {
+
+// Spins until the monotonic clock moves so every recorded scope has a
+// strictly positive duration (sleeping would slow the suite for nothing).
+void BurnClock() {
+  volatile int sink = 0;
+  for (int i = 0; i < 50000; ++i) sink = sink + i;
+  (void)sink;
+}
+
+TEST(ProfilerTest, DisabledScopesAreInert) {
+  Profiler profiler;
+  ASSERT_FALSE(profiler.enabled());
+  {
+    ProfileScope scope(profiler, "never");
+    EXPECT_FALSE(scope.active());
+  }
+  EXPECT_TRUE(profiler.Snapshot().empty());
+}
+
+TEST(ProfilerTest, NestedScopesBuildACallTree) {
+  Profiler profiler;
+  profiler.set_enabled(true);
+  {
+    ProfileScope outer(profiler, "outer");
+    ASSERT_TRUE(outer.active());
+    for (int i = 0; i < 3; ++i) {
+      ProfileScope inner(profiler, "inner");
+      BurnClock();
+    }
+  }
+  ProfileSnapshot snapshot = profiler.Snapshot();
+  ASSERT_EQ(snapshot.roots().size(), 1u);
+  const ProfileEntry& outer = snapshot.roots()[0];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.count, 1);
+  ASSERT_EQ(outer.children.size(), 1u);
+  const ProfileEntry& inner = outer.children[0];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(inner.count, 3);
+  // The inner region's time nests inside the outer's.
+  EXPECT_GE(outer.total_ns, inner.total_ns);
+  EXPECT_GT(inner.total_ns, 0);
+  EXPECT_EQ(outer.self_ns, outer.total_ns - inner.total_ns);
+  // Named lookups sum over the whole tree.
+  EXPECT_EQ(snapshot.TotalNs("inner"), inner.total_ns);
+  EXPECT_EQ(snapshot.Count("inner"), 3);
+  EXPECT_EQ(snapshot.TotalNs("absent"), 0);
+}
+
+TEST(ProfilerTest, SameNameUnderDifferentParentsStaysSeparate) {
+  Profiler profiler;
+  profiler.set_enabled(true);
+  {
+    ProfileScope a(profiler, "a");
+    ProfileScope work(profiler, "work");
+    BurnClock();
+  }
+  {
+    ProfileScope b(profiler, "b");
+    ProfileScope work(profiler, "work");
+    BurnClock();
+  }
+  ProfileSnapshot snapshot = profiler.Snapshot();
+  ASSERT_EQ(snapshot.roots().size(), 2u);  // sorted: a, b
+  EXPECT_EQ(snapshot.roots()[0].name, "a");
+  EXPECT_EQ(snapshot.roots()[1].name, "b");
+  ASSERT_EQ(snapshot.roots()[0].children.size(), 1u);
+  ASSERT_EQ(snapshot.roots()[1].children.size(), 1u);
+  EXPECT_EQ(snapshot.roots()[0].children[0].count, 1);
+  EXPECT_EQ(snapshot.roots()[1].children[0].count, 1);
+  // ...but name-keyed queries still see both.
+  EXPECT_EQ(snapshot.Count("work"), 2);
+}
+
+TEST(ProfilerTest, ThreadsMergeByPath) {
+  Profiler profiler;
+  profiler.set_enabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&profiler] {
+      for (int i = 0; i < kIters; ++i) {
+        ProfileScope outer(profiler, "serve");
+        ProfileScope inner(profiler, "rank");
+        BurnClock();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ProfileSnapshot snapshot = profiler.Snapshot();
+  // All threads' trees merge into one "serve" root with one "rank" child.
+  ASSERT_EQ(snapshot.roots().size(), 1u);
+  EXPECT_EQ(snapshot.roots()[0].name, "serve");
+  EXPECT_EQ(snapshot.roots()[0].count, kThreads * kIters);
+  ASSERT_EQ(snapshot.roots()[0].children.size(), 1u);
+  EXPECT_EQ(snapshot.roots()[0].children[0].count, kThreads * kIters);
+  EXPECT_EQ(profiler.overflow_count(), 0);
+}
+
+TEST(ProfilerTest, ResetZeroesCountersButKeepsRecording) {
+  Profiler profiler;
+  profiler.set_enabled(true);
+  {
+    ProfileScope scope(profiler, "phase");
+    BurnClock();
+  }
+  ASSERT_EQ(profiler.Snapshot().Count("phase"), 1);
+  profiler.Reset();
+  EXPECT_EQ(profiler.Snapshot().Count("phase"), 0);
+  EXPECT_EQ(profiler.Snapshot().TotalNs("phase"), 0);
+  {
+    ProfileScope scope(profiler, "phase");
+    BurnClock();
+  }
+  EXPECT_EQ(profiler.Snapshot().Count("phase"), 1);
+}
+
+TEST(ProfilerTest, ArenaOverflowIsCountedNotRecorded) {
+  Profiler profiler;
+  profiler.set_enabled(true);
+  // Each recursion level creates a new (parent, "deep") node, so depth
+  // beyond kMaxProfileNodes must overflow; the overflowing scopes stay
+  // inert instead of corrupting the arena.
+  std::function<void(uint32_t)> recurse = [&](uint32_t depth) {
+    if (depth == 0) return;
+    ProfileScope scope(profiler, "deep");
+    recurse(depth - 1);
+  };
+  recurse(kMaxProfileNodes + 50);
+  EXPECT_GE(profiler.overflow_count(), 50);
+  ProfileSnapshot snapshot = profiler.Snapshot();
+  EXPECT_EQ(snapshot.Count("deep"), kMaxProfileNodes);
+}
+
+// --- export formats, on a hand-built snapshot ------------------------------
+
+ProfileSnapshot MakeSnapshot() {
+  ProfileEntry inner;
+  inner.name = "inner";
+  inner.count = 2;
+  inner.total_ns = 2000;
+  inner.self_ns = 2000;
+  ProfileEntry zero_self;
+  zero_self.name = "forward_only";
+  zero_self.count = 1;
+  zero_self.total_ns = 0;
+  zero_self.self_ns = 0;
+  ProfileEntry root;
+  root.name = "train";
+  root.count = 1;
+  root.total_ns = 5000;
+  root.self_ns = 3000;
+  root.children = {inner, zero_self};
+  return ProfileSnapshot({root});
+}
+
+TEST(ProfileSnapshotTest, FlattenJoinsPathsWithSemicolons) {
+  const std::vector<ProfileFlatEntry> flat = MakeSnapshot().Flatten();
+  ASSERT_EQ(flat.size(), 3u);
+  EXPECT_EQ(flat[0].path, "train");
+  EXPECT_EQ(flat[1].path, "train;inner");
+  EXPECT_EQ(flat[1].name, "inner");
+  EXPECT_EQ(flat[2].path, "train;forward_only");
+}
+
+TEST(ProfileSnapshotTest, TopSelfOrdersBySelfTime) {
+  const std::vector<ProfileFlatEntry> top = MakeSnapshot().TopSelf(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].path, "train");
+  EXPECT_EQ(top[0].self_ns, 3000);
+  EXPECT_EQ(top[1].path, "train;inner");
+}
+
+TEST(ProfileSnapshotTest, CollapsedFormatSkipsZeroSelfRegions) {
+  const std::string collapsed = MakeSnapshot().ToCollapsed();
+  EXPECT_EQ(collapsed, "train 3000\ntrain;inner 2000\n");
+}
+
+TEST(ProfileSnapshotTest, ChromeJsonEmitsCompleteEvents) {
+  const std::string json = MakeSnapshot().ToChromeJson();
+  // Same envelope shape as Trace::ToChromeJson().
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // 5000 ns root duration -> 5.000 us; counts ride in args.
+  EXPECT_NE(json.find("\"name\":\"train\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":5.000"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"count\":1,\"self_us\":3.000}"),
+            std::string::npos);
+  // The child is packed at the parent's start.
+  EXPECT_NE(json.find("\"name\":\"inner\",\"cat\":\"halk\",\"ph\":\"X\","
+                      "\"ts\":0.000"),
+            std::string::npos);
+}
+
+TEST(ProfileSnapshotTest, EmptySnapshotExportsAreWellFormed) {
+  ProfileSnapshot empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.ToCollapsed(), "");
+  EXPECT_NE(empty.ToChromeJson().find("\"traceEvents\":[]"),
+            std::string::npos);
+  EXPECT_TRUE(empty.TopSelf(5).empty());
+}
+
+}  // namespace
+}  // namespace halk::obs

@@ -1,0 +1,135 @@
+// Autograd tape accounting: op counts, FLOP estimates, and byte totals
+// for a hand-computed query-style graph (gather anchors -> matmul ->
+// relu -> add -> sum_all, the shape of a HaLk scoring pass) must match
+// exactly, forward and backward; plus the install/nest/disable semantics
+// of the thread-local TapeAccounting scope.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "tensor/tape.h"
+#include "tensor/tensor.h"
+
+namespace halk::tensor {
+namespace {
+
+TEST(TapeAccountingTest, HandComputedQueryGraphMatchesExactly) {
+  // Entity table E (5x4) and projection W (4x3), both trainable.
+  Tensor table = Tensor::Full(Shape({5, 4}), 0.5f);
+  table.set_requires_grad(true);
+  Tensor weight = Tensor::Full(Shape({4, 3}), 0.25f);
+  weight.set_requires_grad(true);
+
+  TapeAccounting accounting;
+  ASSERT_EQ(TapeAccounting::Active(), &accounting);
+
+  // "Query": embed two anchor entities, project, activate, combine, score.
+  Tensor anchors = Gather(table, {0, 2});       // gather      2x4
+  Tensor projected = MatMul(anchors, weight);   // matmul      2x3
+  Tensor activated = Relu(projected);           // relu        2x3
+  Tensor combined = Add(activated, activated);  // add         2x3
+  Tensor loss = SumAll(combined);               // sum_all     1
+  Backward(loss);
+
+  const TapeStats& stats = accounting.stats();
+
+  // ---- forward: one node per op ----------------------------------------
+  EXPECT_EQ(stats.forward_nodes, 5);
+  ASSERT_EQ(stats.forward.size(), 5u);
+  EXPECT_EQ(stats.forward.at("gather").count, 1);
+  EXPECT_EQ(stats.forward.at("matmul").count, 1);
+  EXPECT_EQ(stats.forward.at("relu").count, 1);
+  EXPECT_EQ(stats.forward.at("add").count, 1);
+  EXPECT_EQ(stats.forward.at("sum_all").count, 1);
+
+  // FLOPs: gather moves data (0); matmul is 2*m*k*n = 2*2*4*3 = 48;
+  // relu and add are elementwise over 2x3 outputs (6 each); sum_all
+  // touches every input element once (6).
+  EXPECT_EQ(stats.forward.at("gather").flops, 0);
+  EXPECT_EQ(stats.forward.at("matmul").flops, 48);
+  EXPECT_EQ(stats.forward.at("relu").flops, 6);
+  EXPECT_EQ(stats.forward.at("add").flops, 6);
+  EXPECT_EQ(stats.forward.at("sum_all").flops, 6);
+  EXPECT_EQ(stats.forward_flops, 48 + 6 + 6 + 6);
+
+  // Bytes: each op's output buffer. 2x4 + 2x3 + 2x3 + 2x3 + 1 floats.
+  EXPECT_EQ(stats.forward_bytes, (8 + 6 + 6 + 6 + 1) * 4);
+
+  // ---- backward: one closure per non-leaf node, ~2x forward FLOPs ------
+  EXPECT_EQ(stats.backward_nodes, 5);
+  EXPECT_EQ(stats.backward.at("matmul").count, 1);
+  EXPECT_EQ(stats.backward.at("matmul").flops, 96);
+  EXPECT_EQ(stats.backward_flops, 2 * stats.forward_flops);
+  // Gradient buffers mirror the output buffers.
+  EXPECT_EQ(stats.backward_bytes, stats.forward_bytes);
+
+  // ---- peak graph footprint: data + grad over every reachable node -----
+  // After Backward every node holds data and grad: leaves 5x4 and 4x3
+  // plus the five op outputs, each buffer twice (data + grad).
+  EXPECT_EQ(stats.peak_graph_bytes,
+            2 * (20 + 12 + 8 + 6 + 6 + 6 + 1) * 4);
+}
+
+TEST(TapeAccountingTest, NoAccountingMeansNoActiveAndNoCrash) {
+  ASSERT_EQ(TapeAccounting::Active(), nullptr);
+  Tensor a = Tensor::Full(Shape({2, 2}), 1.0f);
+  a.set_requires_grad(true);
+  Tensor loss = SumAll(Square(a));
+  Backward(loss);
+  EXPECT_FLOAT_EQ(loss.at(0), 4.0f);
+}
+
+TEST(TapeAccountingTest, ScopesNestAndRestore) {
+  TapeAccounting outer;
+  Tensor a = Tensor::Full(Shape({3}), 2.0f);
+  a.set_requires_grad(true);
+  {
+    TapeAccounting inner;
+    ASSERT_EQ(TapeAccounting::Active(), &inner);
+    Tensor loss = SumAll(a);
+    Backward(loss);
+    EXPECT_EQ(inner.stats().forward_nodes, 1);
+    // The inner scope absorbed the ops; the outer saw nothing.
+    EXPECT_EQ(outer.stats().forward_nodes, 0);
+  }
+  ASSERT_EQ(TapeAccounting::Active(), &outer);
+  Tensor loss = SumAll(a);
+  Backward(loss);
+  EXPECT_EQ(outer.stats().forward_nodes, 1);
+  EXPECT_EQ(outer.stats().backward_nodes, 1);
+}
+
+TEST(TapeAccountingTest, ResetClearsTotals) {
+  TapeAccounting accounting;
+  Tensor a = Tensor::Full(Shape({4}), 1.0f);
+  a.set_requires_grad(true);
+  Backward(SumAll(a));
+  ASSERT_GT(accounting.stats().forward_nodes, 0);
+  accounting.Reset();
+  EXPECT_EQ(accounting.stats().forward_nodes, 0);
+  EXPECT_EQ(accounting.stats().backward_nodes, 0);
+  EXPECT_TRUE(accounting.stats().forward.empty());
+  EXPECT_EQ(accounting.stats().peak_graph_bytes, 0);
+}
+
+TEST(TapeAccountingTest, DataMoversAndDetachCountZeroFlops) {
+  TapeAccounting accounting;
+  Tensor a = Tensor::Full(Shape({2, 6}), 1.0f);
+  a.set_requires_grad(true);
+  Tensor r = Reshape(a, Shape({3, 4}));
+  Tensor s = SliceCols(r, 0, 2);
+  Tensor b = BroadcastRow(Tensor::Full(Shape({2}), 1.0f), 3);
+  (void)s;
+  (void)b;
+  const TapeStats& stats = accounting.stats();
+  EXPECT_EQ(stats.forward.at("reshape").flops, 0);
+  EXPECT_EQ(stats.forward.at("slice_cols").flops, 0);
+  EXPECT_EQ(stats.forward.at("broadcast_row").flops, 0);
+  // Bytes still count: movement is traffic even when it computes nothing.
+  EXPECT_EQ(stats.forward.at("reshape").bytes, 12 * 4);
+}
+
+}  // namespace
+}  // namespace halk::tensor

@@ -1,0 +1,90 @@
+#include "tools/bench_diff/bench_diff.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "obs/journal.h"
+
+namespace halk::benchdiff {
+
+namespace {
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+bool IsThroughputKey(const std::string& key) {
+  return key == "qps" || key.rfind("qps_", 0) == 0 || EndsWith(key, "_qps");
+}
+
+std::string Report::ToString() const {
+  std::ostringstream out;
+  for (const KeyDelta& d : deltas) {
+    out << (d.failed ? "FAIL " : d.checked ? "  ok " : "     ") << d.key
+        << ": " << d.baseline << " -> " << d.fresh;
+    if (d.baseline != 0.0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), " (%+.1f%%)", d.relative * 100.0);
+      out << buf;
+    }
+    out << "\n";
+  }
+  for (const std::string& note : notes) out << "note: " << note << "\n";
+  out << (ok ? "PASS" : "FAIL") << "\n";
+  return out.str();
+}
+
+Result<Report> DiffBenchJson(const std::string& baseline_text,
+                             const std::string& fresh_text,
+                             const Options& options) {
+  HALK_ASSIGN_OR_RETURN(obs::JsonObject baseline,
+                        obs::ParseJsonLine(baseline_text));
+  HALK_ASSIGN_OR_RETURN(obs::JsonObject fresh,
+                        obs::ParseJsonLine(fresh_text));
+
+  const obs::JsonValue* baseline_name = obs::FindKey(baseline, "bench");
+  const obs::JsonValue* fresh_name = obs::FindKey(fresh, "bench");
+  if (baseline_name == nullptr || fresh_name == nullptr ||
+      !baseline_name->is_string() || !fresh_name->is_string()) {
+    return Status::InvalidArgument("missing \"bench\" key");
+  }
+  if (baseline_name->string_value != fresh_name->string_value) {
+    return Status::InvalidArgument(
+        "comparing different benches: " + baseline_name->string_value +
+        " vs " + fresh_name->string_value);
+  }
+
+  Report report;
+  for (const auto& [key, baseline_value] : baseline) {
+    if (!baseline_value.is_number()) continue;
+    const obs::JsonValue* fresh_value = obs::FindKey(fresh, key);
+    const bool checked = IsThroughputKey(key);
+    if (fresh_value == nullptr || !fresh_value->is_number()) {
+      report.notes.push_back("key `" + key + "` missing from fresh run");
+      if (checked && options.fail_on_missing) report.ok = false;
+      continue;
+    }
+    KeyDelta delta;
+    delta.key = key;
+    delta.baseline = baseline_value.number;
+    delta.fresh = fresh_value->number;
+    delta.relative = delta.baseline != 0.0
+                         ? delta.fresh / delta.baseline - 1.0
+                         : (delta.fresh == 0.0 ? 0.0 : HUGE_VAL);
+    delta.checked = checked;
+    delta.failed = checked && !(std::fabs(delta.relative) <= options.tolerance);
+    if (delta.failed) report.ok = false;
+    report.deltas.push_back(std::move(delta));
+  }
+  for (const auto& [key, value] : fresh) {
+    if (value.is_number() && obs::FindKey(baseline, key) == nullptr) {
+      report.notes.push_back("key `" + key + "` new in fresh run");
+    }
+  }
+  return report;
+}
+
+}  // namespace halk::benchdiff

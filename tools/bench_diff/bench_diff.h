@@ -1,0 +1,59 @@
+#ifndef HALK_TOOLS_BENCH_DIFF_BENCH_DIFF_H_
+#define HALK_TOOLS_BENCH_DIFF_BENCH_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace halk::benchdiff {
+
+struct Options {
+  /// Maximum relative deviation of a throughput key before the diff
+  /// fails, as a fraction of the baseline (0.25 = ±25%).
+  double tolerance = 0.25;
+  /// Fail when a throughput key present in the baseline is missing from
+  /// the fresh run (schema regressions); off by default so adding keys
+  /// never breaks older baselines.
+  bool fail_on_missing = false;
+};
+
+/// One compared key.
+struct KeyDelta {
+  std::string key;
+  double baseline = 0.0;
+  double fresh = 0.0;
+  /// fresh/baseline - 1 (0 when the baseline is 0 and fresh is too).
+  double relative = 0.0;
+  /// True for throughput keys, which are held to the tolerance.
+  bool checked = false;
+  bool failed = false;
+};
+
+struct Report {
+  std::vector<KeyDelta> deltas;
+  /// Human-readable notes: missing keys, non-numeric keys, etc.
+  std::vector<std::string> notes;
+  /// False when any checked key exceeded the tolerance (or a required key
+  /// is missing under fail_on_missing).
+  bool ok = true;
+
+  std::string ToString() const;
+};
+
+/// True for keys the diff enforces the tolerance on: `qps`, `qps_*`,
+/// `*_qps` — raw throughput numbers. Ratios (speedup_*), latencies, and
+/// counts are reported but never fail the diff (they are either derived
+/// from qps or too machine-sensitive for a fixed gate).
+bool IsThroughputKey(const std::string& key);
+
+/// Diffs two BENCH_<name>.json payloads (flat JSON objects as written by
+/// BenchJson::Emit). kParseError on malformed input; kInvalidArgument
+/// when the two files are different benches.
+[[nodiscard]] Result<Report> DiffBenchJson(const std::string& baseline_text,
+                                           const std::string& fresh_text,
+                                           const Options& options);
+
+}  // namespace halk::benchdiff
+
+#endif  // HALK_TOOLS_BENCH_DIFF_BENCH_DIFF_H_

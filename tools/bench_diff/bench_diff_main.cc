@@ -1,0 +1,86 @@
+// halk_bench_diff: compare a fresh BENCH_<name>.json against a committed
+// baseline. Throughput keys (qps, qps_*, *_qps) must stay within a relative
+// tolerance (default ±25%); everything else is reported informationally.
+//
+//   halk_bench_diff <baseline.json> <fresh.json> [--tolerance 0.25]
+//                   [--fail-on-missing]
+//
+// Exit codes: 0 within tolerance, 1 regression (or missing key under
+// --fail-on-missing), 2 usage/IO/parse error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "tools/bench_diff/bench_diff.h"
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in.is_open()) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: halk_bench_diff <baseline.json> <fresh.json> "
+               "[--tolerance F] [--fail-on-missing]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string fresh_path;
+  halk::benchdiff::Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tolerance") {
+      if (i + 1 >= argc) return Usage();
+      options.tolerance = std::atof(argv[++i]);
+      if (options.tolerance <= 0.0) {
+        std::fprintf(stderr, "error: --tolerance must be > 0\n");
+        return 2;
+      }
+    } else if (arg == "--fail-on-missing") {
+      options.fail_on_missing = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else if (baseline_path.empty()) {
+      baseline_path = arg;
+    } else if (fresh_path.empty()) {
+      fresh_path = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (baseline_path.empty() || fresh_path.empty()) return Usage();
+
+  std::string baseline_text;
+  std::string fresh_text;
+  if (!ReadFile(baseline_path, &baseline_text)) {
+    std::fprintf(stderr, "error: cannot read %s\n", baseline_path.c_str());
+    return 2;
+  }
+  if (!ReadFile(fresh_path, &fresh_text)) {
+    std::fprintf(stderr, "error: cannot read %s\n", fresh_path.c_str());
+    return 2;
+  }
+
+  auto report =
+      halk::benchdiff::DiffBenchJson(baseline_text, fresh_text, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("%s", report->ToString().c_str());
+  return report->ok ? 0 : 1;
+}

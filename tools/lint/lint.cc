@@ -307,6 +307,50 @@ FileResult LintFileContent(const std::string& path, const std::string& text,
         "justification comment");
   }
 
+  // --- profile-scope-literal ----------------------------------------------
+  // Profiler region names are interned by pointer + strcmp into a fixed
+  // per-thread arena, so HALK_PROFILE_SCOPE must be given a string literal:
+  // a dynamic name would mint a new arena node per distinct value and make
+  // the collapsed flamegraph unreadable. The macro's own #define is exempt.
+  static const std::regex kProfileScopeRe(R"(\bHALK_PROFILE_SCOPE\s*\()");
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(lines[i], m, kProfileScopeRe)) continue;
+    // Skip the macro definition itself (and any #undef/#ifdef mentions).
+    const size_t first_char = lines[i].find_first_not_of(" \t");
+    if (first_char != std::string::npos && lines[i][first_char] == '#') {
+      continue;
+    }
+    // Find the first non-whitespace character after the `(` in the
+    // *original* text (the stripped text blanks quote characters),
+    // continuing onto following lines for wrapped call sites.
+    size_t li = i;
+    size_t ci = static_cast<size_t>(m.position(0)) +
+                static_cast<size_t>(m.length(0));
+    bool literal = false;
+    bool found = false;
+    while (li < original.size() && !found) {
+      const std::string& text_line = original[li];
+      while (ci < text_line.size() &&
+             std::isspace(static_cast<unsigned char>(text_line[ci])) != 0) {
+        ++ci;
+      }
+      if (ci < text_line.size()) {
+        literal = text_line[ci] == '"';
+        found = true;
+      } else {
+        ++li;
+        ci = 0;
+      }
+    }
+    if (found && literal) continue;
+    if (InlineAllowed(original[i], "profile-scope-literal")) continue;
+    Add(&result.diagnostics, path, static_cast<int>(i + 1),
+        "profile-scope-literal",
+        "HALK_PROFILE_SCOPE argument must be a string literal; dynamic "
+        "region names grow the profiler arena without bound");
+  }
+
   // --- nodiscard-status ---------------------------------------------------
   if (is_status_h) {
     // The sweep's root: Status and Result themselves are [[nodiscard]] at
