@@ -29,6 +29,7 @@
 // SPARQL queries are served live; dot-commands inspect the engine:
 //   .metrics   plain-text metrics dump
 //   .prom      Prometheus text exposition
+//   .explain <sparql>   planner schedule for a query, without serving it
 //   .trace     chrome://tracing JSON of the last served query
 //   .slow      slow-query log (fingerprint, hits, worst latency)
 //   .health    per-replica shard health
@@ -275,8 +276,8 @@ int main(int argc, char** argv) {
   // Interactive endpoint: SPARQL per line, dot-commands for inspection.
   // fgets returns null at EOF, so non-interactive runs fall straight
   // through.
-  std::printf("\n--- interactive endpoint (SPARQL per line; "
-              ".metrics .prom .trace .slow .health .profile .quit) ---\n");
+  std::printf("\n--- interactive endpoint (SPARQL per line; .metrics .prom "
+              ".explain <sparql> .trace .slow .health .profile .quit) ---\n");
   char line[4096];
   while (std::fgets(line, sizeof(line), stdin) != nullptr) {
     const std::string input(Trim(line));
@@ -286,6 +287,23 @@ int main(int argc, char** argv) {
       std::printf("%s", server.DumpMetrics().c_str());
     } else if (input == ".prom") {
       std::printf("%s", server.metrics()->DumpPrometheus().c_str());
+    } else if (input.rfind(".explain", 0) == 0) {
+      const std::string sparql(Trim(input.substr(8)));
+      if (sparql.empty()) {
+        std::printf("usage: .explain SELECT ?x WHERE { ... }\n");
+        continue;
+      }
+      auto graph = sparql::CompileSparql(sparql, kg);
+      if (!graph.ok()) {
+        std::printf("adaptor error: %s\n", graph.status().ToString().c_str());
+        continue;
+      }
+      auto text = server.Explain(*graph);
+      if (!text.ok()) {
+        std::printf("explain error: %s\n", text.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s", text->c_str());
     } else if (input == ".trace") {
       if (last_trace_id == 0) {
         std::printf("no trace captured yet\n");

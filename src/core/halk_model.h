@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "core/arc.h"
+#include "core/operator_model.h"
 #include "core/query_model.h"
 #include "nn/deepsets.h"
 #include "nn/mlp.h"
@@ -27,8 +28,10 @@ namespace halk::core {
 ///     two-branch MLP;
 ///   * union — handled outside the model by the DNF rewrite (exact).
 /// The operator methods are virtual so the Table V ablations (HaLk-V1/V2/V3)
-/// can swap in degraded variants.
-class HalkModel : public QueryModel {
+/// can swap in degraded variants. The model also implements OperatorModel,
+/// which lets the shared-graph executor (plan/executor.h) drive the same
+/// virtual operators node by node over a deduplicated compute DAG.
+class HalkModel : public QueryModel, public OperatorModel {
  public:
   /// `grouping` (optional, may be null) enables the group-similarity factor
   /// z_i in the intersection attention (Eq. 10).
@@ -61,25 +64,32 @@ class HalkModel : public QueryModel {
 
   bool Supports(query::OpType) const override { return true; }
 
-  // --- Operators (public for unit tests, ablations, and the pruner). ---
+  OperatorModel* AsOperatorModel() override { return this; }
+
+  // --- Operators (public for unit tests, ablations, the pruner, and the
+  // --- shared-graph executor via OperatorModel). ---
 
   /// Anchor entities as zero-length arcs.
-  ArcBatch EmbedAnchors(const std::vector<int64_t>& entities);
+  ArcBatch EmbedAnchors(const std::vector<int64_t>& entities) override;
 
   /// Projection operator, Eqs. (2)-(3). `relations[i]` applies to row i.
-  virtual ArcBatch Projection(const ArcBatch& input,
-                              const std::vector<int64_t>& relations);
+  ArcBatch Projection(const ArcBatch& input,
+                      const std::vector<int64_t>& relations) override;
 
   /// Difference operator, Eqs. (4)-(9); `inputs[0]` is the minuend.
-  virtual ArcBatch Difference(const std::vector<ArcBatch>& inputs);
+  ArcBatch Difference(const std::vector<ArcBatch>& inputs) override;
 
   /// Intersection operator, Eqs. (10)-(12). `z` holds one [B, d] constant
   /// group-similarity tensor per input (empty = all ones).
   ArcBatch Intersection(const std::vector<ArcBatch>& inputs,
-                        const std::vector<tensor::Tensor>& z);
+                        const std::vector<tensor::Tensor>& z) override;
 
   /// Negation operator, Eqs. (13)-(14).
-  virtual ArcBatch Negation(const ArcBatch& input);
+  ArcBatch Negation(const ArcBatch& input) override;
+
+  const kg::NodeGrouping* operator_grouping() const override {
+    return grouping_;
+  }
 
   /// Per-node arc embeddings of one grounded union-free query; index = node
   /// id (unreachable nodes undefined). Drives the pruning study (Sec. IV-D).

@@ -1,0 +1,57 @@
+#ifndef HALK_CORE_OPERATOR_MODEL_H_
+#define HALK_CORE_OPERATOR_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/arc.h"
+#include "tensor/tensor.h"
+
+namespace halk::kg {
+class NodeGrouping;
+}  // namespace halk::kg
+
+namespace halk::core {
+
+/// Per-operator evaluation interface of an arc-embedding model. Whereas
+/// QueryModel::EmbedQueries embeds whole query graphs, this surface exposes
+/// the individual batched operators, which is what the shared-graph
+/// executor (plan/executor.h) needs: it evaluates a deduplicated compute
+/// DAG node by node, batching same-operator nodes from many requests into
+/// one call, so the operator boundary — not the query boundary — is the
+/// unit of work.
+///
+/// Contract: every method is row-independent (row i of the output depends
+/// only on row i of each input), so callers may assemble batches from
+/// arbitrary rows of other operator results and the floats match a
+/// whole-query evaluation bit for bit.
+class OperatorModel {
+ public:
+  virtual ~OperatorModel() = default;
+
+  /// Anchor entities as arcs; one row per entity.
+  virtual ArcBatch EmbedAnchors(const std::vector<int64_t>& entities) = 0;
+
+  /// Projection; `relations[i]` applies to row i.
+  virtual ArcBatch Projection(const ArcBatch& input,
+                              const std::vector<int64_t>& relations) = 0;
+
+  /// Intersection. `z` holds one [B, d] constant group-similarity tensor
+  /// per input (empty = all ones).
+  virtual ArcBatch Intersection(const std::vector<ArcBatch>& inputs,
+                                const std::vector<tensor::Tensor>& z) = 0;
+
+  /// Difference; `inputs[0]` is the minuend.
+  virtual ArcBatch Difference(const std::vector<ArcBatch>& inputs) = 0;
+
+  virtual ArcBatch Negation(const ArcBatch& input) = 0;
+
+  /// Grouping behind the intersection z factor; null disables it. The
+  /// executor recomputes per-node group vectors with the same fold the
+  /// model uses in EmbedQueries, so z stays bit-identical.
+  virtual const kg::NodeGrouping* operator_grouping() const = 0;
+};
+
+}  // namespace halk::core
+
+#endif  // HALK_CORE_OPERATOR_MODEL_H_

@@ -13,6 +13,8 @@
 
 namespace halk::core {
 
+class OperatorModel;
+
 /// Hyper-parameters shared by HaLk and all baseline models. Paper defaults
 /// (d = 800, batch 512, γ = 24) are scaled for CPU training; the geometry is
 /// dimension-independent (see DESIGN.md).
@@ -138,6 +140,12 @@ class QueryModel {
   /// Whether the model implements an operator (ConE/MLPMix lack difference,
   /// NewLook lacks negation — their tables in the paper have '-').
   virtual bool Supports(query::OpType op) const = 0;
+
+  /// Operator-level view of the model (core/operator_model.h) when it can
+  /// evaluate individual batched operators over a shared compute DAG; null
+  /// otherwise. The planner-backed serving path requires it and falls back
+  /// to per-layout whole-query batching when absent.
+  virtual OperatorModel* AsOperatorModel() { return nullptr; }
 
   const ModelConfig& config() const { return config_; }
 

@@ -72,12 +72,18 @@ bool KnowledgeGraph::HasTriple(int64_t head, int64_t relation,
 
 void KnowledgeGraph::Finalize() {
   index_.Build(num_entities(), num_relations(), triples_);
+  stats_ = GraphStats::Collect(num_entities(), num_relations(), triples_);
   finalized_ = true;
 }
 
 const CsrIndex& KnowledgeGraph::index() const {
   HALK_CHECK(finalized_) << "KnowledgeGraph::Finalize() not called";
   return index_;
+}
+
+const GraphStats& KnowledgeGraph::stats() const {
+  HALK_CHECK(finalized_) << "KnowledgeGraph::Finalize() not called";
+  return stats_;
 }
 
 void KnowledgeGraph::ReserveEntities(int64_t n) {

@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "kg/csr.h"
 #include "kg/dictionary.h"
+#include "kg/stats.h"
 
 namespace halk::kg {
 
@@ -42,6 +43,10 @@ class KnowledgeGraph {
 
   const CsrIndex& index() const;
 
+  /// Per-relation degree statistics, built with the CSR in Finalize();
+  /// feeds the planner's cost model.
+  const GraphStats& stats() const;
+
   const std::vector<Triple>& triples() const { return triples_; }
   int64_t num_entities() const { return entities_->size(); }
   int64_t num_relations() const { return relations_->size(); }
@@ -64,6 +69,7 @@ class KnowledgeGraph {
   std::vector<Triple> triples_;
   std::unordered_set<uint64_t> triple_keys_;
   CsrIndex index_;
+  GraphStats stats_;
   bool finalized_ = false;
 };
 

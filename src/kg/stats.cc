@@ -1,0 +1,73 @@
+#include "kg/stats.h"
+
+#include <algorithm>
+
+namespace halk::kg {
+
+namespace {
+
+const RelationStats kEmptyStats;
+
+}  // namespace
+
+GraphStats GraphStats::Collect(int64_t num_entities, int64_t num_relations,
+                               const std::vector<Triple>& triples) {
+  GraphStats stats;
+  stats.num_entities_ = num_entities;
+  stats.relations_.assign(static_cast<size_t>(std::max<int64_t>(
+                              num_relations, 0)),
+                          RelationStats{});
+  if (num_entities <= 0 || num_relations <= 0) return stats;
+
+  // Group triples by relation so distinct-endpoint counting can reuse two
+  // stamp arrays instead of a per-relation hash set.
+  std::vector<const Triple*> by_relation;
+  by_relation.reserve(triples.size());
+  for (const Triple& t : triples) {
+    if (t.head < 0 || t.head >= num_entities) continue;
+    if (t.tail < 0 || t.tail >= num_entities) continue;
+    if (t.relation < 0 || t.relation >= num_relations) continue;
+    by_relation.push_back(&t);
+  }
+  std::sort(by_relation.begin(), by_relation.end(),
+            [](const Triple* a, const Triple* b) {
+              return a->relation < b->relation;
+            });
+
+  // Stamp value = relation + 1, so a fresh relation never matches stale
+  // marks and the arrays need no clearing between relations.
+  std::vector<int64_t> head_stamp(static_cast<size_t>(num_entities), 0);
+  std::vector<int64_t> tail_stamp(static_cast<size_t>(num_entities), 0);
+  for (const Triple* t : by_relation) {
+    RelationStats& r = stats.relations_[static_cast<size_t>(t->relation)];
+    ++r.num_edges;
+    ++stats.num_edges_;
+    const int64_t stamp = t->relation + 1;
+    if (head_stamp[static_cast<size_t>(t->head)] != stamp) {
+      head_stamp[static_cast<size_t>(t->head)] = stamp;
+      ++r.num_heads;
+    }
+    if (tail_stamp[static_cast<size_t>(t->tail)] != stamp) {
+      tail_stamp[static_cast<size_t>(t->tail)] = stamp;
+      ++r.num_tails;
+    }
+  }
+  for (RelationStats& r : stats.relations_) {
+    if (r.num_heads > 0) {
+      r.avg_out_fanout =
+          static_cast<double>(r.num_edges) / static_cast<double>(r.num_heads);
+    }
+    if (r.num_tails > 0) {
+      r.avg_in_fanout =
+          static_cast<double>(r.num_edges) / static_cast<double>(r.num_tails);
+    }
+  }
+  return stats;
+}
+
+const RelationStats& GraphStats::relation(int64_t r) const {
+  if (r < 0 || r >= num_relations()) return kEmptyStats;
+  return relations_[static_cast<size_t>(r)];
+}
+
+}  // namespace halk::kg

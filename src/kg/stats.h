@@ -1,0 +1,58 @@
+#ifndef HALK_KG_STATS_H_
+#define HALK_KG_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "kg/csr.h"
+
+namespace halk::kg {
+
+/// Degree/fan-out profile of one relation, collected once at
+/// KnowledgeGraph::Finalize() and stored alongside the CSR index. The
+/// planner's cost model (plan/cost_model.h) turns the average fan-outs
+/// into projection cardinality estimates.
+struct RelationStats {
+  int64_t num_edges = 0;
+  /// Distinct head entities with at least one edge under the relation.
+  int64_t num_heads = 0;
+  /// Distinct tail entities with at least one edge under the relation.
+  int64_t num_tails = 0;
+  /// num_edges / num_heads: expected |Tails(h, r)| for a head that has the
+  /// relation at all; 0 when the relation has no edges.
+  double avg_out_fanout = 0.0;
+  /// num_edges / num_tails (the reverse direction).
+  double avg_in_fanout = 0.0;
+};
+
+/// Per-relation degree statistics over a triple set. Immutable after
+/// Collect; safe to share across serving threads by const reference.
+class GraphStats {
+ public:
+  GraphStats() = default;
+
+  /// Single pass over `triples` plus one sort: O(T log T) time, O(T)
+  /// scratch. Triples with out-of-range ids are ignored (they cannot be
+  /// indexed by the CSR either).
+  static GraphStats Collect(int64_t num_entities, int64_t num_relations,
+                            const std::vector<Triple>& triples);
+
+  /// Stats of relation `r`; zeros for out-of-range ids so callers can
+  /// probe speculative relations without bounds juggling.
+  const RelationStats& relation(int64_t r) const;
+
+  int64_t num_entities() const { return num_entities_; }
+  int64_t num_relations() const {
+    return static_cast<int64_t>(relations_.size());
+  }
+  int64_t num_edges() const { return num_edges_; }
+
+ private:
+  int64_t num_entities_ = 0;
+  int64_t num_edges_ = 0;
+  std::vector<RelationStats> relations_;
+};
+
+}  // namespace halk::kg
+
+#endif  // HALK_KG_STATS_H_

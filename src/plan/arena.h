@@ -1,0 +1,107 @@
+#ifndef HALK_PLAN_ARENA_H_
+#define HALK_PLAN_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace halk::plan {
+
+/// Chunked bump allocator backing a plan's node arrays and the executor's
+/// embedding slots. Allocation is a pointer bump; nothing is freed
+/// individually — everything is released at once when the arena dies (or
+/// Reset). Allocations never move, so pointers handed out stay valid for
+/// the arena's lifetime. Not thread-safe; each plan / execution owns its
+/// own arena.
+class Arena {
+ public:
+  explicit Arena(size_t block_bytes = kDefaultBlockBytes)
+      : block_bytes_(block_bytes == 0 ? kDefaultBlockBytes : block_bytes) {}
+
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// `alignment` must be a power of two. Never returns null; zero-byte
+  /// requests return a valid, dereferenceable-for-zero-bytes pointer.
+  void* Allocate(size_t bytes, size_t alignment = alignof(std::max_align_t)) {
+    size_t offset = Align(offset_, alignment);
+    if (blocks_.empty() || offset + bytes > blocks_.back().size) {
+      const size_t need = bytes + alignment;
+      NewBlock(need > block_bytes_ ? need : block_bytes_);
+      offset = Align(0, alignment);
+    }
+    char* p = blocks_.back().data.get() + offset;
+    offset_ = offset + bytes;
+    bytes_allocated_ += bytes;
+    return p;
+  }
+
+  /// Zero-initialized array of a trivially-destructible T (the arena never
+  /// runs destructors).
+  template <typename T>
+  T* AllocateArray(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>);
+    T* p = static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+    std::memset(static_cast<void*>(p), 0, count * sizeof(T));
+    return p;
+  }
+
+  /// Arena-owned copy of `[src, src + count)`.
+  template <typename T>
+  T* CopyArray(const T* src, size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T* p = static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+    if (count > 0) std::memcpy(p, src, count * sizeof(T));
+    return p;
+  }
+
+  /// Total bytes handed out (excluding alignment padding).
+  size_t bytes_allocated() const { return bytes_allocated_; }
+
+  /// Total bytes reserved from the heap.
+  size_t bytes_reserved() const { return bytes_reserved_; }
+
+  /// Drops every block. Outstanding pointers become invalid.
+  void Reset() {
+    blocks_.clear();
+    offset_ = 0;
+    bytes_allocated_ = 0;
+    bytes_reserved_ = 0;
+  }
+
+ private:
+  static constexpr size_t kDefaultBlockBytes = 64 * 1024;
+
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+  };
+
+  static size_t Align(size_t offset, size_t alignment) {
+    return (offset + alignment - 1) & ~(alignment - 1);
+  }
+
+  void NewBlock(size_t size) {
+    Block b;
+    b.data = std::make_unique<char[]>(size);
+    b.size = size;
+    bytes_reserved_ += size;
+    blocks_.push_back(std::move(b));
+    offset_ = 0;
+  }
+
+  size_t block_bytes_;
+  std::vector<Block> blocks_;
+  size_t offset_ = 0;  // within blocks_.back()
+  size_t bytes_allocated_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+}  // namespace halk::plan
+
+#endif  // HALK_PLAN_ARENA_H_

@@ -1,0 +1,75 @@
+#include "plan/cost_model.h"
+
+#include <algorithm>
+
+namespace halk::plan {
+
+CostModel::CostModel(const kg::GraphStats* stats, int64_t num_entities)
+    : stats_(stats), num_entities_(num_entities) {}
+
+double CostModel::Clamp(double rows) const {
+  if (rows < 1.0) rows = 1.0;
+  if (num_entities_ > 0 && rows > static_cast<double>(num_entities_)) {
+    rows = static_cast<double>(num_entities_);
+  }
+  return rows;
+}
+
+double CostModel::EstimateRows(query::OpType op, int64_t payload,
+                               const double* input_rows,
+                               size_t num_inputs) const {
+  const double n = num_entities_ > 0 ? static_cast<double>(num_entities_) : 0;
+  switch (op) {
+    case query::OpType::kAnchor:
+      return 1.0;
+    case query::OpType::kProjection: {
+      const double in = num_inputs > 0 ? input_rows[0] : 1.0;
+      double fanout = 1.0;
+      if (stats_ != nullptr) {
+        fanout = stats_->relation(payload).avg_out_fanout;
+        if (fanout <= 0.0) fanout = 1.0;  // unseen relation: neutral
+      }
+      return Clamp(in * fanout);
+    }
+    case query::OpType::kIntersection: {
+      // Independence: multiply selectivities, i.e. ∏ rows / N^(k-1).
+      if (num_inputs == 0) return 1.0;
+      double rows = input_rows[0];
+      for (size_t i = 1; i < num_inputs; ++i) {
+        rows *= n > 0 ? input_rows[i] / n : 1.0;
+      }
+      double bound = input_rows[0];
+      for (size_t i = 1; i < num_inputs; ++i) {
+        bound = std::min(bound, input_rows[i]);
+      }
+      return Clamp(std::min(rows, bound));
+    }
+    case query::OpType::kUnion: {
+      double rows = 0.0;
+      for (size_t i = 0; i < num_inputs; ++i) rows += input_rows[i];
+      return Clamp(rows);
+    }
+    case query::OpType::kDifference: {
+      // Minuend minus the expected overlap with each subtrahend.
+      if (num_inputs == 0) return 1.0;
+      double rows = input_rows[0];
+      for (size_t i = 1; i < num_inputs; ++i) {
+        rows *= n > 0 ? std::max(0.0, 1.0 - input_rows[i] / n) : 1.0;
+      }
+      return Clamp(std::min(rows, input_rows[0]));
+    }
+    case query::OpType::kNegation: {
+      const double in = num_inputs > 0 ? input_rows[0] : 1.0;
+      return Clamp(n - in);
+    }
+  }
+  return 1.0;
+}
+
+double CostModel::Selectivity(double rows) const {
+  if (num_entities_ <= 0) return 1.0;
+  const double s = rows / static_cast<double>(num_entities_);
+  return std::clamp(s, 0.0, 1.0);
+}
+
+}  // namespace halk::plan

@@ -1,0 +1,47 @@
+#ifndef HALK_PLAN_COST_MODEL_H_
+#define HALK_PLAN_COST_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "kg/stats.h"
+#include "query/ops.h"
+
+namespace halk::plan {
+
+/// Cardinality estimation over plan nodes, fed by the per-relation
+/// degree/fan-out statistics collected at KnowledgeGraph::Finalize()
+/// (kg/stats.h). Estimates use the classic independence assumptions —
+/// projections multiply by the relation's average out-fan-out,
+/// intersections multiply selectivities — clamped to [1, N]. They drive
+/// only *scheduling* (most-selective-first ordering within a depth level)
+/// and explain output; they never change which operators run, so a bad
+/// estimate can cost speed but not correctness.
+class CostModel {
+ public:
+  /// `stats` may be null (no KG attached): every relation then gets a
+  /// neutral fan-out of 1. `num_entities` caps estimates; <= 0 disables
+  /// the cap.
+  CostModel(const kg::GraphStats* stats, int64_t num_entities);
+
+  /// Estimated result cardinality of one operator application over inputs
+  /// with estimated cardinalities `input_rows[0..num_inputs)`. `payload`
+  /// is the anchor entity or projection relation.
+  double EstimateRows(query::OpType op, int64_t payload,
+                      const double* input_rows, size_t num_inputs) const;
+
+  /// `rows` normalized to (0, 1] by the entity count (1 when unknown).
+  double Selectivity(double rows) const;
+
+  int64_t num_entities() const { return num_entities_; }
+
+ private:
+  double Clamp(double rows) const;
+
+  const kg::GraphStats* stats_;  // not owned, may be null
+  int64_t num_entities_;
+};
+
+}  // namespace halk::plan
+
+#endif  // HALK_PLAN_COST_MODEL_H_

@@ -1,0 +1,355 @@
+#include "plan/executor.h"
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "kg/groups.h"
+#include "plan/arena.h"
+#include "tensor/tensor.h"
+
+namespace halk::plan {
+
+namespace {
+
+using core::ArcBatch;
+using query::OpType;
+using tensor::Tensor;
+
+// Cap on subtree_cache_hit marker events per prepared plan, so a hot
+// cache cannot flood the trace ring.
+constexpr int kMaxCacheHitEvents = 16;
+
+}  // namespace
+
+PlanExecutor::PlanExecutor(const core::QueryModel* model,
+                           core::OperatorModel* ops,
+                           serving::SubtreeCache* cache)
+    : model_(model), ops_(ops), cache_(cache) {
+  HALK_CHECK(model_ != nullptr);
+  HALK_CHECK(ops_ != nullptr);
+}
+
+ExecSchedule PlanExecutor::Prepare(const Plan& plan,
+                                   const obs::TraceContext& trace) const {
+  const size_t n = plan.nodes.size();
+  const size_t row_floats = static_cast<size_t>(2 * model_->config().dim);
+  ExecSchedule sched;
+  sched.needed.assign(n, 0);
+  sched.cached.assign(n, 0);
+  sched.cached_entries.resize(n);
+  sched.stats.nodes = static_cast<int64_t>(n);
+
+  for (const PlanRoot& root : plan.roots) {
+    sched.needed[static_cast<size_t>(root.node)] = 1;
+  }
+
+  // Reverse schedule = consumers before inputs (all consumers sit at a
+  // strictly greater depth), so needed flags propagate top-down and a
+  // cache hit prunes its whole sub-DAG from the probe frontier.
+  int hit_events = 0;
+  for (size_t idx = plan.schedule.size(); idx-- > 0;) {
+    const int32_t id = plan.schedule[idx];
+    if (!sched.needed[static_cast<size_t>(id)]) {
+      ++sched.stats.skipped;
+      continue;
+    }
+    const PlanNode& node = plan.node(id);
+    if (cache_ != nullptr && node.op != OpType::kAnchor) {
+      serving::SubtreeCache::Entry entry;
+      if (cache_->Get(node.key, &entry) && entry.row.size() == row_floats) {
+        sched.cached[static_cast<size_t>(id)] = 1;
+        sched.cached_entries[static_cast<size_t>(id)] = std::move(entry);
+        ++sched.stats.cache_hits;
+        if (hit_events < kMaxCacheHitEvents) {
+          obs::RecordEvent(trace, "subtree_cache_hit",
+                           {{"node", static_cast<double>(id)}});
+          ++hit_events;
+        }
+        continue;  // inputs stay un-needed unless another consumer asks
+      }
+      ++sched.stats.cache_misses;
+    }
+    for (uint32_t j = 0; j < node.num_inputs; ++j) {
+      sched.needed[static_cast<size_t>(node.inputs[j])] = 1;
+    }
+  }
+
+  // Batch the nodes to evaluate per depth level, grouped by (op, arity),
+  // keeping the schedule's most-selective-first order within each batch.
+  int32_t batch_depth = -1;
+  size_t level_start = 0;
+  for (int32_t id : plan.schedule) {
+    if (!sched.needed[static_cast<size_t>(id)] ||
+        sched.cached[static_cast<size_t>(id)]) {
+      continue;
+    }
+    const PlanNode& node = plan.node(id);
+    if (node.depth != batch_depth) {
+      batch_depth = node.depth;
+      level_start = sched.batches.size();
+    }
+    ExecSchedule::OpBatch* target = nullptr;
+    for (size_t b = level_start; b < sched.batches.size(); ++b) {
+      if (sched.batches[b].op == node.op &&
+          sched.batches[b].arity == node.num_inputs) {
+        target = &sched.batches[b];
+        break;
+      }
+    }
+    if (target == nullptr) {
+      sched.batches.push_back({node.op, node.num_inputs, {}});
+      target = &sched.batches.back();
+    }
+    target->node_ids.push_back(id);
+    ++sched.stats.evaluated;
+  }
+  sched.stats.op_batches = static_cast<int64_t>(sched.batches.size());
+  return sched;
+}
+
+core::EmbeddingBatch PlanExecutor::Run(const Plan& plan,
+                                       ExecSchedule* schedule,
+                                       const obs::TraceContext& trace) const {
+  ExecSchedule& sched = *schedule;
+  const size_t n = plan.nodes.size();
+  const int64_t dim = model_->config().dim;
+  const size_t row_floats = static_cast<size_t>(2 * dim);
+
+  Arena exec_arena;
+  std::vector<float*> slot(n, nullptr);
+  std::vector<float*> free_list;
+  auto alloc_slot = [&](int32_t id) {
+    if (!free_list.empty()) {
+      slot[static_cast<size_t>(id)] = free_list.back();
+      free_list.pop_back();
+      ++sched.stats.slots_reused;
+    } else {
+      slot[static_cast<size_t>(id)] =
+          static_cast<float*>(exec_arena.Allocate(
+              row_floats * sizeof(float), alignof(float)));
+    }
+    return slot[static_cast<size_t>(id)];
+  };
+
+  // Live consumer counts over what actually runs: edges from evaluated
+  // nodes plus one per root (roots are read at output assembly, so their
+  // slots never recycle mid-run).
+  std::vector<int32_t> live(n, 0);
+  for (const ExecSchedule::OpBatch& batch : sched.batches) {
+    for (int32_t id : batch.node_ids) {
+      const PlanNode& node = plan.node(id);
+      for (uint32_t j = 0; j < node.num_inputs; ++j) {
+        ++live[static_cast<size_t>(node.inputs[j])];
+      }
+    }
+  }
+  for (const PlanRoot& root : plan.roots) {
+    ++live[static_cast<size_t>(root.node)];
+  }
+  auto release = [&](int32_t id) {
+    if (--live[static_cast<size_t>(id)] == 0) {
+      free_list.push_back(slot[static_cast<size_t>(id)]);
+    }
+  };
+
+  // Materialize cache hits.
+  for (int32_t id : plan.schedule) {
+    if (sched.needed[static_cast<size_t>(id)] &&
+        sched.cached[static_cast<size_t>(id)]) {
+      std::memcpy(alloc_slot(id),
+                  sched.cached_entries[static_cast<size_t>(id)].row.data(),
+                  row_floats * sizeof(float));
+    }
+  }
+
+  // Group vectors for the intersection z factor. A plan node is a fully
+  // grounded subtree, so its group vector is request-independent; the
+  // fold below replicates core::NodeGroupVectors exactly (input order is
+  // preserved by the plan), keeping z — and thus the embeddings —
+  // bit-identical to EmbedQueries.
+  const kg::NodeGrouping* grouping = ops_->operator_grouping();
+  std::vector<std::vector<float>> groups;
+  if (grouping != nullptr) {
+    groups.resize(n);
+    for (int32_t id : plan.schedule) {
+      const PlanNode& node = plan.node(id);
+      std::vector<float>& out = groups[static_cast<size_t>(id)];
+      switch (node.op) {
+        case OpType::kAnchor:
+          out = grouping->OneHot(node.payload);
+          break;
+        case OpType::kProjection:
+          out = grouping->Project(
+              groups[static_cast<size_t>(node.inputs[0])], node.payload);
+          break;
+        case OpType::kIntersection: {
+          out = groups[static_cast<size_t>(node.inputs[0])];
+          for (uint32_t j = 1; j < node.num_inputs; ++j) {
+            out = kg::NodeGrouping::Intersect(
+                out, groups[static_cast<size_t>(node.inputs[j])]);
+          }
+          break;
+        }
+        case OpType::kDifference:
+          out = groups[static_cast<size_t>(node.inputs[0])];
+          break;
+        case OpType::kNegation:
+          out = grouping->AllGroups();
+          break;
+        case OpType::kUnion:
+          HALK_CHECK(false) << "union node in a plan";
+          break;
+      }
+    }
+  }
+
+  // Assembles input position `j` of every node in the batch into one
+  // [B, d] arc batch from the producers' slots.
+  auto gather_input = [&](const ExecSchedule::OpBatch& batch,
+                          uint32_t j) -> ArcBatch {
+    const size_t rows = batch.node_ids.size();
+    std::vector<float> centers(rows * static_cast<size_t>(dim));
+    std::vector<float> lengths(rows * static_cast<size_t>(dim));
+    for (size_t i = 0; i < rows; ++i) {
+      const PlanNode& node = plan.node(batch.node_ids[i]);
+      const float* src = slot[static_cast<size_t>(node.inputs[j])];
+      HALK_CHECK(src != nullptr);
+      std::memcpy(centers.data() + i * static_cast<size_t>(dim), src,
+                  static_cast<size_t>(dim) * sizeof(float));
+      std::memcpy(lengths.data() + i * static_cast<size_t>(dim), src + dim,
+                  static_cast<size_t>(dim) * sizeof(float));
+    }
+    const int64_t b = static_cast<int64_t>(rows);
+    return {Tensor::FromVector({b, dim}, std::move(centers)),
+            Tensor::FromVector({b, dim}, std::move(lengths))};
+  };
+
+  for (ExecSchedule::OpBatch& batch : sched.batches) {
+    const size_t rows = batch.node_ids.size();
+    const int64_t start_ns = trace.active() ? obs::NowNs() : 0;
+    ArcBatch result;
+    switch (batch.op) {
+      case OpType::kAnchor: {
+        std::vector<int64_t> entities;
+        entities.reserve(rows);
+        for (int32_t id : batch.node_ids) {
+          entities.push_back(plan.node(id).payload);
+        }
+        result = ops_->EmbedAnchors(entities);
+        break;
+      }
+      case OpType::kProjection: {
+        ArcBatch input = gather_input(batch, 0);
+        std::vector<int64_t> relations;
+        relations.reserve(rows);
+        for (int32_t id : batch.node_ids) {
+          relations.push_back(plan.node(id).payload);
+        }
+        result = ops_->Projection(input, relations);
+        break;
+      }
+      case OpType::kIntersection: {
+        std::vector<ArcBatch> inputs;
+        inputs.reserve(batch.arity);
+        for (uint32_t j = 0; j < batch.arity; ++j) {
+          inputs.push_back(gather_input(batch, j));
+        }
+        std::vector<Tensor> z;
+        if (grouping != nullptr) {
+          for (uint32_t j = 0; j < batch.arity; ++j) {
+            std::vector<float> tiled(rows * static_cast<size_t>(dim));
+            for (size_t i = 0; i < rows; ++i) {
+              const PlanNode& node = plan.node(batch.node_ids[i]);
+              const float zi = kg::NodeGrouping::Similarity(
+                  groups[static_cast<size_t>(node.inputs[j])],
+                  groups[static_cast<size_t>(batch.node_ids[i])]);
+              for (int64_t c = 0; c < dim; ++c) {
+                tiled[i * static_cast<size_t>(dim) +
+                      static_cast<size_t>(c)] = zi;
+              }
+            }
+            z.push_back(Tensor::FromVector({static_cast<int64_t>(rows), dim},
+                                           std::move(tiled)));
+          }
+        }
+        result = ops_->Intersection(inputs, z);
+        break;
+      }
+      case OpType::kDifference: {
+        std::vector<ArcBatch> inputs;
+        inputs.reserve(batch.arity);
+        for (uint32_t j = 0; j < batch.arity; ++j) {
+          inputs.push_back(gather_input(batch, j));
+        }
+        result = ops_->Difference(inputs);
+        break;
+      }
+      case OpType::kNegation:
+        result = ops_->Negation(gather_input(batch, 0));
+        break;
+      case OpType::kUnion:
+        HALK_CHECK(false) << "union node in a plan";
+        break;
+    }
+
+    const float* centers = result.center.data();
+    const float* lengths = result.length.data();
+    for (size_t i = 0; i < rows; ++i) {
+      const int32_t id = batch.node_ids[i];
+      float* dst = alloc_slot(id);
+      std::memcpy(dst, centers + i * static_cast<size_t>(dim),
+                  static_cast<size_t>(dim) * sizeof(float));
+      std::memcpy(dst + dim, lengths + i * static_cast<size_t>(dim),
+                  static_cast<size_t>(dim) * sizeof(float));
+      if (cache_ != nullptr && batch.op != OpType::kAnchor) {
+        const PlanNode& node = plan.node(id);
+        serving::SubtreeCache::Entry entry;
+        entry.row.assign(dst, dst + row_floats);
+        entry.relations.assign(node.relations,
+                               node.relations + node.num_relations);
+        cache_->Put(node.key, std::move(entry));
+      }
+    }
+    for (int32_t id : batch.node_ids) {
+      const PlanNode& node = plan.node(id);
+      for (uint32_t j = 0; j < node.num_inputs; ++j) {
+        release(node.inputs[j]);
+      }
+    }
+    if (trace.active()) {
+      obs::RecordSpan(trace, "node_eval", start_ns, obs::NowNs(),
+                      {{"op", static_cast<double>(batch.op)},
+                       {"rows", static_cast<double>(rows)},
+                       {"arity", static_cast<double>(batch.arity)}});
+    }
+  }
+  sched.stats.arena_bytes = exec_arena.bytes_allocated();
+
+  // One output row per root, in roots order.
+  const size_t num_roots = plan.roots.size();
+  std::vector<float> centers(num_roots * static_cast<size_t>(dim));
+  std::vector<float> lengths(num_roots * static_cast<size_t>(dim));
+  for (size_t r = 0; r < num_roots; ++r) {
+    const float* src = slot[static_cast<size_t>(plan.roots[r].node)];
+    HALK_CHECK(src != nullptr);
+    std::memcpy(centers.data() + r * static_cast<size_t>(dim), src,
+                static_cast<size_t>(dim) * sizeof(float));
+    std::memcpy(lengths.data() + r * static_cast<size_t>(dim), src + dim,
+                static_cast<size_t>(dim) * sizeof(float));
+  }
+  const int64_t b = static_cast<int64_t>(num_roots);
+  return {Tensor::FromVector({b, dim}, std::move(centers)),
+          Tensor::FromVector({b, dim}, std::move(lengths))};
+}
+
+core::EmbeddingBatch PlanExecutor::Execute(const Plan& plan,
+                                           ExecStats* stats) const {
+  ExecSchedule sched = Prepare(plan);
+  core::EmbeddingBatch out = Run(plan, &sched);
+  if (stats != nullptr) *stats = sched.stats;
+  return out;
+}
+
+}  // namespace halk::plan

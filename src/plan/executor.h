@@ -1,0 +1,96 @@
+#ifndef HALK_PLAN_EXECUTOR_H_
+#define HALK_PLAN_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/operator_model.h"
+#include "core/query_model.h"
+#include "obs/trace.h"
+#include "plan/plan.h"
+#include "serving/subtree_cache.h"
+
+namespace halk::plan {
+
+/// Counters of one plan execution; the server exports them as `plan.*`
+/// metrics and annotates them onto the embed span.
+struct ExecStats {
+  int64_t nodes = 0;         // unique plan nodes
+  int64_t evaluated = 0;     // nodes actually computed
+  int64_t cache_hits = 0;    // subtrees answered from the cache
+  int64_t cache_misses = 0;  // probed but absent
+  int64_t skipped = 0;       // needed by no evaluated node (cached above)
+  int64_t op_batches = 0;    // batched operator calls issued
+  int64_t slots_reused = 0;  // embedding slots recycled via refcounts
+  size_t arena_bytes = 0;    // execution arena footprint
+};
+
+/// A prepared execution: per-node subtree-cache results, the set of nodes
+/// that still need computing, and the batched operator calls that will
+/// produce them. Preparation is separated from evaluation so the serving
+/// path gets distinct batch_assembly / embed trace phases.
+struct ExecSchedule {
+  struct OpBatch {
+    query::OpType op = query::OpType::kAnchor;
+    uint32_t arity = 0;
+    /// Plan-node ids, most selective first (the plan's schedule order).
+    std::vector<int32_t> node_ids;
+  };
+
+  std::vector<OpBatch> batches;
+  /// Per plan node: value must be materialized (root, or input of an
+  /// evaluated node).
+  std::vector<uint8_t> needed;
+  /// Per plan node: answered by the subtree cache.
+  std::vector<uint8_t> cached;
+  /// Per plan node: the cache payload when `cached` (empty otherwise).
+  std::vector<serving::SubtreeCache::Entry> cached_entries;
+  ExecStats stats;
+};
+
+/// The shared-graph executor: evaluates a Plan level by level, batching
+/// all same-operator nodes of a depth into one operator call, so each
+/// unique subtree is materialized exactly once per micro-batch — and not
+/// at all when the subtree cache already holds it (a hit skips the whole
+/// sub-DAG below, not just the node). Embedding rows live in a per-run
+/// bump arena; per-node reference counts recycle slots as consumers
+/// drain, so peak memory tracks the widest level, not the whole DAG.
+///
+/// Stateless between calls: one instance serves every worker thread
+/// concurrently (the cache has its own lock).
+class PlanExecutor {
+ public:
+  /// `model` supplies the config; `ops` the operator dispatch (for
+  /// HalkModel they are the same object). `cache` may be null. None are
+  /// owned; all must outlive the executor.
+  PlanExecutor(const core::QueryModel* model, core::OperatorModel* ops,
+               serving::SubtreeCache* cache);
+
+  /// Probes the subtree cache top-down (a hit prunes the subtree below
+  /// it from the probe frontier) and assembles batched operator calls.
+  /// `trace` (may be inactive) receives subtree_cache_hit marker events.
+  ExecSchedule Prepare(const Plan& plan,
+                       const obs::TraceContext& trace = {}) const;
+
+  /// Evaluates the prepared schedule; returns one embedding row per plan
+  /// root, in roots order, bit-identical to a per-branch EmbedQueries
+  /// walk. `trace` parents per-batch node_eval spans. `schedule->stats`
+  /// accumulates execution counters.
+  core::EmbeddingBatch Run(const Plan& plan, ExecSchedule* schedule,
+                           const obs::TraceContext& trace = {}) const;
+
+  /// Prepare + Run in one step (tests, offline evaluation).
+  core::EmbeddingBatch Execute(const Plan& plan,
+                               ExecStats* stats = nullptr) const;
+
+  serving::SubtreeCache* cache() const { return cache_; }
+
+ private:
+  const core::QueryModel* model_;  // not owned
+  core::OperatorModel* ops_;       // not owned
+  serving::SubtreeCache* cache_;   // not owned, may be null
+};
+
+}  // namespace halk::plan
+
+#endif  // HALK_PLAN_EXECUTOR_H_

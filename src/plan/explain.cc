@@ -1,0 +1,85 @@
+#include "plan/explain.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "query/ops.h"
+
+namespace halk::plan {
+
+namespace {
+
+std::string Name(const std::function<std::string(int64_t)>& pretty,
+                 int64_t id) {
+  return pretty ? pretty(id) : std::to_string(id);
+}
+
+}  // namespace
+
+std::string ExplainPlan(const Plan& plan, const ExplainOptions& options) {
+  std::ostringstream out;
+  char buf[64];
+  out << "plan: " << plan.nodes.size() << " nodes";
+  if (plan.total_nodes > static_cast<int64_t>(plan.nodes.size())) {
+    std::snprintf(buf, sizeof(buf), " (%lld before dedup, %.0f%% merged)",
+                  static_cast<long long>(plan.total_nodes),
+                  plan.dedup_ratio() * 100.0);
+    out << buf;
+  }
+  out << ", " << plan.roots.size() << " roots, depth " << plan.max_depth
+      << "\n";
+
+  for (size_t seq = 0; seq < plan.schedule.size(); ++seq) {
+    const int32_t id = plan.schedule[seq];
+    const PlanNode& n = plan.node(id);
+    std::snprintf(buf, sizeof(buf), "%3zu  #%-3d %-12s ", seq + 1, id,
+                  query::OpTypeName(n.op));
+    out << buf;
+
+    std::string detail;
+    switch (n.op) {
+      case query::OpType::kAnchor:
+        detail = Name(options.entity_name, n.payload);
+        break;
+      case query::OpType::kProjection:
+        detail = "[#" + std::to_string(n.inputs[0]) +
+                 "] r=" + Name(options.relation_name, n.payload);
+        break;
+      default: {
+        detail = "[";
+        for (uint32_t j = 0; j < n.num_inputs; ++j) {
+          if (j > 0) detail += ", ";
+          detail += "#" + std::to_string(n.inputs[j]);
+        }
+        detail += "]";
+        break;
+      }
+    }
+    std::snprintf(buf, sizeof(buf), "%-24s ", detail.c_str());
+    out << buf;
+
+    std::snprintf(buf, sizeof(buf), "rows~%-9.1f", n.est_rows);
+    out << buf;
+    if (options.num_entities > 0) {
+      std::snprintf(buf, sizeof(buf), " sel=%-8.4f",
+                    n.est_rows / static_cast<double>(options.num_entities));
+      out << buf;
+    }
+    if (n.refcount > 1) out << " shared x" << n.refcount;
+    if (options.cache != nullptr && n.op != query::OpType::kAnchor &&
+        options.cache->Contains(n.key)) {
+      out << " cached";
+    }
+    out << "\n";
+  }
+
+  out << "roots:";
+  for (const PlanRoot& root : plan.roots) {
+    out << " [request " << root.request_index << " branch " << root.item_index
+        << " -> #" << root.node << "]";
+  }
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace halk::plan

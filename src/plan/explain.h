@@ -1,0 +1,35 @@
+#ifndef HALK_PLAN_EXPLAIN_H_
+#define HALK_PLAN_EXPLAIN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "plan/cost_model.h"
+#include "plan/plan.h"
+#include "serving/subtree_cache.h"
+
+namespace halk::plan {
+
+struct ExplainOptions {
+  /// Pretty-printers for anchor entities / projection relations; ids are
+  /// printed raw when null.
+  std::function<std::string(int64_t)> entity_name;
+  std::function<std::string(int64_t)> relation_name;
+  /// When set, each node is annotated with whether the subtree cache
+  /// currently holds it (a non-mutating probe; hit rates are unaffected).
+  const serving::SubtreeCache* cache = nullptr;
+  /// Entity count behind the selectivity column; <= 0 hides it.
+  int64_t num_entities = 0;
+};
+
+/// Renders a plan's evaluation schedule for humans: one line per node in
+/// execution order with the operator, its payload/inputs, the cost
+/// model's estimated rows and selectivity, and dedup (`shared xN`) /
+/// cache (`cached`) annotations — the payload of the sparql_endpoint
+/// `.explain` command.
+std::string ExplainPlan(const Plan& plan, const ExplainOptions& options = {});
+
+}  // namespace halk::plan
+
+#endif  // HALK_PLAN_EXPLAIN_H_

@@ -1,0 +1,93 @@
+#ifndef HALK_PLAN_PLAN_H_
+#define HALK_PLAN_PLAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "plan/arena.h"
+#include "query/fingerprint.h"
+#include "query/ops.h"
+
+namespace halk::plan {
+
+/// One node of a shared compute DAG: a unique (sub)query across every
+/// branch of a micro-batch. Nodes whose evaluation-order-preserving
+/// subtree fingerprint (query::SubtreeFingerprints) matches are merged, so
+/// identical subtrees — within one request or across requests — are
+/// materialized once. Variable-length members live in the owning Plan's
+/// arena.
+struct PlanNode {
+  query::OpType op = query::OpType::kAnchor;
+  /// Anchor entity for kAnchor, relation for kProjection, else unused.
+  int64_t payload = -1;
+  /// Plan-node ids of the operator inputs, in evaluation order.
+  const int32_t* inputs = nullptr;
+  uint32_t num_inputs = 0;
+  /// Dedup and intermediate-cache key.
+  query::Fingerprint key;
+  /// Sorted distinct relations appearing in the subtree — the cache
+  /// invalidation tags (serving/subtree_cache.h).
+  const int64_t* relations = nullptr;
+  uint32_t num_relations = 0;
+  /// Estimated result cardinality (plan/cost_model.h).
+  double est_rows = 1.0;
+  /// Longest input chain below the node (anchors are 0). All consumers of
+  /// a node sit at a strictly greater depth, so level-by-level execution
+  /// is a valid topological order.
+  int32_t depth = 0;
+  /// Static consumer count: distinct DAG edges into the node plus one per
+  /// plan root anchored at it. The executor refines this into live counts
+  /// for embedding-slot reuse.
+  int32_t refcount = 0;
+};
+
+/// One union-free branch root: plan node `node` answers branch
+/// `item_index` of the planner's input, owned by request slot
+/// `request_index`. A request with a union has one root per DNF branch;
+/// its score is the min over them.
+struct PlanRoot {
+  size_t item_index = 0;
+  size_t request_index = 0;
+  int32_t node = -1;
+};
+
+/// A batched micro-plan: the deduplicated union of every input branch's
+/// compute DAG plus a cost-ordered evaluation schedule. Move-only (owns
+/// its arena); build with plan::Planner.
+struct Plan {
+  Plan() = default;
+  Plan(Plan&&) = default;
+  Plan& operator=(Plan&&) = default;
+  Plan(const Plan&) = delete;
+  Plan& operator=(const Plan&) = delete;
+
+  Arena arena;
+  /// Unique nodes; ids are indices into this vector.
+  std::vector<PlanNode> nodes;
+  /// One entry per input branch, in input order.
+  std::vector<PlanRoot> roots;
+  /// Topological order: ascending depth, then ascending est_rows (most
+  /// selective first — cheap intersections and projections run before
+  /// expensive ones at the same level), then insertion id for stability.
+  std::vector<int32_t> schedule;
+  /// Node instances before dedup (sum over branches of reachable nodes).
+  int64_t total_nodes = 0;
+  int32_t max_depth = 0;
+
+  const PlanNode& node(int32_t id) const {
+    return nodes[static_cast<size_t>(id)];
+  }
+
+  /// Fraction of node evaluations merged away by dedup: 1 - unique/total.
+  double dedup_ratio() const {
+    return total_nodes > 0
+               ? 1.0 - static_cast<double>(nodes.size()) /
+                           static_cast<double>(total_nodes)
+               : 0.0;
+  }
+};
+
+}  // namespace halk::plan
+
+#endif  // HALK_PLAN_PLAN_H_

@@ -1,0 +1,59 @@
+#ifndef HALK_PLAN_PLANNER_H_
+#define HALK_PLAN_PLANNER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "plan/cost_model.h"
+#include "plan/plan.h"
+#include "plan/rewrite.h"
+#include "query/dag.h"
+
+namespace halk::plan {
+
+struct PlannerOptions {
+  /// Run the algebraic rewrite pass (plan/rewrite.h) on each branch before
+  /// planning. Off by default on the serving path: the rewrites are exact
+  /// set identities, but they change which neural operators run, so served
+  /// answers would no longer be bit-identical to Evaluator::TopK on the
+  /// unrewritten graph.
+  bool apply_rewrites = false;
+  RewriteOptions rewrites;
+};
+
+/// One union-free branch to plan: `graph` must be grounded and
+/// union-free (serving expands unions to DNF first, keeping per-branch
+/// min-scoring outside the plan). The pointer must outlive BuildPlan.
+struct PlanItem {
+  size_t request_index = 0;
+  const query::QueryGraph* graph = nullptr;
+};
+
+/// The cost-based micro-batch planner: hash-conses the compute DAGs of
+/// many branches into one arena-allocated Plan, merging every subtree
+/// whose evaluation-order-preserving fingerprint repeats — within a
+/// request or across requests — and ordering each depth level by estimated
+/// selectivity. Stateless and const after construction, so one instance
+/// serves every worker thread concurrently.
+class Planner {
+ public:
+  /// `stats` (may be null, not owned) feeds the cost model;
+  /// `num_entities` bounds cardinality estimates.
+  Planner(const kg::GraphStats* stats, int64_t num_entities,
+          const PlannerOptions& options = {});
+
+  /// Builds one shared plan over a micro-batch of branches; roots come out
+  /// in `items` order.
+  Plan BuildPlan(const std::vector<PlanItem>& items) const;
+
+  const CostModel& cost_model() const { return cost_; }
+
+ private:
+  CostModel cost_;
+  PlannerOptions options_;
+};
+
+}  // namespace halk::plan
+
+#endif  // HALK_PLAN_PLANNER_H_

@@ -1,16 +1,22 @@
-#include "query/optimizer.h"
+#include "plan/rewrite.h"
 
 #include <map>
+#include <utility>
+#include <vector>
 
 #include "common/logging.h"
 
-namespace halk::query {
+namespace halk::plan {
 
 namespace {
 
+using query::OpType;
+using query::QueryGraph;
+using query::QueryNode;
+
 class Rewriter {
  public:
-  Rewriter(const QueryGraph& old_graph, const NormalizeOptions& options)
+  Rewriter(const QueryGraph& old_graph, const RewriteOptions& options)
       : old_(old_graph), options_(options) {}
 
   QueryGraph Run() {
@@ -137,22 +143,22 @@ class Rewriter {
   }
 
   const QueryGraph& old_;
-  NormalizeOptions options_;
+  RewriteOptions options_;
   QueryGraph out_;
   std::map<int, int> memo_;
 };
 
 }  // namespace
 
-QueryGraph NormalizeQuery(const QueryGraph& query,
-                          const NormalizeOptions& options) {
+query::QueryGraph RewriteQuery(const query::QueryGraph& query,
+                               const RewriteOptions& options) {
   HALK_CHECK_GE(query.target(), 0);
   Rewriter rewriter(query, options);
   return rewriter.Run();
 }
 
-QueryGraph NormalizeQuery(const QueryGraph& query) {
-  return NormalizeQuery(query, NormalizeOptions());
+query::QueryGraph RewriteQuery(const query::QueryGraph& query) {
+  return RewriteQuery(query, RewriteOptions());
 }
 
-}  // namespace halk::query
+}  // namespace halk::plan

@@ -28,7 +28,7 @@ Fingerprint Combine(const Fingerprint& acc, uint64_t value) {
 }
 
 Fingerprint HashNode(uint64_t op_tag, uint64_t payload,
-                     std::vector<Fingerprint> inputs, bool sort_from) {
+                     std::vector<Fingerprint> inputs, size_t sort_from) {
   // `sort_from` = index of the first input whose order is irrelevant
   // (0 for fully commutative ops, 1 for difference, inputs.size() for
   // ordered ops). Sorting by (hi, lo) canonicalizes the commutative tail.
@@ -95,6 +95,46 @@ Fingerprint CanonicalFingerprint(const QueryGraph& query) {
                  sort_from);
   }
   return node_hash[static_cast<size_t>(query.target())];
+}
+
+std::vector<Fingerprint> SubtreeFingerprints(const QueryGraph& query) {
+  std::vector<Fingerprint> node_hash(static_cast<size_t>(query.num_nodes()));
+  for (int id : query.TopologicalOrder()) {
+    const QueryNode& n = query.nodes()[static_cast<size_t>(id)];
+    std::vector<Fingerprint> inputs;
+    inputs.reserve(n.inputs.size());
+    for (int in : n.inputs) {
+      inputs.push_back(node_hash[static_cast<size_t>(in)]);
+    }
+    uint64_t payload = 0;
+    // Unlike CanonicalFingerprint, commutative inputs are only sorted when
+    // there are exactly two of them. With two inputs every cross-input
+    // reduction inside the neural operators (softmax denominators, deep-set
+    // sums, min folds) is a single commutative binary float op, so i(a, b)
+    // and i(b, a) produce bit-identical embeddings; with three or more the
+    // accumulation order changes the floats, and difference subtrahends
+    // always feed order-sensitive 3+-way sums through the minuend.
+    size_t sort_from = inputs.size();
+    switch (n.op) {
+      case OpType::kAnchor:
+        payload = static_cast<uint64_t>(n.anchor_entity);
+        break;
+      case OpType::kProjection:
+        payload = static_cast<uint64_t>(n.relation);
+        break;
+      case OpType::kIntersection:
+      case OpType::kUnion:
+        if (inputs.size() == 2) sort_from = 0;
+        break;
+      case OpType::kDifference:
+      case OpType::kNegation:
+        break;
+    }
+    node_hash[static_cast<size_t>(id)] =
+        HashNode(static_cast<uint64_t>(n.op) + 1, payload, std::move(inputs),
+                 sort_from);
+  }
+  return node_hash;
 }
 
 Fingerprint StructureFingerprint(const QueryGraph& query) {

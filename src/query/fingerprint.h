@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "query/dag.h"
 
@@ -40,6 +41,18 @@ struct FingerprintHash {
 /// — e.g. `i(a, b)` vs `i(b, a)`, or graphs with dead nodes — fingerprint
 /// identically. This is the serving cache key.
 Fingerprint CanonicalFingerprint(const QueryGraph& query);
+
+/// Per-node subtree digests, indexed by node id — the planner's dedup and
+/// intermediate-cache key (plan/planner.h). Like CanonicalFingerprint this
+/// is a Merkle hash over ops, payloads, and input digests, but it is
+/// *evaluation-order preserving*: commutative inputs are canonically sorted
+/// only when a node has exactly two of them, because only then is the
+/// cross-input float reduction a single commutative binary op and the
+/// swapped embedding bit-identical. Three-plus-input folds and difference
+/// subtrahends keep their stored order, so two subtrees sharing a digest
+/// always produce bit-identical embedding rows. Every node is hashed,
+/// reachable from the target or not.
+std::vector<Fingerprint> SubtreeFingerprints(const QueryGraph& query);
 
 /// Layout fingerprint: hashes the node array exactly as stored (ops and
 /// input ids in order, grounding excluded). Two queries with equal layout

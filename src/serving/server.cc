@@ -6,7 +6,9 @@
 
 #include "common/logging.h"
 #include "core/topk.h"
+#include "kg/dictionary.h"
 #include "obs/trace.h"
+#include "plan/explain.h"
 #include "query/dnf.h"
 #include "serving/batcher.h"
 
@@ -54,7 +56,20 @@ QueryServer::QueryServer(core::QueryModel* model,
       batch_size_(metrics_.GetHistogram(
           "serving.batch_size", Histogram::ExponentialBounds(1.0, 2.0, 12))),
       queue_depth_(metrics_.GetGauge("serving.queue_depth")),
-      in_flight_(metrics_.GetGauge("serving.in_flight")) {
+      in_flight_(metrics_.GetGauge("serving.in_flight")),
+      plan_requests_(metrics_.GetCounter("plan.requests")),
+      plan_fallback_(metrics_.GetCounter("plan.fallback")),
+      plan_nodes_(metrics_.GetCounter("plan.nodes")),
+      plan_unique_nodes_(metrics_.GetCounter("plan.unique_nodes")),
+      plan_node_evals_(metrics_.GetCounter("plan.node_evals")),
+      plan_cache_hits_(metrics_.GetCounter("plan.subtree_cache_hits")),
+      plan_cache_misses_(metrics_.GetCounter("plan.subtree_cache_misses")),
+      plan_op_batches_(metrics_.GetCounter("plan.op_batches")),
+      plan_build_us_(metrics_.GetHistogram(
+          "plan.build_us", Histogram::ExponentialBounds(1.0, 2.0, 20))),
+      plan_exec_us_(metrics_.GetHistogram(
+          "plan.exec_us", Histogram::ExponentialBounds(1.0, 2.0, 26))),
+      plan_cache_bytes_(metrics_.GetGauge("plan.subtree_cache_bytes")) {
   HALK_CHECK(model != nullptr);
   HALK_CHECK_GT(options_.num_workers, 0);
   HALK_CHECK_GT(options_.max_batch_size, 0u);
@@ -71,6 +86,25 @@ QueryServer::QueryServer(core::QueryModel* model,
     shard_options.replication = options_.shard_replication;
     coordinator_ = std::make_unique<shard::ShardCoordinator>(
         model, shard_options, options_.shard_faults, &metrics_);
+  }
+  if (options_.use_planner) {
+    // Baseline models without an operator-level interface fall back to the
+    // legacy per-layout batching path (plan.fallback counts the requests).
+    core::OperatorModel* ops = model_->AsOperatorModel();
+    if (ops != nullptr) {
+      if (options_.subtree_cache_bytes > 0) {
+        subtree_cache_ =
+            std::make_unique<SubtreeCache>(options_.subtree_cache_bytes);
+      }
+      const kg::GraphStats* stats =
+          (kg_ != nullptr && kg_->finalized()) ? &kg_->stats() : nullptr;
+      plan::PlannerOptions planner_options;
+      planner_options.apply_rewrites = options_.planner_rewrites;
+      planner_ = std::make_unique<plan::Planner>(
+          stats, model_->config().num_entities, planner_options);
+      plan_executor_ = std::make_unique<plan::PlanExecutor>(
+          model_, ops, subtree_cache_.get());
+    }
   }
   workers_.reserve(static_cast<size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
@@ -300,14 +334,33 @@ void QueryServer::ServeChunk(
   if (live.empty()) return;
 
   // DNF-expand every live request; branches (not requests) are the unit of
-  // batching, so one EmbedQueries call can mix branches of many requests.
+  // planning and batching, so one plan (or one EmbedQueries call) can mix
+  // branches of many requests.
   std::vector<std::vector<query::QueryGraph>> branches(live.size());
-  std::vector<BatchItem> items;
   for (size_t r = 0; r < live.size(); ++r) {
     obs::SpanGuard dnf(live[r]->trace, "dnf_expand");
     branches[r] = query::ToDnf(live[r]->graph);
     dnf.Annotate("branches", static_cast<double>(branches[r].size()));
     dnf.End();
+  }
+
+  if (planner_ != nullptr) {
+    ServeChunkPlanned(&live, branches, any_traced);
+  } else {
+    if (options_.use_planner) {
+      plan_fallback_->Increment(static_cast<int64_t>(live.size()));
+    }
+    ServeChunkLegacy(&live, branches, any_traced);
+  }
+}
+
+void QueryServer::ServeChunkLegacy(
+    std::vector<std::unique_ptr<PendingRequest>>* live_ptr,
+    const std::vector<std::vector<query::QueryGraph>>& branches,
+    bool any_traced) {
+  std::vector<std::unique_ptr<PendingRequest>>& live = *live_ptr;
+  std::vector<BatchItem> items;
+  for (size_t r = 0; r < live.size(); ++r) {
     for (const query::QueryGraph& branch : branches[r]) {
       items.push_back({r, &branch});
     }
@@ -392,30 +445,206 @@ void QueryServer::ServeChunk(
   }
 
   for (size_t r = 0; r < live.size(); ++r) {
-    TopKAnswer answer;
-    if (sharded) {
-      shard::ShardedTopK top = coordinator_->TopKEmbedded(
-          branch_sets[r], live[r]->k, live[r]->deadline, live[r]->trace);
-      if (!top.ok() && !top.partial()) {
-        Finish(live[r].get(), top.status);
-        continue;
-      }
-      FillAnswer(top.entries, &answer);
-      answer.coverage = top.coverage;
-      answer.completeness = top.status;
-    } else {
-      obs::SpanGuard rank(live[r]->trace, "rank");
-      FillAnswer(core::TopKFromDistances(best[r], live[r]->k), &answer);
-      rank.End();
-    }
-    // Degraded answers are never cached: the outage must not outlive the
-    // replicas that caused it.
-    if (options_.enable_cache && answer.coverage == 1.0) {
-      CachedAnswer entry{answer.entities, answer.distances};
-      cache_.Put(live[r]->key, std::move(entry));
-    }
-    Finish(live[r].get(), std::move(answer));
+    FinishRanked(live[r].get(), &best[r],
+                 sharded ? &branch_sets[r] : nullptr);
   }
+}
+
+void QueryServer::ServeChunkPlanned(
+    std::vector<std::unique_ptr<PendingRequest>>* live_ptr,
+    const std::vector<std::vector<query::QueryGraph>>& branches,
+    bool any_traced) {
+  std::vector<std::unique_ptr<PendingRequest>>& live = *live_ptr;
+  plan_requests_->Increment(static_cast<int64_t>(live.size()));
+
+  std::vector<plan::PlanItem> items;
+  for (size_t r = 0; r < live.size(); ++r) {
+    for (const query::QueryGraph& branch : branches[r]) {
+      items.push_back({r, &branch});
+    }
+  }
+
+  // Plan construction is one pass shared by the whole chunk; each traced
+  // request records the shared interval as its own plan_build phase.
+  const Clock::time_point build_start = Clock::now();
+  const int64_t build_start_ns = any_traced ? obs::NowNs() : 0;
+  const plan::Plan plan = planner_->BuildPlan(items);
+  plan_build_us_->Observe(MicrosSince(build_start));
+  if (any_traced) {
+    const int64_t build_end_ns = obs::NowNs();
+    for (const std::unique_ptr<PendingRequest>& request : live) {
+      obs::RecordSpan(
+          request->trace, "plan_build", build_start_ns, build_end_ns,
+          {{"nodes", static_cast<double>(plan.nodes.size())},
+           {"dedup_ratio", plan.dedup_ratio()}});
+    }
+  }
+  plan_nodes_->Increment(plan.total_nodes);
+  plan_unique_nodes_->Increment(static_cast<int64_t>(plan.nodes.size()));
+
+  // Span ids for the shared batch_assembly / embed phases are allocated up
+  // front on the first traced request so the executor's subtree_cache_hit
+  // events and node_eval spans nest under them; the spans themselves are
+  // recorded once their intervals close. Other traced requests in the
+  // chunk record the same intervals without the children.
+  size_t lead = live.size();  // first traced request, if any
+  for (size_t r = 0; r < live.size(); ++r) {
+    if (live[r]->trace.active()) {
+      lead = r;
+      break;
+    }
+  }
+  obs::TraceContext assembly_ctx;
+  uint32_t assembly_span = 0;
+  obs::TraceContext embed_ctx;
+  uint32_t embed_span = 0;
+  if (lead < live.size()) {
+    const obs::TraceContext& trace = live[lead]->trace;
+    assembly_span = trace.tracer->NextSpanId();
+    assembly_ctx = {trace.tracer, trace.trace_id, assembly_span};
+    embed_span = trace.tracer->NextSpanId();
+    embed_ctx = {trace.tracer, trace.trace_id, embed_span};
+  }
+
+  // Batch assembly on the planner path is Prepare: the top-down subtree
+  // cache probe plus grouping of still-needed nodes into batched operator
+  // calls.
+  const int64_t assembly_start_ns = any_traced ? obs::NowNs() : 0;
+  plan::ExecSchedule schedule = plan_executor_->Prepare(plan, assembly_ctx);
+  if (any_traced) {
+    const int64_t assembly_end_ns = obs::NowNs();
+    for (size_t r = 0; r < live.size(); ++r) {
+      obs::RecordSpan(
+          live[r]->trace, "batch_assembly", assembly_start_ns,
+          assembly_end_ns,
+          {{"batches", static_cast<double>(schedule.batches.size())},
+           {"chunk_requests", static_cast<double>(live.size())},
+           {"subtree_cache_hits",
+            static_cast<double>(schedule.stats.cache_hits)}},
+          r == lead ? assembly_span : 0);
+    }
+  }
+  plan_cache_hits_->Increment(schedule.stats.cache_hits);
+  plan_cache_misses_->Increment(schedule.stats.cache_misses);
+  plan_op_batches_->Increment(schedule.stats.op_batches);
+  for (const plan::ExecSchedule::OpBatch& batch : schedule.batches) {
+    batch_size_->Observe(static_cast<double>(batch.node_ids.size()));
+  }
+
+  // One executor pass materializes every unique subtree of the chunk; the
+  // result has one embedding row per DNF branch root.
+  const Clock::time_point exec_start = Clock::now();
+  const int64_t embed_start_ns = any_traced ? obs::NowNs() : 0;
+  const core::EmbeddingBatch embedding =
+      plan_executor_->Run(plan, &schedule, embed_ctx);
+  plan_exec_us_->Observe(MicrosSince(exec_start));
+  plan_node_evals_->Increment(schedule.stats.evaluated);
+  if (subtree_cache_ != nullptr) {
+    plan_cache_bytes_->Set(static_cast<double>(subtree_cache_->bytes()));
+  }
+  if (any_traced) {
+    const int64_t embed_end_ns = obs::NowNs();
+    for (size_t r = 0; r < live.size(); ++r) {
+      obs::RecordSpan(
+          live[r]->trace, "embed", embed_start_ns, embed_end_ns,
+          {{"rows", static_cast<double>(plan.roots.size())},
+           {"node_evals", static_cast<double>(schedule.stats.evaluated)}},
+          r == lead ? embed_span : 0);
+    }
+  }
+
+  // DNF union semantics, exactly as the legacy path: per request, the
+  // elementwise minimum over its branch roots (unsharded) or the branch
+  // set handed to the scatter-gather coordinator (sharded).
+  const bool sharded = coordinator_ != nullptr;
+  std::vector<std::vector<float>> best(live.size());
+  std::vector<shard::BranchSet> branch_sets(sharded ? live.size() : 0);
+  std::vector<float> dist;
+  for (size_t j = 0; j < plan.roots.size(); ++j) {
+    const size_t r = plan.roots[j].request_index;
+    if (sharded) {
+      shard::BranchSet& set = branch_sets[r];
+      if (set.embeddings.empty()) set.embeddings.push_back(embedding);
+      set.rows.emplace_back(0, static_cast<int64_t>(j));
+      continue;
+    }
+    const bool traced = live[r]->trace.active();
+    const int64_t score_start = traced ? obs::NowNs() : 0;
+    model_->DistancesToAll(embedding, static_cast<int64_t>(j), &dist);
+    if (best[r].empty()) {
+      best[r] = dist;
+    } else {
+      for (size_t i = 0; i < dist.size(); ++i) {
+        best[r][i] = std::min(best[r][i], dist[i]);
+      }
+    }
+    if (traced) {
+      obs::RecordSpan(live[r]->trace, "score", score_start, obs::NowNs(),
+                      {{"entities", static_cast<double>(dist.size())}});
+    }
+  }
+
+  for (size_t r = 0; r < live.size(); ++r) {
+    FinishRanked(live[r].get(), &best[r],
+                 sharded ? &branch_sets[r] : nullptr);
+  }
+}
+
+void QueryServer::FinishRanked(PendingRequest* request,
+                               std::vector<float>* best,
+                               shard::BranchSet* branch_set) {
+  TopKAnswer answer;
+  if (branch_set != nullptr) {
+    shard::ShardedTopK top = coordinator_->TopKEmbedded(
+        *branch_set, request->k, request->deadline, request->trace);
+    if (!top.ok() && !top.partial()) {
+      Finish(request, top.status);
+      return;
+    }
+    FillAnswer(top.entries, &answer);
+    answer.coverage = top.coverage;
+    answer.completeness = top.status;
+  } else {
+    obs::SpanGuard rank(request->trace, "rank");
+    FillAnswer(core::TopKFromDistances(*best, request->k), &answer);
+    rank.End();
+  }
+  // Degraded answers are never cached: the outage must not outlive the
+  // replicas that caused it.
+  if (options_.enable_cache && answer.coverage == 1.0) {
+    CachedAnswer entry{answer.entities, answer.distances};
+    cache_.Put(request->key, std::move(entry));
+  }
+  Finish(request, std::move(answer));
+}
+
+Result<std::string> QueryServer::Explain(
+    const query::QueryGraph& query) const {
+  if (planner_ == nullptr) {
+    return Status::Unavailable(
+        options_.use_planner
+            ? "planner unavailable: model does not expose OperatorModel"
+            : "planner path is disabled (ServerOptions::use_planner)");
+  }
+  HALK_RETURN_NOT_OK(ValidateQuery(query, /*k=*/1));
+  const std::vector<query::QueryGraph> branches = query::ToDnf(query);
+  std::vector<plan::PlanItem> items;
+  items.reserve(branches.size());
+  for (const query::QueryGraph& branch : branches) {
+    items.push_back({0, &branch});
+  }
+  const plan::Plan plan = planner_->BuildPlan(items);
+  plan::ExplainOptions opt;
+  opt.cache = subtree_cache_.get();
+  opt.num_entities = model_->config().num_entities;
+  if (kg_ != nullptr) {
+    const kg::KnowledgeGraph* kg = kg_;
+    opt.entity_name = [kg](int64_t id) { return kg->entities().Name(id); };
+    opt.relation_name = [kg](int64_t id) {
+      return kg->relations().Name(id);
+    };
+  }
+  return plan::ExplainPlan(plan, opt);
 }
 
 std::string QueryServer::DumpMetrics() const {
@@ -428,6 +657,20 @@ std::string QueryServer::DumpMetrics() const {
       << (lookups == 0 ? 0.0
                        : static_cast<double>(hits) /
                              static_cast<double>(lookups))
+      << "\n";
+  const int64_t plan_total = plan_nodes_->value();
+  const int64_t plan_unique = plan_unique_nodes_->value();
+  out << "derived plan.dedup_ratio "
+      << (plan_total == 0 ? 0.0
+                          : 1.0 - static_cast<double>(plan_unique) /
+                                      static_cast<double>(plan_total))
+      << "\n";
+  const int64_t subtree_hits = plan_cache_hits_->value();
+  const int64_t subtree_lookups = subtree_hits + plan_cache_misses_->value();
+  out << "derived plan.subtree_cache_hit_rate "
+      << (subtree_lookups == 0 ? 0.0
+                               : static_cast<double>(subtree_hits) /
+                                     static_cast<double>(subtree_lookups))
       << "\n";
   return out.str();
 }

@@ -15,11 +15,14 @@
 #include "kg/graph.h"
 #include "obs/slow_query_log.h"
 #include "obs/trace.h"
+#include "plan/executor.h"
+#include "plan/planner.h"
 #include "query/dag.h"
 #include "query/fingerprint.h"
 #include "serving/lru_cache.h"
 #include "serving/metrics.h"
 #include "serving/request_queue.h"
+#include "serving/subtree_cache.h"
 #include "shard/coordinator.h"
 #include "shard/fault_injector.h"
 
@@ -59,6 +62,19 @@ struct ServerOptions {
   std::chrono::microseconds slow_query_threshold{0};
   /// Distinct query fingerprints retained by the slow-query log.
   size_t slow_query_log_capacity = 32;
+  /// Route micro-batches through the cost-based planner and shared-graph
+  /// executor (src/plan/): one deduplicated compute DAG per chunk instead
+  /// of per-layout EmbedQueries batches. Answers stay bit-identical to
+  /// Evaluator::TopK. Silently falls back to the legacy path when the
+  /// model does not expose OperatorModel (plan.fallback counts it).
+  bool use_planner = true;
+  /// Byte budget of the subtree (intermediate-result) cache; 0 disables
+  /// it. Only used on the planner path.
+  size_t subtree_cache_bytes = 8u << 20;
+  /// Apply the algebraic rewrite pass (plan/rewrite.h) before planning.
+  /// Off by default: rewrites preserve answer *sets* but swap which
+  /// neural operators run, breaking bit-identity with Evaluator::TopK.
+  bool planner_rewrites = false;
 };
 
 /// A served top-k answer: entity ids in ascending model distance.
@@ -121,8 +137,22 @@ class QueryServer {
   void Shutdown();
 
   MetricsRegistry* metrics() { return &metrics_; }
-  /// Plain-text metrics dump plus derived cache hit rate.
+  /// Plain-text metrics dump plus derived cache hit rate, planner dedup
+  /// ratio, and subtree-cache hit rate.
   std::string DumpMetrics() const;
+
+  /// Renders the plan the server would run for `query` — node order,
+  /// estimated selectivities, dedup and subtree-cache annotations —
+  /// without executing it (the sparql_endpoint `.explain` command).
+  /// kUnavailable when the planner path is off or unsupported by the
+  /// model; kInvalidArgument for malformed queries.
+  [[nodiscard]] Result<std::string> Explain(
+      const query::QueryGraph& query) const;
+
+  /// The intermediate-result cache, or null when the planner path is off
+  /// or subtree_cache_bytes is 0. Invalidation hooks live here:
+  /// InvalidateRelation / Clear after KG or parameter updates.
+  SubtreeCache* subtree_cache() { return subtree_cache_.get(); }
 
   /// The tracer from ServerOptions, or null.
   obs::Tracer* tracer() { return options_.tracer; }
@@ -159,6 +189,23 @@ class QueryServer {
 
   void WorkerLoop();
   void ServeChunk(std::vector<std::unique_ptr<PendingRequest>>* chunk);
+  /// Planner path: one deduplicated compute DAG for the whole chunk, one
+  /// embedding row per DNF branch root. `branches[r]` are request r's
+  /// DNF branches; both vectors are indexed by position in `live`.
+  void ServeChunkPlanned(
+      std::vector<std::unique_ptr<PendingRequest>>* live,
+      const std::vector<std::vector<query::QueryGraph>>& branches,
+      bool any_traced);
+  /// Legacy path: per-layout EmbedQueries micro-batches (serving/batcher).
+  void ServeChunkLegacy(
+      std::vector<std::unique_ptr<PendingRequest>>* live,
+      const std::vector<std::vector<query::QueryGraph>>& branches,
+      bool any_traced);
+  /// Shared tail of both paths: rank request r from its accumulated
+  /// per-entity minimum distances (unsharded) or branch set (sharded),
+  /// fill the answer cache, and resolve the promise.
+  void FinishRanked(PendingRequest* request, std::vector<float>* best,
+                    shard::BranchSet* branch_set);
   [[nodiscard]] Status ValidateQuery(const query::QueryGraph& query, int64_t k) const;
   void Finish(PendingRequest* request, Result<TopKAnswer> result);
 
@@ -172,6 +219,13 @@ class QueryServer {
   std::unique_ptr<shard::ShardCoordinator> coordinator_;  // null = unsharded
   std::unique_ptr<obs::SlowQueryLog> slow_log_;           // null = disabled
 
+  // Planner path (null when use_planner is off or the model does not
+  // implement OperatorModel). The executor's OperatorModel pointer aliases
+  // model_; the subtree cache is internally synchronized.
+  std::unique_ptr<plan::Planner> planner_;
+  std::unique_ptr<plan::PlanExecutor> plan_executor_;
+  std::unique_ptr<SubtreeCache> subtree_cache_;
+
   // Hot-path instrument pointers (stable for the registry's lifetime).
   Counter* submitted_;
   Counter* rejected_;
@@ -184,6 +238,19 @@ class QueryServer {
   Histogram* batch_size_;
   Gauge* queue_depth_;  // requests admitted, not yet picked up
   Gauge* in_flight_;    // requests admitted, not yet finished
+
+  // Planner-path instruments (always registered; zero on the legacy path).
+  Counter* plan_requests_;
+  Counter* plan_fallback_;
+  Counter* plan_nodes_;
+  Counter* plan_unique_nodes_;
+  Counter* plan_node_evals_;
+  Counter* plan_cache_hits_;
+  Counter* plan_cache_misses_;
+  Counter* plan_op_batches_;
+  Histogram* plan_build_us_;
+  Histogram* plan_exec_us_;
+  Gauge* plan_cache_bytes_;
 
   std::vector<std::thread> workers_;
   std::atomic<bool> shutdown_{false};

@@ -34,6 +34,56 @@ TEST(IsThroughputKeyTest, MatchesQpsShapesOnly) {
   EXPECT_FALSE(IsThroughputKey("steps"));
 }
 
+TEST(IsLatencyQuantileKeyTest, MatchesUnderscoreDelimitedQuantileTokens) {
+  EXPECT_TRUE(IsLatencyQuantileKey("p99_ms"));
+  EXPECT_TRUE(IsLatencyQuantileKey("p50_ms"));
+  EXPECT_TRUE(IsLatencyQuantileKey("batched_p95_ms"));
+  EXPECT_TRUE(IsLatencyQuantileKey("diverse_p99_us"));
+  EXPECT_FALSE(IsLatencyQuantileKey("p999_ms"));   // not a known quantile
+  EXPECT_FALSE(IsLatencyQuantileKey("up50_ms"));   // p50 not a whole token
+  EXPECT_FALSE(IsLatencyQuantileKey("qps"));
+  EXPECT_FALSE(IsLatencyQuantileKey("speedup_batched"));
+}
+
+TEST(BenchDiffTest, LatencyGateIsOffByDefault) {
+  // p99_ms goes 8 -> 20 (+150%) but without --latency-tolerance the key
+  // stays informational, exactly as before the gate existed.
+  auto report = DiffBenchJson(kBaseline, Fresh(1000.0, 2000.0, 5000.0),
+                              Options{});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok) << report->ToString();
+}
+
+TEST(BenchDiffTest, LatencySlowdownBeyondToleranceFails) {
+  Options options;
+  options.latency_tolerance = 1.0;  // p99 may at most double
+  auto report =
+      DiffBenchJson(kBaseline, Fresh(1000.0, 2000.0, 5000.0), options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->ok);  // 8 -> 20 is +150%
+  EXPECT_NE(report->ToString().find("FAIL p99_ms"), std::string::npos)
+      << report->ToString();
+
+  options.latency_tolerance = 2.0;  // +150% now inside the bound
+  report = DiffBenchJson(kBaseline, Fresh(1000.0, 2000.0, 5000.0), options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok) << report->ToString();
+}
+
+TEST(BenchDiffTest, LatencyImprovementNeverFails) {
+  // The gate is one-sided: a quantile collapsing far beyond the tolerance
+  // in the *fast* direction is a win, not a workload-drift signal.
+  const std::string fast =
+      "{\"bench\":\"serving_throughput\",\"qps\":1000.0,"
+      "\"batched_qps\":2000.0,\"qps_cached\":5000.0,\"p99_ms\":0.5,"
+      "\"speedup_batched\":2.0}";
+  Options options;
+  options.latency_tolerance = 0.1;
+  auto report = DiffBenchJson(kBaseline, fast, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok) << report->ToString();
+}
+
 TEST(BenchDiffTest, WithinTolerancePasses) {
   auto report = DiffBenchJson(kBaseline, Fresh(900.0, 2400.0, 4200.0),
                               Options{});

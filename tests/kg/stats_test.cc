@@ -1,0 +1,114 @@
+#include "kg/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "kg/graph.h"
+#include "kg/synthetic.h"
+
+namespace halk::kg {
+namespace {
+
+TEST(GraphStatsTest, CountsEdgesHeadsAndTails) {
+  // relation 0: 0->1, 0->2, 1->2 (3 edges, 2 distinct heads, 2 tails);
+  // relation 1: 3->0             (1 edge).
+  const std::vector<Triple> triples = {
+      {0, 0, 1}, {0, 0, 2}, {1, 0, 2}, {3, 1, 0}};
+  const GraphStats stats = GraphStats::Collect(4, 2, triples);
+  EXPECT_EQ(stats.num_entities(), 4);
+  EXPECT_EQ(stats.num_relations(), 2);
+  EXPECT_EQ(stats.num_edges(), 4);
+
+  const RelationStats& r0 = stats.relation(0);
+  EXPECT_EQ(r0.num_edges, 3);
+  EXPECT_EQ(r0.num_heads, 2);
+  EXPECT_EQ(r0.num_tails, 2);
+  EXPECT_DOUBLE_EQ(r0.avg_out_fanout, 1.5);
+  EXPECT_DOUBLE_EQ(r0.avg_in_fanout, 1.5);
+
+  const RelationStats& r1 = stats.relation(1);
+  EXPECT_EQ(r1.num_edges, 1);
+  EXPECT_EQ(r1.num_heads, 1);
+  EXPECT_EQ(r1.num_tails, 1);
+  EXPECT_DOUBLE_EQ(r1.avg_out_fanout, 1.0);
+  EXPECT_DOUBLE_EQ(r1.avg_in_fanout, 1.0);
+}
+
+TEST(GraphStatsTest, EmptyRelationHasZeroFanout) {
+  const GraphStats stats = GraphStats::Collect(10, 3, {{0, 0, 1}});
+  const RelationStats& empty = stats.relation(2);
+  EXPECT_EQ(empty.num_edges, 0);
+  EXPECT_EQ(empty.num_heads, 0);
+  EXPECT_DOUBLE_EQ(empty.avg_out_fanout, 0.0);
+  EXPECT_DOUBLE_EQ(empty.avg_in_fanout, 0.0);
+}
+
+TEST(GraphStatsTest, OutOfRangeRelationReturnsZeros) {
+  const GraphStats stats = GraphStats::Collect(4, 2, {{0, 0, 1}});
+  EXPECT_EQ(stats.relation(-1).num_edges, 0);
+  EXPECT_EQ(stats.relation(2).num_edges, 0);
+  EXPECT_EQ(stats.relation(1 << 20).num_edges, 0);
+}
+
+TEST(GraphStatsTest, OutOfRangeTriplesAreIgnored) {
+  const std::vector<Triple> triples = {
+      {0, 0, 1},   // valid
+      {0, 5, 1},   // relation out of range
+      {-1, 0, 1},  // head out of range
+      {0, 0, 9},   // tail out of range
+  };
+  const GraphStats stats = GraphStats::Collect(4, 2, triples);
+  EXPECT_EQ(stats.num_edges(), 1);
+  EXPECT_EQ(stats.relation(0).num_edges, 1);
+}
+
+TEST(GraphStatsTest, DuplicateHeadsCountedOnce) {
+  // Head 0 projects to three tails under relation 0.
+  const std::vector<Triple> triples = {{0, 0, 1}, {0, 0, 2}, {0, 0, 3}};
+  const GraphStats stats = GraphStats::Collect(5, 1, triples);
+  const RelationStats& r0 = stats.relation(0);
+  EXPECT_EQ(r0.num_heads, 1);
+  EXPECT_EQ(r0.num_tails, 3);
+  EXPECT_DOUBLE_EQ(r0.avg_out_fanout, 3.0);
+  EXPECT_DOUBLE_EQ(r0.avg_in_fanout, 1.0);
+}
+
+TEST(GraphStatsTest, KnowledgeGraphBuildsStatsAtFinalize) {
+  KnowledgeGraph graph;
+  graph.ReserveEntities(6);
+  graph.ReserveRelations(2);
+  ASSERT_TRUE(graph.AddTriple(0, 0, 1).ok());
+  ASSERT_TRUE(graph.AddTriple(0, 0, 2).ok());
+  ASSERT_TRUE(graph.AddTriple(3, 1, 4).ok());
+  graph.Finalize();
+  const GraphStats& stats = graph.stats();
+  EXPECT_EQ(stats.num_edges(), graph.num_triples());
+  EXPECT_EQ(stats.num_entities(), graph.num_entities());
+  EXPECT_EQ(stats.relation(0).num_edges, 2);
+  EXPECT_EQ(stats.relation(1).num_edges, 1);
+}
+
+TEST(GraphStatsTest, SyntheticGraphStatsAreConsistent) {
+  SyntheticKgOptions opt;
+  opt.num_entities = 80;
+  opt.num_relations = 4;
+  opt.num_triples = 400;
+  opt.seed = 5;
+  const Dataset dataset = GenerateSyntheticKg(opt);
+  const GraphStats& stats = dataset.train.stats();
+  int64_t total = 0;
+  for (int64_t r = 0; r < stats.num_relations(); ++r) {
+    const RelationStats& rel = stats.relation(r);
+    total += rel.num_edges;
+    EXPECT_LE(rel.num_heads, rel.num_edges);
+    EXPECT_LE(rel.num_tails, rel.num_edges);
+    if (rel.num_edges > 0) {
+      EXPECT_GE(rel.avg_out_fanout, 1.0);
+      EXPECT_GE(rel.avg_in_fanout, 1.0);
+    }
+  }
+  EXPECT_EQ(total, stats.num_edges());
+  EXPECT_EQ(stats.num_edges(), dataset.train.num_triples());
+}
+
+}  // namespace
+}  // namespace halk::kg

@@ -1,4 +1,8 @@
-#include "query/optimizer.h"
+// Ported from tests/query/optimizer_test.cc when the heuristic pass moved
+// into the planner (plan/rewrite.h): the same rewrites must hold when
+// requested through the planner path (PlannerOptions::apply_rewrites),
+// which plan_test.cc covers at the plan level.
+#include "plan/rewrite.h"
 
 #include <gtest/gtest.h>
 
@@ -7,10 +11,15 @@
 #include "query/sampler.h"
 #include "query/structures.h"
 
-namespace halk::query {
+namespace halk::plan {
 namespace {
 
-class OptimizerTest : public ::testing::Test {
+using query::OpType;
+using query::QueryGraph;
+using query::QueryNode;
+using query::StructureId;
+
+class RewriteTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     kg::SyntheticKgOptions opt;
@@ -27,55 +36,55 @@ class OptimizerTest : public ::testing::Test {
   static kg::Dataset* dataset_;
 };
 
-kg::Dataset* OptimizerTest::dataset_ = nullptr;
+kg::Dataset* RewriteTest::dataset_ = nullptr;
 
-TEST_F(OptimizerTest, DoubleNegationEliminated) {
+TEST_F(RewriteTest, DoubleNegationEliminated) {
   QueryGraph g;
   int p = g.AddProjection(g.AddAnchor(1), 0);
   g.SetTarget(g.AddNegation(g.AddNegation(p)));
-  QueryGraph n = NormalizeQuery(g);
+  QueryGraph n = RewriteQuery(g);
   EXPECT_FALSE(n.HasOp(OpType::kNegation));
   EXPECT_EQ(n.ToString(), "p(a1,r0)");
 }
 
-TEST_F(OptimizerTest, NestedIntersectionsFlattened) {
+TEST_F(RewriteTest, NestedIntersectionsFlattened) {
   QueryGraph g;
   int a = g.AddProjection(g.AddAnchor(1), 0);
   int b = g.AddProjection(g.AddAnchor(2), 1);
   int c = g.AddProjection(g.AddAnchor(3), 2);
   g.SetTarget(g.AddIntersection({g.AddIntersection({a, b}), c}));
-  QueryGraph n = NormalizeQuery(g);
+  QueryGraph n = RewriteQuery(g);
   const QueryNode& target = n.nodes()[static_cast<size_t>(n.target())];
   EXPECT_EQ(target.op, OpType::kIntersection);
   EXPECT_EQ(target.inputs.size(), 3u);
 }
 
-TEST_F(OptimizerTest, NestedUnionsFlattened) {
+TEST_F(RewriteTest, NestedUnionsFlattened) {
   QueryGraph g;
   int a = g.AddProjection(g.AddAnchor(1), 0);
   int b = g.AddProjection(g.AddAnchor(2), 1);
   int c = g.AddProjection(g.AddAnchor(3), 2);
   g.SetTarget(g.AddUnion({g.AddUnion({a, b}), c}));
-  QueryGraph n = NormalizeQuery(g);
+  QueryGraph n = RewriteQuery(g);
   const QueryNode& target = n.nodes()[static_cast<size_t>(n.target())];
   EXPECT_EQ(target.op, OpType::kUnion);
   EXPECT_EQ(target.inputs.size(), 3u);
 }
 
-TEST_F(OptimizerTest, DifferenceMinuendFlattened) {
+TEST_F(RewriteTest, DifferenceMinuendFlattened) {
   // D(D(a, b), c) -> D(a, b, c).
   QueryGraph g;
   int a = g.AddProjection(g.AddAnchor(1), 0);
   int b = g.AddProjection(g.AddAnchor(2), 1);
   int c = g.AddProjection(g.AddAnchor(3), 2);
   g.SetTarget(g.AddDifference({g.AddDifference({a, b}), c}));
-  QueryGraph n = NormalizeQuery(g);
+  QueryGraph n = RewriteQuery(g);
   const QueryNode& target = n.nodes()[static_cast<size_t>(n.target())];
   EXPECT_EQ(target.op, OpType::kDifference);
   EXPECT_EQ(target.inputs.size(), 3u);
 }
 
-TEST_F(OptimizerTest, IntermediateNegationBecomesDifference) {
+TEST_F(RewriteTest, IntermediateNegationBecomesDifference) {
   // p(i(a, ¬b)) — the negation is intermediate, so the paper's preference
   // rewrites it into a difference.
   QueryGraph g;
@@ -83,50 +92,50 @@ TEST_F(OptimizerTest, IntermediateNegationBecomesDifference) {
   int b = g.AddProjection(g.AddAnchor(2), 1);
   int i = g.AddIntersection({a, g.AddNegation(b)});
   g.SetTarget(g.AddProjection(i, 2));
-  QueryGraph n = NormalizeQuery(g);
+  QueryGraph n = RewriteQuery(g);
   EXPECT_FALSE(n.HasOp(OpType::kNegation));
   EXPECT_TRUE(n.HasOp(OpType::kDifference));
 }
 
-TEST_F(OptimizerTest, TailNegationKeptByDefault) {
+TEST_F(RewriteTest, TailNegationKeptByDefault) {
   // 2in: i(a, ¬b) at the target — negation is the better tail operator,
   // so the default options keep it.
-  QueryGraph g = MakeStructure(StructureId::k2in);
-  QueryGraph n = NormalizeQuery(g);
+  QueryGraph g = query::MakeStructure(StructureId::k2in);
+  QueryGraph n = RewriteQuery(g);
   EXPECT_TRUE(n.HasOp(OpType::kNegation));
   EXPECT_FALSE(n.HasOp(OpType::kDifference));
 
-  NormalizeOptions opt;
+  RewriteOptions opt;
   opt.rewrite_tail_negation = true;
-  QueryGraph n2 = NormalizeQuery(g, opt);
+  QueryGraph n2 = RewriteQuery(g, opt);
   EXPECT_FALSE(n2.HasOp(OpType::kNegation));
   EXPECT_TRUE(n2.HasOp(OpType::kDifference));
 }
 
-TEST_F(OptimizerTest, PreservesSemanticsOnRandomQueries) {
-  QuerySampler sampler(&dataset_->test, 9);
-  NormalizeOptions aggressive;
+TEST_F(RewriteTest, PreservesSemanticsOnRandomQueries) {
+  query::QuerySampler sampler(&dataset_->test, 9);
+  RewriteOptions aggressive;
   aggressive.rewrite_tail_negation = true;
-  for (StructureId s : AllStructures()) {
+  for (StructureId s : query::AllStructures()) {
     auto q = sampler.Sample(s);
-    ASSERT_TRUE(q.ok()) << StructureName(s);
-    for (const NormalizeOptions& opt :
-         {NormalizeOptions(), aggressive}) {
-      QueryGraph n = NormalizeQuery(q->graph, opt);
-      ASSERT_TRUE(n.Validate(/*grounded=*/true).ok()) << StructureName(s);
-      auto before = ExecuteQuery(q->graph, dataset_->test);
-      auto after = ExecuteQuery(n, dataset_->test);
+    ASSERT_TRUE(q.ok()) << query::StructureName(s);
+    for (const RewriteOptions& opt : {RewriteOptions(), aggressive}) {
+      QueryGraph n = RewriteQuery(q->graph, opt);
+      ASSERT_TRUE(n.Validate(/*grounded=*/true).ok())
+          << query::StructureName(s);
+      auto before = query::ExecuteQuery(q->graph, dataset_->test);
+      auto after = query::ExecuteQuery(n, dataset_->test);
       ASSERT_TRUE(before.ok());
       ASSERT_TRUE(after.ok());
-      EXPECT_EQ(*before, *after) << StructureName(s);
+      EXPECT_EQ(*before, *after) << query::StructureName(s);
     }
   }
 }
 
-TEST_F(OptimizerTest, HandcraftedDeepNest) {
+TEST_F(RewriteTest, HandcraftedDeepNest) {
   // ¬¬(i(i(a, ¬¬b), ¬c)) under a projection; normalization must produce
   // a flat difference feeding the projection with identical semantics.
-  QuerySampler sampler(&dataset_->test, 11);
+  query::QuerySampler sampler(&dataset_->test, 11);
   auto seed_query = sampler.Sample(StructureId::k2i);
   ASSERT_TRUE(seed_query.ok());
   const auto& nodes = seed_query->graph.nodes();
@@ -153,24 +162,24 @@ TEST_F(OptimizerTest, HandcraftedDeepNest) {
   int nn = g.AddNegation(g.AddNegation(i2));
   g.SetTarget(g.AddProjection(nn, 1));
 
-  QueryGraph n = NormalizeQuery(g);
+  QueryGraph n = RewriteQuery(g);
   EXPECT_FALSE(n.HasOp(OpType::kNegation));
-  auto before = ExecuteQuery(g, dataset_->test);
-  auto after = ExecuteQuery(n, dataset_->test);
+  auto before = query::ExecuteQuery(g, dataset_->test);
+  auto after = query::ExecuteQuery(n, dataset_->test);
   ASSERT_TRUE(before.ok());
   ASSERT_TRUE(after.ok());
   EXPECT_EQ(*before, *after);
 }
 
-TEST_F(OptimizerTest, NormalizedGraphHasNoUnreachableNodes) {
+TEST_F(RewriteTest, RewrittenGraphHasNoUnreachableNodes) {
   QueryGraph g;
   int p = g.AddProjection(g.AddAnchor(1), 0);
   g.AddProjection(g.AddAnchor(2), 1);  // orphan
   g.SetTarget(g.AddNegation(g.AddNegation(p)));
-  QueryGraph n = NormalizeQuery(g);
+  QueryGraph n = RewriteQuery(g);
   EXPECT_EQ(static_cast<size_t>(n.num_nodes()),
             n.TopologicalOrder().size());
 }
 
 }  // namespace
-}  // namespace halk::query
+}  // namespace halk::plan

@@ -1,0 +1,123 @@
+#include "serving/subtree_cache.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace halk::serving {
+namespace {
+
+query::Fingerprint Key(uint64_t n) { return {n, n * 31 + 7}; }
+
+/// An entry of 8 floats charges 32 + 96 overhead = 128 bytes (before
+/// relation tags), so byte budgets divide evenly in the tests below.
+SubtreeCache::Entry MakeEntry(float fill,
+                              std::vector<int64_t> relations = {}) {
+  SubtreeCache::Entry entry;
+  entry.row.assign(8, fill);
+  entry.relations = std::move(relations);
+  return entry;
+}
+
+TEST(SubtreeCacheTest, PutGetRoundTrip) {
+  SubtreeCache cache(1024);
+  cache.Put(Key(1), MakeEntry(0.5f, {2, 4}));
+  SubtreeCache::Entry out;
+  ASSERT_TRUE(cache.Get(Key(1), &out));
+  EXPECT_EQ(out.row, std::vector<float>(8, 0.5f));
+  EXPECT_EQ(out.relations, (std::vector<int64_t>{2, 4}));
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 0);
+  EXPECT_FALSE(cache.Get(Key(2), &out));
+  EXPECT_EQ(cache.misses(), 1);
+}
+
+TEST(SubtreeCacheTest, TracksByteFootprint) {
+  SubtreeCache cache(1024);
+  EXPECT_EQ(cache.bytes(), 0u);
+  cache.Put(Key(1), MakeEntry(1.0f));
+  EXPECT_EQ(cache.bytes(), 128u);
+  cache.Put(Key(2), MakeEntry(2.0f, {3}));
+  EXPECT_EQ(cache.bytes(), 128u + 136u);
+  EXPECT_EQ(cache.size(), 2u);
+  // Overwriting replaces the old entry's charge, not adds to it.
+  cache.Put(Key(2), MakeEntry(3.0f));
+  EXPECT_EQ(cache.bytes(), 256u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(SubtreeCacheTest, EvictsLeastRecentlyUsedOverBudget) {
+  SubtreeCache cache(256);  // room for exactly two tag-free entries
+  cache.Put(Key(1), MakeEntry(1.0f));
+  cache.Put(Key(2), MakeEntry(2.0f));
+  ASSERT_TRUE(cache.Get(Key(1), nullptr));  // 2 becomes LRU
+  cache.Put(Key(3), MakeEntry(3.0f));
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_TRUE(cache.Contains(Key(1)));
+  EXPECT_FALSE(cache.Contains(Key(2)));
+  EXPECT_TRUE(cache.Contains(Key(3)));
+  EXPECT_LE(cache.bytes(), cache.capacity_bytes());
+}
+
+TEST(SubtreeCacheTest, OversizeEntryIsDropped) {
+  SubtreeCache cache(64);  // smaller than any 8-float entry
+  cache.Put(Key(1), MakeEntry(1.0f));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_FALSE(cache.Contains(Key(1)));
+}
+
+TEST(SubtreeCacheTest, ContainsHasNoSideEffects) {
+  SubtreeCache cache(256);
+  cache.Put(Key(1), MakeEntry(1.0f));
+  cache.Put(Key(2), MakeEntry(2.0f));
+  EXPECT_TRUE(cache.Contains(Key(1)));
+  EXPECT_EQ(cache.hits(), 0);
+  EXPECT_EQ(cache.misses(), 0);
+  // Contains did not refresh key 1's recency, so it is still the LRU
+  // entry and the next insert evicts it.
+  cache.Put(Key(3), MakeEntry(3.0f));
+  EXPECT_FALSE(cache.Contains(Key(1)));
+  EXPECT_TRUE(cache.Contains(Key(2)));
+}
+
+TEST(SubtreeCacheTest, InvalidateRelationDropsTaggedEntriesOnly) {
+  SubtreeCache cache(4096);
+  cache.Put(Key(1), MakeEntry(1.0f, {0, 2}));
+  cache.Put(Key(2), MakeEntry(2.0f, {1}));
+  cache.Put(Key(3), MakeEntry(3.0f, {2, 5}));
+  cache.Put(Key(4), MakeEntry(4.0f));  // no tags: structural only
+  EXPECT_EQ(cache.InvalidateRelation(2), 2u);
+  EXPECT_EQ(cache.invalidations(), 2);
+  EXPECT_FALSE(cache.Contains(Key(1)));
+  EXPECT_TRUE(cache.Contains(Key(2)));
+  EXPECT_FALSE(cache.Contains(Key(3)));
+  EXPECT_TRUE(cache.Contains(Key(4)));
+  EXPECT_EQ(cache.InvalidateRelation(2), 0u);
+  // Byte accounting survives the evictions.
+  EXPECT_EQ(cache.bytes(), 128u + 136u);
+}
+
+TEST(SubtreeCacheTest, ClearEmptiesEverything) {
+  SubtreeCache cache(4096);
+  cache.Put(Key(1), MakeEntry(1.0f, {0}));
+  cache.Put(Key(2), MakeEntry(2.0f));
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_FALSE(cache.Contains(Key(1)));
+  // The cache keeps accepting entries after a Clear.
+  cache.Put(Key(3), MakeEntry(3.0f));
+  EXPECT_TRUE(cache.Contains(Key(3)));
+}
+
+TEST(SubtreeCacheTest, GetWithNullOutOnlyTouchesRecency) {
+  SubtreeCache cache(256);
+  cache.Put(Key(1), MakeEntry(1.0f));
+  EXPECT_TRUE(cache.Get(Key(1), nullptr));
+  EXPECT_EQ(cache.hits(), 1);
+}
+
+}  // namespace
+}  // namespace halk::serving

@@ -1,5 +1,6 @@
 #include "tools/bench_diff/bench_diff.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -18,6 +19,17 @@ bool EndsWith(const std::string& s, const std::string& suffix) {
 
 bool IsThroughputKey(const std::string& key) {
   return key == "qps" || key.rfind("qps_", 0) == 0 || EndsWith(key, "_qps");
+}
+
+bool IsLatencyQuantileKey(const std::string& key) {
+  size_t start = 0;
+  while (start <= key.size()) {
+    const size_t end = std::min(key.find('_', start), key.size());
+    const std::string token = key.substr(start, end - start);
+    if (token == "p50" || token == "p95" || token == "p99") return true;
+    start = end + 1;
+  }
+  return false;
 }
 
 std::string Report::ToString() const {
@@ -61,10 +73,12 @@ Result<Report> DiffBenchJson(const std::string& baseline_text,
   for (const auto& [key, baseline_value] : baseline) {
     if (!baseline_value.is_number()) continue;
     const obs::JsonValue* fresh_value = obs::FindKey(fresh, key);
-    const bool checked = IsThroughputKey(key);
+    const bool throughput = IsThroughputKey(key);
+    const bool latency =
+        options.latency_tolerance >= 0.0 && IsLatencyQuantileKey(key);
     if (fresh_value == nullptr || !fresh_value->is_number()) {
       report.notes.push_back("key `" + key + "` missing from fresh run");
-      if (checked && options.fail_on_missing) report.ok = false;
+      if (throughput && options.fail_on_missing) report.ok = false;
       continue;
     }
     KeyDelta delta;
@@ -74,8 +88,16 @@ Result<Report> DiffBenchJson(const std::string& baseline_text,
     delta.relative = delta.baseline != 0.0
                          ? delta.fresh / delta.baseline - 1.0
                          : (delta.fresh == 0.0 ? 0.0 : HUGE_VAL);
-    delta.checked = checked;
-    delta.failed = checked && !(std::fabs(delta.relative) <= options.tolerance);
+    delta.checked = throughput || latency;
+    if (throughput) {
+      // Symmetric gate: a "too good" number usually means the workload
+      // silently shrank.
+      delta.failed = !(std::fabs(delta.relative) <= options.tolerance);
+    } else if (latency) {
+      // Asymmetric gate: only slowdowns fail; quantiles improving (or the
+      // baseline being zero with fresh zero too) always pass.
+      delta.failed = !(delta.relative <= options.latency_tolerance);
+    }
     if (delta.failed) report.ok = false;
     report.deltas.push_back(std::move(delta));
   }

@@ -16,6 +16,12 @@ struct Options {
   /// the fresh run (schema regressions); off by default so adding keys
   /// never breaks older baselines.
   bool fail_on_missing = false;
+  /// Maximum relative *increase* of a latency-quantile key (p50/p95/p99)
+  /// before the diff fails, as a fraction of the baseline (1.0 = may
+  /// double). Asymmetric on purpose: latency getting faster is never a
+  /// failure, only getting slower is. Negative disables the gate (the
+  /// default, matching the historical latency-is-informational behavior).
+  double latency_tolerance = -1.0;
 };
 
 /// One compared key.
@@ -46,6 +52,12 @@ struct Report {
 /// counts are reported but never fail the diff (they are either derived
 /// from qps or too machine-sensitive for a fixed gate).
 bool IsThroughputKey(const std::string& key);
+
+/// True for latency-quantile keys: any key containing `p50`, `p95`, or
+/// `p99` as an underscore-delimited token (`p99_ms`, `batched_p50_ms`).
+/// These gate only when Options::latency_tolerance >= 0, and only in the
+/// slower direction.
+bool IsLatencyQuantileKey(const std::string& key);
 
 /// Diffs two BENCH_<name>.json payloads (flat JSON objects as written by
 /// BenchJson::Emit). kParseError on malformed input; kInvalidArgument

@@ -1,9 +1,12 @@
 // halk_bench_diff: compare a fresh BENCH_<name>.json against a committed
 // baseline. Throughput keys (qps, qps_*, *_qps) must stay within a relative
-// tolerance (default ±25%); everything else is reported informationally.
+// tolerance (default ±25%); with --latency-tolerance, latency quantiles
+// (p50/p95/p99 keys) additionally gate one-sided — only slowdowns beyond
+// the bound fail, improvements never do. Everything else is reported
+// informationally.
 //
 //   halk_bench_diff <baseline.json> <fresh.json> [--tolerance 0.25]
-//                   [--fail-on-missing]
+//                   [--latency-tolerance 1.0] [--fail-on-missing]
 //
 // Exit codes: 0 within tolerance, 1 regression (or missing key under
 // --fail-on-missing), 2 usage/IO/parse error.
@@ -31,7 +34,8 @@ bool ReadFile(const std::string& path, std::string* out) {
 int Usage() {
   std::fprintf(stderr,
                "usage: halk_bench_diff <baseline.json> <fresh.json> "
-               "[--tolerance F] [--fail-on-missing]\n");
+               "[--tolerance F] [--latency-tolerance F] "
+               "[--fail-on-missing]\n");
   return 2;
 }
 
@@ -48,6 +52,13 @@ int main(int argc, char** argv) {
       options.tolerance = std::atof(argv[++i]);
       if (options.tolerance <= 0.0) {
         std::fprintf(stderr, "error: --tolerance must be > 0\n");
+        return 2;
+      }
+    } else if (arg == "--latency-tolerance") {
+      if (i + 1 >= argc) return Usage();
+      options.latency_tolerance = std::atof(argv[++i]);
+      if (options.latency_tolerance < 0.0) {
+        std::fprintf(stderr, "error: --latency-tolerance must be >= 0\n");
         return 2;
       }
     } else if (arg == "--fail-on-missing") {
