@@ -7,6 +7,7 @@
 //
 //   $ ./examples/sparql_endpoint
 //   $ ./examples/sparql_endpoint --checkpoint /tmp/sparql_model.bin
+//   $ ./examples/sparql_endpoint --store /tmp/sparql_snapshot
 //   $ ./examples/sparql_endpoint --trace-out /tmp/endpoint_trace.json
 //   $ ./examples/sparql_endpoint --journal-out /tmp/train_journal.jsonl \
 //                                --profile-out /tmp/endpoint_flame.txt
@@ -16,7 +17,15 @@
 // trained-then-saved there when it does not. A checkpoint that exists but
 // cannot be restored (corrupt, wrong model, checksum mismatch) is a fatal
 // configuration error: the endpoint prints the diagnostic to stderr and
-// exits nonzero rather than silently training a fresh model over it. With
+// exits nonzero rather than silently training a fresh model over it.
+//
+// --store is the same restart contract against a store snapshot directory
+// (docs/storage.md) instead of the monolithic blob: when the directory
+// holds a snapshot, the endpoint serves straight out of the mmap'd shard
+// files — the entity table is never copied into RAM — and when it does
+// not, the endpoint trains and writes a snapshot there. It supersedes
+// --checkpoint for new deployments (`halk_store convert` migrates old
+// blobs); the two flags are mutually exclusive. With
 // --trace-out, the trace of the last served query is written as
 // chrome://tracing JSON on exit. With --journal-out, the training loop
 // appends one JSONL record per step (loss, grad norm, tape op counts) to
@@ -44,6 +53,9 @@
 
 #include "common/string_util.h"
 #include "halk/halk.h"
+#include "store/convert.h"
+#include "store/store.h"
+#include "store/writer.h"
 
 namespace {
 
@@ -108,12 +120,16 @@ void WriteFileOrWarn(const std::string& path, const std::string& content) {
 int main(int argc, char** argv) {
   using namespace halk;
   std::string checkpoint_path;
+  std::string store_dir;
   std::string trace_out_path;
   std::string journal_out_path;
   std::string profile_out_path;
   for (int i = 1; i < argc - 1; ++i) {
     if (std::strcmp(argv[i], "--checkpoint") == 0) {
       checkpoint_path = argv[i + 1];
+    }
+    if (std::strcmp(argv[i], "--store") == 0) {
+      store_dir = argv[i + 1];
     }
     if (std::strcmp(argv[i], "--trace-out") == 0) {
       trace_out_path = argv[i + 1];
@@ -124,6 +140,12 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--profile-out") == 0) {
       profile_out_path = argv[i + 1];
     }
+  }
+  if (!checkpoint_path.empty() && !store_dir.empty()) {
+    std::fprintf(stderr,
+                 "error: --checkpoint and --store are mutually exclusive "
+                 "(use halk_store convert to migrate a blob to a snapshot)\n");
+    return 1;
   }
   if (!profile_out_path.empty()) {
     obs::Profiler::Global().set_enabled(true);
@@ -166,7 +188,45 @@ int main(int argc, char** argv) {
   config.hidden = 16;
   config.seed = 17;
   core::HalkModel model(config, &grouping);
+  core::HalkModel* serving_model = &model;
+  // Store-backed restore: the snapshot's shard files stay mmap'd for the
+  // model's whole lifetime, so both outlive the QueryServer below.
+  std::unique_ptr<store::EmbeddingStore> embedding_store;
+  std::unique_ptr<core::HalkModel> store_model;
   bool restored = false;
+  if (!store_dir.empty()) {
+    auto opened = store::EmbeddingStore::Open(store_dir, {});
+    if (opened.ok()) {
+      embedding_store = std::move(*opened);
+      auto served = store::OpenServingModel(*embedding_store, &grouping);
+      if (!served.ok()) {
+        std::fprintf(stderr, "error: cannot serve snapshot %s: %s\n",
+                     store_dir.c_str(), served.status().ToString().c_str());
+        return 1;
+      }
+      store_model = std::move(*served);
+      serving_model = store_model.get();
+      std::printf("serving out of store snapshot %s (%lld entities mapped, "
+                  "not loaded), skipping training\n",
+                  store_dir.c_str(),
+                  static_cast<long long>(embedding_store->num_entities()));
+      restored = true;
+    } else if (opened.status().code() == StatusCode::kIOError) {
+      // No manifest yet (first run): train and snapshot below.
+      std::printf("no snapshot at %s (%s), training from scratch\n",
+                  store_dir.c_str(), opened.status().ToString().c_str());
+    } else {
+      // A manifest exists but the snapshot is unusable (corrupt shard
+      // file, checksum mismatch, bad manifest). Same contract as a bad
+      // --checkpoint: refuse rather than overwrite.
+      std::fprintf(stderr,
+                   "error: cannot open snapshot %s: %s\n"
+                   "(delete the directory or point --store elsewhere to "
+                   "train from scratch)\n",
+                   store_dir.c_str(), opened.status().ToString().c_str());
+      return 1;
+    }
+  }
   if (!checkpoint_path.empty()) {
     const Status loaded = core::LoadCheckpoint(&model, checkpoint_path);
     if (loaded.ok()) {
@@ -225,6 +285,16 @@ int main(int argc, char** argv) {
                     saved.ToString().c_str());
       }
     }
+    if (!store_dir.empty()) {
+      const Status saved =
+          store::WriteModelSnapshot(model, store_dir, /*num_shards=*/2);
+      if (saved.ok()) {
+        std::printf("wrote store snapshot to %s\n", store_dir.c_str());
+      } else {
+        std::printf("could not write snapshot: %s\n",
+                    saved.ToString().c_str());
+      }
+    }
   }
 
   // Serve SPARQL traffic through the QueryServer: compiled queries are
@@ -240,7 +310,7 @@ int main(int argc, char** argv) {
   sopt.tracer = &tracer;
   // A tiny threshold so the demo's slow-query log has entries to show.
   sopt.slow_query_threshold = std::chrono::microseconds(1);
-  serving::QueryServer server(&model, &kg, sopt);
+  serving::QueryServer server(serving_model, &kg, sopt);
   uint64_t last_trace_id = 0;
 
   auto serve = [&](const std::string& sparql) {

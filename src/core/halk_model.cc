@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "core/distance.h"
+#include "core/entity_source.h"
 #include "core/query_groups.h"
 #include "nn/attention.h"
 #include "nn/init.h"
@@ -20,16 +21,30 @@ constexpr float kTwoPi = 2.0f * kPi;
 }  // namespace
 
 HalkModel::HalkModel(const ModelConfig& config,
-                     const kg::NodeGrouping* grouping)
-    : QueryModel(config), grouping_(grouping), rng_(config.seed) {
+                     const kg::NodeGrouping* grouping,
+                     const EntityScanSource* entity_source)
+    : QueryModel(config),
+      grouping_(grouping),
+      entity_source_(entity_source),
+      rng_(config.seed) {
   HALK_CHECK_GT(config.num_entities, 0);
   HALK_CHECK_GT(config.num_relations, 0);
   const int64_t d = config.dim;
   const int64_t h = config.hidden;
 
-  entity_angles_ = Tensor::Zeros({config.num_entities, d});
-  nn::UniformInit(&entity_angles_, 0.0f, kTwoPi, &rng_);
-  entity_angles_.set_requires_grad(true);
+  if (entity_source_ != nullptr) {
+    // Store-backed: the [N, d] table stays in the external source. Skipping
+    // its allocation (and its RNG draws) means the remaining tables init
+    // differently from an equally-seeded in-RAM model — irrelevant in
+    // practice, since store-backed models load every operator weight from
+    // the snapshot's params blob.
+    HALK_CHECK_EQ(entity_source_->num_entities(), config.num_entities);
+    HALK_CHECK_EQ(entity_source_->dim(), d);
+  } else {
+    entity_angles_ = Tensor::Zeros({config.num_entities, d});
+    nn::UniformInit(&entity_angles_, 0.0f, kTwoPi, &rng_);
+    entity_angles_.set_requires_grad(true);
+  }
 
   rel_center_ = Tensor::Zeros({config.num_relations, d});
   nn::UniformInit(&rel_center_, -kPi, kPi, &rng_);
@@ -77,10 +92,25 @@ HalkModel::HalkModel(const ModelConfig& config,
 }
 
 ArcBatch HalkModel::EmbedAnchors(const std::vector<int64_t>& entities) {
-  Tensor center = tensor::Gather(entity_angles_, entities);
+  Tensor center = GatherEntityRows(entities);
   Tensor length =
       Tensor::Zeros({static_cast<int64_t>(entities.size()), config_.dim});
   return {center, length};
+}
+
+Tensor HalkModel::GatherEntityRows(const std::vector<int64_t>& entities) const {
+  if (entity_source_ == nullptr) {
+    return tensor::Gather(entity_angles_, entities);
+  }
+  // Store-backed lookup: bit-exact rows copied out of the source. No
+  // autograd edge — serving only.
+  const int64_t d = config_.dim;
+  Tensor out = Tensor::Zeros({static_cast<int64_t>(entities.size()), d});
+  for (size_t i = 0; i < entities.size(); ++i) {
+    entity_source_->CopyRow(entities[i],
+                            out.data() + static_cast<int64_t>(i) * d);
+  }
+  return out;
 }
 
 ArcBatch HalkModel::Projection(const ArcBatch& input,
@@ -313,7 +343,7 @@ EmbeddingBatch HalkModel::EmbedQueries(
 
 Tensor HalkModel::Distance(const std::vector<int64_t>& entities,
                            const EmbeddingBatch& embedding) {
-  Tensor points = tensor::Gather(entity_angles_, entities);
+  Tensor points = GatherEntityRows(entities);
   return ArcDistance(points, {embedding.a, embedding.b}, config_.rho,
                      config_.eta);
 }
@@ -329,8 +359,17 @@ void HalkModel::DistancesToRange(const EmbeddingBatch& embedding, int64_t row,
   const int64_t d = config_.dim;
   const float* center = embedding.a.data() + row * d;
   const float* length = embedding.b.data() + row * d;
-  const float* table = entity_angles_.data();
   out->resize(static_cast<size_t>(end - begin));
+  if (entity_source_ != nullptr) {
+    std::vector<float> point(static_cast<size_t>(d));
+    for (int64_t e = begin; e < end; ++e) {
+      entity_source_->CopyRow(e, point.data());
+      (*out)[static_cast<size_t>(e - begin)] = ArcPointDistance(
+          point.data(), center, length, d, config_.rho, config_.eta);
+    }
+    return;
+  }
+  const float* table = entity_angles_.data();
   for (int64_t e = begin; e < end; ++e) {
     (*out)[static_cast<size_t>(e - begin)] = ArcPointDistance(
         table + e * d, center, length, d, config_.rho, config_.eta);
@@ -358,6 +397,13 @@ void HalkModel::AccumulateTopKRange(const std::vector<BranchRef>& branches,
         branch.embedding->b.data() + branch.row * d, d, config_.rho,
         config_.eta));
   }
+  if (entity_source_ != nullptr) {
+    // Out-of-core scan: the source prunes against the same admission bound
+    // and is contractually exact, so results are bit-identical to the
+    // in-RAM kernel below (tests/store pins this down).
+    entity_source_->AccumulateTopKRange(arcs, begin, end, acc, stats);
+    return;
+  }
   const float* table = entity_angles_.data();
   for (int64_t e = begin; e < end; ++e) {
     const float* point = table + e * d;
@@ -382,8 +428,14 @@ void HalkModel::AccumulateTopKRange(const std::vector<BranchRef>& branches,
 }
 
 std::vector<Tensor> HalkModel::Parameters() const {
-  std::vector<Tensor> out = {entity_angles_, rel_center_, rel_length_,
-                             kappa_first_, kappa_rest_};
+  // Store-backed models have no in-RAM entity table: Parameters() is then
+  // exactly the params-blob tensor list (store/writer.h).
+  std::vector<Tensor> out;
+  if (entity_source_ == nullptr) out.push_back(entity_angles_);
+  out.push_back(rel_center_);
+  out.push_back(rel_length_);
+  out.push_back(kappa_first_);
+  out.push_back(kappa_rest_);
   for (const nn::Module* m :
        {static_cast<const nn::Module*>(proj_center_.get()),
         static_cast<const nn::Module*>(proj_length_.get()),

@@ -14,6 +14,8 @@
 
 namespace halk::core {
 
+class EntityScanSource;
+
 /// The HaLk model (Sec. III of the paper): entities are points on a circle,
 /// query nodes are arc segments, and the five logical operators are
 /// implemented per Eqs. (2)-(14):
@@ -35,7 +37,17 @@ class HalkModel : public QueryModel, public OperatorModel {
  public:
   /// `grouping` (optional, may be null) enables the group-similarity factor
   /// z_i in the intersection attention (Eq. 10).
-  HalkModel(const ModelConfig& config, const kg::NodeGrouping* grouping);
+  ///
+  /// `entity_source` (optional) makes the model serve its entity table out
+  /// of an external read-only source (e.g. the mmap-backed store) instead
+  /// of an in-RAM tensor: no [N, d] allocation happens, anchor/distance
+  /// lookups copy rows from the source, and top-k scans delegate to it.
+  /// Store-backed models are serving-only — Parameters() excludes the
+  /// entity table (it is not trainable through the source), so operator
+  /// weights must be loaded from a snapshot params blob
+  /// (store::OpenServingModel). The source must outlive the model.
+  HalkModel(const ModelConfig& config, const kg::NodeGrouping* grouping,
+            const EntityScanSource* entity_source = nullptr);
 
   std::string name() const override { return "HaLk"; }
 
@@ -97,10 +109,20 @@ class HalkModel : public QueryModel, public OperatorModel {
 
   const kg::NodeGrouping* grouping() const { return grouping_; }
 
-  /// Raw entity angle table [N, d] (tests/diagnostics).
+  /// Raw entity angle table [N, d] (tests/diagnostics). Undefined in
+  /// store-backed mode — check store_backed() first.
   const tensor::Tensor& entity_angles() const { return entity_angles_; }
 
+  /// True when the entity table lives in an external EntityScanSource
+  /// instead of entity_angles_.
+  bool store_backed() const { return entity_source_ != nullptr; }
+  const EntityScanSource* entity_source() const { return entity_source_; }
+
  protected:
+  /// Entity rows as a [B, d] tensor: autograd Gather from the in-RAM table,
+  /// or a plain bit-exact copy out of the external source.
+  tensor::Tensor GatherEntityRows(const std::vector<int64_t>& entities) const;
+
   /// Semantic-average center via attention in rectangular coordinates:
   /// Eqs. (4)-(6) with per-input score tensors.
   tensor::Tensor SemanticAverageCenter(
@@ -108,6 +130,7 @@ class HalkModel : public QueryModel, public OperatorModel {
       const std::vector<tensor::Tensor>& scores) const;
 
   const kg::NodeGrouping* grouping_;  // not owned, may be null
+  const EntityScanSource* entity_source_;  // not owned, may be null
   Rng rng_;
 
   // Embedding tables.

@@ -1,0 +1,255 @@
+#include "kg/synthetic_stream.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace halk::kg {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+/// splitmix64 finalizer: the per-id hash every entity property derives
+/// from. Strong enough that consecutive ids decorrelate; cheap enough to
+/// call per entity per edge.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t Mix2(uint64_t a, uint64_t b) { return Mix(Mix(a) ^ b); }
+
+// Domain-separation salts so the type draw, the latent perturbation, and
+// the per-head edge RNG never alias.
+constexpr uint64_t kTypeSalt = 0x7479706573616c74ULL;
+constexpr uint64_t kLatentSalt = 0x6c6174656e74736cULL;
+constexpr uint64_t kHeadSalt = 0x68656164727367ULL;
+constexpr uint64_t kSplitSalt = 0x73706c697473616cULL;
+
+double LatentChord(const std::vector<double>& a, const std::vector<double>& b) {
+  double d = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    d += std::fabs(std::sin((a[i] - b[i]) / 2.0));
+  }
+  return d;
+}
+
+}  // namespace
+
+SyntheticKgStream::SyntheticKgStream(const StreamKgOptions& options)
+    : options_(options) {
+  HALK_CHECK_GT(options_.num_entities, 0);
+  HALK_CHECK_GT(options_.num_relations, 0);
+  HALK_CHECK_GT(options_.num_types, 0);
+  HALK_CHECK_GT(options_.latent_dim, 0);
+  HALK_CHECK_GT(options_.candidate_pool, 0);
+  HALK_CHECK_GT(options_.chunk_triples, 0);
+
+  // The O(types + relations) world tables come from a dedicated Rng, NOT
+  // from per-id hashing: their draw order is fixed, so they are identical
+  // for any num_entities — half of the slice property. (The other half is
+  // per-entity hashing below.)
+  Rng world(options_.seed);
+  type_centers_.resize(static_cast<size_t>(options_.num_types));
+  for (auto& c : type_centers_) {
+    c.resize(static_cast<size_t>(options_.latent_dim));
+    for (double& x : c) x = world.Uniform(0.0, kTwoPi);
+  }
+  rotations_.resize(static_cast<size_t>(options_.num_relations));
+  subject_type_.resize(static_cast<size_t>(options_.num_relations));
+  object_type_.resize(static_cast<size_t>(options_.num_relations));
+  relations_by_subject_type_.resize(static_cast<size_t>(options_.num_types));
+  for (int64_t r = 0; r < options_.num_relations; ++r) {
+    auto& rot = rotations_[static_cast<size_t>(r)];
+    rot.resize(static_cast<size_t>(options_.latent_dim));
+    for (double& x : rot) x = world.Uniform(0.0, kTwoPi);
+    const int st = static_cast<int>(
+        world.UniformInt(static_cast<uint64_t>(options_.num_types)));
+    const int ot = static_cast<int>(
+        world.UniformInt(static_cast<uint64_t>(options_.num_types)));
+    subject_type_[static_cast<size_t>(r)] = st;
+    object_type_[static_cast<size_t>(r)] = ot;
+    relations_by_subject_type_[static_cast<size_t>(st)].push_back(r);
+  }
+}
+
+int SyntheticKgStream::TypeOf(int64_t entity) const {
+  return static_cast<int>(
+      Mix2(options_.seed ^ kTypeSalt, static_cast<uint64_t>(entity)) %
+      static_cast<uint64_t>(options_.num_types));
+}
+
+void SyntheticKgStream::EntityLatent(int64_t entity,
+                                     std::vector<double>* out) const {
+  const auto& center = type_centers_[static_cast<size_t>(TypeOf(entity))];
+  // The perturbation RNG seeds from hash(seed, id) alone: entity e's latent
+  // is the same in a 10^4-entity slice and the 10^7-entity world.
+  Rng rng(Mix2(options_.seed ^ kLatentSalt, static_cast<uint64_t>(entity)));
+  out->resize(static_cast<size_t>(options_.latent_dim));
+  for (int i = 0; i < options_.latent_dim; ++i) {
+    (*out)[static_cast<size_t>(i)] =
+        center[static_cast<size_t>(i)] + rng.Normal() * 0.5;
+  }
+}
+
+const std::vector<double>& SyntheticKgStream::RelationRotation(
+    int64_t relation) const {
+  return rotations_[static_cast<size_t>(relation)];
+}
+
+int SyntheticKgStream::SubjectType(int64_t relation) const {
+  return subject_type_[static_cast<size_t>(relation)];
+}
+
+int SyntheticKgStream::ObjectType(int64_t relation) const {
+  return object_type_[static_cast<size_t>(relation)];
+}
+
+void SyntheticKgStream::EmitHead(int64_t head,
+                                 std::vector<Triple>* out) const {
+  Rng rng(Mix2(options_.seed ^ kHeadSalt, static_cast<uint64_t>(head)));
+  const int head_type = TypeOf(head);
+  const auto& rels =
+      relations_by_subject_type_[static_cast<size_t>(head_type)];
+
+  int64_t k = 1;
+  const double p_more =
+      std::min(0.85, options_.mean_fanout / (1.0 + options_.mean_fanout));
+  while (k < 8 && rng.Bernoulli(p_more)) ++k;
+
+  std::vector<double> head_latent;
+  EntityLatent(head, &head_latent);
+  std::vector<double> rotated(head_latent.size());
+  std::vector<double> cand_latent;
+
+  for (int64_t edge = 0; edge < k; ++edge) {
+    // Relations keep coherent subject signatures: heads emit through
+    // relations typed for them (any relation if the type has none).
+    const int64_t r =
+        rels.empty()
+            ? static_cast<int64_t>(rng.UniformInt(
+                  static_cast<uint64_t>(options_.num_relations)))
+            : rels[rng.UniformInt(rels.size())];
+    for (size_t i = 0; i < rotated.size(); ++i) {
+      rotated[i] = head_latent[i] + rotations_[static_cast<size_t>(r)][i];
+    }
+    int64_t tail = -1;
+    if (rng.Bernoulli(options_.noise_fraction)) {
+      tail = static_cast<int64_t>(
+          rng.UniformInt(static_cast<uint64_t>(options_.num_entities)));
+    } else {
+      // Candidate-sampled nearest neighbour: a uniform pool stands in for
+      // the global kNN of the in-RAM generator (which would need the full
+      // latent table). Candidates of the relation's object type win ties;
+      // a typeless pool degrades to plain nearest-of-pool.
+      double best = 0.0;
+      double best_typed = 0.0;
+      int64_t best_any = -1;
+      int64_t best_of_type = -1;
+      for (int64_t c = 0; c < options_.candidate_pool; ++c) {
+        const int64_t cand = static_cast<int64_t>(
+            rng.UniformInt(static_cast<uint64_t>(options_.num_entities)));
+        if (cand == head) continue;
+        EntityLatent(cand, &cand_latent);
+        const double dist = LatentChord(rotated, cand_latent);
+        if (best_any < 0 || dist < best) {
+          best = dist;
+          best_any = cand;
+        }
+        if (TypeOf(cand) == object_type_[static_cast<size_t>(r)] &&
+            (best_of_type < 0 || dist < best_typed)) {
+          best_typed = dist;
+          best_of_type = cand;
+        }
+      }
+      tail = best_of_type >= 0 ? best_of_type : best_any;
+    }
+    if (tail < 0 || tail == head) continue;
+    // Per-head dedupe (the fan-out is tiny, linear scan is fine).
+    bool dup = false;
+    for (size_t i = out->size(); i > 0; --i) {
+      const Triple& prev = (*out)[i - 1];
+      if (prev.head != head) break;
+      if (prev.relation == r && prev.tail == tail) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) out->push_back({head, r, tail});
+  }
+}
+
+bool SyntheticKgStream::NextChunk(std::vector<Triple>* out) {
+  const size_t start = out->size();
+  const size_t limit = start + static_cast<size_t>(options_.chunk_triples);
+  while (next_head_ < options_.num_entities && out->size() < limit) {
+    EmitHead(next_head_, out);
+    ++next_head_;
+  }
+  return out->size() > start;
+}
+
+Dataset MaterializeStreamDataset(const StreamKgOptions& options,
+                                 double valid_holdout, double test_holdout) {
+  HALK_CHECK_GE(valid_holdout, 0.0);
+  HALK_CHECK_GE(test_holdout, 0.0);
+  HALK_CHECK_LT(valid_holdout + test_holdout, 0.9);
+  SyntheticKgStream stream(options);
+
+  Dataset ds;
+  ds.name = options.name;
+  ds.train.ReserveEntities(options.num_entities);
+  ds.train.ReserveRelations(options.num_relations);
+  ds.valid = KnowledgeGraph::WithSharedVocabulary(ds.train);
+  ds.test = KnowledgeGraph::WithSharedVocabulary(ds.train);
+
+  std::vector<Triple> chunk;
+  while (true) {
+    chunk.clear();
+    if (!stream.NextChunk(&chunk)) break;
+    for (const Triple& t : chunk) {
+      // Deterministic per-triple split hash keeps the nesting property
+      // without a global shuffle: test ⊇ valid ⊇ train.
+      const uint64_t h = Mix2(
+          options.seed ^ kSplitSalt,
+          Mix2(static_cast<uint64_t>(t.head),
+               Mix2(static_cast<uint64_t>(t.relation),
+                    static_cast<uint64_t>(t.tail))));
+      const double u =
+          static_cast<double>(h >> 11) / 9007199254740992.0;  // [0, 1)
+      HALK_CHECK_OK(ds.test.AddTriple(t.head, t.relation, t.tail));
+      if (u >= test_holdout) {
+        HALK_CHECK_OK(ds.valid.AddTriple(t.head, t.relation, t.tail));
+      }
+      if (u >= test_holdout + valid_holdout) {
+        HALK_CHECK_OK(ds.train.AddTriple(t.head, t.relation, t.tail));
+      }
+    }
+  }
+  ds.train.Finalize();
+  ds.valid.Finalize();
+  ds.test.Finalize();
+
+  ds.latent.dim = options.latent_dim;
+  ds.latent.entity.reserve(
+      static_cast<size_t>(options.num_entities * options.latent_dim));
+  std::vector<double> latent;
+  for (int64_t e = 0; e < options.num_entities; ++e) {
+    stream.EntityLatent(e, &latent);
+    ds.latent.entity.insert(ds.latent.entity.end(), latent.begin(),
+                            latent.end());
+  }
+  for (int64_t r = 0; r < options.num_relations; ++r) {
+    const std::vector<double>& rot = stream.RelationRotation(r);
+    ds.latent.relation.insert(ds.latent.relation.end(), rot.begin(),
+                              rot.end());
+  }
+  return ds;
+}
+
+}  // namespace halk::kg

@@ -1,0 +1,95 @@
+#ifndef HALK_KG_SYNTHETIC_STREAM_H_
+#define HALK_KG_SYNTHETIC_STREAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kg/synthetic.h"
+
+namespace halk::kg {
+
+/// Knobs for the streaming synthetic KG generator (SyntheticKgStream).
+/// Unlike SyntheticKgOptions there is no global triple target: each head
+/// entity emits a small local fan-out, so the edge count scales linearly
+/// with num_entities and generation needs O(types + relations + one chunk)
+/// memory — the million-entity regime bench_shard_scaling runs in.
+struct StreamKgOptions {
+  std::string name = "synthetic-stream";
+  int64_t num_entities = 1000000;
+  int64_t num_relations = 64;
+  int num_types = 16;
+  int latent_dim = 4;
+  /// Mean edges per head (geometric fan-out, capped at 8).
+  double mean_fanout = 2.0;
+  /// Tail candidates sampled per edge; the latent-nearest wins. Larger
+  /// pools give cleaner latent structure at more generation cost.
+  int64_t candidate_pool = 32;
+  /// Fraction of edges replaced by uniform noise tails.
+  double noise_fraction = 0.02;
+  /// Max triples returned by one NextChunk call.
+  int64_t chunk_triples = 65536;
+  uint64_t seed = 42;
+};
+
+/// Seeded, resumable triple stream over a synthetic KG that is never
+/// materialized. All per-entity state (type, latent angle vector) derives
+/// from hash(seed, entity), so:
+///   * chunks are deterministic for a fixed seed regardless of chunk size;
+///   * a stream over a *slice* (smaller num_entities, same seed) sees the
+///     identical types/latents for the shared id prefix — benches sample
+///     queries from a materialized slice of the same million-entity world;
+///   * each head's edges are generated atomically from a per-head RNG, so
+///     chunk boundaries never split or reorder a head's fan-out.
+/// The latent angular ground truth of kg/synthetic.h is preserved: entities
+/// cluster around type centers, relations are latent rotations, and tails
+/// are the latent-nearest candidates of the relation's object type.
+class SyntheticKgStream {
+ public:
+  explicit SyntheticKgStream(const StreamKgOptions& options);
+
+  const StreamKgOptions& options() const { return options_; }
+
+  /// Appends the next chunk (whole heads, at most chunk_triples triples;
+  /// a head emitting past the limit finishes its fan-out, so chunks can
+  /// slightly overshoot). Returns false when the stream is exhausted and
+  /// nothing was appended.
+  bool NextChunk(std::vector<Triple>* out);
+
+  /// Rewinds to the first head.
+  void Reset() { next_head_ = 0; }
+  int64_t next_head() const { return next_head_; }
+
+  // -- deterministic per-id world structure (independent of stream pos) --
+  int TypeOf(int64_t entity) const;
+  /// Entity's latent angle vector (latent_dim doubles).
+  void EntityLatent(int64_t entity, std::vector<double>* out) const;
+  const std::vector<double>& RelationRotation(int64_t relation) const;
+  int SubjectType(int64_t relation) const;
+  int ObjectType(int64_t relation) const;
+
+ private:
+  /// Emits one head's full fan-out.
+  void EmitHead(int64_t head, std::vector<Triple>* out) const;
+
+  StreamKgOptions options_;
+  // Materialized O(types + relations) world tables.
+  std::vector<std::vector<double>> type_centers_;
+  std::vector<std::vector<double>> rotations_;
+  std::vector<int> subject_type_;
+  std::vector<int> object_type_;
+  std::vector<std::vector<int64_t>> relations_by_subject_type_;
+  int64_t next_head_ = 0;
+};
+
+/// Materializes a (small) streamed KG into the nested train/valid/test
+/// Dataset shape. The split is a deterministic per-triple hash — unlike
+/// GenerateSyntheticKg there is no global coverage pass, so symbols are not
+/// guaranteed to occur in train; meant for slice-based query sampling and
+/// tests, not full training runs.
+Dataset MaterializeStreamDataset(const StreamKgOptions& options,
+                                 double valid_holdout, double test_holdout);
+
+}  // namespace halk::kg
+
+#endif  // HALK_KG_SYNTHETIC_STREAM_H_

@@ -84,6 +84,7 @@ QueryServer::QueryServer(core::QueryModel* model,
     shard::ShardOptions shard_options;
     shard_options.num_shards = options_.num_shards;
     shard_options.replication = options_.shard_replication;
+    shard_options.pin_threads = options_.shard_pin_threads;
     coordinator_ = std::make_unique<shard::ShardCoordinator>(
         model, shard_options, options_.shard_faults, &metrics_);
   }

@@ -47,6 +47,8 @@ struct ServerOptions {
   int num_shards = 0;
   /// Replicas per shard when sharding is on (availability, not speed).
   int shard_replication = 1;
+  /// Pin shard worker threads to CPUs (ShardOptions::pin_threads).
+  bool shard_pin_threads = false;
   /// Test hook: injects replica faults into the sharded ranking path.
   /// Must outlive the server; ignored when num_shards is 0.
   shard::ShardFaultInjector* shard_faults = nullptr;

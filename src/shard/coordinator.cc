@@ -1,6 +1,7 @@
 #include "shard/coordinator.h"
 
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "common/logging.h"
@@ -67,9 +68,17 @@ ShardCoordinator::ShardCoordinator(core::QueryModel* model,
             replica_labels);
         health = metrics_->GetGauge("shard.replica_health", replica_labels);
       }
+      int pin_cpu = -1;
+      if (options_.pin_threads) {
+        const unsigned cores = std::thread::hardware_concurrency();
+        if (cores > 0) {
+          pin_cpu = static_cast<int>(
+              static_cast<unsigned>(s * options_.replication + r) % cores);
+        }
+      }
       workers_.push_back(std::make_unique<ShardWorker>(
           model, range, s, r, faults, options_.queue_capacity,
-          options_.down_after_failures, scan_us, health));
+          options_.down_after_failures, scan_us, health, pin_cpu));
     }
   }
   HALK_CHECK_EQ(next, num_entities_);

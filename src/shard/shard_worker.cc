@@ -1,5 +1,10 @@
 #include "shard/shard_worker.h"
 
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include <algorithm>
 
 #include "common/logging.h"
@@ -23,7 +28,7 @@ ShardWorker::ShardWorker(const core::QueryModel* model, EntityRange range,
                          ShardFaultInjector* faults, size_t queue_capacity,
                          int down_after_failures,
                          serving::Histogram* scan_us,
-                         serving::Gauge* health_gauge)
+                         serving::Gauge* health_gauge, int pin_cpu)
     : model_(model),
       range_(range),
       shard_index_(shard_index),
@@ -32,6 +37,7 @@ ShardWorker::ShardWorker(const core::QueryModel* model, EntityRange range,
       faults_(faults),
       scan_us_(scan_us),
       health_gauge_(health_gauge),
+      pin_cpu_(pin_cpu),
       queue_(queue_capacity) {
   HALK_CHECK(model != nullptr);
   HALK_CHECK_GE(range.begin, 0);
@@ -75,6 +81,16 @@ void ShardWorker::MarkSuccess() {
 }
 
 void ShardWorker::Loop() {
+#ifdef __linux__
+  if (pin_cpu_ >= 0) {
+    // Best effort: a failed setaffinity (restricted cpuset, CPU offline)
+    // just leaves the thread floating.
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(static_cast<unsigned>(pin_cpu_), &set);
+    (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+  }
+#endif
   std::vector<std::unique_ptr<ShardTask>> batch;
   while (queue_.PopBatch(&batch, 1, std::chrono::microseconds::zero())) {
     Serve(batch[0].get());
@@ -131,6 +147,13 @@ void ShardWorker::Serve(ShardTask* task) {
                       ? 0.0
                       : static_cast<double>(stats.entities_pruned) /
                             static_cast<double>(stats.entities_scanned));
+    if (stats.column_blocks_scanned + stats.column_blocks_skipped > 0) {
+      // Store-backed scans only: pages read vs never faulted in.
+      scan.Annotate("column_blocks_scanned",
+                    static_cast<double>(stats.column_blocks_scanned));
+      scan.Annotate("column_blocks_skipped",
+                    static_cast<double>(stats.column_blocks_skipped));
+    }
   }
   scan.End();
   task->result.set_value(acc.Take());

@@ -67,12 +67,14 @@ class ShardWorker {
   /// `model`, `faults` (optional), and the instruments (optional) must
   /// outlive the worker. `scan_us` receives per-task scan latency;
   /// `health_gauge` mirrors the replica's ReplicaHealth as its numeric
-  /// value (0 healthy, 1 suspect, 2 down).
+  /// value (0 healthy, 1 suspect, 2 down). `pin_cpu` >= 0 pins the worker
+  /// thread to that CPU (best effort, Linux only) so scans keep their cache
+  /// and NUMA locality instead of migrating between cores.
   ShardWorker(const core::QueryModel* model, EntityRange range,
               int shard_index, int replica_index, ShardFaultInjector* faults,
               size_t queue_capacity, int down_after_failures,
               serving::Histogram* scan_us = nullptr,
-              serving::Gauge* health_gauge = nullptr);
+              serving::Gauge* health_gauge = nullptr, int pin_cpu = -1);
   ~ShardWorker();
 
   ShardWorker(const ShardWorker&) = delete;
@@ -117,6 +119,7 @@ class ShardWorker {
   ShardFaultInjector* faults_;            // may be null
   serving::Histogram* scan_us_;           // may be null
   serving::Gauge* health_gauge_;          // may be null
+  const int pin_cpu_;                     // -1 = unpinned
 
   serving::BoundedQueue<std::unique_ptr<ShardTask>> queue_;
   std::atomic<int> health_{static_cast<int>(ReplicaHealth::kHealthy)};

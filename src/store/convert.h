@@ -1,0 +1,59 @@
+#ifndef HALK_STORE_CONVERT_H_
+#define HALK_STORE_CONVERT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/halk_model.h"
+#include "kg/groups.h"
+#include "store/store.h"
+
+namespace halk::store {
+
+/// A fully materialized legacy `--checkpoint` blob (HALKCKPT v1,
+/// core/checkpoint.cc): model name, config, and every parameter tensor as
+/// flat floats in HalkModel::Parameters() order (index 0 is the entity
+/// table).
+struct LegacyCheckpoint {
+  std::string model_name;
+  core::ModelConfig config;
+  std::vector<std::vector<float>> tensors;
+};
+
+/// Reads a legacy checkpoint blob without needing a model instance (unlike
+/// core::LoadCheckpoint, which loads into an existing model). Verifies the
+/// trailing checksum.
+[[nodiscard]] Status ReadLegacyCheckpoint(const std::string& path,
+                                          LegacyCheckpoint* out);
+
+/// Writes a legacy checkpoint blob byte-identically to core::SaveCheckpoint
+/// of a model holding the same tensors — the compatibility guarantee the
+/// blob -> snapshot -> blob round-trip test pins down.
+[[nodiscard]] Status WriteLegacyCheckpoint(const std::string& path,
+                                           const LegacyCheckpoint& ckpt);
+
+/// Legacy blob -> store snapshot: entity table (tensor 0) streams into
+/// `num_shards` shard files, the rest becomes the params blob.
+[[nodiscard]] Status ConvertCheckpointToSnapshot(const std::string& blob_path,
+                                                 const std::string& dir,
+                                                 int64_t num_shards);
+
+/// Store snapshot -> legacy blob (requires the snapshot to carry params).
+/// Materializes the entity table in RAM — meant for legacy-scale models,
+/// not the streamed million-entity stores.
+[[nodiscard]] Status ConvertSnapshotToCheckpoint(const std::string& dir,
+                                                 const std::string& blob_path);
+
+/// Builds a serving HalkModel backed by an open store: the entity table
+/// stays in the store's mappings (never copied into RAM) and the non-entity
+/// operator parameters load from the snapshot's params blob. Requires
+/// model_name "HaLk" and has_params. The store must outlive the model.
+[[nodiscard]] Result<std::unique_ptr<core::HalkModel>> OpenServingModel(
+    const EmbeddingStore& store, const kg::NodeGrouping* grouping);
+
+}  // namespace halk::store
+
+#endif  // HALK_STORE_CONVERT_H_

@@ -1,0 +1,451 @@
+#include "store/shard_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace halk::store {
+
+namespace {
+
+Status WriteAllAt(int fd, const void* data, size_t n, uint64_t offset,
+                  const std::string& path) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t w = ::pwrite(fd, p + done, n - done,
+                               static_cast<off_t>(offset + done));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(StrFormat("pwrite %s failed: %s", path.c_str(),
+                                       std::strerror(errno)));
+    }
+    done += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+ShardFileWriter::ShardFileWriter(std::string path, uint32_t dim,
+                                 int64_t entity_begin, int64_t entity_end,
+                                 uint32_t rows_per_group)
+    : path_(std::move(path)), tmp_path_(path_ + ".tmp") {
+  HALK_CHECK_GT(dim, 0u);
+  HALK_CHECK_GT(rows_per_group, 0u);
+  HALK_CHECK_GE(entity_begin, 0);
+  HALK_CHECK_GT(entity_end, entity_begin);
+  header_.dim = dim;
+  header_.rows_per_group = rows_per_group;
+  header_.entity_begin = entity_begin;
+  header_.entity_end = entity_end;
+  header_.num_groups =
+      (static_cast<uint64_t>(header_.rows()) + rows_per_group - 1) /
+      rows_per_group;
+  header_.checksum_table_offset = kPageBytes;
+  const uint64_t table_bytes =
+      header_.num_groups * header_.dim * sizeof(uint64_t);
+  header_.data_offset = AlignUp(kPageBytes + table_bytes, kPageBytes);
+  header_.data_bytes = TotalDataBytes(header_);
+  group_rows_.resize(static_cast<size_t>(rows_per_group) * dim);
+  block_checksums_.reserve(
+      static_cast<size_t>(header_.num_groups * header_.dim));
+
+  const int fd = ::open(tmp_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                        0644);
+  if (fd < 0) {
+    deferred_error_ = Status::IOError(StrFormat(
+        "cannot create %s: %s", tmp_path_.c_str(), std::strerror(errno)));
+  }
+  fd_ = fd;
+}
+
+ShardFileWriter::~ShardFileWriter() {
+  if (fd_ >= 0) ::close(static_cast<int>(fd_));
+  // An unfinished writer leaves nothing behind: the temp file is removed
+  // and the final path was never created.
+  if (!finished_) ::unlink(tmp_path_.c_str());
+}
+
+Status ShardFileWriter::Append(const float* rows, int64_t n) {
+  HALK_RETURN_NOT_OK(deferred_error_);
+  if (finished_) return Status::InvalidArgument("Append after Finish");
+  if (appended_rows_ + n > header_.rows()) {
+    return Status::InvalidArgument(StrFormat(
+        "shard %s overflow: %lld rows appended into a range of %lld",
+        path_.c_str(), static_cast<long long>(appended_rows_ + n),
+        static_cast<long long>(header_.rows())));
+  }
+  const int64_t d = header_.dim;
+  int64_t consumed = 0;
+  while (consumed < n) {
+    const int64_t room =
+        static_cast<int64_t>(header_.rows_per_group) - buffered_rows_;
+    const int64_t take = std::min(room, n - consumed);
+    std::memcpy(group_rows_.data() + buffered_rows_ * d,
+                rows + consumed * d,
+                static_cast<size_t>(take * d) * sizeof(float));
+    buffered_rows_ += take;
+    consumed += take;
+    appended_rows_ += take;
+    if (buffered_rows_ == static_cast<int64_t>(header_.rows_per_group)) {
+      HALK_RETURN_NOT_OK(FlushGroup());
+    }
+  }
+  return Status::OK();
+}
+
+Status ShardFileWriter::FlushGroup() {
+  const int64_t d = header_.dim;
+  const int64_t rows = buffered_rows_;
+  const uint64_t block_bytes = GroupBlockBytes(header_, groups_flushed_);
+  HALK_CHECK_EQ(rows, GroupRowCount(header_, groups_flushed_));
+  column_block_.assign(block_bytes / sizeof(float), 0.0f);
+  for (int64_t j = 0; j < d; ++j) {
+    // Transpose: dimension j of every buffered row, padding already zeroed.
+    for (int64_t r = 0; r < rows; ++r) {
+      column_block_[static_cast<size_t>(r)] =
+          group_rows_[static_cast<size_t>(r * d + j)];
+    }
+    block_checksums_.push_back(
+        Fnv1a64(column_block_.data(), block_bytes));
+    HALK_RETURN_NOT_OK(WriteAllAt(static_cast<int>(fd_),
+                                  column_block_.data(), block_bytes,
+                                  BlockOffset(header_, groups_flushed_, j),
+                                  tmp_path_));
+  }
+  ++groups_flushed_;
+  buffered_rows_ = 0;
+  return Status::OK();
+}
+
+Status ShardFileWriter::Finish() {
+  HALK_RETURN_NOT_OK(deferred_error_);
+  if (finished_) return Status::InvalidArgument("Finish called twice");
+  if (appended_rows_ != header_.rows()) {
+    return Status::InvalidArgument(StrFormat(
+        "shard %s incomplete: %lld of %lld rows appended", path_.c_str(),
+        static_cast<long long>(appended_rows_),
+        static_cast<long long>(header_.rows())));
+  }
+  if (buffered_rows_ > 0) HALK_RETURN_NOT_OK(FlushGroup());
+  HALK_CHECK_EQ(groups_flushed_, static_cast<int64_t>(header_.num_groups));
+
+  const uint64_t table_bytes = block_checksums_.size() * sizeof(uint64_t);
+  header_.table_checksum = Fnv1a64(block_checksums_.data(), table_bytes);
+  HALK_RETURN_NOT_OK(WriteAllAt(static_cast<int>(fd_),
+                                block_checksums_.data(), table_bytes,
+                                header_.checksum_table_offset, tmp_path_));
+
+  std::vector<uint8_t> header_page(kPageBytes);
+  SerializeHeader(header_, header_page.data());
+  header_.header_checksum = Fnv1a64(header_page.data(), kHeaderBytes - 8);
+  HALK_RETURN_NOT_OK(WriteAllAt(static_cast<int>(fd_), header_page.data(),
+                                kPageBytes, 0, tmp_path_));
+
+  // Durability before visibility: data reaches the disk before the rename
+  // publishes the file under its final name.
+  if (::fsync(static_cast<int>(fd_)) != 0) {
+    return Status::IOError(StrFormat("fsync %s failed: %s",
+                                     tmp_path_.c_str(),
+                                     std::strerror(errno)));
+  }
+  ::close(static_cast<int>(fd_));
+  fd_ = -1;
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    return Status::IOError(StrFormat("rename %s -> %s failed: %s",
+                                     tmp_path_.c_str(), path_.c_str(),
+                                     std::strerror(errno)));
+  }
+  finished_ = true;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<MappedShardFile>> MappedShardFile::Open(
+    const std::string& path, const OpenOptions& options) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError(StrFormat("cannot open %s: %s", path.c_str(),
+                                     std::strerror(errno)));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError(StrFormat("fstat %s failed", path.c_str()));
+  }
+  const uint64_t file_bytes = static_cast<uint64_t>(st.st_size);
+  if (file_bytes < kPageBytes) {
+    ::close(fd);
+    return Status::ParseError(StrFormat(
+        "%s truncated: %llu bytes is smaller than one header page",
+        path.c_str(), static_cast<unsigned long long>(file_bytes)));
+  }
+  void* map = ::mmap(nullptr, file_bytes, PROT_READ, MAP_SHARED, fd, 0);
+  // The mapping keeps its own reference to the file; the descriptor is no
+  // longer needed either way.
+  ::close(fd);
+  if (map == MAP_FAILED) {
+    return Status::IOError(StrFormat("mmap %s failed: %s", path.c_str(),
+                                     std::strerror(errno)));
+  }
+  auto file = std::unique_ptr<MappedShardFile>(
+      new MappedShardFile());  // halk_lint:allow no-raw-new-delete private ctor
+  file->path_ = path;
+  file->map_ = static_cast<const uint8_t*>(map);
+  file->map_len_ = file_bytes;
+
+  Status parsed =
+      ParseHeader(file->map_, file->map_len_, &file->header_);
+  if (!parsed.ok()) {
+    return Status(parsed.code(), path + ": " + parsed.message());
+  }
+  const ShardFileHeader& h = file->header_;
+  if (file_bytes != h.data_offset + h.data_bytes) {
+    return Status::ParseError(StrFormat(
+        "%s size mismatch: %llu bytes on disk, header describes %llu",
+        path.c_str(), static_cast<unsigned long long>(file_bytes),
+        static_cast<unsigned long long>(h.data_offset + h.data_bytes)));
+  }
+  const uint64_t table_bytes = h.num_groups * h.dim * sizeof(uint64_t);
+  if (Fnv1a64(file->map_ + h.checksum_table_offset, table_bytes) !=
+      h.table_checksum) {
+    return Status::ParseError(path + ": checksum table corrupt");
+  }
+
+  int advice = MADV_NORMAL;
+  if (options.advice == Advice::kSequential) advice = MADV_SEQUENTIAL;
+  if (options.advice == Advice::kRandom) advice = MADV_RANDOM;
+  // Advisory only: a kernel that rejects the hint still serves the mapping.
+  (void)::madvise(const_cast<uint8_t*>(file->map_), file->map_len_, advice);
+  file->residency_window_bytes_ = options.residency_window_bytes;
+
+  if (options.verify_checksums) {
+    HALK_RETURN_NOT_OK(file->VerifyChecksums());
+  }
+  if (options.residency_window_bytes > 0) {
+    // Bounded-residency serving starts cold: pages faulted while mapping
+    // or validating (or left behind by the writer that just produced the
+    // file) are dropped so the ceiling holds from the first scan on.
+    // Dropping here, per file, also keeps the transient footprint of
+    // opening a many-file store at one file rather than the whole table.
+    file->DropResidency();
+  }
+  return file;
+}
+
+MappedShardFile::~MappedShardFile() {
+  if (map_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(map_), map_len_);
+  }
+}
+
+const float* MappedShardFile::ColumnBlock(int64_t group,
+                                          int64_t dim_index) const {
+  return reinterpret_cast<const float*>(
+      map_ + BlockOffset(header_, group, dim_index));
+}
+
+void MappedShardFile::CopyRow(int64_t entity, float* out) const {
+  HALK_CHECK_GE(entity, header_.entity_begin);
+  HALK_CHECK_LT(entity, header_.entity_end);
+  const int64_t local = entity - header_.entity_begin;
+  const int64_t group = local / header_.rows_per_group;
+  const int64_t row = local % header_.rows_per_group;
+  const int64_t d = header_.dim;
+  for (int64_t j = 0; j < d; ++j) {
+    out[j] = ColumnBlock(group, j)[row];
+  }
+}
+
+Status MappedShardFile::VerifyChecksums() const {
+  const uint64_t* table = reinterpret_cast<const uint64_t*>(
+      map_ + header_.checksum_table_offset);
+  for (int64_t g = 0; g < static_cast<int64_t>(header_.num_groups); ++g) {
+    const uint64_t block_bytes = GroupBlockBytes(header_, g);
+    for (int64_t j = 0; j < static_cast<int64_t>(header_.dim); ++j) {
+      const uint64_t expected = table[g * header_.dim + j];
+      if (Fnv1a64(ColumnBlock(g, j), block_bytes) != expected) {
+        return Status::ParseError(StrFormat(
+            "%s: checksum mismatch in column block (group %lld, dim %lld)",
+            path_.c_str(), static_cast<long long>(g),
+            static_cast<long long>(j)));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void MappedShardFile::Scan(const std::vector<core::ArcConstants>& arcs,
+                           int64_t begin, int64_t end,
+                           core::TopKAccumulator* acc,
+                           core::ScanStats* stats) const {
+  const int64_t lo = std::max(begin, header_.entity_begin);
+  const int64_t hi = std::min(end, header_.entity_end);
+  if (lo >= hi || arcs.empty()) return;
+  const int64_t d = header_.dim;
+  const int64_t G = header_.rows_per_group;
+  const size_t nb = arcs.size();
+
+  // Per-(entity, arc) running outside/inside sums and alive flags for one
+  // group, arc-major so the inner loop walks contiguous memory. The scan is
+  // exact (docs/storage.md): each partial d_o + eta*d_i is a lower bound of
+  // the final distance, so pruning a pair against the group-start admission
+  // bound is conservative; a pair that survives every dimension carries the
+  // bit-identical ArcPointDistance value (same per-dimension expressions,
+  // same dimension order), and a pushed minimum can never be beaten by a
+  // pruned arc of the same entity (its exact distance exceeds the bound).
+  std::vector<float> sum_o(static_cast<size_t>(G) * nb);
+  std::vector<float> sum_i(static_cast<size_t>(G) * nb);
+  std::vector<uint8_t> alive(static_cast<size_t>(G) * nb);
+
+  const int64_t first_group = (lo - header_.entity_begin) / G;
+  const int64_t last_group = (hi - 1 - header_.entity_begin) / G;
+  // Bounded-residency mode (OpenOptions::residency_window_bytes): the scan
+  // walks groups in file order, so each completed span of groups can be
+  // dropped from the mapping as soon as it exceeds the window — the scan's
+  // resident footprint stays near the window size instead of growing to
+  // the table. Concurrent scans over the same file refault dropped pages;
+  // results are unaffected either way.
+  const uint64_t window = residency_window_bytes_;
+  int64_t drop_from = first_group;
+  uint64_t drop_span_bytes = 0;
+  for (int64_t g = first_group; g <= last_group; ++g) {
+    const int64_t group_first = header_.entity_begin + g * G;
+    const int64_t span_lo = std::max(lo, group_first);
+    const int64_t span_hi = std::min(hi, group_first + GroupRows(g));
+    const int64_t count = span_hi - span_lo;
+    const int64_t r0 = span_lo - group_first;
+    // The admission bound is frozen per group: it only tightens through
+    // this scan's own pushes, which happen after the group completes, so
+    // pruning against the group-start value stays conservative.
+    const float bound = acc->bound();
+
+    std::fill(sum_o.begin(), sum_o.begin() + count * nb, 0.0f);
+    std::fill(sum_i.begin(), sum_i.begin() + count * nb, 0.0f);
+    std::fill(alive.begin(), alive.begin() + count * nb, uint8_t{1});
+    int64_t alive_pairs = count * static_cast<int64_t>(nb);
+
+    int64_t dims_read = 0;
+    for (int64_t j = 0; j < d && alive_pairs > 0; ++j) {
+      ++dims_read;
+      const float* col = ColumnBlock(g, j) + r0;
+      for (size_t b = 0; b < nb; ++b) {
+        const core::ArcConstants& arc = arcs[b];
+        const float rho = arc.rho;
+        const float eta = arc.eta;
+        const float center = arc.center[static_cast<size_t>(j)];
+        const float half_width = arc.half_width[static_cast<size_t>(j)];
+        const float a_s = arc.a_s[static_cast<size_t>(j)];
+        const float a_e = arc.a_e[static_cast<size_t>(j)];
+        float* o = sum_o.data() + b * static_cast<size_t>(count);
+        float* in = sum_i.data() + b * static_cast<size_t>(count);
+        uint8_t* live = alive.data() + b * static_cast<size_t>(count);
+        for (int64_t i = 0; i < count; ++i) {
+          if (!live[i]) continue;
+          // Same float expressions and accumulation order as
+          // ArcPointDistanceBounded (core/distance.cc) — the bit-identity
+          // contract of the store-backed scan.
+          const float theta = col[i];
+          const float to_center =
+              2.0f * rho * std::fabs(std::sin((theta - center) / 2.0f));
+          if (to_center > half_width) {
+            const float to_start =
+                2.0f * rho * std::fabs(std::sin((theta - a_s) / 2.0f));
+            const float to_end =
+                2.0f * rho * std::fabs(std::sin((theta - a_e) / 2.0f));
+            o[i] += std::min(to_start, to_end);
+            in[i] += half_width;
+          } else {
+            in[i] += to_center;
+          }
+          const float partial = o[i] + eta * in[i];
+          if (partial > bound) {
+            live[i] = 0;
+            --alive_pairs;
+          }
+        }
+      }
+    }
+    if (stats != nullptr) {
+      stats->column_blocks_scanned += dims_read;
+      stats->column_blocks_skipped += d - dims_read;
+    }
+
+    for (int64_t i = 0; i < count; ++i) {
+      float dmin = std::numeric_limits<float>::infinity();
+      bool any_alive = false;
+      for (size_t b = 0; b < nb; ++b) {
+        const size_t idx = b * static_cast<size_t>(count) +
+                           static_cast<size_t>(i);
+        if (!alive[idx]) continue;
+        any_alive = true;
+        const float full =
+            sum_o[idx] + arcs[b].eta * sum_i[idx];
+        dmin = std::min(dmin, full);
+      }
+      // dmin <= bound implies every pruned arc of this entity has a larger
+      // exact distance, so dmin is the exact minimum over all arcs.
+      if (any_alive && dmin <= bound) {
+        acc->Push(span_lo + i, dmin);
+      } else if (stats != nullptr) {
+        ++stats->entities_pruned;
+      }
+    }
+
+    if (window > 0) {
+      drop_span_bytes += header_.dim * GroupBlockBytes(header_, g);
+      if (drop_span_bytes >= window || g == last_group) {
+        const uint64_t off = BlockOffset(header_, drop_from, 0);
+        DropRange(off, BlockOffset(header_, g, 0) +
+                           header_.dim * GroupBlockBytes(header_, g) - off);
+        drop_from = g + 1;
+        drop_span_bytes = 0;
+      }
+    }
+  }
+  if (stats != nullptr) stats->entities_scanned += hi - lo;
+}
+
+void MappedShardFile::DropRange(uint64_t offset, uint64_t bytes) const {
+  (void)::madvise(const_cast<uint8_t*>(map_) + offset, bytes, MADV_DONTNEED);
+}
+
+size_t MappedShardFile::ResidentBytes() const {
+  const size_t pages = (map_len_ + kPageBytes - 1) / kPageBytes;
+  std::vector<unsigned char> resident(pages);
+  if (::mincore(const_cast<uint8_t*>(map_), map_len_, resident.data()) != 0) {
+    return 0;
+  }
+  size_t n = 0;
+  for (unsigned char r : resident) {
+    if (r & 1u) ++n;
+  }
+  return n * kPageBytes;
+}
+
+void MappedShardFile::DropResidency() const {
+  // MADV_DONTNEED only drops this mapping's PTEs; the pages of a file-backed
+  // mapping also live in the page cache, where mincore (ResidentBytes)
+  // still finds them — e.g. right after the snapshot writer produced the
+  // file. Evict those too so a post-drop residency measurement reflects
+  // what subsequent scans actually touch. Both calls are best-effort.
+  (void)::madvise(const_cast<uint8_t*>(map_), map_len_, MADV_DONTNEED);
+  const int fd = ::open(path_.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    (void)::posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED);
+    ::close(fd);
+  }
+}
+
+}  // namespace halk::store

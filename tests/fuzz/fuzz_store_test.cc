@@ -1,0 +1,129 @@
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fuzz/fuzz_harness.h"
+#include "store/format.h"
+#include "store/snapshot.h"
+
+namespace halk::store {
+namespace {
+
+/// Adversarial-input suite for the two store parsing surfaces: the text
+/// manifest and the binary shard-file header. Both are documented as safe
+/// on arbitrary bytes (clean Status, no crash, no OOB) — the property the
+/// sanitizer CI jobs check here.
+
+StoreSnapshot SampleSnapshot(int64_t num_entities, int shards,
+                             bool with_params) {
+  StoreSnapshot snap;
+  snap.model_name = "HaLk";
+  snap.config.num_entities = num_entities;
+  snap.config.num_relations = 11;
+  snap.config.dim = 16;
+  snap.config.hidden = 32;
+  snap.config.seed = 77;
+  snap.has_params = with_params;
+  snap.params_checksum = with_params ? 0xabcdef0123456789ULL : 0;
+  const int64_t per = num_entities / shards;
+  for (int i = 0; i < shards; ++i) {
+    SnapshotShardEntry entry;
+    entry.file = "entities-" + std::to_string(i) + ".halkstore";
+    entry.entity_begin = i * per;
+    entry.entity_end = (i == shards - 1) ? num_entities : (i + 1) * per;
+    entry.header_checksum = 0x1000 + static_cast<uint64_t>(i);
+    snap.shards.push_back(entry);
+  }
+  return snap;
+}
+
+TEST(FuzzStoreTest, ManifestParserNeverCrashesAndAcceptsOnlyRoundTrips) {
+  const std::vector<std::string> corpus = {
+      SerializeManifest(SampleSnapshot(100, 1, false)),
+      SerializeManifest(SampleSnapshot(1000, 4, true)),
+      SerializeManifest(SampleSnapshot(7, 7, true)),
+  };
+  const std::vector<std::string> tokens = {
+      "halk-store-snapshot", "model", "num_entities", "num_relations",
+      "dim", "hidden", "rho", "lambda", "eta", "gamma", "xi", "seed",
+      "params", "params.halkblob", "shard", "checksum", "0x",
+      ".halkstore", "HaLk", "\n", " 0 ", "-1", "18446744073709551615",
+      "1e9999", "nan", "inf", "../", "/",
+  };
+  fuzz::RunCorpus(
+      corpus, tokens, /*seed=*/20260809, /*iterations=*/3000,
+      [](const std::string& input, const std::string& tag) {
+        StoreSnapshot parsed;
+        const Status status = ParseManifest(input, &parsed);
+        if (!status.ok()) return;
+        // Anything the strict parser accepts must serialize back to the
+        // exact input — the manifest grammar has one canonical rendering.
+        EXPECT_EQ(SerializeManifest(parsed), input) << tag;
+        // And the accepted snapshot satisfies the parser's own contract.
+        ASSERT_FALSE(parsed.shards.empty()) << tag;
+        int64_t next = 0;
+        for (const SnapshotShardEntry& entry : parsed.shards) {
+          EXPECT_EQ(entry.entity_begin, next) << tag;
+          EXPECT_LT(entry.entity_begin, entry.entity_end) << tag;
+          next = entry.entity_end;
+        }
+        EXPECT_EQ(next, parsed.config.num_entities) << tag;
+      });
+}
+
+TEST(FuzzStoreTest, HeaderParserNeverCrashesAndAcceptsOnlyValidGeometry) {
+  // Corpus: serialized valid headers of varied geometry (partial tail
+  // groups, single group, begin offsets) as raw byte strings.
+  std::vector<std::string> corpus;
+  for (const auto& [dim, rows_per_group, begin, end] :
+       std::vector<std::tuple<uint32_t, uint32_t, int64_t, int64_t>>{
+           {8, 64, 0, 1000}, {4, 16, 100, 116}, {32, 4096, 0, 1}}) {
+    ShardFileHeader h;
+    h.dim = dim;
+    h.rows_per_group = rows_per_group;
+    h.entity_begin = begin;
+    h.entity_end = end;
+    h.num_groups = static_cast<uint64_t>(
+        (h.rows() + rows_per_group - 1) / rows_per_group);
+    h.checksum_table_offset = kPageBytes;
+    h.data_offset = AlignUp(
+        kPageBytes + h.num_groups * dim * sizeof(uint64_t), kPageBytes);
+    h.data_bytes = TotalDataBytes(h);
+    std::string page(kPageBytes, '\0');
+    SerializeHeader(h, reinterpret_cast<uint8_t*>(page.data()));
+    corpus.push_back(page);
+  }
+  // Every corpus entry must parse before mutation.
+  for (const std::string& page : corpus) {
+    ShardFileHeader out;
+    ASSERT_TRUE(ParseHeader(reinterpret_cast<const uint8_t*>(page.data()),
+                            page.size(), &out)
+                    .ok());
+  }
+  const std::vector<std::string> tokens = {
+      std::string("HALKSHRD"), std::string(8, '\xff'), std::string(8, '\0')};
+  fuzz::RunCorpus(
+      corpus, tokens, /*seed=*/977, /*iterations=*/3000,
+      [](const std::string& input, const std::string& tag) {
+        ShardFileHeader out;
+        const Status status = ParseHeader(
+            reinterpret_cast<const uint8_t*>(input.data()), input.size(),
+            &out);
+        if (!status.ok()) return;
+        // Accepted headers carry self-consistent, bounded geometry: every
+        // derived quantity the reader trusts re-derives without overflow.
+        EXPECT_GT(out.dim, 0u) << tag;
+        EXPECT_LT(out.entity_begin, out.entity_end) << tag;
+        EXPECT_EQ(out.data_bytes, TotalDataBytes(out)) << tag;
+        int64_t rows = 0;
+        for (uint64_t g = 0; g < out.num_groups; ++g) {
+          rows += GroupRowCount(out, static_cast<int64_t>(g));
+        }
+        EXPECT_EQ(rows, out.rows()) << tag;
+      });
+}
+
+}  // namespace
+}  // namespace halk::store

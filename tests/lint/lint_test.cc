@@ -450,5 +450,58 @@ TEST(SeededMutantTest, ProfileScopeVariableNameIsCaught) {
                       "profile-scope-literal", 2));
 }
 
+// ---------------------------------------------------------------------------
+// store-fixed-width-int
+// ---------------------------------------------------------------------------
+
+TEST(StoreFixedWidthIntTest, BareIntInStoreHeaderFires) {
+  const std::string text =
+      "struct ShardFileHeader {\n"
+      "  unsigned version;\n"
+      "  long entity_begin;\n"
+      "  int dim;\n"
+      "};\n";
+  const std::vector<Diagnostic> diags = Lint("src/store/format.h", text);
+  EXPECT_TRUE(HasRule(diags, "store-fixed-width-int", 2));
+  EXPECT_TRUE(HasRule(diags, "store-fixed-width-int", 3));
+  EXPECT_TRUE(HasRule(diags, "store-fixed-width-int", 4));
+}
+
+TEST(StoreFixedWidthIntTest, FixedWidthTypesAndSizeTPass) {
+  const std::string text =
+      "struct ShardFileHeader {\n"
+      "  uint32_t version;\n"
+      "  int64_t entity_begin;\n"
+      "  uint64_t data_bytes;\n"
+      "  size_t mapped_bytes;\n"
+      "};\n";
+  EXPECT_FALSE(
+      HasRule(Lint("src/store/format.h", text), "store-fixed-width-int"));
+}
+
+TEST(StoreFixedWidthIntTest, ScopedToStoreHeadersOnly) {
+  const std::string text = "int Count();\n";
+  // Other subsystems' headers and store .cc files are out of scope.
+  EXPECT_FALSE(
+      HasRule(Lint("src/core/topk.h", text), "store-fixed-width-int"));
+  EXPECT_FALSE(
+      HasRule(Lint("src/store/store.cc", text), "store-fixed-width-int"));
+  EXPECT_TRUE(
+      HasRule(Lint("src/store/store.h", text), "store-fixed-width-int", 1));
+}
+
+TEST(StoreFixedWidthIntTest, CommentsAndInlineAllowAreExempt) {
+  const std::string comment_only =
+      "// the int widths here are prose, not code\n"
+      "uint32_t dim;\n";
+  EXPECT_FALSE(HasRule(Lint("src/store/format.h", comment_only),
+                       "store-fixed-width-int"));
+  const std::string allowed =
+      "int fd;  // halk_lint:allow store-fixed-width-int host descriptor\n";
+  EXPECT_FALSE(
+      HasRule(Lint("src/store/shard_file.h", allowed),
+              "store-fixed-width-int"));
+}
+
 }  // namespace
 }  // namespace halk::lint

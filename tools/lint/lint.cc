@@ -38,6 +38,11 @@ bool IsTensorArenaPath(const std::string& path) {
          path.rfind("tensor/", 0) == 0;
 }
 
+bool IsStorePath(const std::string& path) {
+  return path.find("/store/") != std::string::npos ||
+         path.rfind("store/", 0) == 0;
+}
+
 /// True when the original line carries `halk_lint:allow <rule>`.
 bool InlineAllowed(const std::string& original_line, const std::string& rule) {
   const std::string needle = "halk_lint:allow " + rule;
@@ -349,6 +354,26 @@ FileResult LintFileContent(const std::string& path, const std::string& text,
         "profile-scope-literal",
         "HALK_PROFILE_SCOPE argument must be a string literal; dynamic "
         "region names grow the profiler arena without bound");
+  }
+
+  // --- store-fixed-width-int ----------------------------------------------
+  // The store's on-disk layout (store/format.h) is defined by the exact
+  // byte width of every integer field, and its public API traffics in the
+  // same quantities. Bare `int` / `long` / `short` / `unsigned` / `signed`
+  // in a store header would make a format- or API-visible width depend on
+  // the ABI; require the <cstdint> fixed-width types (or size_t for
+  // in-memory byte counts).
+  static const std::regex kBareIntRe(
+      R"(\b(?:unsigned|signed|short)\b|\blong\b|\bint\b)");
+  if (is_header && IsStorePath(path)) {
+    for (size_t i = 0; i < lines.size(); ++i) {
+      if (!std::regex_search(lines[i], kBareIntRe)) continue;
+      if (InlineAllowed(original[i], "store-fixed-width-int")) continue;
+      Add(&result.diagnostics, path, static_cast<int>(i + 1),
+          "store-fixed-width-int",
+          "bare integer type in a store header; the on-disk format and "
+          "store API are width-exact — use a <cstdint> fixed-width type");
+    }
   }
 
   // --- nodiscard-status ---------------------------------------------------

@@ -1,0 +1,31 @@
+#!/bin/sh
+# CLI contract for halk_store: usage errors exit 2, verification and
+# conversion failures exit 1 with a diagnostic on stderr. The happy-path
+# blob <-> snapshot round trip is pinned byte-exactly by
+# tests/store/store_test.cc (BlobToSnapshotToBlobIsByteIdentical).
+set -u
+HALK_STORE="$1"
+TMP="${TMPDIR:-/tmp}/halk_store_cli_$$"
+mkdir -p "$TMP"
+trap 'rm -rf "$TMP"' EXIT
+fail() { echo "FAIL: $1" >&2; exit 1; }
+
+"$HALK_STORE" >/dev/null 2>&1
+[ $? -eq 2 ] || fail "no arguments should exit 2"
+
+"$HALK_STORE" frobnicate x >/dev/null 2>&1
+[ $? -eq 2 ] || fail "unknown command should exit 2"
+
+"$HALK_STORE" verify "$TMP/no_such_snapshot" >/dev/null 2>"$TMP/err"
+[ $? -eq 1 ] || fail "verify of missing snapshot should exit 1"
+grep -q "error:" "$TMP/err" || fail "verify should print a diagnostic"
+
+printf 'not a checkpoint blob' > "$TMP/garbage.bin"
+"$HALK_STORE" from-checkpoint "$TMP/garbage.bin" "$TMP/snap" >/dev/null 2>"$TMP/err"
+[ $? -eq 1 ] || fail "conversion of garbage blob should exit 1"
+grep -q "error:" "$TMP/err" || fail "conversion should print a diagnostic"
+
+"$HALK_STORE" from-checkpoint "$TMP/garbage.bin" "$TMP/snap" --shards 0 >/dev/null 2>&1
+[ $? -eq 2 ] || fail "--shards 0 should exit 2"
+
+echo "PASS"
