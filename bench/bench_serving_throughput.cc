@@ -12,14 +12,24 @@
 // The model is left untrained: serving throughput depends on the embedding
 // and scoring computation, not on the learned weights.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <future>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
 #include "halk/halk.h"
+#include "net/http_server.h"
+#include "net/telemetry.h"
 
 namespace {
 
@@ -85,6 +95,38 @@ double RunServed(halk::serving::QueryServer* server, const Workload& w,
     HALK_CHECK(answer.ok()) << answer.status().ToString();
   }
   return static_cast<double>(w.sequence.size()) / SecondsSince(start);
+}
+
+/// Blocking loopback HTTP GET (what a Prometheus scraper does to the
+/// embedded telemetry server); "" on any socket error.
+std::string HttpGet(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + path +
+                              " HTTP/1.1\r\nHost: localhost\r\n"
+                              "Connection: close\r\n\r\n";
+  if (::send(fd, request.data(), request.size(), 0) !=
+      static_cast<ssize_t>(request.size())) {
+    ::close(fd);
+    return "";
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
 }
 
 // Appends shared 3p chain `i` of the library to `g` and returns its node:
@@ -213,6 +255,41 @@ int main() {
               "of no-tracer)\n",
               qps_tracer_off, qps_tracer_off / qps_batched);
 
+  // Telemetry-plane overhead A/B, identical server config on both sides:
+  // the same open-loop request stream runs once with the embedded HTTP
+  // server bound but idle, and once while a scraper loops GET /metrics
+  // against it — the gap is the cost of concurrent DumpPrometheus scrapes.
+  double qps_scrape_off = 0.0;
+  double qps_scrape_on = 0.0;
+  int64_t scrapes = 0;
+  {
+    serving::QueryServer server(&model, &dataset.train, batch_only);
+    net::HttpServer http;  // loopback, ephemeral port
+    net::TelemetrySources sources;
+    sources.metrics = server.metrics();
+    net::RegisterTelemetryEndpoints(&http, sources);
+    const Status started = http.Start();
+    HALK_CHECK(started.ok()) << started.ToString();
+    qps_scrape_off = RunServed(&server, workload, k);
+    std::atomic<bool> stop_scraping{false};
+    std::thread scraper([&] {
+      // order: plain stop flag; the scraper only needs to notice eventually.
+      while (!stop_scraping.load(std::memory_order_relaxed)) {
+        if (!HttpGet(http.port(), "/metrics").empty()) ++scrapes;
+      }
+    });
+    qps_scrape_on = RunServed(&server, workload, k);
+    // order: release pairs with the scraper's relaxed poll loop exit.
+    stop_scraping.store(true, std::memory_order_release);
+    scraper.join();
+  }
+  std::printf("served    (ditto, scrape endpoint idle)  : %8.1f qps\n",
+              qps_scrape_off);
+  std::printf("served    (ditto, /metrics scraped, %4lld): %8.1f qps (%.4fx "
+              "of idle)\n",
+              static_cast<long long>(scrapes), qps_scrape_on,
+              qps_scrape_on / qps_scrape_off);
+
   serving::ServerOptions full = batch_only;
   full.enable_cache = true;
   full.cache_capacity = 4096;
@@ -298,7 +375,11 @@ int main() {
       .Set("qps_served", qps_served, 1)
       .Set("speedup_batched", qps_batched / qps_baseline)
       .Set("speedup_served", qps_served / qps_baseline)
-      .Set("tracer_off_ratio", qps_tracer_off / qps_batched);
+      .Set("tracer_off_ratio", qps_tracer_off / qps_batched)
+      .Set("qps_scrape_off", qps_scrape_off, 1)
+      .Set("qps_scrape_on", qps_scrape_on, 1)
+      .Set("scrape_ratio", qps_scrape_on / qps_scrape_off)
+      .Set("scrapes", scrapes);
   // p50/p95/p99 straight from the server's own latency histogram — the
   // instrumented path, not a bench-side stopwatch.
   bench::SetLatencyQuantiles(&json, *latency);

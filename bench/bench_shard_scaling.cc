@@ -50,6 +50,7 @@
 #include "bench_common.h"
 #include "halk/halk.h"
 #include "kg/synthetic_stream.h"
+#include "obs/process_metrics.h"
 #include "store/convert.h"
 #include "store/store.h"
 #include "store/writer.h"
@@ -80,19 +81,12 @@ double PeakRssMib() {
   return static_cast<double>(usage.ru_maxrss) / 1024.0;  // Linux: KiB
 }
 
-/// Current VmRSS from /proc/self/status, in MiB (0.0 if unreadable).
+/// Current VmRSS via the shared process self-metrics reader, in MiB.
 /// Unlike ru_maxrss this is not a high-water mark, so it shows the steady
 /// working set after DropResidency unmaps cold store pages.
 double CurrentRssMib() {
-  std::FILE* f = std::fopen("/proc/self/status", "r");
-  if (f == nullptr) return 0.0;
-  char line[256];
-  long kib = 0;
-  while (std::fgets(line, sizeof line, f) != nullptr) {
-    if (std::sscanf(line, "VmRSS: %ld", &kib) == 1) break;
-  }
-  std::fclose(f);
-  return static_cast<double>(kib) / 1024.0;
+  return static_cast<double>(halk::obs::ReadProcessSelfStats().rss_bytes) /
+         (1024.0 * 1024.0);
 }
 
 double Mib(size_t bytes) {

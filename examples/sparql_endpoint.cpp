@@ -11,6 +11,7 @@
 //   $ ./examples/sparql_endpoint --trace-out /tmp/endpoint_trace.json
 //   $ ./examples/sparql_endpoint --journal-out /tmp/train_journal.jsonl \
 //                                --profile-out /tmp/endpoint_flame.txt
+//   $ ./examples/sparql_endpoint --http-port 0 --serve-journal-out /tmp/s.jsonl
 //
 // With --checkpoint, the model is restored from the file when it exists
 // (skipping training entirely — the restart path of a real endpoint) and
@@ -33,6 +34,13 @@
 // for the whole process and a collapsed-stack flamegraph is written on
 // exit (feed it to flamegraph.pl or speedscope).
 //
+// --http-port N starts the embedded telemetry server (docs/observability.md)
+// on 127.0.0.1:N — 0 binds an ephemeral port; the bound port is printed as
+// "telemetry listening on 127.0.0.1:PORT" so scripts can scrape /metrics,
+// /healthz, /readyz, /traces, /profile, and /slo. --serve-journal-out
+// appends one JSONL audit record per served request (fingerprint, status,
+// latency, coverage, cache hit, trace id) to the given path.
+//
 // After the scripted demo the endpoint drops into a line REPL on stdin
 // (EOF exits immediately, so piping from /dev/null is script-safe):
 // SPARQL queries are served live; dot-commands inspect the engine:
@@ -46,6 +54,7 @@
 //   .quit      exit
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -53,6 +62,10 @@
 
 #include "common/string_util.h"
 #include "halk/halk.h"
+#include "net/http_server.h"
+#include "net/telemetry.h"
+#include "obs/process_metrics.h"
+#include "obs/slo_tracker.h"
 #include "store/convert.h"
 #include "store/store.h"
 #include "store/writer.h"
@@ -124,6 +137,8 @@ int main(int argc, char** argv) {
   std::string trace_out_path;
   std::string journal_out_path;
   std::string profile_out_path;
+  std::string serve_journal_path;
+  int http_port = -1;  // -1 = telemetry server off; 0 = ephemeral port
   for (int i = 1; i < argc - 1; ++i) {
     if (std::strcmp(argv[i], "--checkpoint") == 0) {
       checkpoint_path = argv[i + 1];
@@ -139,6 +154,12 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--profile-out") == 0) {
       profile_out_path = argv[i + 1];
+    }
+    if (std::strcmp(argv[i], "--serve-journal-out") == 0) {
+      serve_journal_path = argv[i + 1];
+    }
+    if (std::strcmp(argv[i], "--http-port") == 0) {
+      http_port = std::atoi(argv[i + 1]);
     }
   }
   if (!checkpoint_path.empty() && !store_dir.empty()) {
@@ -303,15 +324,64 @@ int main(int argc, char** argv) {
   // scattered over two entity-table shards.
   obs::Tracer tracer;
   tracer.set_enabled(true);
+  obs::SloTracker slo{obs::SloOptions{}};
+  std::unique_ptr<obs::ServeJournal> serve_journal;
+  if (!serve_journal_path.empty()) {
+    auto opened = obs::ServeJournal::Open(serve_journal_path);
+    if (opened.ok()) {
+      serve_journal = std::move(*opened);
+      std::printf("serving journal -> %s\n", serve_journal_path.c_str());
+    } else {
+      std::printf("cannot open serving journal %s: %s\n",
+                  serve_journal_path.c_str(),
+                  opened.status().ToString().c_str());
+    }
+  }
   serving::ServerOptions sopt;
   sopt.num_workers = 2;
   sopt.max_batch_size = 8;
   sopt.num_shards = 2;
   sopt.tracer = &tracer;
+  sopt.slo = &slo;
+  sopt.serve_journal = serve_journal.get();
   // A tiny threshold so the demo's slow-query log has entries to show.
   sopt.slow_query_threshold = std::chrono::microseconds(1);
   serving::QueryServer server(serving_model, &kg, sopt);
+  slo.RegisterMetrics(server.metrics());
+  obs::RegisterProcessMetrics(server.metrics());
   uint64_t last_trace_id = 0;
+
+  // Embedded telemetry plane: /metrics, /healthz, /readyz, /traces,
+  // /profile, /slo on loopback. Readiness additionally re-verifies the
+  // store snapshot's checksums when serving out of one.
+  net::HttpServer http_server{[&] {
+    net::HttpServer::Options hopt;
+    hopt.port = http_port < 0 ? 0 : http_port;
+    return hopt;
+  }()};
+  if (http_port >= 0) {
+    net::TelemetrySources sources;
+    sources.metrics = server.metrics();
+    sources.tracer = &tracer;
+    sources.profiler = &obs::Profiler::Global();
+    sources.slo = &slo;
+    if (embedding_store != nullptr) {
+      store::EmbeddingStore* store_ptr = embedding_store.get();
+      sources.ready_check = [store_ptr] {
+        return store_ptr->VerifyChecksums();
+      };
+    }
+    net::RegisterTelemetryEndpoints(&http_server, sources);
+    const Status started = http_server.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "error: cannot start telemetry server: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+    // Scripts parse this line to find the ephemeral port.
+    std::printf("telemetry listening on 127.0.0.1:%d\n", http_server.port());
+    std::fflush(stdout);
+  }
 
   auto serve = [&](const std::string& sparql) {
     auto graph = sparql::CompileSparql(sparql, kg);
@@ -385,11 +455,12 @@ int main(int argc, char** argv) {
       const auto entries = server.slow_query_log()->Entries();
       if (entries.empty()) std::printf("slow-query log is empty\n");
       for (const auto& entry : entries) {
-        std::printf("fingerprint=%s hits=%lld worst_us=%.1f spans=%zu\n",
-                    entry.fingerprint.c_str(),
-                    static_cast<long long>(entry.hits),
-                    static_cast<double>(entry.worst_ns) / 1e3,
-                    entry.trace.spans().size());
+        std::printf(
+            "fingerprint=%s hits=%lld worst_us=%.1f spans=%zu trace=%llx\n",
+            entry.fingerprint.c_str(), static_cast<long long>(entry.hits),
+            static_cast<double>(entry.worst_ns) / 1e3,
+            entry.trace.spans().size(),
+            static_cast<unsigned long long>(entry.trace_id));
       }
     } else if (input == ".profile") {
       if (!obs::Profiler::Global().enabled()) {

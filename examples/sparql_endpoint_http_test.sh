@@ -1,0 +1,105 @@
+#!/bin/sh
+# Live telemetry-plane smoke: starts sparql_endpoint with --http-port 0
+# (ephemeral), scrapes the embedded observability server over real HTTP,
+# and validates:
+#   1. /healthz answers 200 with "status":"ok";
+#   2. /metrics answers 200 and the body passes the shared Prometheus
+#      0.0.4 grammar checker (prometheus_body_check, argv[2]);
+#   3. an unknown path answers 404;
+#   4. --serve-journal-out wrote one parseable "serve" record per demo
+#      request;
+#   5. closing stdin shuts the endpoint (and its HTTP server) down
+#      cleanly.
+# Usage: sparql_endpoint_http_test.sh <sparql_endpoint> <prometheus_body_check>
+set -eu
+
+BIN="$1"
+CHECKER="$2"
+TMP="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2> /dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+# The endpoint's REPL reads stdin until EOF; a fifo held open on fd 3
+# keeps it alive while we scrape, and closing fd 3 shuts it down.
+FIFO="$TMP/stdin.fifo"
+mkfifo "$FIFO"
+"$BIN" --http-port 0 --serve-journal-out "$TMP/serve.jsonl" \
+  < "$FIFO" > "$TMP/out.txt" 2> "$TMP/err.txt" &
+SERVER_PID=$!
+exec 3> "$FIFO"
+
+# Training runs before the server comes up; poll for the listening line.
+PORT=""
+tries=0
+while [ -z "$PORT" ]; do
+  PORT="$(sed -n 's/^telemetry listening on 127\.0\.0\.1:\([0-9][0-9]*\)$/\1/p' \
+    "$TMP/out.txt" | head -n 1)"
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2> /dev/null || {
+    echo "FAIL: endpoint exited before the telemetry server came up" >&2
+    cat "$TMP/out.txt" "$TMP/err.txt" >&2
+    exit 1
+  }
+  tries=$((tries + 1))
+  if [ "$tries" -gt 120 ]; then
+    echo "FAIL: no 'telemetry listening' line after 120s" >&2
+    cat "$TMP/out.txt" "$TMP/err.txt" >&2
+    exit 1
+  fi
+  sleep 1
+done
+
+BASE="http://127.0.0.1:$PORT"
+
+curl -fsS "$BASE/healthz" > "$TMP/healthz.json"
+grep -q '"status":"ok"' "$TMP/healthz.json" || {
+  echo "FAIL: /healthz did not report ok" >&2
+  cat "$TMP/healthz.json" >&2
+  exit 1
+}
+
+curl -fsS "$BASE/metrics" > "$TMP/metrics.txt"
+"$CHECKER" "$TMP/metrics.txt" > "$TMP/checker.txt" 2>&1 || {
+  echo "FAIL: /metrics body failed the Prometheus grammar checker" >&2
+  cat "$TMP/checker.txt" >&2
+  exit 1
+}
+# The scrape must include the serving and slo families this plane exists
+# to expose.
+grep -q '^serving_latency_us_bucket' "$TMP/metrics.txt"
+grep -q '^slo_latency_burn_fast' "$TMP/metrics.txt"
+grep -q '^process_rss_bytes' "$TMP/metrics.txt"
+
+STATUS="$(curl -s -o /dev/null -w '%{http_code}' "$BASE/nope")"
+[ "$STATUS" = "404" ] || {
+  echo "FAIL: unknown path answered $STATUS, want 404" >&2
+  exit 1
+}
+
+# EOF on stdin ends the REPL; the endpoint must exit cleanly and stop the
+# HTTP server with it.
+exec 3>&-
+wait "$SERVER_PID"
+SERVER_PID=""
+
+# The demo traffic ran with the journal enabled: every line must be a
+# "serve" record carrying a trace id.
+[ -s "$TMP/serve.jsonl" ] || {
+  echo "FAIL: --serve-journal-out wrote no records" >&2
+  exit 1
+}
+if grep -vq '"record":"serve"' "$TMP/serve.jsonl"; then
+  echo "FAIL: non-serve record in the journal" >&2
+  cat "$TMP/serve.jsonl" >&2
+  exit 1
+fi
+grep -q '"trace_id":"' "$TMP/serve.jsonl" || {
+  echo "FAIL: journal records carry no trace_id" >&2
+  exit 1
+}
+
+echo PASS

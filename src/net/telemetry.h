@@ -1,0 +1,60 @@
+#ifndef HALK_NET_TELEMETRY_H_
+#define HALK_NET_TELEMETRY_H_
+
+#include <functional>
+#include <string>
+
+#include "net/http_server.h"
+#include "obs/profiler.h"
+#include "obs/slo_tracker.h"
+#include "obs/trace.h"
+#include "serving/metrics.h"
+
+namespace halk::net {
+
+/// What the telemetry endpoints read from. Every pointer is optional
+/// (null = that endpoint reports the feature as absent) and must outlive
+/// the HttpServer. The struct deliberately carries no serving/shard/store
+/// types: the higher layers wire themselves in through the registry's
+/// labeled gauges and the two callbacks, so halk_net stays below them in
+/// the link order.
+struct TelemetrySources {
+  serving::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
+  obs::Profiler* profiler = nullptr;
+  obs::SloTracker* slo = nullptr;
+  /// Extra readiness probe beyond shard health — e.g. the embedding
+  /// store's snapshot checksum verification. Return a non-OK message to
+  /// flip /readyz to 503. Null means "nothing extra to check".
+  std::function<Status()> ready_check;
+};
+
+/// Shard-health verdict derived from the `shard.replica_health` labeled
+/// gauges (0 healthy / 1 suspect / 2 down, one child per (shard,
+/// replica)): healthy unless some shard has every replica down. A registry
+/// without the family (unsharded serving) is healthy by definition.
+struct ShardHealth {
+  bool healthy = true;
+  int shards = 0;        // distinct shards seen in the family
+  int shards_down = 0;   // shards with no live replica
+  int replicas_down = 0;  // replicas at health state 2 across all shards
+};
+ShardHealth EvaluateShardHealth(const serving::MetricsRegistry& metrics);
+
+/// Registers the telemetry endpoint suite on `server`:
+///   GET /metrics            Prometheus 0.0.4 text via DumpPrometheus
+///   GET /healthz            200/503 from shard replica health (liveness)
+///   GET /readyz             /healthz plus the ready_check callback
+///   GET /traces?spans=N     recent spans as Chrome trace JSON (default
+///                           256 spans)
+///   GET /profile?seconds=N  collapsed flamegraph stacks from an N-second
+///                           (default 1, capped at 30) profile window
+///   GET /slo                SloTracker::Evaluate as flat JSON
+/// Endpoints whose source pointer is null answer 404 (metrics/traces/
+/// profile/slo) or treat the check as trivially passing (healthz/readyz).
+void RegisterTelemetryEndpoints(HttpServer* server,
+                                const TelemetrySources& sources);
+
+}  // namespace halk::net
+
+#endif  // HALK_NET_TELEMETRY_H_

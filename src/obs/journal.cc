@@ -324,4 +324,48 @@ int64_t TrainJournal::records_written() const {
   return records_;
 }
 
+ServeJournal::ServeJournal(std::unique_ptr<std::ofstream> file,
+                           std::ostream* out, std::string path)
+    : path_(std::move(path)), file_(std::move(file)), out_(out) {}
+
+Result<std::unique_ptr<ServeJournal>> ServeJournal::Open(
+    const std::string& path) {
+  auto file = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  if (!file->is_open()) {
+    return Status::IOError("cannot open serve journal file: " + path);
+  }
+  std::ostream* out = file.get();
+  return std::make_unique<ServeJournal>(std::move(file), out, path);
+}
+
+std::unique_ptr<ServeJournal> ServeJournal::ToStream(std::ostream* out) {
+  return std::make_unique<ServeJournal>(nullptr, out, "");
+}
+
+void ServeJournal::Record(const std::string& fingerprint,
+                          const std::string& status, double latency_us,
+                          int64_t k, double coverage, bool cache_hit,
+                          uint64_t trace_id) {
+  JsonLineBuilder record;
+  record.Str("record", "serve")
+      .Str("fingerprint", fingerprint)
+      .Str("status", status)
+      .Num("latency_us", latency_us)
+      .Int("k", k)
+      .Num("coverage", coverage)
+      .Bool("cache_hit", cache_hit)
+      .Str("trace_id",
+           StrFormat("%llx", static_cast<unsigned long long>(trace_id)));
+  const std::string line = record.Finish();
+  MutexLock lock(mu_);
+  (*out_) << line << "\n";
+  out_->flush();
+  ++records_;
+}
+
+int64_t ServeJournal::records_written() const {
+  MutexLock lock(mu_);
+  return records_;
+}
+
 }  // namespace halk::obs

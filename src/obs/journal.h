@@ -119,6 +119,43 @@ class TrainJournal {
   int64_t records_ HALK_GUARDED_BY(mu_) = 0;
 };
 
+/// Append-only JSONL serving request journal: one flat JSON object per
+/// finished request, flushed per record (same persistence discipline as
+/// TrainJournal), for offline latency/SLO analysis and joining with slow
+/// traces. Fields: fingerprint (canonical query fingerprint, hex), status
+/// (Status code name, "OK" on success), latency_us, k, coverage,
+/// cache_hit, trace_id (hex, "0" when tracing was off) — see
+/// docs/observability.md.
+class ServeJournal {
+ public:
+  /// Opens (truncating) `path` for writing. kIOError if unwritable.
+  [[nodiscard]] static Result<std::unique_ptr<ServeJournal>> Open(
+      const std::string& path);
+  /// Journal writing into a caller-owned stream (tests, stdout).
+  static std::unique_ptr<ServeJournal> ToStream(std::ostream* out);
+
+  /// One finished request. Off the submit hot path only in the sense that
+  /// it runs at request completion; the write itself is a mutex-serialized
+  /// flushed append, so only enable the journal when auditing.
+  void Record(const std::string& fingerprint, const std::string& status,
+              double latency_us, int64_t k, double coverage, bool cache_hit,
+              uint64_t trace_id) HALK_EXCLUDES(mu_);
+
+  int64_t records_written() const HALK_EXCLUDES(mu_);
+  const std::string& path() const { return path_; }
+
+  /// Use Open / ToStream; public only for std::make_unique.
+  ServeJournal(std::unique_ptr<std::ofstream> file, std::ostream* out,
+               std::string path);
+
+ private:
+  const std::string path_;
+  mutable Mutex mu_;
+  std::unique_ptr<std::ofstream> file_ HALK_GUARDED_BY(mu_);
+  std::ostream* out_ HALK_GUARDED_BY(mu_);  // file_.get() or caller-owned
+  int64_t records_ HALK_GUARDED_BY(mu_) = 0;
+};
+
 }  // namespace halk::obs
 
 #endif  // HALK_OBS_JOURNAL_H_

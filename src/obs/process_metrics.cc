@@ -1,0 +1,81 @@
+#include "obs/process_metrics.h"
+
+#include <dirent.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "obs/trace.h"
+
+namespace halk::obs {
+
+namespace {
+
+/// Parses the "VmRSS:" / "Threads:" lines of /proc/self/status. Absent
+/// file or fields (non-Linux) leave the outputs at 0.
+void ReadProcStatus(int64_t* rss_bytes, int64_t* threads) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    long value = 0;
+    if (std::sscanf(line, "VmRSS: %ld", &value) == 1) {
+      *rss_bytes = static_cast<int64_t>(value) * 1024;  // reported in KiB
+    } else if (std::sscanf(line, "Threads: %ld", &value) == 1) {
+      *threads = static_cast<int64_t>(value);
+    }
+  }
+  std::fclose(f);
+}
+
+int64_t CountOpenFds() {
+  DIR* dir = opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  int64_t n = 0;
+  while (const dirent* entry = readdir(dir)) {
+    if (std::strcmp(entry->d_name, ".") == 0 ||
+        std::strcmp(entry->d_name, "..") == 0) {
+      continue;
+    }
+    ++n;
+  }
+  closedir(dir);
+  // The directory handle itself is one of the counted entries.
+  return n > 0 ? n - 1 : 0;
+}
+
+/// Steady-clock anchor latched on the first read, so uptime is "seconds
+/// since this process started observing itself" — monotone and immune to
+/// wall-clock steps.
+int64_t ProcessStartNs() {
+  static const int64_t start_ns = NowNs();
+  return start_ns;
+}
+
+}  // namespace
+
+ProcessSelfStats ReadProcessSelfStats() {
+  ProcessSelfStats stats;
+  ReadProcStatus(&stats.rss_bytes, &stats.threads);
+  stats.open_fds = CountOpenFds();
+  stats.uptime_seconds =
+      static_cast<double>(NowNs() - ProcessStartNs()) / 1e9;
+  return stats;
+}
+
+void RegisterProcessMetrics(serving::MetricsRegistry* registry) {
+  serving::Gauge* rss = registry->GetGauge("process.rss_bytes");
+  serving::Gauge* threads = registry->GetGauge("process.threads");
+  serving::Gauge* fds = registry->GetGauge("process.open_fds");
+  serving::Gauge* uptime = registry->GetGauge("process.uptime_seconds");
+  ProcessStartNs();  // anchor uptime at registration, not first scrape
+  registry->AddCollectionHook([rss, threads, fds, uptime] {
+    const ProcessSelfStats stats = ReadProcessSelfStats();
+    rss->Set(static_cast<double>(stats.rss_bytes));
+    threads->Set(static_cast<double>(stats.threads));
+    fds->Set(static_cast<double>(stats.open_fds));
+    uptime->Set(stats.uptime_seconds);
+  });
+}
+
+}  // namespace halk::obs

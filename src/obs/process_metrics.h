@@ -1,0 +1,32 @@
+#ifndef HALK_OBS_PROCESS_METRICS_H_
+#define HALK_OBS_PROCESS_METRICS_H_
+
+#include <cstdint>
+
+#include "serving/metrics.h"
+
+namespace halk::obs {
+
+/// Point-in-time self-observation of this process, read from /proc (zeros
+/// for any field the platform does not expose — the readers never fail).
+struct ProcessSelfStats {
+  int64_t rss_bytes = 0;    // VmRSS from /proc/self/status
+  int64_t threads = 0;      // Threads from /proc/self/status
+  int64_t open_fds = 0;     // entries of /proc/self/fd
+  double uptime_seconds = 0.0;  // since the first stats read this process
+};
+
+/// Reads the current stats. Cheap enough for a per-scrape refresh (two
+/// small /proc reads and a directory walk).
+ProcessSelfStats ReadProcessSelfStats();
+
+/// Exports the `process.*` gauge family (process.rss_bytes,
+/// process.threads, process.open_fds, process.uptime_seconds) into
+/// `registry` and installs a collection hook so every DumpPrometheus /
+/// DumpText refreshes them — benches and the scrape endpoint read one
+/// shared implementation instead of hand-rolling VmRSS parsing.
+void RegisterProcessMetrics(serving::MetricsRegistry* registry);
+
+}  // namespace halk::obs
+
+#endif  // HALK_OBS_PROCESS_METRICS_H_

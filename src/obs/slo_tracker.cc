@@ -1,0 +1,124 @@
+#include "obs/slo_tracker.h"
+
+#include <utility>
+
+#include "obs/journal.h"
+
+namespace halk::obs {
+
+namespace {
+
+/// Burn rate of one window: observed bad fraction over the budgeted
+/// fraction. 0 when the window is empty (no traffic is not an outage).
+double BurnRate(std::pair<int64_t, int64_t> bad_total, double budget) {
+  const auto [bad, total] = bad_total;
+  if (total == 0 || budget <= 0.0) return 0.0;
+  const double bad_fraction =
+      static_cast<double>(bad) / static_cast<double>(total);
+  return bad_fraction / budget;
+}
+
+}  // namespace
+
+std::string SloStatus::ToJson() const {
+  JsonLineBuilder line;
+  line.Int("requests_fast", requests_fast)
+      .Int("requests_slow", requests_slow)
+      .Num("p99_us_fast", p99_us_fast)
+      .Num("latency_burn_fast", latency_burn_fast)
+      .Num("latency_burn_slow", latency_burn_slow)
+      .Num("error_burn_fast", error_burn_fast)
+      .Num("error_burn_slow", error_burn_slow)
+      .Bool("latency_alert", latency_alert)
+      .Bool("error_alert", error_alert);
+  return line.Finish();
+}
+
+SloTracker::SloTracker(const SloOptions& options)
+    : options_(options),
+      latency_fast_(serving::Histogram::ExponentialBounds(1.0, 2.0, 26),
+                    options.fast_window_ns / options.fast_slots,
+                    options.fast_slots, options.now_ns),
+      latency_slo_fast_(options.fast_window_ns, options.fast_slots,
+                        options.now_ns),
+      latency_slo_slow_(options.slow_window_ns, options.slow_slots,
+                        options.now_ns),
+      errors_fast_(options.fast_window_ns, options.fast_slots,
+                   options.now_ns),
+      errors_slow_(options.slow_window_ns, options.slow_slots,
+                   options.now_ns) {}
+
+void SloTracker::RecordRequest(double latency_us, bool ok) {
+  latency_fast_.Observe(latency_us);
+  const bool over_objective = latency_us > options_.latency_objective_us;
+  latency_slo_fast_.Add(over_objective);
+  latency_slo_slow_.Add(over_objective);
+  errors_fast_.Add(!ok);
+  errors_slow_.Add(!ok);
+}
+
+SloStatus SloTracker::Evaluate() {
+  SloStatus status;
+  const WindowedHistogram::Snapshot latency = latency_fast_.TakeSnapshot();
+  status.requests_fast = latency.total;
+  status.p99_us_fast = latency.Quantile(0.99);
+  status.requests_slow = errors_slow_.Read().second;
+  status.latency_burn_fast =
+      BurnRate(latency_slo_fast_.Read(), options_.latency_budget);
+  status.latency_burn_slow =
+      BurnRate(latency_slo_slow_.Read(), options_.latency_budget);
+  status.error_burn_fast =
+      BurnRate(errors_fast_.Read(), options_.error_budget);
+  status.error_burn_slow =
+      BurnRate(errors_slow_.Read(), options_.error_budget);
+  status.latency_alert =
+      status.latency_burn_fast >= options_.fast_burn_threshold &&
+      status.latency_burn_slow >= options_.slow_burn_threshold;
+  status.error_alert =
+      status.error_burn_fast >= options_.fast_burn_threshold &&
+      status.error_burn_slow >= options_.slow_burn_threshold;
+
+  // Rising-edge latching: transitions are counted under the lock, so a
+  // transition is attributed to exactly one concurrent Evaluate.
+  int64_t new_transitions = 0;
+  {
+    MutexLock lock(mu_);
+    if (status.latency_alert && !latency_alert_active_) ++new_transitions;
+    if (status.error_alert && !error_alert_active_) ++new_transitions;
+    latency_alert_active_ = status.latency_alert;
+    error_alert_active_ = status.error_alert;
+    alerts_fired_ += new_transitions;
+  }
+
+  if (latency_burn_fast_gauge_ != nullptr) {
+    latency_burn_fast_gauge_->Set(status.latency_burn_fast);
+    latency_burn_slow_gauge_->Set(status.latency_burn_slow);
+    error_burn_fast_gauge_->Set(status.error_burn_fast);
+    error_burn_slow_gauge_->Set(status.error_burn_slow);
+    p99_fast_gauge_->Set(status.p99_us_fast);
+    requests_fast_gauge_->Set(static_cast<double>(status.requests_fast));
+    latency_alert_gauge_->Set(status.latency_alert ? 1.0 : 0.0);
+    error_alert_gauge_->Set(status.error_alert ? 1.0 : 0.0);
+    if (new_transitions > 0) {
+      alerts_fired_counter_->Increment(new_transitions);
+    }
+  }
+  return status;
+}
+
+void SloTracker::RegisterMetrics(serving::MetricsRegistry* registry) {
+  latency_burn_fast_gauge_ = registry->GetGauge("slo.latency_burn_fast");
+  latency_burn_slow_gauge_ = registry->GetGauge("slo.latency_burn_slow");
+  error_burn_fast_gauge_ = registry->GetGauge("slo.error_burn_fast");
+  error_burn_slow_gauge_ = registry->GetGauge("slo.error_burn_slow");
+  p99_fast_gauge_ = registry->GetGauge("slo.p99_us_fast");
+  requests_fast_gauge_ = registry->GetGauge("slo.requests_fast");
+  latency_alert_gauge_ =
+      registry->GetGauge("slo.alert_active", {{"objective", "latency"}});
+  error_alert_gauge_ =
+      registry->GetGauge("slo.alert_active", {{"objective", "errors"}});
+  alerts_fired_counter_ = registry->GetCounter("slo.alerts_fired");
+  registry->AddCollectionHook([this] { Evaluate(); });
+}
+
+}  // namespace halk::obs

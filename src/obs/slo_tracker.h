@@ -1,0 +1,136 @@
+#ifndef HALK_OBS_SLO_TRACKER_H_
+#define HALK_OBS_SLO_TRACKER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "obs/windowed_histogram.h"
+#include "serving/metrics.h"
+
+namespace halk::obs {
+
+/// SLO configuration: two objectives (p99 latency, error rate) evaluated
+/// over two rolling windows with burn-rate thresholds, the standard
+/// multi-window multi-burn-rate alerting policy — the fast window catches
+/// a sudden outage in minutes, the slow window keeps a slow leak from
+/// paging, and an alert requires BOTH windows to burn.
+struct SloOptions {
+  /// Latency objective: at most `latency_budget` of requests may exceed
+  /// `latency_objective_us` (i.e. the p(1 - latency_budget) target).
+  double latency_objective_us = 100000.0;
+  double latency_budget = 0.01;
+  /// Error objective: at most `error_budget` of requests may fail.
+  double error_budget = 0.001;
+
+  /// Rolling windows, each a ring of `*_slots` slots.
+  int64_t fast_window_ns = 5LL * 60 * 1000 * 1000 * 1000;  // 5 minutes
+  int fast_slots = 10;
+  int64_t slow_window_ns = 60LL * 60 * 1000 * 1000 * 1000;  // 1 hour
+  int slow_slots = 12;
+
+  /// An objective alerts when fast burn >= fast_burn_threshold AND slow
+  /// burn >= slow_burn_threshold (burn 1.0 = consuming budget exactly at
+  /// the sustainable rate). Defaults follow the SRE-workbook 5m/1h page
+  /// policy: 14.4x spends 2% of a 30-day budget in an hour.
+  double fast_burn_threshold = 14.4;
+  double slow_burn_threshold = 6.0;
+
+  /// Injectable clock for deterministic tests; null = steady-clock NowNs.
+  std::function<int64_t()> now_ns;
+};
+
+/// Point-in-time SLO evaluation (the /slo endpoint body, flattened).
+struct SloStatus {
+  int64_t requests_fast = 0;  // requests seen in the fast window
+  int64_t requests_slow = 0;
+  double p99_us_fast = 0.0;  // latency quantile over the fast window
+  double latency_burn_fast = 0.0;
+  double latency_burn_slow = 0.0;
+  double error_burn_fast = 0.0;
+  double error_burn_slow = 0.0;
+  bool latency_alert = false;
+  bool error_alert = false;
+
+  /// One flat JSON object (journal-line grammar).
+  std::string ToJson() const;
+};
+
+/// Tracks the serving SLOs over rolling windows and evaluates burn rates.
+/// RecordRequest is lock-free (windowed bucket adds only) and sits on the
+/// request-finish path; Evaluate snapshots the windows, computes burn
+/// rates, latches alert transitions, and refreshes the `slo.*` instruments
+/// when a registry was attached — RegisterMetrics arranges for that to
+/// happen on every scrape via the registry's collection hook.
+class SloTracker {
+ public:
+  explicit SloTracker(const SloOptions& options = {});
+
+  /// Feed one finished request: its latency and whether it succeeded.
+  void RecordRequest(double latency_us, bool ok);
+
+  /// Evaluates both objectives over both windows now. Thread-safe; alert
+  /// rising edges increment slo.alerts_fired exactly once per transition.
+  SloStatus Evaluate() HALK_EXCLUDES(mu_);
+
+  /// Exports slo.* gauges/counters into `registry` and installs a
+  /// collection hook so every DumpPrometheus/DumpText re-evaluates first:
+  ///   slo.latency_burn_fast / _slow, slo.error_burn_fast / _slow,
+  ///   slo.p99_us_fast, slo.requests_fast,
+  ///   slo.alert_active{objective="latency"|"errors"}, slo.alerts_fired.
+  void RegisterMetrics(serving::MetricsRegistry* registry)
+      HALK_EXCLUDES(mu_);
+
+  const SloOptions& options() const { return options_; }
+
+ private:
+  /// Good/bad totals over one rolling window, encoded as a two-bucket
+  /// WindowedHistogram (good lands in the finite bucket, bad in the
+  /// overflow bucket) so the windowed rotation protocol is shared.
+  class WindowedRatio {
+   public:
+    WindowedRatio(int64_t window_ns, int num_slots,
+                  std::function<int64_t()> now_ns)
+        : hist_({0.5}, window_ns / num_slots, num_slots,
+                std::move(now_ns)) {}
+    void Add(bool bad) { hist_.Observe(bad ? 1.0 : 0.0); }
+    /// (bad, total) over the window.
+    std::pair<int64_t, int64_t> Read() const {
+      const WindowedHistogram::Snapshot s = hist_.TakeSnapshot();
+      return {s.counts[1], s.total};
+    }
+
+   private:
+    WindowedHistogram hist_;
+  };
+
+  const SloOptions options_;
+
+  WindowedHistogram latency_fast_;  // latency distribution, fast window
+  WindowedRatio latency_slo_fast_;  // over-objective ratio per window
+  WindowedRatio latency_slo_slow_;
+  WindowedRatio errors_fast_;
+  WindowedRatio errors_slow_;
+
+  mutable Mutex mu_;
+  bool latency_alert_active_ HALK_GUARDED_BY(mu_) = false;
+  bool error_alert_active_ HALK_GUARDED_BY(mu_) = false;
+  int64_t alerts_fired_ HALK_GUARDED_BY(mu_) = 0;
+
+  // Exported instruments; null until RegisterMetrics (stable afterwards).
+  serving::Gauge* latency_burn_fast_gauge_ = nullptr;
+  serving::Gauge* latency_burn_slow_gauge_ = nullptr;
+  serving::Gauge* error_burn_fast_gauge_ = nullptr;
+  serving::Gauge* error_burn_slow_gauge_ = nullptr;
+  serving::Gauge* p99_fast_gauge_ = nullptr;
+  serving::Gauge* requests_fast_gauge_ = nullptr;
+  serving::Gauge* latency_alert_gauge_ = nullptr;
+  serving::Gauge* error_alert_gauge_ = nullptr;
+  serving::Counter* alerts_fired_counter_ = nullptr;
+};
+
+}  // namespace halk::obs
+
+#endif  // HALK_OBS_SLO_TRACKER_H_

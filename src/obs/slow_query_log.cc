@@ -22,18 +22,21 @@ bool SlowQueryLog::Offer(const std::string& fingerprint, Trace trace) {
   const int64_t duration = trace.duration_ns();
   MutexLock lock(mu_);
   if (threshold_ns_ <= 0 || duration < threshold_ns_) return false;
+  const uint64_t trace_id = trace.id();
   auto it = index_.find(fingerprint);
   if (it != index_.end()) {
     Entry refreshed = std::move(*it->second);
     entries_.erase(it->second);
     refreshed.trace = std::move(trace);
+    refreshed.trace_id = trace_id;
     refreshed.worst_ns = std::max(refreshed.worst_ns, duration);
     refreshed.hits += 1;
     entries_.push_front(std::move(refreshed));
     it->second = entries_.begin();
     return true;
   }
-  entries_.push_front(Entry{fingerprint, std::move(trace), duration, 1});
+  entries_.push_front(Entry{fingerprint, std::move(trace), trace_id,
+                            duration, 1});
   index_[fingerprint] = entries_.begin();
   while (entries_.size() > capacity_) {
     index_.erase(entries_.back().fingerprint);

@@ -36,6 +36,10 @@ class SlowQueryLog {
   struct Entry {
     std::string fingerprint;
     Trace trace;          // the most recent qualifying trace
+    /// Trace id of `trace`, retained standalone so a slow-log line can be
+    /// joined to its exported Chrome trace / scraped histogram exemplar
+    /// even after the trace's spans age out of the ring.
+    uint64_t trace_id = 0;
     int64_t worst_ns = 0;  // slowest duration seen for this fingerprint
     int64_t hits = 0;      // qualifying requests, including evicted history
   };

@@ -1,6 +1,7 @@
 #include "obs/trace.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <cstring>
 #include <sstream>
 #include <unordered_map>
@@ -90,7 +91,9 @@ std::string Trace::ToChromeJson() const {
         << ",\"dur\":"
         << StrFormat("%.3f", static_cast<double>(s.duration_ns) / 1000.0)
         << ",\"pid\":1,\"tid\":" << s.thread << ",\"args\":{\"span\":" << s.id
-        << ",\"parent\":" << s.parent;
+        << ",\"parent\":" << s.parent << ",\"trace_id\":\""
+        << StrFormat("%llx", static_cast<unsigned long long>(s.trace_id))
+        << "\"";
     for (int i = 0; i < s.num_annotations; ++i) {
       out << ",\"" << CEscape(s.annotations[i].key)
           << "\":" << StrFormat("%g", s.annotations[i].value);
@@ -248,6 +251,65 @@ Trace Tracer::Collect(uint64_t trace_id) const {
     }
   }
   return Trace(trace_id, std::move(spans));
+}
+
+Trace Tracer::CollectRecent(size_t max_spans) const {
+  std::vector<SpanRecord> spans;
+  if (max_spans == 0) return Trace(0, std::move(spans));
+  std::vector<Ring*> rings;
+  {
+    MutexLock lock(rings_mu_);
+    rings.reserve(rings_.size());
+    for (const auto& r : rings_) rings.push_back(r.get());
+  }
+  for (Ring* ring : rings) {
+    for (Slot& slot : ring->slots) {
+      // order: same seqlock read protocol as Collect — acquire seq load
+      // pairs with the writer's trailing release; the relaxed payload
+      // loads are validated by the fence + seq re-check.
+      const uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+      if (s1 == 0 || (s1 & 1) != 0) continue;  // empty or mid-write
+      SpanRecord record;
+      // order: relaxed payload reads, validated by the seq re-check below.
+      record.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+      record.id = slot.id.load(std::memory_order_relaxed);
+      record.parent = slot.parent.load(std::memory_order_relaxed);
+      record.name = slot.name.load(std::memory_order_relaxed);
+      record.start_ns = slot.start_ns.load(std::memory_order_relaxed);
+      record.duration_ns = slot.duration_ns.load(std::memory_order_relaxed);
+      record.thread = ring->thread;
+      record.num_annotations =
+          std::min(slot.num_annotations.load(std::memory_order_relaxed),
+                   kMaxAnnotations);
+      // order: relaxed annotation reads, same seqlock validation.
+      for (int i = 0; i < record.num_annotations; ++i) {
+        record.annotations[i].key =
+            slot.ann_key[i].load(std::memory_order_relaxed);
+        record.annotations[i].value =
+            slot.ann_value[i].load(std::memory_order_relaxed);
+      }
+      // order: the acquire fence orders the payload loads above before the
+      // seq re-check, so an unchanged seq proves the reads were torn-free.
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != s1) {
+        continue;  // overwritten mid-read; the replacement span is newer
+      }
+      if (record.trace_id == 0) continue;
+      spans.push_back(record);
+    }
+  }
+  // Keep the newest `max_spans` by start time; the Trace constructor
+  // re-sorts ascending for rendering.
+  if (spans.size() > max_spans) {
+    std::partial_sort(spans.begin(),
+                      spans.begin() + static_cast<ptrdiff_t>(max_spans),
+                      spans.end(),
+                      [](const SpanRecord& a, const SpanRecord& b) {
+                        return a.start_ns > b.start_ns;
+                      });
+    spans.resize(max_spans);
+  }
+  return Trace(0, std::move(spans));
 }
 
 uint32_t RecordSpan(const TraceContext& ctx, const char* name,

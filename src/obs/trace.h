@@ -120,6 +120,13 @@ class Tracer {
   /// slots mid-write); spans lost to ring wrap are absent.
   Trace Collect(uint64_t trace_id) const;
 
+  /// Snapshot of the most recent `max_spans` spans across every thread
+  /// ring, regardless of trace id (the /traces endpoint body). The result
+  /// is a Trace with id 0 holding spans of many requests; each span keeps
+  /// its own trace_id (ToChromeJson emits it under args). Same seqlock
+  /// guarantees as Collect.
+  Trace CollectRecent(size_t max_spans) const;
+
   size_t ring_capacity() const { return ring_capacity_; }
 
  private:

@@ -1,0 +1,112 @@
+#include "obs/windowed_histogram.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "obs/trace.h"
+
+namespace halk::obs {
+
+WindowedHistogram::WindowedHistogram(std::vector<double> upper_bounds,
+                                     int64_t slot_duration_ns, int num_slots,
+                                     std::function<int64_t()> now_ns)
+    : bounds_(std::move(upper_bounds)),
+      slot_duration_ns_(slot_duration_ns),
+      now_ns_(now_ns != nullptr ? std::move(now_ns) : NowNs),
+      slots_(static_cast<size_t>(num_slots)) {
+  HALK_CHECK(!bounds_.empty());
+  HALK_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+  HALK_CHECK_GT(slot_duration_ns, 0);
+  HALK_CHECK_GT(num_slots, 0);
+  for (Slot& slot : slots_) {
+    slot.counts =
+        std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
+    for (size_t b = 0; b <= bounds_.size(); ++b) {
+      // order: constructor runs before the histogram is shared.
+      slot.counts[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+bool WindowedHistogram::RotateToEpoch(Slot* slot, int64_t epoch) {
+  // order: acquire pairs with the rotator's release epoch store, so a
+  // writer that sees the fresh epoch also sees the zeroed arrays.
+  int64_t cur = slot->epoch.load(std::memory_order_acquire);
+  while (cur != epoch) {
+    if (cur == kRotating) {
+      // Another writer is zeroing this slot; spin until it publishes.
+      cur = slot->epoch.load(std::memory_order_acquire);
+      continue;
+    }
+    if (cur > epoch) {
+      // This writer's clock read predates a rotation that already moved
+      // the slot to a newer period: its observation belongs to a window
+      // that has left the ring. Drop it (bounded, slot-boundary-only).
+      return false;
+    }
+    // order: acq_rel — the winner both claims the slot and observes prior
+    // writers' counts as retired; losers re-read via the acquire failure
+    // order.
+    if (slot->epoch.compare_exchange_weak(cur, kRotating,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+      for (size_t b = 0; b <= bounds_.size(); ++b) {
+        // order: zeroing is published by the release epoch store below.
+        slot->counts[b].store(0, std::memory_order_relaxed);
+      }
+      slot->sum.store(0.0, std::memory_order_relaxed);
+      // order: release publishes the zeroed slot to acquire readers.
+      slot->epoch.store(epoch, std::memory_order_release);
+      cur = epoch;
+    }
+  }
+  return true;
+}
+
+void WindowedHistogram::Observe(double x) {
+  const int64_t epoch = now_ns_() / slot_duration_ns_;
+  Slot& slot = slots_[static_cast<size_t>(epoch) % slots_.size()];
+  if (!RotateToEpoch(&slot, epoch)) return;
+  const size_t b = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), x) - bounds_.begin());
+  // order: monitoring words, as serving::Histogram::Observe; a rotation
+  // racing these adds loses at most the in-flight observations of one
+  // expiring slot.
+  slot.counts[b].fetch_add(1, std::memory_order_relaxed);
+  double current = slot.sum.load(std::memory_order_relaxed);
+  while (!slot.sum.compare_exchange_weak(current, current + x,
+                                         std::memory_order_relaxed,
+                                         std::memory_order_relaxed)) {
+  }
+}
+
+WindowedHistogram::Snapshot WindowedHistogram::TakeSnapshot() const {
+  Snapshot out;
+  out.bounds = bounds_;
+  out.counts.assign(bounds_.size() + 1, 0);
+  const int64_t now_epoch = now_ns_() / slot_duration_ns_;
+  const int64_t oldest = now_epoch - static_cast<int64_t>(slots_.size()) + 1;
+  for (const Slot& slot : slots_) {
+    // order: acquire pairs with the rotator's release so in-window slots
+    // are read post-zeroing; per-bucket reads stay monitoring-grade.
+    const int64_t epoch = slot.epoch.load(std::memory_order_acquire);
+    if (epoch < oldest || epoch > now_epoch) continue;  // expired/rotating
+    for (size_t b = 0; b <= bounds_.size(); ++b) {
+      // order: monitoring snapshot; skew of in-flight adds is documented.
+      out.counts[b] += slot.counts[b].load(std::memory_order_relaxed);
+    }
+    out.sum += slot.sum.load(std::memory_order_relaxed);
+  }
+  for (int64_t c : out.counts) out.total += c;
+  return out;
+}
+
+double WindowedHistogram::Snapshot::mean() const {
+  return total == 0 ? 0.0 : sum / static_cast<double>(total);
+}
+
+double WindowedHistogram::Snapshot::Quantile(double q) const {
+  return serving::Histogram::QuantileFromCounts(bounds, counts, q);
+}
+
+}  // namespace halk::obs

@@ -1,0 +1,81 @@
+#ifndef HALK_OBS_WINDOWED_HISTOGRAM_H_
+#define HALK_OBS_WINDOWED_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "serving/metrics.h"
+
+namespace halk::obs {
+
+/// A rolling-window histogram: a ring of fixed-duration slots, each a
+/// lock-free bucket array shaped like serving::Histogram, so "p99 over the
+/// last five minutes" is answerable from a running server (the cumulative
+/// Histogram can only answer "p99 since boot"). Observe is lock-free: it
+/// maps the current time to a slot, lazily rotates the slot when its epoch
+/// has expired (a CAS-elected rotator zeroes it; racing writers spin a few
+/// instructions or, when they hold an already-obsolete epoch, drop the
+/// observation — monitoring-grade loss at slot boundaries only), and
+/// fetch_adds the bucket. Snapshot merges every slot whose epoch is inside
+/// the window; concurrent observations may be missed or double-attributed
+/// across the merge by the few in flight, exact once writers quiesce.
+///
+/// The clock is injectable so tests drive rotation deterministically; the
+/// default is the tracer timebase NowNs (steady clock).
+class WindowedHistogram {
+ public:
+  /// `upper_bounds` as serving::Histogram; the window covers `num_slots`
+  /// slots of `slot_duration_ns` each (e.g. 10 slots of 30s = a 5-minute
+  /// window whose resolution is 30s).
+  WindowedHistogram(std::vector<double> upper_bounds,
+                    int64_t slot_duration_ns, int num_slots,
+                    std::function<int64_t()> now_ns = nullptr);
+
+  void Observe(double x);
+
+  /// Merged state of the slots currently inside the window.
+  struct Snapshot {
+    std::vector<double> bounds;
+    std::vector<int64_t> counts;  // bounds.size() + 1, overflow last
+    double sum = 0.0;
+    int64_t total = 0;
+
+    double mean() const;
+    /// serving::Histogram::Quantile semantics over the merged counts.
+    double Quantile(double q) const;
+  };
+  Snapshot TakeSnapshot() const;
+
+  int64_t window_ns() const {
+    return slot_duration_ns_ * static_cast<int64_t>(slots_.size());
+  }
+  int64_t slot_duration_ns() const { return slot_duration_ns_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  /// One ring slot. `epoch` is the slot's current owner period
+  /// (now / slot_duration), or kRotating while an elected writer zeroes
+  /// the arrays.
+  struct Slot {
+    std::atomic<int64_t> epoch{-1};
+    std::unique_ptr<std::atomic<int64_t>[]> counts;  // bounds + overflow
+    std::atomic<double> sum{0.0};
+  };
+  static constexpr int64_t kRotating = -2;
+
+  /// Ensures `slot` belongs to `epoch`; returns false when this writer's
+  /// epoch is already obsolete (drop the observation).
+  bool RotateToEpoch(Slot* slot, int64_t epoch);
+
+  const std::vector<double> bounds_;
+  const int64_t slot_duration_ns_;
+  const std::function<int64_t()> now_ns_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace halk::obs
+
+#endif  // HALK_OBS_WINDOWED_HISTOGRAM_H_

@@ -93,27 +93,47 @@ std::string WithLe(const std::string& labels, const std::string& le) {
 }  // namespace
 
 Histogram::Histogram(std::vector<double> upper_bounds)
-    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1) {
+    : bounds_(std::move(upper_bounds)),
+      counts_(bounds_.size() + 1),
+      exemplar_trace_(bounds_.size() + 1),
+      exemplar_value_(bounds_.size() + 1) {
   HALK_CHECK(!bounds_.empty());
   HALK_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
-  for (std::atomic<int64_t>& c : counts_) {
+  for (size_t b = 0; b < counts_.size(); ++b) {
     // order: constructor runs before the histogram is shared.
-    c.store(0, std::memory_order_relaxed);
+    counts_[b].store(0, std::memory_order_relaxed);
+    exemplar_trace_[b].store(0, std::memory_order_relaxed);
+    exemplar_value_[b].store(0.0, std::memory_order_relaxed);
   }
 }
 
-void Histogram::Observe(double x) {
+void Histogram::Observe(double x, uint64_t exemplar_trace_id) {
   const size_t b = static_cast<size_t>(
       std::lower_bound(bounds_.begin(), bounds_.end(), x) - bounds_.begin());
   // order: bucket counts, sum, and total are independently-read monitoring
   // words; readers tolerate momentary disagreement, so no release pairing.
   counts_[b].fetch_add(1, std::memory_order_relaxed);
+  if (exemplar_trace_id != 0) {
+    // order: exemplar halves are last-writer-wins monitoring words; a
+    // reader pairing the id with a neighbor write's value is documented.
+    exemplar_value_[b].store(x, std::memory_order_relaxed);
+    exemplar_trace_[b].store(exemplar_trace_id, std::memory_order_relaxed);
+  }
   double current = sum_.load(std::memory_order_relaxed);
   while (!sum_.compare_exchange_weak(current, current + x,
                                      std::memory_order_relaxed,
                                      std::memory_order_relaxed)) {
   }
   total_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Histogram::Exemplar Histogram::BucketExemplar(size_t b) const {
+  Exemplar out;
+  if (b >= exemplar_trace_.size()) return out;
+  // order: monitoring reads; momentary id/value skew is documented.
+  out.trace_id = exemplar_trace_[b].load(std::memory_order_relaxed);
+  out.value = exemplar_value_[b].load(std::memory_order_relaxed);
+  return out;
 }
 
 int64_t Histogram::count() const {
@@ -144,7 +164,12 @@ std::vector<int64_t> Histogram::BucketCounts() const {
 double Histogram::Quantile(double q) const {
   // Work from a snapshot and derive the total from it, so a racing Observe
   // between bucket reads can never leave target unreachable.
-  const std::vector<int64_t> counts = BucketCounts();
+  return QuantileFromCounts(bounds_, BucketCounts(), q);
+}
+
+double Histogram::QuantileFromCounts(const std::vector<double>& bounds,
+                                     const std::vector<int64_t>& counts,
+                                     double q) {
   int64_t total = 0;
   for (int64_t c : counts) total += c;
   if (total == 0) return 0.0;
@@ -155,9 +180,9 @@ double Histogram::Quantile(double q) const {
     if (counts[b] == 0) continue;  // empty buckets carry no mass
     seen += counts[b];
     if (static_cast<double>(seen) < target) continue;
-    if (b >= bounds_.size()) return bounds_.back();  // overflow bucket
-    const double hi = bounds_[b];
-    const double lo = b == 0 ? 0.0 : bounds_[b - 1];
+    if (b >= bounds.size()) return bounds.back();  // overflow bucket
+    const double hi = bounds[b];
+    const double lo = b == 0 ? 0.0 : bounds[b - 1];
     // Interpolate within the bucket assuming uniform mass. q=0 lands at the
     // bucket's lower edge (into=0), q=1 at the last non-empty bucket's
     // upper bound (into=1); the clamp keeps rounding from escaping [lo,hi].
@@ -167,7 +192,7 @@ double Histogram::Quantile(double q) const {
         0.0, 1.0);
     return lo + (hi - lo) * into;
   }
-  return bounds_.back();
+  return bounds.back();
 }
 
 std::vector<double> Histogram::ExponentialBounds(double start, double factor,
@@ -232,7 +257,36 @@ double MetricsRegistry::GaugeValue(const std::string& name,
   return it == gauges_.end() ? 0.0 : it->second->value();
 }
 
+std::vector<std::pair<std::string, double>> MetricsRegistry::GaugeChildren(
+    const std::string& name) const {
+  std::vector<std::pair<std::string, double>> out;
+  MutexLock lock(mu_);
+  // The map is ordered by (name, labels), so children are contiguous.
+  for (auto it = gauges_.lower_bound(Key{name, ""});
+       it != gauges_.end() && it->first.name == name; ++it) {
+    out.emplace_back(it->first.labels, it->second->value());
+  }
+  return out;
+}
+
+void MetricsRegistry::AddCollectionHook(std::function<void()> hook) {
+  MutexLock lock(mu_);
+  hooks_.push_back(std::move(hook));
+}
+
+void MetricsRegistry::RunCollectionHooks() const {
+  std::vector<std::function<void()>> hooks;
+  {
+    MutexLock lock(mu_);
+    hooks = hooks_;
+  }
+  // Outside the lock: hooks refresh instruments via Get*/Set, which retake
+  // mu_ themselves.
+  for (const std::function<void()>& hook : hooks) hook();
+}
+
 std::string MetricsRegistry::DumpText() const {
+  RunCollectionHooks();
   MutexLock lock(mu_);
   std::ostringstream out;
   for (const auto& [key, c] : counters_) {
@@ -251,6 +305,7 @@ std::string MetricsRegistry::DumpText() const {
 }
 
 std::string MetricsRegistry::DumpPrometheus() const {
+  RunCollectionHooks();
   MutexLock lock(mu_);
   std::string out;
   // Sanitized families must be unique per instrument, or two raw names
@@ -303,16 +358,28 @@ std::string MetricsRegistry::DumpPrometheus() const {
     }
     const std::vector<int64_t> counts = h->BucketCounts();
     const std::vector<double>& bounds = h->bounds();
+    // OpenMetrics-style exemplar suffix for buckets that captured one; ""
+    // for the (common) exemplar-free bucket, so plain scrapers see the
+    // classic 0.0.4 line unchanged.
+    const auto exemplar_suffix = [&](size_t b) {
+      const Histogram::Exemplar e = h->BucketExemplar(b);
+      if (e.trace_id == 0) return std::string();
+      return " # {trace_id=\"" +
+             StrFormat("%llx", static_cast<unsigned long long>(e.trace_id)) +
+             "\"} " + StrFormat("%g", e.value);
+    };
     int64_t cumulative = 0;
     for (size_t b = 0; b < bounds.size(); ++b) {
       cumulative += counts[b];
       out += family + "_bucket" +
              WithLe(key.labels, StrFormat("%g", bounds[b])) + " " +
-             StrFormat("%lld", static_cast<long long>(cumulative)) + "\n";
+             StrFormat("%lld", static_cast<long long>(cumulative)) +
+             exemplar_suffix(b) + "\n";
     }
     cumulative += counts.back();
     out += family + "_bucket" + WithLe(key.labels, "+Inf") + " " +
-           StrFormat("%lld", static_cast<long long>(cumulative)) + "\n";
+           StrFormat("%lld", static_cast<long long>(cumulative)) +
+           exemplar_suffix(counts.size() - 1) + "\n";
     out += family + "_sum" + key.labels + " " + StrFormat("%g", h->sum()) +
            "\n";
     out += family + "_count" + key.labels + " " +

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -61,10 +62,22 @@ class Gauge {
 /// observations in flight, exact once writers quiesce).
 class Histogram {
  public:
+  /// A trace exemplar: the last observation of a bucket that carried a
+  /// trace id, so a scraped histogram links back to one concrete request.
+  /// trace_id 0 means the bucket never saw an exemplified observation.
+  struct Exemplar {
+    uint64_t trace_id = 0;
+    double value = 0.0;
+  };
+
   /// `upper_bounds` must be non-empty and strictly ascending.
   explicit Histogram(std::vector<double> upper_bounds);
 
-  void Observe(double x);
+  /// Records `x`. A nonzero `exemplar_trace_id` additionally stamps the
+  /// landing bucket's exemplar (last-writer-wins, two relaxed stores; a
+  /// reader may momentarily pair a trace id with the previous value, which
+  /// is acceptable for monitoring — the id always names a real trace).
+  void Observe(double x, uint64_t exemplar_trace_id = 0);
 
   int64_t count() const;
   double sum() const;
@@ -84,13 +97,28 @@ class Histogram {
   std::vector<int64_t> BucketCounts() const;
   const std::vector<double>& bounds() const { return bounds_; }
 
+  /// Exemplar of bucket `b` (same indexing as BucketCounts); trace_id 0
+  /// when the bucket has none.
+  Exemplar BucketExemplar(size_t b) const;
+
   /// `n` bounds: start, start*factor, start*factor^2, ...
   static std::vector<double> ExponentialBounds(double start, double factor,
                                                int n);
 
+  /// The Quantile() interpolation over an externally supplied snapshot
+  /// (`counts` has bounds.size() + 1 entries, overflow last) — shared with
+  /// obs::WindowedHistogram, whose rolling-window snapshots are merged
+  /// from ring slots rather than read from one live histogram.
+  static double QuantileFromCounts(const std::vector<double>& bounds,
+                                   const std::vector<int64_t>& counts,
+                                   double q);
+
  private:
   std::vector<double> bounds_;               // ascending upper bounds
   std::vector<std::atomic<int64_t>> counts_;  // bounds_.size() + 1 (overflow)
+  /// Per-bucket exemplar halves; independently relaxed (see Observe).
+  std::vector<std::atomic<uint64_t>> exemplar_trace_;
+  std::vector<std::atomic<double>> exemplar_value_;
   std::atomic<double> sum_{0.0};
   std::atomic<int64_t> total_{0};
 };
@@ -125,6 +153,22 @@ class MetricsRegistry {
   double GaugeValue(const std::string& name, const Labels& labels = {}) const
       HALK_EXCLUDES(mu_);
 
+  /// Every labeled child of the gauge family `name` as (canonical label
+  /// string, value) pairs, e.g. {"{replica=\"0\",shard=\"1\"}", 0.0}.
+  /// Empty when the family does not exist. The unlabeled child, if any,
+  /// appears with an empty label string. Lets health endpoints enumerate
+  /// e.g. `shard.replica_health` without knowing the label space upfront.
+  std::vector<std::pair<std::string, double>> GaugeChildren(
+      const std::string& name) const HALK_EXCLUDES(mu_);
+
+  /// Registers a hook run (outside the registry lock, in registration
+  /// order) at the start of every DumpText / DumpPrometheus, so derived or
+  /// sampled instruments (process.* self-metrics, slo.* burn rates) are
+  /// refreshed on each scrape. Hooks may call Get*/Set freely; they must
+  /// not call Dump* or AddCollectionHook (self-deadlock by design: the
+  /// dump re-enters the registry lock after the hooks finish).
+  void AddCollectionHook(std::function<void()> hook) HALK_EXCLUDES(mu_);
+
   /// Plain-text dump. Ordering is stable and documented: all counters,
   /// then all gauges, then all histograms, each sorted by (name, canonical
   /// label string). Labeled instruments render the canonical labels inline:
@@ -138,7 +182,9 @@ class MetricsRegistry {
   /// line per family (names sanitized to [a-zA-Z0-9_:], dots become
   /// underscores), counter/gauge sample lines, and the full
   /// `_bucket{le=...}` / `_sum` / `_count` series for histograms with
-  /// cumulative bucket counts ending at le="+Inf".
+  /// cumulative bucket counts ending at le="+Inf". Buckets that hold a
+  /// trace exemplar append the OpenMetrics-style suffix
+  /// ` # {trace_id="<hex>"} <value>` after the sample value.
   std::string DumpPrometheus() const HALK_EXCLUDES(mu_);
 
  private:
@@ -153,11 +199,16 @@ class MetricsRegistry {
     }
   };
 
+  /// Copies the hooks out under mu_ and runs them unlocked (hooks call
+  /// Get*/Set, which retake mu_).
+  void RunCollectionHooks() const HALK_EXCLUDES(mu_);
+
   mutable Mutex mu_;
   std::map<Key, std::unique_ptr<Counter>> counters_ HALK_GUARDED_BY(mu_);
   std::map<Key, std::unique_ptr<Gauge>> gauges_ HALK_GUARDED_BY(mu_);
   std::map<Key, std::unique_ptr<Histogram>> histograms_
       HALK_GUARDED_BY(mu_);
+  std::vector<std::function<void()>> hooks_ HALK_GUARDED_BY(mu_);
 };
 
 }  // namespace halk::serving

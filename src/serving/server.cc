@@ -198,13 +198,22 @@ Result<std::future<Result<TopKAnswer>>> QueryServer::Submit(
                               cached.distances.begin() + take);
       answer.from_cache = true;
       answer.trace_id = trace.trace_id;
-      latency_us_->Observe(MicrosSince(now));
+      const double latency_us = MicrosSince(now);
+      latency_us_->Observe(latency_us, trace.trace_id);
+      if (options_.slo != nullptr) {
+        options_.slo->RecordRequest(latency_us, /*ok=*/true);
+      }
       if (trace.active()) {
         lookup.Annotate("hit", 1.0);
         lookup.End();
         obs::RecordSpan({trace.tracer, trace.trace_id, 0}, "request",
                         submit_ns, obs::NowNs(), {{"cache_hit", 1.0}},
                         root_span);
+      }
+      if (options_.serve_journal != nullptr) {
+        options_.serve_journal->Record(key.ToHex(), "OK", latency_us, k,
+                                       /*coverage=*/1.0, /*cache_hit=*/true,
+                                       trace.trace_id);
       }
       std::promise<Result<TopKAnswer>> ready;
       ready.set_value(std::move(answer));
@@ -256,7 +265,13 @@ void QueryServer::Finish(PendingRequest* request, Result<TopKAnswer> result) {
     completed_->Increment();
     result->trace_id = request->trace.trace_id;
   }
-  latency_us_->Observe(MicrosSince(request->submit_time));
+  const double latency_us = MicrosSince(request->submit_time);
+  // The trace id rides along as the landing bucket's exemplar, so a
+  // scraped latency histogram links back to a concrete trace.
+  latency_us_->Observe(latency_us, request->trace.trace_id);
+  if (options_.slo != nullptr) {
+    options_.slo->RecordRequest(latency_us, result.ok());
+  }
   in_flight_->Add(-1.0);
   if (request->trace.active()) {
     const int64_t end_ns = obs::NowNs();
@@ -269,6 +284,13 @@ void QueryServer::Finish(PendingRequest* request, Result<TopKAnswer> result) {
           request->key.ToHex(),
           request->trace.tracer->Collect(request->trace.trace_id));
     }
+  }
+  if (options_.serve_journal != nullptr) {
+    options_.serve_journal->Record(
+        request->key.ToHex(),
+        result.ok() ? "OK" : StatusCodeToString(result.status().code()),
+        latency_us, request->k, result.ok() ? result->coverage : 0.0,
+        result.ok() && result->from_cache, request->trace.trace_id);
   }
   request->promise.set_value(std::move(result));
 }

@@ -13,6 +13,8 @@
 #include "common/status.h"
 #include "core/query_model.h"
 #include "kg/graph.h"
+#include "obs/journal.h"
+#include "obs/slo_tracker.h"
 #include "obs/slow_query_log.h"
 #include "obs/trace.h"
 #include "plan/executor.h"
@@ -59,6 +61,16 @@ struct ServerOptions {
   /// the id returned in TopKAnswer::trace_id. Null or disabled costs one
   /// relaxed atomic load per request.
   obs::Tracer* tracer = nullptr;
+  /// Rolling-window SLO tracker fed with every finished request's latency
+  /// and outcome (must outlive the server; null disables). Burn rates are
+  /// exported when the tracker registered its metrics — typically into
+  /// this server's registry via slo->RegisterMetrics(server.metrics()).
+  obs::SloTracker* slo = nullptr;
+  /// Per-request JSONL audit journal (fingerprint, status, latency,
+  /// coverage, cache hit, trace id); must outlive the server. Null
+  /// disables — the journal write is a mutex-serialized flushed append,
+  /// so enable it for auditing, not for peak throughput.
+  obs::ServeJournal* serve_journal = nullptr;
   /// Requests slower than this land in the slow-query log (zero disables
   /// the log; it only retains traces, so it also requires `tracer`).
   std::chrono::microseconds slow_query_threshold{0};

@@ -288,9 +288,11 @@ ShardedTopK ShardCoordinator::TopKEmbedded(const BranchSet& branches,
         std::to_string(num_shards) + " shards unavailable");
   }
   if (gather_us_ != nullptr) {
+    // Exemplar: a slow gather bucket in the scrape names this trace.
     gather_us_->Observe(
         std::chrono::duration<double, std::micro>(Clock::now() - start)
-            .count());
+            .count(),
+        trace.trace_id);
   }
   return out;
 }

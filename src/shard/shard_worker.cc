@@ -133,7 +133,10 @@ void ShardWorker::Serve(ShardTask* task) {
   const int64_t scan_start = scan_us_ != nullptr ? obs::NowNs() : 0;
   model_->AccumulateTopKRange(refs, range_.begin, range_.end, &acc, &stats);
   if (scan_us_ != nullptr) {
-    scan_us_->Observe(static_cast<double>(obs::NowNs() - scan_start) / 1e3);
+    // The request's trace id rides along as the bucket exemplar so a slow
+    // scraped scan bucket names a concrete trace.
+    scan_us_->Observe(static_cast<double>(obs::NowNs() - scan_start) / 1e3,
+                      task->trace.trace_id);
   }
   if (scan.active()) {
     scan.Annotate("shard", shard_index_);

@@ -451,6 +451,77 @@ TEST(SeededMutantTest, ProfileScopeVariableNameIsCaught) {
 }
 
 // ---------------------------------------------------------------------------
+// metric-name-convention
+// ---------------------------------------------------------------------------
+
+TEST(MetricNameTest, LowercaseDottedNamesPass) {
+  const std::string code =
+      "void Wire(serving::MetricsRegistry* r) {\n"
+      "  r->GetCounter(\"serving.submitted\")->Increment();\n"
+      "  r->GetGauge(\"shard.replica_health\", {{\"shard\", \"0\"}});\n"
+      "  r->GetHistogram(\"slo.p99_us_fast\", {1.0});\n"
+      "  (void)r->CounterValue(\"slo.alerts_fired\");\n"
+      "  (void)r->GaugeChildren(\"shard.replica_health\");\n"
+      "}\n";
+  EXPECT_FALSE(HasRule(Lint("src/serving/wire.cc", code),
+                       "metric-name-convention"));
+}
+
+TEST(MetricNameTest, NonconformingLiteralsFire) {
+  EXPECT_TRUE(HasRule(
+      Lint("src/a.cc", "r->GetCounter(\"Serving.Submitted\");\n"),
+      "metric-name-convention", 1));
+  EXPECT_TRUE(HasRule(
+      Lint("src/a.cc", "r->GetGauge(\"shard-replica-health\");\n"),
+      "metric-name-convention", 1));
+  EXPECT_TRUE(HasRule(Lint("src/a.cc", "r->GetCounter(\"9lives\");\n"),
+                      "metric-name-convention", 1));
+  EXPECT_TRUE(HasRule(Lint("src/a.cc", "r->GetCounter(\"slo..burn\");\n"),
+                      "metric-name-convention", 1));
+  EXPECT_TRUE(HasRule(Lint("src/a.cc", "r->GetCounter(\"slo.burn.\");\n"),
+                      "metric-name-convention", 1));
+}
+
+TEST(MetricNameTest, DynamicNamesAndWrappedLiteralsAreHandled) {
+  // A computed name cannot be checked textually: skipped, not flagged.
+  EXPECT_FALSE(HasRule(
+      Lint("src/a.cc", "r->GetCounter(MetricNameFor(shard));\n"),
+      "metric-name-convention"));
+  // A literal wrapped onto the next line is still found...
+  const std::string wrapped_good =
+      "r->GetHistogram(\n"
+      "    \"serving.latency_us\", bounds);\n";
+  EXPECT_FALSE(HasRule(Lint("src/a.cc", wrapped_good),
+                       "metric-name-convention"));
+  // ...and still checked.
+  const std::string wrapped_bad =
+      "r->GetHistogram(\n"
+      "    \"Serving.LatencyUs\", bounds);\n";
+  EXPECT_TRUE(HasRule(Lint("src/a.cc", wrapped_bad),
+                      "metric-name-convention", 1));
+}
+
+TEST(MetricNameTest, InlineAllowSuppresses) {
+  const std::string code =
+      "r->GetCounter(\"Legacy.Name\");  "
+      "// halk_lint:allow metric-name-convention grandfathered dashboard\n";
+  EXPECT_FALSE(HasRule(Lint("src/a.cc", code), "metric-name-convention"));
+}
+
+TEST(SeededMutantTest, CamelCaseMetricRenameIsCaught) {
+  const std::string current =
+      "latency_us_ = metrics->GetHistogram(\"serving.latency_us\", bounds);\n";
+  EXPECT_FALSE(HasRule(Lint("src/serving/server.cc", current),
+                       "metric-name-convention"));
+  // Mutant: a rename to CamelCase would silently mint a second Prometheus
+  // family and orphan every dashboard panel scraping the old one.
+  const std::string mutant =
+      "latency_us_ = metrics->GetHistogram(\"Serving.LatencyUs\", bounds);\n";
+  EXPECT_TRUE(HasRule(Lint("src/serving/server.cc", mutant),
+                      "metric-name-convention", 1));
+}
+
+// ---------------------------------------------------------------------------
 // store-fixed-width-int
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,45 @@
+// Standalone Prometheus 0.0.4 exposition checker for shell tests: reads
+// an exposition body from the file named in argv[1] (or stdin when no
+// argument is given), runs it through the shared grammar checker, and
+// exits nonzero on any violation. Used by the sparql_endpoint HTTP smoke
+// test to validate a live /metrics scrape.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "serving/prometheus_grammar.h"
+
+namespace {
+
+std::string* g_body = nullptr;
+
+TEST(PrometheusBodyCheck, BodyMatchesGrammar) {
+  ASSERT_NE(g_body, nullptr);
+  halk::serving::ExpectValidPrometheusExposition(*g_body);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  std::string body;
+  if (argc > 1) {
+    std::ifstream in(argv[1], std::ios::binary);
+    if (!in) {
+      std::cerr << "cannot read " << argv[1] << "\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    body = buffer.str();
+  } else {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    body = buffer.str();
+  }
+  g_body = &body;
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,281 @@
+#include "net/telemetry.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/halk_model.h"
+#include "kg/synthetic.h"
+#include "net/http_client_for_test.h"
+#include "net/http_server.h"
+#include "obs/journal.h"
+#include "obs/profiler.h"
+#include "obs/slo_tracker.h"
+#include "obs/trace.h"
+#include "query/sampler.h"
+#include "serving/metrics.h"
+#include "serving/prometheus_grammar.h"
+#include "shard/coordinator.h"
+#include "shard/fault_injector.h"
+#include "store/shard_file.h"
+
+namespace halk::net {
+namespace {
+
+using query::StructureId;
+
+// ---------------------------------------------------------------- health
+
+TEST(EvaluateShardHealthTest, NoShardFamilyIsHealthy) {
+  serving::MetricsRegistry metrics;
+  metrics.GetCounter("serving.completed")->Increment();
+  const ShardHealth health = EvaluateShardHealth(metrics);
+  EXPECT_TRUE(health.healthy);
+  EXPECT_EQ(health.shards, 0);
+}
+
+TEST(EvaluateShardHealthTest, SurvivingReplicaKeepsShardHealthy) {
+  serving::MetricsRegistry metrics;
+  metrics.GetGauge("shard.replica_health", {{"shard", "0"}, {"replica", "0"}})
+      ->Set(2.0);
+  metrics.GetGauge("shard.replica_health", {{"shard", "0"}, {"replica", "1"}})
+      ->Set(0.0);
+  metrics.GetGauge("shard.replica_health", {{"shard", "1"}, {"replica", "0"}})
+      ->Set(1.0);  // suspect still counts as live
+  metrics.GetGauge("shard.replica_health", {{"shard", "1"}, {"replica", "1"}})
+      ->Set(0.0);
+  const ShardHealth health = EvaluateShardHealth(metrics);
+  EXPECT_TRUE(health.healthy);
+  EXPECT_EQ(health.shards, 2);
+  EXPECT_EQ(health.shards_down, 0);
+  EXPECT_EQ(health.replicas_down, 1);
+}
+
+TEST(EvaluateShardHealthTest, FullShardLossIsUnhealthy) {
+  serving::MetricsRegistry metrics;
+  metrics.GetGauge("shard.replica_health", {{"shard", "0"}, {"replica", "0"}})
+      ->Set(2.0);
+  metrics.GetGauge("shard.replica_health", {{"shard", "0"}, {"replica", "1"}})
+      ->Set(2.0);
+  metrics.GetGauge("shard.replica_health", {{"shard", "1"}, {"replica", "0"}})
+      ->Set(0.0);
+  const ShardHealth health = EvaluateShardHealth(metrics);
+  EXPECT_FALSE(health.healthy);
+  EXPECT_EQ(health.shards, 2);
+  EXPECT_EQ(health.shards_down, 1);
+  EXPECT_EQ(health.replicas_down, 2);
+}
+
+// ------------------------------------------------------------- endpoints
+
+TEST(TelemetryEndpointsTest, NullSourcesAnswer404ButHealthzPasses) {
+  HttpServer server;
+  RegisterTelemetryEndpoints(&server, TelemetrySources{});
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(HttpGet(server.port(), "/metrics").status, 404);
+  EXPECT_EQ(HttpGet(server.port(), "/traces").status, 404);
+  EXPECT_EQ(HttpGet(server.port(), "/profile").status, 404);
+  EXPECT_EQ(HttpGet(server.port(), "/slo").status, 404);
+  // With no registry there is nothing to be unhealthy about.
+  EXPECT_EQ(HttpGet(server.port(), "/healthz").status, 200);
+  EXPECT_EQ(HttpGet(server.port(), "/readyz").status, 200);
+  server.Stop();
+}
+
+TEST(TelemetryEndpointsTest, MetricsScrapePassesGrammarWithExemplars) {
+  serving::MetricsRegistry metrics;
+  metrics.GetCounter("serving.completed")->Increment();
+  metrics.GetGauge("serving.queue_depth")->Set(3.0);
+  serving::Histogram* latency =
+      metrics.GetHistogram("serving.latency_us", {10.0, 100.0});
+  latency->Observe(5.0);
+  latency->Observe(50.0, /*exemplar_trace_id=*/0xabcdef);
+  latency->Observe(500.0, /*exemplar_trace_id=*/0x123);
+
+  HttpServer server;
+  TelemetrySources sources;
+  sources.metrics = &metrics;
+  RegisterTelemetryEndpoints(&server, sources);
+  ASSERT_TRUE(server.Start().ok());
+  const TestHttpResponse response = HttpGet(server.port(), "/metrics");
+  server.Stop();
+
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.content_type, "text/plain; version=0.0.4; charset=utf-8");
+  serving::ExpectValidPrometheusExposition(response.body);
+  // The scraped bucket lines carry the trace exemplars.
+  EXPECT_NE(response.body.find("# {trace_id=\"abcdef\"} 50"),
+            std::string::npos)
+      << response.body;
+  EXPECT_NE(response.body.find("# {trace_id=\"123\"} 500"), std::string::npos);
+}
+
+TEST(TelemetryEndpointsTest, SloEndpointReportsBurnRates) {
+  obs::SloTracker slo;
+  slo.RecordRequest(/*latency_us=*/120.0, /*ok=*/true);
+  slo.RecordRequest(/*latency_us=*/80.0, /*ok=*/false);
+
+  HttpServer server;
+  TelemetrySources sources;
+  sources.slo = &slo;
+  RegisterTelemetryEndpoints(&server, sources);
+  ASSERT_TRUE(server.Start().ok());
+  const TestHttpResponse response = HttpGet(server.port(), "/slo");
+  server.Stop();
+
+  EXPECT_EQ(response.status, 200);
+  auto parsed = obs::ParseJsonLine(
+      response.body.substr(0, response.body.find('\n')));
+  ASSERT_TRUE(parsed.ok()) << response.body;
+  const obs::JsonValue* requests = obs::FindKey(*parsed, "requests_fast");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_EQ(requests->number, 2.0);
+  EXPECT_NE(obs::FindKey(*parsed, "latency_burn_fast"), nullptr);
+  EXPECT_NE(obs::FindKey(*parsed, "error_burn_slow"), nullptr);
+  EXPECT_NE(obs::FindKey(*parsed, "latency_alert"), nullptr);
+}
+
+TEST(TelemetryEndpointsTest, TracesEndpointReturnsRecentSpans) {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    const obs::TraceContext trace{&tracer, tracer.StartTrace(), 0};
+    obs::SpanGuard span(trace, "telemetry_test_span");
+    span.End();
+  }
+
+  HttpServer server;
+  TelemetrySources sources;
+  sources.tracer = &tracer;
+  RegisterTelemetryEndpoints(&server, sources);
+  ASSERT_TRUE(server.Start().ok());
+  const TestHttpResponse response = HttpGet(server.port(), "/traces?spans=8");
+  server.Stop();
+
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("telemetry_test_span"), std::string::npos)
+      << response.body;
+  EXPECT_NE(response.body.find("trace_id"), std::string::npos);
+}
+
+// The acceptance scenario: a live endpoint suite over a real sharded
+// coordinator whose replica-health gauges feed /healthz. Downing every
+// replica of one shard flips it to 503; reviving flips it back.
+TEST(TelemetryEndpointsTest, HealthzFlipsOnInjectedShardOutage) {
+  kg::SyntheticKgOptions opt;
+  opt.num_entities = 120;
+  opt.num_relations = 5;
+  opt.num_triples = 600;
+  opt.seed = 13;
+  kg::Dataset dataset = kg::GenerateSyntheticKg(opt);
+  core::ModelConfig config;
+  config.num_entities = dataset.train.num_entities();
+  config.num_relations = dataset.train.num_relations();
+  config.dim = 8;
+  config.hidden = 16;
+  config.seed = 5;
+  core::HalkModel model(config, nullptr);
+
+  shard::ShardFaultInjector faults;
+  shard::ShardOptions options;
+  options.num_shards = 2;
+  options.replication = 1;
+  options.down_after_failures = 2;
+  serving::MetricsRegistry metrics;
+  shard::ShardCoordinator coordinator(&model, options, &faults, &metrics);
+
+  HttpServer server;
+  TelemetrySources sources;
+  sources.metrics = &metrics;
+  RegisterTelemetryEndpoints(&server, sources);
+  ASSERT_TRUE(server.Start().ok());
+
+  query::QuerySampler sampler(&dataset.train, 7);
+  const auto queries = sampler.SampleMany(StructureId::k1p, 4).ValueOrDie();
+
+  // Healthy at start: gauges exist once the coordinator served a query.
+  (void)coordinator.TopK(queries[0].graph, 5);
+  TestHttpResponse healthy = HttpGet(server.port(), "/healthz");
+  EXPECT_EQ(healthy.status, 200);
+  EXPECT_NE(healthy.body.find("\"status\":\"ok\""), std::string::npos);
+
+  // Down the only replica of shard 0; after down_after_failures failed
+  // calls its gauge reaches 2 and the shard has no live replica left.
+  faults.SetShardDown(0, options.replication, true);
+  for (const auto& q : queries) (void)coordinator.TopK(q.graph, 5);
+  TestHttpResponse degraded = HttpGet(server.port(), "/healthz");
+  EXPECT_EQ(degraded.status, 503);
+  EXPECT_NE(degraded.body.find("\"status\":\"unavailable\""),
+            std::string::npos)
+      << degraded.body;
+  EXPECT_NE(degraded.body.find("\"shards_down\":1"), std::string::npos);
+  // /readyz mirrors liveness and names the reason.
+  TestHttpResponse not_ready = HttpGet(server.port(), "/readyz");
+  EXPECT_EQ(not_ready.status, 503);
+  EXPECT_NE(not_ready.body.find("shard coverage lost"), std::string::npos);
+
+  // Revive: the next successful call per replica restores the gauge.
+  faults.SetShardDown(0, options.replication, false);
+  for (const auto& q : queries) (void)coordinator.TopK(q.graph, 5);
+  TestHttpResponse recovered = HttpGet(server.port(), "/healthz");
+  EXPECT_EQ(recovered.status, 200);
+
+  server.Stop();
+}
+
+// The second acceptance scenario: /readyz additionally runs the injected
+// readiness probe — here the store's checksum verification over a shard
+// file whose bytes were corrupted after it was mapped lazily.
+TEST(TelemetryEndpointsTest, ReadyzFlipsOnCorruptedStoreFile) {
+  const std::string path = testing::TempDir() + "/telemetry_readyz.halkstore";
+  {
+    store::ShardFileWriter writer(path, /*dim=*/4, /*entity_begin=*/0,
+                                  /*entity_end=*/64, /*rows_per_group=*/16);
+    std::vector<float> row(4, 1.5f);
+    for (int64_t e = 0; e < 64; ++e) {
+      ASSERT_TRUE(writer.Append(row.data(), 1).ok());
+    }
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+
+  auto serve_readyz = [&](const std::string& file) {
+    store::MappedShardFile::OpenOptions lazy;
+    lazy.verify_checksums = false;
+    auto opened = store::MappedShardFile::Open(file, lazy);
+    EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+    store::MappedShardFile* mapped = opened->get();
+    HttpServer server;
+    TelemetrySources sources;
+    sources.ready_check = [mapped] { return mapped->VerifyChecksums(); };
+    RegisterTelemetryEndpoints(&server, sources);
+    EXPECT_TRUE(server.Start().ok());
+    const TestHttpResponse response = HttpGet(server.port(), "/readyz");
+    server.Stop();
+    return response;
+  };
+
+  const TestHttpResponse ready = serve_readyz(path);
+  EXPECT_EQ(ready.status, 200);
+
+  // Flip a data byte: liveness is untouched, readiness must flip.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, -1, SEEK_END), 0);
+    const int c = std::fgetc(f);
+    ASSERT_EQ(std::fseek(f, -1, SEEK_END), 0);
+    std::fputc(c ^ 0x5a, f);
+    std::fclose(f);
+  }
+  const TestHttpResponse not_ready = serve_readyz(path);
+  EXPECT_EQ(not_ready.status, 503);
+  EXPECT_NE(not_ready.body.find("\"reason\""), std::string::npos)
+      << not_ready.body;
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace halk::net

@@ -171,5 +171,66 @@ TEST(TrainJournalTest, OpenOnUnwritablePathIsIOError) {
   EXPECT_EQ(journal.status().code(), StatusCode::kIOError);
 }
 
+TEST(ServeJournalTest, RecordsRoundTripThroughTheLineParser) {
+  std::ostringstream sink;
+  std::unique_ptr<ServeJournal> journal = ServeJournal::ToStream(&sink);
+  journal->Record("q:abc123", "OK", 1234.5, 10, 0.875, false,
+                  0xdeadbeefull);
+  journal->Record("q:abc123", "OK", 9.25, 10, 1.0, true, 0);
+  EXPECT_EQ(journal->records_written(), 2);
+
+  std::istringstream lines(sink.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  auto first = ParseJsonLine(line);
+  ASSERT_TRUE(first.ok()) << line;
+  EXPECT_EQ(FindKey(*first, "record")->string_value, "serve");
+  EXPECT_EQ(FindKey(*first, "fingerprint")->string_value, "q:abc123");
+  EXPECT_EQ(FindKey(*first, "status")->string_value, "OK");
+  EXPECT_DOUBLE_EQ(FindKey(*first, "latency_us")->number, 1234.5);
+  EXPECT_DOUBLE_EQ(FindKey(*first, "k")->number, 10.0);
+  EXPECT_DOUBLE_EQ(FindKey(*first, "coverage")->number, 0.875);
+  EXPECT_FALSE(FindKey(*first, "cache_hit")->bool_value);
+  // Trace ids are hex strings: JSON doubles cannot hold 64 bits.
+  EXPECT_EQ(FindKey(*first, "trace_id")->string_value, "deadbeef");
+
+  ASSERT_TRUE(std::getline(lines, line));
+  auto second = ParseJsonLine(line);
+  ASSERT_TRUE(second.ok()) << line;
+  EXPECT_TRUE(FindKey(*second, "cache_hit")->bool_value);
+  EXPECT_EQ(FindKey(*second, "trace_id")->string_value, "0");
+  EXPECT_FALSE(std::getline(lines, line)) << "exactly one line per record";
+}
+
+TEST(ServeJournalTest, OpenTruncatesAndFlushesEveryRecord) {
+  const std::string path =
+      ::testing::TempDir() + "/halk_serve_journal_test.jsonl";
+  {
+    std::ofstream stale(path);
+    stale << "stale content\n";
+  }
+  auto journal = ServeJournal::Open(path);
+  ASSERT_TRUE(journal.ok());
+  EXPECT_EQ((*journal)->path(), path);
+  (*journal)->Record("q:1", "DEADLINE_EXCEEDED", 50000.0, 5, 0.5, false,
+                     0x1f);
+  // Records are flushed as written: readable before the journal closes.
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  auto parsed = ParseJsonLine(line);
+  ASSERT_TRUE(parsed.ok()) << line;
+  EXPECT_EQ(FindKey(*parsed, "status")->string_value, "DEADLINE_EXCEEDED");
+  EXPECT_EQ(FindKey(*parsed, "trace_id")->string_value, "1f");
+  EXPECT_FALSE(std::getline(in, line)) << "stale content survived Open";
+  std::remove(path.c_str());
+}
+
+TEST(ServeJournalTest, OpenOnUnwritablePathIsIOError) {
+  auto journal = ServeJournal::Open("/nonexistent-dir/serve.jsonl");
+  ASSERT_FALSE(journal.ok());
+  EXPECT_EQ(journal.status().code(), StatusCode::kIOError);
+}
+
 }  // namespace
 }  // namespace halk::obs

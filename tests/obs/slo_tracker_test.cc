@@ -1,0 +1,182 @@
+// Deterministic SLO burn-rate tests: a fake clock drives tiny windows so
+// burn rates, the both-windows alert policy, and rising-edge alert
+// transitions are all exact.
+
+#include "obs/slo_tracker.h"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/journal.h"
+#include "serving/metrics.h"
+
+namespace halk::obs {
+namespace {
+
+struct FakeClock {
+  std::atomic<int64_t> now_ns{0};
+  std::function<int64_t()> fn() {
+    // order: test clock, advanced between quiesced phases.
+    return [this] { return now_ns.load(std::memory_order_relaxed); };
+  }
+  void Advance(int64_t ns) {
+    // order: see fn().
+    now_ns.fetch_add(ns, std::memory_order_relaxed);
+  }
+};
+
+/// Tiny windows: fast = 4 slots x 1us, slow = 4 slots x 4us. A latency
+/// above 100us is over-objective; budgets keep the default 1% / 0.1%.
+SloOptions TestOptions(FakeClock* clock) {
+  SloOptions options;
+  options.latency_objective_us = 100.0;
+  options.fast_window_ns = 4000;
+  options.fast_slots = 4;
+  options.slow_window_ns = 16000;
+  options.slow_slots = 4;
+  options.now_ns = clock->fn();
+  return options;
+}
+
+TEST(SloTrackerTest, EmptyWindowsBurnNothing) {
+  FakeClock clock;
+  SloTracker tracker(TestOptions(&clock));
+  const SloStatus status = tracker.Evaluate();
+  EXPECT_EQ(status.requests_fast, 0);
+  EXPECT_EQ(status.requests_slow, 0);
+  EXPECT_DOUBLE_EQ(status.latency_burn_fast, 0.0);
+  EXPECT_DOUBLE_EQ(status.error_burn_slow, 0.0);
+  EXPECT_FALSE(status.latency_alert);
+  EXPECT_FALSE(status.error_alert);
+}
+
+TEST(SloTrackerTest, BurnRateIsBadFractionOverBudget) {
+  FakeClock clock;
+  SloTracker tracker(TestOptions(&clock));
+  // 90 within-objective + 10 over-objective = 10% bad against a 1%
+  // budget: burn exactly 10x in both windows. All succeed, so the error
+  // objective burns nothing.
+  for (int i = 0; i < 90; ++i) tracker.RecordRequest(50.0, true);
+  for (int i = 0; i < 10; ++i) tracker.RecordRequest(500.0, true);
+  const SloStatus status = tracker.Evaluate();
+  EXPECT_EQ(status.requests_fast, 100);
+  EXPECT_EQ(status.requests_slow, 100);
+  EXPECT_DOUBLE_EQ(status.latency_burn_fast, 10.0);
+  EXPECT_DOUBLE_EQ(status.latency_burn_slow, 10.0);
+  EXPECT_DOUBLE_EQ(status.error_burn_fast, 0.0);
+  EXPECT_DOUBLE_EQ(status.error_burn_slow, 0.0);
+  // 10x fast burn is under the 14.4x page threshold: no alert.
+  EXPECT_FALSE(status.latency_alert);
+  EXPECT_GE(status.p99_us_fast, 100.0);
+}
+
+TEST(SloTrackerTest, AlertNeedsBothWindowsBurning) {
+  FakeClock clock;
+  SloTracker tracker(TestOptions(&clock));
+  // A long good history fills the slow window...
+  for (int i = 0; i < 600; ++i) tracker.RecordRequest(10.0, true);
+  // ...then the fast window rolls past it and sees a pure-bad burst.
+  clock.Advance(8000);
+  for (int i = 0; i < 4; ++i) tracker.RecordRequest(900.0, true);
+  const SloStatus status = tracker.Evaluate();
+  // Fast window: 4/4 bad -> burn 100x, way over threshold.
+  EXPECT_DOUBLE_EQ(status.latency_burn_fast, 100.0);
+  // Slow window: 4/604 bad -> burn ~0.66x, under the 6x threshold.
+  EXPECT_LT(status.latency_burn_slow, 6.0);
+  EXPECT_FALSE(status.latency_alert) << "slow window must gate the page";
+
+  // Once the bad fraction dominates the slow window too, both burn.
+  for (int i = 0; i < 120; ++i) tracker.RecordRequest(900.0, true);
+  const SloStatus paged = tracker.Evaluate();
+  EXPECT_GE(paged.latency_burn_fast, 14.4);
+  EXPECT_GE(paged.latency_burn_slow, 6.0);
+  EXPECT_TRUE(paged.latency_alert);
+}
+
+TEST(SloTrackerTest, ErrorObjectiveAlertsIndependently) {
+  FakeClock clock;
+  SloTracker tracker(TestOptions(&clock));
+  // Fast failures: latency is fine, so only the error objective burns
+  // (1/10 failed against a 0.1% budget = 100x burn).
+  for (int i = 0; i < 9; ++i) tracker.RecordRequest(10.0, true);
+  tracker.RecordRequest(10.0, false);
+  const SloStatus status = tracker.Evaluate();
+  EXPECT_DOUBLE_EQ(status.latency_burn_fast, 0.0);
+  EXPECT_DOUBLE_EQ(status.error_burn_fast, 100.0);
+  EXPECT_DOUBLE_EQ(status.error_burn_slow, 100.0);
+  EXPECT_FALSE(status.latency_alert);
+  EXPECT_TRUE(status.error_alert);
+}
+
+TEST(SloTrackerTest, AlertTransitionsCountOncePerRisingEdge) {
+  FakeClock clock;
+  SloTracker tracker(TestOptions(&clock));
+  serving::MetricsRegistry registry;
+  tracker.RegisterMetrics(&registry);
+
+  // Trip the latency alert: all traffic over objective burns both
+  // windows far past threshold.
+  for (int i = 0; i < 20; ++i) tracker.RecordRequest(500.0, true);
+  EXPECT_TRUE(tracker.Evaluate().latency_alert);
+  EXPECT_EQ(registry.CounterValue("slo.alerts_fired"), 1);
+  EXPECT_DOUBLE_EQ(
+      registry.GaugeValue("slo.alert_active", {{"objective", "latency"}}),
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      registry.GaugeValue("slo.alert_active", {{"objective", "errors"}}),
+      0.0);
+
+  // Re-evaluating while still firing is not a new transition.
+  EXPECT_TRUE(tracker.Evaluate().latency_alert);
+  EXPECT_TRUE(tracker.Evaluate().latency_alert);
+  EXPECT_EQ(registry.CounterValue("slo.alerts_fired"), 1);
+
+  // A full slow window of silence ages the burst out and clears the
+  // alert...
+  clock.Advance(20000);
+  EXPECT_FALSE(tracker.Evaluate().latency_alert);
+  EXPECT_DOUBLE_EQ(
+      registry.GaugeValue("slo.alert_active", {{"objective", "latency"}}),
+      0.0);
+  EXPECT_EQ(registry.CounterValue("slo.alerts_fired"), 1);
+
+  // ...and the next outage is a second rising edge.
+  for (int i = 0; i < 20; ++i) tracker.RecordRequest(500.0, true);
+  EXPECT_TRUE(tracker.Evaluate().latency_alert);
+  EXPECT_EQ(registry.CounterValue("slo.alerts_fired"), 2);
+}
+
+TEST(SloTrackerTest, ScrapeTriggersEvaluationThroughCollectionHook) {
+  FakeClock clock;
+  SloTracker tracker(TestOptions(&clock));
+  serving::MetricsRegistry registry;
+  tracker.RegisterMetrics(&registry);
+  for (int i = 0; i < 90; ++i) tracker.RecordRequest(50.0, true);
+  for (int i = 0; i < 10; ++i) tracker.RecordRequest(500.0, true);
+  // No explicit Evaluate: the dump's collection hook must refresh slo.*.
+  const std::string text = registry.DumpPrometheus();
+  EXPECT_DOUBLE_EQ(registry.GaugeValue("slo.requests_fast"), 100.0);
+  EXPECT_DOUBLE_EQ(registry.GaugeValue("slo.latency_burn_fast"), 10.0);
+  EXPECT_NE(text.find("slo_latency_burn_fast"), std::string::npos) << text;
+}
+
+TEST(SloTrackerTest, StatusJsonRoundTrips) {
+  FakeClock clock;
+  SloTracker tracker(TestOptions(&clock));
+  for (int i = 0; i < 9; ++i) tracker.RecordRequest(10.0, true);
+  tracker.RecordRequest(10.0, false);
+  const std::string json = tracker.Evaluate().ToJson();
+  auto parsed = ParseJsonLine(json);
+  ASSERT_TRUE(parsed.ok()) << json;
+  EXPECT_DOUBLE_EQ(FindKey(*parsed, "requests_fast")->number, 10.0);
+  EXPECT_DOUBLE_EQ(FindKey(*parsed, "error_burn_fast")->number, 100.0);
+  EXPECT_FALSE(FindKey(*parsed, "latency_alert")->bool_value);
+  EXPECT_TRUE(FindKey(*parsed, "error_alert")->bool_value);
+}
+
+}  // namespace
+}  // namespace halk::obs

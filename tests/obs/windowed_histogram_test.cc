@@ -1,0 +1,151 @@
+#include "obs/windowed_histogram.h"
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace halk::obs {
+namespace {
+
+constexpr int64_t kSlotNs = 1000;  // tiny slots so tests rotate cheaply
+
+/// A fake clock the test advances by hand; shared with the histogram via
+/// the injectable now_ns so rotation is fully deterministic.
+struct FakeClock {
+  std::atomic<int64_t> now_ns{0};
+  std::function<int64_t()> fn() {
+    // order: test clock, advanced between quiesced phases.
+    return [this] { return now_ns.load(std::memory_order_relaxed); };
+  }
+  void Advance(int64_t ns) {
+    // order: see fn().
+    now_ns.fetch_add(ns, std::memory_order_relaxed);
+  }
+};
+
+TEST(WindowedHistogramTest, ObservationsLandInBuckets) {
+  FakeClock clock;
+  WindowedHistogram hist({10.0, 100.0}, kSlotNs, 4, clock.fn());
+  hist.Observe(5.0);
+  hist.Observe(50.0);
+  hist.Observe(500.0);
+  const WindowedHistogram::Snapshot snap = hist.TakeSnapshot();
+  EXPECT_EQ(snap.total, 3);
+  ASSERT_EQ(snap.counts.size(), 3u);
+  EXPECT_EQ(snap.counts[0], 1);
+  EXPECT_EQ(snap.counts[1], 1);
+  EXPECT_EQ(snap.counts[2], 1);
+  EXPECT_DOUBLE_EQ(snap.sum, 555.0);
+  EXPECT_DOUBLE_EQ(snap.mean(), 185.0);
+}
+
+TEST(WindowedHistogramTest, OldSlotsAgeOutOfTheWindow) {
+  FakeClock clock;
+  WindowedHistogram hist({10.0}, kSlotNs, 4, clock.fn());
+  hist.Observe(1.0);
+  EXPECT_EQ(hist.TakeSnapshot().total, 1);
+
+  // Still inside the 4-slot window three slots later...
+  clock.Advance(3 * kSlotNs);
+  hist.Observe(2.0);
+  EXPECT_EQ(hist.TakeSnapshot().total, 2);
+
+  // ...but the first observation's slot leaves the window at slot 4.
+  clock.Advance(kSlotNs);
+  EXPECT_EQ(hist.TakeSnapshot().total, 1);
+
+  // And a full window of silence empties it.
+  clock.Advance(4 * kSlotNs);
+  EXPECT_EQ(hist.TakeSnapshot().total, 0);
+  EXPECT_DOUBLE_EQ(hist.TakeSnapshot().sum, 0.0);
+}
+
+TEST(WindowedHistogramTest, SlotReuseZeroesStaleCounts) {
+  FakeClock clock;
+  WindowedHistogram hist({10.0}, kSlotNs, 2, clock.fn());
+  for (int i = 0; i < 5; ++i) hist.Observe(1.0);
+  // Advance exactly num_slots slots: the same ring slot is reused for a
+  // new epoch and must restart from zero, not accumulate.
+  clock.Advance(2 * kSlotNs);
+  hist.Observe(1.0);
+  EXPECT_EQ(hist.TakeSnapshot().total, 1);
+}
+
+TEST(WindowedHistogramTest, SnapshotQuantileMatchesCumulativeSemantics) {
+  FakeClock clock;
+  const std::vector<double> bounds = {1.0, 2.0, 4.0, 8.0};
+  WindowedHistogram hist(bounds, kSlotNs, 4, clock.fn());
+  serving::Histogram reference(bounds);
+  for (int i = 0; i < 100; ++i) {
+    const double x = 0.1 * static_cast<double>(i);
+    hist.Observe(x);
+    reference.Observe(x);
+  }
+  const WindowedHistogram::Snapshot snap = hist.TakeSnapshot();
+  for (const double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(snap.Quantile(q), reference.Quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(WindowedHistogramTest, EmptyWindowQuantileIsZero) {
+  FakeClock clock;
+  WindowedHistogram hist({1.0}, kSlotNs, 2, clock.fn());
+  EXPECT_DOUBLE_EQ(hist.TakeSnapshot().Quantile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(hist.TakeSnapshot().mean(), 0.0);
+}
+
+// TSan-targeted: writers observing while the clock races forward (forcing
+// rotation elections) and a reader snapshotting continuously. Exact counts
+// are checked after writers quiesce within a stable epoch.
+TEST(WindowedHistogramTest, ConcurrentObserveAndRotation) {
+  FakeClock clock;
+  WindowedHistogram hist({10.0, 100.0}, kSlotNs, 8, clock.fn());
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 5000;
+  std::atomic<bool> stop_reader{false};
+  std::thread reader([&] {
+    // order: plain stop flag for the polling reader.
+    while (!stop_reader.load(std::memory_order_relaxed)) {
+      const WindowedHistogram::Snapshot snap = hist.TakeSnapshot();
+      // Monotone sanity only — totals race with in-flight rotation.
+      EXPECT_GE(snap.total, 0);
+    }
+  });
+  std::thread ticker([&] {
+    // order: see FakeClock.
+    for (int i = 0; i < 200; ++i) {
+      clock.Advance(kSlotNs / 4);
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        hist.Observe(static_cast<double>((w * kPerWriter + i) % 200));
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  ticker.join();
+  // order: release not needed; join above already ordered writer effects.
+  stop_reader.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  // Quiesced: everything still inside the window must be consistent
+  // (counts sum to total; boundary-dropped observations only shrink it,
+  // and the ticker may have aged arbitrarily much out of the window).
+  hist.Observe(1.0);
+  const WindowedHistogram::Snapshot snap = hist.TakeSnapshot();
+  int64_t bucket_sum = 0;
+  for (const int64_t c : snap.counts) bucket_sum += c;
+  EXPECT_EQ(bucket_sum, snap.total);
+  EXPECT_LE(snap.total, int64_t{kWriters} * kPerWriter + 1);
+  EXPECT_GE(snap.total, 1);
+}
+
+}  // namespace
+}  // namespace halk::obs

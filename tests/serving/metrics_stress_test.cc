@@ -78,7 +78,10 @@ TEST(MetricsStressTest, HistogramObserveRacesQuantileAndMoments) {
   for (int t = 0; t < kWriters; ++t) {
     writers.emplace_back([&histogram, t] {
       for (int i = 0; i < kObservationsPerWriter; ++i) {
-        histogram.Observe(static_cast<double>((i * (t + 1)) % 2000));
+        // Every fourth observation carries a trace-id exemplar so the
+        // last-writer-wins exemplar words race with the bucket counters.
+        histogram.Observe(static_cast<double>((i * (t + 1)) % 2000),
+                          i % 4 == 0 ? static_cast<uint64_t>(t + 1) : 0);
       }
     });
   }
@@ -102,6 +105,10 @@ TEST(MetricsStressTest, HistogramObserveRacesQuantileAndMoments) {
       }
       EXPECT_LE(total, static_cast<int64_t>(kWriters) *
                            kObservationsPerWriter);
+      // Exemplar reads race the last-writer-wins stores; the id is
+      // always one of the writer ids (or 0 before the first traced hit).
+      const Histogram::Exemplar exemplar = histogram.BucketExemplar(0);
+      EXPECT_LE(exemplar.trace_id, static_cast<uint64_t>(kWriters));
     }
   });
 

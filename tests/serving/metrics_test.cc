@@ -278,6 +278,46 @@ TEST(MetricsRegistryTest, DumpPrometheusMatchesTheTextGrammar) {
   EXPECT_NE(text.find("_9lives 1"), std::string::npos);
 }
 
+TEST(HistogramTest, BucketExemplarIsLastWriterWins) {
+  Histogram histogram({10.0, 100.0});
+  // An observation without a trace id leaves the bucket exemplar-free.
+  histogram.Observe(5.0);
+  EXPECT_EQ(histogram.BucketExemplar(0).trace_id, 0u);
+  histogram.Observe(5.0, 0xa1);
+  EXPECT_EQ(histogram.BucketExemplar(0).trace_id, 0xa1u);
+  EXPECT_DOUBLE_EQ(histogram.BucketExemplar(0).value, 5.0);
+  // Later traced observation in the same bucket replaces the exemplar...
+  histogram.Observe(7.0, 0xb2);
+  EXPECT_EQ(histogram.BucketExemplar(0).trace_id, 0xb2u);
+  EXPECT_DOUBLE_EQ(histogram.BucketExemplar(0).value, 7.0);
+  // ...an untraced one does not.
+  histogram.Observe(8.0);
+  EXPECT_EQ(histogram.BucketExemplar(0).trace_id, 0xb2u);
+  // Out-of-range bucket reads as empty rather than crashing.
+  EXPECT_EQ(histogram.BucketExemplar(99).trace_id, 0u);
+}
+
+TEST(MetricsRegistryTest, ExemplarsReachTheBucketLinesAndStayValid) {
+  MetricsRegistry registry;
+  Histogram* latency =
+      registry.GetHistogram("serving.latency_us", {10.0, 100.0});
+  latency->Observe(5.0, 0xabcdef);
+  latency->Observe(1e6, 0x123);  // lands in the +Inf bucket
+  latency->Observe(50.0);        // middle bucket stays exemplar-free
+  const std::string text = registry.DumpPrometheus();
+  SCOPED_TRACE(text);
+  ExpectValidPrometheusExposition(text);
+  EXPECT_NE(text.find("serving_latency_us_bucket{le=\"10\"} 1 "
+                      "# {trace_id=\"abcdef\"} 5"),
+            std::string::npos);
+  EXPECT_NE(text.find("serving_latency_us_bucket{le=\"+Inf\"} 3 "
+                      "# {trace_id=\"123\"} 1e+06"),
+            std::string::npos);
+  // The exemplar-free bucket keeps the classic 0.0.4 line shape.
+  EXPECT_NE(text.find("serving_latency_us_bucket{le=\"100\"} 2\n"),
+            std::string::npos);
+}
+
 TEST(MetricsRegistryTest, ConcurrentGetOrCreate) {
   MetricsRegistry registry;
   std::vector<std::thread> threads;

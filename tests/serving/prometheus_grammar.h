@@ -15,11 +15,16 @@ namespace halk::serving {
 // (version 0.0.4): every line is a `# TYPE` declaration or a sample whose
 // name/labels/value match the grammar, every sample belongs to a declared
 // family, and histogram bucket series are cumulative and consistent.
+// Bucket lines may carry an OpenMetrics-style trace exemplar suffix
+// (` # {trace_id="<hex>"} <value>`), which 0.0.4 scrapers ignore as a
+// comment; no other sample line may.
 inline void ExpectValidPrometheusExposition(const std::string& text) {
   static const std::regex kTypeRe(
       R"(# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram))");
   static const std::regex kSampleRe(
       R"lit(([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? (-?(?:[0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?)|\+Inf))lit");
+  static const std::regex kExemplarRe(
+      R"lit(# \{trace_id="[0-9a-f]+"\} -?(?:[0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?))lit");
 
   std::map<std::string, std::string> family_type;  // name -> declared type
   // Per histogram child (family + non-le labels): the bucket counts in
@@ -46,10 +51,24 @@ inline void ExpectValidPrometheusExposition(const std::string& text) {
       family_type[family] = m[2];
       continue;
     }
-    ASSERT_TRUE(std::regex_match(line, m, kSampleRe));
+    // Split off a trailing exemplar before matching the sample grammar.
+    std::string sample_line = line;
+    const size_t exemplar_at = line.find(" # {");
+    if (exemplar_at != std::string::npos) {
+      const std::string exemplar = line.substr(exemplar_at + 1);
+      ASSERT_TRUE(std::regex_match(exemplar, kExemplarRe))
+          << "malformed exemplar suffix";
+      sample_line = line.substr(0, exemplar_at);
+    }
+    ASSERT_TRUE(std::regex_match(sample_line, m, kSampleRe));
     const std::string name = m[1];
     const std::string labels = m[2];
     const std::string value_text = m[3];
+    if (exemplar_at != std::string::npos) {
+      EXPECT_TRUE(name.size() > 7 &&
+                  name.compare(name.size() - 7, 7, "_bucket") == 0)
+          << "exemplar on a non-bucket sample";
+    }
     const double value =
         value_text == "+Inf" ? 0.0 : std::stod(value_text);  // must parse
 

@@ -356,6 +356,50 @@ FileResult LintFileContent(const std::string& path, const std::string& text,
         "region names grow the profiler arena without bound");
   }
 
+  // --- metric-name-convention ----------------------------------------------
+  // Metric families share one namespace with every dashboard and alert
+  // rule scraping /metrics; the convention is lowercase dotted
+  // identifiers ("family.metric"), sanitized to underscores only at the
+  // Prometheus boundary. Checking the literal at registry call sites
+  // keeps a typo'd or CamelCase name from silently minting a new family.
+  // Dynamic (non-literal) name arguments cannot be checked textually and
+  // are skipped.
+  static const std::regex kMetricCallRe(
+      R"(\b(GetCounter|GetGauge|GetHistogram|CounterValue|GaugeValue|GaugeChildren)\s*\()");
+  static const std::regex kMetricNameRe(
+      R"(^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$)");
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const auto begin = std::sregex_iterator(lines[i].begin(), lines[i].end(),
+                                            kMetricCallRe);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      // Find the first non-whitespace character after the `(` in the
+      // *original* text (the stripped text blanks literal contents),
+      // continuing onto following lines for wrapped call sites.
+      size_t li = i;
+      size_t ci = static_cast<size_t>(it->position(0)) +
+                  static_cast<size_t>(it->length(0));
+      while (li < original.size() &&
+             original[li].find_first_not_of(" \t", ci) == std::string::npos) {
+        ++li;
+        ci = 0;
+      }
+      if (li >= original.size()) continue;
+      ci = original[li].find_first_not_of(" \t", ci);
+      if (original[li][ci] != '"') continue;  // dynamic name: unchecked
+      const size_t close = original[li].find('"', ci + 1);
+      if (close == std::string::npos) continue;
+      const std::string name = original[li].substr(ci + 1, close - ci - 1);
+      if (std::regex_match(name, kMetricNameRe)) continue;
+      if (InlineAllowed(original[i], "metric-name-convention")) continue;
+      Add(&result.diagnostics, path, static_cast<int>(i + 1),
+          "metric-name-convention",
+          "metric name `" + name +
+              "` is not a lowercase dotted identifier "
+              "(`^[a-z][a-z0-9_]*(\\.[a-z0-9_]+)*$`); nonconforming names "
+              "mint surprise Prometheus families");
+    }
+  }
+
   // --- store-fixed-width-int ----------------------------------------------
   // The store's on-disk layout (store/format.h) is defined by the exact
   // byte width of every integer field, and its public API traffics in the
