@@ -17,6 +17,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -348,6 +349,43 @@ int main() {
       diverse.size(), qps_diverse_legacy, dedup_ratio, subtree_hit_rate,
       qps_diverse_planner, speedup_diverse);
 
+  // Analytics-plane overhead A/B, identical config on both sides: the
+  // diverse stream once with the query-stats plane off, once with it on
+  // (per-node sampled actuals, q-error observation, fingerprint-keyed
+  // aggregation). The ratio is the cost of EXPLAIN ANALYZE-grade actuals
+  // on every planned chunk; the serving gate keeps it >= 0.95.
+  serving::ServerOptions analytics_off_opt = diverse_opt;
+  analytics_off_opt.analytics = false;
+  analytics_off_opt.query_stats_capacity = 0;
+  double qps_analytics_off = 0.0;
+  {
+    serving::QueryServer off(&diverse_model, &dataset.train,
+                             analytics_off_opt);
+    qps_analytics_off = RunDiverse(&off, diverse, k);
+  }
+  serving::ServerOptions analytics_on_opt = diverse_opt;
+  analytics_on_opt.analytics = true;
+  double qps_analytics_on = 0.0;
+  double worst_qerror = 0.0;
+  size_t stats_structures = 0;
+  {
+    serving::QueryServer on(&diverse_model, &dataset.train, analytics_on_opt);
+    qps_analytics_on = RunDiverse(&on, diverse, k);
+    HALK_CHECK(on.query_stats() != nullptr);
+    stats_structures = on.query_stats()->size();
+    for (const auto& s : on.query_stats()->TopByTime(16)) {
+      worst_qerror = std::max(worst_qerror, s.worst_qerror);
+    }
+  }
+  const double analytics_ratio = qps_analytics_on / qps_analytics_off;
+  std::printf(
+      "analytics (per-node actuals + stats store)\n"
+      "  off                                     : %8.1f qps\n"
+      "  on      (%3zu structures, worst q %.1f)  : %8.1f qps (%.4fx of "
+      "off)\n",
+      qps_analytics_off, stats_structures, worst_qerror, qps_analytics_on,
+      analytics_ratio);
+
   serving::MetricsRegistry* metrics = server.metrics();
   const int64_t hits = metrics->CounterValue("serving.cache_hits");
   const int64_t misses = metrics->CounterValue("serving.cache_misses");
@@ -391,6 +429,10 @@ int main() {
       .Set("speedup_diverse_planner", speedup_diverse)
       .Set("dedup_ratio", dedup_ratio)
       .Set("subtree_cache_hit_rate", subtree_hit_rate)
+      .Set("qps_analytics_off", qps_analytics_off, 1)
+      .Set("qps_analytics_on", qps_analytics_on, 1)
+      .Set("analytics_ratio", analytics_ratio)
+      .Set("analytics_worst_qerror", worst_qerror)
       .Emit();
   return 0;
 }

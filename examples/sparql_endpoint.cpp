@@ -37,9 +37,10 @@
 // --http-port N starts the embedded telemetry server (docs/observability.md)
 // on 127.0.0.1:N — 0 binds an ephemeral port; the bound port is printed as
 // "telemetry listening on 127.0.0.1:PORT" so scripts can scrape /metrics,
-// /healthz, /readyz, /traces, /profile, and /slo. --serve-journal-out
-// appends one JSONL audit record per served request (fingerprint, status,
-// latency, coverage, cache hit, trace id) to the given path.
+// /healthz, /readyz, /traces, /profile, /slo, and /queryz (fingerprint-
+// keyed query statistics). --serve-journal-out appends one JSONL audit
+// record per served request (fingerprint, status, latency, coverage,
+// cache hit, trace id, plan shape) to the given path.
 //
 // After the scripted demo the endpoint drops into a line REPL on stdin
 // (EOF exits immediately, so piping from /dev/null is script-safe):
@@ -47,6 +48,9 @@
 //   .metrics   plain-text metrics dump
 //   .prom      Prometheus text exposition
 //   .explain <sparql>   planner schedule for a query, without serving it
+//   .analyze <sparql>   EXPLAIN ANALYZE: executes the plan and renders
+//                       estimated vs. sampled-actual rows with q-errors
+//   .queryz    fingerprint-keyed query statistics (top 10, JSON)
 //   .trace     chrome://tracing JSON of the last served query
 //   .slow      slow-query log (fingerprint, hits, worst latency)
 //   .health    per-replica shard health
@@ -371,6 +375,12 @@ int main(int argc, char** argv) {
         return store_ptr->VerifyChecksums();
       };
     }
+    if (server.query_stats() != nullptr) {
+      obs::QueryStatsStore* stats = server.query_stats();
+      sources.query_stats_json = [stats](size_t top_n) {
+        return stats->ToJson(top_n);
+      };
+    }
     net::RegisterTelemetryEndpoints(&http_server, sources);
     const Status started = http_server.Start();
     if (!started.ok()) {
@@ -417,7 +427,8 @@ int main(int argc, char** argv) {
   // fgets returns null at EOF, so non-interactive runs fall straight
   // through.
   std::printf("\n--- interactive endpoint (SPARQL per line; .metrics .prom "
-              ".explain <sparql> .trace .slow .health .profile .quit) ---\n");
+              ".explain <sparql> .analyze <sparql> .queryz .trace .slow "
+              ".health .profile .quit) ---\n");
   char line[4096];
   while (std::fgets(line, sizeof(line), stdin) != nullptr) {
     const std::string input(Trim(line));
@@ -444,6 +455,29 @@ int main(int argc, char** argv) {
         continue;
       }
       std::printf("%s", text->c_str());
+    } else if (input.rfind(".analyze", 0) == 0) {
+      const std::string sparql(Trim(input.substr(8)));
+      if (sparql.empty()) {
+        std::printf("usage: .analyze SELECT ?x WHERE { ... }\n");
+        continue;
+      }
+      auto graph = sparql::CompileSparql(sparql, kg);
+      if (!graph.ok()) {
+        std::printf("adaptor error: %s\n", graph.status().ToString().c_str());
+        continue;
+      }
+      auto text = server.ExplainAnalyze(*graph);
+      if (!text.ok()) {
+        std::printf("analyze error: %s\n", text.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s", text->c_str());
+    } else if (input == ".queryz") {
+      if (server.query_stats() == nullptr) {
+        std::printf("query stats disabled (ServerOptions::analytics off)\n");
+      } else {
+        std::printf("%s\n", server.query_stats()->ToJson(10).c_str());
+      }
     } else if (input == ".trace") {
       if (last_trace_id == 0) {
         std::printf("no trace captured yet\n");

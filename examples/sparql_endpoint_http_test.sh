@@ -5,10 +5,12 @@
 #   1. /healthz answers 200 with "status":"ok";
 #   2. /metrics answers 200 and the body passes the shared Prometheus
 #      0.0.4 grammar checker (prometheus_body_check, argv[2]);
-#   3. an unknown path answers 404;
-#   4. --serve-journal-out wrote one parseable "serve" record per demo
-#      request;
-#   5. closing stdin shuts the endpoint (and its HTTP server) down
+#   3. /queryz answers 200 with the demo traffic's aggregated query
+#      statistics (the store is fed by the served requests above);
+#   4. an unknown path answers 404;
+#   5. --serve-journal-out wrote one parseable "serve" record per demo
+#      request, carrying the plan-shape columns;
+#   6. closing stdin shuts the endpoint (and its HTTP server) down
 #      cleanly.
 # Usage: sparql_endpoint_http_test.sh <sparql_endpoint> <prometheus_body_check>
 set -eu
@@ -73,6 +75,30 @@ curl -fsS "$BASE/metrics" > "$TMP/metrics.txt"
 grep -q '^serving_latency_us_bucket' "$TMP/metrics.txt"
 grep -q '^slo_latency_burn_fast' "$TMP/metrics.txt"
 grep -q '^process_rss_bytes' "$TMP/metrics.txt"
+# The analytics plane's metric families: q-error distribution plus the
+# per-operator time breakdown (labeled children appear once traffic ran).
+grep -q '^plan_qerror_bucket' "$TMP/metrics.txt"
+grep -q '^plan_node_us_bucket' "$TMP/metrics.txt"
+
+# The demo traffic is served right after the listening line prints; poll
+# briefly so the scrape never races the last request's Finish.
+curl -fsS "$BASE/queryz?top=5" > "$TMP/queryz.json"
+grep -q '"queries":\[' "$TMP/queryz.json" || {
+  echo "FAIL: /queryz body carries no queries array" >&2
+  cat "$TMP/queryz.json" >&2
+  exit 1
+}
+tries=0
+until grep -q '"fingerprint":"' "$TMP/queryz.json"; do
+  tries=$((tries + 1))
+  if [ "$tries" -gt 30 ]; then
+    echo "FAIL: /queryz reports no aggregated structures after 30s" >&2
+    cat "$TMP/queryz.json" >&2
+    exit 1
+  fi
+  sleep 1
+  curl -fsS "$BASE/queryz?top=5" > "$TMP/queryz.json"
+done
 
 STATUS="$(curl -s -o /dev/null -w '%{http_code}' "$BASE/nope")"
 [ "$STATUS" = "404" ] || {
@@ -99,6 +125,15 @@ if grep -vq '"record":"serve"' "$TMP/serve.jsonl"; then
 fi
 grep -q '"trace_id":"' "$TMP/serve.jsonl" || {
   echo "FAIL: journal records carry no trace_id" >&2
+  exit 1
+}
+grep -q '"plan_nodes":' "$TMP/serve.jsonl" || {
+  echo "FAIL: journal records carry no plan_nodes column" >&2
+  cat "$TMP/serve.jsonl" >&2
+  exit 1
+}
+grep -q '"dedup_ratio":' "$TMP/serve.jsonl" || {
+  echo "FAIL: journal records carry no dedup_ratio column" >&2
   exit 1
 }
 

@@ -376,6 +376,21 @@ void HalkModel::DistancesToRange(const EmbeddingBatch& embedding, int64_t row,
   }
 }
 
+double HalkModel::MembershipThreshold(const EmbeddingBatch& embedding,
+                                      int64_t row) const {
+  const float rho = config_.rho;
+  const float eta = config_.eta;
+  if (rho <= 0.0f || eta < 0.0f) return -1.0;
+  const float* length = embedding.b.data() + row * config_.dim;
+  // Same per-dimension float expression as ArcPointDistance's half_width,
+  // so the bound is consistent with the distances it is compared against.
+  double tau = 0.0;
+  for (int64_t i = 0; i < config_.dim; ++i) {
+    tau += 2.0f * rho * std::fabs(std::sin(length[i] / (4.0f * rho)));
+  }
+  return static_cast<double>(eta) * tau;
+}
+
 void HalkModel::AccumulateTopKRange(const std::vector<BranchRef>& branches,
                                     int64_t begin, int64_t end,
                                     TopKAccumulator* acc,

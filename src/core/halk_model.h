@@ -72,6 +72,13 @@ class HalkModel : public QueryModel, public OperatorModel {
                            int64_t begin, int64_t end, TopKAccumulator* acc,
                            ScanStats* stats = nullptr) const override;
 
+  /// Arc-membership threshold: an entity inside the arc on every dimension
+  /// has d_o = 0 and d_i <= Σ_d half_width_d, so its distance is at most
+  /// η·Σ_d 2ρ|sin(A_l/(4ρ))|. Anchors (zero-length arcs) get 0 — only the
+  /// anchor entity itself is a member.
+  double MembershipThreshold(const EmbeddingBatch& embedding,
+                             int64_t row) const override;
+
   std::vector<tensor::Tensor> Parameters() const override;
 
   bool Supports(query::OpType) const override { return true; }

@@ -140,6 +140,19 @@ class QueryModel {
     }
   }
 
+  /// Distance below which an entity counts as a member of the set that
+  /// embedding row `row` denotes, or a negative value when the model's
+  /// geometry has no such notion. Together with DistancesToRange this
+  /// powers the analytics plane's sampled "actual rows" probe
+  /// (plan/executor.h): |{e : distance(e) <= threshold}| estimates the
+  /// operator's true output cardinality. Never used for ranking.
+  virtual double MembershipThreshold(const EmbeddingBatch& embedding,
+                                     int64_t row) const {
+    (void)embedding;
+    (void)row;
+    return -1.0;
+  }
+
   /// Trainable leaves for the optimizer.
   virtual std::vector<tensor::Tensor> Parameters() const = 0;
 

@@ -155,6 +155,17 @@ void RegisterTelemetryEndpoints(HttpServer* server,
     }
     return {200, kJsonType, slo->Evaluate().ToJson() + "\n"};
   });
+
+  std::function<std::string(size_t)> query_stats = sources.query_stats_json;
+  server->Handle(
+      "/queryz", [query_stats](const HttpRequest& request) -> HttpResponse {
+        if (query_stats == nullptr) {
+          return {404, kTextPlain, "no query stats store attached\n"};
+        }
+        const int top = ParseIntParam(request.query, "top", 10, 1, 1024);
+        return {200, kJsonType,
+                query_stats(static_cast<size_t>(top)) + "\n"};
+      });
 }
 
 }  // namespace halk::net

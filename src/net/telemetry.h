@@ -27,6 +27,11 @@ struct TelemetrySources {
   /// store's snapshot checksum verification. Return a non-OK message to
   /// flip /readyz to 503. Null means "nothing extra to check".
   std::function<Status()> ready_check;
+  /// Renders the top-N query-stats aggregates as JSON (the /queryz body).
+  /// Wired by the serving layer as a thin forward to
+  /// obs::QueryStatsStore::ToJson so halk_net needs no query/plan types.
+  /// Null answers /queryz with 404.
+  std::function<std::string(size_t top_n)> query_stats_json;
 };
 
 /// Shard-health verdict derived from the `shard.replica_health` labeled
@@ -50,8 +55,11 @@ ShardHealth EvaluateShardHealth(const serving::MetricsRegistry& metrics);
 ///   GET /profile?seconds=N  collapsed flamegraph stacks from an N-second
 ///                           (default 1, capped at 30) profile window
 ///   GET /slo                SloTracker::Evaluate as flat JSON
+///   GET /queryz?top=N       fingerprint-keyed query statistics (default
+///                           10 structures, by attributed operator time)
 /// Endpoints whose source pointer is null answer 404 (metrics/traces/
-/// profile/slo) or treat the check as trivially passing (healthz/readyz).
+/// profile/slo/queryz) or treat the check as trivially passing
+/// (healthz/readyz).
 void RegisterTelemetryEndpoints(HttpServer* server,
                                 const TelemetrySources& sources);
 

@@ -345,7 +345,8 @@ std::unique_ptr<ServeJournal> ServeJournal::ToStream(std::ostream* out) {
 void ServeJournal::Record(const std::string& fingerprint,
                           const std::string& status, double latency_us,
                           int64_t k, double coverage, bool cache_hit,
-                          uint64_t trace_id) {
+                          uint64_t trace_id, int64_t plan_nodes,
+                          double dedup_ratio) {
   JsonLineBuilder record;
   record.Str("record", "serve")
       .Str("fingerprint", fingerprint)
@@ -355,7 +356,9 @@ void ServeJournal::Record(const std::string& fingerprint,
       .Num("coverage", coverage)
       .Bool("cache_hit", cache_hit)
       .Str("trace_id",
-           StrFormat("%llx", static_cast<unsigned long long>(trace_id)));
+           StrFormat("%llx", static_cast<unsigned long long>(trace_id)))
+      .Int("plan_nodes", plan_nodes)
+      .Num("dedup_ratio", dedup_ratio);
   const std::string line = record.Finish();
   MutexLock lock(mu_);
   (*out_) << line << "\n";

@@ -124,7 +124,8 @@ class TrainJournal {
 /// TrainJournal), for offline latency/SLO analysis and joining with slow
 /// traces. Fields: fingerprint (canonical query fingerprint, hex), status
 /// (Status code name, "OK" on success), latency_us, k, coverage,
-/// cache_hit, trace_id (hex, "0" when tracing was off) — see
+/// cache_hit, trace_id (hex, "0" when tracing was off), plan_nodes,
+/// dedup_ratio (plan shape; 0 off the planner path) — see
 /// docs/observability.md.
 class ServeJournal {
  public:
@@ -137,9 +138,13 @@ class ServeJournal {
   /// One finished request. Off the submit hot path only in the sense that
   /// it runs at request completion; the write itself is a mutex-serialized
   /// flushed append, so only enable the journal when auditing.
+  /// `plan_nodes` / `dedup_ratio` describe the plan that served the
+  /// request (0 off the planner path) — the join columns shared with the
+  /// query-stats store behind /queryz and with SlowQueryLog entries.
   void Record(const std::string& fingerprint, const std::string& status,
               double latency_us, int64_t k, double coverage, bool cache_hit,
-              uint64_t trace_id) HALK_EXCLUDES(mu_);
+              uint64_t trace_id, int64_t plan_nodes = 0,
+              double dedup_ratio = 0.0) HALK_EXCLUDES(mu_);
 
   int64_t records_written() const HALK_EXCLUDES(mu_);
   const std::string& path() const { return path_; }

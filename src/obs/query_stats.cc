@@ -1,0 +1,184 @@
+#include "obs/query_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "obs/journal.h"
+
+namespace halk::obs {
+
+namespace {
+
+// Weight of the newest sample in the feedback EWMA: heavy enough to track
+// KG updates within a few observations, light enough that one noisy probe
+// cannot flip a schedule ordering for long.
+constexpr double kFeedbackAlpha = 0.25;
+
+static_assert(static_cast<size_t>(query::OpType::kNegation) + 1 ==
+                  kNumOpKinds,
+              "kNumOpKinds must cover every query::OpType");
+
+}  // namespace
+
+QueryStatsStore::QueryStatsStore(size_t capacity, size_t feedback_capacity,
+                                 int64_t feedback_min_samples)
+    : capacity_(std::max<size_t>(capacity, 1)),
+      feedback_capacity_(std::max<size_t>(feedback_capacity, 1)),
+      feedback_min_samples_(std::max<int64_t>(feedback_min_samples, 1)) {}
+
+void QueryStatsStore::Record(const std::string& fingerprint,
+                             const QueryObservation& observation) {
+  MutexLock lock(mu_);
+  auto it = index_.find(fingerprint);
+  if (it == index_.end()) {
+    entries_.push_front(Stats{});
+    entries_.front().fingerprint = fingerprint;
+    index_[fingerprint] = entries_.begin();
+    it = index_.find(fingerprint);
+  } else {
+    // LRU refresh: splice the entry to the front in place.
+    entries_.splice(entries_.begin(), entries_, it->second);
+    it->second = entries_.begin();
+  }
+  Stats& s = *it->second;
+  s.hits += 1;
+  if (observation.cache_hit) s.cache_hits += 1;
+  s.latency_us.Add(observation.latency_us);
+  if (!observation.structure.empty()) s.structure = observation.structure;
+  if (observation.plan_nodes > 0) {
+    s.plan_nodes = observation.plan_nodes;
+    s.dedup_ratio = observation.dedup_ratio;
+  }
+  if (observation.worst_qerror > 0.0) {
+    s.qerror.Add(observation.worst_qerror);
+    s.worst_qerror = std::max(s.worst_qerror, observation.worst_qerror);
+  }
+  for (size_t op = 0; op < kNumOpKinds; ++op) {
+    s.op_ns[op] += observation.op_ns[op];
+  }
+  while (entries_.size() > capacity_) {
+    index_.erase(entries_.back().fingerprint);
+    entries_.pop_back();
+  }
+}
+
+void QueryStatsStore::RecordSubtreeRows(const query::Fingerprint& key,
+                                        double actual_rows) {
+  if (actual_rows < 0.0 || !std::isfinite(actual_rows)) return;
+  MutexLock lock(feedback_mu_);
+  auto it = feedback_.find(key);
+  if (it == feedback_.end()) {
+    feedback_lru_.push_front(key);
+    FeedbackEntry entry;
+    entry.rows = actual_rows;
+    entry.samples = 1;
+    entry.lru = feedback_lru_.begin();
+    feedback_.emplace(key, entry);
+  } else {
+    FeedbackEntry& entry = it->second;
+    entry.rows = (1.0 - kFeedbackAlpha) * entry.rows +
+                 kFeedbackAlpha * actual_rows;
+    entry.samples += 1;
+    feedback_lru_.splice(feedback_lru_.begin(), feedback_lru_, entry.lru);
+    entry.lru = feedback_lru_.begin();
+  }
+  while (feedback_.size() > feedback_capacity_) {
+    feedback_.erase(feedback_lru_.back());
+    feedback_lru_.pop_back();
+  }
+}
+
+bool QueryStatsStore::ObservedRows(const query::Fingerprint& key,
+                                   double* rows) const {
+  MutexLock lock(feedback_mu_);
+  const auto it = feedback_.find(key);
+  if (it == feedback_.end() || it->second.samples < feedback_min_samples_) {
+    return false;
+  }
+  *rows = it->second.rows;
+  return true;
+}
+
+bool QueryStatsStore::Lookup(const std::string& fingerprint,
+                             Stats* out) const {
+  MutexLock lock(mu_);
+  const auto it = index_.find(fingerprint);
+  if (it == index_.end()) return false;
+  *out = *it->second;
+  return true;
+}
+
+std::vector<QueryStatsStore::Stats> QueryStatsStore::TopByTime(
+    size_t n) const {
+  std::vector<Stats> all;
+  {
+    MutexLock lock(mu_);
+    all.assign(entries_.begin(), entries_.end());
+  }
+  std::sort(all.begin(), all.end(), [](const Stats& a, const Stats& b) {
+    const int64_t ta = a.total_op_ns();
+    const int64_t tb = b.total_op_ns();
+    if (ta != tb) return ta > tb;
+    if (a.hits != b.hits) return a.hits > b.hits;
+    if (a.latency_us.mean != b.latency_us.mean) {
+      return a.latency_us.mean > b.latency_us.mean;
+    }
+    return a.fingerprint < b.fingerprint;
+  });
+  if (all.size() > n) all.resize(n);
+  return all;
+}
+
+std::string QueryStatsStore::ToJson(size_t top_n) const {
+  const std::vector<Stats> top = TopByTime(top_n);
+  std::string out = "{\"queries\":[";
+  for (size_t i = 0; i < top.size(); ++i) {
+    const Stats& s = top[i];
+    JsonLineBuilder line;
+    line.Str("fingerprint", s.fingerprint)
+        .Str("structure", s.structure)
+        .Int("hits", s.hits)
+        .Int("cache_hits", s.cache_hits)
+        .Num("latency_us_mean", s.latency_us.mean)
+        .Num("latency_us_stddev", std::sqrt(s.latency_us.Variance()))
+        .Int("qerror_samples", s.qerror.count)
+        .Num("qerror_mean", s.qerror.mean)
+        .Num("qerror_worst", s.worst_qerror)
+        .Int("plan_nodes", s.plan_nodes)
+        .Num("dedup_ratio", s.dedup_ratio)
+        .Num("node_us_total", static_cast<double>(s.total_op_ns()) / 1e3);
+    for (size_t op = 0; op < kNumOpKinds; ++op) {
+      line.Num(std::string("us_") +
+                   query::OpTypeName(static_cast<query::OpType>(op)),
+               static_cast<double>(s.op_ns[op]) / 1e3);
+    }
+    if (i > 0) out += ",";
+    out += line.Finish();
+  }
+  out += "]}";
+  return out;
+}
+
+size_t QueryStatsStore::size() const {
+  MutexLock lock(mu_);
+  return entries_.size();
+}
+
+size_t QueryStatsStore::feedback_size() const {
+  MutexLock lock(feedback_mu_);
+  return feedback_.size();
+}
+
+void QueryStatsStore::Clear() {
+  {
+    MutexLock lock(mu_);
+    entries_.clear();
+    index_.clear();
+  }
+  MutexLock lock(feedback_mu_);
+  feedback_.clear();
+  feedback_lru_.clear();
+}
+
+}  // namespace halk::obs

@@ -18,7 +18,8 @@ void SlowQueryLog::set_threshold_ns(int64_t threshold_ns) {
   threshold_ns_ = threshold_ns;
 }
 
-bool SlowQueryLog::Offer(const std::string& fingerprint, Trace trace) {
+bool SlowQueryLog::Offer(const std::string& fingerprint, Trace trace,
+                         int64_t plan_nodes, double dedup_ratio) {
   const int64_t duration = trace.duration_ns();
   MutexLock lock(mu_);
   if (threshold_ns_ <= 0 || duration < threshold_ns_) return false;
@@ -31,12 +32,14 @@ bool SlowQueryLog::Offer(const std::string& fingerprint, Trace trace) {
     refreshed.trace_id = trace_id;
     refreshed.worst_ns = std::max(refreshed.worst_ns, duration);
     refreshed.hits += 1;
+    refreshed.plan_nodes = plan_nodes;
+    refreshed.dedup_ratio = dedup_ratio;
     entries_.push_front(std::move(refreshed));
     it->second = entries_.begin();
     return true;
   }
   entries_.push_front(Entry{fingerprint, std::move(trace), trace_id,
-                            duration, 1});
+                            duration, 1, plan_nodes, dedup_ratio});
   index_[fingerprint] = entries_.begin();
   while (entries_.size() > capacity_) {
     index_.erase(entries_.back().fingerprint);

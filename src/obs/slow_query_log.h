@@ -31,7 +31,12 @@ class SlowQueryLog {
   /// Records `trace` under `fingerprint` when its duration is at or above
   /// the threshold; returns whether it was kept. An existing entry for the
   /// fingerprint is refreshed (hits + 1, latest trace, worst duration).
-  bool Offer(const std::string& fingerprint, Trace trace) HALK_EXCLUDES(mu_);
+  /// `plan_nodes` / `dedup_ratio` describe the plan that served the
+  /// request (0 off the planner path) — the same fields the query-stats
+  /// store aggregates, so a slow entry joins to /queryz by fingerprint.
+  bool Offer(const std::string& fingerprint, Trace trace,
+             int64_t plan_nodes = 0, double dedup_ratio = 0.0)
+      HALK_EXCLUDES(mu_);
 
   struct Entry {
     std::string fingerprint;
@@ -42,6 +47,10 @@ class SlowQueryLog {
     uint64_t trace_id = 0;
     int64_t worst_ns = 0;  // slowest duration seen for this fingerprint
     int64_t hits = 0;      // qualifying requests, including evicted history
+    /// Plan shape of the latest qualifying request: reachable plan nodes
+    /// and the chunk plan's dedup ratio; 0 off the planner path.
+    int64_t plan_nodes = 0;
+    double dedup_ratio = 0.0;
   };
 
   /// Entries most-recently-slow first.

@@ -1,5 +1,6 @@
 #include "plan/executor.h"
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
 #include <vector>
@@ -21,6 +22,42 @@ using tensor::Tensor;
 // cache cannot flood the trace ring.
 constexpr int kMaxCacheHitEvents = 16;
 
+// Sampled cardinality of the set that `embedding` row `row` denotes:
+// probes deterministic entity blocks spread across the table, counts how
+// many fall within the model's membership threshold, and scales to the
+// full table. Negative when the model has no membership notion. The probe
+// reads DistancesToRange only — it can never perturb operator outputs.
+double SampledActualRows(const core::QueryModel& model,
+                         const core::EmbeddingBatch& embedding, int64_t row,
+                         int64_t sample) {
+  const int64_t n = model.config().num_entities;
+  if (n <= 0 || sample <= 0) return -1.0;
+  const double tau = model.MembershipThreshold(embedding, row);
+  if (tau < 0.0) return -1.0;
+  const int64_t s = std::min(sample, n);
+  // A few contiguous blocks rather than one: arc membership correlates
+  // with entity id on grouped KGs, so one block from the table's head
+  // would bias the estimate.
+  const int64_t num_blocks = s >= 64 ? 4 : 1;
+  const int64_t per_block = (s + num_blocks - 1) / num_blocks;
+  int64_t probed = 0;
+  int64_t within = 0;
+  std::vector<float> dist;
+  for (int64_t b = 0; b < num_blocks; ++b) {
+    const int64_t begin = (n * b) / num_blocks;
+    const int64_t end = std::min(begin + per_block, n);
+    if (begin >= end) continue;
+    model.DistancesToRange(embedding, row, begin, end, &dist);
+    for (const float d : dist) {
+      if (static_cast<double>(d) <= tau) ++within;
+    }
+    probed += end - begin;
+  }
+  if (probed == 0) return -1.0;
+  return static_cast<double>(within) * static_cast<double>(n) /
+         static_cast<double>(probed);
+}
+
 }  // namespace
 
 PlanExecutor::PlanExecutor(const core::QueryModel* model,
@@ -32,14 +69,17 @@ PlanExecutor::PlanExecutor(const core::QueryModel* model,
 }
 
 ExecSchedule PlanExecutor::Prepare(const Plan& plan,
-                                   const obs::TraceContext& trace) const {
+                                   const obs::TraceContext& trace,
+                                   const ExecOptions& options) const {
   const size_t n = plan.nodes.size();
   const size_t row_floats = static_cast<size_t>(2 * model_->config().dim);
   ExecSchedule sched;
+  sched.options = options;
   sched.needed.assign(n, 0);
   sched.cached.assign(n, 0);
   sched.cached_entries.resize(n);
   sched.stats.nodes = static_cast<int64_t>(n);
+  if (options.collect_actuals) sched.stats.actuals.assign(n, NodeActuals{});
 
   for (const PlanRoot& root : plan.roots) {
     sched.needed[static_cast<size_t>(root.node)] = 1;
@@ -117,18 +157,24 @@ core::EmbeddingBatch PlanExecutor::Run(const Plan& plan,
   const int64_t dim = model_->config().dim;
   const size_t row_floats = static_cast<size_t>(2 * dim);
 
+  const bool collect = !sched.stats.actuals.empty();
+  const int64_t sample = sched.options.sample_entities;
+
   Arena exec_arena;
   std::vector<float*> slot(n, nullptr);
   std::vector<float*> free_list;
+  bool last_alloc_reused = false;
   auto alloc_slot = [&](int32_t id) {
     if (!free_list.empty()) {
       slot[static_cast<size_t>(id)] = free_list.back();
       free_list.pop_back();
       ++sched.stats.slots_reused;
+      last_alloc_reused = true;
     } else {
       slot[static_cast<size_t>(id)] =
           static_cast<float*>(exec_arena.Allocate(
               row_floats * sizeof(float), alignof(float)));
+      last_alloc_reused = false;
     }
     return slot[static_cast<size_t>(id)];
   };
@@ -155,12 +201,42 @@ core::EmbeddingBatch PlanExecutor::Run(const Plan& plan,
   };
 
   // Materialize cache hits.
+  std::vector<int32_t> cached_ids;
   for (int32_t id : plan.schedule) {
     if (sched.needed[static_cast<size_t>(id)] &&
         sched.cached[static_cast<size_t>(id)]) {
       std::memcpy(alloc_slot(id),
                   sched.cached_entries[static_cast<size_t>(id)].row.data(),
                   row_floats * sizeof(float));
+      if (collect) {
+        NodeActuals& a = sched.stats.actuals[static_cast<size_t>(id)];
+        a.cache_hit = true;
+        a.slot_reused = last_alloc_reused;
+        cached_ids.push_back(id);
+      }
+    }
+  }
+  // Sampled actual-rows probe for the cache-served nodes (one gathered
+  // batch, so the model call count stays bounded).
+  if (!cached_ids.empty()) {
+    const size_t m = cached_ids.size();
+    std::vector<float> centers(m * static_cast<size_t>(dim));
+    std::vector<float> lengths(m * static_cast<size_t>(dim));
+    for (size_t i = 0; i < m; ++i) {
+      const float* src = slot[static_cast<size_t>(cached_ids[i])];
+      std::memcpy(centers.data() + i * static_cast<size_t>(dim), src,
+                  static_cast<size_t>(dim) * sizeof(float));
+      std::memcpy(lengths.data() + i * static_cast<size_t>(dim), src + dim,
+                  static_cast<size_t>(dim) * sizeof(float));
+    }
+    const core::EmbeddingBatch probe{
+        Tensor::FromVector({static_cast<int64_t>(m), dim},
+                           std::move(centers)),
+        Tensor::FromVector({static_cast<int64_t>(m), dim},
+                           std::move(lengths))};
+    for (size_t i = 0; i < m; ++i) {
+      sched.stats.actuals[static_cast<size_t>(cached_ids[i])].actual_rows =
+          SampledActualRows(*model_, probe, static_cast<int64_t>(i), sample);
     }
   }
 
@@ -228,7 +304,8 @@ core::EmbeddingBatch PlanExecutor::Run(const Plan& plan,
 
   for (ExecSchedule::OpBatch& batch : sched.batches) {
     const size_t rows = batch.node_ids.size();
-    const int64_t start_ns = trace.active() ? obs::NowNs() : 0;
+    const bool timed = trace.active() || collect;
+    const int64_t start_ns = timed ? obs::NowNs() : 0;
     ArcBatch result;
     switch (batch.op) {
       case OpType::kAnchor: {
@@ -299,6 +376,10 @@ core::EmbeddingBatch PlanExecutor::Run(const Plan& plan,
     for (size_t i = 0; i < rows; ++i) {
       const int32_t id = batch.node_ids[i];
       float* dst = alloc_slot(id);
+      if (collect) {
+        sched.stats.actuals[static_cast<size_t>(id)].slot_reused =
+            last_alloc_reused;
+      }
       std::memcpy(dst, centers + i * static_cast<size_t>(dim),
                   static_cast<size_t>(dim) * sizeof(float));
       std::memcpy(dst + dim, lengths + i * static_cast<size_t>(dim),
@@ -312,6 +393,23 @@ core::EmbeddingBatch PlanExecutor::Run(const Plan& plan,
         cache_->Put(node.key, std::move(entry));
       }
     }
+    // The batch's wall stops here, before the membership probes — the
+    // analytics must never inflate the numbers it reports.
+    const int64_t end_ns = timed ? obs::NowNs() : 0;
+    if (collect) {
+      const int64_t per_node_ns =
+          (end_ns - start_ns) / static_cast<int64_t>(rows);
+      const core::EmbeddingBatch probe{result.center, result.length};
+      for (size_t i = 0; i < rows; ++i) {
+        NodeActuals& a =
+            sched.stats.actuals[static_cast<size_t>(batch.node_ids[i])];
+        a.evaluated = true;
+        a.wall_ns = per_node_ns;
+        a.actual_rows =
+            SampledActualRows(*model_, probe, static_cast<int64_t>(i),
+                              sample);
+      }
+    }
     for (int32_t id : batch.node_ids) {
       const PlanNode& node = plan.node(id);
       for (uint32_t j = 0; j < node.num_inputs; ++j) {
@@ -319,7 +417,7 @@ core::EmbeddingBatch PlanExecutor::Run(const Plan& plan,
       }
     }
     if (trace.active()) {
-      obs::RecordSpan(trace, "node_eval", start_ns, obs::NowNs(),
+      obs::RecordSpan(trace, "node_eval", start_ns, end_ns,
                       {{"op", static_cast<double>(batch.op)},
                        {"rows", static_cast<double>(rows)},
                        {"arity", static_cast<double>(batch.arity)}});
@@ -344,11 +442,11 @@ core::EmbeddingBatch PlanExecutor::Run(const Plan& plan,
           Tensor::FromVector({b, dim}, std::move(lengths))};
 }
 
-core::EmbeddingBatch PlanExecutor::Execute(const Plan& plan,
-                                           ExecStats* stats) const {
-  ExecSchedule sched = Prepare(plan);
+core::EmbeddingBatch PlanExecutor::Execute(const Plan& plan, ExecStats* stats,
+                                           const ExecOptions& options) const {
+  ExecSchedule sched = Prepare(plan, /*trace=*/{}, options);
   core::EmbeddingBatch out = Run(plan, &sched);
-  if (stats != nullptr) *stats = sched.stats;
+  if (stats != nullptr) *stats = std::move(sched.stats);
   return out;
 }
 

@@ -12,6 +12,29 @@
 
 namespace halk::plan {
 
+/// Per-node actuals of one execution, collected only when
+/// ExecOptions::collect_actuals is set. `actual_rows` is a sampled
+/// membership estimate: the count of probed entities within the model's
+/// MembershipThreshold, scaled to the full table; negative means the node
+/// was never materialized (skipped) or the model has no membership notion.
+struct NodeActuals {
+  int64_t wall_ns = 0;        // attributed share of the op batch's wall
+  double actual_rows = -1.0;  // sampled cardinality estimate
+  bool evaluated = false;     // computed by an operator call this run
+  bool cache_hit = false;     // materialized from the subtree cache
+  bool slot_reused = false;   // landed in a recycled embedding slot
+};
+
+/// Knobs of one plan execution, fixed at Prepare time.
+struct ExecOptions {
+  /// Collect NodeActuals (EXPLAIN ANALYZE, the serving analytics plane).
+  /// Off costs nothing: no clock reads, no probes, no allocation.
+  bool collect_actuals = false;
+  /// Entities probed per node for the actual-rows estimate; the count of
+  /// in-threshold entities is scaled by num_entities / sampled.
+  int64_t sample_entities = 256;
+};
+
 /// Counters of one plan execution; the server exports them as `plan.*`
 /// metrics and annotates them onto the embed span.
 struct ExecStats {
@@ -23,6 +46,8 @@ struct ExecStats {
   int64_t op_batches = 0;    // batched operator calls issued
   int64_t slots_reused = 0;  // embedding slots recycled via refcounts
   size_t arena_bytes = 0;    // execution arena footprint
+  /// Indexed by plan-node id; empty unless ExecOptions::collect_actuals.
+  std::vector<NodeActuals> actuals;
 };
 
 /// A prepared execution: per-node subtree-cache results, the set of nodes
@@ -45,6 +70,7 @@ struct ExecSchedule {
   std::vector<uint8_t> cached;
   /// Per plan node: the cache payload when `cached` (empty otherwise).
   std::vector<serving::SubtreeCache::Entry> cached_entries;
+  ExecOptions options;
   ExecStats stats;
 };
 
@@ -69,19 +95,23 @@ class PlanExecutor {
   /// Probes the subtree cache top-down (a hit prunes the subtree below
   /// it from the probe frontier) and assembles batched operator calls.
   /// `trace` (may be inactive) receives subtree_cache_hit marker events.
-  ExecSchedule Prepare(const Plan& plan,
-                       const obs::TraceContext& trace = {}) const;
+  /// `options` fixes the analytics mode for the subsequent Run.
+  ExecSchedule Prepare(const Plan& plan, const obs::TraceContext& trace = {},
+                       const ExecOptions& options = {}) const;
 
   /// Evaluates the prepared schedule; returns one embedding row per plan
   /// root, in roots order, bit-identical to a per-branch EmbedQueries
   /// walk. `trace` parents per-batch node_eval spans. `schedule->stats`
-  /// accumulates execution counters.
+  /// accumulates execution counters — including per-node actuals when
+  /// the schedule was prepared with collect_actuals (the membership
+  /// probes run after each batch's wall clock stops, so timing never
+  /// includes the analytics itself).
   core::EmbeddingBatch Run(const Plan& plan, ExecSchedule* schedule,
                            const obs::TraceContext& trace = {}) const;
 
   /// Prepare + Run in one step (tests, offline evaluation).
-  core::EmbeddingBatch Execute(const Plan& plan,
-                               ExecStats* stats = nullptr) const;
+  core::EmbeddingBatch Execute(const Plan& plan, ExecStats* stats = nullptr,
+                               const ExecOptions& options = {}) const;
 
   serving::SubtreeCache* cache() const { return cache_; }
 

@@ -14,6 +14,26 @@ std::string Name(const std::function<std::string(int64_t)>& pretty,
   return pretty ? pretty(id) : std::to_string(id);
 }
 
+// The `op payload/inputs` cell shared by ExplainPlan and ExplainAnalyze.
+std::string NodeDetail(const PlanNode& n, const ExplainOptions& options) {
+  switch (n.op) {
+    case query::OpType::kAnchor:
+      return Name(options.entity_name, n.payload);
+    case query::OpType::kProjection:
+      return "[#" + std::to_string(n.inputs[0]) +
+             "] r=" + Name(options.relation_name, n.payload);
+    default: {
+      std::string detail = "[";
+      for (uint32_t j = 0; j < n.num_inputs; ++j) {
+        if (j > 0) detail += ", ";
+        detail += "#" + std::to_string(n.inputs[j]);
+      }
+      detail += "]";
+      return detail;
+    }
+  }
+}
+
 }  // namespace
 
 std::string ExplainPlan(const Plan& plan, const ExplainOptions& options) {
@@ -36,26 +56,8 @@ std::string ExplainPlan(const Plan& plan, const ExplainOptions& options) {
                   query::OpTypeName(n.op));
     out << buf;
 
-    std::string detail;
-    switch (n.op) {
-      case query::OpType::kAnchor:
-        detail = Name(options.entity_name, n.payload);
-        break;
-      case query::OpType::kProjection:
-        detail = "[#" + std::to_string(n.inputs[0]) +
-                 "] r=" + Name(options.relation_name, n.payload);
-        break;
-      default: {
-        detail = "[";
-        for (uint32_t j = 0; j < n.num_inputs; ++j) {
-          if (j > 0) detail += ", ";
-          detail += "#" + std::to_string(n.inputs[j]);
-        }
-        detail += "]";
-        break;
-      }
-    }
-    std::snprintf(buf, sizeof(buf), "%-24s ", detail.c_str());
+    std::snprintf(buf, sizeof(buf), "%-24s ",
+                  NodeDetail(n, options).c_str());
     out << buf;
 
     std::snprintf(buf, sizeof(buf), "rows~%-9.1f", n.est_rows);
@@ -63,6 +65,10 @@ std::string ExplainPlan(const Plan& plan, const ExplainOptions& options) {
     if (options.num_entities > 0) {
       std::snprintf(buf, sizeof(buf), " sel=%-8.4f",
                     n.est_rows / static_cast<double>(options.num_entities));
+      out << buf;
+    }
+    if (n.from_feedback) {
+      std::snprintf(buf, sizeof(buf), " fb~%.1f", n.sched_rows);
       out << buf;
     }
     if (n.refcount > 1) out << " shared x" << n.refcount;
@@ -77,6 +83,93 @@ std::string ExplainPlan(const Plan& plan, const ExplainOptions& options) {
   for (const PlanRoot& root : plan.roots) {
     out << " [request " << root.request_index << " branch " << root.item_index
         << " -> #" << root.node << "]";
+  }
+  out << "\n";
+  return out.str();
+}
+
+std::string ExplainAnalyze(const Plan& plan, const ExecStats& stats,
+                           const ExplainOptions& options) {
+  std::ostringstream out;
+  char buf[96];
+  out << "plan: " << plan.nodes.size() << " nodes";
+  if (plan.total_nodes > static_cast<int64_t>(plan.nodes.size())) {
+    std::snprintf(buf, sizeof(buf), " (%lld before dedup, %.0f%% merged)",
+                  static_cast<long long>(plan.total_nodes),
+                  plan.dedup_ratio() * 100.0);
+    out << buf;
+  }
+  out << ", " << plan.roots.size() << " roots, depth " << plan.max_depth
+      << "\n";
+
+  const bool have_actuals = stats.actuals.size() == plan.nodes.size();
+  int64_t total_wall_ns = 0;
+  double worst_q = 0.0;
+  int64_t measured = 0;
+
+  for (size_t seq = 0; seq < plan.schedule.size(); ++seq) {
+    const int32_t id = plan.schedule[seq];
+    const PlanNode& n = plan.node(id);
+    std::snprintf(buf, sizeof(buf), "%3zu  #%-3d %-12s ", seq + 1, id,
+                  query::OpTypeName(n.op));
+    out << buf;
+    std::snprintf(buf, sizeof(buf), "%-24s ",
+                  NodeDetail(n, options).c_str());
+    out << buf;
+    std::snprintf(buf, sizeof(buf), "rows~%-9.1f", n.est_rows);
+    out << buf;
+
+    const NodeActuals* a =
+        have_actuals ? &stats.actuals[static_cast<size_t>(id)] : nullptr;
+    if (a != nullptr && a->actual_rows >= 0.0) {
+      const double q = QError(n.est_rows, a->actual_rows);
+      std::snprintf(buf, sizeof(buf), " act~%-9.1f q=%-7.2f",
+                    a->actual_rows, q);
+      out << buf;
+      worst_q = std::max(worst_q, q);
+      ++measured;
+    } else {
+      out << " act~-         q=-     ";
+    }
+    if (a != nullptr && a->evaluated) {
+      std::snprintf(buf, sizeof(buf), " t=%.0fus",
+                    static_cast<double>(a->wall_ns) / 1000.0);
+      out << buf;
+      total_wall_ns += a->wall_ns;
+    }
+    if (n.from_feedback) {
+      std::snprintf(buf, sizeof(buf), " fb~%.1f", n.sched_rows);
+      out << buf;
+    }
+    if (n.refcount > 1) out << " shared x" << n.refcount;
+    if (a != nullptr) {
+      if (a->cache_hit) out << " [cached]";
+      if (a->slot_reused) out << " [reused]";
+      if (!a->evaluated && !a->cache_hit) out << " [skipped]";
+    }
+    out << "\n";
+  }
+
+  out << "roots:";
+  for (const PlanRoot& root : plan.roots) {
+    out << " [request " << root.request_index << " branch " << root.item_index
+        << " -> #" << root.node << "]";
+  }
+  out << "\n";
+
+  std::snprintf(buf, sizeof(buf),
+                "analyze: %lld evaluated, %lld cached, %lld skipped, "
+                "%lld op batches, wall %.0fus",
+                static_cast<long long>(stats.evaluated),
+                static_cast<long long>(stats.cache_hits),
+                static_cast<long long>(stats.skipped),
+                static_cast<long long>(stats.op_batches),
+                static_cast<double>(total_wall_ns) / 1000.0);
+  out << buf;
+  if (measured > 0) {
+    std::snprintf(buf, sizeof(buf), ", worst q-error %.2f over %lld nodes",
+                  worst_q, static_cast<long long>(measured));
+    out << buf;
   }
   out << "\n";
   return out.str();

@@ -1,11 +1,13 @@
 #ifndef HALK_PLAN_EXPLAIN_H_
 #define HALK_PLAN_EXPLAIN_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <string>
 
 #include "plan/cost_model.h"
+#include "plan/executor.h"
 #include "plan/plan.h"
 #include "serving/subtree_cache.h"
 
@@ -29,6 +31,25 @@ struct ExplainOptions {
 /// cache (`cached`) annotations — the payload of the sparql_endpoint
 /// `.explain` command.
 std::string ExplainPlan(const Plan& plan, const ExplainOptions& options = {});
+
+/// q-error of one cardinality estimate: max(est/actual, actual/est) with
+/// both clamped to >= 1 row, so it is symmetric, >= 1, and finite for
+/// empty results. 1.0 is a perfect estimate.
+inline double QError(double est_rows, double actual_rows) {
+  const double est = std::max(est_rows, 1.0);
+  const double actual = std::max(actual_rows, 1.0);
+  return est > actual ? est / actual : actual / est;
+}
+
+/// EXPLAIN ANALYZE: the ExplainPlan tree joined with one execution's
+/// per-node actuals (`stats.actuals`, collected by PlanExecutor under
+/// ExecOptions::collect_actuals) — estimated vs. sampled-actual rows,
+/// per-node q-error, attributed wall time, and cache / slot-reuse flags —
+/// plus a summary footer (evaluated / cached / skipped counts, total
+/// operator wall, worst q-error). Nodes the execution never materialized
+/// render `act~-`. The payload of the sparql_endpoint `.analyze` command.
+std::string ExplainAnalyze(const Plan& plan, const ExecStats& stats,
+                           const ExplainOptions& options = {});
 
 }  // namespace halk::plan
 

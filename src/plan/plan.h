@@ -30,8 +30,18 @@ struct PlanNode {
   /// invalidation tags (serving/subtree_cache.h).
   const int64_t* relations = nullptr;
   uint32_t num_relations = 0;
-  /// Estimated result cardinality (plan/cost_model.h).
+  /// Estimated result cardinality (plan/cost_model.h). Never overwritten
+  /// by feedback, so EXPLAIN ANALYZE q-errors always grade the static
+  /// cost model.
   double est_rows = 1.0;
+  /// Cardinality the schedule sort actually uses: est_rows unless
+  /// cardinality feedback (plan/planner.h) substituted an observed value.
+  /// Only evaluation *order* reads it — operator math never does, so
+  /// feedback cannot change served answers, only when a node runs within
+  /// its depth level.
+  double sched_rows = 1.0;
+  /// sched_rows came from observed actuals rather than the cost model.
+  bool from_feedback = false;
   /// Longest input chain below the node (anchors are 0). All consumers of
   /// a node sit at a strictly greater depth, so level-by-level execution
   /// is a valid topological order.
@@ -67,7 +77,7 @@ struct Plan {
   std::vector<PlanNode> nodes;
   /// One entry per input branch, in input order.
   std::vector<PlanRoot> roots;
-  /// Topological order: ascending depth, then ascending est_rows (most
+  /// Topological order: ascending depth, then ascending sched_rows (most
   /// selective first — cheap intersections and projections run before
   /// expensive ones at the same level), then insertion id for stability.
   std::vector<int32_t> schedule;

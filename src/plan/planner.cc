@@ -101,6 +101,14 @@ Plan Planner::BuildPlan(const std::vector<PlanItem>& items) const {
       pn.inputs = inputs;
       pn.est_rows = cost_.EstimateRows(pn.op, pn.payload, input_rows.data(),
                                        input_rows.size());
+      pn.sched_rows = pn.est_rows;
+      if (options_.feedback != nullptr) {
+        double observed = 0.0;
+        if (options_.feedback->ObservedRows(pn.key, &observed)) {
+          pn.sched_rows = observed;
+          pn.from_feedback = true;
+        }
+      }
       std::sort(relation_tags.begin(), relation_tags.end());
       relation_tags.erase(
           std::unique(relation_tags.begin(), relation_tags.end()),
@@ -143,7 +151,9 @@ Plan Planner::BuildPlan(const std::vector<PlanItem>& items) const {
               const PlanNode& na = plan.nodes[static_cast<size_t>(a)];
               const PlanNode& nb = plan.nodes[static_cast<size_t>(b)];
               if (na.depth != nb.depth) return na.depth < nb.depth;
-              if (na.est_rows != nb.est_rows) return na.est_rows < nb.est_rows;
+              if (na.sched_rows != nb.sched_rows) {
+                return na.sched_rows < nb.sched_rows;
+              }
               return a < b;
             });
   return plan;

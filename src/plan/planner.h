@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/query_stats.h"
 #include "plan/cost_model.h"
 #include "plan/plan.h"
 #include "plan/rewrite.h"
@@ -20,6 +21,15 @@ struct PlannerOptions {
   /// unrewritten graph.
   bool apply_rewrites = false;
   RewriteOptions rewrites;
+  /// Cardinality-feedback source (not owned; must outlive the planner;
+  /// null disables). When a subtree's fingerprint has enough observed
+  /// actual-rows samples, the EWMA replaces the cost model's estimate in
+  /// PlanNode::sched_rows — so each depth level is ordered by *measured*
+  /// selectivity. est_rows is never touched, operator math never reads
+  /// sched_rows, and every consumer still runs at a strictly greater
+  /// depth, so served rankings stay bit-identical by construction (the
+  /// randomized equivalence suite proves it with feedback on).
+  const obs::QueryStatsStore* feedback = nullptr;
 };
 
 /// One union-free branch to plan: `graph` must be grounded and

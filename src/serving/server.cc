@@ -69,7 +69,14 @@ QueryServer::QueryServer(core::QueryModel* model,
           "plan.build_us", Histogram::ExponentialBounds(1.0, 2.0, 20))),
       plan_exec_us_(metrics_.GetHistogram(
           "plan.exec_us", Histogram::ExponentialBounds(1.0, 2.0, 26))),
-      plan_cache_bytes_(metrics_.GetGauge("plan.subtree_cache_bytes")) {
+      plan_cache_bytes_(metrics_.GetGauge("plan.subtree_cache_bytes")),
+      plan_qerror_(metrics_.GetHistogram(
+          "plan.qerror", Histogram::ExponentialBounds(1.0, 2.0, 16))) {
+  for (size_t op = 0; op < obs::kNumOpKinds; ++op) {
+    plan_node_us_[op] = metrics_.GetHistogram(
+        "plan.node_us", Histogram::ExponentialBounds(1.0, 2.0, 20),
+        {{"op", query::OpTypeName(static_cast<query::OpType>(op))}});
+  }
   HALK_CHECK(model != nullptr);
   HALK_CHECK_GT(options_.num_workers, 0);
   HALK_CHECK_GT(options_.max_batch_size, 0u);
@@ -88,6 +95,12 @@ QueryServer::QueryServer(core::QueryModel* model,
     coordinator_ = std::make_unique<shard::ShardCoordinator>(
         model, shard_options, options_.shard_faults, &metrics_);
   }
+  if ((options_.analytics || options_.use_feedback) &&
+      options_.query_stats_capacity > 0) {
+    query_stats_ = std::make_unique<obs::QueryStatsStore>(
+        options_.query_stats_capacity, /*feedback_capacity=*/4096,
+        options_.feedback_min_samples);
+  }
   if (options_.use_planner) {
     // Baseline models without an operator-level interface fall back to the
     // legacy per-layout batching path (plan.fallback counts the requests).
@@ -101,6 +114,8 @@ QueryServer::QueryServer(core::QueryModel* model,
           (kg_ != nullptr && kg_->finalized()) ? &kg_->stats() : nullptr;
       plan::PlannerOptions planner_options;
       planner_options.apply_rewrites = options_.planner_rewrites;
+      planner_options.feedback =
+          options_.use_feedback ? query_stats_.get() : nullptr;
       planner_ = std::make_unique<plan::Planner>(
           stats, model_->config().num_entities, planner_options);
       plan_executor_ = std::make_unique<plan::PlanExecutor>(
@@ -215,6 +230,12 @@ Result<std::future<Result<TopKAnswer>>> QueryServer::Submit(
                                        /*coverage=*/1.0, /*cache_hit=*/true,
                                        trace.trace_id);
       }
+      if (query_stats_ != nullptr) {
+        obs::QueryObservation observation;
+        observation.latency_us = latency_us;
+        observation.cache_hit = true;
+        query_stats_->Record(key.ToHex(), observation);
+      }
       std::promise<Result<TopKAnswer>> ready;
       ready.set_value(std::move(answer));
       return ready.get_future();
@@ -282,7 +303,8 @@ void QueryServer::Finish(PendingRequest* request, Result<TopKAnswer> result) {
         end_ns - request->submit_ns >= slow_log_->threshold_ns()) {
       slow_log_->Offer(
           request->key.ToHex(),
-          request->trace.tracer->Collect(request->trace.trace_id));
+          request->trace.tracer->Collect(request->trace.trace_id),
+          request->plan_node_count, request->plan_dedup);
     }
   }
   if (options_.serve_journal != nullptr) {
@@ -290,7 +312,19 @@ void QueryServer::Finish(PendingRequest* request, Result<TopKAnswer> result) {
         request->key.ToHex(),
         result.ok() ? "OK" : StatusCodeToString(result.status().code()),
         latency_us, request->k, result.ok() ? result->coverage : 0.0,
-        result.ok() && result->from_cache, request->trace.trace_id);
+        result.ok() && result->from_cache, request->trace.trace_id,
+        request->plan_node_count, request->plan_dedup);
+  }
+  if (query_stats_ != nullptr) {
+    obs::QueryObservation observation;
+    observation.structure = std::move(request->structure);
+    observation.latency_us = latency_us;
+    observation.cache_hit = result.ok() && result->from_cache;
+    observation.plan_nodes = request->plan_node_count;
+    observation.dedup_ratio = request->plan_dedup;
+    observation.worst_qerror = request->worst_qerror;
+    observation.op_ns = request->op_ns;
+    query_stats_->Record(request->key.ToHex(), observation);
   }
   request->promise.set_value(std::move(result));
 }
@@ -532,8 +566,19 @@ void QueryServer::ServeChunkPlanned(
   // Batch assembly on the planner path is Prepare: the top-down subtree
   // cache probe plus grouping of still-needed nodes into batched operator
   // calls.
+  const bool analytics = query_stats_ != nullptr && options_.analytics;
+  const int64_t sample_period =
+      std::max<int64_t>(1, options_.analyze_sample_period);
+  const bool collect_actuals =
+      analytics && analyze_chunk_counter_.fetch_add(1) %
+                           static_cast<uint64_t>(sample_period) ==
+                       0;
+  plan::ExecOptions exec_options;
+  exec_options.collect_actuals = collect_actuals;
+  exec_options.sample_entities = options_.analyze_sample_entities;
   const int64_t assembly_start_ns = any_traced ? obs::NowNs() : 0;
-  plan::ExecSchedule schedule = plan_executor_->Prepare(plan, assembly_ctx);
+  plan::ExecSchedule schedule =
+      plan_executor_->Prepare(plan, assembly_ctx, exec_options);
   if (any_traced) {
     const int64_t assembly_end_ns = obs::NowNs();
     for (size_t r = 0; r < live.size(); ++r) {
@@ -573,6 +618,66 @@ void QueryServer::ServeChunkPlanned(
           {{"rows", static_cast<double>(plan.roots.size())},
            {"node_evals", static_cast<double>(schedule.stats.evaluated)}},
           r == lead ? embed_span : 0);
+    }
+  }
+
+  // Analytics plane: per-node metric families, the feedback EWMAs, and
+  // per-request attribution stashed for Finish to fold into the store.
+  // Plan-shape attribution covers every analytics chunk; the parts that
+  // need per-node actuals only exist on the sampled chunks.
+  if (analytics) {
+    const std::vector<plan::NodeActuals>& actuals = schedule.stats.actuals;
+    const bool measured = !actuals.empty();
+    for (size_t id = 0; measured && id < plan.nodes.size(); ++id) {
+      const plan::NodeActuals& a = actuals[id];
+      const plan::PlanNode& node = plan.nodes[id];
+      if (a.actual_rows >= 0.0) {
+        plan_qerror_->Observe(plan::QError(node.est_rows, a.actual_rows));
+        query_stats_->RecordSubtreeRows(node.key, a.actual_rows);
+      }
+      if (a.evaluated) {
+        plan_node_us_[static_cast<size_t>(node.op)]->Observe(
+            static_cast<double>(a.wall_ns) / 1e3);
+      }
+    }
+    // Per-request attribution over each request's reachable sub-DAG; a
+    // node shared across requests counts fully for every one of them
+    // (attribution answers "what did serving this query involve", not
+    // "who pays", so shares are not split).
+    std::vector<int32_t> stack;
+    std::vector<uint8_t> visited(plan.nodes.size());
+    for (size_t r = 0; r < live.size(); ++r) {
+      std::fill(visited.begin(), visited.end(), 0);
+      stack.clear();
+      for (const plan::PlanRoot& root : plan.roots) {
+        if (root.request_index == r) stack.push_back(root.node);
+      }
+      PendingRequest* request = live[r].get();
+      request->structure =
+          query::StructureFingerprint(request->graph).ToHex();
+      request->plan_dedup = plan.dedup_ratio();
+      while (!stack.empty()) {
+        const int32_t id = stack.back();
+        stack.pop_back();
+        if (visited[static_cast<size_t>(id)]) continue;
+        visited[static_cast<size_t>(id)] = 1;
+        ++request->plan_node_count;
+        const plan::PlanNode& node = plan.node(id);
+        if (measured) {
+          const plan::NodeActuals& a = actuals[static_cast<size_t>(id)];
+          if (a.evaluated) {
+            request->op_ns[static_cast<size_t>(node.op)] += a.wall_ns;
+          }
+          if (a.actual_rows >= 0.0) {
+            request->worst_qerror = std::max(
+                request->worst_qerror,
+                plan::QError(node.est_rows, a.actual_rows));
+          }
+        }
+        for (uint32_t j = 0; j < node.num_inputs; ++j) {
+          stack.push_back(node.inputs[j]);
+        }
+      }
     }
   }
 
@@ -668,6 +773,47 @@ Result<std::string> QueryServer::Explain(
     };
   }
   return plan::ExplainPlan(plan, opt);
+}
+
+Result<std::string> QueryServer::ExplainAnalyze(
+    const query::QueryGraph& query) {
+  if (planner_ == nullptr) {
+    return Status::Unavailable(
+        options_.use_planner
+            ? "planner unavailable: model does not expose OperatorModel"
+            : "planner path is disabled (ServerOptions::use_planner)");
+  }
+  HALK_RETURN_NOT_OK(ValidateQuery(query, /*k=*/1));
+  const std::vector<query::QueryGraph> branches = query::ToDnf(query);
+  std::vector<plan::PlanItem> items;
+  items.reserve(branches.size());
+  for (const query::QueryGraph& branch : branches) {
+    items.push_back({0, &branch});
+  }
+  const plan::Plan plan = planner_->BuildPlan(items);
+
+  // A diagnostic run favors estimate accuracy over probe cost: sample a
+  // larger slice of the table than the serving default, capped so huge
+  // KGs stay interactive.
+  plan::ExecOptions exec_options;
+  exec_options.collect_actuals = true;
+  exec_options.sample_entities =
+      std::min<int64_t>(model_->config().num_entities, 4096);
+  plan::ExecSchedule schedule =
+      plan_executor_->Prepare(plan, /*trace=*/{}, exec_options);
+  (void)plan_executor_->Run(plan, &schedule);
+
+  plan::ExplainOptions opt;
+  opt.cache = subtree_cache_.get();
+  opt.num_entities = model_->config().num_entities;
+  if (kg_ != nullptr) {
+    const kg::KnowledgeGraph* kg = kg_;
+    opt.entity_name = [kg](int64_t id) { return kg->entities().Name(id); };
+    opt.relation_name = [kg](int64_t id) {
+      return kg->relations().Name(id);
+    };
+  }
+  return plan::ExplainAnalyze(plan, schedule.stats, opt);
 }
 
 std::string QueryServer::DumpMetrics() const {

@@ -1,6 +1,7 @@
 #ifndef HALK_SERVING_SERVER_H_
 #define HALK_SERVING_SERVER_H_
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -14,6 +15,7 @@
 #include "core/query_model.h"
 #include "kg/graph.h"
 #include "obs/journal.h"
+#include "obs/query_stats.h"
 #include "obs/slo_tracker.h"
 #include "obs/slow_query_log.h"
 #include "obs/trace.h"
@@ -89,6 +91,37 @@ struct ServerOptions {
   /// Off by default: rewrites preserve answer *sets* but swap which
   /// neural operators run, breaking bit-identity with Evaluator::TopK.
   bool planner_rewrites = false;
+  /// Query analytics plane: collect per-node actuals on sampled planned
+  /// chunks (attributed wall, sampled actual rows, cache / slot-reuse
+  /// flags), feed the fingerprint-keyed query-statistics store behind
+  /// /queryz, and export the plan.qerror / plan.node_us metric families.
+  /// Request-level aggregation (hits, latency, plan shape) covers every
+  /// request; the per-node membership probes run on one planned chunk in
+  /// analyze_sample_period, so the amortized cost stays within the
+  /// bench-smoke CI gate (analytics-on throughput within 5% of off).
+  bool analytics = true;
+  /// Entities probed per plan node for the sampled actual-rows estimate.
+  int64_t analyze_sample_entities = 256;
+  /// Collect per-node actuals on one planned chunk in this many (the
+  /// first chunk is always sampled; values < 1 behave as 1 = every
+  /// chunk). Probing every chunk costs O(nodes * analyze_sample_entities)
+  /// distance evaluations per chunk — measurably slower than serving
+  /// itself on cheap queries — while the q-error and feedback aggregates
+  /// converge fine from samples.
+  int64_t analyze_sample_period = 16;
+  /// Distinct canonical fingerprints the query-statistics store retains
+  /// (LRU beyond it); 0 disables the store — and with it /queryz feeding,
+  /// q-error aggregation, and cardinality feedback.
+  size_t query_stats_capacity = 512;
+  /// Cardinality feedback: let the planner override cost-model estimates
+  /// with the store's observed subtree cardinalities when ordering each
+  /// depth level. Ordering is all that changes — operator math never
+  /// reads the scheduling key, so served rankings stay bit-identical to
+  /// Evaluator::TopK (the equivalence suite proves it with this on).
+  /// Default off; requires analytics to have something to feed it.
+  bool use_feedback = false;
+  /// Observations of a subtree required before feedback trusts its EWMA.
+  int64_t feedback_min_samples = 2;
 };
 
 /// A served top-k answer: entity ids in ascending model distance.
@@ -163,10 +196,25 @@ class QueryServer {
   [[nodiscard]] Result<std::string> Explain(
       const query::QueryGraph& query) const;
 
+  /// EXPLAIN ANALYZE: plans `query` solo, executes it with per-node
+  /// actuals collection, and renders estimated vs. sampled-actual rows,
+  /// per-node q-error, attributed wall time, and cache annotations (the
+  /// sparql_endpoint `.analyze` command). Unlike Explain this *runs* the
+  /// plan — it warms the subtree cache exactly as serving would, but
+  /// bypasses the queue, the answer cache, and ranking. Same availability
+  /// errors as Explain.
+  [[nodiscard]] Result<std::string> ExplainAnalyze(
+      const query::QueryGraph& query);
+
   /// The intermediate-result cache, or null when the planner path is off
   /// or subtree_cache_bytes is 0. Invalidation hooks live here:
   /// InvalidateRelation / Clear after KG or parameter updates.
   SubtreeCache* subtree_cache() { return subtree_cache_.get(); }
+
+  /// The fingerprint-keyed query-statistics store (the /queryz source and
+  /// feedback seam), or null when query_stats_capacity was 0 or both
+  /// analytics and use_feedback were off.
+  obs::QueryStatsStore* query_stats() { return query_stats_.get(); }
 
   /// The tracer from ServerOptions, or null.
   obs::Tracer* tracer() { return options_.tracer; }
@@ -198,6 +246,15 @@ class QueryServer {
     obs::TraceContext trace;
     uint32_t root_span = 0;
     int64_t submit_ns = 0;
+    /// Analytics stashed by ServeChunkPlanned for Finish to fold into the
+    /// query-stats store, the slow-query log, and the serve journal:
+    /// structure fingerprint, reachable plan nodes, the chunk plan's dedup
+    /// ratio, worst node q-error, and per-operator attributed wall.
+    std::string structure;
+    int64_t plan_node_count = 0;
+    double plan_dedup = 0.0;
+    double worst_qerror = 0.0;
+    std::array<int64_t, obs::kNumOpKinds> op_ns{};
     std::promise<Result<TopKAnswer>> promise;
   };
 
@@ -239,6 +296,7 @@ class QueryServer {
   std::unique_ptr<plan::Planner> planner_;
   std::unique_ptr<plan::PlanExecutor> plan_executor_;
   std::unique_ptr<SubtreeCache> subtree_cache_;
+  std::unique_ptr<obs::QueryStatsStore> query_stats_;  // null = disabled
 
   // Hot-path instrument pointers (stable for the registry's lifetime).
   Counter* submitted_;
@@ -265,6 +323,15 @@ class QueryServer {
   Histogram* plan_build_us_;
   Histogram* plan_exec_us_;
   Gauge* plan_cache_bytes_;
+  // Analytics-plane instruments: per-node q-error and one labeled
+  // plan.node_us child per operator kind, pre-resolved so the hot path
+  // never takes the registry lock.
+  Histogram* plan_qerror_;
+  std::array<Histogram*, obs::kNumOpKinds> plan_node_us_{};
+  // Planned-chunk counter electing the 1-in-analyze_sample_period chunks
+  // that pay for per-node membership probes. Starts at 0 so the very
+  // first chunk is always measured.
+  std::atomic<uint64_t> analyze_chunk_counter_{0};
 
   std::vector<std::thread> workers_;
   std::atomic<bool> shutdown_{false};

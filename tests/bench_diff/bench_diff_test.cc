@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/journal.h"
 #include "tools/bench_diff/bench_diff.h"
 
 namespace halk::benchdiff {
@@ -179,6 +180,56 @@ TEST(BenchDiffTest, MalformedInputIsAParseError) {
   report = DiffBenchJson("{\"qps\":1.0}", "{\"qps\":1.0}", Options{});
   ASSERT_FALSE(report.ok());
   EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HistoryRecordTest, CarriesProvenanceVerdictAndDeltas) {
+  const std::string fresh =
+      "{\"bench\":\"serving_throughput\",\"git_sha\":\"def5678\","
+      "\"timestamp\":\"2026-08-09T12:00:00Z\",\"qps\":1500.0,"
+      "\"batched_qps\":2000.0,\"qps_cached\":5000.0,\"p99_ms\":8.0,"
+      "\"speedup_batched\":2.0}";
+  auto report = DiffBenchJson(kBaseline, fresh, Options{});
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->ok);  // qps +50% breaks the ±25% default gate
+
+  auto record = HistoryRecord(fresh, *report);
+  ASSERT_TRUE(record.ok()) << record.status().ToString();
+  // The record is itself one parseable flat JSONL line.
+  auto parsed = obs::ParseJsonLine(*record);
+  ASSERT_TRUE(parsed.ok()) << *record;
+  EXPECT_EQ(obs::FindKey(*parsed, "record")->string_value, "bench_diff");
+  EXPECT_EQ(obs::FindKey(*parsed, "bench")->string_value,
+            "serving_throughput");
+  EXPECT_EQ(obs::FindKey(*parsed, "git_sha")->string_value, "def5678");
+  EXPECT_EQ(obs::FindKey(*parsed, "timestamp")->string_value,
+            "2026-08-09T12:00:00Z");
+  EXPECT_FALSE(obs::FindKey(*parsed, "ok")->bool_value);
+  ASSERT_NE(obs::FindKey(*parsed, "d_qps"), nullptr);
+  EXPECT_NEAR(obs::FindKey(*parsed, "d_qps")->number, 0.5, 1e-12);
+  ASSERT_NE(obs::FindKey(*parsed, "d_batched_qps"), nullptr);
+  EXPECT_NEAR(obs::FindKey(*parsed, "d_batched_qps")->number, 0.0, 1e-12);
+}
+
+TEST(HistoryRecordTest, MissingProvenanceRendersEmptyStrings) {
+  const std::string fresh = "{\"bench\":\"b\",\"qps\":100.0}";
+  auto report =
+      DiffBenchJson("{\"bench\":\"b\",\"qps\":100.0}", fresh, Options{});
+  ASSERT_TRUE(report.ok());
+  auto record = HistoryRecord(fresh, *report);
+  ASSERT_TRUE(record.ok());
+  auto parsed = obs::ParseJsonLine(*record);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(obs::FindKey(*parsed, "git_sha")->string_value, "");
+  EXPECT_EQ(obs::FindKey(*parsed, "timestamp")->string_value, "");
+  EXPECT_TRUE(obs::FindKey(*parsed, "ok")->bool_value);
+}
+
+TEST(HistoryRecordTest, NamelessFreshRunIsAnError) {
+  Report report;
+  auto record = HistoryRecord("{\"qps\":1.0}", report);
+  ASSERT_FALSE(record.ok());
+  EXPECT_EQ(record.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(HistoryRecord("not json", report).ok());
 }
 
 TEST(BenchDiffTest, ZeroBaselineOnlyFailsWhenFreshIsNonZero) {

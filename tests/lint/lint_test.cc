@@ -508,6 +508,27 @@ TEST(MetricNameTest, InlineAllowSuppresses) {
   EXPECT_FALSE(HasRule(Lint("src/a.cc", code), "metric-name-convention"));
 }
 
+TEST(MetricNameTest, AnalyticsPlaneCallSitesAreCovered) {
+  // The labeled per-operator form the analytics plane registers: the name
+  // literal is checked even with ExponentialBounds and a labels argument
+  // following it.
+  const std::string good =
+      "plan_node_us_[op] = metrics_.GetHistogram(\n"
+      "    \"plan.node_us\", Histogram::ExponentialBounds(1.0, 2.0, 20),\n"
+      "    {{\"op\", query::OpTypeName(op)}});\n"
+      "plan_qerror_ = metrics_.GetHistogram(\n"
+      "    \"plan.qerror\", Histogram::ExponentialBounds(1.0, 2.0, 16));\n";
+  EXPECT_FALSE(HasRule(Lint("src/serving/server.cc", good),
+                       "metric-name-convention"));
+  // A CamelCase rename of either analytics family is caught at the call
+  // site regardless of the trailing bounds/labels arguments.
+  const std::string bad =
+      "plan_qerror_ = metrics_.GetHistogram(\n"
+      "    \"Plan.QError\", Histogram::ExponentialBounds(1.0, 2.0, 16));\n";
+  EXPECT_TRUE(HasRule(Lint("src/serving/server.cc", bad),
+                      "metric-name-convention", 1));
+}
+
 TEST(SeededMutantTest, CamelCaseMetricRenameIsCaught) {
   const std::string current =
       "latency_us_ = metrics->GetHistogram(\"serving.latency_us\", bounds);\n";

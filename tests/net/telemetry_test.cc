@@ -79,6 +79,7 @@ TEST(TelemetryEndpointsTest, NullSourcesAnswer404ButHealthzPasses) {
   EXPECT_EQ(HttpGet(server.port(), "/traces").status, 404);
   EXPECT_EQ(HttpGet(server.port(), "/profile").status, 404);
   EXPECT_EQ(HttpGet(server.port(), "/slo").status, 404);
+  EXPECT_EQ(HttpGet(server.port(), "/queryz").status, 404);
   // With no registry there is nothing to be unhealthy about.
   EXPECT_EQ(HttpGet(server.port(), "/healthz").status, 200);
   EXPECT_EQ(HttpGet(server.port(), "/readyz").status, 200);
@@ -111,6 +112,38 @@ TEST(TelemetryEndpointsTest, MetricsScrapePassesGrammarWithExemplars) {
             std::string::npos)
       << response.body;
   EXPECT_NE(response.body.find("# {trace_id=\"123\"} 500"), std::string::npos);
+}
+
+TEST(TelemetryEndpointsTest, QueryzForwardsTopNToTheCallback) {
+  // halk_net carries no query/plan types: /queryz is fed through the
+  // callback alone, so a fake store suffices to pin the endpoint contract
+  // (JSON content type, default top=10, clamped ?top= parsing).
+  HttpServer server;
+  TelemetrySources sources;
+  std::vector<size_t> asked;
+  sources.query_stats_json = [&asked](size_t top_n) {
+    asked.push_back(top_n);
+    return std::string("{\"queries\":[{\"top\":") +
+           std::to_string(top_n) + "}]}";
+  };
+  RegisterTelemetryEndpoints(&server, sources);
+  ASSERT_TRUE(server.Start().ok());
+
+  const TestHttpResponse plain = HttpGet(server.port(), "/queryz");
+  EXPECT_EQ(plain.status, 200);
+  EXPECT_EQ(plain.content_type, "application/json; charset=utf-8");
+  EXPECT_NE(plain.body.find("\"queries\":["), std::string::npos);
+
+  EXPECT_EQ(HttpGet(server.port(), "/queryz?top=3").status, 200);
+  EXPECT_EQ(HttpGet(server.port(), "/queryz?top=0").status, 200);
+  EXPECT_EQ(HttpGet(server.port(), "/queryz?top=junk").status, 200);
+  server.Stop();
+
+  ASSERT_EQ(asked.size(), 4u);
+  EXPECT_EQ(asked[0], 10u);  // default
+  EXPECT_EQ(asked[1], 3u);
+  EXPECT_EQ(asked[2], 1u);  // clamped to the [1, 1024] range
+  EXPECT_EQ(asked[3], 1u);  // atoi("junk") == 0, clamped up
 }
 
 TEST(TelemetryEndpointsTest, SloEndpointReportsBurnRates) {

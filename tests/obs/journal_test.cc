@@ -202,6 +202,32 @@ TEST(ServeJournalTest, RecordsRoundTripThroughTheLineParser) {
   EXPECT_FALSE(std::getline(lines, line)) << "exactly one line per record";
 }
 
+TEST(ServeJournalTest, PlanShapeColumnsRoundTrip) {
+  std::ostringstream sink;
+  std::unique_ptr<ServeJournal> journal = ServeJournal::ToStream(&sink);
+  // Planned request: plan_nodes/dedup_ratio carry the serving plan shape.
+  journal->Record("q:planned", "OK", 100.0, 10, 1.0, false, 0x2a,
+                  /*plan_nodes=*/7, /*dedup_ratio=*/0.375);
+  // Legacy/cache-hit path: defaults record an explicit zero shape.
+  journal->Record("q:legacy", "OK", 5.0, 10, 1.0, true, 0);
+
+  std::istringstream lines(sink.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  auto planned = ParseJsonLine(line);
+  ASSERT_TRUE(planned.ok()) << line;
+  ASSERT_NE(FindKey(*planned, "plan_nodes"), nullptr);
+  EXPECT_DOUBLE_EQ(FindKey(*planned, "plan_nodes")->number, 7.0);
+  ASSERT_NE(FindKey(*planned, "dedup_ratio"), nullptr);
+  EXPECT_DOUBLE_EQ(FindKey(*planned, "dedup_ratio")->number, 0.375);
+
+  ASSERT_TRUE(std::getline(lines, line));
+  auto legacy = ParseJsonLine(line);
+  ASSERT_TRUE(legacy.ok()) << line;
+  EXPECT_DOUBLE_EQ(FindKey(*legacy, "plan_nodes")->number, 0.0);
+  EXPECT_DOUBLE_EQ(FindKey(*legacy, "dedup_ratio")->number, 0.0);
+}
+
 TEST(ServeJournalTest, OpenTruncatesAndFlushesEveryRecord) {
   const std::string path =
       ::testing::TempDir() + "/halk_serve_journal_test.jsonl";

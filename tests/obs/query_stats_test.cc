@@ -1,0 +1,226 @@
+#include "obs/query_stats.h"
+
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace halk::obs {
+namespace {
+
+QueryObservation Obs(double latency_us, bool cache_hit = false) {
+  QueryObservation o;
+  o.latency_us = latency_us;
+  o.cache_hit = cache_hit;
+  return o;
+}
+
+query::Fingerprint Key(uint64_t hi, uint64_t lo) {
+  query::Fingerprint fp;
+  fp.hi = hi;
+  fp.lo = lo;
+  return fp;
+}
+
+TEST(WelfordTest, MatchesClosedFormMeanAndVariance) {
+  Welford w;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) w.Add(x);
+  EXPECT_EQ(w.count, 8);
+  EXPECT_DOUBLE_EQ(w.mean, 5.0);
+  // Sample variance of the classic textbook sequence: 32/7.
+  EXPECT_NEAR(w.Variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(WelfordTest, ZeroAndOneSampleHaveZeroVariance) {
+  Welford w;
+  EXPECT_EQ(w.Variance(), 0.0);
+  w.Add(42.0);
+  EXPECT_EQ(w.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(w.mean, 42.0);
+}
+
+TEST(QueryStatsStoreTest, AggregatesPerFingerprint) {
+  QueryStatsStore store(8);
+  QueryObservation first = Obs(100.0);
+  first.structure = "s1";
+  first.plan_nodes = 5;
+  first.dedup_ratio = 0.25;
+  first.worst_qerror = 3.0;
+  first.op_ns[static_cast<size_t>(query::OpType::kProjection)] = 4000;
+  store.Record("fp1", first);
+  QueryObservation second = Obs(300.0, /*cache_hit=*/true);
+  second.worst_qerror = 7.0;
+  second.op_ns[static_cast<size_t>(query::OpType::kAnchor)] = 1000;
+  store.Record("fp1", second);
+
+  QueryStatsStore::Stats stats;
+  ASSERT_TRUE(store.Lookup("fp1", &stats));
+  EXPECT_EQ(stats.hits, 2);
+  EXPECT_EQ(stats.cache_hits, 1);
+  EXPECT_DOUBLE_EQ(stats.latency_us.mean, 200.0);
+  EXPECT_EQ(stats.qerror.count, 2);
+  EXPECT_DOUBLE_EQ(stats.qerror.mean, 5.0);
+  EXPECT_DOUBLE_EQ(stats.worst_qerror, 7.0);
+  // Structure / plan shape stick at the latest *planned* observation:
+  // the cache-hit record carried no plan, so the first one's survive.
+  EXPECT_EQ(stats.structure, "s1");
+  EXPECT_EQ(stats.plan_nodes, 5);
+  EXPECT_DOUBLE_EQ(stats.dedup_ratio, 0.25);
+  EXPECT_EQ(stats.total_op_ns(), 5000);
+  EXPECT_FALSE(store.Lookup("absent", &stats));
+}
+
+TEST(QueryStatsStoreTest, QErrorWelfordSkipsUnmeasuredRequests) {
+  QueryStatsStore store(8);
+  store.Record("fp", Obs(10.0));  // worst_qerror == 0: not measured
+  QueryObservation measured = Obs(10.0);
+  measured.worst_qerror = 2.0;
+  store.Record("fp", measured);
+  QueryStatsStore::Stats stats;
+  ASSERT_TRUE(store.Lookup("fp", &stats));
+  EXPECT_EQ(stats.hits, 2);
+  EXPECT_EQ(stats.qerror.count, 1);
+  EXPECT_DOUBLE_EQ(stats.qerror.mean, 2.0);
+}
+
+TEST(QueryStatsStoreTest, EvictsLeastRecentlyServedFingerprint) {
+  QueryStatsStore store(2);
+  store.Record("a", Obs(1.0));
+  store.Record("b", Obs(1.0));
+  store.Record("a", Obs(1.0));  // refresh: "b" is now the LRU entry
+  store.Record("c", Obs(1.0));  // evicts "b"
+  EXPECT_EQ(store.size(), 2u);
+  QueryStatsStore::Stats stats;
+  EXPECT_TRUE(store.Lookup("a", &stats));
+  EXPECT_EQ(stats.hits, 2);
+  EXPECT_FALSE(store.Lookup("b", &stats));
+  EXPECT_TRUE(store.Lookup("c", &stats));
+}
+
+TEST(QueryStatsStoreTest, TopByTimeOrdersByAttributedTimeThenHits) {
+  QueryStatsStore store(8);
+  QueryObservation heavy = Obs(1.0);
+  heavy.op_ns[static_cast<size_t>(query::OpType::kIntersection)] = 9000;
+  store.Record("heavy", heavy);
+  QueryObservation light = Obs(1.0);
+  light.op_ns[static_cast<size_t>(query::OpType::kAnchor)] = 1000;
+  store.Record("light", light);
+  // Two timeless fingerprints tie at 0 op-ns; more hits ranks first.
+  store.Record("popular", Obs(1.0));
+  store.Record("popular", Obs(1.0));
+  store.Record("rare", Obs(1.0));
+
+  const std::vector<QueryStatsStore::Stats> top = store.TopByTime(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].fingerprint, "heavy");
+  EXPECT_EQ(top[1].fingerprint, "light");
+  EXPECT_EQ(top[2].fingerprint, "popular");
+  EXPECT_EQ(store.TopByTime(100).size(), 4u);
+}
+
+TEST(QueryStatsStoreTest, ToJsonRendersTopStructures) {
+  QueryStatsStore store(8);
+  QueryObservation o = Obs(125.0);
+  o.structure = "deadbeef";
+  o.plan_nodes = 7;
+  o.worst_qerror = 4.0;
+  o.op_ns[static_cast<size_t>(query::OpType::kProjection)] = 2000;
+  store.Record("fp1", o);
+  const std::string json = store.ToJson(10);
+  // The body is {"queries":[...]} — nested, so asserted by substring (the
+  // repo's flat-line parser rejects nesting by design).
+  EXPECT_NE(json.find("\"queries\":["), std::string::npos);
+  EXPECT_NE(json.find("\"fingerprint\":\"fp1\""), std::string::npos);
+  EXPECT_NE(json.find("\"structure\":\"deadbeef\""), std::string::npos);
+  EXPECT_NE(json.find("\"hits\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"qerror_worst\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"us_projection\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"plan_nodes\":7"), std::string::npos);
+
+  // top_n truncates deterministically.
+  store.Record("fp2", Obs(1.0));
+  EXPECT_EQ(store.ToJson(1).find("fp2"), std::string::npos);
+  // An empty store renders an empty array, still valid JSON.
+  store.Clear();
+  EXPECT_NE(store.ToJson(10).find("\"queries\":[]"), std::string::npos);
+}
+
+TEST(QueryStatsStoreTest, FeedbackRequiresMinSamplesAndTracksEwma) {
+  QueryStatsStore store(8, /*feedback_capacity=*/8,
+                        /*feedback_min_samples=*/2);
+  const query::Fingerprint key = Key(1, 2);
+  double rows = 0.0;
+  EXPECT_FALSE(store.ObservedRows(key, &rows));
+  store.RecordSubtreeRows(key, 100.0);
+  // One sample is below the trust threshold.
+  EXPECT_FALSE(store.ObservedRows(key, &rows));
+  store.RecordSubtreeRows(key, 100.0);
+  ASSERT_TRUE(store.ObservedRows(key, &rows));
+  EXPECT_DOUBLE_EQ(rows, 100.0);
+  // EWMA with alpha 0.25: 0.75*100 + 0.25*200 = 125.
+  store.RecordSubtreeRows(key, 200.0);
+  ASSERT_TRUE(store.ObservedRows(key, &rows));
+  EXPECT_DOUBLE_EQ(rows, 125.0);
+}
+
+TEST(QueryStatsStoreTest, FeedbackRejectsInvalidRowsAndBoundsEntries) {
+  QueryStatsStore store(8, /*feedback_capacity=*/2,
+                        /*feedback_min_samples=*/1);
+  const query::Fingerprint bad = Key(9, 9);
+  store.RecordSubtreeRows(bad, -1.0);
+  store.RecordSubtreeRows(bad, std::nan(""));
+  double rows = 0.0;
+  EXPECT_FALSE(store.ObservedRows(bad, &rows));
+  EXPECT_EQ(store.feedback_size(), 0u);
+
+  store.RecordSubtreeRows(Key(1, 0), 10.0);
+  store.RecordSubtreeRows(Key(2, 0), 20.0);
+  store.RecordSubtreeRows(Key(1, 0), 10.0);  // refresh: Key(2,0) is LRU
+  store.RecordSubtreeRows(Key(3, 0), 30.0);  // evicts Key(2,0)
+  EXPECT_EQ(store.feedback_size(), 2u);
+  EXPECT_TRUE(store.ObservedRows(Key(1, 0), &rows));
+  EXPECT_FALSE(store.ObservedRows(Key(2, 0), &rows));
+  EXPECT_TRUE(store.ObservedRows(Key(3, 0), &rows));
+}
+
+// TSan target: workers Record while a scraper loops ToJson/TopByTime and
+// the planner reads feedback — the exact concurrent shape of a serving
+// process with /queryz being polled.
+TEST(QueryStatsStoreConcurrentTest, RecordToJsonAndFeedbackRace) {
+  QueryStatsStore store(16, /*feedback_capacity=*/16,
+                        /*feedback_min_samples=*/1);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < 500; ++i) {
+        QueryObservation o = Obs(static_cast<double>(i));
+        o.worst_qerror = 1.5;
+        o.op_ns[static_cast<size_t>(query::OpType::kProjection)] = 100;
+        store.Record("fp" + std::to_string((t * 500 + i) % 32), o);
+        store.RecordSubtreeRows(
+            Key(static_cast<uint64_t>(t), static_cast<uint64_t>(i % 32)),
+            static_cast<double>(i + 1));
+      }
+    });
+  }
+  std::thread scraper([&store, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)store.ToJson(8);
+      (void)store.TopByTime(8);
+      double rows = 0.0;
+      (void)store.ObservedRows(Key(0, 0), &rows);
+    }
+  });
+  for (std::thread& t : threads) t.join();
+  stop.store(true, std::memory_order_release);
+  scraper.join();
+  EXPECT_EQ(store.size(), 16u);
+  EXPECT_EQ(store.feedback_size(), 16u);
+}
+
+}  // namespace
+}  // namespace halk::obs

@@ -78,6 +78,31 @@ TEST(SlowQueryLogTest, CapacityEvictsLeastRecentlySlow) {
   EXPECT_EQ(log.Entries()[0].hits, 1);
 }
 
+TEST(SlowQueryLogTest, PlanShapeColumnsAreStoredAndRefreshed) {
+  SlowQueryLog log(4, 100);
+  // Without the optional plan columns the entry records a zero shape
+  // (legacy path / whole-answer cache hits).
+  EXPECT_TRUE(log.Offer("legacy", MakeTrace(1, 200)));
+  EXPECT_EQ(log.Entries()[0].plan_nodes, 0);
+  EXPECT_DOUBLE_EQ(log.Entries()[0].dedup_ratio, 0.0);
+
+  EXPECT_TRUE(log.Offer("planned", MakeTrace(2, 300), /*plan_nodes=*/9,
+                        /*dedup_ratio=*/0.5));
+  const std::vector<SlowQueryLog::Entry> entries = log.Entries();
+  EXPECT_EQ(entries[0].fingerprint, "planned");
+  EXPECT_EQ(entries[0].plan_nodes, 9);
+  EXPECT_DOUBLE_EQ(entries[0].dedup_ratio, 0.5);
+
+  // A refresh carries the *latest* plan shape, like the latest trace: the
+  // plan serving a fingerprint changes as caches warm and feedback kicks
+  // in, and the log describes the most recent slow occurrence.
+  EXPECT_TRUE(log.Offer("planned", MakeTrace(3, 250), /*plan_nodes=*/4,
+                        /*dedup_ratio=*/0.25));
+  EXPECT_EQ(log.Entries()[0].hits, 2);
+  EXPECT_EQ(log.Entries()[0].plan_nodes, 4);
+  EXPECT_DOUBLE_EQ(log.Entries()[0].dedup_ratio, 0.25);
+}
+
 TEST(SlowQueryLogTest, ClearEmptiesTheLog) {
   SlowQueryLog log(4, 100);
   log.Offer("a", MakeTrace(1, 200));

@@ -93,8 +93,29 @@ TEST(WindowedHistogramTest, SnapshotQuantileMatchesCumulativeSemantics) {
 TEST(WindowedHistogramTest, EmptyWindowQuantileIsZero) {
   FakeClock clock;
   WindowedHistogram hist({1.0}, kSlotNs, 2, clock.fn());
-  EXPECT_DOUBLE_EQ(hist.TakeSnapshot().Quantile(0.99), 0.0);
+  // Every quantile of a never-observed window is 0, including the
+  // degenerate endpoints.
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(hist.TakeSnapshot().Quantile(q), 0.0) << "q=" << q;
+  }
   EXPECT_DOUBLE_EQ(hist.TakeSnapshot().mean(), 0.0);
+}
+
+TEST(WindowedHistogramTest, AgedOutWindowQuantileIsZeroAgain) {
+  // A window that *was* populated and then fully aged out must answer
+  // like a fresh one — the SLO burn-rate engine calls Quantile on idle
+  // services, where every slot has rotated to a stale epoch.
+  FakeClock clock;
+  WindowedHistogram hist({1.0, 10.0}, kSlotNs, 2, clock.fn());
+  hist.Observe(5.0);
+  hist.Observe(50.0);
+  EXPECT_GT(hist.TakeSnapshot().Quantile(0.5), 0.0);
+  clock.Advance(3 * kSlotNs);
+  const WindowedHistogram::Snapshot snap = hist.TakeSnapshot();
+  EXPECT_EQ(snap.total, 0);
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(snap.Quantile(q), 0.0) << "q=" << q;
+  }
 }
 
 // TSan-targeted: writers observing while the clock races forward (forcing

@@ -237,6 +237,38 @@ TEST_F(PlannerEquivalenceTest, ShardedPlannerPathMatchesEvaluator) {
   }
 }
 
+TEST_F(PlannerEquivalenceTest, FeedbackKeepsAnswersBitIdentical) {
+  // Cardinality feedback may only reorder evaluation *within* a depth
+  // level; rankings must stay bit-identical to the evaluator. The same
+  // workload runs twice — the first pass populates the stats store with
+  // sampled actuals, the second plans with EWMA-overridden sched_rows —
+  // and both passes are checked exactly.
+  ServerOptions options;
+  options.num_workers = 2;
+  options.enable_cache = false;  // force the planner path on every answer
+  options.use_feedback = true;
+  options.feedback_min_samples = 1;  // every repeat consults the store
+  QueryServer server(model_, &dataset_->train, options);
+  ASSERT_NE(server.query_stats(), nullptr);
+  for (int pass = 0; pass < 2; ++pass) {
+    // Re-seeded per pass so both passes serve the *same* queries.
+    query::QuerySampler replay(&dataset_->train, 97);
+    for (StructureId s : query::AllStructures()) {
+      auto queries = replay.SampleMany(s, 2);
+      ASSERT_TRUE(queries.ok()) << query::StructureName(s);
+      for (const query::GroundedQuery& q : *queries) {
+        Result<TopKAnswer> served = server.Answer(q.graph, 10);
+        ASSERT_TRUE(served.ok()) << served.status().ToString();
+        ExpectBitIdentical(*served, q.graph, 10);
+      }
+    }
+  }
+  // The second pass actually consulted feedback: the store accumulated
+  // per-subtree cardinalities on the first.
+  EXPECT_GT(server.query_stats()->feedback_size(), 0u);
+  EXPECT_EQ(server.metrics()->CounterValue("plan.fallback"), 0);
+}
+
 TEST_F(PlannerEquivalenceTest, ExplainDescribesTheServedPlan) {
   ServerOptions options;
   options.num_workers = 1;

@@ -318,6 +318,26 @@ TEST(MetricsRegistryTest, ExemplarsReachTheBucketLinesAndStayValid) {
             std::string::npos);
 }
 
+TEST(MetricsRegistryTest, ZeroObservationHistogramRendersWithoutExemplars) {
+  // A family registered at construction but never observed — exactly the
+  // state of plan.qerror on a freshly started server before any planned
+  // traffic. Every bucket renders zero, no line carries the `#` exemplar
+  // suffix, and the body still parses as 0.0.4.
+  MetricsRegistry registry;
+  Histogram* qerror = registry.GetHistogram("plan.qerror", {1.0, 2.0});
+  EXPECT_EQ(qerror->BucketExemplar(0).trace_id, 0u);
+  EXPECT_DOUBLE_EQ(qerror->BucketExemplar(0).value, 0.0);
+  const std::string text = registry.DumpPrometheus();
+  SCOPED_TRACE(text);
+  ExpectValidPrometheusExposition(text);
+  EXPECT_NE(text.find("plan_qerror_bucket{le=\"1\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("plan_qerror_bucket{le=\"+Inf\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("plan_qerror_count 0"), std::string::npos);
+  EXPECT_EQ(text.find("# {trace_id="), std::string::npos);
+}
+
 TEST(MetricsRegistryTest, ConcurrentGetOrCreate) {
   MetricsRegistry registry;
   std::vector<std::thread> threads;

@@ -109,4 +109,29 @@ Result<Report> DiffBenchJson(const std::string& baseline_text,
   return report;
 }
 
+Result<std::string> HistoryRecord(const std::string& fresh_text,
+                                  const Report& report) {
+  HALK_ASSIGN_OR_RETURN(obs::JsonObject fresh,
+                        obs::ParseJsonLine(fresh_text));
+  const obs::JsonValue* name = obs::FindKey(fresh, "bench");
+  if (name == nullptr || !name->is_string()) {
+    return Status::InvalidArgument("missing \"bench\" key");
+  }
+  auto header_string = [&fresh](const char* key) {
+    const obs::JsonValue* value = obs::FindKey(fresh, key);
+    return value != nullptr && value->is_string() ? value->string_value
+                                                  : std::string();
+  };
+  obs::JsonLineBuilder line;
+  line.Str("record", "bench_diff")
+      .Str("bench", name->string_value)
+      .Str("git_sha", header_string("git_sha"))
+      .Str("timestamp", header_string("timestamp"))
+      .Bool("ok", report.ok);
+  for (const KeyDelta& delta : report.deltas) {
+    line.Num("d_" + delta.key, delta.relative);
+  }
+  return line.Finish();
+}
+
 }  // namespace halk::benchdiff

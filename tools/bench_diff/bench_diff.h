@@ -66,6 +66,16 @@ bool IsLatencyQuantileKey(const std::string& key);
                                            const std::string& fresh_text,
                                            const Options& options);
 
+/// Renders one flat JSONL history record for an executed diff — the line
+/// `--history <file>` appends so CI accumulates a longitudinal perf
+/// trajectory. Carries record="bench_diff", the bench name and the fresh
+/// run's provenance (`git_sha` / `timestamp`, copied verbatim from the
+/// BenchJson header fields; absent keys render as empty strings), the
+/// pass/fail verdict, and one `d_<key>` relative-delta number per
+/// compared key. kParseError/kInvalidArgument mirror DiffBenchJson.
+[[nodiscard]] Result<std::string> HistoryRecord(const std::string& fresh_text,
+                                                const Report& report);
+
 }  // namespace halk::benchdiff
 
 #endif  // HALK_TOOLS_BENCH_DIFF_BENCH_DIFF_H_

@@ -7,9 +7,16 @@
 //
 //   halk_bench_diff <baseline.json> <fresh.json> [--tolerance 0.25]
 //                   [--latency-tolerance 1.0] [--fail-on-missing]
+//                   [--history deltas.jsonl]
+//
+// --history appends one flat JSONL record per executed comparison (bench
+// name, the fresh run's git_sha/timestamp provenance, pass/fail, the
+// relative delta of every compared key) to the given file, so CI runs
+// accumulate a longitudinal perf trajectory next to the gate itself.
 //
 // Exit codes: 0 within tolerance, 1 regression (or missing key under
-// --fail-on-missing), 2 usage/IO/parse error.
+// --fail-on-missing), 2 usage/IO/parse error. A history append failure is
+// exit 2 even when the diff itself passed.
 
 #include <cstdio>
 #include <cstdlib>
@@ -35,7 +42,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: halk_bench_diff <baseline.json> <fresh.json> "
                "[--tolerance F] [--latency-tolerance F] "
-               "[--fail-on-missing]\n");
+               "[--fail-on-missing] [--history FILE]\n");
   return 2;
 }
 
@@ -44,6 +51,7 @@ int Usage() {
 int main(int argc, char** argv) {
   std::string baseline_path;
   std::string fresh_path;
+  std::string history_path;
   halk::benchdiff::Options options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -63,6 +71,9 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--fail-on-missing") {
       options.fail_on_missing = true;
+    } else if (arg == "--history") {
+      if (i + 1 >= argc) return Usage();
+      history_path = argv[++i];
     } else if (arg.rfind("--", 0) == 0) {
       return Usage();
     } else if (baseline_path.empty()) {
@@ -93,5 +104,22 @@ int main(int argc, char** argv) {
     return 2;
   }
   std::printf("%s", report->ToString().c_str());
+
+  if (!history_path.empty()) {
+    auto record = halk::benchdiff::HistoryRecord(fresh_text, *report);
+    if (!record.ok()) {
+      std::fprintf(stderr, "error: cannot build history record: %s\n",
+                   record.status().ToString().c_str());
+      return 2;
+    }
+    std::ofstream history(history_path, std::ios::app);
+    history << *record << "\n";
+    history.flush();
+    if (!history.good()) {
+      std::fprintf(stderr, "error: cannot append to %s\n",
+                   history_path.c_str());
+      return 2;
+    }
+  }
   return report->ok ? 0 : 1;
 }
